@@ -1,0 +1,40 @@
+#pragma once
+// Shared helpers for the figure/table reproduction benches.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/tuning.hpp"
+#include "core/workload.hpp"
+#include "fsim/system_profiles.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace bitio::benchkit {
+
+/// The node counts of the paper's scaling studies (Figs 2-4, 7; Table II).
+inline const std::vector<int> kPaperNodeCounts = {1,  2,  5,  10, 20,
+                                                  30, 40, 50, 100, 200};
+
+inline core::Bit1IoConfig openpmd_config(int aggregators,
+                                         const std::string& codec = "none",
+                                         const std::string& engine = "bp4") {
+  core::Bit1IoConfig config;
+  config.mode = core::IoMode::openpmd;
+  config.engine = engine;
+  config.num_aggregators = aggregators;
+  config.codec = codec;
+  return config;
+}
+
+inline std::string gibps(double value) { return strfmt("%.2f", value); }
+
+inline void print_header(const char* figure, const char* claim) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper: %s\n", claim);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace bitio::benchkit

@@ -1,0 +1,113 @@
+// Calibration utility: prints the model's output at every anchor point the
+// paper reports (DESIGN.md Section 5) next to the published value.  Run
+// after touching fsim/system_profiles.cpp to check the fit; the figure
+// benches assume these anchors are roughly in place.
+#include <cstdio>
+
+#include "core/workload.hpp"
+#include "fsim/system_profiles.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace bitio;
+using core::Bit1IoConfig;
+using core::IoMode;
+using core::ScaleSpec;
+
+namespace {
+
+ScaleSpec spec_for(int nodes) { return ScaleSpec::throughput(nodes); }
+
+Bit1IoConfig openpmd_config(int aggregators, const char* codec = "none") {
+  Bit1IoConfig config;
+  config.mode = IoMode::openpmd;
+  config.num_aggregators = aggregators;
+  config.codec = codec;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig 2 anchors: original I/O GiB/s ==\n");
+  struct Anchor {
+    const char* system;
+    int nodes;
+    double paper;
+  };
+  const Anchor fig2[] = {
+      {"dardel", 1, 0.09},     {"dardel", 200, 0.41},
+      {"discoverer", 1, 0.26}, {"discoverer", 200, 0.20},
+      {"vega", 1, 0.15},       {"vega", 200, 0.30},
+  };
+  for (const auto& a : fig2) {
+    const auto result = core::run_original_epoch(
+        fsim::system_profile(a.system), spec_for(a.nodes));
+    std::printf("%-11s %3d nodes: model %6.3f GiB/s  paper ~%.2f  (makespan %.3fs, files %llu)\n",
+                a.system, a.nodes, result.write_gibps, a.paper,
+                result.makespan_s,
+                static_cast<unsigned long long>(result.total_files));
+  }
+
+  std::printf("\n== Fig 3/4 anchors: openPMD+BP4 node-agg on dardel ==\n");
+  for (int nodes : {1, 10, 50, 100, 200}) {
+    const auto result = core::run_openpmd_epoch(
+        fsim::dardel(), spec_for(nodes), openpmd_config(0));
+    std::printf("%3d nodes: model %7.3f GiB/s  (paper: 0.6 @1 rising steeply; makespan %.4fs)\n",
+                nodes, result.write_gibps, result.makespan_s);
+  }
+
+  std::printf("\n== Fig 6 anchors: aggregators @200 nodes, dardel ==\n");
+  const struct { int agg; double paper; } fig6[] = {
+      {1, 0.59}, {25, 0}, {100, 0}, {400, 15.80}, {1600, 0}, {25600, 3.87}};
+  for (const auto& a : fig6) {
+    const auto result = core::run_openpmd_epoch(fsim::dardel(), spec_for(200),
+                                                openpmd_config(a.agg));
+    std::printf("%5d agg: model %7.3f GiB/s  paper %s\n", a.agg,
+                result.write_gibps,
+                a.paper > 0 ? strfmt("%.2f", a.paper).c_str() : "-");
+  }
+
+  std::printf("\n== Fig 5 anchors: per-process costs @200 nodes, dardel ==\n");
+  {
+    // Fig 5 covers a full 200K-step run: 200 dumps + 20 checkpoints.
+    ScaleSpec spec = spec_for(200);
+    spec.dat_dumps = 200;
+    spec.checkpoints = 20;
+    const auto original = core::run_original_epoch(fsim::dardel(), spec);
+    std::printf("original: read %.4fs meta %.4fs write %.4fs (paper 17.868 meta, 1.043 write)\n",
+                original.mean_read_s, original.mean_meta_s,
+                original.mean_write_s);
+    const auto openpmd = core::run_openpmd_epoch(fsim::dardel(), spec,
+                                                 openpmd_config(0));
+    std::printf("openpmd : read %.4fs meta %.4fs write %.4fs (paper 0.014 meta, 0.009 write)\n",
+                openpmd.mean_read_s, openpmd.mean_meta_s,
+                openpmd.mean_write_s);
+  }
+
+  std::printf("\n== Table II anchors: file counts/sizes (short diagnostic run) ==\n");
+  {
+    for (int nodes : {1, 200}) {
+      const ScaleSpec spec = ScaleSpec::table2(nodes);
+      const auto original = core::run_original_epoch(fsim::dardel(), spec);
+      std::printf("original %3dN: files %llu (paper %d) avg %s (paper %s) max %s (paper %s)\n",
+                  nodes,
+                  static_cast<unsigned long long>(original.total_files),
+                  nodes == 1 ? 262 : 51206,
+                  format_bytes(original.avg_file_bytes).c_str(),
+                  nodes == 1 ? "1.9MiB" : "13KiB",
+                  format_bytes(original.max_file_bytes).c_str(),
+                  nodes == 1 ? "3.8MiB" : "25KiB");
+      const auto bp4 = core::run_openpmd_epoch(fsim::dardel(), spec,
+                                               openpmd_config(0));
+      std::printf("bp4      %3dN: files %llu (paper %d) avg %s (paper %s) max %s (paper %s)\n",
+                  nodes, static_cast<unsigned long long>(bp4.total_files),
+                  nodes == 1 ? 6 : 205,
+                  format_bytes(bp4.avg_file_bytes).c_str(),
+                  nodes == 1 ? "81MiB" : "9.4MiB",
+                  format_bytes(bp4.max_file_bytes).c_str(),
+                  nodes == 1 ? "476MiB" : "1.1GiB");
+    }
+  }
+  return 0;
+}

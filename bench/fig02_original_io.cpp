@@ -1,0 +1,28 @@
+// Fig 2: BIT1 Original File I/O write throughput on Discoverer, Dardel and
+// Vega CPU LFS, 1..200 nodes, GiB/s.
+//
+// Paper shape: Discoverer declines 0.26 -> 0.20 with fluctuation; Dardel
+// rises 0.09 -> 0.41; Vega is erratic with no clear scaling.
+#include "bench_common.hpp"
+
+using namespace bitio;
+using namespace bitio::benchkit;
+
+int main() {
+  print_header("Fig 2 — BIT1 Original File I/O write throughput (GiB/s)",
+               "Discoverer 0.26->0.20 declining; Dardel 0.09->0.41 rising; "
+               "Vega inconsistent");
+  TextTable table;
+  table.header({"Nodes", "Discoverer", "Dardel", "Vega"});
+  for (int nodes : kPaperNodeCounts) {
+    std::vector<std::string> row{std::to_string(nodes)};
+    for (const char* system : {"discoverer", "dardel", "vega"}) {
+      const auto result = core::run_original_epoch(
+          fsim::system_profile(system), core::ScaleSpec::throughput(nodes));
+      row.push_back(gibps(result.write_gibps));
+    }
+    table.row(std::move(row));
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig 4 + Table I: BIT1 configurations against the IOR upper bounds on
+// Dardel, 1..200 nodes.
+//
+// Paper shape: IOR (file-per-process and shared) bounds everything from
+// above; BIT1 openPMD + BP4 tracks the IOR envelope with a notably steep
+// rise, while original I/O stays near the bottom.
+#include "bench_common.hpp"
+#include "ior/ior.hpp"
+
+using namespace bitio;
+using namespace bitio::benchkit;
+
+int main() {
+  const auto profile = fsim::dardel();
+
+  // Table I: the exact command lines used at 200 nodes.
+  print_header("Table I — IOR command lines (Dardel LFS, 200 nodes)",
+               "srun -n 25600 ior -N=25600 -a POSIX [-F] -C -e");
+  const std::string fpp_args = "-N 25600 -a POSIX -F -C -e";
+  const std::string shared_args = "-N 25600 -a POSIX -C -e";
+  std::printf("IOR Benchmark (FilePerProc): srun -n 25600 %s\n",
+              ior::IorConfig::parse_cli(fpp_args).command_line().c_str());
+  std::printf("IOR Benchmark (Shared):      srun -n 25600 %s\n\n",
+              ior::IorConfig::parse_cli(shared_args).command_line().c_str());
+
+  print_header("Fig 4 — BIT1 vs IOR write throughput on Dardel (GiB/s)",
+               "IOR bounds from above; BIT1 openPMD+BP4 rises steeply; "
+               "original stays low");
+  TextTable table;
+  table.header({"Nodes", "Original I/O", "openPMD + BP4", "IOR FPP",
+                "IOR shared"});
+  for (int nodes : kPaperNodeCounts) {
+    const auto spec = core::ScaleSpec::throughput(nodes);
+    const auto original = core::run_original_epoch(profile, spec);
+    const auto openpmd =
+        core::run_openpmd_epoch(profile, spec, openpmd_config(0));
+
+    // IOR writes the same volume the BIT1 epoch moves, split per task.
+    const std::uint64_t volume =
+        spec.diag_run_bytes / std::uint64_t(spec.dumps_per_run) *
+        std::uint64_t(spec.dat_dumps);
+    ior::IorConfig ior_config;
+    ior_config.ntasks = spec.ranks();
+    ior_config.block_size =
+        std::max<std::uint64_t>(1 << 20, volume / std::uint64_t(spec.ranks()));
+    ior_config.transfer_size = 1 << 20;
+    ior_config.fsync_on_close = true;
+    ior_config.reorder_tasks = true;
+
+    ior_config.file_per_proc = true;
+    const auto fpp = ior::run_write(profile, ior_config);
+    ior_config.file_per_proc = false;
+    ior_config.api = "MPIIO";
+    const auto shared = ior::run_write(profile, ior_config);
+    ior_config.api = "POSIX";
+
+    table.row({std::to_string(nodes), gibps(original.write_gibps),
+               gibps(openpmd.write_gibps), gibps(fpp.write_gibps),
+               gibps(shared.write_gibps)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

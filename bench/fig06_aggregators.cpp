@@ -1,0 +1,38 @@
+// Fig 6: BIT1 openPMD + BP4 write throughput vs number of aggregators
+// (OPENPMD_ADIOS2_BP5_NumAgg) on Dardel at 200 nodes.
+//
+// Paper shape: 0.59 GiB/s at 1 aggregator, consistent improvement to a
+// peak of 15.80 GiB/s at 400 aggregators (two per node), then decline to
+// 3.87 GiB/s at 25600 — still far above original I/O's 0.41 GiB/s with the
+// same file count.
+#include "bench_common.hpp"
+
+using namespace bitio;
+using namespace bitio::benchkit;
+
+int main() {
+  print_header(
+      "Fig 6 — openPMD+BP4 write throughput vs aggregators, Dardel, "
+      "200 nodes (GiB/s)",
+      "0.59 @1 AGGR -> peak 15.80 @400 (2/node) -> 3.87 @25600");
+  const auto profile = fsim::dardel();
+  const auto spec = core::ScaleSpec::throughput(200);
+
+  TextTable table;
+  table.header({"Aggregators", "GiB/s", "files"});
+  for (int aggregators : {1, 2, 4, 10, 25, 50, 100, 200, 400, 800, 1600,
+                          3200, 6400, 12800, 25600}) {
+    const auto result =
+        core::run_openpmd_epoch(profile, spec, openpmd_config(aggregators));
+    table.row({std::to_string(aggregators), gibps(result.write_gibps),
+               std::to_string(result.total_files)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto original = core::run_original_epoch(profile, spec);
+  std::printf(
+      "Original I/O reference at the same scale: %s GiB/s with %llu files\n",
+      gibps(original.write_gibps).c_str(),
+      static_cast<unsigned long long>(original.total_files));
+  return 0;
+}

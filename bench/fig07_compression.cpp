@@ -1,0 +1,35 @@
+// Fig 7: BIT1 write throughput with the Blosc compressor and one
+// aggregator, Dardel, 1..200 nodes.
+//
+// Paper shape: original I/O is inconsistent and peaks ~0.54 GiB/s around 40
+// nodes; both openPMD+BP4 configurations (with and without Blosc) are
+// faster and smoother from 1-10 nodes; with compression + 1 AGGR the curve
+// flattens (single-writer bound) and can dip below original at high node
+// counts — compression and aggregation trade throughput for storage.
+#include "bench_common.hpp"
+
+using namespace bitio;
+using namespace bitio::benchkit;
+
+int main() {
+  print_header(
+      "Fig 7 — write throughput with Blosc + 1 AGGR, Dardel (GiB/s)",
+      "openPMD curves smooth; Blosc+1AGGR flattens at the single-writer "
+      "bound and can fall below original at high node counts");
+  const auto profile = fsim::dardel();
+  TextTable table;
+  table.header({"Nodes", "Original I/O", "openPMD+BP4+1AGGR",
+                "openPMD+BP4+Blosc+1AGGR"});
+  for (int nodes : kPaperNodeCounts) {
+    const auto spec = core::ScaleSpec::throughput(nodes);
+    const auto original = core::run_original_epoch(profile, spec);
+    const auto plain =
+        core::run_openpmd_epoch(profile, spec, openpmd_config(1));
+    const auto blosc =
+        core::run_openpmd_epoch(profile, spec, openpmd_config(1, "blosc"));
+    table.row({std::to_string(nodes), gibps(original.write_gibps),
+               gibps(plain.write_gibps), gibps(blosc.write_gibps)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

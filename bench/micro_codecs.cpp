@@ -1,0 +1,96 @@
+// google-benchmark microbenchmarks of the compression stack and the BP
+// metadata codec — the hot paths of the real (non-synthetic) write path.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "bp/format.hpp"
+#include "compress/codec.hpp"
+#include "compress/shuffle.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bitio;
+
+cz::Bytes particle_floats(std::size_t bytes, std::uint64_t seed) {
+  Rng rng(seed);
+  cz::Bytes out(bytes);
+  float x = 1.0f;
+  for (std::size_t i = 0; i + 4 <= bytes; i += 4) {
+    x += 0.001f * float(rng.normal());
+    std::memcpy(&out[i], &x, 4);
+  }
+  return out;
+}
+
+void BM_Shuffle(benchmark::State& state) {
+  const auto data = particle_floats(std::size_t(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cz::shuffle(data, 4));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Shuffle)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_CodecCompress(benchmark::State& state, const char* name) {
+  const auto codec = cz::make_codec(name, 4);
+  const auto data = particle_floats(std::size_t(state.range(0)), 2);
+  std::size_t compressed = 0;
+  for (auto _ : state) {
+    auto frame = codec->compress(data);
+    compressed = frame.size();
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+  state.counters["ratio"] =
+      double(compressed) / double(std::size_t(state.range(0)));
+}
+BENCHMARK_CAPTURE(BM_CodecCompress, blosc, "blosc")
+    ->Arg(64 << 10)
+    ->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_CodecCompress, bzip2, "bzip2")->Arg(64 << 10);
+
+void BM_CodecRoundTrip(benchmark::State& state, const char* name) {
+  const auto codec = cz::make_codec(name, 4);
+  const auto data = particle_floats(std::size_t(state.range(0)), 3);
+  const auto frame = codec->compress(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->decompress(frame));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK_CAPTURE(BM_CodecRoundTrip, blosc, "blosc")->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_CodecRoundTrip, bzip2, "bzip2")->Arg(64 << 10);
+
+void BM_StepMetadataEncode(benchmark::State& state) {
+  // A 200-node diagnostic step: 3 variables x 25600 chunks.
+  bp::StepRecord record;
+  record.step = 7;
+  for (int v = 0; v < 3; ++v) {
+    bp::VarRecord var{"vdf_" + std::to_string(v), bp::Datatype::float64,
+                      {25600ull * 1229}, {}};
+    var.chunks.reserve(25600);
+    for (std::uint32_t r = 0; r < 25600; ++r) {
+      var.chunks.push_back({{std::uint64_t(r) * 1229},
+                            {1229},
+                            r,
+                            r / 64,
+                            std::uint64_t(r) * 9832,
+                            9832,
+                            9832,
+                            "",
+                            0.0,
+                            1.0});
+    }
+    record.variables.push_back(std::move(var));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bp::encode_step(record));
+  }
+}
+BENCHMARK(BM_StepMetadataEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

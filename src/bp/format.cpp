@@ -1,0 +1,135 @@
+#include "bp/format.hpp"
+
+#include "util/binio.hpp"
+
+namespace bitio::bp {
+
+namespace {
+
+void encode_attr(BinWriter& writer, const std::string& name,
+                 const AttrValue& value) {
+  writer.str(name);
+  writer.u8(std::uint8_t(value.index()));
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    writer.str(*s);
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    writer.f64(*d);
+  } else {
+    writer.u64(std::get<std::uint64_t>(value));
+  }
+}
+
+std::pair<std::string, AttrValue> decode_attr(BinReader& reader) {
+  std::string name = reader.str();
+  const std::uint8_t kind = reader.u8();
+  switch (kind) {
+    case 0: return {std::move(name), AttrValue(reader.str())};
+    case 1: return {std::move(name), AttrValue(reader.f64())};
+    case 2: return {std::move(name), AttrValue(reader.u64())};
+    default: throw FormatError("bp: unknown attribute kind");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_step(const StepRecord& record) {
+  BinWriter writer;
+  writer.u32(kMdMagic);
+  writer.u64(record.step);
+  writer.u32(std::uint32_t(record.variables.size()));
+  for (const auto& var : record.variables) {
+    writer.str(var.name);
+    writer.u8(std::uint8_t(var.dtype));
+    writer.dims(var.shape);
+    writer.u32(std::uint32_t(var.chunks.size()));
+    for (const auto& chunk : var.chunks) {
+      writer.dims(chunk.offset);
+      writer.dims(chunk.count);
+      writer.u32(chunk.writer_rank);
+      writer.u32(chunk.subfile);
+      writer.u64(chunk.file_offset);
+      writer.u64(chunk.stored_bytes);
+      writer.u64(chunk.raw_bytes);
+      writer.str(chunk.operator_name);
+      writer.f64(chunk.stat_min);
+      writer.f64(chunk.stat_max);
+    }
+  }
+  writer.u32(std::uint32_t(record.attributes.size()));
+  for (const auto& [name, value] : record.attributes)
+    encode_attr(writer, name, value);
+  return writer.take();
+}
+
+StepRecord decode_step(std::span<const std::uint8_t> data) {
+  BinReader reader(data);
+  if (reader.u32() != kMdMagic)
+    throw FormatError("bp: bad step metadata magic");
+  StepRecord record;
+  record.step = reader.u64();
+  const std::uint32_t nvars = reader.u32();
+  record.variables.reserve(nvars);
+  for (std::uint32_t v = 0; v < nvars; ++v) {
+    VarRecord var;
+    var.name = reader.str();
+    const std::uint8_t dtype = reader.u8();
+    if (dtype > std::uint8_t(Datatype::float64))
+      throw FormatError("bp: bad datatype tag");
+    var.dtype = Datatype(dtype);
+    var.shape = reader.dims();
+    const std::uint32_t nchunks = reader.u32();
+    var.chunks.reserve(nchunks);
+    for (std::uint32_t c = 0; c < nchunks; ++c) {
+      ChunkRecord chunk;
+      chunk.offset = reader.dims();
+      chunk.count = reader.dims();
+      chunk.writer_rank = reader.u32();
+      chunk.subfile = reader.u32();
+      chunk.file_offset = reader.u64();
+      chunk.stored_bytes = reader.u64();
+      chunk.raw_bytes = reader.u64();
+      chunk.operator_name = reader.str();
+      chunk.stat_min = reader.f64();
+      chunk.stat_max = reader.f64();
+      var.chunks.push_back(std::move(chunk));
+    }
+    record.variables.push_back(std::move(var));
+  }
+  const std::uint32_t nattrs = reader.u32();
+  for (std::uint32_t a = 0; a < nattrs; ++a)
+    record.attributes.push_back(decode_attr(reader));
+  if (!reader.done()) throw FormatError("bp: trailing bytes in step metadata");
+  return record;
+}
+
+std::vector<std::uint8_t> encode_index(const std::vector<IndexEntry>& index) {
+  BinWriter writer;
+  writer.u32(kIdxMagic);
+  writer.u32(std::uint32_t(index.size()));
+  for (const auto& e : index) {
+    writer.u64(e.step);
+    writer.u64(e.md_offset);
+    writer.u64(e.md_length);
+  }
+  return writer.take();
+}
+
+std::vector<IndexEntry> decode_index(std::span<const std::uint8_t> data) {
+  BinReader reader(data);
+  if (reader.u32() != kIdxMagic) throw FormatError("bp: bad md.idx magic");
+  const std::uint32_t n = reader.u32();
+  if (reader.remaining() != std::size_t(n) * kIdxEntryBytes)
+    throw FormatError("bp: md.idx size mismatch");
+  std::vector<IndexEntry> index;
+  index.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    IndexEntry e;
+    e.step = reader.u64();
+    e.md_offset = reader.u64();
+    e.md_length = reader.u64();
+    index.push_back(e);
+  }
+  return index;
+}
+
+}  // namespace bitio::bp

@@ -1,0 +1,27 @@
+#pragma once
+// Binary (de)serialization of miniBP metadata: StepRecords for md.0 and
+// IndexEntries for md.idx.  The format is versioned and bounds-checked so a
+// truncated or corrupt container fails loudly on read (the original BIT1
+// failure mode the paper reports — corrupted output files beyond 20k ranks —
+// must be *detectable* here).
+
+#include <span>
+
+#include "bp/types.hpp"
+
+namespace bitio::bp {
+
+inline constexpr std::uint32_t kMdMagic = 0x4D443034;   // "MD04"
+inline constexpr std::uint32_t kIdxMagic = 0x49445834;  // "IDX4"
+inline constexpr std::uint32_t kIdxEntryBytes = 24;     // fixed-size records
+
+/// Serialize one step's metadata (appended to md.0).
+std::vector<std::uint8_t> encode_step(const StepRecord& record);
+/// Parse one step's metadata.  Throws FormatError on corruption.
+StepRecord decode_step(std::span<const std::uint8_t> data);
+
+/// Serialize/parse the whole md.idx file (header + fixed-size entries).
+std::vector<std::uint8_t> encode_index(const std::vector<IndexEntry>& index);
+std::vector<IndexEntry> decode_index(std::span<const std::uint8_t> data);
+
+}  // namespace bitio::bp

@@ -1,0 +1,138 @@
+#include "bp/reader.hpp"
+
+#include <cstring>
+
+#include "compress/codec.hpp"
+#include "util/error.hpp"
+
+namespace bitio::bp {
+
+Reader::Reader(fsim::SharedFs& fs, fsim::ClientId client, std::string path)
+    : fs_(fs), client_(client), path_(std::move(path)) {
+  fsim::FsClient io(fs_, client_);
+  const auto idx_bytes = io.read_all(path_ + "/md.idx");
+  const auto index = decode_index(idx_bytes);
+  const auto md_bytes = io.read_all(path_ + "/md.0");
+  for (const auto& entry : index) {
+    if (entry.md_offset + entry.md_length > md_bytes.size())
+      throw FormatError("bp::Reader: md.idx points past md.0");
+    StepRecord record = decode_step(std::span<const std::uint8_t>(
+        md_bytes.data() + entry.md_offset, entry.md_length));
+    if (record.step != entry.step)
+      throw FormatError("bp::Reader: step id mismatch between md.idx/md.0");
+    steps_[record.step] = std::move(record);  // later entries win
+  }
+}
+
+std::vector<std::uint64_t> Reader::steps() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(steps_.size());
+  for (const auto& [id, record] : steps_) {
+    (void)record;
+    out.push_back(id);
+  }
+  return out;
+}
+
+bool Reader::has_step(std::uint64_t step) const {
+  return steps_.count(step) > 0;
+}
+
+const StepRecord& Reader::step(std::uint64_t step) const {
+  auto it = steps_.find(step);
+  if (it == steps_.end())
+    throw UsageError("bp::Reader: no step " + std::to_string(step));
+  return it->second;
+}
+
+std::vector<std::string> Reader::variables(std::uint64_t step) const {
+  std::vector<std::string> out;
+  for (const auto& var : this->step(step).variables) out.push_back(var.name);
+  return out;
+}
+
+const VarRecord* Reader::find_variable(std::uint64_t step,
+                                       const std::string& name) const {
+  auto it = steps_.find(step);
+  if (it == steps_.end()) return nullptr;
+  for (const auto& var : it->second.variables)
+    if (var.name == name) return &var;
+  return nullptr;
+}
+
+std::vector<std::uint8_t> Reader::read(std::uint64_t step,
+                                       const std::string& name) {
+  const VarRecord* var = find_variable(step, name);
+  if (!var)
+    throw UsageError("bp::Reader: no variable '" + name + "' in step " +
+                     std::to_string(step));
+  const std::size_t elem = dtype_size(var->dtype);
+  std::vector<std::uint8_t> out(element_count(var->shape) * elem, 0);
+
+  fsim::FsClient io(fs_, client_);
+  for (const auto& chunk : var->chunks) {
+    // Fetch the stored bytes.
+    const std::string subfile =
+        path_ + "/data." + std::to_string(chunk.subfile);
+    const int fd = io.open(subfile, fsim::OpenMode::read);
+    std::vector<std::uint8_t> stored(chunk.stored_bytes);
+    const std::uint64_t got = io.pread(fd, chunk.file_offset, stored);
+    io.close(fd);
+    if (got != chunk.stored_bytes)
+      throw FormatError("bp::Reader: short read of chunk in " + subfile);
+
+    std::vector<std::uint8_t> raw;
+    if (chunk.operator_name.empty()) {
+      raw = std::move(stored);
+    } else {
+      auto codec = cz::make_codec(chunk.operator_name, elem);
+      raw = codec->decompress(stored);
+      io.charge_cpu(double(raw.size()) / codec->decompress_speed_bps(),
+                    "decompress");
+    }
+    if (raw.size() != element_count(chunk.count) * elem)
+      throw FormatError("bp::Reader: chunk payload size mismatch");
+
+    // Scatter the chunk into the global array.  Iterate over the chunk's
+    // rows in the slowest dimensions; each row of `count.back()` elements
+    // is contiguous in both source and destination.
+    const std::size_t ndim = var->shape.size();
+    if (ndim == 0) {
+      std::memcpy(out.data(), raw.data(), raw.size());
+      continue;
+    }
+    // Strides of the global array (in elements).
+    std::vector<std::uint64_t> stride(ndim, 1);
+    for (std::size_t d = ndim - 1; d-- > 0;)
+      stride[d] = stride[d + 1] * var->shape[d + 1];
+    const std::uint64_t row_elems = chunk.count.back();
+    std::uint64_t rows = 1;
+    for (std::size_t d = 0; d + 1 < ndim; ++d) rows *= chunk.count[d];
+
+    std::vector<std::uint64_t> cursor(ndim, 0);  // index within the chunk
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      std::uint64_t dst = 0;
+      for (std::size_t d = 0; d < ndim; ++d)
+        dst += (chunk.offset[d] + cursor[d]) * stride[d];
+      std::memcpy(out.data() + dst * elem,
+                  raw.data() + r * row_elems * elem, row_elems * elem);
+      // Advance the row cursor (last dimension is the contiguous row).
+      for (std::size_t d = ndim - 1; d-- > 0;) {
+        if (++cursor[d] < chunk.count[d]) break;
+        cursor[d] = 0;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<AttrValue> Reader::attribute(std::uint64_t step,
+                                           const std::string& name) const {
+  auto it = steps_.find(step);
+  if (it == steps_.end()) return std::nullopt;
+  for (const auto& [key, value] : it->second.attributes)
+    if (key == name) return value;
+  return std::nullopt;
+}
+
+}  // namespace bitio::bp

@@ -1,0 +1,70 @@
+#pragma once
+// miniBP reader: opens a BP4/BP5 container, parses md.idx and md.0, and
+// reassembles global arrays from the per-rank chunks (decompressing where
+// an operator was recorded).
+//
+// "Rapid metadata extraction in BP4 format" (the paper's phrase): opening a
+// container touches only the two small metadata files, never the data
+// subfiles; chunk data is read on demand with exact offsets.
+//
+// Steps may be appended more than once under the same step id (the
+// checkpoint pattern: iteration 0 is periodically overwritten) — the reader
+// exposes the *latest* record for each id, like BP4 readers see the final
+// state.
+
+#include <cstring>
+#include <map>
+#include <optional>
+
+#include "bp/format.hpp"
+#include "bp/types.hpp"
+#include "fsim/posix_fs.hpp"
+
+namespace bitio::bp {
+
+class Reader {
+public:
+  /// Opens the container at `path` as `client` (reads are charged to it).
+  Reader(fsim::SharedFs& fs, fsim::ClientId client, std::string path);
+
+  /// Distinct step ids, ascending.
+  std::vector<std::uint64_t> steps() const;
+  bool has_step(std::uint64_t step) const;
+
+  /// Latest metadata record for a step.  Throws UsageError if absent.
+  const StepRecord& step(std::uint64_t step) const;
+
+  /// Variable names in a step.
+  std::vector<std::string> variables(std::uint64_t step) const;
+
+  /// Find a variable's record in a step; nullptr if absent.
+  const VarRecord* find_variable(std::uint64_t step,
+                                 const std::string& name) const;
+
+  /// Read and reassemble the full global array of a variable.
+  std::vector<std::uint8_t> read(std::uint64_t step, const std::string& name);
+
+  template <typename T>
+  std::vector<T> read_as(std::uint64_t step, const std::string& name) {
+    const VarRecord* var = find_variable(step, name);
+    if (!var) throw UsageError("bp::Reader: no variable '" + name + "'");
+    if (var->dtype != datatype_of<T>::value)
+      throw UsageError("bp::Reader: datatype mismatch for '" + name + "'");
+    const auto bytes = read(step, name);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  /// Step attribute lookup; nullopt if absent.
+  std::optional<AttrValue> attribute(std::uint64_t step,
+                                     const std::string& name) const;
+
+private:
+  fsim::SharedFs& fs_;
+  fsim::ClientId client_;
+  std::string path_;
+  std::map<std::uint64_t, StepRecord> steps_;  // latest record per id
+};
+
+}  // namespace bitio::bp

@@ -1,0 +1,115 @@
+#pragma once
+// Core vocabulary of the miniBP engine: datatypes, extents, variable and
+// chunk descriptors.  Mirrors the slice of ADIOS2's data model the paper's
+// workflow needs: n-dimensional variables with global shape, per-rank
+// (offset, count) chunks, steps, and attributes.
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bitio::bp {
+
+using Dims = std::vector<std::uint64_t>;
+
+enum class Datatype : std::uint8_t {
+  uint8 = 0,
+  int32 = 1,
+  uint64 = 2,
+  float32 = 3,
+  float64 = 4,
+};
+
+inline std::size_t dtype_size(Datatype t) {
+  switch (t) {
+    case Datatype::uint8: return 1;
+    case Datatype::int32: return 4;
+    case Datatype::uint64: return 8;
+    case Datatype::float32: return 4;
+    case Datatype::float64: return 8;
+  }
+  throw UsageError("bp: unknown datatype");
+}
+
+inline const char* dtype_name(Datatype t) {
+  switch (t) {
+    case Datatype::uint8: return "uint8";
+    case Datatype::int32: return "int32";
+    case Datatype::uint64: return "uint64";
+    case Datatype::float32: return "float";
+    case Datatype::float64: return "double";
+  }
+  return "?";
+}
+
+/// Map C++ element types to Datatype tags.
+template <typename T> struct datatype_of;
+template <> struct datatype_of<std::uint8_t> {
+  static constexpr Datatype value = Datatype::uint8;
+};
+template <> struct datatype_of<std::int32_t> {
+  static constexpr Datatype value = Datatype::int32;
+};
+template <> struct datatype_of<std::uint64_t> {
+  static constexpr Datatype value = Datatype::uint64;
+};
+template <> struct datatype_of<float> {
+  static constexpr Datatype value = Datatype::float32;
+};
+template <> struct datatype_of<double> {
+  static constexpr Datatype value = Datatype::float64;
+};
+
+inline std::uint64_t element_count(const Dims& dims) {
+  return std::accumulate(dims.begin(), dims.end(), std::uint64_t(1),
+                         std::multiplies<>());
+}
+
+/// One stored block of a variable: where it sits in the global array and
+/// where its (possibly compressed) bytes live inside a subfile.
+struct ChunkRecord {
+  Dims offset;                 // position in the global array
+  Dims count;                  // elements per dimension
+  std::uint32_t writer_rank = 0;
+  std::uint32_t subfile = 0;   // data.<subfile>
+  std::uint64_t file_offset = 0;
+  std::uint64_t stored_bytes = 0;  // bytes on disk (after operator)
+  std::uint64_t raw_bytes = 0;     // bytes before operator
+  std::string operator_name;       // "" = none
+  // Per-chunk value statistics (ADIOS2 keeps these in the metadata for
+  // query/selection support — "rapid metadata extraction").  Zero for
+  // non-numeric or synthetic chunks.
+  double stat_min = 0.0;
+  double stat_max = 0.0;
+};
+
+/// Per-step record of one variable.
+struct VarRecord {
+  std::string name;
+  Datatype dtype = Datatype::uint8;
+  Dims shape;                  // global extent
+  std::vector<ChunkRecord> chunks;
+};
+
+/// Attribute value: ADIOS2 supports more, we need these three.
+using AttrValue = std::variant<std::string, double, std::uint64_t>;
+
+/// Everything recorded for one step in md.0.
+struct StepRecord {
+  std::uint64_t step = 0;
+  std::vector<VarRecord> variables;
+  std::vector<std::pair<std::string, AttrValue>> attributes;
+};
+
+/// md.idx entry: where a step's metadata lives inside md.0.
+struct IndexEntry {
+  std::uint64_t step = 0;
+  std::uint64_t md_offset = 0;
+  std::uint64_t md_length = 0;
+};
+
+}  // namespace bitio::bp

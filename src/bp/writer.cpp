@@ -1,0 +1,397 @@
+#include "bp/writer.hpp"
+
+#include <algorithm>
+
+#include "util/binio.hpp"
+#include "util/error.hpp"
+
+namespace bitio::bp {
+
+namespace {
+
+/// Min/max over a real chunk's elements for the metadata statistics.
+template <typename T>
+void minmax(const std::vector<std::uint8_t>& data, double& lo, double& hi) {
+  const std::size_t n = data.size() / sizeof(T);
+  if (n == 0) return;
+  const T* p = reinterpret_cast<const T*>(data.data());
+  T mn = p[0], mx = p[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (p[i] < mn) mn = p[i];
+    if (p[i] > mx) mx = p[i];
+  }
+  lo = double(mn);
+  hi = double(mx);
+}
+
+}  // namespace
+
+EngineConfig EngineConfig::from_json(const Json& adios2) {
+  EngineConfig config;
+  if (adios2.contains("engine")) {
+    const Json& engine = adios2.at("engine");
+    const std::string type =
+        engine.get_or("type", Json("bp4")).as_string();
+    if (type == "bp4") config.engine = EngineType::bp4;
+    else if (type == "bp5") config.engine = EngineType::bp5;
+    else throw UsageError("adios2 config: unknown engine '" + type + "'");
+    if (engine.contains("parameters")) {
+      const Json& params = engine.at("parameters");
+      // The paper uses OPENPMD_ADIOS2_BP5_NumAgg; accept both spellings.
+      for (const char* key : {"NumAggregators", "NumAgg"}) {
+        if (params.contains(key))
+          config.num_aggregators = int(params.at(key).as_int());
+      }
+      if (params.contains("Profile")) {
+        const Json& profile = params.at("Profile");
+        config.profiling = profile.is_string()
+                               ? profile.as_string() == "On"
+                               : profile.as_bool();
+      }
+    }
+  }
+  if (adios2.contains("dataset")) {
+    const Json& dataset = adios2.at("dataset");
+    if (dataset.contains("operators")) {
+      const auto& ops = dataset.at("operators").as_array();
+      if (ops.size() > 1)
+        throw UsageError("adios2 config: at most one operator is supported");
+      if (!ops.empty()) {
+        config.codec = ops[0].at("type").as_string();
+        if (ops[0].contains("typesize"))
+          config.codec_typesize =
+              std::size_t(ops[0].at("typesize").as_uint());
+      }
+    }
+  }
+  return config;
+}
+
+Writer::Writer(fsim::SharedFs& fs, std::string path, EngineConfig config,
+               int nranks)
+    : fs_(fs), path_(std::move(path)), config_(config), nranks_(nranks) {
+  if (nranks_ <= 0) throw UsageError("bp::Writer: nranks must be positive");
+  if (config_.ranks_per_node <= 0)
+    throw UsageError("bp::Writer: ranks_per_node must be positive");
+
+  const int nnodes =
+      (nranks_ + config_.ranks_per_node - 1) / config_.ranks_per_node;
+  num_aggregators_ =
+      config_.num_aggregators > 0 ? config_.num_aggregators : nnodes;
+  num_aggregators_ = std::min(num_aggregators_, nranks_);
+
+  if (config_.codec != "none" && !config_.codec.empty())
+    codec_ = cz::make_codec(config_.codec, config_.codec_typesize);
+
+  pending_.resize(std::size_t(nranks_));
+
+  // Create the container: every aggregator leader creates its subfile, rank
+  // 0 creates the metadata files.  (This is the file population Table II
+  // counts: M data files + md.0 + md.idx [+ profiling.json, mmd.0].)
+  for (int a = 0; a < num_aggregators_; ++a) {
+    // Leader of aggregator block a.
+    const int leader = int(std::int64_t(a) * nranks_ / num_aggregators_);
+    fsim::FsClient client(fs_, fsim::ClientId(leader));
+    data_fds_.push_back(client.open(path_ + "/data." + std::to_string(a),
+                                    fsim::OpenMode::create));
+    data_offsets_.push_back(0);
+  }
+  fsim::FsClient root(fs_, 0);
+  md_fd_ = root.open(path_ + "/md.0", fsim::OpenMode::create);
+  idx_fd_ = root.open(path_ + "/md.idx", fsim::OpenMode::create);
+  // Reserve the md.idx header (magic + count, patched at close).
+  BinWriter header;
+  header.u32(kIdxMagic);
+  header.u32(0);
+  root.pwrite(idx_fd_, 0, header.buffer());
+}
+
+Writer::~Writer() {
+  if (!closed_) {
+    try {
+      close();
+    } catch (...) {
+      // Destructors must not throw; an incomplete container is detectable
+      // by the reader via the md.idx count.
+    }
+  }
+}
+
+int Writer::aggregator_of(int rank) const {
+  if (rank < 0 || rank >= nranks_)
+    throw UsageError("bp::Writer: rank out of range");
+  return int(std::int64_t(rank) * num_aggregators_ / nranks_);
+}
+
+void Writer::begin_step(std::uint64_t step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) throw UsageError("bp::Writer: engine is closed");
+  if (step_open_) throw UsageError("bp::Writer: step already open");
+  step_open_ = true;
+  current_step_ = step;
+  attributes_.clear();
+  step_vars_.clear();
+  step_kind_ = 0;
+}
+
+void Writer::validate_put(int rank, const std::string& name, Datatype dtype,
+                          const Dims& shape, const Dims& offset,
+                          const Dims& count) {
+  if (!step_open_) throw UsageError("bp::Writer: put outside a step");
+  if (rank < 0 || rank >= nranks_)
+    throw UsageError("bp::Writer: rank out of range");
+  if (shape.size() != offset.size() || shape.size() != count.size())
+    throw UsageError("bp::Writer: dimension rank mismatch for '" + name +
+                     "'");
+  for (std::size_t d = 0; d < shape.size(); ++d) {
+    if (offset[d] + count[d] > shape[d])
+      throw UsageError("bp::Writer: chunk of '" + name +
+                       "' exceeds global shape");
+  }
+  // Shape/dtype agreement with earlier puts of the same variable this step.
+  auto [it, fresh] = step_vars_.try_emplace(name, dtype, shape);
+  if (!fresh && (it->second.first != dtype || it->second.second != shape))
+    throw UsageError("bp::Writer: inconsistent shape/dtype for '" + name +
+                     "'");
+}
+
+void Writer::put(int rank, const std::string& name, Datatype dtype,
+                 const Dims& shape, const Dims& offset, const Dims& count,
+                 std::span<const std::uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  validate_put(rank, name, dtype, shape, offset, count);
+  if (data.size() != element_count(count) * dtype_size(dtype))
+    throw UsageError("bp::Writer: data size does not match count for '" +
+                     name + "'");
+  if (step_kind_ == 2)
+    throw UsageError("bp::Writer: cannot mix real and synthetic puts");
+  step_kind_ = 1;
+  PendingChunk chunk;
+  chunk.var = name;
+  chunk.dtype = dtype;
+  chunk.shape = shape;
+  chunk.offset = offset;
+  chunk.count = count;
+  chunk.data.assign(data.begin(), data.end());
+  pending_[std::size_t(rank)].push_back(std::move(chunk));
+}
+
+void Writer::put_synthetic(int rank, const std::string& name, Datatype dtype,
+                           const Dims& shape, const Dims& offset,
+                           const Dims& count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  validate_put(rank, name, dtype, shape, offset, count);
+  if (step_kind_ == 1)
+    throw UsageError("bp::Writer: cannot mix real and synthetic puts");
+  step_kind_ = 2;
+  PendingChunk chunk;
+  chunk.var = name;
+  chunk.dtype = dtype;
+  chunk.shape = shape;
+  chunk.offset = offset;
+  chunk.count = count;
+  chunk.synthetic = true;
+  pending_[std::size_t(rank)].push_back(std::move(chunk));
+}
+
+void Writer::add_attribute(const std::string& name, AttrValue value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!step_open_)
+    throw UsageError("bp::Writer: attribute outside a step");
+  attributes_.emplace_back(name, std::move(value));
+}
+
+void Writer::compute_stats(const PendingChunk& chunk, ChunkRecord& meta) {
+  switch (chunk.dtype) {
+    case Datatype::uint8:
+      minmax<std::uint8_t>(chunk.data, meta.stat_min, meta.stat_max);
+      break;
+    case Datatype::int32:
+      minmax<std::int32_t>(chunk.data, meta.stat_min, meta.stat_max);
+      break;
+    case Datatype::uint64:
+      minmax<std::uint64_t>(chunk.data, meta.stat_min, meta.stat_max);
+      break;
+    case Datatype::float32:
+      minmax<float>(chunk.data, meta.stat_min, meta.stat_max);
+      break;
+    case Datatype::float64:
+      minmax<double>(chunk.data, meta.stat_min, meta.stat_max);
+      break;
+  }
+}
+
+void Writer::end_step() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!step_open_) throw UsageError("bp::Writer: no open step");
+  step_open_ = false;
+
+  StepRecord record;
+  record.step = current_step_;
+  record.attributes = std::move(attributes_);
+  attributes_.clear();
+
+  // Variable table in first-seen order.
+  std::vector<std::string> var_order;
+  std::map<std::string, std::size_t> var_index;
+
+  // Aggregation buffers (real payloads) and size counters (synthetic),
+  // one per subfile.
+  std::vector<std::vector<std::uint8_t>> agg(
+      static_cast<std::size_t>(num_aggregators_));
+  std::vector<std::uint64_t> agg_bytes(
+      static_cast<std::size_t>(num_aggregators_), 0);
+
+  for (int rank = 0; rank < nranks_; ++rank) {
+    auto& chunks = pending_[std::size_t(rank)];
+    if (chunks.empty()) continue;
+    const int a = aggregator_of(rank);
+    fsim::FsClient client(fs_, fsim::ClientId(rank));
+    double rank_compress_s = 0.0;  // coalesced per-rank CPU charge
+    double rank_memcopy_s = 0.0;
+    for (auto& chunk : chunks) {
+      auto [it, fresh] = var_index.try_emplace(chunk.var, var_order.size());
+      if (fresh) {
+        var_order.push_back(chunk.var);
+        record.variables.push_back(
+            {chunk.var, chunk.dtype, chunk.shape, {}});
+      }
+      VarRecord& var = record.variables[it->second];
+
+      const std::uint64_t raw_bytes =
+          chunk.synthetic
+              ? element_count(chunk.count) * dtype_size(chunk.dtype)
+              : chunk.data.size();
+      std::uint64_t stored_size = 0;
+      std::string operator_name;
+      if (codec_) {
+        // Operator path: compress directly into the aggregation buffer;
+        // charge the compression cost, no separate memcopy (Fig 8).
+        operator_name = codec_->name();
+        const double seconds =
+            double(raw_bytes) / codec_->compress_speed_bps();
+        rank_compress_s += seconds;
+        compress_us_total_ += seconds * 1e6;
+        if (chunk.synthetic) {
+          stored_size = std::uint64_t(double(raw_bytes) *
+                                      config_.synthetic_codec_ratio);
+        } else {
+          std::vector<std::uint8_t> stored = codec_->compress(chunk.data);
+          stored_size = stored.size();
+          agg[std::size_t(a)].insert(agg[std::size_t(a)].end(),
+                                     stored.begin(), stored.end());
+        }
+      } else {
+        // No operator: a marshalling memcopy into the aggregation buffer.
+        const double seconds =
+            double(raw_bytes) / config_.mem_bandwidth_bps;
+        rank_memcopy_s += seconds;
+        memcopy_us_total_ += seconds * 1e6;
+        stored_size = raw_bytes;
+        if (!chunk.synthetic)
+          agg[std::size_t(a)].insert(agg[std::size_t(a)].end(),
+                                     chunk.data.begin(), chunk.data.end());
+      }
+
+      ChunkRecord meta;
+      meta.offset = chunk.offset;
+      meta.count = chunk.count;
+      if (!chunk.synthetic) compute_stats(chunk, meta);
+      meta.writer_rank = std::uint32_t(rank);
+      meta.subfile = std::uint32_t(a);
+      meta.file_offset =
+          data_offsets_[std::size_t(a)] + agg_bytes[std::size_t(a)];
+      meta.stored_bytes = stored_size;
+      meta.raw_bytes = raw_bytes;
+      meta.operator_name = operator_name;
+      var.chunks.push_back(std::move(meta));
+
+      raw_bytes_total_ += raw_bytes;
+      stored_bytes_total_ += stored_size;
+      agg_bytes[std::size_t(a)] += stored_size;
+    }
+    if (rank_compress_s > 0.0) client.charge_cpu(rank_compress_s, "compress");
+    if (rank_memcopy_s > 0.0) client.charge_cpu(rank_memcopy_s, "memcopy");
+    chunks.clear();
+  }
+
+  // Each aggregator leader appends its step buffer as one sequential write.
+  const bool synthetic_step = step_kind_ == 2;
+  for (int a = 0; a < num_aggregators_; ++a) {
+    const std::uint64_t bytes = agg_bytes[std::size_t(a)];
+    if (bytes == 0) continue;
+    const int leader = int(std::int64_t(a) * nranks_ / num_aggregators_);
+    fsim::FsClient client(fs_, fsim::ClientId(leader));
+    if (synthetic_step) {
+      client.seek(data_fds_[std::size_t(a)], data_offsets_[std::size_t(a)]);
+      client.write_simulated(data_fds_[std::size_t(a)], bytes);
+    } else {
+      client.pwrite(data_fds_[std::size_t(a)], data_offsets_[std::size_t(a)],
+                    agg[std::size_t(a)]);
+    }
+    data_offsets_[std::size_t(a)] += bytes;
+  }
+
+  // Rank 0 appends step metadata and the index entry.
+  fsim::FsClient root(fs_, 0);
+  const std::vector<std::uint8_t> md = encode_step(record);
+  root.pwrite(md_fd_, md_offset_, md);
+  IndexEntry entry{current_step_, md_offset_, md.size()};
+  md_offset_ += md.size();
+  BinWriter idx_bytes;
+  idx_bytes.u64(entry.step);
+  idx_bytes.u64(entry.md_offset);
+  idx_bytes.u64(entry.md_length);
+  root.pwrite(idx_fd_, 8 + index_.size() * kIdxEntryBytes,
+              idx_bytes.buffer());
+  index_.push_back(entry);
+  ++steps_written_;
+}
+
+void Writer::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  if (step_open_) throw UsageError("bp::Writer: close with an open step");
+  closed_ = true;
+
+  fsim::FsClient root(fs_, 0);
+  // Patch the md.idx header with the final step count.
+  BinWriter header;
+  header.u32(kIdxMagic);
+  header.u32(std::uint32_t(index_.size()));
+  root.pwrite(idx_fd_, 0, header.buffer());
+
+  if (config_.engine == EngineType::bp5) {
+    // BP5's second metadata file: a duplicate of the index for fast open.
+    const auto mmd = encode_index(index_);
+    root.write_file(path_ + "/mmd.0", mmd);
+  }
+
+  if (config_.profiling) {
+    Json profile{JsonObject{}};
+    profile["engine"] = engine_name(config_.engine);
+    profile["aggregators"] = num_aggregators_;
+    profile["ranks"] = nranks_;
+    profile["steps"] = steps_written_;
+    profile["transport_0"]["memcopy_us"] = memcopy_us_total_;
+    profile["transport_0"]["compress_us"] = compress_us_total_;
+    profile["transport_0"]["raw_bytes"] = raw_bytes_total_;
+    profile["transport_0"]["stored_bytes"] = stored_bytes_total_;
+    const std::string text = profile.dump(2);
+    root.write_file(path_ + "/profiling.json",
+                    std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(text.data()),
+                        text.size()));
+  }
+
+  for (std::size_t a = 0; a < data_fds_.size(); ++a) {
+    const int leader = int(std::int64_t(a) * nranks_ / num_aggregators_);
+    fsim::FsClient client(fs_, fsim::ClientId(leader));
+    client.fsync(data_fds_[a]);
+    client.close(data_fds_[a]);
+  }
+  root.close(md_fd_);
+  root.close(idx_fd_);
+}
+
+}  // namespace bitio::bp

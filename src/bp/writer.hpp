@@ -1,0 +1,168 @@
+#pragma once
+// miniBP writer: an ADIOS2-BP4-style container engine over the simulated
+// file system.
+//
+// Layout of `<path>` (a directory, like ADIOS2's <name>.bp4):
+//   data.0 .. data.M-1   one subfile per aggregator
+//   md.0                 step metadata records (appended per step)
+//   md.idx               fixed-size step index (header count patched at close)
+//   profiling.json       optional per-rank timing profile (Fig 8)
+//   mmd.0                BP5 engines only (second metadata file)
+//
+// Write path per step (matching the paper's description of BP4):
+//   * every rank's put() is deferred into a rank-local pending buffer
+//     ("key operations between storeChunk() and flush() must not modify the
+//     referenced data");
+//   * end_step() applies the configured operator per chunk — with a codec
+//     the data is compressed straight into the aggregation buffer (no
+//     separate memcopy, which is why Fig 8 shows memcopy time eliminated
+//     under compression; without a codec a plain memcopy is charged);
+//   * ranks are mapped onto M aggregators in contiguous blocks
+//     (OPENPMD_ADIOS2_BP5_NumAgg in the paper); each aggregator leader
+//     appends its ranks' chunks to its subfile in one sequential write;
+//   * rank 0 appends the step's metadata to md.0 and its index entry to
+//     md.idx.
+//
+// Thread safety: put() may be called concurrently by SPMD rank threads;
+// begin_step/end_step/close are collective-like and must be called by
+// exactly one thread at a time (the openPMD layer funnels them through
+// rank 0 between barriers).
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "bp/format.hpp"
+#include "bp/types.hpp"
+#include "compress/codec.hpp"
+#include "fsim/posix_fs.hpp"
+#include "util/json.hpp"
+
+namespace bitio::bp {
+
+enum class EngineType { bp4, bp5 };
+
+inline const char* engine_name(EngineType t) {
+  return t == EngineType::bp4 ? "bp4" : "bp5";
+}
+
+struct EngineConfig {
+  EngineType engine = EngineType::bp4;
+  /// Number of subfiles; 0 means one aggregator per node (ADIOS2's default
+  /// of node-level aggregation).
+  int num_aggregators = 0;
+  int ranks_per_node = 128;
+  std::string codec = "none";      // operator applied to every chunk
+  std::size_t codec_typesize = 4;
+  bool profiling = false;          // emit profiling.json
+  double mem_bandwidth_bps = 8e9;  // modelled memcopy speed
+  /// Stored/raw size ratio applied to put_synthetic() chunks when a codec
+  /// is configured (measured once on representative data by the scale
+  /// harness; real put() chunks always run the real codec).
+  double synthetic_codec_ratio = 1.0;
+
+  /// Parse the "adios2" section of an openPMD-style JSON/TOML config, e.g.
+  /// {engine:{type:"bp4", parameters:{NumAggregators:400, Profile:"On"}},
+  ///  dataset:{operators:[{type:"blosc"}]}}.
+  static EngineConfig from_json(const Json& adios2);
+};
+
+class Writer {
+public:
+  /// Creates the container directory and all its files.  `nranks` is the
+  /// size of the writing communicator.
+  Writer(fsim::SharedFs& fs, std::string path, EngineConfig config,
+         int nranks);
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  int aggregator_count() const { return num_aggregators_; }
+  int aggregator_of(int rank) const;
+  const std::string& path() const { return path_; }
+
+  void begin_step(std::uint64_t step);
+
+  /// Deferred put of one chunk of an n-dimensional variable.  All ranks
+  /// putting the same variable in a step must agree on shape and dtype.
+  void put(int rank, const std::string& name, Datatype dtype,
+           const Dims& shape, const Dims& offset, const Dims& count,
+           std::span<const std::uint8_t> data);
+
+  template <typename T>
+  void put(int rank, const std::string& name, const Dims& shape,
+           const Dims& offset, const Dims& count, std::span<const T> data) {
+    put(rank, name, datatype_of<T>::value, shape, offset, count,
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(data.data()),
+            data.size_bytes()));
+  }
+
+  /// Size-only put for modelled large-scale runs: the chunk participates in
+  /// aggregation, metadata, and timing exactly like a real one, but no
+  /// payload bytes are materialized (subfile writes go through the
+  /// simulated-size path).  A step must be all-real or all-synthetic.
+  void put_synthetic(int rank, const std::string& name, Datatype dtype,
+                     const Dims& shape, const Dims& offset,
+                     const Dims& count);
+
+  /// Step-scoped attribute (recorded in the step's metadata).
+  void add_attribute(const std::string& name, AttrValue value);
+
+  /// Aggregate, compress, write data subfiles, append metadata.
+  void end_step();
+
+  /// Patch the md.idx header, emit profiling.json / mmd.0, close all files.
+  void close();
+
+  std::uint64_t steps_written() const { return steps_written_; }
+
+private:
+  struct PendingChunk {
+    std::string var;
+    Datatype dtype;
+    Dims shape, offset, count;
+    std::vector<std::uint8_t> data;  // empty for synthetic chunks
+    bool synthetic = false;
+  };
+
+  void validate_put(int rank, const std::string& name, Datatype dtype,
+                    const Dims& shape, const Dims& offset, const Dims& count);
+  static void compute_stats(const PendingChunk& chunk, ChunkRecord& meta);
+
+  fsim::SharedFs& fs_;
+  std::string path_;
+  EngineConfig config_;
+  int nranks_;
+  int num_aggregators_;
+  std::unique_ptr<cz::Codec> codec_;  // null when config_.codec == "none"
+
+  std::mutex mutex_;
+  bool step_open_ = false;
+  bool closed_ = false;
+  int step_kind_ = 0;  // 0 = no puts yet, 1 = real payloads, 2 = synthetic
+  std::uint64_t current_step_ = 0;
+  std::uint64_t steps_written_ = 0;
+  std::vector<std::vector<PendingChunk>> pending_;  // per rank
+  std::vector<std::pair<std::string, AttrValue>> attributes_;
+  // Shape/dtype seen per variable within the open step (put validation).
+  std::map<std::string, std::pair<Datatype, Dims>> step_vars_;
+
+  // Open descriptors, one per subfile plus metadata files (rank-0 client).
+  std::vector<int> data_fds_;
+  std::vector<std::uint64_t> data_offsets_;
+  int md_fd_ = -1;
+  std::uint64_t md_offset_ = 0;
+  int idx_fd_ = -1;
+  std::vector<IndexEntry> index_;
+
+  // profiling.json accumulators (microseconds, like ADIOS2's profiler).
+  double memcopy_us_total_ = 0.0;
+  double compress_us_total_ = 0.0;
+  std::uint64_t raw_bytes_total_ = 0;
+  std::uint64_t stored_bytes_total_ = 0;
+};
+
+}  // namespace bitio::bp

@@ -1,0 +1,116 @@
+#include "compress/bwt.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace bitio::cz {
+
+BwtResult bwt_forward(ByteSpan block) {
+  const std::size_t n = block.size();
+  BwtResult result;
+  if (n == 0) return result;
+
+  // rank[i] = sort key of rotation starting at i, refined by doubling.
+  std::vector<std::int32_t> rank(n), tmp(n);
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) rank[i] = block[i];
+  std::iota(order.begin(), order.end(), 0u);
+
+  for (std::size_t k = 1;; k *= 2) {
+    // Cyclic comparison: pair (rank[i], rank[(i+k) mod n]).
+    auto key = [&](std::uint32_t i) {
+      return std::pair<std::int32_t, std::int32_t>(
+          rank[i], rank[(i + k) % n]);
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) { return key(a) < key(b); });
+    tmp[order[0]] = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      tmp[order[i]] =
+          tmp[order[i - 1]] + (key(order[i - 1]) < key(order[i]) ? 1 : 0);
+    }
+    rank.swap(tmp);
+    if (std::size_t(rank[order[n - 1]]) == n - 1) break;  // all distinct
+    if (k >= n) {
+      // Fully periodic input (e.g. all bytes equal): ranks can never become
+      // distinct; the current order is a valid stable sort of rotations.
+      break;
+    }
+  }
+
+  result.last_column.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t start = order[i];
+    result.last_column[i] = block[(start + n - 1) % n];
+    if (start == 0) result.primary_index = std::uint32_t(i);
+  }
+  return result;
+}
+
+Bytes bwt_inverse(ByteSpan last_column, std::uint32_t primary_index) {
+  const std::size_t n = last_column.size();
+  if (n == 0) return {};
+  if (primary_index >= n) throw FormatError("bwt: bad primary index");
+
+  // LF mapping: next[i] gives, for row i of the sorted matrix, the row whose
+  // rotation is one step earlier in the text.
+  std::array<std::uint32_t, 256> counts{};
+  for (auto b : last_column) ++counts[b];
+  std::array<std::uint32_t, 256> starts{};
+  std::uint32_t sum = 0;
+  for (int c = 0; c < 256; ++c) {
+    starts[std::size_t(c)] = sum;
+    sum += counts[std::size_t(c)];
+  }
+  std::vector<std::uint32_t> next(n);
+  {
+    std::array<std::uint32_t, 256> seen{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t c = last_column[i];
+      next[starts[c] + seen[c]] = std::uint32_t(i);
+      ++seen[c];
+    }
+  }
+
+  Bytes out(n);
+  std::uint32_t row = next[primary_index];
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = last_column[row];
+    row = next[row];
+  }
+  return out;
+}
+
+Bytes mtf_encode(ByteSpan input) {
+  std::array<std::uint8_t, 256> table;
+  for (int i = 0; i < 256; ++i) table[std::size_t(i)] = std::uint8_t(i);
+  Bytes out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const std::uint8_t byte = input[i];
+    std::uint8_t pos = 0;
+    while (table[pos] != byte) ++pos;
+    out[i] = pos;
+    // Move to front.
+    for (std::uint8_t j = pos; j > 0; --j) table[j] = table[j - 1];
+    table[0] = byte;
+  }
+  return out;
+}
+
+Bytes mtf_decode(ByteSpan input) {
+  std::array<std::uint8_t, 256> table;
+  for (int i = 0; i < 256; ++i) table[std::size_t(i)] = std::uint8_t(i);
+  Bytes out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const std::uint8_t pos = input[i];
+    const std::uint8_t byte = table[pos];
+    out[i] = byte;
+    for (std::uint8_t j = pos; j > 0; --j) table[j] = table[j - 1];
+    table[0] = byte;
+  }
+  return out;
+}
+
+}  // namespace bitio::cz

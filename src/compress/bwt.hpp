@@ -1,0 +1,30 @@
+#pragma once
+// Burrows-Wheeler transform and move-to-front stages of the bzip2-like
+// codec.
+//
+// The forward BWT sorts all cyclic rotations of the block (Manber-Myers
+// rank doubling, O(n log^2 n)) and outputs the last column plus the row
+// index of the original string; the inverse reconstructs via the standard
+// LF-mapping.  Blocks are limited by the caller (Bzip2Like uses 128 KiB) to
+// keep the sort cheap.
+
+#include "compress/codec.hpp"
+
+namespace bitio::cz {
+
+struct BwtResult {
+  Bytes last_column;
+  std::uint32_t primary_index = 0;  // row of the original string
+};
+
+/// Forward transform of one block (block.size() <= 2^31).
+BwtResult bwt_forward(ByteSpan block);
+
+/// Inverse transform.
+Bytes bwt_inverse(ByteSpan last_column, std::uint32_t primary_index);
+
+/// Move-to-front encode/decode (byte alphabet).
+Bytes mtf_encode(ByteSpan input);
+Bytes mtf_decode(ByteSpan input);
+
+}  // namespace bitio::cz

@@ -1,0 +1,241 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace bitio::cz {
+
+void BitWriter::put(std::uint32_t bits, int count) {
+  acc_ = (acc_ << count) | (bits & ((1ull << count) - 1));
+  nbits_ += count;
+  while (nbits_ >= 8) {
+    nbits_ -= 8;
+    out_.push_back(static_cast<std::uint8_t>(acc_ >> nbits_));
+  }
+}
+
+Bytes BitWriter::finish() {
+  if (nbits_ > 0) {
+    out_.push_back(static_cast<std::uint8_t>(acc_ << (8 - nbits_)));
+    nbits_ = 0;
+  }
+  return std::move(out_);
+}
+
+std::uint32_t BitReader::get(int count) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    if (byte_pos_ >= data_.size())
+      throw FormatError("huffman: bit stream truncated");
+    const int bit = (data_[byte_pos_] >> (7 - bit_pos_)) & 1;
+    value = (value << 1) | std::uint32_t(bit);
+    if (++bit_pos_ == 8) {
+      bit_pos_ = 0;
+      ++byte_pos_;
+    }
+  }
+  return value;
+}
+
+namespace {
+
+/// Compute code lengths from frequencies via a heap-built Huffman tree,
+/// flattening frequencies until the depth cap holds.
+std::vector<int> code_lengths(std::vector<std::uint64_t> freq) {
+  const std::size_t n = freq.size();
+  std::vector<int> lengths(n, 0);
+
+  // Count used symbols; degenerate alphabets get fixed short codes.
+  std::size_t used = 0;
+  for (auto f : freq)
+    if (f) ++used;
+  if (used == 0) return lengths;
+  if (used == 1) {
+    for (std::size_t i = 0; i < n; ++i)
+      if (freq[i]) lengths[i] = 1;
+    return lengths;
+  }
+
+  while (true) {
+    // Node arena: leaves [0,n), internal nodes appended.
+    struct Node {
+      std::uint64_t weight;
+      int left = -1, right = -1;
+    };
+    std::vector<Node> nodes;
+    nodes.reserve(2 * n);
+    using Item = std::pair<std::uint64_t, int>;  // (weight, node index)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back({freq[i], -1, -1});
+      if (freq[i]) heap.emplace(freq[i], int(i));
+    }
+    while (heap.size() > 1) {
+      auto [wa, a] = heap.top();
+      heap.pop();
+      auto [wb, b] = heap.top();
+      heap.pop();
+      nodes.push_back({wa + wb, a, b});
+      heap.emplace(wa + wb, int(nodes.size() - 1));
+    }
+    // Depth-first assignment of depths.
+    std::fill(lengths.begin(), lengths.end(), 0);
+    int max_len = 0;
+    std::vector<std::pair<int, int>> stack{{heap.top().second, 0}};
+    while (!stack.empty()) {
+      auto [idx, depth] = stack.back();
+      stack.pop_back();
+      const Node& node = nodes[std::size_t(idx)];
+      if (node.left < 0) {
+        lengths[std::size_t(idx)] = std::max(depth, 1);
+        max_len = std::max(max_len, lengths[std::size_t(idx)]);
+      } else {
+        stack.emplace_back(node.left, depth + 1);
+        stack.emplace_back(node.right, depth + 1);
+      }
+    }
+    if (max_len <= kMaxCodeLen) return lengths;
+    // Flatten the distribution and retry (bzip2's trick).
+    for (auto& f : freq)
+      if (f) f = f / 2 + 1;
+  }
+}
+
+/// Canonical codes from lengths: symbols sorted by (length, index).
+std::vector<std::uint32_t> canonical_codes(const std::vector<int>& lengths) {
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  std::vector<std::size_t> order(lengths.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return lengths[a] < lengths[b];
+  });
+  std::uint32_t code = 0;
+  int prev_len = 0;
+  for (std::size_t idx : order) {
+    if (lengths[idx] == 0) continue;
+    code <<= (lengths[idx] - prev_len);
+    codes[idx] = code;
+    ++code;
+    prev_len = lengths[idx];
+  }
+  return codes;
+}
+
+}  // namespace
+
+Bytes huffman_encode(std::span<const std::uint16_t> symbols,
+                     std::size_t alphabet_size) {
+  if (alphabet_size == 0 || alphabet_size > 65536)
+    throw UsageError("huffman: bad alphabet size");
+  std::vector<std::uint64_t> freq(alphabet_size, 0);
+  for (auto s : symbols) {
+    if (s >= alphabet_size) throw UsageError("huffman: symbol out of range");
+    ++freq[s];
+  }
+  const auto lengths = code_lengths(freq);
+  const auto codes = canonical_codes(lengths);
+
+  Bytes out;
+  auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+  };
+  put32(std::uint32_t(symbols.size()));
+  out.push_back(std::uint8_t(alphabet_size & 0xFF));
+  out.push_back(std::uint8_t((alphabet_size >> 8) & 0xFF));
+
+  // Length table as 4-bit nibbles (kMaxCodeLen = 15 fits).
+  for (std::size_t i = 0; i < alphabet_size; i += 2) {
+    const int lo = lengths[i];
+    const int hi = i + 1 < alphabet_size ? lengths[i + 1] : 0;
+    out.push_back(std::uint8_t(lo | (hi << 4)));
+  }
+
+  BitWriter writer;
+  for (auto s : symbols) writer.put(codes[s], lengths[s]);
+  Bytes bits = writer.finish();
+  out.insert(out.end(), bits.begin(), bits.end());
+  return out;
+}
+
+std::vector<std::uint16_t> huffman_decode(ByteSpan data) {
+  std::size_t pos = 0;
+  auto need = [&](std::size_t k) {
+    if (pos + k > data.size()) throw FormatError("huffman: truncated header");
+  };
+  need(6);
+  std::uint32_t count = 0;
+  for (int i = 0; i < 4; ++i) count |= std::uint32_t(data[pos++]) << (8 * i);
+  std::size_t alphabet_size = data[pos] | (std::size_t(data[pos + 1]) << 8);
+  pos += 2;
+  if (alphabet_size == 0) alphabet_size = 65536;
+
+  std::vector<int> lengths(alphabet_size, 0);
+  need((alphabet_size + 1) / 2);
+  for (std::size_t i = 0; i < alphabet_size; i += 2) {
+    const std::uint8_t b = data[pos++];
+    lengths[i] = b & 0x0F;
+    if (i + 1 < alphabet_size) lengths[i + 1] = b >> 4;
+  }
+  const auto codes = canonical_codes(lengths);
+
+  // Build per-length first-code / first-symbol tables for canonical decode.
+  std::vector<std::size_t> order(alphabet_size);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return lengths[a] < lengths[b];
+  });
+  std::vector<std::uint32_t> first_code(kMaxCodeLen + 2, 0);
+  std::vector<std::uint32_t> first_index(kMaxCodeLen + 2, 0);
+  std::vector<std::uint16_t> symbol_of(alphabet_size);
+  {
+    std::uint32_t idx = 0;
+    for (std::size_t s : order) {
+      if (lengths[s] == 0) continue;
+      symbol_of[idx] = std::uint16_t(s);
+      ++idx;
+    }
+    std::uint32_t running = 0;
+    std::uint32_t code = 0;
+    for (int len = 1; len <= kMaxCodeLen; ++len) {
+      code <<= 1;
+      first_code[len] = code;
+      first_index[len] = running;
+      std::uint32_t count_len = 0;
+      for (std::size_t s = 0; s < alphabet_size; ++s)
+        if (lengths[s] == len) ++count_len;
+      code += count_len;
+      running += count_len;
+    }
+    first_index[kMaxCodeLen + 1] = running;
+  }
+
+  BitReader reader(data.subspan(pos));
+  std::vector<std::uint16_t> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t code = 0;
+    int len = 0;
+    std::uint32_t next_first = 0;
+    // Walk down lengths until the code falls inside this length's range.
+    while (true) {
+      code = (code << 1) | reader.get(1);
+      ++len;
+      if (len > kMaxCodeLen) throw FormatError("huffman: bad code");
+      const std::uint32_t count_len =
+          first_index[std::size_t(len) + 1] - first_index[std::size_t(len)];
+      next_first = first_code[len];
+      if (count_len > 0 && code >= next_first &&
+          code < next_first + count_len) {
+        out.push_back(
+            symbol_of[first_index[std::size_t(len)] + (code - next_first)]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bitio::cz

@@ -1,0 +1,144 @@
+#include "compress/lz.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace bitio::cz {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr std::size_t kHashBits = 16;
+
+inline std::uint32_t read32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint32_t hash4(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void emit_length(Bytes& out, std::size_t extra) {
+  // 255-terminated extension bytes, LZ4 style.
+  while (extra >= 255) {
+    out.push_back(255);
+    extra -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(extra));
+}
+
+void emit_sequence(Bytes& out, const std::uint8_t* lit, std::size_t lit_len,
+                   std::size_t offset, std::size_t match_len) {
+  const bool has_match = match_len >= kMinMatch;
+  const std::size_t mstored = has_match ? match_len - kMinMatch : 0;
+  const std::uint8_t lit_nib =
+      static_cast<std::uint8_t>(lit_len >= 15 ? 15 : lit_len);
+  const std::uint8_t mat_nib =
+      static_cast<std::uint8_t>(has_match ? (mstored >= 15 ? 15 : mstored) : 0);
+  out.push_back(static_cast<std::uint8_t>((lit_nib << 4) | mat_nib));
+  if (lit_nib == 15) emit_length(out, lit_len - 15);
+  out.insert(out.end(), lit, lit + lit_len);
+  if (has_match) {
+    out.push_back(static_cast<std::uint8_t>(offset & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(offset >> 8));
+    if (mat_nib == 15) emit_length(out, mstored - 15);
+  }
+}
+
+}  // namespace
+
+Bytes lz_compress_block(ByteSpan input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  const std::uint8_t* const base = input.data();
+  const std::size_t n = input.size();
+
+  if (n < kMinMatch + 1) {
+    // Too small to match anything: one literal-only sequence.
+    emit_sequence(out, base, n, 0, 0);
+    return out;
+  }
+
+  std::vector<std::uint32_t> table(1u << kHashBits, 0xFFFFFFFFu);
+  std::size_t pos = 0;        // current scan position
+  std::size_t anchor = 0;     // start of pending literals
+  const std::size_t limit = n - kMinMatch;  // last position a match can start
+
+  while (pos <= limit) {
+    const std::uint32_t h = hash4(read32(base + pos));
+    const std::uint32_t cand = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+    if (cand != 0xFFFFFFFFu && pos - cand <= kMaxOffset &&
+        read32(base + cand) == read32(base + pos)) {
+      // Extend the match forward.
+      std::size_t len = kMinMatch;
+      while (pos + len < n && base[cand + len] == base[pos + len]) ++len;
+      emit_sequence(out, base + anchor, pos - anchor, pos - cand, len);
+      pos += len;
+      anchor = pos;
+      // Seed the table inside the skipped region sparsely (speed/ratio
+      // trade-off like LZ4's acceleration 1).
+      if (pos <= limit) table[hash4(read32(base + pos - 2))] =
+          static_cast<std::uint32_t>(pos - 2);
+    } else {
+      ++pos;
+    }
+  }
+  // Final literals.
+  emit_sequence(out, base + anchor, n - anchor, 0, 0);
+  return out;
+}
+
+Bytes lz_decompress_block(ByteSpan block, std::size_t original_size) {
+  Bytes out;
+  out.reserve(original_size);
+  std::size_t ip = 0;
+  const std::size_t in_size = block.size();
+
+  auto read_byte = [&]() -> std::uint8_t {
+    if (ip >= in_size) throw FormatError("lz: truncated block");
+    return block[ip++];
+  };
+  auto read_ext = [&](std::size_t start) {
+    std::size_t len = start;
+    if (start == 15) {
+      std::uint8_t b;
+      do {
+        b = read_byte();
+        len += b;
+      } while (b == 255);
+    }
+    return len;
+  };
+
+  while (ip < in_size) {
+    const std::uint8_t token = read_byte();
+    const std::size_t lit_len = read_ext(token >> 4);
+    if (ip + lit_len > in_size) throw FormatError("lz: literal overrun");
+    out.insert(out.end(), block.begin() + long(ip),
+               block.begin() + long(ip + lit_len));
+    ip += lit_len;
+    if (ip >= in_size) break;  // final literal-only sequence
+    const std::size_t lo = read_byte();
+    const std::size_t hi = read_byte();
+    const std::size_t offset = lo | (hi << 8);
+    const std::size_t match_len = read_ext(token & 0x0F) + kMinMatch;
+    if (offset == 0 || offset > out.size())
+      throw FormatError("lz: bad match offset");
+    // Byte-by-byte copy: overlapping matches (offset < len) are the RLE case
+    // and must replicate, so memcpy is not allowed here.
+    std::size_t from = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) out.push_back(out[from + i]);
+  }
+  if (out.size() != original_size)
+    throw FormatError("lz: size mismatch after decode (got " +
+                      std::to_string(out.size()) + ", want " +
+                      std::to_string(original_size) + ")");
+  return out;
+}
+
+}  // namespace bitio::cz

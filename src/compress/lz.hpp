@@ -1,0 +1,28 @@
+#pragma once
+// Fast byte-oriented LZ77 codec in the LZ4 family, written from scratch.
+//
+// Block format (little-endian):
+//   sequence := token [lit_ext]* literals (offset:u16 [match_ext]*)?
+//   token    := (lit_len:4 | match_len:4); 15 in a nibble means "extended by
+//               following 255-terminated bytes" (LZ4 convention).
+//   match length is stored minus kMinMatch (4).  The final sequence of a
+//   block carries literals only (no offset), again like LZ4.
+//
+// Greedy parse with a 64Ki-entry hash table over 4-byte windows; offsets are
+// limited to 65535.  This is deliberately the same speed/ratio design point
+// as the real LZ4 so the Blosc-like codec built on top inherits realistic
+// behaviour on shuffled float data.
+
+#include "compress/codec.hpp"
+
+namespace bitio::cz {
+
+/// Compress one block.  Output is *not* self-framing (no size header);
+/// callers (BloscLike frame) must record the original size.
+Bytes lz_compress_block(ByteSpan input);
+
+/// Decompress one block produced by lz_compress_block().  `original_size`
+/// must match the encoder's input size.  Throws FormatError on corruption.
+Bytes lz_decompress_block(ByteSpan block, std::size_t original_size);
+
+}  // namespace bitio::cz

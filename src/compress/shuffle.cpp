@@ -1,0 +1,32 @@
+#include "compress/shuffle.hpp"
+
+#include "util/error.hpp"
+
+namespace bitio::cz {
+
+Bytes shuffle(ByteSpan input, std::size_t typesize) {
+  if (typesize == 0) throw UsageError("shuffle: typesize must be > 0");
+  const std::size_t n = input.size() / typesize;  // whole elements
+  Bytes out(input.size());
+  for (std::size_t b = 0; b < typesize; ++b) {
+    const std::size_t base = b * n;
+    for (std::size_t i = 0; i < n; ++i) out[base + i] = input[i * typesize + b];
+  }
+  // Partial trailing element is passed through unshuffled.
+  for (std::size_t i = n * typesize; i < input.size(); ++i) out[i] = input[i];
+  return out;
+}
+
+Bytes unshuffle(ByteSpan input, std::size_t typesize) {
+  if (typesize == 0) throw UsageError("unshuffle: typesize must be > 0");
+  const std::size_t n = input.size() / typesize;
+  Bytes out(input.size());
+  for (std::size_t b = 0; b < typesize; ++b) {
+    const std::size_t base = b * n;
+    for (std::size_t i = 0; i < n; ++i) out[i * typesize + b] = input[base + i];
+  }
+  for (std::size_t i = n * typesize; i < input.size(); ++i) out[i] = input[i];
+  return out;
+}
+
+}  // namespace bitio::cz

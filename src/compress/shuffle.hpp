@@ -1,0 +1,19 @@
+#pragma once
+// Blosc's shuffle filter: transpose an array of fixed-width elements so all
+// first bytes come first, then all second bytes, etc.  Floating-point data
+// from PIC particle arrays compresses far better after shuffling because
+// exponent bytes of neighbouring particles are highly correlated.
+
+#include "compress/codec.hpp"
+
+namespace bitio::cz {
+
+/// Byte-transpose `input` with element width `typesize`.  The tail
+/// (input.size() % typesize bytes) is copied through unchanged, matching
+/// Blosc's handling of partial elements.
+Bytes shuffle(ByteSpan input, std::size_t typesize);
+
+/// Inverse of shuffle().
+Bytes unshuffle(ByteSpan input, std::size_t typesize);
+
+}  // namespace bitio::cz

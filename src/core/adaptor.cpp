@@ -1,0 +1,362 @@
+#include "core/adaptor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bitio::core {
+
+using picmc::DiagnosticSnapshot;
+using picmc::Simulation;
+using pmd::Access;
+using pmd::Datatype;
+
+namespace {
+
+std::string series_file(const std::string& run_dir, const char* stem,
+                        const std::string& engine) {
+  return run_dir + "/" + stem + "." + engine;
+}
+
+/// Diagnostics engine config: NumAgg aggregators, codec, profiling.
+std::string diag_toml(const Bit1IoConfig& config) { return config.adios2_toml(); }
+
+/// Checkpoint engine config: shared-file (checkpoint_aggregators), same
+/// codec, no profiling (profiling.json is counted once, on the diag series).
+std::string ckpt_toml(const Bit1IoConfig& config) {
+  Bit1IoConfig c = config;
+  c.num_aggregators = config.checkpoint_aggregators;
+  c.profiling = false;
+  return c.adios2_toml();
+}
+
+}  // namespace
+
+Bit1OpenPmdAdaptor::Bit1OpenPmdAdaptor(fsim::SharedFs& fs,
+                                       std::string run_dir,
+                                       Bit1IoConfig config, int nranks)
+    : fs_(fs),
+      run_dir_(std::move(run_dir)),
+      config_(std::move(config)),
+      nranks_(nranks) {
+  if (nranks_ <= 0)
+    throw UsageError("Bit1OpenPmdAdaptor: nranks must be positive");
+  if (config_.mode != IoMode::openpmd)
+    throw UsageError("Bit1OpenPmdAdaptor: config.mode must be openpmd");
+
+  fsim::FsClient root(fs_, 0);
+  if (config_.use_striping) {
+    // Table III: lfs setstripe -c <count> -S <size> <run dir>; all series
+    // files created inside inherit the layout.
+    root.setstripe(run_dir_, config_.striping);
+  } else {
+    root.mkdir(run_dir_);
+  }
+
+  diag_series_ = std::make_unique<pmd::Series>(
+      fs_, series_file(run_dir_, "dat_file", config_.engine), Access::create,
+      nranks_, diag_toml(config_));
+  ckpt_series_ = std::make_unique<pmd::Series>(
+      fs_, series_file(run_dir_, "dmp_file", config_.engine), Access::create,
+      nranks_, ckpt_toml(config_));
+
+  staged_diag_.resize(std::size_t(nranks_));
+  staged_ckpt_.resize(std::size_t(nranks_));
+}
+
+Bit1OpenPmdAdaptor::~Bit1OpenPmdAdaptor() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw.
+  }
+}
+
+std::string Bit1OpenPmdAdaptor::diag_path() const {
+  return series_file(run_dir_, "dat_file", config_.engine);
+}
+
+std::string Bit1OpenPmdAdaptor::checkpoint_path() const {
+  return series_file(run_dir_, "dmp_file", config_.engine);
+}
+
+void Bit1OpenPmdAdaptor::require_species_layout(const Simulation& sim) {
+  // First staging call fixes the species layout; later calls must agree.
+  std::vector<std::string> names;
+  for (std::size_t s = 0; s < sim.species_count(); ++s)
+    names.push_back(sim.species(s).config.name);
+  if (species_names_.empty()) {
+    species_names_ = std::move(names);
+    nnodes_ = sim.grid().nnodes();
+    return;
+  }
+  if (names != species_names_ || nnodes_ != sim.grid().nnodes())
+    throw UsageError("Bit1OpenPmdAdaptor: inconsistent simulation layout");
+}
+
+void Bit1OpenPmdAdaptor::stage_diagnostics(int rank, const Simulation& sim,
+                                           const DiagnosticSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rank < 0 || rank >= nranks_)
+    throw UsageError("Bit1OpenPmdAdaptor: rank out of range");
+  require_species_layout(sim);
+  if (snap.species.size() != species_names_.size())
+    throw UsageError("Bit1OpenPmdAdaptor: snapshot species mismatch");
+
+  RankDiag staged;
+  staged.present = true;
+  staged.ionization_events = snap.ionization_events;
+  for (const auto& sp : snap.species) {
+    staged.vdf.push_back(sp.vdf_vx);
+    staged.count.push_back(sp.particle_count);
+    staged.energy.push_back(sp.kinetic_energy);
+    staged.weight.push_back(sp.total_weight);
+    if (rank == 0)
+      staged.density_rank0.insert(staged.density_rank0.end(),
+                                  sp.density.begin(), sp.density.end());
+  }
+  staged_diag_[std::size_t(rank)] = std::move(staged);
+}
+
+void Bit1OpenPmdAdaptor::flush_diagnostics(std::uint64_t step, double time) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bins = 0;
+  for (const auto& staged : staged_diag_)
+    if (staged.present && !staged.vdf.empty()) bins = staged.vdf[0].size();
+  if (bins == 0)
+    throw UsageError("Bit1OpenPmdAdaptor: no staged diagnostics to flush");
+
+  auto& iteration = diag_series_->write_iteration(step);
+  iteration.set_time(time);
+
+  const std::uint64_t ranks = std::uint64_t(nranks_);
+  for (std::size_t s = 0; s < species_names_.size(); ++s) {
+    const std::string& name = species_names_[s];
+    // Flattened [nranks * bins] velocity distribution, one row per rank.
+    auto& vdf = iteration.mesh("vdf_" + name).component();
+    vdf.reset_dataset(Datatype::float64, {ranks * bins});
+    auto& count = iteration.mesh("particle_count_" + name).component();
+    count.reset_dataset(Datatype::uint64, {ranks});
+    auto& energy = iteration.mesh("energy_" + name).component();
+    energy.reset_dataset(Datatype::float64, {ranks});
+    auto& weight = iteration.mesh("weight_" + name).component();
+    weight.reset_dataset(Datatype::float64, {ranks});
+
+    for (int r = 0; r < nranks_; ++r) {
+      const RankDiag& staged = staged_diag_[std::size_t(r)];
+      if (!staged.present) continue;
+      const std::uint64_t rr = std::uint64_t(r);
+      vdf.store_chunk<double>(r, staged.vdf[s], {rr * bins}, {bins});
+      count.store_chunk<std::uint64_t>(
+          r, std::span<const std::uint64_t>(&staged.count[s], 1), {rr}, {1});
+      energy.store_chunk<double>(
+          r, std::span<const double>(&staged.energy[s], 1), {rr}, {1});
+      weight.store_chunk<double>(
+          r, std::span<const double>(&staged.weight[s], 1), {rr}, {1});
+    }
+
+    // The globally reduced density profile, written by rank 0 only.
+    const RankDiag& root = staged_diag_[0];
+    if (root.present && root.density_rank0.size() ==
+                            species_names_.size() * nnodes_) {
+      auto& density = iteration.mesh("density_" + name).component();
+      density.reset_dataset(Datatype::float64, {nnodes_});
+      density.store_chunk<double>(
+          0,
+          std::span<const double>(root.density_rank0.data() + s * nnodes_,
+                                  nnodes_),
+          {0}, {nnodes_});
+    }
+  }
+  iteration.close();
+  for (auto& staged : staged_diag_) staged = RankDiag{};
+}
+
+void Bit1OpenPmdAdaptor::stage_checkpoint(int rank, const Simulation& sim) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rank < 0 || rank >= nranks_)
+    throw UsageError("Bit1OpenPmdAdaptor: rank out of range");
+  require_species_layout(sim);
+
+  RankCkpt staged;
+  staged.present = true;
+  staged.step = sim.current_step();
+  staged.ionization_events = sim.ionization_events();
+  staged.ionized_weight = sim.ionized_weight();
+  staged.rng = const_cast<Simulation&>(sim).rng().state();
+  for (std::size_t s = 0; s < sim.species_count(); ++s) {
+    const picmc::Species& sp = sim.species(s);
+    staged.x.push_back(sp.particles.x());
+    staged.vx.push_back(sp.particles.vx());
+    staged.vy.push_back(sp.particles.vy());
+    staged.vz.push_back(sp.particles.vz());
+    staged.w.push_back(sp.particles.w());
+    staged.absorbed_left.push_back(sp.absorbed_left);
+    staged.absorbed_right.push_back(sp.absorbed_right);
+    staged.absorbed_weight.push_back(sp.absorbed_weight);
+  }
+  staged_ckpt_[std::size_t(rank)] = std::move(staged);
+}
+
+void Bit1OpenPmdAdaptor::flush_checkpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool any = false;
+  for (const auto& staged : staged_ckpt_) any |= staged.present;
+  if (!any)
+    throw UsageError("Bit1OpenPmdAdaptor: no staged checkpoint to flush");
+
+  // Iteration 0 is the (re-opened, overwritten) checkpoint slot.
+  auto& iteration = ckpt_series_->write_iteration(0);
+
+  const std::uint64_t ranks = std::uint64_t(nranks_);
+  std::uint64_t step_attr = 0;
+
+  for (std::size_t s = 0; s < species_names_.size(); ++s) {
+    // Offsets: exclusive scan over per-rank particle counts (what the real
+    // adaptor obtains with MPI_Exscan).
+    std::vector<std::uint64_t> counts(std::size_t(nranks_), 0);
+    for (int r = 0; r < nranks_; ++r)
+      if (staged_ckpt_[std::size_t(r)].present)
+        counts[std::size_t(r)] = staged_ckpt_[std::size_t(r)].x[s].size();
+    std::uint64_t total = 0;
+    std::vector<std::uint64_t> offsets(std::size_t(nranks_), 0);
+    for (int r = 0; r < nranks_; ++r) {
+      offsets[std::size_t(r)] = total;
+      total += counts[std::size_t(r)];
+    }
+
+    auto& species = iteration.particles(species_names_[s]);
+    auto& px = species["position"]["x"];
+    auto& vx = species["velocity"]["x"];
+    auto& vy = species["velocity"]["y"];
+    auto& vz = species["velocity"]["z"];
+    auto& weighting = species["weighting"][pmd::kScalar];
+    for (auto* comp : {&px, &vx, &vy, &vz, &weighting})
+      comp->reset_dataset(Datatype::float64, {std::max<std::uint64_t>(
+                                                 total, 1)});
+
+    auto& rank_count =
+        iteration.mesh("rank_count_" + species_names_[s]).component();
+    rank_count.reset_dataset(Datatype::uint64, {ranks});
+    auto& absorbed =
+        iteration.mesh("absorbed_" + species_names_[s]).component();
+    absorbed.reset_dataset(Datatype::uint64, {ranks * 2});
+    auto& absorbed_weight =
+        iteration.mesh("absorbed_weight_" + species_names_[s]).component();
+    absorbed_weight.reset_dataset(Datatype::float64, {ranks});
+
+    for (int r = 0; r < nranks_; ++r) {
+      const RankCkpt& staged = staged_ckpt_[std::size_t(r)];
+      if (!staged.present) continue;
+      const std::uint64_t rr = std::uint64_t(r);
+      const std::uint64_t n = counts[rr];
+      px.store_chunk<double>(r, staged.x[s], {offsets[rr]}, {n});
+      vx.store_chunk<double>(r, staged.vx[s], {offsets[rr]}, {n});
+      vy.store_chunk<double>(r, staged.vy[s], {offsets[rr]}, {n});
+      vz.store_chunk<double>(r, staged.vz[s], {offsets[rr]}, {n});
+      weighting.store_chunk<double>(r, staged.w[s], {offsets[rr]}, {n});
+      rank_count.store_chunk<std::uint64_t>(
+          r, std::span<const std::uint64_t>(&counts[rr], 1), {rr}, {1});
+      const std::uint64_t ab[2] = {staged.absorbed_left[s],
+                                   staged.absorbed_right[s]};
+      absorbed.store_chunk<std::uint64_t>(
+          r, std::span<const std::uint64_t>(ab, 2), {rr * 2}, {2});
+      absorbed_weight.store_chunk<double>(
+          r, std::span<const double>(&staged.absorbed_weight[s], 1), {rr},
+          {1});
+    }
+  }
+
+  // Per-rank RNG state and MC totals for bit-exact restart.
+  auto& rng = iteration.mesh("rng_state").component();
+  rng.reset_dataset(Datatype::uint64, {ranks * 4});
+  auto& mc_events = iteration.mesh("ionization_events").component();
+  mc_events.reset_dataset(Datatype::uint64, {ranks});
+  auto& mc_weight = iteration.mesh("ionized_weight").component();
+  mc_weight.reset_dataset(Datatype::float64, {ranks});
+  for (int r = 0; r < nranks_; ++r) {
+    const RankCkpt& staged = staged_ckpt_[std::size_t(r)];
+    if (!staged.present) continue;
+    const std::uint64_t rr = std::uint64_t(r);
+    rng.store_chunk<std::uint64_t>(
+        r, std::span<const std::uint64_t>(staged.rng.data(), 4), {rr * 4},
+        {4});
+    mc_events.store_chunk<std::uint64_t>(
+        r, std::span<const std::uint64_t>(&staged.ionization_events, 1),
+        {rr}, {1});
+    mc_weight.store_chunk<double>(
+        r, std::span<const double>(&staged.ionized_weight, 1), {rr}, {1});
+    step_attr = std::max(step_attr, staged.step);
+  }
+
+  iteration.set_time(double(step_attr));
+  iteration.close();
+  for (auto& staged : staged_ckpt_) staged = RankCkpt{};
+}
+
+void Bit1OpenPmdAdaptor::restore(fsim::SharedFs& fs,
+                                 const std::string& run_dir,
+                                 const Bit1IoConfig& config,
+                                 picmc::Simulation& sim) {
+  pmd::Series series(fs, series_file(run_dir, "dmp_file", config.engine),
+                     Access::read_only);
+  auto& iteration = series.read_iteration(0);
+  const int rank = sim.rank();
+  const int nranks = sim.nranks();
+  const std::uint64_t rr = std::uint64_t(rank);
+
+  for (std::size_t s = 0; s < sim.species_count(); ++s) {
+    picmc::Species& sp = sim.species(s);
+    const std::string& name = sp.config.name;
+    const auto counts = iteration.mesh("rank_count_" + name)
+                            .component()
+                            .load<std::uint64_t>();
+    if (counts.size() != std::uint64_t(nranks))
+      throw UsageError("restore: checkpoint was written with " +
+                       std::to_string(counts.size()) + " ranks");
+    std::uint64_t offset = 0;
+    for (int r = 0; r < rank; ++r) offset += counts[std::size_t(r)];
+    const std::uint64_t n = counts[rr];
+
+    auto& species = iteration.particles(name);
+    const auto x = species["position"]["x"].load<double>();
+    const auto vx = species["velocity"]["x"].load<double>();
+    const auto vy = species["velocity"]["y"].load<double>();
+    const auto vz = species["velocity"]["z"].load<double>();
+    const auto w = species["weighting"][pmd::kScalar].load<double>();
+
+    sp.particles.clear();
+    sp.particles.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+      sp.particles.push_back(x[offset + i], vx[offset + i], vy[offset + i],
+                             vz[offset + i], w[offset + i]);
+
+    const auto absorbed =
+        iteration.mesh("absorbed_" + name).component().load<std::uint64_t>();
+    const auto absorbed_weight = iteration.mesh("absorbed_weight_" + name)
+                                     .component()
+                                     .load<double>();
+    sp.absorbed_left = absorbed[rr * 2];
+    sp.absorbed_right = absorbed[rr * 2 + 1];
+    sp.absorbed_weight = absorbed_weight[rr];
+  }
+
+  const auto rng =
+      iteration.mesh("rng_state").component().load<std::uint64_t>();
+  sim.rng().set_state({rng[rr * 4], rng[rr * 4 + 1], rng[rr * 4 + 2],
+                       rng[rr * 4 + 3]});
+  const auto events = iteration.mesh("ionization_events")
+                          .component()
+                          .load<std::uint64_t>();
+  const auto weight =
+      iteration.mesh("ionized_weight").component().load<double>();
+  sim.set_ionization_totals(events[rr], weight[rr]);
+  sim.set_current_step(std::uint64_t(iteration.time()));
+}
+
+void Bit1OpenPmdAdaptor::close() {
+  if (diag_series_) diag_series_->close();
+  if (ckpt_series_) ckpt_series_->close();
+}
+
+}  // namespace bitio::core

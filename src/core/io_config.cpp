@@ -1,0 +1,79 @@
+#include "core/io_config.hpp"
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "util/toml.hpp"
+#include "util/units.hpp"
+
+namespace bitio::core {
+
+Bit1IoConfig Bit1IoConfig::from_toml(const std::string& text) {
+  Bit1IoConfig config;
+  const Json doc = parse_toml(text);
+  if (!doc.contains("io")) return config;
+  const Json& io = doc.at("io");
+
+  const std::string mode =
+      io.get_or("mode", Json("openpmd")).as_string();
+  if (mode == "original") config.mode = IoMode::original;
+  else if (mode == "openpmd") config.mode = IoMode::openpmd;
+  else throw UsageError("io config: unknown mode '" + mode + "'");
+
+  config.engine = io.get_or("engine", Json("bp4")).as_string();
+  if (config.engine != "bp4" && config.engine != "bp5")
+    throw UsageError("io config: unknown engine '" + config.engine + "'");
+  config.num_aggregators = int(io.get_or("aggregators", Json(0)).as_int());
+  config.checkpoint_aggregators =
+      int(io.get_or("checkpoint_aggregators", Json(1)).as_int());
+  config.codec = io.get_or("codec", Json("none")).as_string();
+  if (config.codec != "none" && config.codec != "blosc" &&
+      config.codec != "bzip2")
+    throw UsageError("io config: unknown codec '" + config.codec + "'");
+  config.profiling = io.get_or("profiling", Json(false)).as_bool();
+  config.ranks_per_node =
+      int(io.get_or("ranks_per_node", Json(128)).as_int());
+
+  if (io.contains("striping")) {
+    const Json& striping = io.at("striping");
+    config.use_striping = true;
+    config.striping.stripe_count =
+        int(striping.get_or("count", Json(1)).as_int());
+    const Json size = striping.get_or("size", Json("1M"));
+    config.striping.stripe_size = size.is_string()
+                                      ? parse_size(size.as_string())
+                                      : size.as_uint();
+  }
+  return config;
+}
+
+std::string Bit1IoConfig::adios2_toml() const {
+  std::string out;
+  out += "[adios2.engine]\n";
+  out += "type = \"" + engine + "\"\n";
+  out += "[adios2.engine.parameters]\n";
+  if (num_aggregators > 0)
+    out += strfmt("NumAggregators = %d\n", num_aggregators);
+  out += std::string("Profile = \"") + (profiling ? "On" : "Off") + "\"\n";
+  if (codec != "none" && !codec.empty()) {
+    out += "[adios2.dataset]\n";
+    out += "operators = [ { type = \"" + codec + "\" } ]\n";
+  }
+  return out;
+}
+
+std::string Bit1IoConfig::label() const {
+  if (mode == IoMode::original) return "BIT1 Original I/O";
+  std::string out = "BIT1 openPMD + ";
+  out += engine == "bp4" ? "BP4" : "BP5";
+  if (codec == "blosc") out += " + Blosc";
+  if (codec == "bzip2") out += " + bzip2";
+  if (num_aggregators == 1) out += " + 1 AGGR";
+  else if (num_aggregators > 1)
+    out += " + " + std::to_string(num_aggregators) + " AGGR";
+  if (use_striping)
+    out += strfmt(" [stripe -c %d -S %s]", striping.stripe_count,
+                  format_bytes(striping.stripe_size).c_str());
+  return out;
+}
+
+}  // namespace bitio::core

@@ -1,0 +1,51 @@
+#pragma once
+// The tunable I/O configuration of a BIT1 run — the knobs the paper sweeps:
+// original serial I/O vs openPMD, engine (BP4/BP5), number of aggregators
+// (OPENPMD_ADIOS2_BP5_NumAgg), compressor (Blosc / bzip2), and Lustre
+// striping (stripe count / stripe size).  Loadable from TOML ("TOML-based
+// dynamic configuration") and renderable back to the adios2 config string
+// the openPMD layer consumes.
+
+#include <string>
+
+#include "fsim/types.hpp"
+
+namespace bitio::core {
+
+enum class IoMode { original, openpmd };
+
+struct Bit1IoConfig {
+  IoMode mode = IoMode::openpmd;
+
+  // openPMD / ADIOS2 engine settings.
+  std::string engine = "bp4";         // "bp4" | "bp5"
+  int num_aggregators = 0;            // diagnostics series; 0 = per node
+  int checkpoint_aggregators = 1;     // checkpoint series (shared-file)
+  std::string codec = "none";         // "none" | "blosc" | "bzip2"
+  bool profiling = false;             // emit profiling.json
+
+  // Lustre striping applied to the output directory (lfs setstripe).
+  bool use_striping = false;
+  fsim::StripeSettings striping{1, 1 << 20};
+
+  int ranks_per_node = 128;
+
+  /// Parse from TOML, e.g.
+  ///   [io]
+  ///   mode = "openpmd"
+  ///   engine = "bp4"
+  ///   aggregators = 400
+  ///   codec = "blosc"
+  ///   [io.striping]
+  ///   count = 8
+  ///   size = "16M"
+  static Bit1IoConfig from_toml(const std::string& text);
+
+  /// Render the [adios2] config TOML the miniPMD Series consumes.
+  std::string adios2_toml() const;
+
+  /// Human-readable label for tables ("openPMD + BP4 + Blosc + 1 AGGR").
+  std::string label() const;
+};
+
+}  // namespace bitio::core

@@ -1,0 +1,63 @@
+#include "core/tuning.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace bitio::core {
+
+TuningReport tune_io(const fsim::SystemProfile& profile,
+                     const ScaleSpec& spec, const Bit1IoConfig& base,
+                     TuningSpace space) {
+  if (space.aggregators.empty()) {
+    space.aggregators = {1, spec.nodes, 2 * spec.nodes, 4 * spec.nodes};
+  }
+  if (space.stripe_counts.empty())
+    space.stripe_counts = {1, 2, 4, std::min(8, profile.ost_count)};
+  if (space.stripe_sizes.empty())
+    space.stripe_sizes = {1 * MiB, 4 * MiB, 16 * MiB};
+  if (space.codecs.empty()) space.codecs = {"none", "blosc"};
+
+  // Deduplicate (e.g. nodes == 1 makes several aggregator candidates equal).
+  std::sort(space.aggregators.begin(), space.aggregators.end());
+  space.aggregators.erase(
+      std::unique(space.aggregators.begin(), space.aggregators.end()),
+      space.aggregators.end());
+  std::sort(space.stripe_counts.begin(), space.stripe_counts.end());
+  space.stripe_counts.erase(
+      std::unique(space.stripe_counts.begin(), space.stripe_counts.end()),
+      space.stripe_counts.end());
+
+  TuningReport report;
+  for (int aggregators : space.aggregators) {
+    if (aggregators <= 0 || aggregators > spec.ranks()) continue;
+    for (int stripe_count : space.stripe_counts) {
+      if (stripe_count <= 0 || stripe_count > profile.ost_count) continue;
+      for (std::uint64_t stripe_size : space.stripe_sizes) {
+        for (const auto& codec : space.codecs) {
+          Bit1IoConfig candidate = base;
+          candidate.mode = IoMode::openpmd;
+          candidate.num_aggregators = aggregators;
+          candidate.codec = codec;
+          candidate.use_striping = true;
+          candidate.striping = {stripe_count, stripe_size};
+          TuningOption option;
+          option.config = candidate;
+          option.result = run_openpmd_epoch(profile, spec, candidate);
+          report.explored.push_back(std::move(option));
+        }
+      }
+    }
+  }
+  if (report.explored.empty())
+    throw UsageError("tune_io: empty candidate space");
+  std::sort(report.explored.begin(), report.explored.end(),
+            [](const TuningOption& a, const TuningOption& b) {
+              return a.result.write_gibps > b.result.write_gibps;
+            });
+  report.best = report.explored.front();
+  return report;
+}
+
+}  // namespace bitio::core

@@ -1,0 +1,39 @@
+#pragma once
+// TuningAdvisor: model-driven search over the paper's tuning space
+// (aggregator count, Lustre stripe count/size, compressor) for a given
+// system and scale.  This automates what Section IV does by hand: run the
+// model for each candidate configuration and pick the highest-throughput
+// one.  Used by the io_tuning example and the ablation benches.
+
+#include <vector>
+
+#include "core/workload.hpp"
+
+namespace bitio::core {
+
+struct TuningOption {
+  Bit1IoConfig config;
+  EpochResult result;
+};
+
+struct TuningReport {
+  TuningOption best;
+  std::vector<TuningOption> explored;  // sorted by descending throughput
+};
+
+/// Candidate grids; empty vectors fall back to sensible defaults derived
+/// from the scale (1, 2/node, 4/node aggregators; stripes {1,2,4,8} x
+/// {1M,4M,16M}; codecs none/blosc).
+struct TuningSpace {
+  std::vector<int> aggregators;
+  std::vector<int> stripe_counts;
+  std::vector<std::uint64_t> stripe_sizes;
+  std::vector<std::string> codecs;
+};
+
+/// Explore the space and return every option scored by the storage model.
+TuningReport tune_io(const fsim::SystemProfile& profile,
+                     const ScaleSpec& spec, const Bit1IoConfig& base,
+                     TuningSpace space = {});
+
+}  // namespace bitio::core

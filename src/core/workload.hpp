@@ -1,0 +1,96 @@
+#pragma once
+// Scale harness: generates the I/O workload of a BIT1 production run (100K
+// cells, 3 species, 30M particles, diagnostics every 1K steps, checkpoints
+// every 10K steps, up to 25600 ranks) against the storage simulator, in
+// either Original-I/O or openPMD form, and scores it with the queueing
+// replay.  This is what the fig*/table* benches drive.
+//
+// Live runs (tests, examples) push real bytes through the same writers; at
+// paper scale the data payloads are synthetic (size-only) while every piece
+// of *structure* — file population, aggregation mapping, chunk metadata,
+// offsets, record sizes, metadata-op sequences — executes for real.  The
+// volume model constants are calibrated against Table II (see DESIGN.md
+// Section 5 and EXPERIMENTS.md).
+
+#include <map>
+
+#include "core/io_config.hpp"
+#include "fsim/storage_model.hpp"
+#include "fsim/system_profiles.hpp"
+
+namespace bitio::core {
+
+struct ScaleSpec {
+  int nodes = 1;
+  int ranks_per_node = 128;
+  int dat_dumps = 10;   // diagnostic dumps in the measured window
+  int checkpoints = 1;  // checkpoint events in the measured window
+
+  // Volume model: diagnostics bytes over a FULL 200-dump run, shared
+  // across ranks (strong scaling: the per-rank share shrinks with rank
+  // count), plus a fixed per-rank tail per run (headers, footers).
+  //
+  // NOTE (EXPERIMENTS.md discusses this): the paper's Table II file sizes
+  // imply ~0.5 GiB of diagnostics per run, while its throughput numbers
+  // (15.8 GiB/s peaks) require tens of GiB moving through the same window;
+  // the two measurement campaigns evidently ran different output volumes.
+  // Use table2() for the file-size census and throughput() for the GiB/s
+  // figures.
+  std::uint64_t diag_run_bytes = 48ull << 30;
+  std::uint64_t per_rank_run_bytes = 6ull << 10;
+  int dumps_per_run = 200;
+  // Rank 0 writes this multiple of the average rank's diagnostics (Table
+  // II's max ~= 2 x avg in the Original column).
+  double rank0_skew = 1.7;
+  // State per checkpoint event (the paper's runs kept reduced state; the
+  // full 30M-particle phase space would be ~1.2 GiB).
+  std::uint64_t checkpoint_bytes = 2ull << 20;
+
+  // Synthetic codec ratios (Table II: Blosc -11.4% on BIT1 data, bzip2 ~0).
+  double blosc_ratio = 0.886;
+  double bzip2_ratio = 1.0;
+
+  int ranks() const { return nodes * ranks_per_node; }
+
+  /// Throughput-figure spec (Figs 2-4, 6-9): one 10-dump output window of
+  /// a diagnostics-heavy run.
+  static ScaleSpec throughput(int nodes);
+  /// Table II spec: a full 200-dump run of the smaller-volume campaign,
+  /// for the file count/size census.
+  static ScaleSpec table2(int nodes);
+
+  /// Per-rank diagnostic payload bytes for one dump.
+  std::uint64_t diag_bytes_for_rank(int rank) const;
+  /// Per-rank checkpoint payload bytes for one checkpoint event.
+  std::uint64_t ckpt_bytes_for_rank(int rank) const;
+};
+
+struct EpochResult {
+  double makespan_s = 0.0;
+  std::uint64_t bytes_written = 0;
+  double write_gibps = 0.0;  // bytes_written / makespan
+  // Per-process mean costs (Fig 5).
+  double mean_meta_s = 0.0;
+  double mean_write_s = 0.0;
+  double mean_read_s = 0.0;
+  // File population (Table II).
+  std::uint64_t total_files = 0;
+  std::uint64_t avg_file_bytes = 0;
+  std::uint64_t max_file_bytes = 0;
+  // CPU charge break-down (Fig 8): tag -> seconds.
+  std::map<std::string, double> cpu_by_tag;
+};
+
+/// One output window of the original serial-I/O BIT1 (Figs 2-5 baseline).
+/// `timing = false` skips trace recording and the replay (layout census
+/// only — Table II at full run length).
+EpochResult run_original_epoch(const fsim::SystemProfile& profile,
+                               const ScaleSpec& spec, bool timing = true);
+
+/// One output window through the openPMD adaptor path with the given I/O
+/// configuration (engine, aggregators, codec, striping).
+EpochResult run_openpmd_epoch(const fsim::SystemProfile& profile,
+                              const ScaleSpec& spec,
+                              const Bit1IoConfig& config, bool timing = true);
+
+}  // namespace bitio::core

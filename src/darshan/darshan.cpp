@@ -1,0 +1,295 @@
+#include "darshan/darshan.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace bitio::darshan {
+
+using fsim::OpKind;
+using fsim::TraceOp;
+
+std::uint64_t DarshanLog::total_bytes_written() const {
+  std::uint64_t sum = 0;
+  for (const auto& r : records) sum += r.bytes_written;
+  return sum;
+}
+
+std::uint64_t DarshanLog::total_bytes_read() const {
+  std::uint64_t sum = 0;
+  for (const auto& r : records) sum += r.bytes_read;
+  return sum;
+}
+
+std::uint64_t DarshanLog::total_files() const {
+  std::set<std::string> paths;
+  for (const auto& r : records) paths.insert(r.path);
+  return paths.size();
+}
+
+double DarshanLog::total_write_time() const {
+  double sum = 0.0;
+  for (const auto& r : records) sum += r.write_time_s;
+  return sum;
+}
+
+double DarshanLog::total_meta_time() const {
+  double sum = 0.0;
+  for (const auto& r : records) sum += r.meta_time_s;
+  return sum;
+}
+
+double DarshanLog::write_throughput_bps() const {
+  return job.runtime_s > 0 ? double(total_bytes_written()) / job.runtime_s
+                           : 0.0;
+}
+
+DarshanLog::PerProcessCost DarshanLog::per_process_cost() const {
+  PerProcessCost cost;
+  for (const auto& r : records) {
+    cost.read_s += r.read_time_s;
+    cost.meta_s += r.meta_time_s;
+    cost.write_s += r.write_time_s;
+  }
+  const double n = job.nprocs > 0 ? double(job.nprocs) : 1.0;
+  cost.read_s /= n;
+  cost.meta_s /= n;
+  cost.write_s /= n;
+  return cost;
+}
+
+DarshanLog::FileSizeStats DarshanLog::file_size_stats() const {
+  std::map<std::string, std::uint64_t> size_of;
+  for (const auto& r : records) {
+    if (r.bytes_written == 0 && r.max_byte_written == 0) continue;
+    auto& s = size_of[r.path];
+    s = std::max(s, r.max_byte_written);
+  }
+  FileSizeStats stats;
+  stats.count = size_of.size();
+  if (stats.count == 0) return stats;
+  std::uint64_t sum = 0;
+  for (const auto& [path, size] : size_of) {
+    (void)path;
+    sum += size;
+    stats.max = std::max(stats.max, size);
+  }
+  stats.average = sum / stats.count;
+  return stats;
+}
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double d) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, 8);
+  put_u64(out, bits);
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Cursor {
+public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double d;
+    std::memcpy(&d, &bits, 8);
+    return d;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  bool done() const { return pos_ == data_.size(); }
+
+private:
+  void need(std::size_t n) {
+    if (pos_ + n > data_.size())
+      throw FormatError("darshan: truncated log");
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::uint64_t kLogMagic = 0x4452534e4c4f4731ull;  // "DRSNLOG1"
+
+}  // namespace
+
+std::vector<std::uint8_t> DarshanLog::serialize() const {
+  std::vector<std::uint8_t> out;
+  put_u64(out, kLogMagic);
+  put_str(out, job.exe);
+  put_u64(out, job.nprocs);
+  put_f64(out, job.runtime_s);
+  put_str(out, job.mount);
+  put_u64(out, records.size());
+  for (const auto& r : records) {
+    put_str(out, r.path);
+    put_u64(out, std::uint64_t(std::int64_t(r.rank)));
+    put_u64(out, r.opens);
+    put_u64(out, r.writes);
+    put_u64(out, r.reads);
+    put_u64(out, r.stats);
+    put_u64(out, r.fsyncs);
+    put_u64(out, r.bytes_written);
+    put_u64(out, r.bytes_read);
+    put_u64(out, r.max_byte_written);
+    put_u64(out, r.max_write_size);
+    put_f64(out, r.write_time_s);
+    put_f64(out, r.read_time_s);
+    put_f64(out, r.meta_time_s);
+  }
+  return out;
+}
+
+DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {
+  Cursor cur(data);
+  if (cur.u64() != kLogMagic) throw FormatError("darshan: bad log magic");
+  DarshanLog log;
+  log.job.exe = cur.str();
+  log.job.nprocs = std::uint32_t(cur.u64());
+  log.job.runtime_s = cur.f64();
+  log.job.mount = cur.str();
+  const std::uint64_t n = cur.u64();
+  log.records.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    FileRecord r;
+    r.path = cur.str();
+    r.rank = std::int32_t(std::int64_t(cur.u64()));
+    r.opens = cur.u64();
+    r.writes = cur.u64();
+    r.reads = cur.u64();
+    r.stats = cur.u64();
+    r.fsyncs = cur.u64();
+    r.bytes_written = cur.u64();
+    r.bytes_read = cur.u64();
+    r.max_byte_written = cur.u64();
+    r.max_write_size = cur.u64();
+    r.write_time_s = cur.f64();
+    r.read_time_s = cur.f64();
+    r.meta_time_s = cur.f64();
+    log.records.push_back(std::move(r));
+  }
+  if (!cur.done()) throw FormatError("darshan: trailing bytes in log");
+  return log;
+}
+
+std::string DarshanLog::text_report() const {
+  std::string out;
+  out += strfmt("# darshan log: exe=%s nprocs=%u runtime=%.6fs mount=%s\n",
+                job.exe.c_str(), job.nprocs, job.runtime_s,
+                job.mount.c_str());
+  out += strfmt("# agg_perf_by_slowest: %s\n",
+                format_gibps(write_throughput_bps()).c_str());
+  const auto cost = per_process_cost();
+  out += strfmt(
+      "# per-process cost: read=%.6fs meta=%.6fs write=%.6fs\n", cost.read_s,
+      cost.meta_s, cost.write_s);
+  TextTable table;
+  table.header({"rank", "file", "opens", "writes", "bytes_w", "reads",
+                "bytes_r", "t_write", "t_meta"});
+  for (const auto& r : records) {
+    table.row({r.rank == FileRecord::kSharedRank ? "-1"
+                                                 : std::to_string(r.rank),
+               r.path, std::to_string(r.opens), std::to_string(r.writes),
+               format_bytes(r.bytes_written), std::to_string(r.reads),
+               format_bytes(r.bytes_read), format_seconds(r.write_time_s),
+               format_seconds(r.meta_time_s)});
+  }
+  out += table.render();
+  return out;
+}
+
+DarshanLog capture(const fsim::SharedFs& fs, const fsim::ReplayReport& replay,
+                   JobInfo job) {
+  const auto& trace = fs.trace();
+  if (!replay.op_durations.empty() &&
+      replay.op_durations.size() != trace.size())
+    throw UsageError("darshan::capture: replay does not match trace");
+
+  DarshanLog log;
+  job.runtime_s = replay.makespan;
+  log.job = std::move(job);
+
+  // (rank, file id) -> record index.
+  std::map<std::pair<std::int32_t, fsim::FileId>, std::size_t> index;
+  auto record_for = [&](std::int32_t rank, fsim::FileId file) -> FileRecord& {
+    auto [it, fresh] = index.try_emplace({rank, file}, log.records.size());
+    if (fresh) {
+      FileRecord r;
+      r.rank = rank;
+      r.path = file == fsim::kNoFile
+                   ? "<namespace>"
+                   : fs.store().file_by_id(file).path;
+      log.records.push_back(std::move(r));
+    }
+    return log.records[it->second];
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceOp& op = trace[i];
+    if (op.kind == OpKind::cpu) continue;  // not an I/O counter
+    FileRecord& r = record_for(std::int32_t(op.client), op.file);
+    const double dt =
+        i < replay.op_durations.size() ? replay.op_durations[i] : 0.0;
+    switch (op.kind) {
+      case OpKind::create:
+      case OpKind::open:
+        r.opens += op.op_count;
+        r.meta_time_s += dt;
+        break;
+      case OpKind::close:
+      case OpKind::fsync:
+        r.fsyncs += op.kind == OpKind::fsync ? op.op_count : 0;
+        r.meta_time_s += dt;
+        break;
+      case OpKind::stat:
+      case OpKind::unlink:
+      case OpKind::mkdir:
+        r.stats += op.kind == OpKind::stat ? op.op_count : 0;
+        r.meta_time_s += dt;
+        break;
+      case OpKind::write:
+        r.writes += op.op_count;
+        r.bytes_written += op.bytes;
+        r.max_byte_written =
+            std::max(r.max_byte_written, op.offset + op.bytes);
+        r.max_write_size = std::max(r.max_write_size, op.bytes);
+        r.write_time_s += dt;
+        break;
+      case OpKind::read:
+        r.reads += op.op_count;
+        r.bytes_read += op.bytes;
+        r.read_time_s += dt;
+        break;
+      case OpKind::cpu:
+        break;
+    }
+  }
+  return log;
+}
+
+}  // namespace bitio::darshan

@@ -1,0 +1,105 @@
+#pragma once
+// Darshan-like I/O characterization.
+//
+// The real Darshan instruments POSIX/MPI-IO calls at runtime and emits one
+// compact log per job at MPI_Finalize; `darshan-parser` then turns the log
+// into per-file counter listings, from which the paper extracts write
+// throughput (Figs 2-4) and per-process read/metadata/write costs (Fig 5).
+//
+// Here the instrumentation is the fsim trace: `capture()` folds a SharedFs
+// trace plus its timing replay into per-(rank,file) counter records that
+// mirror Darshan's POSIX module counters, `DarshanLog` serializes to a
+// compact binary log with round-trip parsing, and `text_report()` renders a
+// darshan-parser-style listing.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fsim/posix_fs.hpp"
+#include "fsim/storage_model.hpp"
+#include "util/stats.hpp"
+
+namespace bitio::darshan {
+
+/// Job-wide header, like Darshan's job record.
+struct JobInfo {
+  std::string exe = "bit1";
+  std::uint32_t nprocs = 1;
+  double runtime_s = 0.0;           // simulated job I/O makespan
+  std::string mount = "/lustre";    // mounted file system the job wrote to
+};
+
+/// Counters for one (rank, file) pair — the slice of Darshan's POSIX module
+/// the paper's analysis uses.  rank == kSharedRank marks a shared record.
+struct FileRecord {
+  static constexpr std::int32_t kSharedRank = -1;
+
+  std::string path;
+  std::int32_t rank = 0;
+
+  std::uint64_t opens = 0;
+  std::uint64_t writes = 0;   // individual write calls (pre-coalescing)
+  std::uint64_t reads = 0;
+  std::uint64_t stats = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t max_byte_written = 0;  // highest offset+len written
+  std::uint64_t max_write_size = 0;    // largest single (coalesced) record
+
+  double write_time_s = 0.0;
+  double read_time_s = 0.0;
+  double meta_time_s = 0.0;
+};
+
+/// A captured log: job info + records + per-rank roll-ups.
+class DarshanLog {
+public:
+  JobInfo job;
+  std::vector<FileRecord> records;
+
+  // Roll-ups across records.
+  std::uint64_t total_bytes_written() const;
+  std::uint64_t total_bytes_read() const;
+  std::uint64_t total_files() const;  // distinct paths
+  double total_write_time() const;
+  double total_meta_time() const;
+
+  /// Aggregate write throughput the way the paper reports it: total bytes
+  /// written / job I/O runtime.
+  double write_throughput_bps() const;
+
+  /// Per-process average costs (Fig 5): {read, meta, write} seconds.
+  struct PerProcessCost {
+    double read_s = 0.0;
+    double meta_s = 0.0;
+    double write_s = 0.0;
+  };
+  PerProcessCost per_process_cost() const;
+
+  /// File-size statistics over distinct written files (Table II):
+  /// count, average size, max size (sizes = max_byte_written per path).
+  struct FileSizeStats {
+    std::uint64_t count = 0;
+    std::uint64_t average = 0;
+    std::uint64_t max = 0;
+  };
+  FileSizeStats file_size_stats() const;
+
+  /// Serialize to the compact binary log format.
+  std::vector<std::uint8_t> serialize() const;
+  /// Parse a serialized log.  Throws FormatError on corruption.
+  static DarshanLog parse(std::span<const std::uint8_t> data);
+
+  /// darshan-parser-style text listing.
+  std::string text_report() const;
+};
+
+/// Build a log from an fsim trace and its timing replay.  `job.runtime_s`
+/// is overwritten with the replay makespan.
+DarshanLog capture(const fsim::SharedFs& fs,
+                   const fsim::ReplayReport& replay, JobInfo job);
+
+}  // namespace bitio::darshan

@@ -1,0 +1,33 @@
+#include "fsim/des.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bitio::fsim {
+
+FifoResource::FifoResource(int slots) {
+  if (slots <= 0) throw UsageError("FifoResource: slots must be positive");
+  for (int i = 0; i < slots; ++i) free_.push(0.0);
+}
+
+double FifoResource::submit(double arrival, double service) {
+  const double slot_free = free_.top();
+  free_.pop();
+  const double start = std::max(arrival, slot_free);
+  const double done = start + service;
+  free_.push(done);
+  busy_until_ = std::max(busy_until_, done);
+  busy_seconds_ += service;
+  return done;
+}
+
+double NoiseStream::next() {
+  if (amplitude_ <= 0.0) return 1.0;
+  const std::uint64_t z = splitmix64(state_);
+  const double u = double(z >> 11) * 0x1.0p-53;  // [0,1)
+  return 1.0 + amplitude_ * (2.0 * u - 1.0);
+}
+
+}  // namespace bitio::fsim

@@ -1,0 +1,54 @@
+#pragma once
+// Discrete-event building blocks for the storage timing model.
+//
+// Resources are deterministic FIFO queues with a fixed number of service
+// slots.  Because service times do not depend on future arrivals, a job's
+// completion time can be computed greedily at submission: jobs are submitted
+// in nondecreasing arrival order (the replay loop pops clients from a time-
+// ordered heap), so FIFO fairness is preserved without callback plumbing.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace bitio::fsim {
+
+/// FIFO resource with `slots` parallel servers and deterministic service
+/// times.  submit() must be called with nondecreasing arrival times to keep
+/// FIFO semantics (the replay loop guarantees this).
+class FifoResource {
+public:
+  explicit FifoResource(int slots = 1);
+
+  /// Submit a job arriving at `arrival` needing `service` seconds; returns
+  /// its completion time.
+  double submit(double arrival, double service);
+
+  /// Time at which the resource last finishes work (0 if never used).
+  double busy_until() const { return busy_until_; }
+
+  /// Total service seconds performed.
+  double busy_seconds() const { return busy_seconds_; }
+
+private:
+  // Min-heap of per-slot free times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_;
+  double busy_until_ = 0.0;
+  double busy_seconds_ = 0.0;
+};
+
+/// Deterministic multiplicative noise stream: factor(i) in
+/// [1-amplitude, 1+amplitude], reproducible for a given seed.
+class NoiseStream {
+public:
+  NoiseStream(double amplitude, std::uint64_t seed)
+      : amplitude_(amplitude), state_(seed ^ 0x9E3779B97F4A7C15ull) {}
+
+  double next();
+
+private:
+  double amplitude_;
+  std::uint64_t state_;
+};
+
+}  // namespace bitio::fsim

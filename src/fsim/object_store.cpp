@@ -1,0 +1,238 @@
+#include "fsim/object_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace bitio::fsim {
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) parts.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) parts.push_back(std::move(cur));
+  return parts;
+}
+
+std::string parent_path(const std::string& path) {
+  auto parts = split_path(path);
+  if (parts.size() <= 1) return "";
+  std::string out;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (i) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string base_name(const std::string& path) {
+  auto parts = split_path(path);
+  if (parts.empty()) throw UsageError("base_name: empty path");
+  return parts.back();
+}
+
+ObjectStore::ObjectStore(int ost_count, bool store_data,
+                         StripeSettings default_stripe)
+    : ost_count_(ost_count), store_data_(store_data) {
+  if (ost_count <= 0) throw UsageError("ObjectStore: need at least one OST");
+  root_.path = "";
+  root_.default_stripe = default_stripe;
+  root_.has_explicit_stripe = true;
+}
+
+DirNode& ObjectStore::mkdirs(const std::string& path) {
+  DirNode* node = &root_;
+  std::string so_far;
+  for (const auto& part : split_path(path)) {
+    so_far = so_far.empty() ? part : so_far + "/" + part;
+    if (node->files.count(part))
+      throw IoError("mkdirs: '" + so_far + "' is a file");
+    auto& slot = node->dirs[part];
+    if (!slot) {
+      slot = std::make_unique<DirNode>();
+      slot->path = so_far;
+      // Inherit striping from the parent, Lustre-style.
+      slot->default_stripe = node->default_stripe;
+    }
+    node = slot.get();
+  }
+  return *node;
+}
+
+const DirNode* ObjectStore::find_dir(const std::string& path) const {
+  const DirNode* node = &root_;
+  for (const auto& part : split_path(path)) {
+    auto it = node->dirs.find(part);
+    if (it == node->dirs.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+DirNode* ObjectStore::find_dir(const std::string& path) {
+  return const_cast<DirNode*>(
+      static_cast<const ObjectStore*>(this)->find_dir(path));
+}
+
+bool ObjectStore::dir_exists(const std::string& path) const {
+  return find_dir(path) != nullptr;
+}
+
+bool ObjectStore::file_exists(const std::string& path) const {
+  const DirNode* dir = find_dir(parent_path(path));
+  return dir && dir->files.count(base_name(path)) > 0;
+}
+
+void ObjectStore::set_dir_stripe(const std::string& path,
+                                 StripeSettings settings) {
+  if (settings.stripe_count <= 0 || settings.stripe_size == 0)
+    throw UsageError("setstripe: count and size must be positive");
+  if (settings.stripe_count > ost_count_)
+    throw UsageError("setstripe: stripe count " +
+                     std::to_string(settings.stripe_count) + " exceeds " +
+                     std::to_string(ost_count_) + " OSTs");
+  DirNode& dir = mkdirs(path);
+  dir.default_stripe = settings;
+  dir.has_explicit_stripe = true;
+}
+
+StripeSettings ObjectStore::dir_stripe(const std::string& path) const {
+  const DirNode* dir = find_dir(path);
+  if (!dir) throw IoError("dir_stripe: no such directory '" + path + "'");
+  return dir->default_stripe;
+}
+
+StripeLayout ObjectStore::make_layout(StripeSettings settings) {
+  StripeLayout layout;
+  layout.settings = settings;
+  layout.stripe_offset = next_ost_;
+  for (int i = 0; i < settings.stripe_count; ++i) {
+    layout.ost_indices.push_back((next_ost_ + i) % ost_count_);
+    layout.object_ids.push_back(next_object_id_);
+    next_object_id_ += 0x15263;  // arbitrary stride, purely cosmetic
+  }
+  // Lustre allocates the next file's first object on a different OST to
+  // balance load; emulate with a simple rotation.
+  next_ost_ = (next_ost_ + settings.stripe_count) % ost_count_;
+  return layout;
+}
+
+FileNode& ObjectStore::create_file(
+    const std::string& path, std::optional<StripeSettings> stripe_override) {
+  const std::string parent = parent_path(path);
+  DirNode& dir = mkdirs(parent);
+  const std::string name = base_name(path);
+  if (dir.files.count(name))
+    throw IoError("create_file: '" + path + "' exists");
+  if (dir.dirs.count(name))
+    throw IoError("create_file: '" + path + "' is a directory");
+
+  auto node = std::make_unique<FileNode>();
+  node->id = files_.size();
+  node->path = path;
+  node->layout =
+      make_layout(stripe_override ? *stripe_override : dir.default_stripe);
+  node->create_order = next_create_order_++;
+  dir.files[name] = node->id;
+  files_.push_back(std::move(node));
+  return *files_.back();
+}
+
+FileNode& ObjectStore::file(const std::string& path) {
+  DirNode* dir = find_dir(parent_path(path));
+  if (dir) {
+    auto it = dir->files.find(base_name(path));
+    if (it != dir->files.end()) return *files_[it->second];
+  }
+  throw IoError("file: no such file '" + path + "'");
+}
+
+const FileNode& ObjectStore::file(const std::string& path) const {
+  return const_cast<ObjectStore*>(this)->file(path);
+}
+
+FileNode& ObjectStore::file_by_id(FileId id) {
+  if (id >= files_.size() || !files_[id])
+    throw IoError("file_by_id: bad id " + std::to_string(id));
+  return *files_[id];
+}
+
+const FileNode& ObjectStore::file_by_id(FileId id) const {
+  return const_cast<ObjectStore*>(this)->file_by_id(id);
+}
+
+void ObjectStore::unlink(const std::string& path) {
+  DirNode* dir = find_dir(parent_path(path));
+  if (!dir) throw IoError("unlink: no such file '" + path + "'");
+  auto it = dir->files.find(base_name(path));
+  if (it == dir->files.end())
+    throw IoError("unlink: no such file '" + path + "'");
+  // The FileNode stays alive (only the namespace entry goes away) so that
+  // trace replay can still resolve layouts of files written before unlink.
+  dir->files.erase(it);
+}
+
+namespace {
+void collect(const DirNode& dir,
+             const std::vector<std::unique_ptr<FileNode>>& files,
+             std::vector<const FileNode*>& out) {
+  for (const auto& [name, id] : dir.files) {
+    (void)name;
+    if (files[id]) out.push_back(files[id].get());
+  }
+  for (const auto& [name, sub] : dir.dirs) {
+    (void)name;
+    collect(*sub, files, out);
+  }
+}
+}  // namespace
+
+std::vector<const FileNode*> ObjectStore::list_recursive(
+    const std::string& path) const {
+  const DirNode* dir = find_dir(path);
+  if (!dir) throw IoError("list_recursive: no such directory '" + path + "'");
+  std::vector<const FileNode*> out;
+  collect(*dir, files_, out);
+  std::sort(out.begin(), out.end(),
+            [](const FileNode* a, const FileNode* b) {
+              return a->create_order < b->create_order;
+            });
+  return out;
+}
+
+std::vector<const FileNode*> ObjectStore::all_files() const {
+  return list_recursive("");
+}
+
+void ObjectStore::pwrite(FileNode& node, std::uint64_t offset,
+                         const std::uint8_t* data, std::uint64_t n) {
+  node.size = std::max(node.size, offset + n);
+  if (!store_data_) return;
+  if (node.data.size() < offset + n) node.data.resize(offset + n, 0);
+  std::memcpy(node.data.data() + offset, data, n);
+}
+
+std::uint64_t ObjectStore::pread(const FileNode& node, std::uint64_t offset,
+                                 std::uint8_t* out, std::uint64_t n) const {
+  if (!store_data_)
+    throw IoError("pread: store was configured without data retention");
+  if (offset >= node.size) return 0;
+  const std::uint64_t avail = std::min(n, node.size - offset);
+  std::memcpy(out, node.data.data() + offset, avail);
+  return avail;
+}
+
+void ObjectStore::truncate(FileNode& node, std::uint64_t size) {
+  node.size = size;
+  if (store_data_) node.data.resize(size, 0);
+}
+
+}  // namespace bitio::fsim

@@ -1,0 +1,265 @@
+#include "fsim/posix_fs.hpp"
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace bitio::fsim {
+
+SharedFs::SharedFs(int ost_count, bool store_data,
+                   StripeSettings default_stripe)
+    : store_(ost_count, store_data, default_stripe) {}
+
+void SharedFs::append_op(TraceOp op) {
+  if (!tracing_) return;
+  // Coalesce a sequential write with the immediately preceding one from the
+  // same client and file.  (The lock is already held by the caller.)
+  if (op.kind == OpKind::write && !trace_.empty()) {
+    TraceOp& last = trace_.back();
+    if (last.kind == OpKind::write && last.client == op.client &&
+        last.file == op.file &&
+        last.offset + last.bytes == op.offset) {
+      last.bytes += op.bytes;
+      last.op_count += op.op_count;
+      return;
+    }
+  }
+  trace_.push_back(std::move(op));
+}
+
+std::uint64_t SharedFs::traced_bytes_written() const {
+  std::uint64_t sum = 0;
+  for (const auto& op : trace_)
+    if (op.kind == OpKind::write) sum += op.bytes;
+  return sum;
+}
+
+std::uint64_t SharedFs::traced_bytes_read() const {
+  std::uint64_t sum = 0;
+  for (const auto& op : trace_)
+    if (op.kind == OpKind::read) sum += op.bytes;
+  return sum;
+}
+
+void FsClient::mkdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  fs_->store_.mkdirs(path);
+  fs_->append_op({client_, OpKind::mkdir, kNoFile, 0, 0, 1, 0.0, {}});
+}
+
+void FsClient::setstripe(const std::string& dir, StripeSettings settings) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  fs_->store_.set_dir_stripe(dir, settings);
+}
+
+StripeLayout FsClient::getstripe(const std::string& file) const {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  return fs_->store_.file(file).layout;
+}
+
+std::string FsClient::getstripe_text(const std::string& file) const {
+  const StripeLayout layout = getstripe(file);
+  std::string out = file + "\n";
+  out += strfmt("lmm_stripe_count:  %d\n", layout.settings.stripe_count);
+  out += strfmt("lmm_stripe_size:   %llu\n",
+                static_cast<unsigned long long>(layout.settings.stripe_size));
+  out += strfmt("lmm_pattern:       %s\n", layout.pattern.c_str());
+  out += strfmt("lmm_stripe_offset: %d\n", layout.stripe_offset);
+  out += "\tobdidx\t\tobjid\t\tobjid\t\tgroup\n";
+  for (std::size_t i = 0; i < layout.ost_indices.size(); ++i) {
+    out += strfmt("\t%6d\t%12llu\t%#14llx\t%#10llx\n", layout.ost_indices[i],
+                  static_cast<unsigned long long>(layout.object_ids[i]),
+                  static_cast<unsigned long long>(layout.object_ids[i]),
+                  static_cast<unsigned long long>(i));
+  }
+  return out;
+}
+
+bool FsClient::exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  return fs_->store_.file_exists(path) || fs_->store_.dir_exists(path);
+}
+
+std::uint64_t FsClient::stat_size(const std::string& path) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  const FileNode& node = fs_->store_.file(path);
+  fs_->append_op({client_, OpKind::stat, node.id, 0, 0, 1, 0.0, {}});
+  return node.size;
+}
+
+void FsClient::unlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  const FileId id = fs_->store_.file(path).id;
+  fs_->store_.unlink(path);
+  fs_->append_op({client_, OpKind::unlink, id, 0, 0, 1, 0.0, {}});
+}
+
+int FsClient::open(const std::string& path, OpenMode mode) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  FileNode* node = nullptr;
+  OpKind meta = OpKind::open;
+  switch (mode) {
+    case OpenMode::create:
+      node = &fs_->store_.create_file(path);
+      meta = OpKind::create;
+      break;
+    case OpenMode::create_or_truncate:
+      if (fs_->store_.file_exists(path)) {
+        node = &fs_->store_.file(path);
+        fs_->store_.truncate(*node, 0);
+        meta = OpKind::open;
+      } else {
+        node = &fs_->store_.create_file(path);
+        meta = OpKind::create;
+      }
+      break;
+    case OpenMode::write:
+    case OpenMode::append:
+    case OpenMode::read:
+      node = &fs_->store_.file(path);
+      break;
+  }
+  SharedFs::Descriptor desc;
+  desc.file = node->id;
+  desc.client = client_;
+  desc.position = mode == OpenMode::append ? node->size : 0;
+  desc.writable = mode != OpenMode::read;
+  desc.open = true;
+  fs_->append_op({client_, meta, node->id, 0, 0, 1, 0.0, {}});
+  fs_->fds_.push_back(desc);
+  return int(fs_->fds_.size() - 1);
+}
+
+namespace {
+SharedFs::Descriptor& checked_fd(std::vector<SharedFs::Descriptor>& fds,
+                                 int fd, ClientId client) {
+  if (fd < 0 || std::size_t(fd) >= fds.size() || !fds[std::size_t(fd)].open)
+    throw IoError("bad file descriptor " + std::to_string(fd));
+  auto& desc = fds[std::size_t(fd)];
+  if (desc.client != client)
+    throw IoError("descriptor " + std::to_string(fd) +
+                  " belongs to another client");
+  return desc;
+}
+}  // namespace
+
+void FsClient::write(int fd, std::span<const std::uint8_t> data) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  auto& desc = checked_fd(fs_->fds_, fd, client_);
+  if (!desc.writable) throw IoError("write: descriptor is read-only");
+  FileNode& node = fs_->store_.file_by_id(desc.file);
+  fs_->store_.pwrite(node, desc.position, data.data(), data.size());
+  fs_->append_op({client_, OpKind::write, desc.file, desc.position,
+                  data.size(), 1, 0.0, {}});
+  desc.position += data.size();
+}
+
+void FsClient::pwrite(int fd, std::uint64_t offset,
+                      std::span<const std::uint8_t> data) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  auto& desc = checked_fd(fs_->fds_, fd, client_);
+  if (!desc.writable) throw IoError("pwrite: descriptor is read-only");
+  FileNode& node = fs_->store_.file_by_id(desc.file);
+  fs_->store_.pwrite(node, offset, data.data(), data.size());
+  fs_->append_op(
+      {client_, OpKind::write, desc.file, offset, data.size(), 1, 0.0, {}});
+}
+
+void FsClient::write_simulated(int fd, std::uint64_t bytes,
+                               std::uint32_t op_count) {
+  if (op_count == 0) throw UsageError("write_simulated: op_count must be > 0");
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  auto& desc = checked_fd(fs_->fds_, fd, client_);
+  if (!desc.writable)
+    throw IoError("write_simulated: descriptor is read-only");
+  FileNode& node = fs_->store_.file_by_id(desc.file);
+  node.size = std::max(node.size, desc.position + bytes);
+  if (fs_->store_.stores_data() && node.data.size() < node.size)
+    node.data.resize(node.size, 0);
+  fs_->append_op({client_, OpKind::write, desc.file, desc.position, bytes,
+                  op_count, 0.0, {}});
+  desc.position += bytes;
+}
+
+void FsClient::read_simulated(int fd, std::uint64_t bytes,
+                              std::uint32_t op_count) {
+  if (op_count == 0) throw UsageError("read_simulated: op_count must be > 0");
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  auto& desc = checked_fd(fs_->fds_, fd, client_);
+  const FileNode& node = fs_->store_.file_by_id(desc.file);
+  const std::uint64_t avail =
+      desc.position < node.size ? node.size - desc.position : 0;
+  const std::uint64_t n = std::min(bytes, avail);
+  fs_->append_op(
+      {client_, OpKind::read, desc.file, desc.position, n, op_count, 0.0, {}});
+  desc.position += n;
+}
+
+std::uint64_t FsClient::read(int fd, std::span<std::uint8_t> out) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  auto& desc = checked_fd(fs_->fds_, fd, client_);
+  const FileNode& node = fs_->store_.file_by_id(desc.file);
+  const std::uint64_t n =
+      fs_->store_.pread(node, desc.position, out.data(), out.size());
+  fs_->append_op(
+      {client_, OpKind::read, desc.file, desc.position, n, 1, 0.0, {}});
+  desc.position += n;
+  return n;
+}
+
+std::uint64_t FsClient::pread(int fd, std::uint64_t offset,
+                              std::span<std::uint8_t> out) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  auto& desc = checked_fd(fs_->fds_, fd, client_);
+  const FileNode& node = fs_->store_.file_by_id(desc.file);
+  const std::uint64_t n =
+      fs_->store_.pread(node, offset, out.data(), out.size());
+  fs_->append_op({client_, OpKind::read, desc.file, offset, n, 1, 0.0, {}});
+  return n;
+}
+
+void FsClient::seek(int fd, std::uint64_t position) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  auto& desc = checked_fd(fs_->fds_, fd, client_);
+  desc.position = position;
+}
+
+void FsClient::fsync(int fd) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  auto& desc = checked_fd(fs_->fds_, fd, client_);
+  fs_->append_op({client_, OpKind::fsync, desc.file, 0, 0, 1, 0.0, {}});
+}
+
+void FsClient::close(int fd) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  auto& desc = checked_fd(fs_->fds_, fd, client_);
+  desc.open = false;
+  fs_->append_op({client_, OpKind::close, desc.file, 0, 0, 1, 0.0, {}});
+}
+
+std::vector<std::uint8_t> FsClient::read_all(const std::string& path) {
+  std::uint64_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(fs_->mutex_);
+    size = fs_->store_.file(path).size;
+  }
+  const int fd = open(path, OpenMode::read);
+  std::vector<std::uint8_t> out(size);
+  const std::uint64_t n = read(fd, out);
+  close(fd);
+  out.resize(n);
+  return out;
+}
+
+void FsClient::write_file(const std::string& path,
+                          std::span<const std::uint8_t> data) {
+  const int fd = open(path, OpenMode::create);
+  write(fd, data);
+  close(fd);
+}
+
+void FsClient::charge_cpu(double seconds, const std::string& tag) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  fs_->append_op({client_, OpKind::cpu, kNoFile, 0, 0, 1, seconds, tag});
+}
+
+}  // namespace bitio::fsim

@@ -1,0 +1,135 @@
+#pragma once
+// POSIX-like file API over the simulated object store, with operation
+// tracing.
+//
+// Every rank of the simulated application holds an FsClient bound to its
+// client id.  Calls mutate the shared ObjectStore (bit-exact data) and
+// append TraceOps to the shared trace; the trace is later replayed against
+// a StorageModel to obtain simulated times, and summarized by the
+// darshan module into per-file counters.
+//
+// Sequential writes through the same descriptor are coalesced into one
+// TraceOp (op_count counts the calls) so that stdio-style record-at-a-time
+// output from 25600 ranks stays tractable to replay.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fsim/object_store.hpp"
+#include "fsim/types.hpp"
+
+namespace bitio::fsim {
+
+/// Open mode for FsClient::open.
+enum class OpenMode {
+  create,      // create new file (error if it exists)
+  write,       // open existing for write (position 0)
+  append,      // open existing, position at end
+  read,        // open existing read-only
+  create_or_truncate,  // create, or truncate existing to 0 (checkpoint slot)
+};
+
+/// Shared state: object store + trace + descriptor table.
+class SharedFs {
+public:
+  explicit SharedFs(int ost_count, bool store_data = true,
+                    StripeSettings default_stripe = {});
+
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+
+  const std::vector<TraceOp>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+  /// Disable trace recording (layout-census runs that skip timing replay).
+  void set_tracing(bool enabled) { tracing_ = enabled; }
+  bool tracing() const { return tracing_; }
+
+  /// Total bytes recorded as written / read in the trace.
+  std::uint64_t traced_bytes_written() const;
+  std::uint64_t traced_bytes_read() const;
+
+  /// Descriptor-table entry (public so the implementation's helpers can
+  /// name the type; not part of the user-facing API).
+  struct Descriptor {
+    FileId file = kNoFile;
+    ClientId client = 0;
+    std::uint64_t position = 0;
+    bool writable = false;
+    bool open = false;
+  };
+
+private:
+  friend class FsClient;
+  void append_op(TraceOp op);
+
+  std::mutex mutex_;
+  ObjectStore store_;
+  std::vector<TraceOp> trace_;
+  std::vector<Descriptor> fds_;
+  bool tracing_ = true;
+};
+
+/// Per-rank POSIX-like handle.  Cheap; copyable.  All methods are
+/// thread-safe with respect to other clients of the same SharedFs.
+class FsClient {
+public:
+  FsClient(SharedFs& fs, ClientId client) : fs_(&fs), client_(client) {}
+
+  ClientId client() const { return client_; }
+  SharedFs& shared() const { return *fs_; }
+
+  // -- namespace ------------------------------------------------------------
+  void mkdir(const std::string& path);
+  /// `lfs setstripe -c count -S size <dir>`
+  void setstripe(const std::string& dir, StripeSettings settings);
+  /// `lfs getstripe <file>`: resolved layout of an existing file.
+  StripeLayout getstripe(const std::string& file) const;
+  /// Human-readable getstripe output in the style of the paper's Listing 1.
+  std::string getstripe_text(const std::string& file) const;
+
+  bool exists(const std::string& path) const;
+  std::uint64_t stat_size(const std::string& path);  // records a stat op
+  void unlink(const std::string& path);
+
+  // -- descriptor I/O ---------------------------------------------------------
+  int open(const std::string& path, OpenMode mode);
+  void write(int fd, std::span<const std::uint8_t> data);
+  void pwrite(int fd, std::uint64_t offset, std::span<const std::uint8_t> data);
+
+  /// Size-only append for modelled large-scale runs: advances the file size
+  /// and records a write of `bytes` split over `op_count` calls, without
+  /// materializing data (valid on any store; the file then holds zeros when
+  /// data retention is on).  Timing replay treats it exactly like write().
+  void write_simulated(int fd, std::uint64_t bytes,
+                       std::uint32_t op_count = 1);
+
+  /// Size-only read: records a read of min(bytes, file size - position)
+  /// without touching data.  Timing replay treats it exactly like read().
+  void read_simulated(int fd, std::uint64_t bytes,
+                      std::uint32_t op_count = 1);
+  std::uint64_t read(int fd, std::span<std::uint8_t> out);
+  std::uint64_t pread(int fd, std::uint64_t offset, std::span<std::uint8_t> out);
+  void seek(int fd, std::uint64_t position);
+  void fsync(int fd);
+  void close(int fd);
+
+  /// Convenience: whole-file read (records open/read/close).
+  std::vector<std::uint8_t> read_all(const std::string& path);
+  /// Convenience: create + write + close.
+  void write_file(const std::string& path, std::span<const std::uint8_t> data);
+
+  /// Charge modeled client CPU time (compression, memcopy) to this client's
+  /// timeline; shows up in replay reports and profiling.json.
+  void charge_cpu(double seconds, const std::string& tag);
+
+private:
+  SharedFs* fs_;
+  ClientId client_;
+};
+
+}  // namespace bitio::fsim

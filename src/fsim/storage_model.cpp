@@ -1,0 +1,229 @@
+#include "fsim/storage_model.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "fsim/des.hpp"
+#include "util/error.hpp"
+
+namespace bitio::fsim {
+
+namespace {
+
+double mean_over_clients(const std::vector<ClientTimes>& clients,
+                         double ClientTimes::* member) {
+  if (clients.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& c : clients) sum += c.*member;
+  return sum / double(clients.size());
+}
+
+/// Pick the OST serving byte `offset` of a file under RAID0 striping.
+int ost_for_offset(const StripeLayout& layout, std::uint64_t offset) {
+  const auto& s = layout.settings;
+  const std::uint64_t stripe_index = (offset / s.stripe_size) %
+                                     std::uint64_t(s.stripe_count);
+  return layout.ost_indices[std::size_t(stripe_index)];
+}
+
+}  // namespace
+
+double ReplayReport::mean_meta_time() const {
+  return mean_over_clients(clients, &ClientTimes::meta);
+}
+double ReplayReport::mean_write_time() const {
+  return mean_over_clients(clients, &ClientTimes::write);
+}
+double ReplayReport::mean_read_time() const {
+  return mean_over_clients(clients, &ClientTimes::read);
+}
+double ReplayReport::mean_cpu_time() const {
+  return mean_over_clients(clients, &ClientTimes::cpu);
+}
+
+ReplayReport replay_trace(const SystemProfile& profile,
+                          const ObjectStore& store,
+                          const std::vector<TraceOp>& trace, int nclients) {
+  if (nclients <= 0) throw UsageError("replay_trace: nclients must be > 0");
+
+  // Group op indices by client, preserving program order.
+  std::vector<std::vector<std::uint32_t>> per_client(
+      static_cast<std::size_t>(nclients));
+  for (std::uint32_t i = 0; i < trace.size(); ++i) {
+    const TraceOp& op = trace[i];
+    if (op.client >= ClientId(nclients))
+      throw UsageError("replay_trace: client id out of range");
+    per_client[op.client].push_back(i);
+  }
+
+  const int nnodes =
+      (nclients + profile.ranks_per_node - 1) / profile.ranks_per_node;
+
+  FifoResource mds(profile.mds_slots);
+  std::vector<FifoResource> osts(std::size_t(profile.ost_count),
+                                 FifoResource(1));
+  std::vector<FifoResource> links(std::size_t(nnodes), FifoResource(1));
+  NoiseStream noise(profile.noise_amplitude, profile.noise_seed);
+
+  ReplayReport report;
+  report.clients.assign(std::size_t(nclients), ClientTimes{});
+  report.op_durations.assign(trace.size(), 0.0);
+
+  // Min-heap of (ready time, client, next op index within per_client[c]).
+  struct Pending {
+    double time;
+    int client;
+    std::uint32_t index;
+    bool operator>(const Pending& other) const { return time > other.time; }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> heap;
+  for (int c = 0; c < nclients; ++c)
+    if (!per_client[std::size_t(c)].empty()) heap.push({0.0, c, 0});
+
+  // Files already read once: later readers hit the page cache.
+  std::set<FileId> first_read;
+
+  while (!heap.empty()) {
+    const Pending pending = heap.top();
+    heap.pop();
+    const std::uint32_t trace_index =
+        per_client[std::size_t(pending.client)][pending.index];
+    const TraceOp& op = trace[trace_index];
+    ClientTimes& times = report.clients[std::size_t(pending.client)];
+    const double t0 = pending.time;
+    double done = t0;
+
+    if (is_meta(op.kind)) {
+      const double service =
+          (op.kind == OpKind::create || op.kind == OpKind::mkdir)
+              ? profile.mds_create_service_s
+              : profile.mds_meta_service_s;
+      done = mds.submit(t0, service * noise.next() * double(op.op_count));
+      times.meta += done - t0;
+      times.meta_ops += op.op_count;
+    } else if (op.kind == OpKind::cpu) {
+      done = t0 + op.cpu_seconds;
+      times.cpu += op.cpu_seconds;
+      report.cpu_by_tag[op.tag] += op.cpu_seconds;
+    } else {
+      // Data transfer.
+      const StripeLayout& layout = store.file_by_id(op.file).layout;
+      const int node = pending.client / profile.ranks_per_node;
+      FifoResource& link = links[std::size_t(node)];
+      const std::uint64_t record =
+          op.op_count > 0 ? op.bytes / op.op_count : op.bytes;
+      const bool is_write = op.kind == OpKind::write;
+
+      if (is_write && record < profile.sync_write_threshold) {
+        // Small records (stdio lines, tiny buffered appends): per-record
+        // lock/ack round trips charge the caller (meta + data split), while
+        // the payload drains through write-back caching — the OST service
+        // extends the job makespan but not the caller's syscall time.  All
+        // records of this coalesced op hit the stripe object holding the
+        // starting offset.
+        const double meta_serial = double(op.op_count) *
+                                   profile.small_write_meta_s * noise.next();
+        const double data_serial =
+            double(op.op_count) * profile.small_write_data_s;
+        FifoResource& ost =
+            osts[std::size_t(ost_for_offset(layout, op.offset))];
+        const double per_record =
+            profile.ost_small_service_s +
+            (op.op_count >= 2 ? profile.ost_sync_extra_s : 0.0);
+        const double service =
+            double(op.op_count) * per_record * noise.next() +
+            double(op.bytes) / profile.ost_bandwidth_bps;
+        const double drain_done = ost.submit(t0, service);
+        report.makespan = std::max(report.makespan, drain_done);
+        done = t0 + meta_serial + data_serial;
+        times.meta += meta_serial;
+        times.write += data_serial;
+        times.write_calls += op.op_count;
+        report.bytes_written += op.bytes;
+        report.op_durations[trace_index] = done - t0;
+        times.end = std::max(times.end, done);
+        report.makespan = std::max(report.makespan, done);
+        const std::uint32_t next_index = pending.index + 1;
+        if (next_index < per_client[std::size_t(pending.client)].size())
+          heap.push({done, pending.client, next_index});
+        continue;
+      }
+      if (op.kind == OpKind::read && !first_read.insert(op.file).second) {
+        // Page-cache hit: everyone after the first reader of this file.
+        done = link.submit(t0, profile.cached_read_service_s +
+                                   double(op.bytes) /
+                                       profile.link_bandwidth_bps);
+        times.read += done - t0;
+        times.read_calls += op.op_count;
+        report.bytes_read += op.bytes;
+        report.op_durations[trace_index] = done - t0;
+        times.end = std::max(times.end, done);
+        report.makespan = std::max(report.makespan, done);
+        const std::uint32_t next_index = pending.index + 1;
+        if (next_index < per_client[std::size_t(pending.client)].size())
+          heap.push({done, pending.client, next_index});
+        continue;
+      }
+      {
+        // Streaming path: syscall overhead, then sliced transfers through
+        // the node link and the stripe-mapped OSTs.  OST request latency
+        // pipelines across queued slices (it delays completion, not server
+        // occupancy); one client's pipeline is capped at its streaming
+        // bandwidth.
+        const double t_start =
+            t0 + double(op.op_count) * profile.syscall_overhead_s;
+        // RPC size: stripe size clamped to [64 KiB, slice_bytes].
+        const std::uint64_t slice = std::clamp<std::uint64_t>(
+            layout.settings.stripe_size, 64 * 1024, profile.slice_bytes);
+        const std::uint64_t nslices = (op.bytes + slice - 1) / slice;
+        const std::uint64_t osts_touched = std::min<std::uint64_t>(
+            std::uint64_t(layout.settings.stripe_count), nslices);
+        done = t_start + double(nslices) * profile.rpc_overhead_s +
+               double(osts_touched) * profile.stripe_lock_overhead_s +
+               double(op.bytes) / profile.client_stream_bandwidth_bps;
+        std::uint64_t remaining = op.bytes;
+        std::uint64_t offset = op.offset;
+        while (remaining > 0) {
+          const std::uint64_t n = std::min<std::uint64_t>(remaining, slice);
+          const double link_done = link.submit(
+              t_start, profile.link_latency_s +
+                           double(n) / profile.link_bandwidth_bps);
+          FifoResource& ost =
+              osts[std::size_t(ost_for_offset(layout, offset))];
+          const double occupancy =
+              double(n) / profile.ost_bandwidth_bps * noise.next();
+          done = std::max(done, ost.submit(link_done, occupancy) +
+                                    profile.ost_stream_latency_s);
+          remaining -= n;
+          offset += n;
+        }
+      }
+
+      if (is_write) {
+        times.write += done - t0;
+        times.write_calls += op.op_count;
+        report.bytes_written += op.bytes;
+      } else {
+        times.read += done - t0;
+        times.read_calls += op.op_count;
+        report.bytes_read += op.bytes;
+      }
+    }
+
+    report.op_durations[trace_index] = done - t0;
+    times.end = std::max(times.end, done);
+    report.makespan = std::max(report.makespan, done);
+    const std::uint32_t next = pending.index + 1;
+    if (next < per_client[std::size_t(pending.client)].size())
+      heap.push({done, pending.client, next});
+  }
+  for (const auto& ost : osts) {
+    report.ost_busy_seconds.push_back(ost.busy_seconds());
+    report.ost_busy_until.push_back(ost.busy_until());
+  }
+  report.mds_busy_seconds = mds.busy_seconds();
+  return report;
+}
+
+}  // namespace bitio::fsim

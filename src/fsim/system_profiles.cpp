@@ -1,0 +1,118 @@
+#include "fsim/system_profiles.hpp"
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace bitio::fsim {
+
+SystemProfile dardel() {
+  SystemProfile p;
+  p.name = "dardel";
+  p.ranks_per_node = 128;
+
+  p.ost_count = 48;
+  p.ost_bandwidth_bps = 1.3 * double(GiB);
+  p.ost_stream_latency_s = 60e-6;
+  p.ost_small_service_s = 110e-6;   // buffered small RPC
+  p.ost_sync_extra_s = 110e-6;      // unbatched synchronous records
+  p.slice_bytes = 4 * MiB;          // max RPC; actual = min(stripe, this)
+  p.rpc_overhead_s = 80e-6;         // per streaming RPC issued
+  p.stripe_lock_overhead_s = 50e-6; // extent lock per OST touched
+  p.client_stream_bandwidth_bps = 0.62 * double(GiB);
+
+  p.mds_slots = 32;
+  p.mds_create_service_s = 62e-6;
+  p.mds_meta_service_s = 30e-6;
+
+  p.link_bandwidth_bps = 12.5e9;    // Slingshot 100 Gb/s per NIC direction
+  p.link_latency_s = 4e-6;
+
+  p.sync_write_threshold = 64 * KiB;
+  p.small_write_meta_s = 0.55e-3;   // per-line lock/ack round trip
+  p.small_write_data_s = 1.04e-3;
+  p.syscall_overhead_s = 2e-6;
+  p.client_mem_bandwidth_bps = 8e9;
+  p.cached_read_service_s = 10e-6;
+
+  p.noise_amplitude = 0.06;
+  p.noise_seed = 0xDA9DE1;
+  p.default_stripe = {1, 1 * MiB};
+  return p;
+}
+
+SystemProfile discoverer() {
+  SystemProfile p;
+  p.name = "discoverer";
+  p.ranks_per_node = 128;
+
+  p.ost_count = 4;                  // the paper: 2.1 PB LFS, 4 OSTs
+  p.ost_bandwidth_bps = 1.4 * double(GiB);
+  p.ost_stream_latency_s = 80e-6;
+  p.ost_small_service_s = 15e-6;    // fewer, faster (NVMe-backed) OSTs
+  p.ost_sync_extra_s = 15e-6;
+  p.slice_bytes = 1 * MiB;
+  p.client_stream_bandwidth_bps = 0.7 * double(GiB);
+
+  p.mds_slots = 8;
+  p.mds_create_service_s = 45e-6;
+  p.mds_meta_service_s = 25e-6;
+
+  p.link_bandwidth_bps = 10e9;
+  p.link_latency_s = 5e-6;
+
+  p.sync_write_threshold = 64 * KiB;
+  p.small_write_meta_s = 0.30e-3;
+  p.small_write_data_s = 0.28e-3;
+  p.syscall_overhead_s = 2e-6;
+  p.client_mem_bandwidth_bps = 8e9;
+  p.cached_read_service_s = 10e-6;
+
+  p.noise_amplitude = 0.18;         // Fig 2 shows visible fluctuation
+  p.noise_seed = 0xD15C0;
+  p.default_stripe = {1, 1 * MiB};
+  return p;
+}
+
+SystemProfile vega() {
+  SystemProfile p;
+  p.name = "vega";
+  p.ranks_per_node = 128;
+
+  p.ost_count = 80;                 // 1 PB LFS, 80 OSTs
+  p.ost_bandwidth_bps = 0.5 * double(GiB);
+  p.ost_stream_latency_s = 120e-6;
+  p.ost_small_service_s = 250e-6;   // busy shared OSTs
+  p.ost_sync_extra_s = 250e-6;
+  p.slice_bytes = 1 * MiB;
+  p.client_stream_bandwidth_bps = 0.45 * double(GiB);
+
+  p.mds_slots = 8;
+  p.mds_create_service_s = 80e-6;
+  p.mds_meta_service_s = 40e-6;
+
+  p.link_bandwidth_bps = 12.5e9;    // ConnectX-6 HDR100
+  p.link_latency_s = 4e-6;
+
+  p.sync_write_threshold = 64 * KiB;
+  p.small_write_meta_s = 0.60e-3;
+  p.small_write_data_s = 0.40e-3;
+  p.syscall_overhead_s = 2e-6;
+  p.client_mem_bandwidth_bps = 8e9;
+  p.cached_read_service_s = 10e-6;
+
+  // Shared, busy file system: large background noise gives Fig 2's
+  // "inconsistent performance, lacking clear scaling behaviour".
+  p.noise_amplitude = 0.55;
+  p.noise_seed = 0x3E6A;
+  p.default_stripe = {1, 1 * MiB};
+  return p;
+}
+
+SystemProfile system_profile(const std::string& name) {
+  if (name == "dardel") return dardel();
+  if (name == "discoverer") return discoverer();
+  if (name == "vega") return vega();
+  throw UsageError("unknown system profile '" + name + "'");
+}
+
+}  // namespace bitio::fsim

@@ -1,0 +1,79 @@
+#pragma once
+// Shared vocabulary types for the storage simulator.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bitio::fsim {
+
+using FileId = std::uint64_t;
+using ClientId = std::uint32_t;
+
+inline constexpr FileId kNoFile = ~FileId(0);
+
+/// Lustre-style striping parameters.  `lfs setstripe -c <count> -S <size>`.
+struct StripeSettings {
+  int stripe_count = 1;                    // -c; number of OSTs per file
+  std::uint64_t stripe_size = 1 << 20;     // -S; bytes per stripe
+};
+
+/// Resolved layout of one file, as `lfs getstripe` reports it.
+struct StripeLayout {
+  StripeSettings settings;
+  int stripe_offset = 0;           // first OST index (lmm_stripe_offset)
+  std::vector<int> ost_indices;    // obdidx list, RAID0 round-robin order
+  std::vector<std::uint64_t> object_ids;  // objid per OST object
+  std::string pattern = "raid0";
+};
+
+/// Kinds of operation in an I/O trace.  `create` implies `open`.
+enum class OpKind : std::uint8_t {
+  create,   // metadata: allocate file + objects
+  open,     // metadata: lookup
+  close,    // metadata: size/commit update
+  fsync,    // metadata: commit
+  stat,     // metadata: attribute read
+  unlink,   // metadata: remove
+  mkdir,    // metadata: directory create
+  write,    // data transfer to OSTs
+  read,     // data transfer from OSTs
+  cpu,      // client-local compute charged by upper layers (compress, copy)
+};
+
+inline bool is_meta(OpKind kind) {
+  return kind != OpKind::write && kind != OpKind::read && kind != OpKind::cpu;
+}
+
+inline const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::create: return "create";
+    case OpKind::open: return "open";
+    case OpKind::close: return "close";
+    case OpKind::fsync: return "fsync";
+    case OpKind::stat: return "stat";
+    case OpKind::unlink: return "unlink";
+    case OpKind::mkdir: return "mkdir";
+    case OpKind::write: return "write";
+    case OpKind::read: return "read";
+    case OpKind::cpu: return "cpu";
+  }
+  return "?";
+}
+
+/// One record of a client I/O trace.  Consecutive sequential writes by the
+/// same client to the same descriptor are coalesced into a single record
+/// with op_count > 1 so huge runs stay tractable; the timing model charges
+/// per-op overhead `op_count` times.
+struct TraceOp {
+  ClientId client = 0;
+  OpKind kind = OpKind::open;
+  FileId file = kNoFile;
+  std::uint64_t offset = 0;      // starting byte offset (write/read)
+  std::uint64_t bytes = 0;       // total bytes (write/read)
+  std::uint32_t op_count = 1;    // number of coalesced calls
+  double cpu_seconds = 0.0;      // only for OpKind::cpu
+  std::string tag;               // cpu subcategory: "compress", "memcopy", ...
+};
+
+}  // namespace bitio::fsim

@@ -1,0 +1,51 @@
+#pragma once
+// IOR-like synthetic I/O benchmark (Section IV-A, Table I, Fig 4).
+//
+// Reproduces the slice of IOR the paper runs: write tests over the POSIX or
+// MPIIO api, in file-per-process (-F) or shared-file mode, with -C task
+// reordering and -e fsync-on-close, at configurable block/transfer sizes.
+// The benchmark generates its I/O through the simulated file system and is
+// scored by the same queueing replay as the application, so its numbers are
+// a true upper bound for BIT1 under the same storage model — exactly the
+// role IOR plays in Fig 4.
+
+#include <string>
+
+#include "fsim/posix_fs.hpp"
+#include "fsim/storage_model.hpp"
+
+namespace bitio::ior {
+
+struct IorConfig {
+  int ntasks = 1;               // -N
+  std::string api = "POSIX";    // -a POSIX | MPIIO
+  bool file_per_proc = false;   // -F
+  bool reorder_tasks = false;   // -C (readback verification order)
+  bool fsync_on_close = false;  // -e
+  std::uint64_t block_size = 16 * (1 << 20);  // -b, bytes per task
+  std::uint64_t transfer_size = 1 << 20;      // -t
+  int segments = 1;             // -s
+  std::string test_dir = "ior_out";
+
+  /// Parse an IOR command tail, e.g. "-N 25600 -a POSIX -F -C -e".
+  /// Accepts both "-N 16" and "-N=16" forms (the paper prints the latter).
+  static IorConfig parse_cli(const std::string& args);
+
+  /// Render back as a Table-I style command line.
+  std::string command_line() const;
+};
+
+struct IorResult {
+  double write_gibps = 0.0;
+  double makespan_s = 0.0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t files_created = 0;
+};
+
+/// Run the write phase against a fresh simulated file system with the given
+/// system profile.  `synthetic` skips data materialization (for very large
+/// task counts).
+IorResult run_write(const fsim::SystemProfile& profile,
+                    const IorConfig& config, bool synthetic = true);
+
+}  // namespace bitio::ior

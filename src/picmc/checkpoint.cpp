@@ -1,0 +1,109 @@
+#include "picmc/checkpoint.hpp"
+
+#include "util/binio.hpp"
+#include "util/error.hpp"
+
+namespace bitio::picmc {
+
+namespace {
+constexpr std::uint32_t kDmpMagic = 0x444D5031;  // "DMP1"
+
+void write_array(BinWriter& out, const std::vector<double>& v) {
+  out.u64(v.size());
+  for (double d : v) out.f64(d);
+}
+
+std::vector<double> read_array(BinReader& in) {
+  const std::uint64_t n = in.u64();
+  std::vector<double> v(n);
+  for (auto& d : v) d = in.f64();
+  return v;
+}
+}  // namespace
+
+std::vector<std::uint8_t> save_checkpoint(const Simulation& sim) {
+  BinWriter out;
+  out.u32(kDmpMagic);
+  out.u64(sim.current_step());
+  out.u64(sim.ionization_events());
+  out.f64(sim.ionized_weight());
+  const auto rng_state = const_cast<Simulation&>(sim).rng().state();
+  for (auto s : rng_state) out.u64(s);
+  out.u32(std::uint32_t(sim.species_count()));
+  for (std::size_t i = 0; i < sim.species_count(); ++i) {
+    const Species& s = sim.species(i);
+    out.str(s.config.name);
+    out.u64(s.absorbed_left);
+    out.u64(s.absorbed_right);
+    out.f64(s.absorbed_weight);
+    write_array(out, s.particles.x());
+    write_array(out, s.particles.vx());
+    write_array(out, s.particles.vy());
+    write_array(out, s.particles.vz());
+    write_array(out, s.particles.w());
+  }
+  return out.take();
+}
+
+void load_checkpoint(Simulation& sim, std::span<const std::uint8_t> data) {
+  BinReader in(data);
+  if (in.u32() != kDmpMagic)
+    throw FormatError("checkpoint: bad .dmp magic");
+  const std::uint64_t step = in.u64();
+  const std::uint64_t ionization_events = in.u64();
+  const double ionized_weight = in.f64();
+  std::array<std::uint64_t, 4> rng_state;
+  for (auto& s : rng_state) s = in.u64();
+  const std::uint32_t nspecies = in.u32();
+  if (nspecies != sim.species_count())
+    throw UsageError("checkpoint: species count mismatch");
+
+  // Parse everything before mutating the simulation, so a truncated
+  // checkpoint cannot leave it half-restored.
+  struct SpeciesState {
+    std::string name;
+    std::uint64_t absorbed_left, absorbed_right;
+    double absorbed_weight;
+    std::vector<double> x, vx, vy, vz, w;
+  };
+  std::vector<SpeciesState> parsed;
+  for (std::uint32_t i = 0; i < nspecies; ++i) {
+    SpeciesState state;
+    state.name = in.str();
+    state.absorbed_left = in.u64();
+    state.absorbed_right = in.u64();
+    state.absorbed_weight = in.f64();
+    state.x = read_array(in);
+    state.vx = read_array(in);
+    state.vy = read_array(in);
+    state.vz = read_array(in);
+    state.w = read_array(in);
+    const std::size_t n = state.x.size();
+    if (state.vx.size() != n || state.vy.size() != n ||
+        state.vz.size() != n || state.w.size() != n)
+      throw FormatError("checkpoint: inconsistent particle arrays");
+    if (sim.species(i).config.name != state.name)
+      throw UsageError("checkpoint: species order mismatch ('" + state.name +
+                       "')");
+    parsed.push_back(std::move(state));
+  }
+  if (!in.done()) throw FormatError("checkpoint: trailing bytes");
+
+  sim.set_current_step(step);
+  sim.set_ionization_totals(ionization_events, ionized_weight);
+  sim.rng().set_state(rng_state);
+  for (std::uint32_t i = 0; i < nspecies; ++i) {
+    Species& s = sim.species(i);
+    SpeciesState& state = parsed[i];
+    s.absorbed_left = state.absorbed_left;
+    s.absorbed_right = state.absorbed_right;
+    s.absorbed_weight = state.absorbed_weight;
+    s.particles.clear();
+    s.particles.reserve(state.x.size());
+    for (std::size_t p = 0; p < state.x.size(); ++p)
+      s.particles.push_back(state.x[p], state.vx[p], state.vy[p],
+                            state.vz[p], state.w[p]);
+  }
+}
+
+}  // namespace bitio::picmc

@@ -1,0 +1,23 @@
+#pragma once
+// Bit-exact binary checkpointing of the full simulation state (particles,
+// step counter, RNG state, wall-flux counters) — the `.dmp` mechanism that
+// "saves the present state on the disk" for restart.  Used by both the
+// original serial writer (one gathered .dmp) and as the payload the openPMD
+// adaptor stores under iteration 0.
+
+#include <span>
+#include <vector>
+
+#include "picmc/simulation.hpp"
+
+namespace bitio::picmc {
+
+/// Serialize this rank's state.  Format is versioned and validated.
+std::vector<std::uint8_t> save_checkpoint(const Simulation& sim);
+
+/// Restore state saved by save_checkpoint() into `sim`.  The simulation
+/// must have been constructed with the same config (species list, grid).
+/// Throws FormatError on corrupt data, UsageError on config mismatch.
+void load_checkpoint(Simulation& sim, std::span<const std::uint8_t> data);
+
+}  // namespace bitio::picmc

@@ -1,0 +1,100 @@
+#include "picmc/diagnostics.hpp"
+
+#include <algorithm>
+
+namespace bitio::picmc {
+
+namespace {
+
+SpeciesSnapshot sample_species(const Simulation& sim, const Species& s,
+                               std::size_t vdf_bins, double vmax) {
+  SpeciesSnapshot snap;
+  snap.name = s.config.name;
+  snap.density = s.density;
+  snap.vdf_vx.assign(vdf_bins, 0.0);
+  const double vth = std::sqrt(s.config.temperature / s.config.mass);
+  const double scale = vmax * vth;
+  const auto& p = s.particles;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double u = (p.vx()[i] / scale + 1.0) * 0.5;  // [0,1) if in range
+    if (u < 0.0 || u >= 1.0) continue;
+    snap.vdf_vx[std::size_t(u * double(vdf_bins))] += p.w()[i];
+  }
+  snap.kinetic_energy = sim.kinetic_energy(s);
+  snap.total_weight = p.total_weight();
+  snap.particle_count = p.size();
+  return snap;
+}
+
+DiagnosticSnapshot sample_all(const Simulation& sim, std::size_t vdf_bins,
+                              double vmax) {
+  DiagnosticSnapshot snap;
+  snap.step = sim.current_step();
+  snap.time = double(sim.current_step()) * sim.config().dt;
+  snap.ionization_events = sim.ionization_events();
+  for (std::size_t i = 0; i < sim.species_count(); ++i)
+    snap.species.push_back(
+        sample_species(sim, sim.species(i), vdf_bins, vmax));
+  return snap;
+}
+
+}  // namespace
+
+DiagnosticSnapshot Diagnostics::sample_now(const Simulation& sim,
+                                           std::size_t vdf_bins,
+                                           double vmax) {
+  return sample_all(sim, vdf_bins, vmax);
+}
+
+void Diagnostics::accumulate(const Simulation& sim) {
+  DiagnosticSnapshot now = sample_all(sim, vdf_bins_, vmax_);
+  if (accum_.empty()) {
+    accum_ = std::move(now.species);
+    samples_ = 1;
+    return;
+  }
+  for (std::size_t s = 0; s < accum_.size(); ++s) {
+    auto& acc = accum_[s];
+    const auto& cur = now.species[s];
+    for (std::size_t i = 0; i < acc.density.size(); ++i)
+      acc.density[i] += cur.density[i];
+    for (std::size_t i = 0; i < acc.vdf_vx.size(); ++i)
+      acc.vdf_vx[i] += cur.vdf_vx[i];
+    acc.kinetic_energy += cur.kinetic_energy;
+    acc.total_weight += cur.total_weight;
+    acc.particle_count += cur.particle_count;
+  }
+  ++samples_;
+}
+
+bool Diagnostics::observe(const Simulation& sim) {
+  const auto& config = sim.config();
+  if (config.mvflag <= 0) return false;
+  if (config.mvstep == 0 || sim.current_step() % config.mvstep != 0)
+    return false;
+  accumulate(sim);
+  if (samples_ < config.mvflag) return false;
+
+  // Average and freeze.
+  latest_ = DiagnosticSnapshot{};
+  latest_.step = sim.current_step();
+  latest_.time = double(sim.current_step()) * config.dt;
+  latest_.ionization_events = sim.ionization_events();
+  const double inv = 1.0 / double(samples_);
+  for (auto& acc : accum_) {
+    SpeciesSnapshot avg = acc;
+    for (auto& d : avg.density) d *= inv;
+    for (auto& v : avg.vdf_vx) v *= inv;
+    avg.kinetic_energy *= inv;
+    avg.total_weight *= inv;
+    avg.particle_count =
+        std::uint64_t(double(avg.particle_count) * inv + 0.5);
+    latest_.species.push_back(std::move(avg));
+  }
+  accum_.clear();
+  samples_ = 0;
+  ++completed_;
+  return true;
+}
+
+}  // namespace bitio::picmc

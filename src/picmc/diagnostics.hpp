@@ -1,0 +1,68 @@
+#pragma once
+// Time-dependent diagnostics with mvflag/mvstep semantics.
+//
+// BIT1's `mvflag` "activates time-dependent diagnostics of plasma profiles
+// and particle angular, velocity and energy distribution functions; if > 0
+// it determines the number of time steps at which time-dependent
+// diagnostics are averaged", and `mvstep` counts the interval between them.
+// Here: every `mvstep` steps a sample of profiles and velocity-distribution
+// histograms is accumulated; after `mvflag` samples the average is frozen
+// into a snapshot the I/O layer (serial .dat or openPMD) writes out.
+
+#include <span>
+#include <vector>
+
+#include "picmc/simulation.hpp"
+
+namespace bitio::picmc {
+
+/// One frozen, averaged diagnostic snapshot for one species.
+struct SpeciesSnapshot {
+  std::string name;
+  std::vector<double> density;     // node profile, time-averaged
+  std::vector<double> vdf_vx;      // velocity distribution over vx bins
+  double kinetic_energy = 0.0;
+  double total_weight = 0.0;
+  std::uint64_t particle_count = 0;
+};
+
+struct DiagnosticSnapshot {
+  std::uint64_t step = 0;          // step at which the average completed
+  double time = 0.0;
+  std::vector<SpeciesSnapshot> species;
+  std::uint64_t ionization_events = 0;
+};
+
+class Diagnostics {
+public:
+  /// `vdf_bins` histogram bins over [-vmax, vmax] for the vx distribution.
+  Diagnostics(std::size_t vdf_bins = 64, double vmax = 6.0)
+      : vdf_bins_(vdf_bins), vmax_(vmax) {}
+
+  /// Call once per simulation step; samples and possibly completes an
+  /// average according to mvflag/mvstep.  Returns true when a snapshot just
+  /// completed (retrieve it with latest()).
+  bool observe(const Simulation& sim);
+
+  /// Most recently completed snapshot (empty before the first completes).
+  const DiagnosticSnapshot& latest() const { return latest_; }
+  std::uint64_t snapshots_completed() const { return completed_; }
+
+  /// Immediate (unaveraged) snapshot of the current state — used by
+  /// `datfile` writes when mvflag == 0.
+  static DiagnosticSnapshot sample_now(const Simulation& sim,
+                                       std::size_t vdf_bins = 64,
+                                       double vmax = 6.0);
+
+private:
+  void accumulate(const Simulation& sim);
+
+  std::size_t vdf_bins_;
+  double vmax_;
+  int samples_ = 0;
+  std::vector<SpeciesSnapshot> accum_;
+  DiagnosticSnapshot latest_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace bitio::picmc

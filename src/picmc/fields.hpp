@@ -1,0 +1,41 @@
+#pragma once
+// Field operations of the PIC cycle: charge deposition (particle-to-grid),
+// binomial density smoothing, the electrostatic field solve, and the
+// grid-to-particle gather.
+
+#include <span>
+#include <vector>
+
+#include "picmc/grid.hpp"
+#include "picmc/particles.hpp"
+
+namespace bitio::picmc {
+
+/// CIC (cloud-in-cell) deposition of particle weight onto grid nodes.
+/// Returns / accumulates number density per node (weight / dx), so that a
+/// uniform plasma of N physical particles over length L deposits N/L
+/// everywhere.  Boundary nodes receive the half-cell correction (weights
+/// are doubled) so the density is unbiased at the walls.
+void deposit_density(const Grid1D& grid, const ParticleBuffer& particles,
+                     std::span<double> density, bool accumulate = false);
+
+/// One pass of the 1-2-1 binomial filter ("density smoothing process to
+/// eliminate spurious frequencies").  Reflecting boundaries preserve the
+/// integral of the field.  `passes` repeats the filter.
+void smooth_binomial(std::span<double> field, int passes = 1);
+
+/// Solve the 1D Poisson equation  -phi'' = rho / eps0  on grid nodes with
+/// Dirichlet boundaries phi(x0) = phi(x1) = 0 (grounded walls), using the
+/// Thomas tridiagonal algorithm.  `rho` is charge density per node.
+void solve_poisson(const Grid1D& grid, std::span<const double> rho,
+                   std::span<double> phi, double eps0 = 1.0);
+
+/// Electric field on nodes from the potential: E = -dphi/dx (central
+/// differences inside, one-sided at the walls).
+void electric_field(const Grid1D& grid, std::span<const double> phi,
+                    std::span<double> efield);
+
+/// CIC gather of a node field at position x.
+double gather(const Grid1D& grid, std::span<const double> field, double x);
+
+}  // namespace bitio::picmc

@@ -1,0 +1,46 @@
+#pragma once
+// 1D spatial grid.  Node-centered fields: ncells cells bounded by
+// ncells + 1 nodes; densities and potentials live on nodes.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bitio::picmc {
+
+class Grid1D {
+public:
+  Grid1D(double x0, double x1, std::size_t ncells)
+      : x0_(x0), x1_(x1), ncells_(ncells) {
+    if (ncells == 0 || x1 <= x0)
+      throw UsageError("Grid1D: need x1 > x0 and ncells > 0");
+    dx_ = (x1 - x0) / double(ncells);
+  }
+
+  double x0() const { return x0_; }
+  double x1() const { return x1_; }
+  double dx() const { return dx_; }
+  double length() const { return x1_ - x0_; }
+  std::size_t ncells() const { return ncells_; }
+  std::size_t nnodes() const { return ncells_ + 1; }
+
+  double node_position(std::size_t i) const { return x0_ + double(i) * dx_; }
+
+  bool contains(double x) const { return x >= x0_ && x <= x1_; }
+
+  /// Lower node index and CIC weight of a position (weight of the *upper*
+  /// node is the returned fraction).
+  std::pair<std::size_t, double> locate(double x) const {
+    const double s = (x - x0_) / dx_;
+    std::size_t i = std::size_t(s);
+    if (i >= ncells_) i = ncells_ - 1;  // clamp x == x1 into the last cell
+    return {i, s - double(i)};
+  }
+
+private:
+  double x0_, x1_, dx_;
+  std::size_t ncells_;
+};
+
+}  // namespace bitio::picmc

@@ -1,0 +1,68 @@
+#include "picmc/mc.hpp"
+
+#include <cmath>
+
+#include "picmc/fields.hpp"
+
+namespace bitio::picmc {
+
+IonizationResult ionize(const Grid1D& grid,
+                        std::span<const double> electron_density,
+                        ParticleBuffer& neutrals, ParticleBuffer& ions,
+                        ParticleBuffer& electrons,
+                        const IonizationParams& params, Rng& rng) {
+  IonizationResult result;
+  for (std::size_t p = 0; p < neutrals.size();) {
+    const double n_e = gather(grid, electron_density, neutrals.x()[p]);
+    const double probability =
+        1.0 - std::exp(-n_e * params.rate_coefficient * params.dt);
+    if (rng.uniform() >= probability) {
+      ++p;
+      continue;
+    }
+    // Convert: the ion keeps the neutral's full kinematic state.
+    const double x = neutrals.x()[p];
+    const double vx = neutrals.vx()[p];
+    const double vy = neutrals.vy()[p];
+    const double vz = neutrals.vz()[p];
+    const double w = neutrals.w()[p];
+    ions.push_back(x, vx, vy, vz, w);
+    // The freed electron: neutral velocity plus an isotropic thermal kick.
+    const double vt = params.electron_thermal_speed;
+    electrons.push_back(x, vx + vt * rng.normal(), vy + vt * rng.normal(),
+                        vz + vt * rng.normal(), w);
+    neutrals.swap_remove(p);  // do not advance p
+    ++result.events;
+    result.ionized_weight += w;
+  }
+  return result;
+}
+
+std::uint64_t elastic_scatter(const Grid1D& grid,
+                              std::span<const double> neutral_density,
+                              ParticleBuffer& electrons,
+                              const ElasticParams& params, Rng& rng) {
+  if (params.rate_coefficient <= 0.0) return 0;
+  std::uint64_t events = 0;
+  for (std::size_t p = 0; p < electrons.size(); ++p) {
+    const double n_n = gather(grid, neutral_density, electrons.x()[p]);
+    const double probability =
+        1.0 - std::exp(-n_n * params.rate_coefficient * params.dt);
+    if (rng.uniform() >= probability) continue;
+    // Isotropic redirection at constant speed.
+    const double vx = electrons.vx()[p];
+    const double vy = electrons.vy()[p];
+    const double vz = electrons.vz()[p];
+    const double speed = std::sqrt(vx * vx + vy * vy + vz * vz);
+    const double cos_theta = 2.0 * rng.uniform() - 1.0;
+    const double sin_theta = std::sqrt(1.0 - cos_theta * cos_theta);
+    const double phi = 2.0 * 3.14159265358979323846 * rng.uniform();
+    electrons.vx()[p] = speed * cos_theta;
+    electrons.vy()[p] = speed * sin_theta * std::cos(phi);
+    electrons.vz()[p] = speed * sin_theta * std::sin(phi);
+    ++events;
+  }
+  return events;
+}
+
+}  // namespace bitio::picmc

@@ -1,0 +1,80 @@
+#include "picmc/mover.hpp"
+
+#include <cmath>
+
+namespace bitio::picmc {
+
+PushResult push_species(const Grid1D& grid, std::span<const double> efield,
+                        ParticleBuffer& particles, const PushParams& params) {
+  PushResult result;
+  const double qm_dt = params.charge / params.mass * params.dt;
+  auto& x = particles.x();
+  auto& vx = particles.vx();
+  auto& vy = particles.vy();
+  const bool magnetized = params.bz != 0.0;
+
+  // Boris rotation half-angle terms for a uniform Bz (rotation in the
+  // x-y velocity plane).
+  const double t = magnetized
+                       ? params.charge * params.bz / params.mass *
+                             (0.5 * params.dt)
+                       : 0.0;
+  const double s = magnetized ? 2.0 * t / (1.0 + t * t) : 0.0;
+
+  for (std::size_t p = 0; p < particles.size();) {
+    const double e_here = gather(grid, efield, x[p]);
+    // Half acceleration.
+    double ux = vx[p] + 0.5 * qm_dt * e_here;
+    double uy = vy[p];
+    if (magnetized) {
+      // v' = v + v x t ; v+ = v + v' x s  (z-rotation only).
+      const double px = ux + uy * t;
+      const double py = uy - ux * t;
+      ux = ux + py * s;
+      uy = uy - px * s;
+    }
+    // Second half acceleration.
+    vx[p] = ux + 0.5 * qm_dt * e_here;
+    vy[p] = uy;
+    x[p] += vx[p] * params.dt;
+
+    if (x[p] >= grid.x0() && x[p] <= grid.x1()) {
+      ++p;
+      continue;
+    }
+    switch (params.walls) {
+      case WallMode::periodic: {
+        const double length = grid.length();
+        while (x[p] < grid.x0()) x[p] += length;
+        while (x[p] > grid.x1()) x[p] -= length;
+        ++p;
+        break;
+      }
+      case WallMode::reflect: {
+        if (x[p] < grid.x0()) x[p] = 2.0 * grid.x0() - x[p];
+        if (x[p] > grid.x1()) x[p] = 2.0 * grid.x1() - x[p];
+        vx[p] = -vx[p];
+        // A particle deep past the wall (v dt >> L) could still be outside;
+        // clamp defensively.
+        if (x[p] < grid.x0()) x[p] = grid.x0();
+        if (x[p] > grid.x1()) x[p] = grid.x1();
+        ++p;
+        break;
+      }
+      case WallMode::absorb: {
+        if (x[p] < grid.x0()) {
+          ++result.absorbed_left;
+          result.absorbed_weight_left += particles.w()[p];
+        } else {
+          ++result.absorbed_right;
+          result.absorbed_weight_right += particles.w()[p];
+        }
+        particles.swap_remove(p);  // do not advance p
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bitio::picmc

@@ -1,0 +1,42 @@
+#pragma once
+// Particle push and wall interaction.
+//
+// Leapfrog scheme in 1D3V: the electric field accelerates v_x only (the
+// paper's use case is unmagnetized); an optional uniform B along z rotates
+// (v_x, v_y) with the standard Boris rotation, which BIT1 needs for
+// magnetized flux-tube runs.  Particles crossing a wall are absorbed and
+// counted as wall flux (the plasma-wall transition is BIT1's whole topic)
+// or specularly reflected, per config.
+
+#include <span>
+
+#include "picmc/fields.hpp"
+#include "picmc/grid.hpp"
+#include "picmc/particles.hpp"
+
+namespace bitio::picmc {
+
+enum class WallMode { absorb, reflect, periodic };
+
+struct PushResult {
+  std::uint64_t absorbed_left = 0;
+  std::uint64_t absorbed_right = 0;
+  double absorbed_weight_left = 0.0;
+  double absorbed_weight_right = 0.0;
+};
+
+struct PushParams {
+  double charge = -1.0;  // species charge (normalized units)
+  double mass = 1.0;
+  double dt = 0.1;
+  double bz = 0.0;       // uniform magnetic field along z
+  WallMode walls = WallMode::absorb;
+};
+
+/// Advance one species: v-update from the gathered E field (+ optional
+/// Boris rotation), x-update, then wall handling.  Absorbed particles are
+/// removed from the buffer.
+PushResult push_species(const Grid1D& grid, std::span<const double> efield,
+                        ParticleBuffer& particles, const PushParams& params);
+
+}  // namespace bitio::picmc

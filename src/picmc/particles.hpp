@@ -1,0 +1,86 @@
+#pragma once
+// Particle storage for the 1D3V PIC MC code.
+//
+// Structure-of-arrays layout: one contiguous array per coordinate, the
+// memory organization BIT1 adopted for cache efficiency (Tskhakaya et al.,
+// "Optimization of PIC codes by improved memory management").  Positions are
+// 1D; velocities keep all three components (1D3V).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bitio::picmc {
+
+class ParticleBuffer {
+public:
+  std::size_t size() const { return x_.size(); }
+  bool empty() const { return x_.empty(); }
+
+  void reserve(std::size_t n) {
+    x_.reserve(n);
+    vx_.reserve(n);
+    vy_.reserve(n);
+    vz_.reserve(n);
+    w_.reserve(n);
+  }
+
+  void push_back(double x, double vx, double vy, double vz,
+                 double weight = 1.0) {
+    x_.push_back(x);
+    vx_.push_back(vx);
+    vy_.push_back(vy);
+    vz_.push_back(vz);
+    w_.push_back(weight);
+  }
+
+  /// O(1) removal: move the last particle into slot i.  Order is not
+  /// preserved (irrelevant for PIC).
+  void swap_remove(std::size_t i) {
+    if (i >= size()) throw UsageError("ParticleBuffer: swap_remove range");
+    x_[i] = x_.back();
+    vx_[i] = vx_.back();
+    vy_[i] = vy_.back();
+    vz_[i] = vz_.back();
+    w_[i] = w_.back();
+    x_.pop_back();
+    vx_.pop_back();
+    vy_.pop_back();
+    vz_.pop_back();
+    w_.pop_back();
+  }
+
+  void clear() {
+    x_.clear();
+    vx_.clear();
+    vy_.clear();
+    vz_.clear();
+    w_.clear();
+  }
+
+  // Coordinate arrays (SoA access for movers/deposits and for I/O, which
+  // stores each component as one openPMD record component).
+  std::vector<double>& x() { return x_; }
+  std::vector<double>& vx() { return vx_; }
+  std::vector<double>& vy() { return vy_; }
+  std::vector<double>& vz() { return vz_; }
+  std::vector<double>& w() { return w_; }
+  const std::vector<double>& x() const { return x_; }
+  const std::vector<double>& vx() const { return vx_; }
+  const std::vector<double>& vy() const { return vy_; }
+  const std::vector<double>& vz() const { return vz_; }
+  const std::vector<double>& w() const { return w_; }
+
+  /// Total particle weight (physical particles represented).
+  double total_weight() const {
+    double sum = 0.0;
+    for (double w : w_) sum += w;
+    return sum;
+  }
+
+private:
+  std::vector<double> x_, vx_, vy_, vz_, w_;
+};
+
+}  // namespace bitio::picmc

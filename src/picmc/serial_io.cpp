@@ -1,0 +1,155 @@
+#include "picmc/serial_io.hpp"
+
+#include "util/binio.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace bitio::picmc {
+
+Bit1SerialWriter::Bit1SerialWriter(fsim::SharedFs& fs, std::string run_dir,
+                                   int rank, int nranks)
+    : fs_(fs), run_dir_(std::move(run_dir)), rank_(rank), nranks_(nranks) {
+  if (rank < 0 || nranks <= 0 || rank >= nranks)
+    throw UsageError("Bit1SerialWriter: bad rank/nranks");
+}
+
+std::string Bit1SerialWriter::slow_path() const {
+  return run_dir_ + "/slow_" + std::to_string(rank_) + ".dat";
+}
+
+std::string Bit1SerialWriter::slow1_path() const {
+  return run_dir_ + "/slow1_" + std::to_string(rank_) + ".dat";
+}
+
+void Bit1SerialWriter::append_text(const std::string& path,
+                                   const std::string& text) {
+  fsim::FsClient io(fs_, fsim::ClientId(rank_));
+  const int fd = io.open(path, io.exists(path) ? fsim::OpenMode::append
+                                               : fsim::OpenMode::create);
+  for (std::size_t pos = 0; pos < text.size(); pos += kStdioRecord) {
+    const std::size_t n = std::min(kStdioRecord, text.size() - pos);
+    io.write(fd, std::span<const std::uint8_t>(
+                     reinterpret_cast<const std::uint8_t*>(text.data() + pos),
+                     n));
+  }
+  io.close(fd);
+}
+
+void Bit1SerialWriter::write_input_echo(const SimConfig& config) {
+  if (rank_ != 0) return;
+  std::string text;
+  text += strfmt("# BIT1 input echo\n");
+  text += strfmt("ncells   = %zu\n", config.ncells);
+  text += strfmt("dt       = %g\n", config.dt);
+  text += strfmt("last_step= %llu\n",
+                 static_cast<unsigned long long>(config.last_step));
+  text += strfmt("datfile  = %llu\n",
+                 static_cast<unsigned long long>(config.datfile));
+  text += strfmt("dmpstep  = %llu\n",
+                 static_cast<unsigned long long>(config.dmpstep));
+  text += strfmt("mvflag   = %d\n", config.mvflag);
+  text += strfmt("mvstep   = %llu\n",
+                 static_cast<unsigned long long>(config.mvstep));
+  for (const auto& s : config.species)
+    text += strfmt("species %s: m=%g q=%g T=%g ppc=%zu\n",
+                   s.name.c_str(), s.mass, s.charge, s.temperature,
+                   s.particles_per_cell);
+  append_text(run_dir_ + "/input.echo", text);
+}
+
+void Bit1SerialWriter::write_diagnostics(const Simulation& sim,
+                                         const DiagnosticSnapshot& snapshot) {
+  // "slow": plasma profiles and velocity distribution functions.
+  std::string slow;
+  slow += strfmt("# step %llu t=%g\n",
+                 static_cast<unsigned long long>(snapshot.step),
+                 snapshot.time);
+  for (const auto& sp : snapshot.species) {
+    slow += strfmt("## %s density\n", sp.name.c_str());
+    for (std::size_t i = 0; i < sp.density.size(); ++i)
+      slow += strfmt("%g %.6e\n", sim.grid().node_position(i),
+                     sp.density[i]);
+    slow += strfmt("## %s f(vx)\n", sp.name.c_str());
+    for (std::size_t i = 0; i < sp.vdf_vx.size(); ++i)
+      slow += strfmt("%zu %.6e\n", i, sp.vdf_vx[i]);
+  }
+  append_text(slow_path(), slow);
+
+  // "slow1": self-consistent atomic collision diagnostics.
+  std::string slow1;
+  slow1 += strfmt("# step %llu collisions\n",
+                  static_cast<unsigned long long>(snapshot.step));
+  slow1 += strfmt("ionization_events %llu\n",
+                  static_cast<unsigned long long>(snapshot.ionization_events));
+  for (const auto& sp : snapshot.species)
+    slow1 += strfmt("%s count %llu weight %.6e energy %.6e\n",
+                    sp.name.c_str(),
+                    static_cast<unsigned long long>(sp.particle_count),
+                    sp.total_weight, sp.kinetic_energy);
+  append_text(slow1_path(), slow1);
+}
+
+void Bit1SerialWriter::write_history(const Simulation& sim,
+                                     std::uint64_t global_particles,
+                                     double global_energy) {
+  if (rank_ != 0) return;
+  const double t = double(sim.current_step()) * sim.config().dt;
+  append_text(run_dir_ + "/history.dat",
+              strfmt("%g %llu\n", t,
+                     static_cast<unsigned long long>(global_particles)));
+  append_text(run_dir_ + "/energy.dat", strfmt("%g %.8e\n", t, global_energy));
+  std::string flux;
+  for (std::size_t i = 0; i < sim.species_count(); ++i) {
+    const Species& s = sim.species(i);
+    flux += strfmt("%g %s %llu %llu %.6e\n", t, s.config.name.c_str(),
+                   static_cast<unsigned long long>(s.absorbed_left),
+                   static_cast<unsigned long long>(s.absorbed_right),
+                   s.absorbed_weight);
+  }
+  append_text(run_dir_ + "/pwall.dat", flux);
+  append_text(run_dir_ + "/iondiag.dat",
+              strfmt("%g %llu %.6e\n", t,
+                     static_cast<unsigned long long>(sim.ionization_events()),
+                     sim.ionized_weight()));
+}
+
+void Bit1SerialWriter::write_checkpoint(
+    std::span<const std::vector<std::uint8_t>> rank_states) {
+  if (rank_ != 0)
+    throw UsageError("Bit1SerialWriter: only rank 0 writes bit1.dmp");
+  BinWriter out;
+  out.u32(std::uint32_t(rank_states.size()));
+  for (const auto& blob : rank_states) {
+    out.u64(blob.size());
+    out.bytes(blob);
+  }
+  fsim::FsClient io(fs_, 0);
+  const int fd = io.open(dmp_path(), fsim::OpenMode::create_or_truncate);
+  // The gathered state is written serially in stdio-sized records — this
+  // is exactly the pattern that makes original-BIT1 checkpoints slow.
+  const auto& bytes = out.buffer();
+  for (std::size_t pos = 0; pos < bytes.size(); pos += kStdioRecord) {
+    const std::size_t n = std::min(kStdioRecord, bytes.size() - pos);
+    io.write(fd, std::span<const std::uint8_t>(bytes.data() + pos, n));
+  }
+  io.fsync(fd);
+  io.close(fd);
+}
+
+std::vector<std::vector<std::uint8_t>> Bit1SerialWriter::read_checkpoint() {
+  fsim::FsClient io(fs_, fsim::ClientId(rank_));
+  const auto bytes = io.read_all(dmp_path());
+  BinReader in(bytes);
+  const std::uint32_t count = in.u32();
+  std::vector<std::vector<std::uint8_t>> blobs;
+  blobs.reserve(count);
+  for (std::uint32_t r = 0; r < count; ++r) {
+    const std::uint64_t n = in.u64();
+    const auto span = in.bytes(n);
+    blobs.emplace_back(span.begin(), span.end());
+  }
+  if (!in.done()) throw FormatError("bit1.dmp: trailing bytes");
+  return blobs;
+}
+
+}  // namespace bitio::picmc

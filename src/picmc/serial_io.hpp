@@ -1,0 +1,72 @@
+#pragma once
+// BIT1's original serial stdio-style output, reproduced faithfully as the
+// baseline the paper measures first (Figs 2-5, Table II "BIT1 Original
+// I/O"):
+//
+//   * every rank appends ASCII diagnostics to its own two .dat files
+//     ("slow" plasma profiles / distribution functions, and "slow1"
+//     self-consistent atomic collision diagnostics) — 2 files x ranks;
+//   * rank 0 maintains six global files: the input echo, the particle-
+//     number time history, wall fluxes, energy history, the ionization
+//     diagnostic, and the gathered binary checkpoint bit1.dmp —
+//     which yields the 256 N + 6 total files of Table II;
+//   * every output event re-opens and closes its file (fopen/fprintf/
+//     fclose), and text is flushed in small line-buffered records — the
+//     access pattern whose metadata and small-write costs Darshan exposes.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fsim/posix_fs.hpp"
+#include "picmc/diagnostics.hpp"
+#include "picmc/simulation.hpp"
+
+namespace bitio::picmc {
+
+class Bit1SerialWriter {
+public:
+  /// Record size of the simulated stdio buffer (bytes per write call).
+  static constexpr std::size_t kStdioRecord = 2048;
+
+  Bit1SerialWriter(fsim::SharedFs& fs, std::string run_dir, int rank,
+                   int nranks);
+
+  /// Write the input echo (rank 0, once).
+  void write_input_echo(const SimConfig& config);
+
+  /// Per-rank diagnostic dump (the `datfile` event): appends profiles to
+  /// slow_<rank>.dat and collision diagnostics to slow1_<rank>.dat.
+  void write_diagnostics(const Simulation& sim,
+                         const DiagnosticSnapshot& snapshot);
+
+  /// Rank-0 global histories (appended every datfile event).
+  void write_history(const Simulation& sim, std::uint64_t global_particles,
+                     double global_energy);
+
+  /// Rank-0 gathered checkpoint (the `dmpstep` event): one serial bit1.dmp
+  /// holding every rank's state blob.
+  void write_checkpoint(
+      std::span<const std::vector<std::uint8_t>> rank_states);
+
+  /// Read back the gathered checkpoint; element r is rank r's blob.
+  std::vector<std::vector<std::uint8_t>> read_checkpoint();
+
+  const std::string& run_dir() const { return run_dir_; }
+
+  /// File names (for tests and the darshan analysis).
+  std::string slow_path() const;
+  std::string slow1_path() const;
+  std::string dmp_path() const { return run_dir_ + "/bit1.dmp"; }
+
+private:
+  /// stdio-style append: open(append or create), write `text` in
+  /// kStdioRecord-sized records, close.
+  void append_text(const std::string& path, const std::string& text);
+
+  fsim::SharedFs& fs_;
+  std::string run_dir_;
+  int rank_, nranks_;
+};
+
+}  // namespace bitio::picmc

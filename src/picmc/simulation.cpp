@@ -1,0 +1,177 @@
+#include "picmc/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "picmc/fields.hpp"
+#include "util/error.hpp"
+
+namespace bitio::picmc {
+
+SimConfig SimConfig::ionization_case(std::size_t cells, std::size_t ppc) {
+  SimConfig config;
+  config.ncells = cells;
+  config.x0 = 0.0;
+  config.x1 = double(cells);  // dx = 1 Debye length
+  config.dt = 0.1;
+  config.use_field_solver = false;  // the paper's test skips solve + smooth
+  config.smoothing_passes = 0;
+  config.walls = WallMode::periodic;
+  config.ionization_rate = 2e-3;
+  config.elastic_rate = 0.0;
+
+  SpeciesConfig electrons{"e", SpeciesRole::electron, 1.0, -1.0,
+                          1.0, 1.0, ppc};
+  // Deuterium: m_D / m_e = 3671.5.
+  SpeciesConfig ions{"D+", SpeciesRole::ion, 3671.5, 1.0, 0.03, 1.0, ppc};
+  SpeciesConfig neutrals{"D", SpeciesRole::neutral, 3671.5, 0.0,
+                         0.03, 1.0, ppc};
+  config.species = {electrons, ions, neutrals};
+  return config;
+}
+
+Simulation::Simulation(SimConfig config, int rank, int nranks)
+    : config_(std::move(config)),
+      rank_(rank),
+      nranks_(nranks),
+      grid_(config_.x0, config_.x1, config_.ncells),
+      rho_(grid_.nnodes(), 0.0),
+      phi_(grid_.nnodes(), 0.0),
+      efield_(grid_.nnodes(), 0.0),
+      rng_(config_.seed, std::uint64_t(rank)) {
+  if (nranks <= 0 || rank < 0 || rank >= nranks)
+    throw UsageError("Simulation: bad rank/nranks");
+  if (config_.species.empty())
+    throw UsageError("Simulation: no species configured");
+  for (const auto& sc : config_.species) {
+    Species s;
+    s.config = sc;
+    s.density.assign(grid_.nnodes(), 0.0);
+    species_.push_back(std::move(s));
+  }
+}
+
+void Simulation::initialize() {
+  for (auto& s : species_) {
+    const std::uint64_t global_total =
+        std::uint64_t(s.config.particles_per_cell) * grid_.ncells();
+    // Contiguous block split across ranks; weights chosen so the summed
+    // physical density equals config.density.
+    const std::uint64_t begin =
+        global_total * std::uint64_t(rank_) / std::uint64_t(nranks_);
+    const std::uint64_t end =
+        global_total * std::uint64_t(rank_ + 1) / std::uint64_t(nranks_);
+    const double weight =
+        s.config.density * grid_.length() / double(global_total);
+    const double vth = std::sqrt(s.config.temperature / s.config.mass);
+    s.particles.reserve(end - begin);
+    for (std::uint64_t p = begin; p < end; ++p) {
+      const double x = grid_.x0() + rng_.uniform() * grid_.length();
+      s.particles.push_back(x, vth * rng_.normal(), vth * rng_.normal(),
+                            vth * rng_.normal(), weight);
+    }
+  }
+}
+
+Species& Simulation::species_named(const std::string& name) {
+  for (auto& s : species_)
+    if (s.config.name == name) return s;
+  throw UsageError("Simulation: no species '" + name + "'");
+}
+
+Species* Simulation::find_role(SpeciesRole role) {
+  for (auto& s : species_)
+    if (s.config.role == role) return &s;
+  return nullptr;
+}
+
+double Simulation::kinetic_energy(const Species& s) const {
+  double energy = 0.0;
+  const auto& p = s.particles;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double v2 = p.vx()[i] * p.vx()[i] + p.vy()[i] * p.vy()[i] +
+                      p.vz()[i] * p.vz()[i];
+    energy += 0.5 * s.config.mass * p.w()[i] * v2;
+  }
+  return energy;
+}
+
+std::uint64_t Simulation::local_particles() const {
+  std::uint64_t total = 0;
+  for (const auto& s : species_) total += s.particles.size();
+  return total;
+}
+
+void Simulation::step(const DensityReducer& reduce) {
+  // Phase 1: plasma density calculation (particle-to-grid interpolation).
+  for (auto& s : species_) {
+    deposit_density(grid_, s.particles, s.density);
+    if (reduce) reduce(s.density);
+  }
+
+  // Phase 2: density smoothing (off in the paper's scaling test).
+  if (config_.smoothing_passes > 0)
+    for (auto& s : species_)
+      smooth_binomial(s.density, config_.smoothing_passes);
+
+  // Phase 3: field solve (off in the paper's scaling test).
+  if (config_.use_field_solver) {
+    std::fill(rho_.begin(), rho_.end(), 0.0);
+    for (const auto& s : species_)
+      for (std::size_t i = 0; i < rho_.size(); ++i)
+        rho_[i] += s.config.charge * s.density[i];
+    solve_poisson(grid_, rho_, phi_);
+    electric_field(grid_, phi_, efield_);
+  } else {
+    std::fill(efield_.begin(), efield_.end(), 0.0);
+  }
+
+  // Phase 4: particle advance + wall interaction.
+  for (auto& s : species_) {
+    PushParams push;
+    push.charge = s.config.charge;
+    push.mass = s.config.mass;
+    push.dt = config_.dt;
+    push.bz = config_.bz;
+    push.walls = config_.walls;
+    const PushResult result =
+        push_species(grid_, efield_, s.particles, push);
+    s.absorbed_left += result.absorbed_left;
+    s.absorbed_right += result.absorbed_right;
+    s.absorbed_weight +=
+        result.absorbed_weight_left + result.absorbed_weight_right;
+  }
+
+  // Phase 5: Monte Carlo collisions.
+  Species* electrons = find_role(SpeciesRole::electron);
+  Species* ions = find_role(SpeciesRole::ion);
+  Species* neutrals = find_role(SpeciesRole::neutral);
+  if (electrons && ions && neutrals && config_.ionization_rate > 0.0) {
+    IonizationParams ion_params;
+    ion_params.rate_coefficient = config_.ionization_rate;
+    ion_params.dt = config_.dt;
+    ion_params.electron_thermal_speed = config_.electron_thermal_kick;
+    const IonizationResult result =
+        ionize(grid_, electrons->density, neutrals->particles,
+               ions->particles, electrons->particles, ion_params, rng_);
+    ionization_events_ += result.events;
+    ionized_weight_ += result.ionized_weight;
+  }
+  if (electrons && neutrals && config_.elastic_rate > 0.0) {
+    ElasticParams elastic{config_.elastic_rate, config_.dt};
+    elastic_scatter(grid_, neutrals->density, electrons->particles, elastic,
+                    rng_);
+  }
+
+  ++step_;
+}
+
+void Simulation::run(const DensityReducer& reduce,
+                     const std::function<void(Simulation&)>& on_step) {
+  while (step_ < config_.last_step) {
+    step(reduce);
+    if (on_step) on_step(*this);
+  }
+}
+
+}  // namespace bitio::picmc

@@ -1,0 +1,149 @@
+#pragma once
+// The BIT1-like simulation driver: configuration, species bookkeeping, and
+// the five-phase PIC MC cycle (deposit -> smooth -> field solve -> move +
+// wall MC -> collision MC).
+//
+// Parallel model (BIT1's): particles are distributed over MPI ranks, grids
+// and fields are replicated; after local deposition the densities are
+// summed across ranks.  The reduction is injected by the caller (a
+// smpi::Comm allreduce in SPMD runs, identity when serial), so the
+// simulation itself stays communication-agnostic.
+//
+// Normalized units: lengths in Debye lengths, times in inverse plasma
+// frequencies, charge/mass in electron units — the conventions of
+// electrostatic PIC textbooks (Birdsall & Langdon).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "picmc/grid.hpp"
+#include "picmc/mc.hpp"
+#include "picmc/mover.hpp"
+#include "picmc/particles.hpp"
+#include "util/rng.hpp"
+
+namespace bitio::picmc {
+
+enum class SpeciesRole { electron, ion, neutral };
+
+struct SpeciesConfig {
+  std::string name;
+  SpeciesRole role = SpeciesRole::electron;
+  double mass = 1.0;
+  double charge = -1.0;
+  double temperature = 1.0;       // k_B T in normalized units
+  double density = 1.0;           // initial uniform density
+  std::size_t particles_per_cell = 16;
+};
+
+/// The five critical BIT1 input parameters (Section I of the paper) plus
+/// the physics configuration of the ionization use case.
+struct SimConfig {
+  // Geometry and time stepping.
+  double x0 = 0.0, x1 = 100.0;
+  std::size_t ncells = 100;
+  double dt = 0.1;
+  std::uint64_t last_step = 1000;  // time step at which the code concludes
+
+  // Output control.
+  std::uint64_t datfile = 100;  // diagnostic snapshot every N steps
+  std::uint64_t dmpstep = 500;  // checkpoint every N steps
+  int mvflag = 0;    // >0: number of steps time-dependent diags average over
+  std::uint64_t mvstep = 10;  // interval between time-dependent diagnostics
+
+  // Physics switches.  The paper's scaling test runs WITHOUT the field
+  // solver and smoother phases.
+  bool use_field_solver = false;
+  int smoothing_passes = 0;
+  double bz = 0.0;
+  WallMode walls = WallMode::periodic;  // use case: unbounded plasma
+  double ionization_rate = 1e-3;
+  double electron_thermal_kick = 1.0;
+  double elastic_rate = 0.0;
+
+  std::uint64_t seed = 0xB171;
+  std::vector<SpeciesConfig> species;
+
+  /// The paper's use case, scaled: electrons + D+ ions + D neutrals in an
+  /// unbounded unmagnetized plasma, field solver off.  `cells` and `ppc`
+  /// shrink the 100K-cell / 100-ppc production run to test size.
+  static SimConfig ionization_case(std::size_t cells = 256,
+                                   std::size_t ppc = 32);
+};
+
+/// One species' live state.
+struct Species {
+  SpeciesConfig config;
+  ParticleBuffer particles;
+  std::vector<double> density;  // node-centered, globally reduced
+  // Cumulative wall-flux bookkeeping.
+  std::uint64_t absorbed_left = 0, absorbed_right = 0;
+  double absorbed_weight = 0.0;
+};
+
+class Simulation {
+public:
+  /// In-place density reduction across ranks (allreduce-sum); identity when
+  /// empty (serial run).
+  using DensityReducer = std::function<void(std::span<double>)>;
+
+  Simulation(SimConfig config, int rank = 0, int nranks = 1);
+
+  /// Sample initial particles (each rank gets a 1/nranks share).
+  void initialize();
+
+  /// Advance one PIC MC cycle.
+  void step(const DensityReducer& reduce = {});
+
+  /// Run until `last_step`, invoking `on_step(sim)` after every step.
+  void run(const DensityReducer& reduce = {},
+           const std::function<void(Simulation&)>& on_step = {});
+
+  // -- state access ----------------------------------------------------------
+  const Grid1D& grid() const { return grid_; }
+  const SimConfig& config() const { return config_; }
+  int rank() const { return rank_; }
+  int nranks() const { return nranks_; }
+  std::uint64_t current_step() const { return step_; }
+  void set_current_step(std::uint64_t step) { step_ = step; }
+
+  std::size_t species_count() const { return species_.size(); }
+  Species& species(std::size_t i) { return species_.at(i); }
+  const Species& species(std::size_t i) const { return species_.at(i); }
+  Species& species_named(const std::string& name);
+  Species* find_role(SpeciesRole role);
+
+  const std::vector<double>& phi() const { return phi_; }
+  const std::vector<double>& efield() const { return efield_; }
+
+  std::uint64_t ionization_events() const { return ionization_events_; }
+  double ionized_weight() const { return ionized_weight_; }
+  /// Restore cumulative MC counters (checkpoint load).
+  void set_ionization_totals(std::uint64_t events, double weight) {
+    ionization_events_ = events;
+    ionized_weight_ = weight;
+  }
+
+  /// Local (this rank's) kinetic energy of one species.
+  double kinetic_energy(const Species& s) const;
+  /// Local particle count across species.
+  std::uint64_t local_particles() const;
+
+  Rng& rng() { return rng_; }
+
+private:
+  SimConfig config_;
+  int rank_, nranks_;
+  Grid1D grid_;
+  std::vector<Species> species_;
+  std::vector<double> rho_;     // charge density
+  std::vector<double> phi_;
+  std::vector<double> efield_;
+  std::uint64_t step_ = 0;
+  std::uint64_t ionization_events_ = 0;
+  double ionized_weight_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace bitio::picmc

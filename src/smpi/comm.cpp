@@ -1,0 +1,113 @@
+#include "smpi/comm.hpp"
+
+#include <thread>
+
+namespace bitio::smpi {
+
+namespace detail {
+
+World::World(int size) : size_(size), slots_(std::size_t(size)) {
+  if (size <= 0) throw UsageError("smpi: world size must be positive");
+}
+
+void World::barrier() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t my_generation = generation_;
+  if (++arrived_ == size_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return generation_ != my_generation; });
+  }
+}
+
+void World::exchange(
+    int rank, std::vector<std::byte> contribution,
+    const std::function<void(const std::vector<std::vector<std::byte>>&)>&
+        reader) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_[std::size_t(rank)] = std::move(contribution);
+  }
+  barrier();  // everyone has published
+  // slots_ is stable between the two barriers: the next exchange cannot
+  // start publishing before all ranks pass the second barrier below.
+  reader(slots_);
+  barrier();  // everyone has read
+}
+
+void World::send(int from, int to, std::vector<std::byte> payload) {
+  {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    mail_[{from, to}].push_back(std::move(payload));
+  }
+  mail_cv_.notify_all();
+}
+
+std::vector<std::byte> World::recv(int from, int to) {
+  std::unique_lock<std::mutex> lock(mail_mutex_);
+  auto key = std::make_pair(from, to);
+  mail_cv_.wait(lock, [&] {
+    auto it = mail_.find(key);
+    return it != mail_.end() && !it->second.empty();
+  });
+  auto& queue = mail_[key];
+  std::vector<std::byte> payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+}  // namespace detail
+
+Comm Comm::self() {
+  return Comm(std::make_shared<detail::World>(1), 0);
+}
+
+std::vector<std::vector<std::byte>> Comm::gatherv_bytes(
+    std::span<const std::byte> local, int root) {
+  std::vector<std::vector<std::byte>> out;
+  world_->exchange(rank_,
+                   std::vector<std::byte>(local.begin(), local.end()),
+                   [&](const std::vector<std::vector<std::byte>>& all) {
+                     if (rank_ == root) out.assign(all.begin(), all.end());
+                   });
+  return out;
+}
+
+void Comm::send(int dest, std::span<const std::byte> payload) {
+  if (dest < 0 || dest >= size()) throw UsageError("smpi: send to bad rank");
+  world_->send(rank_, dest,
+               std::vector<std::byte>(payload.begin(), payload.end()));
+}
+
+std::vector<std::byte> Comm::recv(int source) {
+  if (source < 0 || source >= size())
+    throw UsageError("smpi: recv from bad rank");
+  return world_->recv(source, rank_);
+}
+
+void run_spmd(int nranks, const std::function<void(Comm&)>& body) {
+  auto world = std::make_shared<detail::World>(nranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  threads.reserve(std::size_t(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world, r);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[std::size_t(r)] = std::current_exception();
+        // A dead rank would deadlock peers waiting in collectives; there is
+        // no recovery in MPI either (the job aborts).  We simply stop this
+        // rank; tests that exercise error paths use size-1 worlds.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace bitio::smpi

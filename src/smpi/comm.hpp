@@ -1,0 +1,196 @@
+#pragma once
+// Simulated MPI subset ("smpi").
+//
+// The paper's I/O stack needs only a narrow slice of MPI: rank/size,
+// barrier, reduce/allreduce, gather(v)/allgather, exscan (to compute each
+// rank's offset into a global array), broadcast, and point-to-point
+// send/recv (used by the aggregation step).  This module provides exactly
+// that slice with MPI semantics, executing SPMD rank bodies as cooperating
+// threads inside one process (`run_spmd`).
+//
+// Design notes (LLNL MPI tutorial model): all parallelism is explicit, data
+// moves between rank-private address spaces only through these cooperative
+// operations.  Rank bodies must not share mutable state other than through
+// the Comm.  Collectives are implemented with a shared slot table plus a
+// std::barrier, giving deterministic results independent of thread
+// scheduling.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bitio::smpi {
+
+/// Reduction operations, mirroring MPI_Op for the types we need.
+enum class Op { sum, min, max };
+
+namespace detail {
+
+/// Shared state for one communicator: slot table + generation barrier +
+/// point-to-point mailboxes.  One instance is shared by all rank threads.
+class World {
+public:
+  explicit World(int size);
+
+  int size() const { return size_; }
+
+  /// Arrive-and-wait for all ranks.  Re-usable.
+  void barrier();
+
+  /// Publish this rank's contribution, wait for everyone, call `reader`
+  /// with the full slot table, then wait again so no rank can start the
+  /// next collective while another is still reading.
+  void exchange(
+      int rank, std::vector<std::byte> contribution,
+      const std::function<void(const std::vector<std::vector<std::byte>>&)>&
+          reader);
+
+  void send(int from, int to, std::vector<std::byte> payload);
+  std::vector<std::byte> recv(int from, int to);
+
+private:
+  int size_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::vector<std::byte>> slots_;
+  // Mailboxes keyed by (from, to).  deque preserves message order per pair.
+  std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> mail_;
+  std::condition_variable mail_cv_;
+  std::mutex mail_mutex_;
+};
+
+template <typename T>
+std::vector<std::byte> to_bytes(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> out(sizeof(T));
+  std::memcpy(out.data(), &value, sizeof(T));
+  return out;
+}
+
+template <typename T>
+T from_bytes(const std::vector<std::byte>& bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  if (bytes.size() != sizeof(T))
+    throw UsageError("smpi: collective type size mismatch");
+  std::memcpy(&value, bytes.data(), sizeof(T));
+  return value;
+}
+
+template <typename T>
+T apply(Op op, T a, T b) {
+  switch (op) {
+    case Op::sum: return a + b;
+    case Op::min: return a < b ? a : b;
+    case Op::max: return a > b ? a : b;
+  }
+  throw UsageError("smpi: unknown op");
+}
+
+}  // namespace detail
+
+/// Per-rank communicator handle.  Cheap to copy; all copies refer to the
+/// same World.
+class Comm {
+public:
+  Comm(std::shared_ptr<detail::World> world, int rank)
+      : world_(std::move(world)), rank_(rank) {}
+
+  /// A size-1 communicator for serial use (examples, tests, model mode).
+  static Comm self();
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size(); }
+
+  void barrier() { world_->barrier(); }
+
+  template <typename T>
+  T allreduce(T value, Op op) {
+    T acc{};
+    world_->exchange(rank_, detail::to_bytes(value), [&](const auto& all) {
+      acc = detail::from_bytes<T>(all[0]);
+      for (int r = 1; r < size(); ++r)
+        acc =
+            detail::apply(op, acc, detail::from_bytes<T>(all[std::size_t(r)]));
+    });
+    return acc;
+  }
+
+  /// MPI_Exscan: rank r receives op over ranks [0, r); rank 0 receives the
+  /// identity (0 for sum — the only identity we need).
+  template <typename T>
+  T exscan(T value, Op op = Op::sum) {
+    T acc{};
+    world_->exchange(rank_, detail::to_bytes(value), [&](const auto& all) {
+      for (int r = 0; r < rank_; ++r) {
+        T v = detail::from_bytes<T>(all[std::size_t(r)]);
+        acc = r == 0 ? v : detail::apply(op, acc, v);
+      }
+    });
+    return acc;
+  }
+
+  template <typename T>
+  std::vector<T> allgather(T value) {
+    std::vector<T> out;
+    out.reserve(std::size_t(size()));
+    world_->exchange(rank_, detail::to_bytes(value), [&](const auto& all) {
+      for (const auto& b : all) out.push_back(detail::from_bytes<T>(b));
+    });
+    return out;
+  }
+
+  /// Gather fixed-size values to `root`.  Non-root ranks get an empty vector
+  /// (MPI semantics).
+  template <typename T>
+  std::vector<T> gather(T value, int root) {
+    auto all = allgather(value);
+    if (rank_ != root) return {};
+    return all;
+  }
+
+  template <typename T>
+  T bcast(T value, int root) {
+    T out{};
+    world_->exchange(rank_,
+                     rank_ == root ? detail::to_bytes(value)
+                                   : std::vector<std::byte>{},
+                     [&](const auto& all) {
+                       out = detail::from_bytes<T>(all[std::size_t(root)]);
+                     });
+    return out;
+  }
+
+  /// Gather variable-length byte buffers to `root`; the root receives one
+  /// buffer per rank in rank order, other ranks receive an empty vector.
+  std::vector<std::vector<std::byte>> gatherv_bytes(
+      std::span<const std::byte> local, int root);
+
+  /// Blocking point-to-point.  Message order between a fixed (src,dst) pair
+  /// is preserved.
+  void send(int dest, std::span<const std::byte> payload);
+  std::vector<std::byte> recv(int source);
+
+private:
+  std::shared_ptr<detail::World> world_;
+  int rank_;
+};
+
+/// Launch `nranks` copies of `body` as threads, each with its own Comm, and
+/// join them.  Exceptions thrown by any rank are captured and the first one
+/// (by rank) is rethrown after all ranks finished.
+void run_spmd(int nranks, const std::function<void(Comm&)>& body);
+
+}  // namespace bitio::smpi

@@ -1,0 +1,23 @@
+#pragma once
+// Tiny leveled logger.  Off-by-default below `warn` so library code can emit
+// diagnostics without polluting test and benchmark output.
+
+#include <string>
+
+namespace bitio {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (with level prefix) to stderr if enabled.
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::debug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::info, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::warn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::error, m); }
+
+}  // namespace bitio

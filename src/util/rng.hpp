@@ -1,0 +1,100 @@
+#pragma once
+// Deterministic, splittable random number generation.
+//
+// HPC codes need per-rank independent streams whose results do not depend on
+// the number of OS threads actually used.  We use xoshiro256** seeded through
+// splitmix64: cheap to split (one stream per rank / per species), high
+// quality, and fully reproducible across platforms.
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+
+namespace bitio {
+
+/// splitmix64 step; used to derive seeds and to decorrelate stream ids.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  /// Seed from a base seed and a stream id (e.g. MPI rank); distinct stream
+  /// ids give statistically independent sequences.
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9Bull,
+               std::uint64_t stream = 0) {
+    std::uint64_t sm = seed ^ (0x9E3779B97F4A7C15ull * (stream + 1));
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return double((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Multiply-shift rejection-free mapping; bias is negligible for n << 2^64.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * n) >> 64);
+  }
+
+  /// Standard normal via Box-Muller (one value per call, no caching so the
+  /// stream stays splittable / reproducible under reordering).
+  double normal() {
+    double u1 = 0.0;
+    do { u1 = uniform(); } while (u1 <= 0.0);
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  /// Exponential with the given rate lambda (> 0).
+  double exponential(double lambda) {
+    double u = 0.0;
+    do { u = uniform(); } while (u <= 0.0);
+    return -std::log(u) / lambda;
+  }
+
+  /// State capture/restore for bit-exact checkpoint/restart.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[std::size_t(i)];
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace bitio

@@ -1,0 +1,50 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+namespace bitio {
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const std::uint64_t total = n_ + other.n_;
+  m2_ += other.m2_ +
+         delta * delta * double(n_) * double(other.n_) / double(total);
+  mean_ += delta * double(other.n_) / double(total);
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = total;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double PercentileSampler::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * double(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+void SizeHistogram::add(std::uint64_t bytes) {
+  std::size_t i = 0;
+  while (i + 1 < kBuckets && (1ull << (i + 1)) <= bytes) ++i;
+  ++buckets_[i];
+}
+
+std::uint64_t SizeHistogram::total() const {
+  std::uint64_t sum = 0;
+  for (auto b : buckets_) sum += b;
+  return sum;
+}
+
+}  // namespace bitio

@@ -1,0 +1,80 @@
+#pragma once
+// Streaming statistics accumulators used by the Darshan-like monitor, the
+// discrete-event simulator reports, and the benchmark harness.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace bitio {
+
+/// Welford streaming accumulator: count / mean / variance / min / max / sum.
+class RunningStats {
+public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentile over a retained sample vector.  Fine for per-run report
+/// sizes (<= millions of samples); not meant for unbounded streams.
+class PercentileSampler {
+public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+
+  /// q in [0,1]; nearest-rank percentile.  Returns 0 for an empty sampler.
+  double percentile(double q) const;
+
+private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Power-of-two size histogram (Darshan-style access-size buckets).
+class SizeHistogram {
+public:
+  SizeHistogram() : buckets_(kBuckets, 0) {}
+
+  void add(std::uint64_t bytes);
+  /// Bucket i counts sizes in [2^i, 2^(i+1)); bucket 0 also counts 0.
+  std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t total() const;
+
+  static constexpr std::size_t kBuckets = 48;
+
+private:
+  std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace bitio

@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace bitio {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > width.size()) width.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](std::string& out, const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out += "| ";
+      out += cell;
+      out.append(width[i] - cell.size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  if (!header_.empty()) {
+    emit(out, header_);
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      out += "|";
+      out.append(width[i] + 2, '-');
+    }
+    out += "|\n";
+  }
+  for (const auto& r : rows_) emit(out, r);
+  return out;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(n > 0 ? std::size_t(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace bitio

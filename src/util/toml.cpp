@@ -1,0 +1,276 @@
+#include "util/toml.hpp"
+
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bitio {
+
+namespace {
+
+class TomlParser {
+public:
+  explicit TomlParser(std::string_view text) : text_(text) {}
+
+  Json parse() {
+    Json root{JsonObject{}};
+    Json* current = &root;
+    while (!at_end()) {
+      skip_blank();
+      if (at_end()) break;
+      if (peek() == '[') {
+        current = parse_table_header(root);
+      } else {
+        parse_key_value(*current);
+      }
+      skip_spaces();
+      skip_comment();
+      if (!at_end() && !consume_newline())
+        fail("expected end of line");
+    }
+    return root;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw FormatError("TOML parse error at line " + std::to_string(line_) +
+                      ": " + msg);
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char next() {
+    char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void skip_spaces() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t')) ++pos_;
+  }
+
+  void skip_comment() {
+    if (!at_end() && peek() == '#') {
+      while (!at_end() && peek() != '\n') ++pos_;
+    }
+  }
+
+  bool consume_newline() {
+    if (at_end()) return true;
+    if (peek() == '\r') ++pos_;
+    if (!at_end() && peek() == '\n') { next(); return true; }
+    return false;
+  }
+
+  /// Skip whitespace, newlines, and comments between top-level items.
+  void skip_blank() {
+    while (!at_end()) {
+      skip_spaces();
+      skip_comment();
+      if (at_end() || !consume_newline()) break;
+    }
+    skip_spaces();
+  }
+
+  std::string parse_bare_key() {
+    std::string key;
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_' || peek() == '-')) {
+      key += next();
+    }
+    if (key.empty()) fail("expected a key");
+    return key;
+  }
+
+  std::string parse_key_part() {
+    skip_spaces();
+    if (!at_end() && (peek() == '"' || peek() == '\'')) {
+      return parse_string_value().as_string();
+    }
+    return parse_bare_key();
+  }
+
+  std::vector<std::string> parse_dotted_key() {
+    std::vector<std::string> parts{parse_key_part()};
+    skip_spaces();
+    while (!at_end() && peek() == '.') {
+      next();
+      parts.push_back(parse_key_part());
+      skip_spaces();
+    }
+    return parts;
+  }
+
+  Json* descend(Json& root, const std::vector<std::string>& parts,
+                bool create_last_fresh) {
+    Json* node = &root;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      Json& child = (*node)[parts[i]];
+      if (child.is_null()) {
+        child = Json{JsonObject{}};
+      } else if (!child.is_object()) {
+        fail("key '" + parts[i] + "' already holds a value");
+      } else if (create_last_fresh && i + 1 == parts.size()) {
+        // Redefining an existing [table] is a TOML error; keep it strict so
+        // config typos surface early.
+        fail("table '" + parts[i] + "' defined twice");
+      }
+      node = &child;
+    }
+    return node;
+  }
+
+  Json* parse_table_header(Json& root) {
+    next();  // '['
+    if (!at_end() && peek() == '[')
+      fail("arrays of tables ([[...]]) are not supported");
+    auto parts = parse_dotted_key();
+    skip_spaces();
+    if (at_end() || next() != ']') fail("expected ']'");
+    std::string joined;
+    for (const auto& p : parts) {
+      joined += '.';
+      joined += p;
+    }
+    if (!defined_tables_.insert(joined).second)
+      fail("table '" + joined.substr(1) + "' defined twice");
+    return descend(root, parts, /*create_last_fresh=*/false);
+  }
+
+  void parse_key_value(Json& table) {
+    auto parts = parse_dotted_key();
+    skip_spaces();
+    if (at_end() || next() != '=') fail("expected '='");
+    skip_spaces();
+    Json* node = &table;
+    for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+      Json& child = (*node)[parts[i]];
+      if (child.is_null()) child = Json{JsonObject{}};
+      if (!child.is_object()) fail("dotted key crosses a non-table value");
+      node = &child;
+    }
+    Json& slot = (*node)[parts.back()];
+    if (!slot.is_null()) fail("duplicate key '" + parts.back() + "'");
+    slot = parse_value();
+  }
+
+  Json parse_value() {
+    skip_spaces();
+    if (at_end()) fail("expected a value");
+    char c = peek();
+    if (c == '"' || c == '\'') return parse_string_value();
+    if (c == '[') return parse_array();
+    if (c == '{') return parse_inline_table();
+    if (c == 't' || c == 'f') return parse_bool();
+    return parse_number();
+  }
+
+  Json parse_string_value() {
+    char quote = next();
+    std::string out;
+    if (quote == '\'') {
+      while (!at_end() && peek() != '\'') out += next();
+      if (at_end()) fail("unterminated literal string");
+      next();
+      return Json(std::move(out));
+    }
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        if (at_end()) fail("dangling escape");
+        char e = next();
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          default: fail("unsupported escape in string");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Json(std::move(out));
+  }
+
+  Json parse_bool() {
+    if (text_.substr(pos_, 4) == "true") { pos_ += 4; return Json(true); }
+    if (text_.substr(pos_, 5) == "false") { pos_ += 5; return Json(false); }
+    fail("bad boolean literal");
+  }
+
+  Json parse_number() {
+    std::string digits;
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '+' || peek() == '-' || peek() == '.' ||
+            peek() == '_')) {
+      char c = next();
+      if (c != '_') digits += c;
+    }
+    if (digits.empty()) fail("expected a number");
+    try {
+      std::size_t used = 0;
+      double d = std::stod(digits, &used);
+      if (used != digits.size()) fail("bad number '" + digits + "'");
+      return Json(d);
+    } catch (const FormatError&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("bad number '" + digits + "'");
+    }
+  }
+
+  Json parse_array() {
+    next();  // '['
+    JsonArray arr;
+    while (true) {
+      skip_blank();
+      if (at_end()) fail("unterminated array");
+      if (peek() == ']') { next(); break; }
+      arr.push_back(parse_value());
+      skip_blank();
+      if (at_end()) fail("unterminated array");
+      if (peek() == ',') { next(); continue; }
+      if (peek() == ']') { next(); break; }
+      fail("expected ',' or ']' in array");
+    }
+    return Json(std::move(arr));
+  }
+
+  Json parse_inline_table() {
+    next();  // '{'
+    Json table{JsonObject{}};
+    skip_spaces();
+    if (!at_end() && peek() == '}') { next(); return table; }
+    while (true) {
+      skip_spaces();
+      parse_key_value(table);
+      skip_spaces();
+      if (at_end()) fail("unterminated inline table");
+      char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in inline table");
+    }
+    return table;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  std::set<std::string> defined_tables_;
+};
+
+}  // namespace
+
+Json parse_toml(std::string_view text) { return TomlParser(text).parse(); }
+
+}  // namespace bitio

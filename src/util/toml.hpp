@@ -1,0 +1,26 @@
+#pragma once
+// Minimal TOML parser covering the subset used for "TOML-based dynamic
+// configuration" of the I/O stack (the mechanism the paper's BIT1
+// integration uses to configure openPMD/ADIOS2 at run time):
+//
+//   * [table] and [dotted.table] headers
+//   * key = value with bare and dotted keys
+//   * basic "..." strings (with escapes) and literal '...' strings
+//   * integers (decimal, underscores), floats, booleans
+//   * arrays and inline tables { k = v, ... }
+//   * comments (#) and arbitrary whitespace
+//
+// The parsed document is returned as a Json object tree so downstream config
+// consumers have a single value model regardless of config syntax.
+
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace bitio {
+
+/// Parse TOML text into a Json object.  Throws FormatError on bad syntax or
+/// duplicate key definitions.
+Json parse_toml(std::string_view text);
+
+}  // namespace bitio

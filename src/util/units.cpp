@@ -1,0 +1,85 @@
+#include "util/units.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace bitio {
+
+namespace {
+
+std::string with_unit(double value, const char* unit) {
+  char buf[64];
+  if (value < 10.0 && std::floor(value) != value) {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f%s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes >= GiB) return with_unit(double(bytes) / double(GiB), "GiB");
+  if (bytes >= MiB) return with_unit(double(bytes) / double(MiB), "MiB");
+  if (bytes >= KiB) return with_unit(double(bytes) / double(KiB), "KiB");
+  return with_unit(double(bytes), "B");
+}
+
+std::string format_gibps(double bytes_per_second) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f GiB/s", bytes_per_second / double(GiB));
+  return buf;
+}
+
+std::uint64_t parse_size(const std::string& text) {
+  if (text.empty()) throw FormatError("parse_size: empty string");
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw FormatError("parse_size: no number in '" + text + "'");
+  }
+  if (value < 0.0) throw FormatError("parse_size: negative size '" + text + "'");
+  // Skip whitespace between number and unit.
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  std::uint64_t mult = 1;
+  if (pos < text.size()) {
+    switch (std::toupper(static_cast<unsigned char>(text[pos]))) {
+      case 'K': mult = KiB; break;
+      case 'M': mult = MiB; break;
+      case 'G': mult = GiB; break;
+      case 'T': mult = TiB; break;
+      case 'B': mult = 1; break;
+      default:
+        throw FormatError("parse_size: unknown unit in '" + text + "'");
+    }
+    ++pos;
+    // Accept trailing "iB" / "B" after a K/M/G/T prefix.
+    if (pos < text.size() && (text[pos] == 'i' || text[pos] == 'I')) ++pos;
+    if (pos < text.size() && (text[pos] == 'b' || text[pos] == 'B')) ++pos;
+  }
+  if (pos != text.size())
+    throw FormatError("parse_size: trailing garbage in '" + text + "'");
+  return static_cast<std::uint64_t>(value * double(mult));
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace bitio

@@ -1,0 +1,31 @@
+#pragma once
+// Byte-size units, human formatting, and parsing of size strings such as
+// "16M" / "4MiB" (the notation used by `lfs setstripe -S` and throughout the
+// paper's tables).
+
+#include <cstdint>
+#include <string>
+
+namespace bitio {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+inline constexpr std::uint64_t TiB = 1024ull * GiB;
+
+/// Render a byte count the way the paper's tables do: "13KiB", "1.9MiB",
+/// "1.1GiB".  Values below 10 in the chosen unit keep one decimal.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Render a throughput in GiB/s with two decimals, e.g. "15.80 GiB/s".
+std::string format_gibps(double bytes_per_second);
+
+/// Parse "8", "64K", "16M", "16MiB", "1.5G", "2GB" into a byte count.
+/// K/M/G/T suffixes are binary (as `lfs setstripe` treats them).
+/// Throws FormatError on malformed input.
+std::uint64_t parse_size(const std::string& text);
+
+/// Seconds -> "12.3 ms" / "8.9 us" / "17.87 s" style string.
+std::string format_seconds(double seconds);
+
+}  // namespace bitio

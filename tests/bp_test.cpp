@@ -1,0 +1,395 @@
+// Tests for the miniBP container engine: format round trips, writer/reader
+// end-to-end, aggregation mapping, operators, steps, and failure detection.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bp/reader.hpp"
+#include "bp/writer.hpp"
+#include "util/error.hpp"
+#include "util/toml.hpp"
+
+namespace bitio::bp {
+namespace {
+
+std::vector<float> iota_floats(std::size_t n, float start = 0.f) {
+  std::vector<float> v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+// ---------------------------------------------------------------- format ---
+
+TEST(BpFormat, StepRecordRoundTrip) {
+  StepRecord record;
+  record.step = 42;
+  VarRecord var{"e/position/x", Datatype::float32, {1000}, {}};
+  var.chunks.push_back({{0}, {600}, 0, 0, 0, 2400, 2400, ""});
+  var.chunks.push_back({{600}, {400}, 1, 0, 2400, 900, 1600, "blosc"});
+  record.variables.push_back(var);
+  record.attributes.emplace_back("unitSI", AttrValue(1.0));
+  record.attributes.emplace_back("comment", AttrValue(std::string("hi")));
+  record.attributes.emplace_back("count", AttrValue(std::uint64_t(7)));
+
+  const auto bytes = encode_step(record);
+  const StepRecord back = decode_step(bytes);
+  EXPECT_EQ(back.step, 42u);
+  ASSERT_EQ(back.variables.size(), 1u);
+  EXPECT_EQ(back.variables[0].name, "e/position/x");
+  EXPECT_EQ(back.variables[0].shape, Dims{1000});
+  ASSERT_EQ(back.variables[0].chunks.size(), 2u);
+  EXPECT_EQ(back.variables[0].chunks[1].operator_name, "blosc");
+  EXPECT_EQ(back.variables[0].chunks[1].raw_bytes, 1600u);
+  ASSERT_EQ(back.attributes.size(), 3u);
+  EXPECT_DOUBLE_EQ(std::get<double>(back.attributes[0].second), 1.0);
+  EXPECT_EQ(std::get<std::string>(back.attributes[1].second), "hi");
+  EXPECT_EQ(std::get<std::uint64_t>(back.attributes[2].second), 7u);
+}
+
+TEST(BpFormat, DetectsCorruption) {
+  StepRecord record;
+  record.step = 1;
+  auto bytes = encode_step(record);
+  bytes[0] ^= 0xFF;  // magic
+  EXPECT_THROW(decode_step(bytes), FormatError);
+
+  auto good = encode_step(record);
+  good.pop_back();
+  EXPECT_THROW(decode_step(good), FormatError);
+  good = encode_step(record);
+  good.push_back(0);
+  EXPECT_THROW(decode_step(good), FormatError);
+}
+
+TEST(BpFormat, IndexRoundTripAndSizeCheck) {
+  std::vector<IndexEntry> index{{0, 0, 100}, {1, 100, 80}};
+  auto bytes = encode_index(index);
+  auto back = decode_index(bytes);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[1].md_offset, 100u);
+  bytes.pop_back();
+  EXPECT_THROW(decode_index(bytes), FormatError);
+}
+
+// ---------------------------------------------------------------- config ---
+
+TEST(BpConfig, FromTomlConfig) {
+  const Json cfg = parse_toml(R"(
+[adios2.engine]
+type = "bp4"
+
+[adios2.engine.parameters]
+NumAggregators = 400
+Profile = "On"
+
+[adios2.dataset]
+operators = [ { type = "blosc", typesize = 4 } ]
+)");
+  const EngineConfig engine = EngineConfig::from_json(cfg.at("adios2"));
+  EXPECT_EQ(engine.engine, EngineType::bp4);
+  EXPECT_EQ(engine.num_aggregators, 400);
+  EXPECT_TRUE(engine.profiling);
+  EXPECT_EQ(engine.codec, "blosc");
+  EXPECT_EQ(engine.codec_typesize, 4u);
+}
+
+TEST(BpConfig, RejectsUnknownEngine) {
+  Json cfg{JsonObject{}};
+  cfg["engine"]["type"] = "hdf5";
+  EXPECT_THROW(EngineConfig::from_json(cfg), UsageError);
+}
+
+// ---------------------------------------------------------------- writer ---
+
+EngineConfig small_config(int aggregators = 0, const std::string& codec = "none") {
+  EngineConfig config;
+  config.num_aggregators = aggregators;
+  config.ranks_per_node = 4;
+  config.codec = codec;
+  return config;
+}
+
+TEST(BpWriter, WriteReadRoundTrip1D) {
+  fsim::SharedFs fs(8);
+  {
+    Writer writer(fs, "out/series.bp4", small_config(), /*nranks=*/4);
+    writer.begin_step(0);
+    const Dims shape{40};
+    for (int r = 0; r < 4; ++r) {
+      auto local = iota_floats(10, float(r) * 10.f);
+      writer.put<float>(r, "density", shape, {std::uint64_t(r) * 10}, {10},
+                        local);
+    }
+    writer.add_attribute("unitSI", AttrValue(1.0));
+    writer.end_step();
+    writer.close();
+  }
+  Reader reader(fs, 0, "out/series.bp4");
+  EXPECT_EQ(reader.steps(), std::vector<std::uint64_t>{0});
+  const auto data = reader.read_as<float>(0, "density");
+  EXPECT_EQ(data, iota_floats(40));
+  ASSERT_TRUE(reader.attribute(0, "unitSI").has_value());
+  EXPECT_DOUBLE_EQ(std::get<double>(*reader.attribute(0, "unitSI")), 1.0);
+  EXPECT_FALSE(reader.attribute(0, "nope").has_value());
+}
+
+TEST(BpWriter, MultiStepAndLatestWinsOnRewrite) {
+  fsim::SharedFs fs(4);
+  {
+    Writer writer(fs, "ck.bp4", small_config(), 2);
+    for (std::uint64_t rewrite = 0; rewrite < 3; ++rewrite) {
+      writer.begin_step(0);  // checkpoint slot, rewritten
+      auto payload = iota_floats(8, float(rewrite) * 100.f);
+      writer.put<float>(0, "state", {16}, {0}, {8}, payload);
+      writer.put<float>(1, "state", {16}, {8}, {8}, payload);
+      writer.end_step();
+    }
+    writer.begin_step(7);
+    auto last = iota_floats(4, 7.f);
+    writer.put<float>(0, "other", {4}, {0}, {4}, last);
+    writer.end_step();
+    writer.close();
+  }
+  Reader reader(fs, 0, "ck.bp4");
+  EXPECT_EQ(reader.steps(), (std::vector<std::uint64_t>{0, 7}));
+  // The step-0 record must be the LAST rewrite.
+  const auto state = reader.read_as<float>(0, "state");
+  EXPECT_FLOAT_EQ(state[0], 200.f);
+  EXPECT_FLOAT_EQ(state[8], 200.f);
+}
+
+TEST(BpWriter, AggregatorMappingIsContiguousAndBalanced) {
+  fsim::SharedFs fs(4);
+  Writer writer(fs, "x.bp4", small_config(3), 10);
+  EXPECT_EQ(writer.aggregator_count(), 3);
+  int previous = 0;
+  std::vector<int> counts(3, 0);
+  for (int r = 0; r < 10; ++r) {
+    const int a = writer.aggregator_of(r);
+    EXPECT_GE(a, previous);  // monotone => contiguous blocks
+    previous = a;
+    ++counts[std::size_t(a)];
+  }
+  for (int c : counts) EXPECT_NEAR(double(c), 10.0 / 3.0, 1.0);
+  writer.begin_step(0);
+  writer.end_step();
+  writer.close();
+}
+
+TEST(BpWriter, SubfileCountMatchesAggregators) {
+  // Table II: a BP4 container holds M data files + md.0 + md.idx.
+  fsim::SharedFs fs(4);
+  {
+    Writer writer(fs, "t.bp4", small_config(5), 20);
+    writer.begin_step(0);
+    for (int r = 0; r < 20; ++r) {
+      auto v = iota_floats(4);
+      writer.put<float>(r, "v", {80}, {std::uint64_t(r) * 4}, {4}, v);
+    }
+    writer.end_step();
+    writer.close();
+  }
+  const auto files = fs.store().list_recursive("t.bp4");
+  EXPECT_EQ(files.size(), 5u + 2u);
+  std::size_t data_files = 0;
+  for (const auto* f : files)
+    if (f->path.find("/data.") != std::string::npos) ++data_files;
+  EXPECT_EQ(data_files, 5u);
+}
+
+TEST(BpWriter, DefaultAggregationIsPerNode) {
+  fsim::SharedFs fs(4);
+  Writer writer(fs, "n.bp4", small_config(0), 12);  // 4 ranks/node => 3 nodes
+  EXPECT_EQ(writer.aggregator_count(), 3);
+  writer.begin_step(0);
+  writer.end_step();
+  writer.close();
+}
+
+TEST(BpWriter, OperatorCompressesAndRoundTrips) {
+  fsim::SharedFs fs(4);
+  const std::size_t n = 1 << 16;
+  std::vector<float> smooth(n);
+  for (std::size_t i = 0; i < n; ++i) smooth[i] = float(i) * 0.001f;
+  {
+    Writer writer(fs, "c.bp4", small_config(1, "blosc"), 2);
+    writer.begin_step(3);
+    writer.put<float>(0, "x", {n}, {0}, {n / 2},
+                      std::span<const float>(smooth.data(), n / 2));
+    writer.put<float>(1, "x", {n}, {n / 2}, {n / 2},
+                      std::span<const float>(smooth.data() + n / 2, n / 2));
+    writer.end_step();
+    writer.close();
+  }
+  // Stored bytes must be smaller than raw (compressible data).
+  EXPECT_LT(fs.store().file("c.bp4/data.0").size, n * sizeof(float));
+  Reader reader(fs, 0, "c.bp4");
+  const auto var = reader.find_variable(3, "x");
+  ASSERT_NE(var, nullptr);
+  EXPECT_EQ(var->chunks[0].operator_name, "blosc");
+  const auto back = reader.read_as<float>(3, "x");
+  EXPECT_EQ(back, smooth);
+}
+
+TEST(BpWriter, CompressionChargesCompressNotMemcopy) {
+  fsim::SharedFs fs(4);
+  {
+    Writer writer(fs, "p.bp4", small_config(1, "blosc"), 1);
+    writer.begin_step(0);
+    auto v = iota_floats(1024);
+    writer.put<float>(0, "x", {1024}, {0}, {1024}, v);
+    writer.end_step();
+    writer.close();
+  }
+  double compress = 0.0, memcopy = 0.0;
+  for (const auto& op : fs.trace()) {
+    if (op.kind != fsim::OpKind::cpu) continue;
+    if (op.tag == "compress") compress += op.cpu_seconds;
+    if (op.tag == "memcopy") memcopy += op.cpu_seconds;
+  }
+  EXPECT_GT(compress, 0.0);
+  EXPECT_DOUBLE_EQ(memcopy, 0.0);  // Fig 8: memcopy eliminated
+}
+
+TEST(BpWriter, NoCompressionChargesMemcopy) {
+  fsim::SharedFs fs(4);
+  {
+    Writer writer(fs, "p2.bp4", small_config(1, "none"), 1);
+    writer.begin_step(0);
+    auto v = iota_floats(1024);
+    writer.put<float>(0, "x", {1024}, {0}, {1024}, v);
+    writer.end_step();
+    writer.close();
+  }
+  double memcopy = 0.0;
+  for (const auto& op : fs.trace())
+    if (op.kind == fsim::OpKind::cpu && op.tag == "memcopy")
+      memcopy += op.cpu_seconds;
+  EXPECT_GT(memcopy, 0.0);
+}
+
+TEST(BpWriter, ProfilingJsonEmitted) {
+  fsim::SharedFs fs(4);
+  auto config = small_config(1, "blosc");
+  config.profiling = true;
+  {
+    Writer writer(fs, "prof.bp4", config, 1);
+    writer.begin_step(0);
+    auto v = iota_floats(256);
+    writer.put<float>(0, "x", {256}, {0}, {256}, v);
+    writer.end_step();
+    writer.close();
+  }
+  fsim::FsClient io(fs, 0);
+  const auto text = io.read_all("prof.bp4/profiling.json");
+  const Json profile = Json::parse(
+      std::string(reinterpret_cast<const char*>(text.data()), text.size()));
+  EXPECT_EQ(profile.at("engine").as_string(), "bp4");
+  EXPECT_GT(profile.at("transport_0").at("compress_us").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(profile.at("transport_0").at("memcopy_us").as_number(),
+                   0.0);
+}
+
+TEST(BpWriter, Bp5WritesSecondMetadataFile) {
+  fsim::SharedFs fs(4);
+  auto config = small_config(1);
+  config.engine = EngineType::bp5;
+  {
+    Writer writer(fs, "b5.bp5", config, 1);
+    writer.begin_step(0);
+    writer.end_step();
+    writer.close();
+  }
+  EXPECT_TRUE(fs.store().file_exists("b5.bp5/mmd.0"));
+  EXPECT_FALSE(fs.store().file_exists("b5.bp5/profiling.json"));
+}
+
+TEST(BpWriter, TwoDimensionalChunks) {
+  fsim::SharedFs fs(4);
+  const Dims shape{4, 6};
+  {
+    Writer writer(fs, "2d.bp4", small_config(1), 2);
+    writer.begin_step(0);
+    // Rank 0 owns rows 0-1, rank 1 rows 2-3.
+    std::vector<float> top(12), bottom(12);
+    std::iota(top.begin(), top.end(), 0.f);
+    std::iota(bottom.begin(), bottom.end(), 12.f);
+    writer.put<float>(0, "grid", shape, {0, 0}, {2, 6}, top);
+    writer.put<float>(1, "grid", shape, {2, 0}, {2, 6}, bottom);
+    writer.end_step();
+    writer.close();
+  }
+  Reader reader(fs, 0, "2d.bp4");
+  EXPECT_EQ(reader.read_as<float>(0, "grid"), iota_floats(24));
+}
+
+TEST(BpWriter, ColumnChunks2D) {
+  fsim::SharedFs fs(4);
+  const Dims shape{3, 4};
+  {
+    Writer writer(fs, "col.bp4", small_config(1), 2);
+    writer.begin_step(0);
+    // Rank 0 owns columns 0-1, rank 1 columns 2-3 (non-contiguous rows).
+    std::vector<float> left{0, 1, 4, 5, 8, 9};
+    std::vector<float> right{2, 3, 6, 7, 10, 11};
+    writer.put<float>(0, "g", shape, {0, 0}, {3, 2}, left);
+    writer.put<float>(1, "g", shape, {0, 2}, {3, 2}, right);
+    writer.end_step();
+    writer.close();
+  }
+  Reader reader(fs, 0, "col.bp4");
+  EXPECT_EQ(reader.read_as<float>(0, "g"), iota_floats(12));
+}
+
+TEST(BpWriter, UsageErrors) {
+  fsim::SharedFs fs(4);
+  Writer writer(fs, "e.bp4", small_config(1), 2);
+  auto v = iota_floats(4);
+  EXPECT_THROW(writer.put<float>(0, "x", {4}, {0}, {4}, v), UsageError);
+  writer.begin_step(0);
+  EXPECT_THROW(writer.begin_step(1), UsageError);
+  EXPECT_THROW(writer.put<float>(5, "x", {4}, {0}, {4}, v), UsageError);
+  EXPECT_THROW(writer.put<float>(0, "x", {4}, {2}, {4}, v), UsageError);
+  EXPECT_THROW(writer.put<float>(0, "x", {4}, {0}, {3}, v), UsageError);
+  writer.put<float>(0, "x", {4}, {0}, {4}, v);
+  std::vector<double> d(4, 0.0);
+  EXPECT_THROW(writer.put<double>(1, "x", {4}, {0}, {4}, d), UsageError);
+  EXPECT_THROW(writer.close(), UsageError);  // step still open
+  writer.end_step();
+  writer.close();
+  EXPECT_THROW(writer.begin_step(2), UsageError);  // closed
+}
+
+TEST(BpReader, DetectsCorruptContainer) {
+  fsim::SharedFs fs(4);
+  {
+    Writer writer(fs, "bad.bp4", small_config(1), 1);
+    writer.begin_step(0);
+    auto v = iota_floats(16);
+    writer.put<float>(0, "x", {16}, {0}, {16}, v);
+    writer.end_step();
+    writer.close();
+  }
+  // Corrupt md.0 in place.
+  auto& node = fs.store().file("bad.bp4/md.0");
+  node.data[4] ^= 0xFF;
+  EXPECT_THROW(Reader(fs, 0, "bad.bp4"), FormatError);
+}
+
+TEST(BpReader, MissingVariableAndStep) {
+  fsim::SharedFs fs(4);
+  {
+    Writer writer(fs, "m.bp4", small_config(1), 1);
+    writer.begin_step(0);
+    writer.end_step();
+    writer.close();
+  }
+  Reader reader(fs, 0, "m.bp4");
+  EXPECT_THROW(reader.read(0, "ghost"), UsageError);
+  EXPECT_THROW(reader.step(9), UsageError);
+  EXPECT_FALSE(reader.has_step(9));
+  EXPECT_EQ(reader.find_variable(0, "ghost"), nullptr);
+}
+
+}  // namespace
+}  // namespace bitio::bp

@@ -1,0 +1,154 @@
+// Tests for the Darshan-like monitor: counter capture from traces, log
+// round trip, per-process cost and file-size roll-ups.
+#include <gtest/gtest.h>
+
+#include "darshan/darshan.hpp"
+#include "fsim/system_profiles.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace bitio::darshan {
+namespace {
+
+using fsim::FsClient;
+using fsim::OpenMode;
+using fsim::SharedFs;
+
+fsim::SystemProfile tiny_profile() {
+  auto p = fsim::dardel();
+  p.ranks_per_node = 4;
+  return p;
+}
+
+void populate_two_rank_job(SharedFs& fs) {
+  std::vector<std::uint8_t> big(2 * MiB, 1);
+  std::vector<std::uint8_t> small(4 * KiB, 2);
+  FsClient a(fs, 0), b(fs, 1);
+  int fd = a.open("out/rank0.dat", OpenMode::create);
+  for (int i = 0; i < 8; ++i) a.write(fd, small);
+  a.close(fd);
+  fd = b.open("out/rank1.dat", OpenMode::create);
+  b.write(fd, big);
+  b.fsync(fd);
+  b.close(fd);
+  fd = a.open("out/rank0.dat", OpenMode::read);
+  std::vector<std::uint8_t> buf(1024);
+  a.read(fd, buf);
+  a.close(fd);
+}
+
+TEST(Darshan, CapturesCounters) {
+  SharedFs fs(8);
+  populate_two_rank_job(fs);
+  auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 2);
+  auto log = capture(fs, replay, {"bit1", 2, 0.0, "/lustre"});
+
+  EXPECT_EQ(log.job.nprocs, 2u);
+  EXPECT_DOUBLE_EQ(log.job.runtime_s, replay.makespan);
+  EXPECT_EQ(log.total_bytes_written(), 2 * MiB + 32 * KiB);
+  EXPECT_EQ(log.total_bytes_read(), 1024u);
+  EXPECT_EQ(log.total_files(), 2u);
+
+  // Find rank 0's record for its file.
+  const FileRecord* r0 = nullptr;
+  const FileRecord* r1 = nullptr;
+  for (const auto& r : log.records) {
+    if (r.path == "out/rank0.dat" && r.rank == 0) r0 = &r;
+    if (r.path == "out/rank1.dat" && r.rank == 1) r1 = &r;
+  }
+  ASSERT_NE(r0, nullptr);
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r0->writes, 8u);   // pre-coalescing call count preserved
+  EXPECT_EQ(r0->opens, 2u);    // create + reopen for read
+  EXPECT_EQ(r0->reads, 1u);
+  EXPECT_EQ(r1->fsyncs, 1u);
+  EXPECT_EQ(r1->bytes_written, 2 * MiB);
+  EXPECT_EQ(r1->max_byte_written, 2 * MiB);
+  EXPECT_GT(r1->write_time_s, 0.0);
+  EXPECT_GT(r0->meta_time_s, 0.0);
+}
+
+TEST(Darshan, LogSerializationRoundTrip) {
+  SharedFs fs(8);
+  populate_two_rank_job(fs);
+  auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 2);
+  auto log = capture(fs, replay, {"bit1", 2, 0.0, "/lustre"});
+
+  const auto bytes = log.serialize();
+  const DarshanLog back = DarshanLog::parse(bytes);
+  EXPECT_EQ(back.job.exe, log.job.exe);
+  EXPECT_EQ(back.records.size(), log.records.size());
+  EXPECT_EQ(back.total_bytes_written(), log.total_bytes_written());
+  EXPECT_DOUBLE_EQ(back.total_write_time(), log.total_write_time());
+
+  auto corrupt = bytes;
+  corrupt[0] ^= 0x1;
+  EXPECT_THROW(DarshanLog::parse(corrupt), FormatError);
+  corrupt = bytes;
+  corrupt.pop_back();
+  EXPECT_THROW(DarshanLog::parse(corrupt), FormatError);
+  corrupt = bytes;
+  corrupt.push_back(9);
+  EXPECT_THROW(DarshanLog::parse(corrupt), FormatError);
+}
+
+TEST(Darshan, PerProcessCostSplitsByCategory) {
+  SharedFs fs(8);
+  populate_two_rank_job(fs);
+  auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 2);
+  auto log = capture(fs, replay, {"bit1", 2, 0.0, "/lustre"});
+  const auto cost = log.per_process_cost();
+  EXPECT_GT(cost.write_s, 0.0);
+  EXPECT_GT(cost.meta_s, 0.0);
+  EXPECT_GT(cost.read_s, 0.0);
+  // The total time Darshan attributes across categories must equal the
+  // replay's total client I/O time.  (The meta/write split can differ for
+  // small-record ops, whose single duration spans both categories.)
+  double replay_total = 0.0;
+  for (const auto& c : replay.clients)
+    replay_total += c.write + c.meta + c.read;
+  EXPECT_NEAR((cost.write_s + cost.meta_s + cost.read_s) * 2.0, replay_total,
+              1e-9);
+}
+
+TEST(Darshan, FileSizeStatsMatchStore) {
+  SharedFs fs(8);
+  populate_two_rank_job(fs);
+  auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 2);
+  auto log = capture(fs, replay, {"bit1", 2, 0.0, "/lustre"});
+  const auto stats = log.file_size_stats();
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_EQ(stats.max, 2 * MiB);
+  EXPECT_EQ(stats.average, (2 * MiB + 32 * KiB) / 2);
+}
+
+TEST(Darshan, ThroughputIsBytesOverRuntime) {
+  SharedFs fs(8);
+  populate_two_rank_job(fs);
+  auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 2);
+  auto log = capture(fs, replay, {"bit1", 2, 0.0, "/lustre"});
+  EXPECT_NEAR(log.write_throughput_bps(),
+              double(log.total_bytes_written()) / replay.makespan, 1e-6);
+}
+
+TEST(Darshan, TextReportContainsHeadline) {
+  SharedFs fs(8);
+  populate_two_rank_job(fs);
+  auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 2);
+  auto log = capture(fs, replay, {"bit1", 2, 0.0, "/lustre"});
+  const std::string report = log.text_report();
+  EXPECT_NE(report.find("agg_perf_by_slowest"), std::string::npos);
+  EXPECT_NE(report.find("out/rank0.dat"), std::string::npos);
+  EXPECT_NE(report.find("per-process cost"), std::string::npos);
+}
+
+TEST(Darshan, RejectsMismatchedReplay) {
+  SharedFs fs(8);
+  populate_two_rank_job(fs);
+  fsim::ReplayReport bogus;
+  bogus.op_durations.assign(3, 0.0);  // wrong length
+  EXPECT_THROW(capture(fs, bogus, {}), UsageError);
+}
+
+}  // namespace
+}  // namespace bitio::darshan

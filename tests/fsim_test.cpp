@@ -1,0 +1,401 @@
+// Tests for the storage simulator: object store + striping semantics,
+// POSIX facade + trace coalescing, and the queueing replay model.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fsim/des.hpp"
+#include "fsim/posix_fs.hpp"
+#include "fsim/storage_model.hpp"
+#include "fsim/system_profiles.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace bitio::fsim {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = std::uint8_t(seed + i * 131 % 251);
+  return out;
+}
+
+// ----------------------------------------------------------- ObjectStore ---
+
+TEST(ObjectStore, PathHelpers) {
+  EXPECT_EQ(split_path("/a//b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(parent_path("a/b/c"), "a/b");
+  EXPECT_EQ(parent_path("a"), "");
+  EXPECT_EQ(base_name("x/y/data.0"), "data.0");
+}
+
+TEST(ObjectStore, CreateWriteReadBack) {
+  ObjectStore store(4);
+  FileNode& f = store.create_file("out/run1/data.0");
+  auto data = pattern(1000);
+  store.pwrite(f, 0, data.data(), data.size());
+  EXPECT_EQ(f.size, 1000u);
+  std::vector<std::uint8_t> back(1000);
+  EXPECT_EQ(store.pread(f, 0, back.data(), 1000), 1000u);
+  EXPECT_EQ(back, data);
+  // Sparse write extends with zeros.
+  store.pwrite(f, 2000, data.data(), 10);
+  EXPECT_EQ(f.size, 2010u);
+  std::uint8_t byte = 0xFF;
+  EXPECT_EQ(store.pread(f, 1500, &byte, 1), 1u);
+  EXPECT_EQ(byte, 0);
+}
+
+TEST(ObjectStore, DuplicateCreateAndMissingLookupFail) {
+  ObjectStore store(2);
+  store.create_file("a/f");
+  EXPECT_THROW(store.create_file("a/f"), IoError);
+  EXPECT_THROW(store.file("a/missing"), IoError);
+  EXPECT_THROW(store.file_by_id(99), IoError);
+}
+
+TEST(ObjectStore, StripeInheritanceFromDirectory) {
+  ObjectStore store(16);
+  store.set_dir_stripe("out", {8, 16 * MiB});
+  FileNode& f = store.create_file("out/sub/data.0");  // subdir inherits
+  EXPECT_EQ(f.layout.settings.stripe_count, 8);
+  EXPECT_EQ(f.layout.settings.stripe_size, 16 * MiB);
+  EXPECT_EQ(f.layout.ost_indices.size(), 8u);
+  EXPECT_EQ(f.layout.pattern, "raid0");
+}
+
+TEST(ObjectStore, StripePlacementIsRoundRobinAndDisjoint) {
+  ObjectStore store(8);
+  store.set_dir_stripe("d", {4, 1 * MiB});
+  FileNode& a = store.create_file("d/a");
+  FileNode& b = store.create_file("d/b");
+  // Within one file: consecutive distinct OSTs (RAID0 rotation).
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(a.layout.ost_indices[std::size_t(i)],
+              (a.layout.stripe_offset + i) % 8);
+  // Across files: allocation cursor advances (load balancing).
+  EXPECT_NE(a.layout.stripe_offset, b.layout.stripe_offset);
+}
+
+TEST(ObjectStore, SetstripeValidation) {
+  ObjectStore store(4);
+  EXPECT_THROW(store.set_dir_stripe("x", {0, MiB}), UsageError);
+  EXPECT_THROW(store.set_dir_stripe("x", {2, 0}), UsageError);
+  EXPECT_THROW(store.set_dir_stripe("x", {5, MiB}), UsageError);  // > OSTs
+}
+
+TEST(ObjectStore, ListRecursiveInCreationOrder) {
+  ObjectStore store(2);
+  store.create_file("r/b");
+  store.create_file("r/sub/a");
+  store.create_file("r/c");
+  auto files = store.list_recursive("r");
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0]->path, "r/b");
+  EXPECT_EQ(files[1]->path, "r/sub/a");
+  EXPECT_EQ(files[2]->path, "r/c");
+}
+
+TEST(ObjectStore, UnlinkKeepsNodeForReplay) {
+  ObjectStore store(2);
+  FileNode& f = store.create_file("r/x");
+  const FileId id = f.id;
+  store.unlink("r/x");
+  EXPECT_FALSE(store.file_exists("r/x"));
+  EXPECT_NO_THROW(store.file_by_id(id));  // layout still resolvable
+  EXPECT_TRUE(store.list_recursive("r").empty());
+}
+
+TEST(ObjectStore, NoDataRetentionMode) {
+  ObjectStore store(2, /*store_data=*/false);
+  FileNode& f = store.create_file("big");
+  auto data = pattern(100);
+  store.pwrite(f, 0, data.data(), data.size());
+  EXPECT_EQ(f.size, 100u);
+  EXPECT_TRUE(f.data.empty());  // sizes only
+  std::uint8_t byte;
+  EXPECT_THROW(store.pread(f, 0, &byte, 1), IoError);
+}
+
+// --------------------------------------------------------------- PosixFs ---
+
+TEST(PosixFs, SequentialWritesCoalesceInTrace) {
+  SharedFs fs(4);
+  FsClient client(fs, 0);
+  const int fd = client.open("out/f.dat", OpenMode::create);
+  auto rec = pattern(512);
+  for (int i = 0; i < 100; ++i) client.write(fd, rec);
+  client.close(fd);
+
+  // create + ONE coalesced write + close.
+  ASSERT_EQ(fs.trace().size(), 3u);
+  const TraceOp& w = fs.trace()[1];
+  EXPECT_EQ(w.kind, OpKind::write);
+  EXPECT_EQ(w.bytes, 51200u);
+  EXPECT_EQ(w.op_count, 100u);
+  EXPECT_EQ(fs.traced_bytes_written(), 51200u);
+  EXPECT_EQ(fs.store().file("out/f.dat").size, 51200u);
+}
+
+TEST(PosixFs, InterleavedClientsDoNotCoalesceAcrossEachOther) {
+  SharedFs fs(4);
+  FsClient a(fs, 0), b(fs, 1);
+  const int fa = a.open("fa", OpenMode::create);
+  const int fb = b.open("fb", OpenMode::create);
+  auto rec = pattern(8);
+  a.write(fa, rec);
+  b.write(fb, rec);
+  a.write(fa, rec);
+  std::size_t writes = 0;
+  for (const auto& op : fs.trace())
+    if (op.kind == OpKind::write) ++writes;
+  EXPECT_EQ(writes, 3u);  // a, b, a — the b op breaks a's run
+}
+
+TEST(PosixFs, ReadBackAndModes) {
+  SharedFs fs(4);
+  FsClient client(fs, 0);
+  auto data = pattern(1000, 7);
+  client.write_file("dir/file", data);
+  EXPECT_EQ(client.read_all("dir/file"), data);
+
+  // Append mode continues at the end.
+  const int fd = client.open("dir/file", OpenMode::append);
+  client.write(fd, pattern(10, 9));
+  client.close(fd);
+  EXPECT_EQ(client.read_all("dir/file").size(), 1010u);
+
+  // create_or_truncate resets the checkpoint slot.
+  const int fd2 = client.open("dir/file", OpenMode::create_or_truncate);
+  client.write(fd2, pattern(5, 3));
+  client.close(fd2);
+  EXPECT_EQ(client.read_all("dir/file"), pattern(5, 3));
+}
+
+TEST(PosixFs, DescriptorDiscipline) {
+  SharedFs fs(4);
+  FsClient a(fs, 0), b(fs, 1);
+  const int fd = a.open("f", OpenMode::create);
+  auto rec = pattern(4);
+  EXPECT_THROW(b.write(fd, rec), IoError);  // foreign descriptor
+  a.close(fd);
+  EXPECT_THROW(a.write(fd, rec), IoError);  // closed
+  EXPECT_THROW(a.open("f", OpenMode::create), IoError);  // exists
+  const int rd = a.open("f", OpenMode::read);
+  EXPECT_THROW(a.write(rd, rec), IoError);  // read-only
+}
+
+TEST(PosixFs, GetstripeTextLooksLikeListing1) {
+  SharedFs fs(48);
+  FsClient client(fs, 0);
+  client.setstripe("io_openPMD", {8, 16 * MiB});
+  client.write_file("io_openPMD/dat_file.bp4/data.0", pattern(64));
+  const std::string text =
+      client.getstripe_text("io_openPMD/dat_file.bp4/data.0");
+  EXPECT_NE(text.find("lmm_stripe_count:  8"), std::string::npos);
+  EXPECT_NE(text.find("16777216"), std::string::npos);
+  EXPECT_NE(text.find("raid0"), std::string::npos);
+  EXPECT_NE(text.find("obdidx"), std::string::npos);
+}
+
+TEST(PosixFs, CpuChargeAppearsInTrace) {
+  SharedFs fs(4);
+  FsClient client(fs, 2);
+  client.charge_cpu(0.25, "compress");
+  ASSERT_EQ(fs.trace().size(), 1u);
+  EXPECT_EQ(fs.trace()[0].kind, OpKind::cpu);
+  EXPECT_DOUBLE_EQ(fs.trace()[0].cpu_seconds, 0.25);
+  EXPECT_EQ(fs.trace()[0].tag, "compress");
+}
+
+// ------------------------------------------------------------------- DES ---
+
+TEST(Des, FifoSingleSlotQueues) {
+  FifoResource r(1);
+  EXPECT_DOUBLE_EQ(r.submit(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.submit(0.0, 1.0), 2.0);   // queued behind first
+  EXPECT_DOUBLE_EQ(r.submit(5.0, 1.0), 6.0);   // idle gap
+  EXPECT_DOUBLE_EQ(r.busy_until(), 6.0);
+  EXPECT_DOUBLE_EQ(r.busy_seconds(), 3.0);
+}
+
+TEST(Des, FifoMultiSlotRunsInParallel) {
+  FifoResource r(3);
+  EXPECT_DOUBLE_EQ(r.submit(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(r.submit(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(r.submit(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(r.submit(0.0, 2.0), 4.0);  // fourth job waits
+}
+
+TEST(Des, NoiseIsBoundedAndDeterministic) {
+  NoiseStream a(0.3, 42), b(0.3, 42);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = a.next();
+    EXPECT_GE(v, 0.7);
+    EXPECT_LE(v, 1.3);
+    EXPECT_DOUBLE_EQ(v, b.next());
+  }
+  NoiseStream off(0.0, 42);
+  EXPECT_DOUBLE_EQ(off.next(), 1.0);
+}
+
+// ------------------------------------------------------------- Replay -----
+
+SystemProfile flat_profile() {
+  // A deliberately simple profile for analytic checks: no noise, 1 OST,
+  // negligible latencies.
+  SystemProfile p;
+  p.name = "flat";
+  p.ranks_per_node = 4;
+  p.ost_count = 1;
+  p.ost_bandwidth_bps = 1e9;
+  p.ost_stream_latency_s = 0.0;
+  p.ost_small_service_s = 1e-3;
+  p.slice_bytes = 1 * MiB;
+  p.mds_slots = 1;
+  p.mds_create_service_s = 1e-3;
+  p.mds_meta_service_s = 0.5e-3;
+  p.link_bandwidth_bps = 1e12;
+  p.link_latency_s = 0.0;
+  p.sync_write_threshold = 64 * KiB;
+  p.small_write_meta_s = 1.5e-3;
+  p.small_write_data_s = 0.5e-3;
+  p.ost_sync_extra_s = 0.0;
+  p.client_stream_bandwidth_bps = 1e12;  // isolate server-side effects
+  p.syscall_overhead_s = 0.0;
+  p.noise_amplitude = 0.0;
+  return p;
+}
+
+TEST(Replay, SingleLargeWriteIsBandwidthBound) {
+  SharedFs fs(1);
+  FsClient client(fs, 0);
+  const int fd = client.open("f", OpenMode::create);
+  std::vector<std::uint8_t> big(8 * MiB);
+  client.write(fd, big);
+  client.close(fd);
+
+  auto report = replay_trace(flat_profile(), fs.store(), fs.trace(), 1);
+  EXPECT_EQ(report.bytes_written, 8 * MiB);
+  // 8 MiB at 1e9 B/s ≈ 8.39 ms plus create+close metadata.
+  EXPECT_NEAR(report.clients[0].write, 8.39e-3, 0.5e-3);
+  EXPECT_NEAR(report.clients[0].meta, 1.5e-3, 1e-6);
+  EXPECT_GT(report.write_throughput_bps(), 0.5e9);
+}
+
+TEST(Replay, SmallSyncRecordsPayPerRecordRtt) {
+  SharedFs fs(1);
+  FsClient client(fs, 0);
+  const int fd = client.open("f", OpenMode::create);
+  std::vector<std::uint8_t> rec(2 * KiB);
+  for (int i = 0; i < 100; ++i) client.write(fd, rec);
+  client.close(fd);
+
+  auto report = replay_trace(flat_profile(), fs.store(), fs.trace(), 1);
+  // 100 records x 0.5 ms in-call data handling; the 1.5 ms/record lock
+  // round trip lands in metadata time (write-back model).
+  EXPECT_NEAR(report.clients[0].write, 0.05, 0.005);
+  EXPECT_GT(report.clients[0].meta, 0.15);
+  // The async OST drain extends the makespan beyond the client's own time.
+  EXPECT_GE(report.makespan, 0.1);
+}
+
+TEST(Replay, MetadataStormQueuesAtMds) {
+  // 64 clients each create 4 files: 256 creates + 256 closes through a
+  // single-slot MDS => serialized.
+  SharedFs fs(4);
+  for (ClientId c = 0; c < 64; ++c) {
+    FsClient client(fs, c);
+    for (int f = 0; f < 4; ++f) {
+      const int fd = client.open(
+          "out/rank" + std::to_string(c) + "." + std::to_string(f),
+          OpenMode::create);
+      client.close(fd);
+    }
+  }
+  auto report = replay_trace(flat_profile(), fs.store(), fs.trace(), 64);
+  // Total MDS busy time: 256*1ms + 256*0.5ms = 0.384 s; the makespan must
+  // be at least that (single slot), and mean meta wait grows with load.
+  EXPECT_GE(report.makespan, 0.384 - 1e-9);
+  EXPECT_GT(report.mean_meta_time(), 0.0);
+}
+
+TEST(Replay, StripingSpreadsLoadAcrossOsts) {
+  auto run = [](int stripe_count) {
+    SharedFs fs(8);
+    FsClient client(fs, 0);
+    client.setstripe("d", {stripe_count, 1 * MiB});
+    const int fd = client.open("d/f", OpenMode::create);
+    std::vector<std::uint8_t> big(32 * MiB);
+    client.write(fd, big);
+    client.close(fd);
+    auto profile = flat_profile();
+    profile.ost_count = 8;
+    return replay_trace(profile, fs.store(), fs.trace(), 1)
+        .clients[0]
+        .write;
+  };
+  const double t1 = run(1);
+  const double t8 = run(8);
+  // 8-way striping must be much faster than single-OST for one big file.
+  EXPECT_LT(t8, t1 / 4.0);
+}
+
+TEST(Replay, ConcurrentWritersContendOnOneOst) {
+  auto run = [](int nclients) {
+    SharedFs fs(1);
+    std::vector<std::uint8_t> big(4 * MiB);
+    for (ClientId c = 0; c < ClientId(nclients); ++c) {
+      FsClient client(fs, c);
+      const int fd = client.open("f" + std::to_string(c), OpenMode::create);
+      client.write(fd, big);
+      client.close(fd);
+    }
+    return replay_trace(flat_profile(), fs.store(), fs.trace(), nclients)
+        .makespan;
+  };
+  // Twice the writers to the same OST => roughly twice the makespan.
+  const double t2 = run(2);
+  const double t4 = run(4);
+  EXPECT_NEAR(t4 / t2, 2.0, 0.3);
+}
+
+TEST(Replay, CpuOpsChargeOnlyTheClient) {
+  SharedFs fs(1);
+  FsClient a(fs, 0), b(fs, 1);
+  a.charge_cpu(1.0, "compress");
+  b.charge_cpu(0.5, "memcopy");
+  auto report = replay_trace(flat_profile(), fs.store(), fs.trace(), 2);
+  EXPECT_DOUBLE_EQ(report.clients[0].cpu, 1.0);
+  EXPECT_DOUBLE_EQ(report.clients[1].cpu, 0.5);
+  EXPECT_DOUBLE_EQ(report.cpu_by_tag.at("compress"), 1.0);
+  EXPECT_DOUBLE_EQ(report.cpu_by_tag.at("memcopy"), 0.5);
+  EXPECT_DOUBLE_EQ(report.makespan, 1.0);
+}
+
+TEST(Replay, ValidatesInput) {
+  SharedFs fs(1);
+  FsClient client(fs, 5);
+  client.charge_cpu(0.1, "x");
+  EXPECT_THROW(replay_trace(flat_profile(), fs.store(), fs.trace(), 2),
+               UsageError);
+  EXPECT_THROW(replay_trace(flat_profile(), fs.store(), {}, 0), UsageError);
+}
+
+// ------------------------------------------------------- System profiles ---
+
+TEST(Profiles, NamedLookup) {
+  EXPECT_EQ(system_profile("dardel").ost_count, 48);
+  EXPECT_EQ(system_profile("discoverer").ost_count, 4);
+  EXPECT_EQ(system_profile("vega").ost_count, 80);
+  EXPECT_THROW(system_profile("frontier"), UsageError);
+}
+
+TEST(Profiles, VegaIsNoisyDardelIsNot) {
+  EXPECT_GT(system_profile("vega").noise_amplitude, 0.3);
+  EXPECT_LT(system_profile("dardel").noise_amplitude, 0.1);
+}
+
+}  // namespace
+}  // namespace bitio::fsim

@@ -1,0 +1,153 @@
+// Unit tests for the simulated MPI subset: collectives have exact MPI
+// semantics and are deterministic regardless of thread scheduling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "smpi/comm.hpp"
+
+namespace bitio::smpi {
+namespace {
+
+TEST(Smpi, SelfCommIsSerial) {
+  Comm comm = Comm::self();
+  EXPECT_EQ(comm.rank(), 0);
+  EXPECT_EQ(comm.size(), 1);
+  EXPECT_EQ(comm.allreduce(5, Op::sum), 5);
+  EXPECT_EQ(comm.exscan(7), 0);
+  EXPECT_EQ(comm.allgather(3.5), std::vector<double>{3.5});
+}
+
+TEST(Smpi, AllreduceSumMinMax) {
+  run_spmd(8, [](Comm& comm) {
+    const int r = comm.rank();
+    EXPECT_EQ(comm.allreduce(r, Op::sum), 28);
+    EXPECT_EQ(comm.allreduce(r, Op::min), 0);
+    EXPECT_EQ(comm.allreduce(r, Op::max), 7);
+    EXPECT_DOUBLE_EQ(comm.allreduce(double(r) * 0.5, Op::sum), 14.0);
+  });
+}
+
+TEST(Smpi, ExscanComputesOffsets) {
+  // The exact pattern the openPMD adaptor uses: each rank contributes its
+  // local extent; exscan yields its offset in the global array.
+  run_spmd(6, [](Comm& comm) {
+    const std::uint64_t local = std::uint64_t(comm.rank() + 1) * 10;
+    const std::uint64_t offset = comm.exscan(local);
+    // offset = 10+20+...+rank*10
+    std::uint64_t expect = 0;
+    for (int r = 0; r < comm.rank(); ++r) expect += std::uint64_t(r + 1) * 10;
+    EXPECT_EQ(offset, expect);
+  });
+}
+
+TEST(Smpi, AllgatherOrdersByRank) {
+  run_spmd(5, [](Comm& comm) {
+    const auto all = comm.allgather(comm.rank() * comm.rank());
+    ASSERT_EQ(all.size(), 5u);
+    for (int r = 0; r < 5; ++r) EXPECT_EQ(all[std::size_t(r)], r * r);
+  });
+}
+
+TEST(Smpi, GatherOnlyAtRoot) {
+  run_spmd(4, [](Comm& comm) {
+    const auto at_root = comm.gather(comm.rank() + 100, 2);
+    if (comm.rank() == 2) {
+      ASSERT_EQ(at_root.size(), 4u);
+      EXPECT_EQ(at_root[0], 100);
+      EXPECT_EQ(at_root[3], 103);
+    } else {
+      EXPECT_TRUE(at_root.empty());
+    }
+  });
+}
+
+TEST(Smpi, Broadcast) {
+  run_spmd(7, [](Comm& comm) {
+    const double v = comm.bcast(comm.rank() == 3 ? 2.75 : -1.0, 3);
+    EXPECT_DOUBLE_EQ(v, 2.75);
+  });
+}
+
+TEST(Smpi, GathervBytesVariableSizes) {
+  run_spmd(4, [](Comm& comm) {
+    // Rank r contributes r bytes of value r (rank 0 contributes none).
+    std::vector<std::byte> local(std::size_t(comm.rank()),
+                                 std::byte(comm.rank()));
+    const auto gathered = comm.gatherv_bytes(local, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(gathered.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(gathered[std::size_t(r)].size(), std::size_t(r));
+        for (auto b : gathered[std::size_t(r)])
+          EXPECT_EQ(int(b), r);
+      }
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+  });
+}
+
+TEST(Smpi, SendRecvPreservesOrder) {
+  run_spmd(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        std::vector<std::byte> msg{std::byte(i)};
+        comm.send(1, msg);
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        const auto msg = comm.recv(0);
+        ASSERT_EQ(msg.size(), 1u);
+        EXPECT_EQ(int(msg[0]), i);
+      }
+    }
+  });
+}
+
+TEST(Smpi, BarrierIsReusable) {
+  std::atomic<int> counter{0};
+  run_spmd(4, [&](Comm& comm) {
+    for (int iter = 0; iter < 50; ++iter) {
+      if (comm.rank() == 0) counter.fetch_add(1);
+      comm.barrier();
+      EXPECT_EQ(counter.load(), iter + 1);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Smpi, CollectivesInterleaveSafely) {
+  // Back-to-back different collectives must not corrupt each other's slots.
+  run_spmd(8, [](Comm& comm) {
+    for (int iter = 0; iter < 20; ++iter) {
+      const int sum = comm.allreduce(1, Op::sum);
+      const auto all = comm.allgather(comm.rank() + iter);
+      const int offset = comm.exscan(2);
+      EXPECT_EQ(sum, 8);
+      EXPECT_EQ(all[3], 3 + iter);
+      EXPECT_EQ(offset, comm.rank() * 2);
+    }
+  });
+}
+
+TEST(Smpi, RankExceptionPropagates) {
+  EXPECT_THROW(
+      run_spmd(1, [](Comm&) { throw UsageError("rank failure"); }),
+      UsageError);
+}
+
+TEST(Smpi, RejectsBadWorldAndRanks) {
+  EXPECT_THROW(run_spmd(0, [](Comm&) {}), UsageError);
+  run_spmd(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> msg{std::byte(1)};
+      EXPECT_THROW(comm.send(5, msg), UsageError);
+      EXPECT_THROW(comm.recv(-1), UsageError);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace bitio::smpi
