@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_original_io.dir/fig02_original_io.cpp.o"
+  "CMakeFiles/fig02_original_io.dir/fig02_original_io.cpp.o.d"
+  "fig02_original_io"
+  "fig02_original_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_original_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

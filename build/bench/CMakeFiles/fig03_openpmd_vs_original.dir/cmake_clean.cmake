@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_openpmd_vs_original.dir/fig03_openpmd_vs_original.cpp.o"
+  "CMakeFiles/fig03_openpmd_vs_original.dir/fig03_openpmd_vs_original.cpp.o.d"
+  "fig03_openpmd_vs_original"
+  "fig03_openpmd_vs_original.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_openpmd_vs_original.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

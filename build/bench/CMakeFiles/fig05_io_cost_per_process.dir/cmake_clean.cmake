@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_io_cost_per_process.dir/fig05_io_cost_per_process.cpp.o"
+  "CMakeFiles/fig05_io_cost_per_process.dir/fig05_io_cost_per_process.cpp.o.d"
+  "fig05_io_cost_per_process"
+  "fig05_io_cost_per_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_io_cost_per_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

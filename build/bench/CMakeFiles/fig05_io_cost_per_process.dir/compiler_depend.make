@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_io_cost_per_process.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_aggregators.dir/fig06_aggregators.cpp.o"
+  "CMakeFiles/fig06_aggregators.dir/fig06_aggregators.cpp.o.d"
+  "fig06_aggregators"
+  "fig06_aggregators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_aggregators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

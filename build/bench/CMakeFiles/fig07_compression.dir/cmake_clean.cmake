@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_compression.dir/fig07_compression.cpp.o"
+  "CMakeFiles/fig07_compression.dir/fig07_compression.cpp.o.d"
+  "fig07_compression"
+  "fig07_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_memcopy_profile.dir/fig08_memcopy_profile.cpp.o"
+  "CMakeFiles/fig08_memcopy_profile.dir/fig08_memcopy_profile.cpp.o.d"
+  "fig08_memcopy_profile"
+  "fig08_memcopy_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_memcopy_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

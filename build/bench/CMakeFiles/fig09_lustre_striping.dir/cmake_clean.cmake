@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_lustre_striping.dir/fig09_lustre_striping.cpp.o"
+  "CMakeFiles/fig09_lustre_striping.dir/fig09_lustre_striping.cpp.o.d"
+  "fig09_lustre_striping"
+  "fig09_lustre_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_lustre_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

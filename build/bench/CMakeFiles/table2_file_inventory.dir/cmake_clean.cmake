@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_file_inventory.dir/table2_file_inventory.cpp.o"
+  "CMakeFiles/table2_file_inventory.dir/table2_file_inventory.cpp.o.d"
+  "table2_file_inventory"
+  "table2_file_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_file_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

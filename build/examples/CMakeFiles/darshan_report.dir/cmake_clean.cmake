@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darshan_report.dir/darshan_report.cpp.o"
+  "CMakeFiles/darshan_report.dir/darshan_report.cpp.o.d"
+  "darshan_report"
+  "darshan_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darshan_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

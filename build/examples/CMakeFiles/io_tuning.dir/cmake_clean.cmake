@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_tuning.dir/io_tuning.cpp.o"
+  "CMakeFiles/io_tuning.dir/io_tuning.cpp.o.d"
+  "io_tuning"
+  "io_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ionization_study.dir/ionization_study.cpp.o"
+  "CMakeFiles/ionization_study.dir/ionization_study.cpp.o.d"
+  "ionization_study"
+  "ionization_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ionization_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

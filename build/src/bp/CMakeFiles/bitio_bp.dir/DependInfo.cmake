@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bp/format.cpp" "src/bp/CMakeFiles/bitio_bp.dir/format.cpp.o" "gcc" "src/bp/CMakeFiles/bitio_bp.dir/format.cpp.o.d"
+  "/root/repo/src/bp/reader.cpp" "src/bp/CMakeFiles/bitio_bp.dir/reader.cpp.o" "gcc" "src/bp/CMakeFiles/bitio_bp.dir/reader.cpp.o.d"
+  "/root/repo/src/bp/writer.cpp" "src/bp/CMakeFiles/bitio_bp.dir/writer.cpp.o" "gcc" "src/bp/CMakeFiles/bitio_bp.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsim/CMakeFiles/bitio_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bitio_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bitio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

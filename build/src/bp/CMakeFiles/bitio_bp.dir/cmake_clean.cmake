@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitio_bp.dir/format.cpp.o"
+  "CMakeFiles/bitio_bp.dir/format.cpp.o.d"
+  "CMakeFiles/bitio_bp.dir/reader.cpp.o"
+  "CMakeFiles/bitio_bp.dir/reader.cpp.o.d"
+  "CMakeFiles/bitio_bp.dir/writer.cpp.o"
+  "CMakeFiles/bitio_bp.dir/writer.cpp.o.d"
+  "libbitio_bp.a"
+  "libbitio_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitio_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bwt.cpp" "src/compress/CMakeFiles/bitio_compress.dir/bwt.cpp.o" "gcc" "src/compress/CMakeFiles/bitio_compress.dir/bwt.cpp.o.d"
+  "/root/repo/src/compress/codec.cpp" "src/compress/CMakeFiles/bitio_compress.dir/codec.cpp.o" "gcc" "src/compress/CMakeFiles/bitio_compress.dir/codec.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/bitio_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/bitio_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/lz.cpp" "src/compress/CMakeFiles/bitio_compress.dir/lz.cpp.o" "gcc" "src/compress/CMakeFiles/bitio_compress.dir/lz.cpp.o.d"
+  "/root/repo/src/compress/shuffle.cpp" "src/compress/CMakeFiles/bitio_compress.dir/shuffle.cpp.o" "gcc" "src/compress/CMakeFiles/bitio_compress.dir/shuffle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bitio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

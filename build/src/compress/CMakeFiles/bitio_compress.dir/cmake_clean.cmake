@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitio_compress.dir/bwt.cpp.o"
+  "CMakeFiles/bitio_compress.dir/bwt.cpp.o.d"
+  "CMakeFiles/bitio_compress.dir/codec.cpp.o"
+  "CMakeFiles/bitio_compress.dir/codec.cpp.o.d"
+  "CMakeFiles/bitio_compress.dir/huffman.cpp.o"
+  "CMakeFiles/bitio_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/bitio_compress.dir/lz.cpp.o"
+  "CMakeFiles/bitio_compress.dir/lz.cpp.o.d"
+  "CMakeFiles/bitio_compress.dir/shuffle.cpp.o"
+  "CMakeFiles/bitio_compress.dir/shuffle.cpp.o.d"
+  "libbitio_compress.a"
+  "libbitio_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitio_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

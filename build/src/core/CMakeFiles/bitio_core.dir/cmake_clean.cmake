@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitio_core.dir/adaptor.cpp.o"
+  "CMakeFiles/bitio_core.dir/adaptor.cpp.o.d"
+  "CMakeFiles/bitio_core.dir/io_config.cpp.o"
+  "CMakeFiles/bitio_core.dir/io_config.cpp.o.d"
+  "CMakeFiles/bitio_core.dir/tuning.cpp.o"
+  "CMakeFiles/bitio_core.dir/tuning.cpp.o.d"
+  "CMakeFiles/bitio_core.dir/workload.cpp.o"
+  "CMakeFiles/bitio_core.dir/workload.cpp.o.d"
+  "libbitio_core.a"
+  "libbitio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitio_darshan.dir/darshan.cpp.o"
+  "CMakeFiles/bitio_darshan.dir/darshan.cpp.o.d"
+  "libbitio_darshan.a"
+  "libbitio_darshan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitio_darshan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsim/des.cpp" "src/fsim/CMakeFiles/bitio_fsim.dir/des.cpp.o" "gcc" "src/fsim/CMakeFiles/bitio_fsim.dir/des.cpp.o.d"
+  "/root/repo/src/fsim/object_store.cpp" "src/fsim/CMakeFiles/bitio_fsim.dir/object_store.cpp.o" "gcc" "src/fsim/CMakeFiles/bitio_fsim.dir/object_store.cpp.o.d"
+  "/root/repo/src/fsim/posix_fs.cpp" "src/fsim/CMakeFiles/bitio_fsim.dir/posix_fs.cpp.o" "gcc" "src/fsim/CMakeFiles/bitio_fsim.dir/posix_fs.cpp.o.d"
+  "/root/repo/src/fsim/storage_model.cpp" "src/fsim/CMakeFiles/bitio_fsim.dir/storage_model.cpp.o" "gcc" "src/fsim/CMakeFiles/bitio_fsim.dir/storage_model.cpp.o.d"
+  "/root/repo/src/fsim/system_profiles.cpp" "src/fsim/CMakeFiles/bitio_fsim.dir/system_profiles.cpp.o" "gcc" "src/fsim/CMakeFiles/bitio_fsim.dir/system_profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bitio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitio_fsim.dir/des.cpp.o"
+  "CMakeFiles/bitio_fsim.dir/des.cpp.o.d"
+  "CMakeFiles/bitio_fsim.dir/object_store.cpp.o"
+  "CMakeFiles/bitio_fsim.dir/object_store.cpp.o.d"
+  "CMakeFiles/bitio_fsim.dir/posix_fs.cpp.o"
+  "CMakeFiles/bitio_fsim.dir/posix_fs.cpp.o.d"
+  "CMakeFiles/bitio_fsim.dir/storage_model.cpp.o"
+  "CMakeFiles/bitio_fsim.dir/storage_model.cpp.o.d"
+  "CMakeFiles/bitio_fsim.dir/system_profiles.cpp.o"
+  "CMakeFiles/bitio_fsim.dir/system_profiles.cpp.o.d"
+  "libbitio_fsim.a"
+  "libbitio_fsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitio_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitio_ior.dir/ior.cpp.o"
+  "CMakeFiles/bitio_ior.dir/ior.cpp.o.d"
+  "libbitio_ior.a"
+  "libbitio_ior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitio_ior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openpmd/backend.cpp" "src/openpmd/CMakeFiles/bitio_openpmd.dir/backend.cpp.o" "gcc" "src/openpmd/CMakeFiles/bitio_openpmd.dir/backend.cpp.o.d"
+  "/root/repo/src/openpmd/series.cpp" "src/openpmd/CMakeFiles/bitio_openpmd.dir/series.cpp.o" "gcc" "src/openpmd/CMakeFiles/bitio_openpmd.dir/series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bp/CMakeFiles/bitio_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsim/CMakeFiles/bitio_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bitio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bitio_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitio_openpmd.dir/backend.cpp.o"
+  "CMakeFiles/bitio_openpmd.dir/backend.cpp.o.d"
+  "CMakeFiles/bitio_openpmd.dir/series.cpp.o"
+  "CMakeFiles/bitio_openpmd.dir/series.cpp.o.d"
+  "libbitio_openpmd.a"
+  "libbitio_openpmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitio_openpmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/picmc/checkpoint.cpp" "src/picmc/CMakeFiles/bitio_picmc.dir/checkpoint.cpp.o" "gcc" "src/picmc/CMakeFiles/bitio_picmc.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/picmc/diagnostics.cpp" "src/picmc/CMakeFiles/bitio_picmc.dir/diagnostics.cpp.o" "gcc" "src/picmc/CMakeFiles/bitio_picmc.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/picmc/fields.cpp" "src/picmc/CMakeFiles/bitio_picmc.dir/fields.cpp.o" "gcc" "src/picmc/CMakeFiles/bitio_picmc.dir/fields.cpp.o.d"
+  "/root/repo/src/picmc/mc.cpp" "src/picmc/CMakeFiles/bitio_picmc.dir/mc.cpp.o" "gcc" "src/picmc/CMakeFiles/bitio_picmc.dir/mc.cpp.o.d"
+  "/root/repo/src/picmc/mover.cpp" "src/picmc/CMakeFiles/bitio_picmc.dir/mover.cpp.o" "gcc" "src/picmc/CMakeFiles/bitio_picmc.dir/mover.cpp.o.d"
+  "/root/repo/src/picmc/serial_io.cpp" "src/picmc/CMakeFiles/bitio_picmc.dir/serial_io.cpp.o" "gcc" "src/picmc/CMakeFiles/bitio_picmc.dir/serial_io.cpp.o.d"
+  "/root/repo/src/picmc/simulation.cpp" "src/picmc/CMakeFiles/bitio_picmc.dir/simulation.cpp.o" "gcc" "src/picmc/CMakeFiles/bitio_picmc.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsim/CMakeFiles/bitio_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bitio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitio_picmc.dir/checkpoint.cpp.o"
+  "CMakeFiles/bitio_picmc.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/bitio_picmc.dir/diagnostics.cpp.o"
+  "CMakeFiles/bitio_picmc.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/bitio_picmc.dir/fields.cpp.o"
+  "CMakeFiles/bitio_picmc.dir/fields.cpp.o.d"
+  "CMakeFiles/bitio_picmc.dir/mc.cpp.o"
+  "CMakeFiles/bitio_picmc.dir/mc.cpp.o.d"
+  "CMakeFiles/bitio_picmc.dir/mover.cpp.o"
+  "CMakeFiles/bitio_picmc.dir/mover.cpp.o.d"
+  "CMakeFiles/bitio_picmc.dir/serial_io.cpp.o"
+  "CMakeFiles/bitio_picmc.dir/serial_io.cpp.o.d"
+  "CMakeFiles/bitio_picmc.dir/simulation.cpp.o"
+  "CMakeFiles/bitio_picmc.dir/simulation.cpp.o.d"
+  "libbitio_picmc.a"
+  "libbitio_picmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitio_picmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitio_smpi.dir/comm.cpp.o"
+  "CMakeFiles/bitio_smpi.dir/comm.cpp.o.d"
+  "libbitio_smpi.a"
+  "libbitio_smpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitio_smpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitio_util.dir/json.cpp.o"
+  "CMakeFiles/bitio_util.dir/json.cpp.o.d"
+  "CMakeFiles/bitio_util.dir/logging.cpp.o"
+  "CMakeFiles/bitio_util.dir/logging.cpp.o.d"
+  "CMakeFiles/bitio_util.dir/stats.cpp.o"
+  "CMakeFiles/bitio_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bitio_util.dir/table.cpp.o"
+  "CMakeFiles/bitio_util.dir/table.cpp.o.d"
+  "CMakeFiles/bitio_util.dir/toml.cpp.o"
+  "CMakeFiles/bitio_util.dir/toml.cpp.o.d"
+  "CMakeFiles/bitio_util.dir/units.cpp.o"
+  "CMakeFiles/bitio_util.dir/units.cpp.o.d"
+  "libbitio_util.a"
+  "libbitio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binio_test.dir/binio_test.cpp.o"
+  "CMakeFiles/binio_test.dir/binio_test.cpp.o.d"
+  "binio_test"
+  "binio_test.pdb"
+  "binio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

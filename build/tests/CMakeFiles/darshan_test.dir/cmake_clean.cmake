@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darshan_test.dir/darshan_test.cpp.o"
+  "CMakeFiles/darshan_test.dir/darshan_test.cpp.o.d"
+  "darshan_test"
+  "darshan_test.pdb"
+  "darshan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darshan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

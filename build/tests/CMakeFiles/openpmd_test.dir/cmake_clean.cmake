@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openpmd_test.dir/openpmd_test.cpp.o"
+  "CMakeFiles/openpmd_test.dir/openpmd_test.cpp.o.d"
+  "openpmd_test"
+  "openpmd_test.pdb"
+  "openpmd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openpmd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picmc_test.dir/picmc_test.cpp.o"
+  "CMakeFiles/picmc_test.dir/picmc_test.cpp.o.d"
+  "picmc_test"
+  "picmc_test.pdb"
+  "picmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
