@@ -7,10 +7,9 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/adaptor.hpp"
+#include "core/diagnostics_sink.hpp"
 #include "darshan/darshan.hpp"
 #include "fsim/system_profiles.hpp"
-#include "picmc/serial_io.hpp"
 #include "smpi/comm.hpp"
 
 using namespace bitio;
@@ -26,11 +25,17 @@ int main() {
   config.mvstep = 20;   // sampled every 20 steps
   config.ionization_rate = 4e-3;
 
+  // Both I/O paths behind the same DiagnosticsSink seam; only `mode`
+  // differs between the two configs.
   const int nranks = 4;
   core::Bit1IoConfig io;
   io.mode = core::IoMode::openpmd;
   io.ranks_per_node = nranks;
-  core::Bit1OpenPmdAdaptor adaptor(fs, "ion_openpmd", io, nranks);
+  auto openpmd = core::make_diagnostics_sink(fs, "ion_openpmd", io, nranks);
+  core::Bit1IoConfig original_io = io;
+  original_io.mode = core::IoMode::original;
+  auto original =
+      core::make_diagnostics_sink(fs, "ion_original", original_io, nranks);
 
   double neutral_weight_start = 0.0;
   double neutral_weight_end = 0.0;
@@ -39,9 +44,9 @@ int main() {
     picmc::Simulation sim(config, comm.rank(), comm.size());
     sim.initialize();
     picmc::Diagnostics diagnostics;
-    picmc::Bit1SerialWriter serial(fs, "ion_original", comm.rank(),
-                                   comm.size());
-    serial.write_input_echo(config);
+    dynamic_cast<core::SerialDiagnosticsSink&>(*original)
+        .writer(comm.rank())
+        .write_input_echo(config);
 
     const double local0 = sim.species_named("D").particles.total_weight();
     const double global0 = comm.allreduce(local0, smpi::Op::sum);
@@ -59,14 +64,16 @@ int main() {
             config.mvflag > 0 && diagnostics.snapshots_completed() > 0
                 ? diagnostics.latest()
                 : picmc::Diagnostics::sample_now(s);
-        // Original path: every rank appends its own .dat files.
-        serial.write_diagnostics(s, snapshot);
-        // openPMD path: stage, then rank 0 flushes after the barrier.
-        adaptor.stage_diagnostics(comm.rank(), s, snapshot);
+        // Same stage/flush protocol for both sinks: stage per rank, then
+        // rank 0 flushes the collective tail after the barrier.
+        original->stage_diagnostics(comm.rank(), s, snapshot);
+        openpmd->stage_diagnostics(comm.rank(), s, snapshot);
         comm.barrier();
-        if (comm.rank() == 0)
-          adaptor.flush_diagnostics(s.current_step(),
-                                    double(s.current_step()) * config.dt);
+        if (comm.rank() == 0) {
+          const double time = double(s.current_step()) * config.dt;
+          original->flush_diagnostics(s.current_step(), time);
+          openpmd->flush_diagnostics(s.current_step(), time);
+        }
         comm.barrier();
       }
     });
@@ -75,7 +82,8 @@ int main() {
     const double global1 = comm.allreduce(local1, smpi::Op::sum);
     if (comm.rank() == 0) neutral_weight_end = global1;
   });
-  adaptor.close();
+  original->close();
+  openpmd->close();
 
   // Physics check: exponential decay at rate n_e * R.
   const double t = double(config.last_step) * config.dt;

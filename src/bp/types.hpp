@@ -6,7 +6,9 @@
 
 #include <cstdint>
 #include <numeric>
+#include <span>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -68,6 +70,49 @@ inline std::uint64_t element_count(const Dims& dims) {
   return std::accumulate(dims.begin(), dims.end(), std::uint64_t(1),
                          std::multiplies<>());
 }
+
+/// A validated view of one rank-local chunk: element type, raw bytes, and
+/// placement in the global array.  This is the argument object the write
+/// path passes around instead of loose (dtype, span, offset, count) packs;
+/// the constructor is the single point that checks byte length against
+/// count * dtype, and ChunkView::of is the one reinterpret_cast site.
+/// The view does not own the bytes — like ADIOS2's deferred Put, the
+/// referenced data must stay valid until the put is consumed.
+class ChunkView {
+public:
+  ChunkView(Datatype dtype, std::span<const std::uint8_t> bytes, Dims offset,
+            Dims count)
+      : dtype_(dtype),
+        bytes_(bytes),
+        offset_(std::move(offset)),
+        count_(std::move(count)) {
+    if (offset_.size() != count_.size())
+      throw UsageError("bp::ChunkView: offset/count dimension mismatch");
+    if (bytes_.size() != element_count(count_) * dtype_size(dtype_))
+      throw UsageError(
+          "bp::ChunkView: byte size does not match count * sizeof(dtype)");
+  }
+
+  template <typename T>
+  static ChunkView of(std::span<const T> data, Dims offset, Dims count) {
+    return ChunkView(datatype_of<T>::value,
+                     std::span<const std::uint8_t>(
+                         reinterpret_cast<const std::uint8_t*>(data.data()),
+                         data.size_bytes()),
+                     std::move(offset), std::move(count));
+  }
+
+  Datatype dtype() const { return dtype_; }
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+  const Dims& offset() const { return offset_; }
+  const Dims& count() const { return count_; }
+
+private:
+  Datatype dtype_;
+  std::span<const std::uint8_t> bytes_;
+  Dims offset_;
+  Dims count_;
+};
 
 /// One stored block of a variable: where it sits in the global array and
 /// where its (possibly compressed) bytes live inside a subfile.

@@ -48,6 +48,14 @@ EngineConfig EngineConfig::from_json(const Json& adios2) {
                                ? profile.as_string() == "On"
                                : profile.as_bool();
       }
+      if (params.contains("AsyncWrite")) {
+        const Json& async = params.at("AsyncWrite");
+        config.async_write = async.is_string() ? async.as_string() == "On"
+                                               : async.as_bool();
+      }
+      if (params.contains("BufferChunkSize"))
+        config.buffer_chunk_mb =
+            std::size_t(params.at("BufferChunkSize").as_uint());
     }
   }
   if (adios2.contains("dataset")) {
@@ -73,6 +81,8 @@ Writer::Writer(fsim::SharedFs& fs, std::string path, EngineConfig config,
   if (nranks_ <= 0) throw UsageError("bp::Writer: nranks must be positive");
   if (config_.ranks_per_node <= 0)
     throw UsageError("bp::Writer: ranks_per_node must be positive");
+  if (config_.max_inflight_steps < 1)
+    throw UsageError("bp::Writer: max_inflight_steps must be >= 1");
 
   const int nnodes =
       (nranks_ + config_.ranks_per_node - 1) / config_.ranks_per_node;
@@ -89,9 +99,7 @@ Writer::Writer(fsim::SharedFs& fs, std::string path, EngineConfig config,
   // 0 creates the metadata files.  (This is the file population Table II
   // counts: M data files + md.0 + md.idx [+ profiling.json, mmd.0].)
   for (int a = 0; a < num_aggregators_; ++a) {
-    // Leader of aggregator block a.
-    const int leader = int(std::int64_t(a) * nranks_ / num_aggregators_);
-    fsim::FsClient client(fs_, fsim::ClientId(leader));
+    fsim::FsClient client(fs_, fsim::ClientId(leader_of(a)));
     data_fds_.push_back(client.open(path_ + "/data." + std::to_string(a),
                                     fsim::OpenMode::create));
     data_offsets_.push_back(0);
@@ -104,6 +112,9 @@ Writer::Writer(fsim::SharedFs& fs, std::string path, EngineConfig config,
   header.u32(kIdxMagic);
   header.u32(0);
   root.pwrite(idx_fd_, 0, header.buffer());
+
+  if (config_.async_write)
+    drain_thread_ = std::thread([this] { drain_loop(); });
 }
 
 Writer::~Writer() {
@@ -115,6 +126,11 @@ Writer::~Writer() {
       // by the reader via the md.idx count.
     }
   }
+  stop_drain_thread();
+}
+
+int Writer::leader_of(int aggregator) const {
+  return int(std::int64_t(aggregator) * nranks_ / num_aggregators_);
 }
 
 int Writer::aggregator_of(int rank) const {
@@ -127,6 +143,15 @@ void Writer::begin_step(std::uint64_t step) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (closed_) throw UsageError("bp::Writer: engine is closed");
   if (step_open_) throw UsageError("bp::Writer: step already open");
+  if (config_.async_write) {
+    // Backpressure: with a bound of K, step N+K may not open until step
+    // N's drain has landed.
+    std::unique_lock<std::mutex> dlock(drain_mutex_);
+    drain_done_cv_.wait(dlock, [&] {
+      return drain_error_ || inflight_ < config_.max_inflight_steps;
+    });
+    if (drain_error_) std::rethrow_exception(drain_error_);
+  }
   step_open_ = true;
   current_step_ = step;
   attributes_.clear();
@@ -155,24 +180,20 @@ void Writer::validate_put(int rank, const std::string& name, Datatype dtype,
                      "'");
 }
 
-void Writer::put(int rank, const std::string& name, Datatype dtype,
-                 const Dims& shape, const Dims& offset, const Dims& count,
-                 std::span<const std::uint8_t> data) {
+void Writer::put(int rank, const std::string& name, const Dims& shape,
+                 const ChunkView& view) {
   std::lock_guard<std::mutex> lock(mutex_);
-  validate_put(rank, name, dtype, shape, offset, count);
-  if (data.size() != element_count(count) * dtype_size(dtype))
-    throw UsageError("bp::Writer: data size does not match count for '" +
-                     name + "'");
+  validate_put(rank, name, view.dtype(), shape, view.offset(), view.count());
   if (step_kind_ == 2)
     throw UsageError("bp::Writer: cannot mix real and synthetic puts");
   step_kind_ = 1;
   PendingChunk chunk;
   chunk.var = name;
-  chunk.dtype = dtype;
+  chunk.dtype = view.dtype();
   chunk.shape = shape;
-  chunk.offset = offset;
-  chunk.count = count;
-  chunk.data.assign(data.begin(), data.end());
+  chunk.offset = view.offset();
+  chunk.count = view.count();
+  chunk.data.assign(view.bytes().begin(), view.bytes().end());
   pending_[std::size_t(rank)].push_back(std::move(chunk));
 }
 
@@ -222,14 +243,39 @@ void Writer::compute_stats(const PendingChunk& chunk, ChunkRecord& meta) {
 }
 
 void Writer::end_step() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!step_open_) throw UsageError("bp::Writer: no open step");
-  step_open_ = false;
+  StepJob job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!step_open_) throw UsageError("bp::Writer: no open step");
+    step_open_ = false;
+    job.step = current_step_;
+    job.kind = step_kind_;
+    job.attributes = std::move(attributes_);
+    attributes_.clear();
+    job.chunks = std::move(pending_);
+    pending_.assign(std::size_t(nranks_), {});
+    ++steps_written_;
+  }
+  if (!config_.async_write) {
+    drain_step(job);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    if (drain_error_) std::rethrow_exception(drain_error_);
+    drain_queue_.push_back(std::move(job));
+    ++inflight_;
+    peak_inflight_ = std::max(peak_inflight_, inflight_);
+  }
+  drain_cv_.notify_one();
+}
+
+void Writer::drain_step(StepJob& job) {
+  const bool async = config_.async_write;
 
   StepRecord record;
-  record.step = current_step_;
-  record.attributes = std::move(attributes_);
-  attributes_.clear();
+  record.step = job.step;
+  record.attributes = std::move(job.attributes);
 
   // Variable table in first-seen order.
   std::vector<std::string> var_order;
@@ -241,9 +287,16 @@ void Writer::end_step() {
       static_cast<std::size_t>(num_aggregators_));
   std::vector<std::uint64_t> agg_bytes(
       static_cast<std::size_t>(num_aggregators_), 0);
+  // Async: marshalling/compression runs on each aggregator's drain lane,
+  // not the ranks' critical path.  Accumulated per aggregator, charged to
+  // the leader's lane below.
+  std::vector<double> lane_compress(static_cast<std::size_t>(num_aggregators_),
+                                    0.0);
+  std::vector<double> lane_memcopy(static_cast<std::size_t>(num_aggregators_),
+                                   0.0);
 
   for (int rank = 0; rank < nranks_; ++rank) {
-    auto& chunks = pending_[std::size_t(rank)];
+    auto& chunks = job.chunks[std::size_t(rank)];
     if (chunks.empty()) continue;
     const int a = aggregator_of(rank);
     fsim::FsClient client(fs_, fsim::ClientId(rank));
@@ -271,7 +324,10 @@ void Writer::end_step() {
         const double seconds =
             double(raw_bytes) / codec_->compress_speed_bps();
         rank_compress_s += seconds;
-        compress_us_total_ += seconds * 1e6;
+        if (async)
+          drain_us_total_ += seconds * 1e6;
+        else
+          compress_us_total_ += seconds * 1e6;
         if (chunk.synthetic) {
           stored_size = std::uint64_t(double(raw_bytes) *
                                       config_.synthetic_codec_ratio);
@@ -286,7 +342,10 @@ void Writer::end_step() {
         const double seconds =
             double(raw_bytes) / config_.mem_bandwidth_bps;
         rank_memcopy_s += seconds;
-        memcopy_us_total_ += seconds * 1e6;
+        if (async)
+          drain_us_total_ += seconds * 1e6;
+        else
+          memcopy_us_total_ += seconds * 1e6;
         stored_size = raw_bytes;
         if (!chunk.synthetic)
           agg[std::size_t(a)].insert(agg[std::size_t(a)].end(),
@@ -310,21 +369,46 @@ void Writer::end_step() {
       stored_bytes_total_ += stored_size;
       agg_bytes[std::size_t(a)] += stored_size;
     }
-    if (rank_compress_s > 0.0) client.charge_cpu(rank_compress_s, "compress");
-    if (rank_memcopy_s > 0.0) client.charge_cpu(rank_memcopy_s, "memcopy");
+    if (async) {
+      lane_compress[std::size_t(a)] += rank_compress_s;
+      lane_memcopy[std::size_t(a)] += rank_memcopy_s;
+    } else {
+      if (rank_compress_s > 0.0)
+        client.charge_cpu(rank_compress_s, "compress");
+      if (rank_memcopy_s > 0.0) client.charge_cpu(rank_memcopy_s, "memcopy");
+    }
     chunks.clear();
   }
 
-  // Each aggregator leader appends its step buffer as one sequential write.
-  const bool synthetic_step = step_kind_ == 2;
+  // Each aggregator leader appends its step buffer as one sequential write
+  // — on its overlapped drain lane in buffer_chunk_mb slices when async.
+  const bool synthetic_step = job.kind == 2;
+  const std::uint64_t slice =
+      std::max<std::uint64_t>(1, config_.buffer_chunk_mb) << 20;
   for (int a = 0; a < num_aggregators_; ++a) {
     const std::uint64_t bytes = agg_bytes[std::size_t(a)];
+    fsim::FsClient client(fs_, fsim::ClientId(leader_of(a)),
+                          async ? kDataLane : 0);
+    if (async) {
+      if (lane_compress[std::size_t(a)] > 0.0)
+        client.charge_cpu(lane_compress[std::size_t(a)], "compress");
+      if (lane_memcopy[std::size_t(a)] > 0.0)
+        client.charge_cpu(lane_memcopy[std::size_t(a)], "memcopy");
+    }
     if (bytes == 0) continue;
-    const int leader = int(std::int64_t(a) * nranks_ / num_aggregators_);
-    fsim::FsClient client(fs_, fsim::ClientId(leader));
     if (synthetic_step) {
       client.seek(data_fds_[std::size_t(a)], data_offsets_[std::size_t(a)]);
-      client.write_simulated(data_fds_[std::size_t(a)], bytes);
+      const std::uint64_t nslices = async ? (bytes + slice - 1) / slice : 1;
+      client.write_simulated(data_fds_[std::size_t(a)], bytes,
+                             std::uint32_t(nslices));
+    } else if (async) {
+      for (std::uint64_t pos = 0; pos < bytes; pos += slice) {
+        const std::uint64_t n = std::min<std::uint64_t>(slice, bytes - pos);
+        client.pwrite(
+            data_fds_[std::size_t(a)], data_offsets_[std::size_t(a)] + pos,
+            std::span<const std::uint8_t>(agg[std::size_t(a)]).subspan(
+                std::size_t(pos), std::size_t(n)));
+      }
     } else {
       client.pwrite(data_fds_[std::size_t(a)], data_offsets_[std::size_t(a)],
                     agg[std::size_t(a)]);
@@ -332,11 +416,12 @@ void Writer::end_step() {
     data_offsets_[std::size_t(a)] += bytes;
   }
 
-  // Rank 0 appends step metadata and the index entry.
-  fsim::FsClient root(fs_, 0);
+  // Rank 0 appends step metadata and the index entry (its own overlapped
+  // metadata lane when async).
+  fsim::FsClient root(fs_, 0, async ? kMetaLane : 0);
   const std::vector<std::uint8_t> md = encode_step(record);
   root.pwrite(md_fd_, md_offset_, md);
-  IndexEntry entry{current_step_, md_offset_, md.size()};
+  IndexEntry entry{job.step, md_offset_, md.size()};
   md_offset_ += md.size();
   BinWriter idx_bytes;
   idx_bytes.u64(entry.step);
@@ -345,15 +430,71 @@ void Writer::end_step() {
   root.pwrite(idx_fd_, 8 + index_.size() * kIdxEntryBytes,
               idx_bytes.buffer());
   index_.push_back(entry);
-  ++steps_written_;
+}
+
+void Writer::drain_loop() {
+  for (;;) {
+    StepJob job;
+    bool skip = false;
+    {
+      std::unique_lock<std::mutex> lock(drain_mutex_);
+      drain_cv_.wait(lock,
+                     [&] { return drain_stop_ || !drain_queue_.empty(); });
+      if (drain_queue_.empty()) return;  // stop requested, queue drained
+      job = std::move(drain_queue_.front());
+      drain_queue_.pop_front();
+      skip = drain_error_ != nullptr;  // poisoned: count down, don't write
+    }
+    if (!skip) {
+      try {
+        drain_step(job);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(drain_mutex_);
+        if (!drain_error_) drain_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      --inflight_;
+    }
+    drain_done_cv_.notify_all();
+  }
+}
+
+void Writer::wait_drains() {
+  if (!config_.async_write) return;
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_done_cv_.wait(lock, [&] { return inflight_ == 0; });
+  if (drain_error_) std::rethrow_exception(drain_error_);
+}
+
+int Writer::peak_inflight() const {
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  return peak_inflight_;
+}
+
+void Writer::stop_drain_thread() {
+  if (!drain_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drain_stop_ = true;
+  }
+  drain_cv_.notify_all();
+  drain_thread_.join();
 }
 
 void Writer::close() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (closed_) return;
-  if (step_open_) throw UsageError("bp::Writer: close with an open step");
-  closed_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    if (step_open_) throw UsageError("bp::Writer: close with an open step");
+    closed_ = true;
+  }
+  // Join outstanding drains before touching the files; the worker owns the
+  // offset tables and profiling accumulators until it goes quiet.
+  stop_drain_thread();
 
+  std::lock_guard<std::mutex> lock(mutex_);
   fsim::FsClient root(fs_, 0);
   // Patch the md.idx header with the final step count.
   BinWriter header;
@@ -373,8 +514,12 @@ void Writer::close() {
     profile["aggregators"] = num_aggregators_;
     profile["ranks"] = nranks_;
     profile["steps"] = steps_written_;
+    profile["async_write"] = config_.async_write;
     profile["transport_0"]["memcopy_us"] = memcopy_us_total_;
     profile["transport_0"]["compress_us"] = compress_us_total_;
+    // Overlapped drain-lane time, kept apart from the critical-path
+    // memcopy/compress numbers (zero without async_write).
+    profile["transport_0"]["drain_us"] = drain_us_total_;
     profile["transport_0"]["raw_bytes"] = raw_bytes_total_;
     profile["transport_0"]["stored_bytes"] = stored_bytes_total_;
     const std::string text = profile.dump(2);
@@ -385,13 +530,15 @@ void Writer::close() {
   }
 
   for (std::size_t a = 0; a < data_fds_.size(); ++a) {
-    const int leader = int(std::int64_t(a) * nranks_ / num_aggregators_);
-    fsim::FsClient client(fs_, fsim::ClientId(leader));
+    fsim::FsClient client(fs_, fsim::ClientId(leader_of(int(a))));
     client.fsync(data_fds_[a]);
     client.close(data_fds_[a]);
   }
   root.close(md_fd_);
   root.close(idx_fd_);
+  // Surface the first drain failure to the caller, after the container has
+  // been closed out (the md.idx count still reflects only drained steps).
+  if (drain_error_) std::rethrow_exception(drain_error_);
 }
 
 }  // namespace bitio::bp

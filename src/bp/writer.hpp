@@ -23,15 +23,28 @@
 //   * rank 0 appends the step's metadata to md.0 and its index entry to
 //     md.idx.
 //
+// Asynchronous drain (BP5's AsyncWrite): with EngineConfig::async_write,
+// end_step() snapshots the pending chunk table into an immutable StepJob
+// and returns immediately; a background worker drains jobs FIFO, issuing
+// each aggregator's subfile append on that leader's overlapped drain lane
+// in buffer_chunk_mb slices.  A bounded queue applies backpressure —
+// begin_step() of step N + max_inflight_steps blocks until step N's drain
+// has landed — and close()/wait_drains() join outstanding work.  Output is
+// byte-identical to the synchronous path.
+//
 // Thread safety: put() may be called concurrently by SPMD rank threads;
 // begin_step/end_step/close are collective-like and must be called by
 // exactly one thread at a time (the openPMD layer funnels them through
 // rank 0 between barriers).
 
+#include <condition_variable>
+#include <deque>
+#include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 
 #include "bp/format.hpp"
 #include "bp/types.hpp"
@@ -61,6 +74,18 @@ struct EngineConfig {
   /// is configured (measured once on representative data by the scale
   /// harness; real put() chunks always run the real codec).
   double synthetic_codec_ratio = 1.0;
+  /// BP5-style AsyncWrite: end_step() snapshots the pending chunk table
+  /// into an immutable step job and returns immediately; a background
+  /// worker drains jobs through per-aggregator lanes that overlap with the
+  /// callers' compute.  Off by default (BP4 semantics: fully synchronous
+  /// end_step, byte-identical output either way).
+  bool async_write = false;
+  /// Drain append granularity in MiB (BP5's BufferChunkSize): async subfile
+  /// appends are issued in slices of at most this size.
+  std::size_t buffer_chunk_mb = 16;
+  /// Backpressure bound on outstanding drain jobs: begin_step() of step
+  /// N + max_inflight_steps blocks until step N's drain has landed.
+  int max_inflight_steps = 2;
 
   /// Parse the "adios2" section of an openPMD-style JSON/TOML config, e.g.
   /// {engine:{type:"bp4", parameters:{NumAggregators:400, Profile:"On"}},
@@ -83,21 +108,21 @@ public:
   int aggregator_of(int rank) const;
   const std::string& path() const { return path_; }
 
+  /// Opens a step.  With async_write, applies backpressure: blocks until
+  /// fewer than max_inflight_steps drain jobs are outstanding.
   void begin_step(std::uint64_t step);
 
   /// Deferred put of one chunk of an n-dimensional variable.  All ranks
-  /// putting the same variable in a step must agree on shape and dtype.
-  void put(int rank, const std::string& name, Datatype dtype,
-           const Dims& shape, const Dims& offset, const Dims& count,
-           std::span<const std::uint8_t> data);
+  /// putting the same variable in a step must agree on shape and dtype;
+  /// the chunk's placement and byte length were validated at ChunkView
+  /// construction.
+  void put(int rank, const std::string& name, const Dims& shape,
+           const ChunkView& chunk);
 
   template <typename T>
   void put(int rank, const std::string& name, const Dims& shape,
            const Dims& offset, const Dims& count, std::span<const T> data) {
-    put(rank, name, datatype_of<T>::value, shape, offset, count,
-        std::span<const std::uint8_t>(
-            reinterpret_cast<const std::uint8_t*>(data.data()),
-            data.size_bytes()));
+    put(rank, name, shape, ChunkView::of<T>(data, offset, count));
   }
 
   /// Size-only put for modelled large-scale runs: the chunk participates in
@@ -111,10 +136,23 @@ public:
   /// Step-scoped attribute (recorded in the step's metadata).
   void add_attribute(const std::string& name, AttrValue value);
 
-  /// Aggregate, compress, write data subfiles, append metadata.
+  /// Aggregate, compress, write data subfiles, append metadata.  With
+  /// async_write the pending chunk table is snapshotted into an immutable
+  /// step job, handed to the drain worker, and the call returns
+  /// immediately; otherwise the drain runs on the caller.
   void end_step();
 
-  /// Patch the md.idx header, emit profiling.json / mmd.0, close all files.
+  /// Join every outstanding drain job (no-op without async_write).
+  /// Rethrows the first drain error, if any.  Required before reading the
+  /// container back without closing it.
+  void wait_drains();
+
+  /// Highest number of simultaneously outstanding drain jobs observed;
+  /// bounded by config.max_inflight_steps (the backpressure guarantee).
+  int peak_inflight() const;
+
+  /// Join outstanding drains, patch the md.idx header, emit
+  /// profiling.json / mmd.0, close all files.
   void close();
 
   std::uint64_t steps_written() const { return steps_written_; }
@@ -128,9 +166,29 @@ private:
     bool synthetic = false;
   };
 
+  /// Immutable snapshot of one step, handed to the drain worker.
+  struct StepJob {
+    std::uint64_t step = 0;
+    int kind = 0;  // see step_kind_
+    std::vector<std::pair<std::string, AttrValue>> attributes;
+    std::vector<std::vector<PendingChunk>> chunks;  // per rank
+  };
+
+  // Drain-lane ids (TraceOp::lane).  Lane 0 is the caller's critical path;
+  // with async_write each aggregator leader drains its subfile on
+  // kDataLane (leaders are distinct clients, so this is one logical lane
+  // per aggregator) and rank 0 appends metadata on kMetaLane so it
+  // overlaps with its own subfile drain.
+  static constexpr std::uint32_t kDataLane = 1;
+  static constexpr std::uint32_t kMetaLane = 2;
+
   void validate_put(int rank, const std::string& name, Datatype dtype,
                     const Dims& shape, const Dims& offset, const Dims& count);
   static void compute_stats(const PendingChunk& chunk, ChunkRecord& meta);
+  int leader_of(int aggregator) const;
+  void drain_step(StepJob& job);
+  void drain_loop();
+  void stop_drain_thread();
 
   fsim::SharedFs& fs_;
   std::string path_;
@@ -159,10 +217,26 @@ private:
   std::vector<IndexEntry> index_;
 
   // profiling.json accumulators (microseconds, like ADIOS2's profiler).
+  // With async_write, marshalling/compression time lands in drain_us_total_
+  // (the overlapped lane) instead of memcopy/compress (the critical path).
   double memcopy_us_total_ = 0.0;
   double compress_us_total_ = 0.0;
+  double drain_us_total_ = 0.0;
   std::uint64_t raw_bytes_total_ = 0;
   std::uint64_t stored_bytes_total_ = 0;
+
+  // Async drain state.  The worker owns the file-offset tables and
+  // profiling accumulators between submit and join; callers only touch
+  // them again after wait_drains()/close().
+  std::thread drain_thread_;
+  mutable std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;       // worker wake-ups
+  std::condition_variable drain_done_cv_;  // backpressure + joins
+  std::deque<StepJob> drain_queue_;
+  int inflight_ = 0;  // queued + actively draining jobs
+  int peak_inflight_ = 0;
+  bool drain_stop_ = false;
+  std::exception_ptr drain_error_;
 };
 
 }  // namespace bitio::bp

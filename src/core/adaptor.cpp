@@ -43,6 +43,7 @@ Bit1OpenPmdAdaptor::Bit1OpenPmdAdaptor(fsim::SharedFs& fs,
     throw UsageError("Bit1OpenPmdAdaptor: nranks must be positive");
   if (config_.mode != IoMode::openpmd)
     throw UsageError("Bit1OpenPmdAdaptor: config.mode must be openpmd");
+  config_.validate();
 
   fsim::FsClient root(fs_, 0);
   if (config_.use_striping) {
@@ -354,7 +355,16 @@ void Bit1OpenPmdAdaptor::restore(fsim::SharedFs& fs,
   sim.set_current_step(std::uint64_t(iteration.time()));
 }
 
+void Bit1OpenPmdAdaptor::synchronize() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  if (diag_series_) diag_series_->flush(pmd::FlushMode::sync);
+  if (ckpt_series_) ckpt_series_->flush(pmd::FlushMode::sync);
+}
+
 void Bit1OpenPmdAdaptor::close() {
+  if (closed_) return;
+  closed_ = true;
   if (diag_series_) diag_series_->close();
   if (ckpt_series_) ckpt_series_->close();
 }

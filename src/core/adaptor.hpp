@@ -28,6 +28,7 @@
 #include <mutex>
 #include <optional>
 
+#include "core/diagnostics_sink.hpp"
 #include "core/io_config.hpp"
 #include "openpmd/series.hpp"
 #include "picmc/diagnostics.hpp"
@@ -35,7 +36,7 @@
 
 namespace bitio::core {
 
-class Bit1OpenPmdAdaptor {
+class Bit1OpenPmdAdaptor final : public DiagnosticsSink {
 public:
   /// Creates both series (and applies Lustre striping to `run_dir` first if
   /// configured).  `nranks` is the size of the writing communicator.
@@ -49,18 +50,26 @@ public:
   std::string diag_path() const;
   std::string checkpoint_path() const;
 
+  std::string sink_name() const override { return "openpmd"; }
+
   // -- diagnostics (the `datfile` event) -------------------------------------
   /// Stage one rank's diagnostic snapshot.  Thread-safe.
   void stage_diagnostics(int rank, const picmc::Simulation& sim,
-                         const picmc::DiagnosticSnapshot& snapshot);
-  /// Collective tail: write the staged snapshot as iteration `step`.
-  void flush_diagnostics(std::uint64_t step, double time);
+                         const picmc::DiagnosticSnapshot& snapshot) override;
+  /// Collective tail: write the staged snapshot as iteration `step`.  With
+  /// async_write the call returns once the step is submitted to the drain.
+  void flush_diagnostics(std::uint64_t step, double time) override;
 
   // -- checkpointing (the `dmpstep` event) ------------------------------------
   /// Stage one rank's full particle state.  Thread-safe.
-  void stage_checkpoint(int rank, const picmc::Simulation& sim);
-  /// Collective tail: rewrite iteration 0 of the checkpoint series.
-  void flush_checkpoint();
+  void stage_checkpoint(int rank, const picmc::Simulation& sim) override;
+  /// Collective tail: rewrite iteration 0 of the checkpoint series.  With
+  /// async_write the call returns once the step is submitted to the drain.
+  void flush_checkpoint() override;
+
+  /// Join outstanding async drains on both series without closing; after
+  /// this every submitted flush has landed (read-after-write safe).
+  void synchronize() override;
 
   /// Restore `sim` (rank sim.rank() of sim.nranks()) from the latest
   /// checkpoint.  The adaptor must be closed first; restart opens the
@@ -68,8 +77,8 @@ public:
   static void restore(fsim::SharedFs& fs, const std::string& run_dir,
                       const Bit1IoConfig& config, picmc::Simulation& sim);
 
-  /// Close both series (flushes nothing; every flush_* already persisted).
-  void close();
+  /// Close both series (joins any outstanding async drains first).
+  void close() override;
 
 private:
   struct RankDiag {
@@ -106,6 +115,7 @@ private:
 
   std::unique_ptr<pmd::Series> diag_series_;
   std::unique_ptr<pmd::Series> ckpt_series_;
+  bool closed_ = false;
 
   std::mutex mutex_;
   std::vector<RankDiag> staged_diag_;

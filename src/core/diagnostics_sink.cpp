@@ -1,0 +1,90 @@
+#include "core/diagnostics_sink.hpp"
+
+#include "core/adaptor.hpp"
+#include "picmc/checkpoint.hpp"
+#include "util/error.hpp"
+
+namespace bitio::core {
+
+SerialDiagnosticsSink::SerialDiagnosticsSink(fsim::SharedFs& fs,
+                                             const std::string& run_dir,
+                                             int nranks)
+    : nranks_(nranks) {
+  if (nranks <= 0)
+    throw UsageError("SerialDiagnosticsSink: nranks must be positive");
+  writers_.reserve(std::size_t(nranks));
+  for (int r = 0; r < nranks; ++r)
+    writers_.push_back(
+        std::make_unique<picmc::Bit1SerialWriter>(fs, run_dir, r, nranks));
+  staged_ckpt_.resize(std::size_t(nranks));
+}
+
+picmc::Bit1SerialWriter& SerialDiagnosticsSink::writer(int rank) {
+  if (rank < 0 || rank >= nranks_)
+    throw UsageError("SerialDiagnosticsSink: rank out of range");
+  return *writers_[std::size_t(rank)];
+}
+
+void SerialDiagnosticsSink::stage_diagnostics(
+    int rank, const picmc::Simulation& sim,
+    const picmc::DiagnosticSnapshot& snapshot) {
+  // The original BIT1 writes each rank's .dat files right away — there is
+  // no collective stage, so "staging" appends immediately.
+  writer(rank).write_diagnostics(sim, snapshot);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& sp : snapshot.species) {
+    staged_particles_ += sp.particle_count;
+    staged_energy_ += sp.kinetic_energy;
+  }
+  if (rank == 0) rank0_sim_ = &sim;
+  history_pending_ = true;
+}
+
+void SerialDiagnosticsSink::flush_diagnostics(std::uint64_t, double) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!history_pending_)
+    throw UsageError("SerialDiagnosticsSink: no staged diagnostics to flush");
+  // Rank 0's four global history files need its simulation for the wall /
+  // ionization totals; tolerate windows where rank 0 did not stage.
+  if (rank0_sim_ != nullptr)
+    writers_[0]->write_history(*rank0_sim_, staged_particles_,
+                               staged_energy_);
+  staged_particles_ = 0;
+  staged_energy_ = 0.0;
+  rank0_sim_ = nullptr;
+  history_pending_ = false;
+}
+
+void SerialDiagnosticsSink::stage_checkpoint(int rank,
+                                             const picmc::Simulation& sim) {
+  auto blob = picmc::save_checkpoint(sim);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rank < 0 || rank >= nranks_)
+    throw UsageError("SerialDiagnosticsSink: rank out of range");
+  staged_ckpt_[std::size_t(rank)] = std::move(blob);
+  ckpt_pending_ = true;
+}
+
+void SerialDiagnosticsSink::flush_checkpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ckpt_pending_)
+    throw UsageError("SerialDiagnosticsSink: no staged checkpoint to flush");
+  writers_[0]->write_checkpoint(staged_ckpt_);
+  for (auto& blob : staged_ckpt_) blob.clear();
+  ckpt_pending_ = false;
+}
+
+std::unique_ptr<DiagnosticsSink> make_diagnostics_sink(
+    fsim::SharedFs& fs, const std::string& run_dir,
+    const Bit1IoConfig& config, int nranks) {
+  config.validate();
+  if (config.mode == IoMode::original) {
+    // The serial path writes relative to run_dir with per-rank file names;
+    // the writers create files lazily, matching BIT1's fopen-per-event.
+    return std::make_unique<SerialDiagnosticsSink>(fs, run_dir, nranks);
+  }
+  return std::make_unique<Bit1OpenPmdAdaptor>(fs, run_dir, config, nranks);
+}
+
+}  // namespace bitio::core

@@ -1,0 +1,107 @@
+#pragma once
+// The single seam between the simulation loop and BIT1's two output paths.
+//
+// The paper's experiment design swaps the I/O backend underneath an
+// unchanged simulation: "BIT1 Original I/O" (per-rank stdio .dat files plus
+// rank-0 gathered bit1.dmp) versus the openPMD/ADIOS2 adaptor.  Both are
+// expressed as a DiagnosticsSink, chosen once from Bit1IoConfig::mode, so
+// callers — the SPMD loop, the integration tests, the benches — follow one
+// stage/flush protocol:
+//
+//   auto sink = make_diagnostics_sink(fs, "run", config, nranks);
+//   // each rank, at a datfile event:
+//   sink->stage_diagnostics(rank, sim, snapshot);
+//   sink->stage_checkpoint(rank, sim);          // at a dmpstep event
+//   // collective tail (rank 0 after a barrier):
+//   sink->flush_diagnostics(step, time);
+//   sink->flush_checkpoint();
+//   sink->close();
+//
+// With `async_write` enabled the openPMD sink's flush_* calls return as soon
+// as the step is submitted to the background drain; synchronize() joins the
+// outstanding work without closing (read-after-write safety).
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/io_config.hpp"
+#include "picmc/diagnostics.hpp"
+#include "picmc/serial_io.hpp"
+#include "picmc/simulation.hpp"
+
+namespace bitio::core {
+
+class DiagnosticsSink {
+public:
+  virtual ~DiagnosticsSink() = default;
+
+  /// Backend identifier: "original" or "openpmd".
+  virtual std::string sink_name() const = 0;
+
+  /// Stage one rank's diagnostic snapshot (thread-safe; call from the
+  /// rank's own thread).
+  virtual void stage_diagnostics(int rank, const picmc::Simulation& sim,
+                                 const picmc::DiagnosticSnapshot& snapshot) = 0;
+  /// Collective tail of a datfile event: persist (or submit) the staged
+  /// snapshot as output event `step`.
+  virtual void flush_diagnostics(std::uint64_t step, double time) = 0;
+
+  /// Stage one rank's full particle state (thread-safe).
+  virtual void stage_checkpoint(int rank, const picmc::Simulation& sim) = 0;
+  /// Collective tail of a dmpstep event: persist (or submit) the staged
+  /// checkpoint, overwriting the previous one.
+  virtual void flush_checkpoint() = 0;
+
+  /// Join any outstanding asynchronous work without closing.  After this
+  /// returns every submitted flush_* has landed on storage.  No-op for
+  /// synchronous backends.
+  virtual void synchronize() {}
+
+  /// Close the sink; joins outstanding work first.
+  virtual void close() = 0;
+};
+
+/// The original serial path behind the sink interface: staging a rank's
+/// diagnostics appends its slow_<r>.dat / slow1_<r>.dat immediately (the
+/// real BIT1 writes per rank with no collectivity); flush_diagnostics adds
+/// rank 0's four global history files, flush_checkpoint gathers every
+/// staged rank's state blob into the serial bit1.dmp.
+class SerialDiagnosticsSink final : public DiagnosticsSink {
+public:
+  SerialDiagnosticsSink(fsim::SharedFs& fs, const std::string& run_dir,
+                        int nranks);
+
+  std::string sink_name() const override { return "original"; }
+  void stage_diagnostics(int rank, const picmc::Simulation& sim,
+                         const picmc::DiagnosticSnapshot& snapshot) override;
+  void flush_diagnostics(std::uint64_t step, double time) override;
+  void stage_checkpoint(int rank, const picmc::Simulation& sim) override;
+  void flush_checkpoint() override;
+  void close() override {}
+
+  picmc::Bit1SerialWriter& writer(int rank);
+
+private:
+  int nranks_;
+  std::vector<std::unique_ptr<picmc::Bit1SerialWriter>> writers_;
+
+  std::mutex mutex_;
+  // Globals accumulated from staged snapshots for rank 0's history files.
+  std::uint64_t staged_particles_ = 0;
+  double staged_energy_ = 0.0;
+  bool history_pending_ = false;
+  const picmc::Simulation* rank0_sim_ = nullptr;  // valid until flush
+  std::vector<std::vector<std::uint8_t>> staged_ckpt_;
+  bool ckpt_pending_ = false;
+};
+
+/// Build the sink `config.mode` selects (validates `config` first).
+/// IoMode::original -> SerialDiagnosticsSink, IoMode::openpmd ->
+/// Bit1OpenPmdAdaptor.
+std::unique_ptr<DiagnosticsSink> make_diagnostics_sink(
+    fsim::SharedFs& fs, const std::string& run_dir,
+    const Bit1IoConfig& config, int nranks);
+
+}  // namespace bitio::core

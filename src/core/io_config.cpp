@@ -7,6 +7,34 @@
 
 namespace bitio::core {
 
+void Bit1IoConfig::validate() const {
+  if (engine != "bp4" && engine != "bp5")
+    throw UsageError("io config: unknown engine '" + engine + "'");
+  if (codec != "none" && codec != "blosc" && codec != "bzip2")
+    throw UsageError("io config: unknown codec '" + codec + "'");
+  if (num_aggregators < 0)
+    throw UsageError("io config: aggregators must be >= 0, got " +
+                     std::to_string(num_aggregators));
+  if (checkpoint_aggregators < 1)
+    throw UsageError("io config: checkpoint_aggregators must be >= 1, got " +
+                     std::to_string(checkpoint_aggregators));
+  if (buffer_chunk_mb < 1)
+    throw UsageError("io config: buffer_chunk_mb must be >= 1, got " +
+                     std::to_string(buffer_chunk_mb));
+  if (ranks_per_node < 1)
+    throw UsageError("io config: ranks_per_node must be >= 1, got " +
+                     std::to_string(ranks_per_node));
+  if (use_striping) {
+    if (striping.stripe_count < 1)
+      throw UsageError("io config: stripe count must be >= 1, got " +
+                       std::to_string(striping.stripe_count));
+    const std::uint64_t size = striping.stripe_size;
+    if (size == 0 || (size & (size - 1)) != 0)
+      throw UsageError("io config: stripe size must be a power of two, got " +
+                       std::to_string(size));
+  }
+}
+
 Bit1IoConfig Bit1IoConfig::from_toml(const std::string& text) {
   Bit1IoConfig config;
   const Json doc = parse_toml(text);
@@ -20,16 +48,14 @@ Bit1IoConfig Bit1IoConfig::from_toml(const std::string& text) {
   else throw UsageError("io config: unknown mode '" + mode + "'");
 
   config.engine = io.get_or("engine", Json("bp4")).as_string();
-  if (config.engine != "bp4" && config.engine != "bp5")
-    throw UsageError("io config: unknown engine '" + config.engine + "'");
   config.num_aggregators = int(io.get_or("aggregators", Json(0)).as_int());
   config.checkpoint_aggregators =
       int(io.get_or("checkpoint_aggregators", Json(1)).as_int());
   config.codec = io.get_or("codec", Json("none")).as_string();
-  if (config.codec != "none" && config.codec != "blosc" &&
-      config.codec != "bzip2")
-    throw UsageError("io config: unknown codec '" + config.codec + "'");
   config.profiling = io.get_or("profiling", Json(false)).as_bool();
+  config.async_write = io.get_or("async_write", Json(false)).as_bool();
+  config.buffer_chunk_mb =
+      int(io.get_or("buffer_chunk_mb", Json(16)).as_int());
   config.ranks_per_node =
       int(io.get_or("ranks_per_node", Json(128)).as_int());
 
@@ -43,7 +69,31 @@ Bit1IoConfig Bit1IoConfig::from_toml(const std::string& text) {
                                       ? parse_size(size.as_string())
                                       : size.as_uint();
   }
+  config.validate();
   return config;
+}
+
+std::string Bit1IoConfig::to_toml() const {
+  std::string out;
+  out += "[io]\n";
+  out += std::string("mode = \"") +
+         (mode == IoMode::original ? "original" : "openpmd") + "\"\n";
+  out += "engine = \"" + engine + "\"\n";
+  out += strfmt("aggregators = %d\n", num_aggregators);
+  out += strfmt("checkpoint_aggregators = %d\n", checkpoint_aggregators);
+  out += "codec = \"" + codec + "\"\n";
+  out += std::string("profiling = ") + (profiling ? "true" : "false") + "\n";
+  out += std::string("async_write = ") + (async_write ? "true" : "false") +
+         "\n";
+  out += strfmt("buffer_chunk_mb = %d\n", buffer_chunk_mb);
+  out += strfmt("ranks_per_node = %d\n", ranks_per_node);
+  if (use_striping) {
+    out += "[io.striping]\n";
+    out += strfmt("count = %d\n", striping.stripe_count);
+    out += strfmt("size = %llu\n",
+                  static_cast<unsigned long long>(striping.stripe_size));
+  }
+  return out;
 }
 
 std::string Bit1IoConfig::adios2_toml() const {
@@ -54,6 +104,12 @@ std::string Bit1IoConfig::adios2_toml() const {
   if (num_aggregators > 0)
     out += strfmt("NumAggregators = %d\n", num_aggregators);
   out += std::string("Profile = \"") + (profiling ? "On" : "Off") + "\"\n";
+  if (async_write) {
+    // BP5's asynchronous drain: AsyncWrite moves the subfile appends off the
+    // critical path; BufferChunkSize bounds the slice each append moves.
+    out += "AsyncWrite = \"On\"\n";
+    out += strfmt("BufferChunkSize = %d\n", buffer_chunk_mb);
+  }
   if (codec != "none" && !codec.empty()) {
     out += "[adios2.dataset]\n";
     out += "operators = [ { type = \"" + codec + "\" } ]\n";
@@ -70,6 +126,7 @@ std::string Bit1IoConfig::label() const {
   if (num_aggregators == 1) out += " + 1 AGGR";
   else if (num_aggregators > 1)
     out += " + " + std::to_string(num_aggregators) + " AGGR";
+  if (async_write) out += " + async";
   if (use_striping)
     out += strfmt(" [stripe -c %d -S %s]", striping.stripe_count,
                   format_bytes(striping.stripe_size).c_str());

@@ -1,10 +1,11 @@
 #pragma once
 // The tunable I/O configuration of a BIT1 run — the knobs the paper sweeps:
 // original serial I/O vs openPMD, engine (BP4/BP5), number of aggregators
-// (OPENPMD_ADIOS2_BP5_NumAgg), compressor (Blosc / bzip2), and Lustre
-// striping (stripe count / stripe size).  Loadable from TOML ("TOML-based
-// dynamic configuration") and renderable back to the adios2 config string
-// the openPMD layer consumes.
+// (OPENPMD_ADIOS2_BP5_NumAgg), compressor (Blosc / bzip2), Lustre striping
+// (stripe count / stripe size), and the BP5 asynchronous write pipeline
+// (AsyncWrite / BufferChunkSize).  Loadable from TOML ("TOML-based dynamic
+// configuration"), renderable back to TOML losslessly, and renderable to the
+// adios2 config string the openPMD layer consumes.
 
 #include <string>
 
@@ -24,22 +25,55 @@ struct Bit1IoConfig {
   std::string codec = "none";         // "none" | "blosc" | "bzip2"
   bool profiling = false;             // emit profiling.json
 
+  // Asynchronous aggregation drain (BP5 AsyncWrite): end_step snapshots the
+  // staged chunks and a background lane drains them to the subfiles while
+  // the ranks compute the next step.  `buffer_chunk_mb` mirrors
+  // BufferChunkSize: the MiB granularity the drain appends in.
+  bool async_write = false;
+  int buffer_chunk_mb = 16;
+
   // Lustre striping applied to the output directory (lfs setstripe).
   bool use_striping = false;
   fsim::StripeSettings striping{1, 1 << 20};
 
   int ranks_per_node = 128;
 
-  /// Parse from TOML, e.g.
+  friend bool operator==(const Bit1IoConfig& a, const Bit1IoConfig& b) {
+    return a.mode == b.mode && a.engine == b.engine &&
+           a.num_aggregators == b.num_aggregators &&
+           a.checkpoint_aggregators == b.checkpoint_aggregators &&
+           a.codec == b.codec && a.profiling == b.profiling &&
+           a.async_write == b.async_write &&
+           a.buffer_chunk_mb == b.buffer_chunk_mb &&
+           a.use_striping == b.use_striping &&
+           a.striping.stripe_count == b.striping.stripe_count &&
+           a.striping.stripe_size == b.striping.stripe_size &&
+           a.ranks_per_node == b.ranks_per_node;
+  }
+
+  /// Reject inconsistent configurations: unknown engine or codec, negative
+  /// aggregator counts, non-positive buffer chunk / ranks-per-node, or a
+  /// stripe size that is zero or not a power of two.  Throws UsageError.
+  /// Called by from_toml after parsing; call it directly after building a
+  /// config in code.
+  void validate() const;
+
+  /// Parse from TOML (validated), e.g.
   ///   [io]
   ///   mode = "openpmd"
-  ///   engine = "bp4"
+  ///   engine = "bp5"
   ///   aggregators = 400
   ///   codec = "blosc"
+  ///   async_write = true
+  ///   buffer_chunk_mb = 16
   ///   [io.striping]
   ///   count = 8
   ///   size = "16M"
   static Bit1IoConfig from_toml(const std::string& text);
+
+  /// Render back to the [io] TOML accepted by from_toml.  Lossless:
+  /// from_toml(to_toml()) reproduces the config exactly.
+  std::string to_toml() const;
 
   /// Render the [adios2] config TOML the miniPMD Series consumes.
   std::string adios2_toml() const;

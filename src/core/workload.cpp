@@ -30,6 +30,7 @@ EpochResult summarize(const fsim::SharedFs& fs, const std::string& dir,
   result.mean_meta_s = replay.mean_meta_time();
   result.mean_write_s = replay.mean_write_time();
   result.mean_read_s = replay.mean_read_time();
+  result.mean_drain_s = replay.mean_drain_time();
   result.cpu_by_tag = replay.cpu_by_tag;
 
   std::uint64_t sum = 0;
@@ -200,6 +201,8 @@ EpochResult run_openpmd_epoch(const fsim::SystemProfile& profile,
     engine.profiling = profiling;
     engine.synthetic_codec_ratio = codec_ratio;
     engine.mem_bandwidth_bps = profile.client_mem_bandwidth_bps;
+    engine.async_write = config.async_write;
+    engine.buffer_chunk_mb = std::size_t(config.buffer_chunk_mb);
     return engine;
   };
 

@@ -73,6 +73,8 @@ struct EpochResult {
   double mean_meta_s = 0.0;
   double mean_write_s = 0.0;
   double mean_read_s = 0.0;
+  // Mean overlapped drain time (async_write; off the critical path).
+  double mean_drain_s = 0.0;
   // File population (Table II).
   std::uint64_t total_files = 0;
   std::uint64_t avg_file_bytes = 0;

@@ -52,6 +52,10 @@ struct FileRecord {
   double write_time_s = 0.0;
   double read_time_s = 0.0;
   double meta_time_s = 0.0;
+  // Time spent on overlapped drain lanes (TraceOp::lane > 0, the BP5-style
+  // AsyncWrite background writer).  Kept separate from write/meta/read time
+  // so those remain the rank's critical-path cost.
+  double drain_time_s = 0.0;
 };
 
 /// A captured log: job info + records + per-rank roll-ups.
@@ -71,11 +75,13 @@ public:
   /// written / job I/O runtime.
   double write_throughput_bps() const;
 
-  /// Per-process average costs (Fig 5): {read, meta, write} seconds.
+  /// Per-process average costs (Fig 5): {read, meta, write} seconds, plus
+  /// the overlapped async-drain component (not on the critical path).
   struct PerProcessCost {
     double read_s = 0.0;
     double meta_s = 0.0;
     double write_s = 0.0;
+    double drain_s = 0.0;
   };
   PerProcessCost per_process_cost() const;
 

@@ -16,7 +16,7 @@ void SharedFs::append_op(TraceOp op) {
   if (op.kind == OpKind::write && !trace_.empty()) {
     TraceOp& last = trace_.back();
     if (last.kind == OpKind::write && last.client == op.client &&
-        last.file == op.file &&
+        last.lane == op.lane && last.file == op.file &&
         last.offset + last.bytes == op.offset) {
       last.bytes += op.bytes;
       last.op_count += op.op_count;
@@ -43,7 +43,7 @@ std::uint64_t SharedFs::traced_bytes_read() const {
 void FsClient::mkdir(const std::string& path) {
   std::lock_guard<std::mutex> lock(fs_->mutex_);
   fs_->store_.mkdirs(path);
-  fs_->append_op({client_, OpKind::mkdir, kNoFile, 0, 0, 1, 0.0, {}});
+  fs_->append_op({client_, OpKind::mkdir, kNoFile, 0, 0, 1, 0.0, {}, lane_});
 }
 
 void FsClient::setstripe(const std::string& dir, StripeSettings settings) {
@@ -82,7 +82,7 @@ bool FsClient::exists(const std::string& path) const {
 std::uint64_t FsClient::stat_size(const std::string& path) {
   std::lock_guard<std::mutex> lock(fs_->mutex_);
   const FileNode& node = fs_->store_.file(path);
-  fs_->append_op({client_, OpKind::stat, node.id, 0, 0, 1, 0.0, {}});
+  fs_->append_op({client_, OpKind::stat, node.id, 0, 0, 1, 0.0, {}, lane_});
   return node.size;
 }
 
@@ -90,7 +90,7 @@ void FsClient::unlink(const std::string& path) {
   std::lock_guard<std::mutex> lock(fs_->mutex_);
   const FileId id = fs_->store_.file(path).id;
   fs_->store_.unlink(path);
-  fs_->append_op({client_, OpKind::unlink, id, 0, 0, 1, 0.0, {}});
+  fs_->append_op({client_, OpKind::unlink, id, 0, 0, 1, 0.0, {}, lane_});
 }
 
 int FsClient::open(const std::string& path, OpenMode mode) {
@@ -124,7 +124,7 @@ int FsClient::open(const std::string& path, OpenMode mode) {
   desc.position = mode == OpenMode::append ? node->size : 0;
   desc.writable = mode != OpenMode::read;
   desc.open = true;
-  fs_->append_op({client_, meta, node->id, 0, 0, 1, 0.0, {}});
+  fs_->append_op({client_, meta, node->id, 0, 0, 1, 0.0, {}, lane_});
   fs_->fds_.push_back(desc);
   return int(fs_->fds_.size() - 1);
 }
@@ -149,7 +149,7 @@ void FsClient::write(int fd, std::span<const std::uint8_t> data) {
   FileNode& node = fs_->store_.file_by_id(desc.file);
   fs_->store_.pwrite(node, desc.position, data.data(), data.size());
   fs_->append_op({client_, OpKind::write, desc.file, desc.position,
-                  data.size(), 1, 0.0, {}});
+                  data.size(), 1, 0.0, {}, lane_});
   desc.position += data.size();
 }
 
@@ -161,7 +161,7 @@ void FsClient::pwrite(int fd, std::uint64_t offset,
   FileNode& node = fs_->store_.file_by_id(desc.file);
   fs_->store_.pwrite(node, offset, data.data(), data.size());
   fs_->append_op(
-      {client_, OpKind::write, desc.file, offset, data.size(), 1, 0.0, {}});
+      {client_, OpKind::write, desc.file, offset, data.size(), 1, 0.0, {}, lane_});
 }
 
 void FsClient::write_simulated(int fd, std::uint64_t bytes,
@@ -176,7 +176,7 @@ void FsClient::write_simulated(int fd, std::uint64_t bytes,
   if (fs_->store_.stores_data() && node.data.size() < node.size)
     node.data.resize(node.size, 0);
   fs_->append_op({client_, OpKind::write, desc.file, desc.position, bytes,
-                  op_count, 0.0, {}});
+                  op_count, 0.0, {}, lane_});
   desc.position += bytes;
 }
 
@@ -190,7 +190,7 @@ void FsClient::read_simulated(int fd, std::uint64_t bytes,
       desc.position < node.size ? node.size - desc.position : 0;
   const std::uint64_t n = std::min(bytes, avail);
   fs_->append_op(
-      {client_, OpKind::read, desc.file, desc.position, n, op_count, 0.0, {}});
+      {client_, OpKind::read, desc.file, desc.position, n, op_count, 0.0, {}, lane_});
   desc.position += n;
 }
 
@@ -201,7 +201,7 @@ std::uint64_t FsClient::read(int fd, std::span<std::uint8_t> out) {
   const std::uint64_t n =
       fs_->store_.pread(node, desc.position, out.data(), out.size());
   fs_->append_op(
-      {client_, OpKind::read, desc.file, desc.position, n, 1, 0.0, {}});
+      {client_, OpKind::read, desc.file, desc.position, n, 1, 0.0, {}, lane_});
   desc.position += n;
   return n;
 }
@@ -213,7 +213,7 @@ std::uint64_t FsClient::pread(int fd, std::uint64_t offset,
   const FileNode& node = fs_->store_.file_by_id(desc.file);
   const std::uint64_t n =
       fs_->store_.pread(node, offset, out.data(), out.size());
-  fs_->append_op({client_, OpKind::read, desc.file, offset, n, 1, 0.0, {}});
+  fs_->append_op({client_, OpKind::read, desc.file, offset, n, 1, 0.0, {}, lane_});
   return n;
 }
 
@@ -226,14 +226,14 @@ void FsClient::seek(int fd, std::uint64_t position) {
 void FsClient::fsync(int fd) {
   std::lock_guard<std::mutex> lock(fs_->mutex_);
   auto& desc = checked_fd(fs_->fds_, fd, client_);
-  fs_->append_op({client_, OpKind::fsync, desc.file, 0, 0, 1, 0.0, {}});
+  fs_->append_op({client_, OpKind::fsync, desc.file, 0, 0, 1, 0.0, {}, lane_});
 }
 
 void FsClient::close(int fd) {
   std::lock_guard<std::mutex> lock(fs_->mutex_);
   auto& desc = checked_fd(fs_->fds_, fd, client_);
   desc.open = false;
-  fs_->append_op({client_, OpKind::close, desc.file, 0, 0, 1, 0.0, {}});
+  fs_->append_op({client_, OpKind::close, desc.file, 0, 0, 1, 0.0, {}, lane_});
 }
 
 std::vector<std::uint8_t> FsClient::read_all(const std::string& path) {
@@ -259,7 +259,7 @@ void FsClient::write_file(const std::string& path,
 
 void FsClient::charge_cpu(double seconds, const std::string& tag) {
   std::lock_guard<std::mutex> lock(fs_->mutex_);
-  fs_->append_op({client_, OpKind::cpu, kNoFile, 0, 0, 1, seconds, tag});
+  fs_->append_op({client_, OpKind::cpu, kNoFile, 0, 0, 1, seconds, tag, lane_});
 }
 
 }  // namespace bitio::fsim

@@ -76,11 +76,17 @@ private:
 
 /// Per-rank POSIX-like handle.  Cheap; copyable.  All methods are
 /// thread-safe with respect to other clients of the same SharedFs.
+///
+/// `lane` selects the client's logical execution lane for every op this
+/// handle records: lane 0 (default) is the rank's critical path, lanes > 0
+/// replay as overlapped drain lanes (see TraceOp::lane).
 class FsClient {
 public:
-  FsClient(SharedFs& fs, ClientId client) : fs_(&fs), client_(client) {}
+  FsClient(SharedFs& fs, ClientId client, std::uint32_t lane = 0)
+      : fs_(&fs), client_(client), lane_(lane) {}
 
   ClientId client() const { return client_; }
+  std::uint32_t lane() const { return lane_; }
   SharedFs& shared() const { return *fs_; }
 
   // -- namespace ------------------------------------------------------------
@@ -130,6 +136,7 @@ public:
 private:
   SharedFs* fs_;
   ClientId client_;
+  std::uint32_t lane_ = 0;
 };
 
 }  // namespace bitio::fsim

@@ -1,8 +1,10 @@
 #include "fsim/storage_model.hpp"
 
 #include <algorithm>
+#include <map>
 #include <queue>
 #include <set>
+#include <utility>
 
 #include "fsim/des.hpp"
 #include "util/error.hpp"
@@ -41,20 +43,35 @@ double ReplayReport::mean_read_time() const {
 double ReplayReport::mean_cpu_time() const {
   return mean_over_clients(clients, &ClientTimes::cpu);
 }
+double ReplayReport::mean_drain_time() const {
+  return mean_over_clients(clients, &ClientTimes::drain);
+}
 
 ReplayReport replay_trace(const SystemProfile& profile,
                           const ObjectStore& store,
                           const std::vector<TraceOp>& trace, int nclients) {
   if (nclients <= 0) throw UsageError("replay_trace: nclients must be > 0");
 
-  // Group op indices by client, preserving program order.
-  std::vector<std::vector<std::uint32_t>> per_client(
-      static_cast<std::size_t>(nclients));
+  // Group op indices into FIFO sequences keyed by (client, lane),
+  // preserving program order within each sequence.  Lane 0 is the client's
+  // critical path; every drain lane is an independent concurrent program of
+  // the same client (all lanes start at t = 0 and share the client's node
+  // link and the OSTs).
+  struct Sequence {
+    ClientId client = 0;
+    std::uint32_t lane = 0;
+    std::vector<std::uint32_t> ops;
+  };
+  std::vector<Sequence> sequences;
+  std::map<std::pair<ClientId, std::uint32_t>, std::size_t> sequence_of;
   for (std::uint32_t i = 0; i < trace.size(); ++i) {
     const TraceOp& op = trace[i];
     if (op.client >= ClientId(nclients))
       throw UsageError("replay_trace: client id out of range");
-    per_client[op.client].push_back(i);
+    const auto key = std::make_pair(op.client, op.lane);
+    auto [it, inserted] = sequence_of.try_emplace(key, sequences.size());
+    if (inserted) sequences.push_back({op.client, op.lane, {}});
+    sequences[it->second].ops.push_back(i);
   }
 
   const int nnodes =
@@ -70,16 +87,16 @@ ReplayReport replay_trace(const SystemProfile& profile,
   report.clients.assign(std::size_t(nclients), ClientTimes{});
   report.op_durations.assign(trace.size(), 0.0);
 
-  // Min-heap of (ready time, client, next op index within per_client[c]).
+  // Min-heap of (ready time, sequence, next op index within the sequence).
   struct Pending {
     double time;
-    int client;
+    std::size_t sequence;
     std::uint32_t index;
     bool operator>(const Pending& other) const { return time > other.time; }
   };
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> heap;
-  for (int c = 0; c < nclients; ++c)
-    if (!per_client[std::size_t(c)].empty()) heap.push({0.0, c, 0});
+  for (std::size_t s = 0; s < sequences.size(); ++s)
+    if (!sequences[s].ops.empty()) heap.push({0.0, s, 0});
 
   // Files already read once: later readers hit the page cache.
   std::set<FileId> first_read;
@@ -87,10 +104,19 @@ ReplayReport replay_trace(const SystemProfile& profile,
   while (!heap.empty()) {
     const Pending pending = heap.top();
     heap.pop();
-    const std::uint32_t trace_index =
-        per_client[std::size_t(pending.client)][pending.index];
+    const Sequence& seq = sequences[pending.sequence];
+    const std::uint32_t trace_index = seq.ops[pending.index];
     const TraceOp& op = trace[trace_index];
-    ClientTimes& times = report.clients[std::size_t(pending.client)];
+    ClientTimes& times = report.clients[std::size_t(seq.client)];
+    // Drain lanes accumulate into `drain` only; the critical-path buckets
+    // stay untouched by overlapped work.
+    const bool drain_lane = seq.lane > 0;
+    const auto charge = [&](double ClientTimes::* member, double dt) {
+      if (drain_lane)
+        times.drain += dt;
+      else
+        times.*member += dt;
+    };
     const double t0 = pending.time;
     double done = t0;
 
@@ -100,16 +126,16 @@ ReplayReport replay_trace(const SystemProfile& profile,
               ? profile.mds_create_service_s
               : profile.mds_meta_service_s;
       done = mds.submit(t0, service * noise.next() * double(op.op_count));
-      times.meta += done - t0;
-      times.meta_ops += op.op_count;
+      charge(&ClientTimes::meta, done - t0);
+      if (!drain_lane) times.meta_ops += op.op_count;
     } else if (op.kind == OpKind::cpu) {
       done = t0 + op.cpu_seconds;
-      times.cpu += op.cpu_seconds;
+      charge(&ClientTimes::cpu, op.cpu_seconds);
       report.cpu_by_tag[op.tag] += op.cpu_seconds;
     } else {
       // Data transfer.
       const StripeLayout& layout = store.file_by_id(op.file).layout;
-      const int node = pending.client / profile.ranks_per_node;
+      const int node = int(seq.client) / profile.ranks_per_node;
       FifoResource& link = links[std::size_t(node)];
       const std::uint64_t record =
           op.op_count > 0 ? op.bytes / op.op_count : op.bytes;
@@ -137,16 +163,19 @@ ReplayReport replay_trace(const SystemProfile& profile,
         const double drain_done = ost.submit(t0, service);
         report.makespan = std::max(report.makespan, drain_done);
         done = t0 + meta_serial + data_serial;
-        times.meta += meta_serial;
-        times.write += data_serial;
-        times.write_calls += op.op_count;
+        charge(&ClientTimes::meta, meta_serial);
+        charge(&ClientTimes::write, data_serial);
+        if (drain_lane)
+          times.drain_calls += op.op_count;
+        else
+          times.write_calls += op.op_count;
         report.bytes_written += op.bytes;
         report.op_durations[trace_index] = done - t0;
         times.end = std::max(times.end, done);
         report.makespan = std::max(report.makespan, done);
         const std::uint32_t next_index = pending.index + 1;
-        if (next_index < per_client[std::size_t(pending.client)].size())
-          heap.push({done, pending.client, next_index});
+        if (next_index < seq.ops.size())
+          heap.push({done, pending.sequence, next_index});
         continue;
       }
       if (op.kind == OpKind::read && !first_read.insert(op.file).second) {
@@ -154,15 +183,15 @@ ReplayReport replay_trace(const SystemProfile& profile,
         done = link.submit(t0, profile.cached_read_service_s +
                                    double(op.bytes) /
                                        profile.link_bandwidth_bps);
-        times.read += done - t0;
-        times.read_calls += op.op_count;
+        charge(&ClientTimes::read, done - t0);
+        if (!drain_lane) times.read_calls += op.op_count;
         report.bytes_read += op.bytes;
         report.op_durations[trace_index] = done - t0;
         times.end = std::max(times.end, done);
         report.makespan = std::max(report.makespan, done);
         const std::uint32_t next_index = pending.index + 1;
-        if (next_index < per_client[std::size_t(pending.client)].size())
-          heap.push({done, pending.client, next_index});
+        if (next_index < seq.ops.size())
+          heap.push({done, pending.sequence, next_index});
         continue;
       }
       {
@@ -201,12 +230,15 @@ ReplayReport replay_trace(const SystemProfile& profile,
       }
 
       if (is_write) {
-        times.write += done - t0;
-        times.write_calls += op.op_count;
+        charge(&ClientTimes::write, done - t0);
+        if (drain_lane)
+          times.drain_calls += op.op_count;
+        else
+          times.write_calls += op.op_count;
         report.bytes_written += op.bytes;
       } else {
-        times.read += done - t0;
-        times.read_calls += op.op_count;
+        charge(&ClientTimes::read, done - t0);
+        if (!drain_lane) times.read_calls += op.op_count;
         report.bytes_read += op.bytes;
       }
     }
@@ -215,8 +247,8 @@ ReplayReport replay_trace(const SystemProfile& profile,
     times.end = std::max(times.end, done);
     report.makespan = std::max(report.makespan, done);
     const std::uint32_t next = pending.index + 1;
-    if (next < per_client[std::size_t(pending.client)].size())
-      heap.push({done, pending.client, next});
+    if (next < seq.ops.size())
+      heap.push({done, pending.sequence, next});
   }
   for (const auto& ost : osts) {
     report.ost_busy_seconds.push_back(ost.busy_seconds());

@@ -95,15 +95,22 @@ struct SystemProfile {
 };
 
 /// Per-client time breakdown from a replay.
+///
+/// Ops on drain lanes (TraceOp::lane > 0) replay concurrently with the
+/// client's lane-0 program: their time lands in `drain`, never in
+/// meta/write/read/cpu, so the latter four remain the rank's critical
+/// path while `drain` is the overlapped background cost (BP5 AsyncWrite).
 struct ClientTimes {
   double meta = 0.0;   // waiting on MDS
   double write = 0.0;  // write ops incl. queueing
   double read = 0.0;
   double cpu = 0.0;    // charged compute (compression, copies)
-  double end = 0.0;    // completion time of the client's last op
+  double drain = 0.0;  // overlapped drain-lane time (lane > 0 ops)
+  double end = 0.0;    // completion time of the client's last op (any lane)
   std::uint64_t meta_ops = 0;
-  std::uint64_t write_calls = 0;  // coalesced call count
+  std::uint64_t write_calls = 0;  // coalesced call count, lane 0
   std::uint64_t read_calls = 0;
+  std::uint64_t drain_calls = 0;  // coalesced call count, lanes > 0
 };
 
 struct ReplayReport {
@@ -128,6 +135,7 @@ struct ReplayReport {
   double mean_write_time() const;
   double mean_read_time() const;
   double mean_cpu_time() const;
+  double mean_drain_time() const;
 };
 
 /// Replay `trace` against the queueing model.  `store` supplies file

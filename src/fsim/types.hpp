@@ -74,6 +74,11 @@ struct TraceOp {
   std::uint32_t op_count = 1;    // number of coalesced calls
   double cpu_seconds = 0.0;      // only for OpKind::cpu
   std::string tag;               // cpu subcategory: "compress", "memcopy", ...
+  // Logical execution lane within the client.  Lane 0 is the rank's
+  // critical path; lanes > 0 are overlapped drain lanes (BP5 AsyncWrite):
+  // their ops replay concurrently with lane 0 and are attributed to
+  // ClientTimes::drain instead of meta/write/read.
+  std::uint32_t lane = 0;
 };
 
 }  // namespace bitio::fsim

@@ -32,11 +32,9 @@ public:
     writer_->begin_step(index);
   }
 
-  void put_chunk(int rank, const std::string& var, Datatype dtype,
-                 const Extent& shape, const Offset& offset,
-                 const Extent& count,
-                 std::span<const std::uint8_t> data) override {
-    writer_->put(rank, var, dtype, shape, offset, count, data);
+  void put_chunk(int rank, const std::string& var, const Extent& shape,
+                 const ChunkView& chunk) override {
+    writer_->put(rank, var, shape, chunk);
   }
 
   void put_attribute(const std::string& name, AttrValue value) override {
@@ -44,6 +42,12 @@ public:
   }
 
   void end_iteration() override { writer_->end_step(); }
+
+  void flush(FlushMode mode) override {
+    // async: submitted steps keep draining in the background.  sync: join,
+    // making the container consistent for read-after-write.
+    if (mode == FlushMode::sync) writer_->wait_drains();
+  }
 
   void close() override { writer_->close(); }
 
@@ -76,9 +80,8 @@ public:
   std::string name() const override { return name_; }
 
   void begin_iteration(std::uint64_t) override { read_only(); }
-  void put_chunk(int, const std::string&, Datatype, const Extent&,
-                 const Offset&, const Extent&,
-                 std::span<const std::uint8_t>) override {
+  void put_chunk(int, const std::string&, const Extent&,
+                 const ChunkView&) override {
     read_only();
   }
   void put_attribute(const std::string&, AttrValue) override { read_only(); }
@@ -181,10 +184,12 @@ public:
     open_ = true;
   }
 
-  void put_chunk(int /*rank*/, const std::string& var, Datatype dtype,
-                 const Extent& shape, const Offset& offset,
-                 const Extent& count,
-                 std::span<const std::uint8_t> data) override {
+  void put_chunk(int /*rank*/, const std::string& var, const Extent& shape,
+                 const ChunkView& chunk) override {
+    const Datatype dtype = chunk.dtype();
+    const Offset& offset = chunk.offset();
+    const Extent& count = chunk.count();
+    const std::span<const std::uint8_t> data = chunk.bytes();
     if (!open_) throw UsageError("openPMD json backend: no open iteration");
     Json& vars = current_["variables"];
     if (!vars.contains(var)) {

@@ -25,9 +25,16 @@
 namespace bitio::pmd {
 
 using bp::AttrValue;
+using bp::ChunkView;
 using bp::Datatype;
 using Extent = bp::Dims;
 using Offset = bp::Dims;
+
+/// Flush semantics for an asynchronous staged engine: `sync` joins every
+/// outstanding drain before returning (read-after-write safe), `async`
+/// leaves submitted steps draining in the background.  Engines without an
+/// async path treat both as a no-op (their writes already landed).
+enum class FlushMode { sync, async };
 
 /// Metadata of one stored variable, backend-independent.
 struct VarInfo {
@@ -44,12 +51,12 @@ public:
 
   // -- write path ----------------------------------------------------------
   virtual void begin_iteration(std::uint64_t index) = 0;
-  virtual void put_chunk(int rank, const std::string& var, Datatype dtype,
-                         const Extent& shape, const Offset& offset,
-                         const Extent& count,
-                         std::span<const std::uint8_t> data) = 0;
+  virtual void put_chunk(int rank, const std::string& var,
+                         const Extent& shape, const ChunkView& chunk) = 0;
   virtual void put_attribute(const std::string& name, AttrValue value) = 0;
   virtual void end_iteration() = 0;
+  /// Join or kick the engine's outstanding work; no-op by default.
+  virtual void flush(FlushMode) {}
   virtual void close() = 0;
 
   // -- read path -----------------------------------------------------------

@@ -53,22 +53,17 @@ void RecordComponent::reset_dataset(Datatype dtype, Extent extent) {
   dataset_set_ = true;
 }
 
-void RecordComponent::store_chunk_bytes(int rank, Datatype dtype,
-                                        std::span<const std::uint8_t> data,
-                                        const Offset& offset,
-                                        const Extent& count) {
+void RecordComponent::store_chunk(int rank, const ChunkView& chunk) {
   series_->require_write();
   if (!dataset_set_)
     throw UsageError("openPMD: store_chunk before reset_dataset on '" +
                      var_path_ + "'");
-  if (dtype != dtype_)
+  if (chunk.dtype() != dtype_)
     throw UsageError("openPMD: datatype mismatch on '" + var_path_ + "'");
   // Empty chunks are legal and skipped ("if the local vector is not empty,
   // it is stored to disk").
-  if (bp::element_count(count) == 0 || (count.size() == 1 && count[0] == 0))
-    return;
-  series_->backend_->put_chunk(rank, var_path_, dtype_, extent_, offset,
-                               count, data);
+  if (bp::element_count(chunk.count()) == 0) return;
+  series_->backend_->put_chunk(rank, var_path_, extent_, chunk);
 }
 
 void RecordComponent::make_constant(double value, Extent extent) {
@@ -438,6 +433,11 @@ void Series::load_iteration_structure(Iteration& iteration) {
     iteration.time_ = std::get<double>(*time);
   if (auto dt = backend_->attribute(index, "dt"))
     iteration.dt_ = std::get<double>(*dt);
+}
+
+void Series::flush(FlushMode mode) {
+  require_write();
+  backend_->flush(mode);
 }
 
 void Series::close() {

@@ -54,16 +54,12 @@ public:
   template <typename T>
   void store_chunk(int rank, std::span<const T> data, const Offset& offset,
                    const Extent& count) {
-    store_chunk_bytes(rank, bp::datatype_of<T>::value,
-                      std::span<const std::uint8_t>(
-                          reinterpret_cast<const std::uint8_t*>(data.data()),
-                          data.size_bytes()),
-                      offset, count);
+    store_chunk(rank, ChunkView::of<T>(data, offset, count));
   }
 
-  void store_chunk_bytes(int rank, Datatype dtype,
-                         std::span<const std::uint8_t> data,
-                         const Offset& offset, const Extent& count);
+  /// Core store: the chunk's dtype/bytes/placement arrive pre-validated in
+  /// one ChunkView instead of a loose argument pack.
+  void store_chunk(int rank, const ChunkView& chunk);
 
   /// Constant component (openPMD makeConstant): value + logical extent,
   /// no data written.
@@ -203,7 +199,14 @@ public:
   /// Iteration indices present (read mode).
   std::vector<std::uint64_t> iterations() const;
 
-  /// Close the series; closes a dangling open iteration first.
+  /// Flush the staged engine (write mode).  FlushMode::sync joins every
+  /// outstanding async drain, making the container consistent for
+  /// read-after-write; FlushMode::async returns immediately with drains
+  /// still in flight.  A no-op for engines without an async path.
+  void flush(FlushMode mode = FlushMode::sync);
+
+  /// Close the series; closes a dangling open iteration first and joins
+  /// outstanding drains.
   void close();
 
 private:

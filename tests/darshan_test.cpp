@@ -150,5 +150,45 @@ TEST(Darshan, RejectsMismatchedReplay) {
   EXPECT_THROW(capture(fs, bogus, {}), UsageError);
 }
 
+TEST(Darshan, DrainLaneTimeAttributedOffCriticalPath) {
+  // One rank, two lanes: lane 0 is the critical path, lane 1 the async
+  // drain (BP5 AsyncWrite).  Byte/call counters merge; time splits.
+  SharedFs fs(8);
+  FsClient rank0(fs, 0);
+  FsClient drain(fs, 0, /*lane=*/1);
+  EXPECT_EQ(drain.lane(), 1u);
+
+  std::vector<std::uint8_t> block(MiB, 7);
+  int fd = rank0.open("out/data.0", OpenMode::create);
+  rank0.write(fd, block);
+  rank0.close(fd);
+  fd = drain.open("out/data.0", OpenMode::append);
+  for (int i = 0; i < 4; ++i) drain.write(fd, block);
+  drain.close(fd);
+
+  const auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 1);
+  EXPECT_GT(replay.mean_drain_time(), 0.0);
+
+  const auto log = capture(fs, replay, {"bit1", 1, 0.0, "/lustre"});
+  ASSERT_EQ(log.records.size(), 1u);
+  const FileRecord& r = log.records[0];
+  EXPECT_EQ(r.bytes_written, 5 * MiB);
+  EXPECT_EQ(r.writes, 5u);
+  EXPECT_GT(r.write_time_s, 0.0);   // the 1 MiB critical-path write
+  EXPECT_GT(r.drain_time_s, 0.0);   // the 4 MiB drained in the background
+  EXPECT_GT(r.drain_time_s, r.write_time_s);
+
+  const auto cost = log.per_process_cost();
+  EXPECT_GT(cost.drain_s, 0.0);
+  EXPECT_DOUBLE_EQ(cost.drain_s, r.drain_time_s);
+
+  // drain_time_s survives the binary log round trip.
+  const auto back = DarshanLog::parse(log.serialize());
+  ASSERT_EQ(back.records.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.records[0].drain_time_s, r.drain_time_s);
+  // And the text report exposes the new column.
+  EXPECT_NE(log.text_report().find("t_drain"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace bitio::darshan

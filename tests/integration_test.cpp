@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "core/adaptor.hpp"
+#include "core/diagnostics_sink.hpp"
 #include "darshan/darshan.hpp"
 #include "fsim/system_profiles.hpp"
 #include "picmc/checkpoint.hpp"
@@ -37,15 +38,22 @@ TEST(Integration, SpmdRunWritesBothPathsAndDecaysNeutrals) {
   const auto config = test_case();
   Bit1IoConfig io;
   io.ranks_per_node = nranks;
-  Bit1OpenPmdAdaptor adaptor(fs, "openpmd_run", io, nranks);
+
+  // Both output paths behind the same seam, selected only by config.mode.
+  Bit1IoConfig original_io = io;
+  original_io.mode = core::IoMode::original;
+  auto original =
+      core::make_diagnostics_sink(fs, "original_run", original_io, nranks);
+  auto openpmd = core::make_diagnostics_sink(fs, "openpmd_run", io, nranks);
+  ASSERT_EQ(original->sink_name(), "original");
+  ASSERT_EQ(openpmd->sink_name(), "openpmd");
+  auto& serial_sink = dynamic_cast<core::SerialDiagnosticsSink&>(*original);
 
   double neutrals_start = 0.0, neutrals_end = 0.0;
   smpi::run_spmd(nranks, [&](smpi::Comm& comm) {
     Simulation sim(config, comm.rank(), comm.size());
     sim.initialize();
-    picmc::Bit1SerialWriter serial(fs, "original_run", comm.rank(),
-                                   comm.size());
-    serial.write_input_echo(config);
+    serial_sink.writer(comm.rank()).write_input_echo(config);
 
     const double start = comm.allreduce(
         sim.species_named("D").particles.total_weight(), smpi::Op::sum);
@@ -57,14 +65,15 @@ TEST(Integration, SpmdRunWritesBothPathsAndDecaysNeutrals) {
     sim.run(reduce, [&](Simulation& s) {
       if (s.current_step() % config.datfile != 0) return;
       const auto snap = Diagnostics::sample_now(s);
-      serial.write_diagnostics(s, snap);
-      adaptor.stage_diagnostics(comm.rank(), s, snap);
-      adaptor.stage_checkpoint(comm.rank(), s);
+      original->stage_diagnostics(comm.rank(), s, snap);
+      openpmd->stage_diagnostics(comm.rank(), s, snap);
+      openpmd->stage_checkpoint(comm.rank(), s);
       comm.barrier();
       if (comm.rank() == 0) {
-        adaptor.flush_diagnostics(s.current_step(),
-                                  double(s.current_step()) * config.dt);
-        adaptor.flush_checkpoint();
+        const double t = double(s.current_step()) * config.dt;
+        original->flush_diagnostics(s.current_step(), t);
+        openpmd->flush_diagnostics(s.current_step(), t);
+        openpmd->flush_checkpoint();
       }
       comm.barrier();
     });
@@ -73,7 +82,8 @@ TEST(Integration, SpmdRunWritesBothPathsAndDecaysNeutrals) {
         sim.species_named("D").particles.total_weight(), smpi::Op::sum);
     if (comm.rank() == 0) neutrals_end = end;
   });
-  adaptor.close();
+  original->close();
+  openpmd->close();
 
   // Physics: neutrals decayed, and by roughly the rate-equation amount.
   EXPECT_LT(neutrals_end, neutrals_start);

@@ -250,5 +250,63 @@ TEST(OpenPmd, SpmdRanksWriteConcurrently) {
       ramp(800));
 }
 
+TEST(OpenPmd, AsyncEngineFlushJoinsDrains) {
+  SharedFs fs(8);
+  const std::string config = R"(
+[adios2.engine]
+type = "bp5"
+
+[adios2.engine.parameters]
+NumAggregators = 2
+AsyncWrite = "On"
+BufferChunkSize = 1
+)";
+  {
+    Series series(fs, "async.bp5", Access::create, 2, config);
+    for (std::uint64_t step = 0; step < 4; ++step) {
+      auto& it = series.write_iteration(step);
+      auto& m = it.mesh("v").component();
+      m.reset_dataset(Datatype::float64, {16});
+      auto lo = ramp(8, double(step)), hi = ramp(8, double(step) + 8.0);
+      m.store_chunk<double>(0, lo, {0}, {8});
+      m.store_chunk<double>(1, hi, {8}, {8});
+      it.close();  // async: submitted to the drain, returns immediately
+      series.flush(FlushMode::async);  // kick only, no join
+    }
+    // sync flush joins every outstanding drain: the data bytes are on
+    // storage while the series is still open.
+    series.flush(FlushMode::sync);
+    EXPECT_GT(fs.store().file("async.bp5/data.0").size, 0u);
+    EXPECT_GT(fs.store().file("async.bp5/md.0").size, 0u);
+    series.close();
+  }
+  Series series(fs, "async.bp5", Access::read_only);
+  ASSERT_EQ(series.iterations().size(), 4u);
+  for (std::uint64_t step = 0; step < 4; ++step) {
+    const auto v =
+        series.read_iteration(step).mesh("v").component().load<double>();
+    ASSERT_EQ(v.size(), 16u);
+    EXPECT_DOUBLE_EQ(v[0], double(step));
+    EXPECT_DOUBLE_EQ(v[15], double(step) + 15.0);
+  }
+}
+
+TEST(OpenPmd, FlushIsWriteModeOnly) {
+  SharedFs fs(4);
+  {
+    Series series(fs, "f.bp4", Access::create, 1);
+    auto& it = series.write_iteration(0);
+    auto& m = it.mesh("v").component();
+    m.reset_dataset(Datatype::float64, {2});
+    auto v = ramp(2);
+    m.store_chunk<double>(0, v, {0}, {2});
+    it.close();
+    series.flush();  // defaults to sync; no-op for the synchronous engine
+    series.close();
+  }
+  Series reader(fs, "f.bp4", Access::read_only);
+  EXPECT_THROW(reader.flush(), UsageError);
+}
+
 }  // namespace
 }  // namespace bitio::pmd
