@@ -1,6 +1,7 @@
 #include "bp/format.hpp"
 
 #include "util/binio.hpp"
+#include "util/crc32c.hpp"
 
 namespace bitio::bp {
 
@@ -34,7 +35,7 @@ std::pair<std::string, AttrValue> decode_attr(BinReader& reader) {
 
 std::vector<std::uint8_t> encode_step(const StepRecord& record) {
   BinWriter writer;
-  writer.u32(kMdMagic);
+  writer.u32(kMdMagicV5);
   writer.u64(record.step);
   writer.u32(std::uint32_t(record.variables.size()));
   for (const auto& var : record.variables) {
@@ -53,18 +54,37 @@ std::vector<std::uint8_t> encode_step(const StepRecord& record) {
       writer.str(chunk.operator_name);
       writer.f64(chunk.stat_min);
       writer.f64(chunk.stat_max);
+      writer.u8(chunk.has_crc ? 1 : 0);
+      writer.u32(chunk.crc32c);
     }
   }
   writer.u32(std::uint32_t(record.attributes.size()));
   for (const auto& [name, value] : record.attributes)
     encode_attr(writer, name, value);
+  // The metadata block protects itself: trailing CRC32C over everything
+  // above, verified before any field is trusted on decode.
+  writer.u32(crc32c(writer.buffer()));
   return writer.take();
 }
 
 StepRecord decode_step(std::span<const std::uint8_t> data) {
-  BinReader reader(data);
-  if (reader.u32() != kMdMagic)
-    throw FormatError("bp: bad step metadata magic");
+  if (data.size() < 4) throw FormatError("bp: truncated step metadata");
+  const std::uint32_t magic = BinReader(data).u32();
+  if (magic != kMdMagic && magic != kMdMagicV5)
+    throw FormatError("bp: bad step metadata magic (unknown format version)");
+  const bool v5 = magic == kMdMagicV5;
+
+  std::span<const std::uint8_t> body = data;
+  if (v5) {
+    if (data.size() < 8) throw FormatError("bp: truncated step metadata");
+    const std::uint32_t stored = BinReader(data.last(4)).u32();
+    if (crc32c(data.first(data.size() - 4)) != stored)
+      throw FormatError("bp: step metadata CRC mismatch");
+    body = data.first(data.size() - 4);
+  }
+
+  BinReader reader(body);
+  reader.u32();  // magic, validated above
   StepRecord record;
   record.step = reader.u64();
   const std::uint32_t nvars = reader.u32();
@@ -91,6 +111,10 @@ StepRecord decode_step(std::span<const std::uint8_t> data) {
       chunk.operator_name = reader.str();
       chunk.stat_min = reader.f64();
       chunk.stat_max = reader.f64();
+      if (v5) {
+        chunk.has_crc = reader.u8() != 0;
+        chunk.crc32c = reader.u32();
+      }
       var.chunks.push_back(std::move(chunk));
     }
     record.variables.push_back(std::move(var));
@@ -104,21 +128,27 @@ StepRecord decode_step(std::span<const std::uint8_t> data) {
 
 std::vector<std::uint8_t> encode_index(const std::vector<IndexEntry>& index) {
   BinWriter writer;
-  writer.u32(kIdxMagic);
+  writer.u32(kIdxMagicV5);
   writer.u32(std::uint32_t(index.size()));
   for (const auto& e : index) {
     writer.u64(e.step);
     writer.u64(e.md_offset);
     writer.u64(e.md_length);
+    writer.u32(e.md_crc);
+    writer.u32(0);  // reserved, keeps entries 8-byte aligned
   }
   return writer.take();
 }
 
 std::vector<IndexEntry> decode_index(std::span<const std::uint8_t> data) {
   BinReader reader(data);
-  if (reader.u32() != kIdxMagic) throw FormatError("bp: bad md.idx magic");
+  const std::uint32_t magic = reader.u32();
+  if (magic != kIdxMagic && magic != kIdxMagicV5)
+    throw FormatError("bp: bad md.idx magic (unknown format version)");
+  const bool v5 = magic == kIdxMagicV5;
   const std::uint32_t n = reader.u32();
-  if (reader.remaining() != std::size_t(n) * kIdxEntryBytes)
+  const std::size_t entry_bytes = v5 ? kIdxEntryBytesV5 : kIdxEntryBytes;
+  if (reader.remaining() != std::size_t(n) * entry_bytes)
     throw FormatError("bp: md.idx size mismatch");
   std::vector<IndexEntry> index;
   index.reserve(n);
@@ -127,6 +157,11 @@ std::vector<IndexEntry> decode_index(std::span<const std::uint8_t> data) {
     e.step = reader.u64();
     e.md_offset = reader.u64();
     e.md_length = reader.u64();
+    if (v5) {
+      e.md_crc = reader.u32();
+      reader.u32();  // reserved
+      e.has_crc = true;
+    }
     index.push_back(e);
   }
   return index;

@@ -4,6 +4,15 @@
 // truncated or corrupt container fails loudly on read (the original BIT1
 // failure mode the paper reports — corrupted output files beyond 20k ranks —
 // must be *detectable* here).
+//
+// Two on-disk versions coexist:
+//   v4 ("MD04"/"IDX4")  the original layout, no checksums; still readable.
+//   v5 ("MD05"/"IDX5")  written by current engines: every chunk record
+//       carries the CRC32C of its stored bytes, every step-metadata block
+//       ends in its own CRC32C, and every index entry repeats the CRC of
+//       the metadata block it points at.  A torn or bit-flipped write
+//       anywhere in the container is therefore detectable on read.
+// Any other magic is a wrong-version/corrupt input and raises FormatError.
 
 #include <span>
 
@@ -11,16 +20,22 @@
 
 namespace bitio::bp {
 
-inline constexpr std::uint32_t kMdMagic = 0x4D443034;   // "MD04"
-inline constexpr std::uint32_t kIdxMagic = 0x49445834;  // "IDX4"
-inline constexpr std::uint32_t kIdxEntryBytes = 24;     // fixed-size records
+inline constexpr std::uint32_t kMdMagic = 0x4D443034;     // "MD04" (legacy)
+inline constexpr std::uint32_t kIdxMagic = 0x49445834;    // "IDX4" (legacy)
+inline constexpr std::uint32_t kIdxEntryBytes = 24;       // v4 record size
+inline constexpr std::uint32_t kMdMagicV5 = 0x4D443035;   // "MD05"
+inline constexpr std::uint32_t kIdxMagicV5 = 0x49445835;  // "IDX5"
+inline constexpr std::uint32_t kIdxEntryBytesV5 = 32;     // v5 record size
 
-/// Serialize one step's metadata (appended to md.0).
+/// Serialize one step's metadata (appended to md.0).  Writes v5: chunk CRCs
+/// plus a trailing CRC32C over the whole block.
 std::vector<std::uint8_t> encode_step(const StepRecord& record);
-/// Parse one step's metadata.  Throws FormatError on corruption.
+/// Parse one step's metadata (v4 or v5; v5 blocks are CRC-verified).
+/// Throws FormatError on corruption or an unknown version magic.
 StepRecord decode_step(std::span<const std::uint8_t> data);
 
 /// Serialize/parse the whole md.idx file (header + fixed-size entries).
+/// encode writes v5; decode accepts v4 and v5.
 std::vector<std::uint8_t> encode_index(const std::vector<IndexEntry>& index);
 std::vector<IndexEntry> decode_index(std::span<const std::uint8_t> data);
 

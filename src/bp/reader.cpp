@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "compress/codec.hpp"
+#include "util/crc32c.hpp"
 #include "util/error.hpp"
 
 namespace bitio::bp {
@@ -16,8 +17,14 @@ Reader::Reader(fsim::SharedFs& fs, fsim::ClientId client, std::string path)
   for (const auto& entry : index) {
     if (entry.md_offset + entry.md_length > md_bytes.size())
       throw FormatError("bp::Reader: md.idx points past md.0");
-    StepRecord record = decode_step(std::span<const std::uint8_t>(
-        md_bytes.data() + entry.md_offset, entry.md_length));
+    const std::span<const std::uint8_t> slice(md_bytes.data() + entry.md_offset,
+                                              entry.md_length);
+    // v5 index entries repeat the metadata block's CRC: cross-check the
+    // md.0 slice against md.idx before parsing a byte of it.
+    if (entry.has_crc && crc32c(slice) != entry.md_crc)
+      throw FormatError(
+          "bp::Reader: step metadata CRC mismatch between md.idx/md.0");
+    StepRecord record = decode_step(slice);
     if (record.step != entry.step)
       throw FormatError("bp::Reader: step id mismatch between md.idx/md.0");
     steps_[record.step] = std::move(record);  // later entries win
@@ -80,6 +87,10 @@ std::vector<std::uint8_t> Reader::read(std::uint64_t step,
     io.close(fd);
     if (got != chunk.stored_bytes)
       throw FormatError("bp::Reader: short read of chunk in " + subfile);
+    // Verify the stored bytes before decompressing/scattering them.
+    if (chunk.has_crc && crc32c(stored) != chunk.crc32c)
+      throw FormatError("bp::Reader: chunk CRC mismatch for '" + name +
+                        "' in " + subfile);
 
     std::vector<std::uint8_t> raw;
     if (chunk.operator_name.empty()) {
@@ -124,6 +135,50 @@ std::vector<std::uint8_t> Reader::read(std::uint64_t step,
     }
   }
   return out;
+}
+
+std::vector<Reader::ChunkVerdict> Reader::verify() {
+  std::vector<ChunkVerdict> verdicts;
+  fsim::FsClient io(fs_, client_);
+  for (const auto& [id, record] : steps_) {
+    for (const auto& var : record.variables) {
+      for (const auto& chunk : var.chunks) {
+        ChunkVerdict verdict;
+        verdict.step = id;
+        verdict.var = var.name;
+        verdict.writer_rank = chunk.writer_rank;
+        verdict.subfile = chunk.subfile;
+        verdict.file_offset = chunk.file_offset;
+        if (!chunk.has_crc) {
+          verdict.status = ChunkVerdict::Status::no_crc;
+          verdicts.push_back(std::move(verdict));
+          continue;
+        }
+        const std::string subfile =
+            path_ + "/data." + std::to_string(chunk.subfile);
+        const int fd = io.open(subfile, fsim::OpenMode::read);
+        std::vector<std::uint8_t> stored(chunk.stored_bytes);
+        const std::uint64_t got = io.pread(fd, chunk.file_offset, stored);
+        io.close(fd);
+        if (got != chunk.stored_bytes)
+          verdict.status = ChunkVerdict::Status::short_read;
+        else if (crc32c(stored) != chunk.crc32c)
+          verdict.status = ChunkVerdict::Status::crc_mismatch;
+        else
+          verdict.status = ChunkVerdict::Status::ok;
+        verdicts.push_back(std::move(verdict));
+      }
+    }
+  }
+  return verdicts;
+}
+
+bool Reader::all_ok(const std::vector<ChunkVerdict>& verdicts) {
+  for (const auto& v : verdicts)
+    if (v.status == ChunkVerdict::Status::short_read ||
+        v.status == ChunkVerdict::Status::crc_mismatch)
+      return false;
+  return true;
 }
 
 std::optional<AttrValue> Reader::attribute(std::uint64_t step,

@@ -130,6 +130,12 @@ struct ChunkRecord {
   // non-numeric or synthetic chunks.
   double stat_min = 0.0;
   double stat_max = 0.0;
+  // End-to-end integrity (format v5): CRC32C of the *stored* bytes,
+  // computed at write time and re-checked on read.  has_crc is false for
+  // synthetic (size-only) chunks and for containers written in the v4
+  // format, which remain readable without verification.
+  std::uint32_t crc32c = 0;
+  bool has_crc = false;
 };
 
 /// Per-step record of one variable.
@@ -150,11 +156,14 @@ struct StepRecord {
   std::vector<std::pair<std::string, AttrValue>> attributes;
 };
 
-/// md.idx entry: where a step's metadata lives inside md.0.
+/// md.idx entry: where a step's metadata lives inside md.0.  v5 entries
+/// additionally carry the CRC32C of the referenced metadata block.
 struct IndexEntry {
   std::uint64_t step = 0;
   std::uint64_t md_offset = 0;
   std::uint64_t md_length = 0;
+  std::uint32_t md_crc = 0;
+  bool has_crc = false;
 };
 
 }  // namespace bitio::bp

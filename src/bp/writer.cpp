@@ -3,11 +3,16 @@
 #include <algorithm>
 
 #include "util/binio.hpp"
+#include "util/crc32c.hpp"
 #include "util/error.hpp"
 
 namespace bitio::bp {
 
 namespace {
+
+/// Modelled CRC32C throughput for the per-chunk checksum charge (software
+/// slice-by-one on one core; same order as the memcopy bandwidth).
+constexpr double kCrcBandwidthBps = 12e9;
 
 /// Min/max over a real chunk's elements for the metadata statistics.
 template <typename T>
@@ -109,7 +114,7 @@ Writer::Writer(fsim::SharedFs& fs, std::string path, EngineConfig config,
   idx_fd_ = root.open(path_ + "/md.idx", fsim::OpenMode::create);
   // Reserve the md.idx header (magic + count, patched at close).
   BinWriter header;
-  header.u32(kIdxMagic);
+  header.u32(kIdxMagicV5);
   header.u32(0);
   root.pwrite(idx_fd_, 0, header.buffer());
 
@@ -294,6 +299,8 @@ void Writer::drain_step(StepJob& job) {
                                     0.0);
   std::vector<double> lane_memcopy(static_cast<std::size_t>(num_aggregators_),
                                    0.0);
+  std::vector<double> lane_crc(static_cast<std::size_t>(num_aggregators_),
+                               0.0);
 
   for (int rank = 0; rank < nranks_; ++rank) {
     auto& chunks = job.chunks[std::size_t(rank)];
@@ -302,6 +309,7 @@ void Writer::drain_step(StepJob& job) {
     fsim::FsClient client(fs_, fsim::ClientId(rank));
     double rank_compress_s = 0.0;  // coalesced per-rank CPU charge
     double rank_memcopy_s = 0.0;
+    double rank_crc_s = 0.0;
     for (auto& chunk : chunks) {
       auto [it, fresh] = var_index.try_emplace(chunk.var, var_order.size());
       if (fresh) {
@@ -317,6 +325,8 @@ void Writer::drain_step(StepJob& job) {
               : chunk.data.size();
       std::uint64_t stored_size = 0;
       std::string operator_name;
+      std::uint32_t chunk_crc = 0;
+      bool chunk_has_crc = false;
       if (codec_) {
         // Operator path: compress directly into the aggregation buffer;
         // charge the compression cost, no separate memcopy (Fig 8).
@@ -334,6 +344,8 @@ void Writer::drain_step(StepJob& job) {
         } else {
           std::vector<std::uint8_t> stored = codec_->compress(chunk.data);
           stored_size = stored.size();
+          chunk_crc = crc32c(stored);
+          chunk_has_crc = true;
           agg[std::size_t(a)].insert(agg[std::size_t(a)].end(),
                                      stored.begin(), stored.end());
         }
@@ -347,9 +359,20 @@ void Writer::drain_step(StepJob& job) {
         else
           memcopy_us_total_ += seconds * 1e6;
         stored_size = raw_bytes;
-        if (!chunk.synthetic)
+        if (!chunk.synthetic) {
+          chunk_crc = crc32c(chunk.data);
+          chunk_has_crc = true;
           agg[std::size_t(a)].insert(agg[std::size_t(a)].end(),
                                      chunk.data.begin(), chunk.data.end());
+        }
+      }
+      if (chunk_has_crc) {
+        // End-to-end integrity: checksum the stored bytes at marshalling
+        // time, identically on the sync and async paths (so async vs sync
+        // containers stay byte-identical).
+        const double seconds = double(stored_size) / kCrcBandwidthBps;
+        rank_crc_s += seconds;
+        crc_us_total_ += seconds * 1e6;
       }
 
       ChunkRecord meta;
@@ -363,6 +386,8 @@ void Writer::drain_step(StepJob& job) {
       meta.stored_bytes = stored_size;
       meta.raw_bytes = raw_bytes;
       meta.operator_name = operator_name;
+      meta.crc32c = chunk_crc;
+      meta.has_crc = chunk_has_crc;
       var.chunks.push_back(std::move(meta));
 
       raw_bytes_total_ += raw_bytes;
@@ -372,10 +397,12 @@ void Writer::drain_step(StepJob& job) {
     if (async) {
       lane_compress[std::size_t(a)] += rank_compress_s;
       lane_memcopy[std::size_t(a)] += rank_memcopy_s;
+      lane_crc[std::size_t(a)] += rank_crc_s;
     } else {
       if (rank_compress_s > 0.0)
         client.charge_cpu(rank_compress_s, "compress");
       if (rank_memcopy_s > 0.0) client.charge_cpu(rank_memcopy_s, "memcopy");
+      if (rank_crc_s > 0.0) client.charge_cpu(rank_crc_s, "crc32c");
     }
     chunks.clear();
   }
@@ -394,6 +421,8 @@ void Writer::drain_step(StepJob& job) {
         client.charge_cpu(lane_compress[std::size_t(a)], "compress");
       if (lane_memcopy[std::size_t(a)] > 0.0)
         client.charge_cpu(lane_memcopy[std::size_t(a)], "memcopy");
+      if (lane_crc[std::size_t(a)] > 0.0)
+        client.charge_cpu(lane_crc[std::size_t(a)], "crc32c");
     }
     if (bytes == 0) continue;
     if (synthetic_step) {
@@ -420,14 +449,16 @@ void Writer::drain_step(StepJob& job) {
   // metadata lane when async).
   fsim::FsClient root(fs_, 0, async ? kMetaLane : 0);
   const std::vector<std::uint8_t> md = encode_step(record);
+  IndexEntry entry{job.step, md_offset_, md.size(), crc32c(md), true};
   root.pwrite(md_fd_, md_offset_, md);
-  IndexEntry entry{job.step, md_offset_, md.size()};
   md_offset_ += md.size();
   BinWriter idx_bytes;
   idx_bytes.u64(entry.step);
   idx_bytes.u64(entry.md_offset);
   idx_bytes.u64(entry.md_length);
-  root.pwrite(idx_fd_, 8 + index_.size() * kIdxEntryBytes,
+  idx_bytes.u32(entry.md_crc);
+  idx_bytes.u32(0);  // reserved (v5 entry layout)
+  root.pwrite(idx_fd_, 8 + index_.size() * kIdxEntryBytesV5,
               idx_bytes.buffer());
   index_.push_back(entry);
 }
@@ -498,7 +529,7 @@ void Writer::close() {
   fsim::FsClient root(fs_, 0);
   // Patch the md.idx header with the final step count.
   BinWriter header;
-  header.u32(kIdxMagic);
+  header.u32(kIdxMagicV5);
   header.u32(std::uint32_t(index_.size()));
   root.pwrite(idx_fd_, 0, header.buffer());
 
@@ -520,6 +551,8 @@ void Writer::close() {
     // Overlapped drain-lane time, kept apart from the critical-path
     // memcopy/compress numbers (zero without async_write).
     profile["transport_0"]["drain_us"] = drain_us_total_;
+    // Per-chunk CRC32C cost (format v5 end-to-end integrity).
+    profile["transport_0"]["crc_us"] = crc_us_total_;
     profile["transport_0"]["raw_bytes"] = raw_bytes_total_;
     profile["transport_0"]["stored_bytes"] = stored_bytes_total_;
     const std::string text = profile.dump(2);

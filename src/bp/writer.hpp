@@ -222,6 +222,7 @@ private:
   double memcopy_us_total_ = 0.0;
   double compress_us_total_ = 0.0;
   double drain_us_total_ = 0.0;
+  double crc_us_total_ = 0.0;  // per-chunk CRC32C time (both paths)
   std::uint64_t raw_bytes_total_ = 0;
   std::uint64_t stored_bytes_total_ = 0;
 

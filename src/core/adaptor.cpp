@@ -178,121 +178,14 @@ void Bit1OpenPmdAdaptor::stage_checkpoint(int rank, const Simulation& sim) {
   if (rank < 0 || rank >= nranks_)
     throw UsageError("Bit1OpenPmdAdaptor: rank out of range");
   require_species_layout(sim);
-
-  RankCkpt staged;
-  staged.present = true;
-  staged.step = sim.current_step();
-  staged.ionization_events = sim.ionization_events();
-  staged.ionized_weight = sim.ionized_weight();
-  staged.rng = const_cast<Simulation&>(sim).rng().state();
-  for (std::size_t s = 0; s < sim.species_count(); ++s) {
-    const picmc::Species& sp = sim.species(s);
-    staged.x.push_back(sp.particles.x());
-    staged.vx.push_back(sp.particles.vx());
-    staged.vy.push_back(sp.particles.vy());
-    staged.vz.push_back(sp.particles.vz());
-    staged.w.push_back(sp.particles.w());
-    staged.absorbed_left.push_back(sp.absorbed_left);
-    staged.absorbed_right.push_back(sp.absorbed_right);
-    staged.absorbed_weight.push_back(sp.absorbed_weight);
-  }
-  staged_ckpt_[std::size_t(rank)] = std::move(staged);
+  staged_ckpt_[std::size_t(rank)] = capture_rank_state(sim);
 }
 
 void Bit1OpenPmdAdaptor::flush_checkpoint() {
   std::lock_guard<std::mutex> lock(mutex_);
-  bool any = false;
-  for (const auto& staged : staged_ckpt_) any |= staged.present;
-  if (!any)
-    throw UsageError("Bit1OpenPmdAdaptor: no staged checkpoint to flush");
-
-  // Iteration 0 is the (re-opened, overwritten) checkpoint slot.
-  auto& iteration = ckpt_series_->write_iteration(0);
-
-  const std::uint64_t ranks = std::uint64_t(nranks_);
-  std::uint64_t step_attr = 0;
-
-  for (std::size_t s = 0; s < species_names_.size(); ++s) {
-    // Offsets: exclusive scan over per-rank particle counts (what the real
-    // adaptor obtains with MPI_Exscan).
-    std::vector<std::uint64_t> counts(std::size_t(nranks_), 0);
-    for (int r = 0; r < nranks_; ++r)
-      if (staged_ckpt_[std::size_t(r)].present)
-        counts[std::size_t(r)] = staged_ckpt_[std::size_t(r)].x[s].size();
-    std::uint64_t total = 0;
-    std::vector<std::uint64_t> offsets(std::size_t(nranks_), 0);
-    for (int r = 0; r < nranks_; ++r) {
-      offsets[std::size_t(r)] = total;
-      total += counts[std::size_t(r)];
-    }
-
-    auto& species = iteration.particles(species_names_[s]);
-    auto& px = species["position"]["x"];
-    auto& vx = species["velocity"]["x"];
-    auto& vy = species["velocity"]["y"];
-    auto& vz = species["velocity"]["z"];
-    auto& weighting = species["weighting"][pmd::kScalar];
-    for (auto* comp : {&px, &vx, &vy, &vz, &weighting})
-      comp->reset_dataset(Datatype::float64, {std::max<std::uint64_t>(
-                                                 total, 1)});
-
-    auto& rank_count =
-        iteration.mesh("rank_count_" + species_names_[s]).component();
-    rank_count.reset_dataset(Datatype::uint64, {ranks});
-    auto& absorbed =
-        iteration.mesh("absorbed_" + species_names_[s]).component();
-    absorbed.reset_dataset(Datatype::uint64, {ranks * 2});
-    auto& absorbed_weight =
-        iteration.mesh("absorbed_weight_" + species_names_[s]).component();
-    absorbed_weight.reset_dataset(Datatype::float64, {ranks});
-
-    for (int r = 0; r < nranks_; ++r) {
-      const RankCkpt& staged = staged_ckpt_[std::size_t(r)];
-      if (!staged.present) continue;
-      const std::uint64_t rr = std::uint64_t(r);
-      const std::uint64_t n = counts[rr];
-      px.store_chunk<double>(r, staged.x[s], {offsets[rr]}, {n});
-      vx.store_chunk<double>(r, staged.vx[s], {offsets[rr]}, {n});
-      vy.store_chunk<double>(r, staged.vy[s], {offsets[rr]}, {n});
-      vz.store_chunk<double>(r, staged.vz[s], {offsets[rr]}, {n});
-      weighting.store_chunk<double>(r, staged.w[s], {offsets[rr]}, {n});
-      rank_count.store_chunk<std::uint64_t>(
-          r, std::span<const std::uint64_t>(&counts[rr], 1), {rr}, {1});
-      const std::uint64_t ab[2] = {staged.absorbed_left[s],
-                                   staged.absorbed_right[s]};
-      absorbed.store_chunk<std::uint64_t>(
-          r, std::span<const std::uint64_t>(ab, 2), {rr * 2}, {2});
-      absorbed_weight.store_chunk<double>(
-          r, std::span<const double>(&staged.absorbed_weight[s], 1), {rr},
-          {1});
-    }
-  }
-
-  // Per-rank RNG state and MC totals for bit-exact restart.
-  auto& rng = iteration.mesh("rng_state").component();
-  rng.reset_dataset(Datatype::uint64, {ranks * 4});
-  auto& mc_events = iteration.mesh("ionization_events").component();
-  mc_events.reset_dataset(Datatype::uint64, {ranks});
-  auto& mc_weight = iteration.mesh("ionized_weight").component();
-  mc_weight.reset_dataset(Datatype::float64, {ranks});
-  for (int r = 0; r < nranks_; ++r) {
-    const RankCkpt& staged = staged_ckpt_[std::size_t(r)];
-    if (!staged.present) continue;
-    const std::uint64_t rr = std::uint64_t(r);
-    rng.store_chunk<std::uint64_t>(
-        r, std::span<const std::uint64_t>(staged.rng.data(), 4), {rr * 4},
-        {4});
-    mc_events.store_chunk<std::uint64_t>(
-        r, std::span<const std::uint64_t>(&staged.ionization_events, 1),
-        {rr}, {1});
-    mc_weight.store_chunk<double>(
-        r, std::span<const double>(&staged.ionized_weight, 1), {rr}, {1});
-    step_attr = std::max(step_attr, staged.step);
-  }
-
-  iteration.set_time(double(step_attr));
-  iteration.close();
-  for (auto& staged : staged_ckpt_) staged = RankCkpt{};
+  write_checkpoint_iteration(*ckpt_series_, staged_ckpt_, species_names_,
+                             nranks_);
+  for (auto& staged : staged_ckpt_) staged = RankCheckpoint{};
 }
 
 void Bit1OpenPmdAdaptor::restore(fsim::SharedFs& fs,
@@ -301,58 +194,7 @@ void Bit1OpenPmdAdaptor::restore(fsim::SharedFs& fs,
                                  picmc::Simulation& sim) {
   pmd::Series series(fs, series_file(run_dir, "dmp_file", config.engine),
                      Access::read_only);
-  auto& iteration = series.read_iteration(0);
-  const int rank = sim.rank();
-  const int nranks = sim.nranks();
-  const std::uint64_t rr = std::uint64_t(rank);
-
-  for (std::size_t s = 0; s < sim.species_count(); ++s) {
-    picmc::Species& sp = sim.species(s);
-    const std::string& name = sp.config.name;
-    const auto counts = iteration.mesh("rank_count_" + name)
-                            .component()
-                            .load<std::uint64_t>();
-    if (counts.size() != std::uint64_t(nranks))
-      throw UsageError("restore: checkpoint was written with " +
-                       std::to_string(counts.size()) + " ranks");
-    std::uint64_t offset = 0;
-    for (int r = 0; r < rank; ++r) offset += counts[std::size_t(r)];
-    const std::uint64_t n = counts[rr];
-
-    auto& species = iteration.particles(name);
-    const auto x = species["position"]["x"].load<double>();
-    const auto vx = species["velocity"]["x"].load<double>();
-    const auto vy = species["velocity"]["y"].load<double>();
-    const auto vz = species["velocity"]["z"].load<double>();
-    const auto w = species["weighting"][pmd::kScalar].load<double>();
-
-    sp.particles.clear();
-    sp.particles.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i)
-      sp.particles.push_back(x[offset + i], vx[offset + i], vy[offset + i],
-                             vz[offset + i], w[offset + i]);
-
-    const auto absorbed =
-        iteration.mesh("absorbed_" + name).component().load<std::uint64_t>();
-    const auto absorbed_weight = iteration.mesh("absorbed_weight_" + name)
-                                     .component()
-                                     .load<double>();
-    sp.absorbed_left = absorbed[rr * 2];
-    sp.absorbed_right = absorbed[rr * 2 + 1];
-    sp.absorbed_weight = absorbed_weight[rr];
-  }
-
-  const auto rng =
-      iteration.mesh("rng_state").component().load<std::uint64_t>();
-  sim.rng().set_state({rng[rr * 4], rng[rr * 4 + 1], rng[rr * 4 + 2],
-                       rng[rr * 4 + 3]});
-  const auto events = iteration.mesh("ionization_events")
-                          .component()
-                          .load<std::uint64_t>();
-  const auto weight =
-      iteration.mesh("ionized_weight").component().load<double>();
-  sim.set_ionization_totals(events[rr], weight[rr]);
-  sim.set_current_step(std::uint64_t(iteration.time()));
+  restore_from_series(series, sim);
 }
 
 void Bit1OpenPmdAdaptor::synchronize() {

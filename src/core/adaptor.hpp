@@ -28,6 +28,7 @@
 #include <mutex>
 #include <optional>
 
+#include "core/checkpoint_payload.hpp"
 #include "core/diagnostics_sink.hpp"
 #include "core/io_config.hpp"
 #include "openpmd/series.hpp"
@@ -92,18 +93,6 @@ private:
     std::uint64_t ionization_events = 0;
   };
 
-  struct RankCkpt {
-    bool present = false;
-    // Per species particle arrays.
-    std::vector<std::vector<double>> x, vx, vy, vz, w;
-    std::vector<std::uint64_t> absorbed_left, absorbed_right;
-    std::vector<double> absorbed_weight;
-    std::array<std::uint64_t, 4> rng{};
-    std::uint64_t step = 0;
-    std::uint64_t ionization_events = 0;
-    double ionized_weight = 0.0;
-  };
-
   void require_species_layout(const picmc::Simulation& sim);
 
   fsim::SharedFs& fs_;
@@ -119,7 +108,9 @@ private:
 
   std::mutex mutex_;
   std::vector<RankDiag> staged_diag_;
-  std::vector<RankCkpt> staged_ckpt_;
+  // Checkpoint staging uses the shared payload type (checkpoint_payload.hpp)
+  // so the resilience layer writes the exact same schema.
+  std::vector<RankCheckpoint> staged_ckpt_;
 };
 
 }  // namespace bitio::core

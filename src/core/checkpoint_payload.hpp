@@ -1,0 +1,55 @@
+#pragma once
+// The checkpoint payload: what one rank contributes to a restart dump and
+// how the staged per-rank states become an openPMD iteration (and back).
+//
+// Extracted from Bit1OpenPmdAdaptor so the resilience layer
+// (resil::CheckpointManager) can write versioned checkpoint *epochs* with
+// exactly the same on-disk schema the adaptor's dmp_file series uses:
+//   particles/<species>/{position/x, velocity/{x,y,z}, weighting}
+//   meshes/rank_count_<species>, absorbed_<species>, absorbed_weight_<species>
+//   meshes/rng_state, ionization_events, ionized_weight
+// with iteration time() carrying the simulation step.  Restores are
+// bit-exact: particle arrays, per-rank RNG state, Monte Carlo totals and
+// absorption counters all round-trip unchanged.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "openpmd/series.hpp"
+#include "picmc/simulation.hpp"
+
+namespace bitio::core {
+
+/// One rank's full restart state.
+struct RankCheckpoint {
+  bool present = false;
+  // Per species particle arrays.
+  std::vector<std::vector<double>> x, vx, vy, vz, w;
+  std::vector<std::uint64_t> absorbed_left, absorbed_right;
+  std::vector<double> absorbed_weight;
+  std::array<std::uint64_t, 4> rng{};
+  std::uint64_t step = 0;
+  std::uint64_t ionization_events = 0;
+  double ionized_weight = 0.0;
+};
+
+/// Snapshot `sim`'s restart state (rank-local; cheap copies of the particle
+/// arrays plus RNG/MC scalars).
+RankCheckpoint capture_rank_state(const picmc::Simulation& sim);
+
+/// Write the staged per-rank states (indexed by rank, size `nranks`) as
+/// iteration 0 of `series` — the exscan over per-rank particle counts, the
+/// storeChunk calls, and the RNG/MC meshes.  Closes the iteration.
+void write_checkpoint_iteration(pmd::Series& series,
+                                const std::vector<RankCheckpoint>& staged,
+                                const std::vector<std::string>& species_names,
+                                int nranks);
+
+/// Restore `sim` (rank sim.rank() of sim.nranks()) from iteration 0 of an
+/// open read-only `series`.  Throws UsageError if the checkpoint was
+/// written with a different communicator size.
+void restore_from_series(pmd::Series& series, picmc::Simulation& sim);
+
+}  // namespace bitio::core

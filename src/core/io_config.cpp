@@ -24,6 +24,13 @@ void Bit1IoConfig::validate() const {
   if (ranks_per_node < 1)
     throw UsageError("io config: ranks_per_node must be >= 1, got " +
                      std::to_string(ranks_per_node));
+  if (checkpoint_interval < 0)
+    throw UsageError("io config: checkpoint_interval must be >= 0, got " +
+                     std::to_string(checkpoint_interval));
+  if (checkpoint_retain < 1)
+    throw UsageError("io config: checkpoint_retain must be >= 1, got " +
+                     std::to_string(checkpoint_retain));
+  fault_plan.validate();
   if (use_striping) {
     if (striping.stripe_count < 1)
       throw UsageError("io config: stripe count must be >= 1, got " +
@@ -58,6 +65,12 @@ Bit1IoConfig Bit1IoConfig::from_toml(const std::string& text) {
       int(io.get_or("buffer_chunk_mb", Json(16)).as_int());
   config.ranks_per_node =
       int(io.get_or("ranks_per_node", Json(128)).as_int());
+  config.checkpoint_interval =
+      int(io.get_or("checkpoint_interval", Json(0)).as_int());
+  config.checkpoint_retain =
+      int(io.get_or("checkpoint_retain", Json(2)).as_int());
+  if (io.contains("fault_plan"))
+    config.fault_plan = fsim::FaultPlan::from_json(io.at("fault_plan"));
 
   if (io.contains("striping")) {
     const Json& striping = io.at("striping");
@@ -87,11 +100,17 @@ std::string Bit1IoConfig::to_toml() const {
          "\n";
   out += strfmt("buffer_chunk_mb = %d\n", buffer_chunk_mb);
   out += strfmt("ranks_per_node = %d\n", ranks_per_node);
+  out += strfmt("checkpoint_interval = %d\n", checkpoint_interval);
+  out += strfmt("checkpoint_retain = %d\n", checkpoint_retain);
   if (use_striping) {
     out += "[io.striping]\n";
     out += strfmt("count = %d\n", striping.stripe_count);
     out += strfmt("size = %llu\n",
                   static_cast<unsigned long long>(striping.stripe_size));
+  }
+  if (!fault_plan.empty()) {
+    out += "[io.fault_plan]\n";
+    out += fault_plan.to_toml();
   }
   return out;
 }

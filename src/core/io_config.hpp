@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "fsim/fault_plan.hpp"
 #include "fsim/types.hpp"
 
 namespace bitio::core {
@@ -38,6 +39,12 @@ struct Bit1IoConfig {
 
   int ranks_per_node = 128;
 
+  // Resilience: periodic checkpoint epochs (resil::CheckpointManager) and
+  // deterministic fault injection into the simulated file system.
+  int checkpoint_interval = 0;   // steps between epochs; 0 = disabled
+  int checkpoint_retain = 2;     // keep the newest K committed epochs
+  fsim::FaultPlan fault_plan;    // empty = no injection
+
   friend bool operator==(const Bit1IoConfig& a, const Bit1IoConfig& b) {
     return a.mode == b.mode && a.engine == b.engine &&
            a.num_aggregators == b.num_aggregators &&
@@ -48,7 +55,10 @@ struct Bit1IoConfig {
            a.use_striping == b.use_striping &&
            a.striping.stripe_count == b.striping.stripe_count &&
            a.striping.stripe_size == b.striping.stripe_size &&
-           a.ranks_per_node == b.ranks_per_node;
+           a.ranks_per_node == b.ranks_per_node &&
+           a.checkpoint_interval == b.checkpoint_interval &&
+           a.checkpoint_retain == b.checkpoint_retain &&
+           a.fault_plan == b.fault_plan;
   }
 
   /// Reject inconsistent configurations: unknown engine or codec, negative

@@ -44,6 +44,12 @@ double DarshanLog::total_meta_time() const {
   return sum;
 }
 
+std::uint64_t DarshanLog::total_faults_injected() const {
+  std::uint64_t sum = 0;
+  for (const auto& r : records) sum += r.faults_injected;
+  return sum;
+}
+
 double DarshanLog::write_throughput_bps() const {
   return job.runtime_s > 0 ? double(total_bytes_written()) / job.runtime_s
                            : 0.0;
@@ -136,7 +142,8 @@ private:
   std::size_t pos_ = 0;
 };
 
-constexpr std::uint64_t kLogMagic = 0x4452534e4c4f4732ull;  // "DRSNLOG2"
+// Log format version 3 adds the per-record faults_injected counter.
+constexpr std::uint64_t kLogMagic = 0x4452534e4c4f4733ull;  // "DRSNLOG3"
 
 }  // namespace
 
@@ -164,6 +171,7 @@ std::vector<std::uint8_t> DarshanLog::serialize() const {
     put_f64(out, r.read_time_s);
     put_f64(out, r.meta_time_s);
     put_f64(out, r.drain_time_s);
+    put_u64(out, r.faults_injected);
   }
   return out;
 }
@@ -195,6 +203,7 @@ DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {
     r.read_time_s = cur.f64();
     r.meta_time_s = cur.f64();
     r.drain_time_s = cur.f64();
+    r.faults_injected = cur.u64();
     log.records.push_back(std::move(r));
   }
   if (!cur.done()) throw FormatError("darshan: trailing bytes in log");
@@ -212,6 +221,9 @@ std::string DarshanLog::text_report() const {
   out += strfmt(
       "# per-process cost: read=%.6fs meta=%.6fs write=%.6fs drain=%.6fs\n",
       cost.read_s, cost.meta_s, cost.write_s, cost.drain_s);
+  if (const auto faults = total_faults_injected(); faults > 0)
+    out += strfmt("# faults_injected: %llu\n",
+                  static_cast<unsigned long long>(faults));
   TextTable table;
   table.header({"rank", "file", "opens", "writes", "bytes_w", "reads",
                 "bytes_r", "t_write", "t_meta", "t_drain"});
@@ -256,6 +268,12 @@ DarshanLog capture(const fsim::SharedFs& fs, const fsim::ReplayReport& replay,
 
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const TraceOp& op = trace[i];
+    // Fault markers ride on whatever op carried the injection (including
+    // cpu-kind notes for harness-level faults), so count them before the
+    // cpu skip below.
+    if (op.fault != fsim::FaultKind::none)
+      record_for(std::int32_t(op.client), op.file).faults_injected +=
+          op.op_count > 0 ? op.op_count : 1;
     if (op.kind == OpKind::cpu) continue;  // not an I/O counter
     FileRecord& r = record_for(std::int32_t(op.client), op.file);
     const double dt =
@@ -281,6 +299,7 @@ DarshanLog capture(const fsim::SharedFs& fs, const fsim::ReplayReport& replay,
       case OpKind::stat:
       case OpKind::unlink:
       case OpKind::mkdir:
+      case OpKind::rename:
         r.stats += op.kind == OpKind::stat ? op.op_count : 0;
         meta_time += dt;
         break;

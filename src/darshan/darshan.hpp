@@ -56,6 +56,9 @@ struct FileRecord {
   // AsyncWrite background writer).  Kept separate from write/meta/read time
   // so those remain the rank's critical-path cost.
   double drain_time_s = 0.0;
+  // Operations on this (rank, file) that carried an injected fault
+  // (TraceOp::fault != none): torn writes, bit flips, transient failures.
+  std::uint64_t faults_injected = 0;
 };
 
 /// A captured log: job info + records + per-rank roll-ups.
@@ -70,6 +73,7 @@ public:
   std::uint64_t total_files() const;  // distinct paths
   double total_write_time() const;
   double total_meta_time() const;
+  std::uint64_t total_faults_injected() const;
 
   /// Aggregate write throughput the way the paper reports it: total bytes
   /// written / job I/O runtime.

@@ -1,0 +1,145 @@
+#include "fsim/fault_plan.hpp"
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace bitio::fsim {
+
+namespace {
+
+/// splitmix64: the one-shot mixer used for all deterministic draws, so a
+/// plan's behaviour is a pure function of (seed, ordinal).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultKind fault_kind_from_name(const std::string& name) {
+  if (name == "torn_write") return FaultKind::torn_write;
+  if (name == "bit_flip") return FaultKind::bit_flip;
+  if (name == "eio") return FaultKind::eio;
+  if (name == "enospc") return FaultKind::enospc;
+  if (name == "rank_crash") return FaultKind::rank_crash;
+  throw UsageError("fault plan: unknown fault kind '" + name + "'");
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, std::vector<FaultRule> rules)
+    : seed_(seed), rules_(std::move(rules)) {
+  matches_.assign(rules_.size(), 0);
+  firings_.assign(rules_.size(), 0);
+}
+
+void FaultPlan::validate() const {
+  for (const FaultRule& rule : rules_) {
+    if (rule.probability < 0.0 || rule.probability > 1.0)
+      throw UsageError(strfmt(
+          "fault plan: probability must be in [0,1], got %g", rule.probability));
+    if (rule.times < 0)
+      throw UsageError(strfmt("fault plan: times must be >= 0, got %d",
+                              rule.times));
+    if (rule.kind == FaultKind::none)
+      throw UsageError("fault plan: rule kind must not be 'none'");
+    if (rule.kind == FaultKind::rank_crash) {
+      if (rule.rank < 0)
+        throw UsageError("fault plan: rank_crash rule needs a rank >= 0");
+      continue;
+    }
+    if (rule.nth == 0 && rule.probability == 0.0)
+      throw UsageError(
+          "fault plan: rule needs nth >= 1 or probability > 0 to ever fire");
+  }
+}
+
+std::optional<FaultKind> FaultPlan::next_write_fault(const std::string& path,
+                                                     ClientId client,
+                                                     std::uint64_t bytes) {
+  (void)bytes;
+  const std::uint64_t ordinal = write_ordinal_++;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    FaultRule& rule = rules_[i];
+    if (rule.kind == FaultKind::rank_crash) continue;
+    if (rule.rank >= 0 && ClientId(rule.rank) != client) continue;
+    if (!rule.path.empty() && path.find(rule.path) == std::string::npos)
+      continue;
+    const std::uint64_t match = ++matches_[i];
+    if (rule.times > 0 && firings_[i] >= std::uint64_t(rule.times)) continue;
+    bool fire = false;
+    if (rule.nth > 0) {
+      fire = match == rule.nth;
+    } else {
+      // Uniform draw in [0,1) from the (seed, rule, ordinal) hash.
+      const std::uint64_t h = mix(seed_ ^ mix(ordinal ^ (i << 48)));
+      fire = double(h >> 11) * 0x1.0p-53 < rule.probability;
+    }
+    if (!fire) continue;
+    ++firings_[i];
+    ++injected_;
+    return rule.kind;
+  }
+  return std::nullopt;
+}
+
+bool FaultPlan::should_crash(int rank, std::uint64_t step) const {
+  for (const FaultRule& rule : rules_)
+    if (rule.kind == FaultKind::rank_crash && rule.rank == rank &&
+        rule.step == step)
+      return true;
+  return false;
+}
+
+std::uint64_t FaultPlan::flip_bit_index(std::uint64_t firing,
+                                        std::uint64_t bytes) const {
+  if (bytes == 0) return 0;
+  return mix(seed_ ^ mix(firing + 0x5151ull)) % (bytes * 8);
+}
+
+std::uint64_t FaultPlan::torn_prefix(std::uint64_t firing,
+                                     std::uint64_t bytes) const {
+  if (bytes == 0) return 0;
+  // Keep [0, bytes) bytes — always drops at least the last byte.
+  return mix(seed_ ^ mix(firing + 0x70e7ull)) % bytes;
+}
+
+FaultPlan FaultPlan::from_json(const Json& table) {
+  std::vector<FaultRule> rules;
+  if (table.contains("rules")) {
+    for (const Json& entry : table.at("rules").as_array()) {
+      FaultRule rule;
+      rule.kind =
+          fault_kind_from_name(entry.get_or("kind", Json("")).as_string());
+      rule.path = entry.get_or("path", Json("")).as_string();
+      rule.nth = entry.get_or("nth", Json(0)).as_uint();
+      rule.probability = entry.get_or("probability", Json(0.0)).as_number();
+      rule.times = int(entry.get_or("times", Json(1)).as_int());
+      rule.rank = int(entry.get_or("rank", Json(-1)).as_int());
+      rule.step = entry.get_or("step", Json(0)).as_uint();
+      rules.push_back(std::move(rule));
+    }
+  }
+  FaultPlan plan(table.get_or("seed", Json(0)).as_uint(), std::move(rules));
+  plan.validate();
+  return plan;
+}
+
+std::string FaultPlan::to_toml() const {
+  std::string out;
+  out += strfmt("seed = %llu\n", static_cast<unsigned long long>(seed_));
+  out += "rules = [";
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    out += i == 0 ? " " : ", ";
+    out += strfmt("{ kind = \"%s\", path = \"%s\", nth = %llu, "
+                  "probability = %g, times = %d, rank = %d, step = %llu }",
+                  fault_name(r.kind), r.path.c_str(),
+                  static_cast<unsigned long long>(r.nth), r.probability,
+                  r.times, r.rank, static_cast<unsigned long long>(r.step));
+  }
+  out += " ]\n";
+  return out;
+}
+
+}  // namespace bitio::fsim

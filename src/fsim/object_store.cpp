@@ -180,6 +180,22 @@ void ObjectStore::unlink(const std::string& path) {
   dir->files.erase(it);
 }
 
+void ObjectStore::rename(const std::string& from, const std::string& to) {
+  DirNode* src_dir = find_dir(parent_path(from));
+  if (!src_dir) throw IoError("rename: no such file '" + from + "'");
+  auto src = src_dir->files.find(base_name(from));
+  if (src == src_dir->files.end())
+    throw IoError("rename: no such file '" + from + "'");
+  const FileId id = src->second;
+  DirNode& dst_dir = mkdirs(parent_path(to));
+  const std::string dst_name = base_name(to);
+  if (dst_dir.dirs.count(dst_name))
+    throw IoError("rename: '" + to + "' is a directory");
+  src_dir->files.erase(src);
+  dst_dir.files[dst_name] = id;  // replaces any existing entry, like POSIX
+  files_[id]->path = to;
+}
+
 namespace {
 void collect(const DirNode& dir,
              const std::vector<std::unique_ptr<FileNode>>& files,

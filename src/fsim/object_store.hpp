@@ -78,6 +78,11 @@ public:
 
   void unlink(const std::string& path);
 
+  /// Atomic namespace move: `to` is replaced if it exists (POSIX rename
+  /// semantics — the commit primitive for write-tmp-then-rename manifests).
+  /// Both paths must be files; throws IoError if `from` is missing.
+  void rename(const std::string& from, const std::string& to);
+
   /// All files under `path` (recursive), in creation order.
   std::vector<const FileNode*> list_recursive(const std::string& path) const;
   /// Every file in the store, in creation order.

@@ -12,18 +12,48 @@ SharedFs::SharedFs(int ost_count, bool store_data,
 void SharedFs::append_op(TraceOp op) {
   if (!tracing_) return;
   // Coalesce a sequential write with the immediately preceding one from the
-  // same client and file.  (The lock is already held by the caller.)
-  if (op.kind == OpKind::write && !trace_.empty()) {
+  // same client and file.  Faulted ops are never coalesced so each injection
+  // stays attributable.  (The lock is already held by the caller.)
+  if (op.kind == OpKind::write && op.fault == FaultKind::none &&
+      !trace_.empty()) {
     TraceOp& last = trace_.back();
-    if (last.kind == OpKind::write && last.client == op.client &&
-        last.lane == op.lane && last.file == op.file &&
-        last.offset + last.bytes == op.offset) {
+    if (last.kind == OpKind::write && last.fault == FaultKind::none &&
+        last.client == op.client && last.lane == op.lane &&
+        last.file == op.file && last.offset + last.bytes == op.offset) {
       last.bytes += op.bytes;
       last.op_count += op.op_count;
       return;
     }
   }
   trace_.push_back(std::move(op));
+}
+
+void SharedFs::set_fault_plan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan.validate();
+  fault_plan_ = std::move(plan);
+}
+
+void SharedFs::clear_fault_plan() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_plan_.reset();
+}
+
+std::uint64_t SharedFs::injected_fault_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_plan_ ? fault_plan_->injected_count() : 0;
+}
+
+bool SharedFs::should_crash(int rank, std::uint64_t step) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_plan_ && fault_plan_->should_crash(rank, step);
+}
+
+FaultKind SharedFs::next_write_fault(const FileNode& node, ClientId client,
+                                     std::uint64_t bytes) {
+  if (!fault_plan_) return FaultKind::none;
+  const auto fault = fault_plan_->next_write_fault(node.path, client, bytes);
+  return fault ? *fault : FaultKind::none;
 }
 
 std::uint64_t SharedFs::traced_bytes_written() const {
@@ -93,6 +123,13 @@ void FsClient::unlink(const std::string& path) {
   fs_->append_op({client_, OpKind::unlink, id, 0, 0, 1, 0.0, {}, lane_});
 }
 
+void FsClient::rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  const FileId id = fs_->store_.file(from).id;
+  fs_->store_.rename(from, to);
+  fs_->append_op({client_, OpKind::rename, id, 0, 0, 1, 0.0, {}, lane_});
+}
+
 int FsClient::open(const std::string& path, OpenMode mode) {
   std::lock_guard<std::mutex> lock(fs_->mutex_);
   FileNode* node = nullptr;
@@ -142,14 +179,42 @@ SharedFs::Descriptor& checked_fd(std::vector<SharedFs::Descriptor>& fds,
 }
 }  // namespace
 
+namespace {
+/// Transient-failure tail shared by the data-write entry points: the caller
+/// has already traced the failed attempt; surface it as an IoError.
+[[noreturn]] void throw_injected(const char* call, FaultKind fault,
+                                 const std::string& path) {
+  throw IoError(std::string(call) + ": injected " + fault_name(fault) +
+                " on '" + path + "'");
+}
+}  // namespace
+
 void FsClient::write(int fd, std::span<const std::uint8_t> data) {
   std::lock_guard<std::mutex> lock(fs_->mutex_);
   auto& desc = checked_fd(fs_->fds_, fd, client_);
   if (!desc.writable) throw IoError("write: descriptor is read-only");
   FileNode& node = fs_->store_.file_by_id(desc.file);
-  fs_->store_.pwrite(node, desc.position, data.data(), data.size());
-  fs_->append_op({client_, OpKind::write, desc.file, desc.position,
-                  data.size(), 1, 0.0, {}, lane_});
+  const FaultKind fault = fs_->next_write_fault(node, client_, data.size());
+  if (fault == FaultKind::eio || fault == FaultKind::enospc) {
+    fs_->append_op({client_, OpKind::write, desc.file, desc.position, 0, 1,
+                    0.0, {}, lane_, fault});
+    throw_injected("write", fault, node.path);
+  }
+  std::uint64_t persist = data.size();
+  if (fault == FaultKind::torn_write)
+    persist = fs_->fault_plan_->torn_prefix(fs_->fault_plan_->injected_count(),
+                                            data.size());
+  fs_->store_.pwrite(node, desc.position, data.data(), persist);
+  if (fault == FaultKind::bit_flip && fs_->store_.stores_data() &&
+      !data.empty()) {
+    const std::uint64_t bit = fs_->fault_plan_->flip_bit_index(
+        fs_->fault_plan_->injected_count(), data.size());
+    node.data[desc.position + bit / 8] ^= std::uint8_t(1u << (bit % 8));
+  }
+  fs_->append_op({client_, OpKind::write, desc.file, desc.position, persist,
+                  1, 0.0, {}, lane_, fault});
+  // The caller saw a successful full write (torn tails are a *silent*
+  // failure, discovered only on verification).
   desc.position += data.size();
 }
 
@@ -159,9 +224,26 @@ void FsClient::pwrite(int fd, std::uint64_t offset,
   auto& desc = checked_fd(fs_->fds_, fd, client_);
   if (!desc.writable) throw IoError("pwrite: descriptor is read-only");
   FileNode& node = fs_->store_.file_by_id(desc.file);
-  fs_->store_.pwrite(node, offset, data.data(), data.size());
+  const FaultKind fault = fs_->next_write_fault(node, client_, data.size());
+  if (fault == FaultKind::eio || fault == FaultKind::enospc) {
+    fs_->append_op(
+        {client_, OpKind::write, desc.file, offset, 0, 1, 0.0, {}, lane_, fault});
+    throw_injected("pwrite", fault, node.path);
+  }
+  std::uint64_t persist = data.size();
+  if (fault == FaultKind::torn_write)
+    persist = fs_->fault_plan_->torn_prefix(fs_->fault_plan_->injected_count(),
+                                            data.size());
+  fs_->store_.pwrite(node, offset, data.data(), persist);
+  if (fault == FaultKind::bit_flip && fs_->store_.stores_data() &&
+      !data.empty()) {
+    const std::uint64_t bit = fs_->fault_plan_->flip_bit_index(
+        fs_->fault_plan_->injected_count(), data.size());
+    node.data[offset + bit / 8] ^= std::uint8_t(1u << (bit % 8));
+  }
   fs_->append_op(
-      {client_, OpKind::write, desc.file, offset, data.size(), 1, 0.0, {}, lane_});
+      {client_, OpKind::write, desc.file, offset, persist, 1, 0.0, {}, lane_,
+       fault});
 }
 
 void FsClient::write_simulated(int fd, std::uint64_t bytes,
@@ -172,11 +254,21 @@ void FsClient::write_simulated(int fd, std::uint64_t bytes,
   if (!desc.writable)
     throw IoError("write_simulated: descriptor is read-only");
   FileNode& node = fs_->store_.file_by_id(desc.file);
-  node.size = std::max(node.size, desc.position + bytes);
+  const FaultKind fault = fs_->next_write_fault(node, client_, bytes);
+  if (fault == FaultKind::eio || fault == FaultKind::enospc) {
+    fs_->append_op({client_, OpKind::write, desc.file, desc.position, 0, 1,
+                    0.0, {}, lane_, fault});
+    throw_injected("write_simulated", fault, node.path);
+  }
+  std::uint64_t persist = bytes;
+  if (fault == FaultKind::torn_write)
+    persist = fs_->fault_plan_->torn_prefix(fs_->fault_plan_->injected_count(),
+                                            bytes);
+  node.size = std::max(node.size, desc.position + persist);
   if (fs_->store_.stores_data() && node.data.size() < node.size)
     node.data.resize(node.size, 0);
-  fs_->append_op({client_, OpKind::write, desc.file, desc.position, bytes,
-                  op_count, 0.0, {}, lane_});
+  fs_->append_op({client_, OpKind::write, desc.file, desc.position, persist,
+                  op_count, 0.0, {}, lane_, fault});
   desc.position += bytes;
 }
 
@@ -260,6 +352,12 @@ void FsClient::write_file(const std::string& path,
 void FsClient::charge_cpu(double seconds, const std::string& tag) {
   std::lock_guard<std::mutex> lock(fs_->mutex_);
   fs_->append_op({client_, OpKind::cpu, kNoFile, 0, 0, 1, seconds, tag, lane_});
+}
+
+void FsClient::note_fault(FaultKind kind) {
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  fs_->append_op({client_, OpKind::cpu, kNoFile, 0, 0, 1, 0.0, "fault", lane_,
+                  kind});
 }
 
 }  // namespace bitio::fsim

@@ -15,10 +15,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "fsim/fault_plan.hpp"
 #include "fsim/object_store.hpp"
 #include "fsim/types.hpp"
 
@@ -53,6 +55,16 @@ public:
   std::uint64_t traced_bytes_written() const;
   std::uint64_t traced_bytes_read() const;
 
+  /// Install (or clear) the fault-injection plan consulted on every data
+  /// write.  The plan is stateful; installing it hands its counters over.
+  void set_fault_plan(FaultPlan plan);
+  void clear_fault_plan();
+  bool has_fault_plan() const { return fault_plan_.has_value(); }
+  /// Faults injected so far (0 without a plan).
+  std::uint64_t injected_fault_count() const;
+  /// rank_crash rules: should `rank` die at `step`?  False without a plan.
+  bool should_crash(int rank, std::uint64_t step) const;
+
   /// Descriptor-table entry (public so the implementation's helpers can
   /// name the type; not part of the user-facing API).
   struct Descriptor {
@@ -66,12 +78,16 @@ public:
 private:
   friend class FsClient;
   void append_op(TraceOp op);
+  /// Consult the fault plan for a data write (mutex must be held).
+  FaultKind next_write_fault(const FileNode& node, ClientId client,
+                             std::uint64_t bytes);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   ObjectStore store_;
   std::vector<TraceOp> trace_;
   std::vector<Descriptor> fds_;
   bool tracing_ = true;
+  std::optional<FaultPlan> fault_plan_;
 };
 
 /// Per-rank POSIX-like handle.  Cheap; copyable.  All methods are
@@ -101,6 +117,9 @@ public:
   bool exists(const std::string& path) const;
   std::uint64_t stat_size(const std::string& path);  // records a stat op
   void unlink(const std::string& path);
+  /// POSIX rename: atomic namespace swap, replacing `to` if it exists (the
+  /// write-tmp-validate-rename commit primitive).
+  void rename(const std::string& from, const std::string& to);
 
   // -- descriptor I/O ---------------------------------------------------------
   int open(const std::string& path, OpenMode mode);
@@ -132,6 +151,10 @@ public:
   /// Charge modeled client CPU time (compression, memcopy) to this client's
   /// timeline; shows up in replay reports and profiling.json.
   void charge_cpu(double seconds, const std::string& tag);
+
+  /// Record a harness-level fault (e.g. rank_crash) as a zero-cost tagged
+  /// TraceOp so Darshan capture attributes it like write-layer injections.
+  void note_fault(FaultKind kind);
 
 private:
   SharedFs* fs_;

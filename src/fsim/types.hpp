@@ -36,6 +36,7 @@ enum class OpKind : std::uint8_t {
   stat,     // metadata: attribute read
   unlink,   // metadata: remove
   mkdir,    // metadata: directory create
+  rename,   // metadata: atomic namespace swap (manifest commit)
   write,    // data transfer to OSTs
   read,     // data transfer from OSTs
   cpu,      // client-local compute charged by upper layers (compress, copy)
@@ -54,9 +55,34 @@ inline const char* op_name(OpKind kind) {
     case OpKind::stat: return "stat";
     case OpKind::unlink: return "unlink";
     case OpKind::mkdir: return "mkdir";
+    case OpKind::rename: return "rename";
     case OpKind::write: return "write";
     case OpKind::read: return "read";
     case OpKind::cpu: return "cpu";
+  }
+  return "?";
+}
+
+/// Kinds of fault the resilience layer can inject at the FsClient boundary
+/// (see fsim::FaultPlan).  Tagged on the TraceOp of the affected operation
+/// so Darshan capture and timing replay can attribute every injection.
+enum class FaultKind : std::uint8_t {
+  none = 0,
+  torn_write,   // only a prefix of the extent was persisted
+  bit_flip,     // one bit inside the persisted extent was flipped
+  eio,          // transient I/O error: the call throws, nothing persisted
+  enospc,       // transient out-of-space: the call throws, nothing persisted
+  rank_crash,   // the rank dies at a configured step (harness-level)
+};
+
+inline const char* fault_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::none: return "none";
+    case FaultKind::torn_write: return "torn_write";
+    case FaultKind::bit_flip: return "bit_flip";
+    case FaultKind::eio: return "eio";
+    case FaultKind::enospc: return "enospc";
+    case FaultKind::rank_crash: return "rank_crash";
   }
   return "?";
 }
@@ -79,6 +105,10 @@ struct TraceOp {
   // their ops replay concurrently with lane 0 and are attributed to
   // ClientTimes::drain instead of meta/write/read.
   std::uint32_t lane = 0;
+  // Fault injected into this operation, if any.  For torn writes `bytes`
+  // is the *persisted* prefix; for eio/enospc the write threw and `bytes`
+  // is 0.  Faulted ops are never coalesced.
+  FaultKind fault = FaultKind::none;
 };
 
 }  // namespace bitio::fsim

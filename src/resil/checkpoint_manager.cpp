@@ -1,0 +1,329 @@
+#include "resil/checkpoint_manager.hpp"
+
+#include <algorithm>
+
+#include "bp/reader.hpp"
+#include "util/error.hpp"
+
+namespace bitio::resil {
+
+using core::RankCheckpoint;
+
+namespace {
+
+/// Checkpoint engine config: shared-file aggregation, no profiling (the
+/// epochs are many short-lived containers; profiling stays on the
+/// diagnostics series).
+std::string ckpt_toml(const core::Bit1IoConfig& config) {
+  core::Bit1IoConfig c = config;
+  c.num_aggregators = config.checkpoint_aggregators;
+  c.profiling = false;
+  return c.adios2_toml();
+}
+
+/// Parse the epoch number out of ".../epoch_<k>/MANIFEST"; nullopt for
+/// paths that are not committed-epoch manifests.
+std::optional<std::uint64_t> manifest_epoch(const std::string& path) {
+  const std::string tail = "/MANIFEST";
+  if (path.size() <= tail.size() ||
+      path.compare(path.size() - tail.size(), tail.size(), tail) != 0)
+    return std::nullopt;
+  const std::string dir = fsim::base_name(path.substr(0, path.size() - tail.size()));
+  const std::string prefix = "epoch_";
+  if (dir.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  std::uint64_t epoch = 0;
+  for (std::size_t i = prefix.size(); i < dir.size(); ++i) {
+    if (dir[i] < '0' || dir[i] > '9') return std::nullopt;
+    epoch = epoch * 10 + std::uint64_t(dir[i] - '0');
+  }
+  return epoch;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(fsim::SharedFs& fs, std::string run_dir,
+                                     core::Bit1IoConfig config, int nranks)
+    : fs_(fs),
+      run_dir_(std::move(run_dir)),
+      config_(std::move(config)),
+      nranks_(nranks) {
+  if (nranks_ <= 0)
+    throw UsageError("CheckpointManager: nranks must be positive");
+  config_.validate();
+  fsim::FsClient root(fs_, 0);
+  root.mkdir(resil_dir());
+  staged_.resize(std::size_t(nranks_));
+  // Resume epoch numbering after whatever a previous incarnation committed.
+  const auto epochs = committed_epochs();
+  if (!epochs.empty()) next_epoch_ = epochs.back() + 1;
+}
+
+std::string CheckpointManager::epoch_dir(std::uint64_t epoch) const {
+  return resil_dir() + "/epoch_" + std::to_string(epoch);
+}
+
+std::string CheckpointManager::series_path(std::uint64_t epoch) const {
+  return epoch_dir(epoch) + "/dmp_file." + config_.engine;
+}
+
+std::string CheckpointManager::manifest_path(std::uint64_t epoch) const {
+  return epoch_dir(epoch) + "/MANIFEST";
+}
+
+void CheckpointManager::stage(int rank, const picmc::Simulation& sim) {
+  if (rank < 0 || rank >= nranks_)
+    throw UsageError("CheckpointManager: rank out of range");
+  // First staging call fixes the species layout; later calls must agree.
+  std::vector<std::string> names;
+  for (std::size_t s = 0; s < sim.species_count(); ++s)
+    names.push_back(sim.species(s).config.name);
+  if (species_names_.empty())
+    species_names_ = names;
+  else if (names != species_names_)
+    throw UsageError("CheckpointManager: inconsistent species layout");
+  staged_[std::size_t(rank)] = core::capture_rank_state(sim);
+}
+
+std::uint64_t CheckpointManager::commit() {
+  bool any = false;
+  std::uint64_t step = 0;
+  for (const auto& staged : staged_) {
+    any |= staged.present;
+    step = std::max(step, staged.step);
+  }
+  if (!any) throw UsageError("CheckpointManager: no staged checkpoint");
+
+  const std::uint64_t epoch = next_epoch_++;
+  bool committed = false;
+  for (int attempt = 0; attempt < kMaxCommitAttempts && !committed;
+       ++attempt) {
+    if (attempt > 0) {
+      // Bounded exponential backoff before the retry, charged to rank 0's
+      // timeline so the cost shows up in the replay like a real sleep.
+      stats_.write_retries += 1;
+      fsim::FsClient(fs_, 0).charge_cpu(
+          kBackoffBaseSeconds * double(1ull << (attempt - 1)), "backoff");
+    }
+    try {
+      committed = try_commit_epoch(epoch, step);
+    } catch (const IoError&) {
+      // Transient injected failure (EIO/ENOSPC) mid-write: tear the partial
+      // epoch down and go around again.
+      stats_.transient_faults += 1;
+      remove_epoch_files(epoch, false);
+    }
+  }
+  if (!committed)
+    throw IoError("CheckpointManager: epoch " + std::to_string(epoch) +
+                  " failed to commit after " +
+                  std::to_string(kMaxCommitAttempts) + " attempts");
+
+  stats_.epochs_written += 1;
+  for (auto& staged : staged_) staged = RankCheckpoint{};
+  apply_retention();
+  return epoch;
+}
+
+bool CheckpointManager::try_commit_epoch(std::uint64_t epoch,
+                                         std::uint64_t step) {
+  fsim::FsClient root(fs_, 0);
+  root.mkdir(epoch_dir(epoch));
+  {
+    pmd::Series series(fs_, series_path(epoch), pmd::Access::create, nranks_,
+                       ckpt_toml(config_));
+    core::write_checkpoint_iteration(series, staged_, species_names_,
+                                     nranks_);
+    series.close();
+  }
+
+  // Validate before committing: re-open the container and CRC-verify every
+  // chunk (catches silent bit flips and torn writes the write path did not
+  // observe).  A corrupt epoch is torn down and rewritten by the caller.
+  std::uint64_t bad = 0;
+  try {
+    bp::Reader reader(fs_, 0, series_path(epoch));
+    for (const auto& verdict : reader.verify())
+      if (verdict.status == bp::Reader::ChunkVerdict::Status::short_read ||
+          verdict.status == bp::Reader::ChunkVerdict::Status::crc_mismatch)
+        bad += 1;
+  } catch (const FormatError&) {
+    bad += 1;  // corrupt metadata: the container does not even open
+  }
+  if (bad > 0) {
+    stats_.corrupt_chunks_detected += bad;
+    remove_epoch_files(epoch, false);
+    return false;
+  }
+
+  // Atomic commit point: MANIFEST appears fully written or not at all.
+  JsonObject manifest;
+  manifest["epoch"] = Json(epoch);
+  manifest["step"] = Json(step);
+  manifest["engine"] = Json(config_.engine);
+  manifest["nranks"] = Json(nranks_);
+  const std::string text = Json(std::move(manifest)).dump(2) + "\n";
+  const std::string tmp = manifest_path(epoch) + ".tmp";
+  root.write_file(tmp, std::span<const std::uint8_t>(
+                           reinterpret_cast<const std::uint8_t*>(text.data()),
+                           text.size()));
+  root.rename(tmp, manifest_path(epoch));
+  return true;
+}
+
+void CheckpointManager::remove_epoch_files(std::uint64_t epoch,
+                                           bool manifest_first) {
+  fsim::FsClient root(fs_, 0);
+  const std::string dir = epoch_dir(epoch);
+  if (!fs_.store().dir_exists(dir)) return;
+  // Un-commit first: once MANIFEST is gone a crash mid-removal leaves an
+  // uncommitted (ignored) epoch instead of a committed-but-gutted one.
+  if (manifest_first && fs_.store().file_exists(manifest_path(epoch)))
+    root.unlink(manifest_path(epoch));
+  std::vector<std::string> paths;
+  for (const auto* node : fs_.store().list_recursive(dir))
+    paths.push_back(node->path);
+  for (const auto& path : paths)
+    if (fs_.store().file_exists(path)) root.unlink(path);
+}
+
+void CheckpointManager::apply_retention() {
+  auto epochs = committed_epochs();
+  const std::size_t retain = std::size_t(config_.checkpoint_retain);
+  while (epochs.size() > retain) {
+    remove_epoch_files(epochs.front(), true);
+    stats_.epochs_pruned += 1;
+    epochs.erase(epochs.begin());
+  }
+}
+
+std::vector<std::uint64_t> CheckpointManager::committed_epochs() const {
+  std::vector<std::uint64_t> epochs;
+  if (!fs_.store().dir_exists(resil_dir())) return epochs;
+  for (const auto* node : fs_.store().list_recursive(resil_dir()))
+    if (const auto epoch = manifest_epoch(node->path))
+      epochs.push_back(*epoch);
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+RestartReport CheckpointManager::restore(picmc::Simulation& sim) {
+  RestartReport report;
+  auto epochs = committed_epochs();
+  for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+    const std::uint64_t epoch = *it;
+    report.epochs_tried += 1;
+    std::uint64_t bad = 0;
+    try {
+      bp::Reader reader(fs_, 0, series_path(epoch));
+      for (const auto& verdict : reader.verify())
+        if (verdict.status == bp::Reader::ChunkVerdict::Status::short_read ||
+            verdict.status == bp::Reader::ChunkVerdict::Status::crc_mismatch)
+          bad += 1;
+    } catch (const Error&) {
+      bad += 1;
+    }
+    if (bad > 0) {
+      stats_.corrupt_chunks_detected += bad;
+      stats_.restore_fallbacks += 1;
+      report.rejected.push_back(epoch);
+      continue;
+    }
+    try {
+      pmd::Series series(fs_, series_path(epoch), pmd::Access::read_only);
+      core::restore_from_series(series, sim);
+    } catch (const Error&) {
+      // Every chunk verified, so this is a schema-level problem (e.g. a
+      // checkpoint from a different communicator size); fall back anyway.
+      stats_.restore_fallbacks += 1;
+      report.rejected.push_back(epoch);
+      continue;
+    }
+    report.recovered = true;
+    report.epoch = epoch;
+    report.step = sim.current_step();
+    break;
+  }
+  return report;
+}
+
+ScrubReport CheckpointManager::scrub() {
+  ScrubReport report;
+  for (const std::uint64_t epoch : committed_epochs()) {
+    report.epochs_scanned += 1;
+    std::uint64_t bad = 0;
+    try {
+      bp::Reader reader(fs_, 0, series_path(epoch));
+      for (const auto& verdict : reader.verify())
+        if (verdict.status == bp::Reader::ChunkVerdict::Status::short_read ||
+            verdict.status == bp::Reader::ChunkVerdict::Status::crc_mismatch)
+          bad += 1;
+    } catch (const Error&) {
+      bad += 1;
+    }
+    if (bad > 0) {
+      report.corrupt_epochs.push_back(epoch);
+      report.corrupt_chunks += bad;
+      stats_.corrupt_chunks_detected += bad;
+    } else {
+      report.epochs_ok += 1;
+    }
+  }
+  return report;
+}
+
+Json CheckpointManager::stats_json() const {
+  JsonObject o;
+  o["epochs_written"] = Json(stats_.epochs_written);
+  o["write_retries"] = Json(stats_.write_retries);
+  o["transient_faults"] = Json(stats_.transient_faults);
+  o["corrupt_chunks_detected"] = Json(stats_.corrupt_chunks_detected);
+  o["restore_fallbacks"] = Json(stats_.restore_fallbacks);
+  o["epochs_pruned"] = Json(stats_.epochs_pruned);
+  o["faults_injected_total"] = Json(fs_.injected_fault_count());
+  o["retained_epochs"] = Json(std::uint64_t(committed_epochs().size()));
+  return Json(std::move(o));
+}
+
+void CheckpointManager::write_stats_json() {
+  const std::string text = stats_json().dump(2) + "\n";
+  fsim::FsClient root(fs_, 0);
+  const int fd = root.open(resil_dir() + "/resilience.json",
+                           fsim::OpenMode::create_or_truncate);
+  root.write(fd, std::span<const std::uint8_t>(
+                     reinterpret_cast<const std::uint8_t*>(text.data()),
+                     text.size()));
+  root.close(fd);
+}
+
+// -- ResilientSink -----------------------------------------------------------
+
+ResilientSink::ResilientSink(std::unique_ptr<core::DiagnosticsSink> inner,
+                             std::shared_ptr<CheckpointManager> manager)
+    : inner_(std::move(inner)), manager_(std::move(manager)) {
+  if (!inner_ || !manager_)
+    throw UsageError("ResilientSink: inner sink and manager required");
+}
+
+void ResilientSink::stage_diagnostics(int rank, const picmc::Simulation& sim,
+                                      const picmc::DiagnosticSnapshot& snap) {
+  inner_->stage_diagnostics(rank, sim, snap);
+}
+
+void ResilientSink::flush_diagnostics(std::uint64_t step, double time) {
+  inner_->flush_diagnostics(step, time);
+}
+
+void ResilientSink::stage_checkpoint(int rank, const picmc::Simulation& sim) {
+  manager_->stage(rank, sim);
+}
+
+void ResilientSink::flush_checkpoint() { manager_->commit(); }
+
+void ResilientSink::synchronize() { inner_->synchronize(); }
+
+void ResilientSink::close() {
+  inner_->close();
+  manager_->write_stats_json();
+}
+
+}  // namespace bitio::resil

@@ -1,0 +1,156 @@
+#pragma once
+// The resilience layer: versioned checkpoint epochs with atomic commit,
+// verification, retention, retry, and epoch-by-epoch restart fallback.
+//
+// The adaptor's dmp_file series keeps exactly one checkpoint (iteration 0
+// is overwritten in place), so a fault during the overwrite can destroy the
+// only restart point.  CheckpointManager instead writes each checkpoint as
+// its own immutable *epoch*:
+//
+//   <run>/resil/epoch_<k>/dmp_file.<engine>   openPMD series, same schema
+//                                             as the adaptor's checkpoints
+//   <run>/resil/epoch_<k>/MANIFEST            JSON {epoch, step, nranks, ...}
+//
+// Commit protocol (per epoch): write the series, re-open it with bp::Reader
+// and CRC-verify every chunk (format v5 end-to-end integrity), then write
+// MANIFEST.tmp and rename() it to MANIFEST — the atomic commit point.  An
+// epoch without a MANIFEST does not exist.  Transient injected failures
+// (EIO/ENOSPC) are retried with bounded exponential backoff (charged to the
+// rank's timeline under the "backoff" tag); an epoch that fails CRC
+// validation is torn down and rewritten.  After a successful commit, epochs
+// beyond the newest `checkpoint_retain` are pruned (MANIFEST first, so a
+// crash mid-prune never leaves a committed-but-gutted epoch).
+//
+// Restart walks committed epochs newest-first, scrubs each with
+// bp::Reader::verify(), and restores the simulation bit-exactly from the
+// first epoch that verifies — silent corruption of the newest epoch falls
+// back to the one before it.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_payload.hpp"
+#include "core/diagnostics_sink.hpp"
+#include "core/io_config.hpp"
+#include "fsim/posix_fs.hpp"
+#include "picmc/simulation.hpp"
+#include "util/json.hpp"
+
+namespace bitio::resil {
+
+/// Counters the resilience layer accumulates across commits/restores (the
+/// numbers resilience.json and the resilience_sweep bench report).
+struct ResilienceStats {
+  std::uint64_t epochs_written = 0;    // committed epochs
+  std::uint64_t write_retries = 0;     // commit attempts retried (any cause)
+  std::uint64_t transient_faults = 0;  // EIO/ENOSPC caught during commit
+  std::uint64_t corrupt_chunks_detected = 0;  // CRC/short-read verdicts
+  std::uint64_t restore_fallbacks = 0;        // epochs rejected at restart
+  std::uint64_t epochs_pruned = 0;            // retention deletions
+};
+
+/// Outcome of restore(): which epoch recovered the run, and what was
+/// rejected on the way there.
+struct RestartReport {
+  bool recovered = false;
+  std::uint64_t epoch = 0;  // the epoch that restored the simulation
+  std::uint64_t step = 0;   // simulation step of that epoch
+  int epochs_tried = 0;
+  std::vector<std::uint64_t> rejected;  // epochs that failed verification
+};
+
+/// Outcome of a scrub() pass over every committed epoch.
+struct ScrubReport {
+  int epochs_scanned = 0;
+  int epochs_ok = 0;
+  std::vector<std::uint64_t> corrupt_epochs;
+  std::uint64_t corrupt_chunks = 0;
+};
+
+class CheckpointManager {
+public:
+  /// Commit gives up after this many attempts (initial try + retries).
+  static constexpr int kMaxCommitAttempts = 5;
+  /// Backoff charged before retry i (doubles each time): 2^i * this.
+  static constexpr double kBackoffBaseSeconds = 1e-3;
+
+  /// `config` supplies engine/codec/checkpoint_aggregators (series layout),
+  /// checkpoint_retain (retention depth), and is validated.  Epoch
+  /// numbering resumes after any epochs already committed under `run_dir`.
+  CheckpointManager(fsim::SharedFs& fs, std::string run_dir,
+                    core::Bit1IoConfig config, int nranks);
+
+  /// Stage one rank's restart state for the next commit().  Thread-safe in
+  /// the same sense as the adaptor: call from the rank's own thread.
+  void stage(int rank, const picmc::Simulation& sim);
+
+  /// Write the staged states as a new epoch (write -> verify -> rename
+  /// MANIFEST), retrying transient faults, then apply retention.  Returns
+  /// the committed epoch number; throws IoError when kMaxCommitAttempts
+  /// attempts all failed.
+  std::uint64_t commit();
+
+  /// Restore `sim` from the newest epoch that passes verification, falling
+  /// back epoch-by-epoch.  report.recovered is false when no epoch
+  /// verifies (the simulation is left untouched in that case).
+  RestartReport restore(picmc::Simulation& sim);
+
+  /// Re-verify every committed epoch (CRC scrub), newest first.
+  ScrubReport scrub();
+
+  /// Committed epoch numbers (MANIFEST present), ascending.
+  std::vector<std::uint64_t> committed_epochs() const;
+  std::string epoch_dir(std::uint64_t epoch) const;
+  std::string resil_dir() const { return run_dir_ + "/resil"; }
+
+  const ResilienceStats& stats() const { return stats_; }
+  Json stats_json() const;
+  /// Write stats_json() to <run>/resil/resilience.json (overwrites).
+  void write_stats_json();
+
+private:
+  std::string series_path(std::uint64_t epoch) const;
+  std::string manifest_path(std::uint64_t epoch) const;
+  /// One commit attempt: write series + verify + rename manifest.
+  /// Returns false (after tearing the epoch down) when verification finds
+  /// corrupt chunks; throws IoError on transient write failures.
+  bool try_commit_epoch(std::uint64_t epoch, std::uint64_t step);
+  void remove_epoch_files(std::uint64_t epoch, bool manifest_first);
+  void apply_retention();
+
+  fsim::SharedFs& fs_;
+  std::string run_dir_;
+  core::Bit1IoConfig config_;
+  int nranks_;
+  std::uint64_t next_epoch_ = 1;
+  std::vector<std::string> species_names_;
+  std::vector<core::RankCheckpoint> staged_;
+  ResilienceStats stats_;
+};
+
+/// DiagnosticsSink decorator that routes checkpoints through a
+/// CheckpointManager (versioned epochs) while diagnostics pass through to
+/// the wrapped sink unchanged.  Lets the SPMD loop opt into resilience by
+/// swapping one sink for another.
+class ResilientSink final : public core::DiagnosticsSink {
+public:
+  ResilientSink(std::unique_ptr<core::DiagnosticsSink> inner,
+                std::shared_ptr<CheckpointManager> manager);
+
+  std::string sink_name() const override { return "resilient+" + inner_->sink_name(); }
+  void stage_diagnostics(int rank, const picmc::Simulation& sim,
+                         const picmc::DiagnosticSnapshot& snapshot) override;
+  void flush_diagnostics(std::uint64_t step, double time) override;
+  void stage_checkpoint(int rank, const picmc::Simulation& sim) override;
+  void flush_checkpoint() override;
+  void synchronize() override;
+  void close() override;
+
+private:
+  std::unique_ptr<core::DiagnosticsSink> inner_;
+  std::shared_ptr<CheckpointManager> manager_;
+};
+
+}  // namespace bitio::resil

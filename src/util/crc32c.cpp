@@ -1,0 +1,33 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace bitio {
+
+namespace {
+
+// 256-entry lookup table for the reflected Castagnoli polynomial, built once
+// at first use (constexpr-buildable, but a function-local static keeps the
+// header free of the table).
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data)
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace bitio

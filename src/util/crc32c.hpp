@@ -1,0 +1,21 @@
+#pragma once
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum ADIOS2/HDF5-class containers use for end-to-end integrity.  The
+// miniBP v5 format stores one CRC per data chunk and per metadata block so
+// torn writes and silent bit flips are *detectable* on read (the corruption
+// failure mode the paper reports beyond 20k ranks).
+//
+// Software slice-by-one table implementation: deterministic everywhere, fast
+// enough for the simulated payload sizes, no ISA dependencies.
+
+#include <cstdint>
+#include <span>
+
+namespace bitio {
+
+/// CRC32C of `data`, continuing from `seed` (pass the previous return value
+/// to checksum a logical stream in pieces; start with 0).
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed = 0);
+
+}  // namespace bitio

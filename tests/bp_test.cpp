@@ -7,6 +7,7 @@
 #include "bp/reader.hpp"
 #include "bp/writer.hpp"
 #include "fsim/storage_model.hpp"
+#include "util/binio.hpp"
 #include "fsim/system_profiles.hpp"
 #include "smpi/comm.hpp"
 #include "util/error.hpp"
@@ -394,7 +395,164 @@ TEST(BpReader, MissingVariableAndStep) {
   EXPECT_EQ(reader.find_variable(0, "ghost"), nullptr);
 }
 
-// ------------------------------------------------------------- chunk view ---
+// -------------------------------------------------------------- hardening ---
+
+StepRecord sample_record() {
+  StepRecord record;
+  record.step = 3;
+  VarRecord var{"x", Datatype::float32, {8}, {}};
+  var.chunks.push_back({{0}, {8}, 0, 0, 0, 32, 32, ""});
+  record.variables.push_back(var);
+  record.attributes.emplace_back("time", AttrValue(1.5));
+  return record;
+}
+
+TEST(BpHardening, TruncatedStepMetadataAlwaysFormatError) {
+  // Every possible truncation of an encoded step record must surface as a
+  // typed FormatError — never a crash, hang, or silent partial parse.
+  const auto bytes = encode_step(sample_record());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    EXPECT_THROW(
+        decode_step(std::span<const std::uint8_t>(bytes.data(), len)),
+        FormatError);
+  }
+}
+
+TEST(BpHardening, TruncatedIndexAlwaysFormatError) {
+  const auto bytes =
+      encode_index({{0, 0, 100, 0x1234, true}, {1, 100, 80, 0x5678, true}});
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    EXPECT_THROW(
+        decode_index(std::span<const std::uint8_t>(bytes.data(), len)),
+        FormatError);
+  }
+}
+
+TEST(BpHardening, UnknownFormatVersionIsTypedFormatError) {
+  // A future (or garbage) magic must be rejected up front, not parsed as
+  // whichever version the bytes happen to resemble.
+  BinWriter md;
+  md.u32(0x4D443036);  // "MD06": plausible next version, unknown to us
+  md.u64(1);
+  md.u32(0);
+  md.u32(0);
+  EXPECT_THROW(decode_step(md.take()), FormatError);
+
+  BinWriter idx;
+  idx.u32(0x49445836);  // "IDX6"
+  idx.u32(0);
+  EXPECT_THROW(decode_index(idx.take()), FormatError);
+}
+
+TEST(BpHardening, LegacyV4ContainersStillDecode) {
+  // Format v5 added CRCs; v4 bytes (no chunk CRC fields, no trailing
+  // metadata CRC, 24-byte index entries) must stay readable.
+  BinWriter md;
+  md.u32(kMdMagic);
+  md.u64(7);
+  md.u32(1);  // one variable
+  md.str("x");
+  md.u8(std::uint8_t(Datatype::float32));
+  md.dims({8});
+  md.u32(1);  // one chunk
+  md.dims({0});
+  md.dims({8});
+  md.u32(0);   // writer_rank
+  md.u32(0);   // subfile
+  md.u64(0);   // file_offset
+  md.u64(32);  // stored_bytes
+  md.u64(32);  // raw_bytes
+  md.str("");
+  md.f64(0.0);
+  md.f64(7.0);
+  md.u32(0);  // no attributes
+  const StepRecord record = decode_step(md.take());
+  EXPECT_EQ(record.step, 7u);
+  ASSERT_EQ(record.variables.size(), 1u);
+  ASSERT_EQ(record.variables[0].chunks.size(), 1u);
+  EXPECT_FALSE(record.variables[0].chunks[0].has_crc);
+
+  BinWriter idx;
+  idx.u32(kIdxMagic);
+  idx.u32(1);
+  idx.u64(3);   // step
+  idx.u64(0);   // md_offset
+  idx.u64(40);  // md_length
+  const auto entries = decode_index(idx.take());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].step, 3u);
+  EXPECT_EQ(entries[0].md_length, 40u);
+  EXPECT_FALSE(entries[0].has_crc);
+}
+
+// -------------------------------------------------------------- integrity ---
+
+TEST(BpIntegrity, ChunkCrcCatchesEveryBitFlipInData) {
+  fsim::SharedFs fs(4);
+  {
+    Writer writer(fs, "c.bp4", small_config(1), 1);
+    writer.begin_step(0);
+    auto v = iota_floats(16);
+    writer.put<float>(0, "x", {16}, {0}, {16}, v);
+    writer.end_step();
+    writer.close();
+  }
+  Reader reader(fs, 0, "c.bp4");
+  EXPECT_TRUE(Reader::all_ok(reader.verify()));
+
+  // Flip every bit of the data subfile in turn: the per-chunk CRC32C must
+  // catch each one (100% detection of single-bit silent corruption).
+  auto& node = fs.store().file("c.bp4/data.0");
+  ASSERT_EQ(node.data.size(), 64u);
+  for (std::size_t bit = 0; bit < node.data.size() * 8; ++bit) {
+    node.data[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+    EXPECT_FALSE(Reader::all_ok(reader.verify()))
+        << "bit flip at " << bit << " went undetected";
+    EXPECT_THROW(reader.read(0, "x"), FormatError);
+    node.data[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+  }
+  EXPECT_TRUE(Reader::all_ok(reader.verify()));
+}
+
+TEST(BpIntegrity, TornDataSubfileReportedAsShortRead) {
+  fsim::SharedFs fs(4);
+  {
+    Writer writer(fs, "t.bp4", small_config(1), 1);
+    writer.begin_step(0);
+    auto v = iota_floats(16);
+    writer.put<float>(0, "x", {16}, {0}, {16}, v);
+    writer.end_step();
+    writer.close();
+  }
+  auto& node = fs.store().file("t.bp4/data.0");
+  fs.store().truncate(node, node.size - 1);  // the classic lost tail
+
+  Reader reader(fs, 0, "t.bp4");
+  const auto verdicts = reader.verify();
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].status, Reader::ChunkVerdict::Status::short_read);
+  EXPECT_FALSE(Reader::all_ok(verdicts));
+  EXPECT_THROW(reader.read(0, "x"), FormatError);
+}
+
+TEST(BpIntegrity, IndexCrossChecksStepMetadata) {
+  fsim::SharedFs fs(4);
+  {
+    Writer writer(fs, "x.bp4", small_config(1), 1);
+    writer.begin_step(0);
+    auto v = iota_floats(8);
+    writer.put<float>(0, "x", {8}, {0}, {8}, v);
+    writer.end_step();
+    writer.close();
+  }
+  // Flip one byte inside the md.0 step block: the md.idx entry's CRC of
+  // that block must reject the container at open.
+  auto& node = fs.store().file("x.bp4/md.0");
+  node.data[node.data.size() / 2] ^= 0x01;
+  EXPECT_THROW(Reader(fs, 0, "x.bp4"), FormatError);
+}
 
 TEST(BpChunkView, ValidatesGeometryAtConstruction) {
   const std::vector<float> data = iota_floats(8);
@@ -431,6 +589,22 @@ void write_workload(fsim::SharedFs& fs, const std::string& path,
   }
   writer.close();
   if (peak != nullptr) *peak = writer.peak_inflight();
+}
+
+TEST(BpAsync, DrainedChunksCarryVerifiableCrcs) {
+  // The CRCs are computed inside the drain worker; the async container must
+  // come out fully checksummed (and identical to sync, which the test
+  // below checks byte-for-byte).
+  fsim::SharedFs fs(8);
+  auto config = small_config(2);
+  config.async_write = true;
+  write_workload(fs, "acrc.bp4", config);
+  Reader reader(fs, 0, "acrc.bp4");
+  const auto verdicts = reader.verify();
+  EXPECT_FALSE(verdicts.empty());
+  for (const auto& v : verdicts)
+    EXPECT_EQ(v.status, Reader::ChunkVerdict::Status::ok)
+        << "step " << v.step << " var " << v.var;
 }
 
 TEST(BpAsync, ContainerBytesIdenticalToSync) {

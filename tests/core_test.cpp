@@ -151,9 +151,51 @@ TEST(IoConfig, TomlRoundTripIsLossless) {
   config.ranks_per_node = 64;
   EXPECT_EQ(Bit1IoConfig::from_toml(config.to_toml()), config);
 
+  // Resilience keys round-trip too, including the fault plan's rules.
+  config.checkpoint_interval = 5;
+  config.checkpoint_retain = 3;
+  config.fault_plan = fsim::FaultPlan(
+      42, {{fsim::FaultKind::bit_flip, "epoch_1", 1, 0.0, 1, -1, 0},
+           {fsim::FaultKind::eio, "data.0", 0, 0.25, 0, 2, 0},
+           {fsim::FaultKind::rank_crash, "", 0, 0.0, 1, 3, 70}});
+  EXPECT_EQ(Bit1IoConfig::from_toml(config.to_toml()), config);
+
   Bit1IoConfig original;
   original.mode = IoMode::original;
   EXPECT_EQ(Bit1IoConfig::from_toml(original.to_toml()), original);
+}
+
+TEST(IoConfig, ResilienceKeysParseAndValidate) {
+  const auto config = Bit1IoConfig::from_toml(R"(
+[io]
+checkpoint_interval = 10
+checkpoint_retain = 4
+
+[io.fault_plan]
+seed = 7
+rules = [ { kind = "torn_write", path = "md.0", nth = 2 } ]
+)");
+  EXPECT_EQ(config.checkpoint_interval, 10);
+  EXPECT_EQ(config.checkpoint_retain, 4);
+  EXPECT_EQ(config.fault_plan.seed(), 7u);
+  ASSERT_EQ(config.fault_plan.rules().size(), 1u);
+  EXPECT_EQ(config.fault_plan.rules()[0].kind, fsim::FaultKind::torn_write);
+  EXPECT_EQ(config.fault_plan.rules()[0].path, "md.0");
+  EXPECT_EQ(config.fault_plan.rules()[0].nth, 2u);
+
+  Bit1IoConfig bad;
+  bad.checkpoint_interval = -1;
+  EXPECT_THROW(bad.validate(), UsageError);
+  bad = Bit1IoConfig{};
+  bad.checkpoint_retain = 0;
+  EXPECT_THROW(bad.validate(), UsageError);
+  // An inconsistent fault rule is rejected through the config too.
+  bad = Bit1IoConfig{};
+  bad.fault_plan = fsim::FaultPlan(
+      1, {{fsim::FaultKind::bit_flip, "", 0, 0.0, 1, -1, 0}});
+  EXPECT_THROW(bad.validate(), UsageError);
+  EXPECT_THROW(
+      Bit1IoConfig::from_toml("[io]\ncheckpoint_retain = 0\n"), UsageError);
 }
 
 TEST(IoConfig, AsyncKeysReachTheEngineConfig) {

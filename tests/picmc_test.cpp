@@ -382,6 +382,43 @@ TEST(Checkpoint, RoundTripIsBitExact) {
   EXPECT_EQ(sim.species(0).particles.x(), restored.species(0).particles.x());
 }
 
+TEST(Checkpoint, CrossStepBoundaryResumeIsBitIdentical) {
+  // Run N steps, checkpoint, run M more; a fresh simulation restored from
+  // the checkpoint and run the same M steps must be bit-identical — the
+  // restart crosses the step boundary with no drift in particles, RNG, or
+  // Monte Carlo counters.
+  auto config = SimConfig::ionization_case(32, 16);
+  config.last_step = 60;
+  Simulation sim(config);
+  sim.initialize();
+  while (sim.current_step() < 25) sim.step();
+  const auto blob = save_checkpoint(sim);
+  while (sim.current_step() < 60) sim.step();
+
+  Simulation resumed(config);
+  load_checkpoint(resumed, blob);
+  EXPECT_EQ(resumed.current_step(), 25u);
+  while (resumed.current_step() < 60) resumed.step();
+
+  EXPECT_EQ(resumed.current_step(), sim.current_step());
+  EXPECT_EQ(resumed.ionization_events(), sim.ionization_events());
+  EXPECT_EQ(resumed.ionized_weight(), sim.ionized_weight());
+  EXPECT_EQ(resumed.rng().state(), sim.rng().state());
+  for (std::size_t s = 0; s < sim.species_count(); ++s) {
+    const auto& a = sim.species(s).particles;
+    const auto& b = resumed.species(s).particles;
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.x(), b.x());
+    EXPECT_EQ(a.vx(), b.vx());
+    EXPECT_EQ(a.vy(), b.vy());
+    EXPECT_EQ(a.vz(), b.vz());
+    EXPECT_EQ(a.w(), b.w());
+    EXPECT_EQ(resumed.species(s).absorbed_left, sim.species(s).absorbed_left);
+    EXPECT_EQ(resumed.species(s).absorbed_right,
+              sim.species(s).absorbed_right);
+  }
+}
+
 TEST(Checkpoint, DetectsCorruptionAndMismatch) {
   auto config = SimConfig::ionization_case(16, 4);
   Simulation sim(config);
