@@ -1,6 +1,7 @@
 #include "bp/writer.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/binio.hpp"
 #include "util/crc32c.hpp"
@@ -61,6 +62,11 @@ EngineConfig EngineConfig::from_json(const Json& adios2) {
       if (params.contains("BufferChunkSize"))
         config.buffer_chunk_mb =
             std::size_t(params.at("BufferChunkSize").as_uint());
+      if (params.contains("DrainTimeoutMs"))
+        config.drain_timeout_ms = int(params.at("DrainTimeoutMs").as_int());
+      if (params.contains("MaxDrainRetries"))
+        config.max_drain_retries =
+            int(params.at("MaxDrainRetries").as_int());
     }
   }
   if (adios2.contains("dataset")) {
@@ -88,6 +94,10 @@ Writer::Writer(fsim::SharedFs& fs, std::string path, EngineConfig config,
     throw UsageError("bp::Writer: ranks_per_node must be positive");
   if (config_.max_inflight_steps < 1)
     throw UsageError("bp::Writer: max_inflight_steps must be >= 1");
+  if (config_.drain_timeout_ms < 0)
+    throw UsageError("bp::Writer: drain_timeout_ms must be >= 0");
+  if (config_.max_drain_retries < 0)
+    throw UsageError("bp::Writer: max_drain_retries must be >= 0");
 
   const int nnodes =
       (nranks_ + config_.ranks_per_node - 1) / config_.ranks_per_node;
@@ -118,8 +128,11 @@ Writer::Writer(fsim::SharedFs& fs, std::string path, EngineConfig config,
   header.u32(0);
   root.pwrite(idx_fd_, 0, header.buffer());
 
-  if (config_.async_write)
+  if (config_.async_write) {
     drain_thread_ = std::thread([this] { drain_loop(); });
+    if (config_.drain_timeout_ms > 0)
+      watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 Writer::~Writer() {
@@ -132,6 +145,7 @@ Writer::~Writer() {
     }
   }
   stop_drain_thread();
+  stop_watchdog_thread();
 }
 
 int Writer::leader_of(int aggregator) const {
@@ -275,12 +289,13 @@ void Writer::end_step() {
   drain_cv_.notify_one();
 }
 
-void Writer::drain_step(StepJob& job) {
+void Writer::drain_step(const StepJob& job) {
   const bool async = config_.async_write;
+  touch_heartbeat();
 
   StepRecord record;
   record.step = job.step;
-  record.attributes = std::move(job.attributes);
+  record.attributes = job.attributes;
 
   // Variable table in first-seen order.
   std::vector<std::string> var_order;
@@ -303,14 +318,15 @@ void Writer::drain_step(StepJob& job) {
                                0.0);
 
   for (int rank = 0; rank < nranks_; ++rank) {
-    auto& chunks = job.chunks[std::size_t(rank)];
+    const auto& chunks = job.chunks[std::size_t(rank)];
     if (chunks.empty()) continue;
+    touch_heartbeat();
     const int a = aggregator_of(rank);
     fsim::FsClient client(fs_, fsim::ClientId(rank));
     double rank_compress_s = 0.0;  // coalesced per-rank CPU charge
     double rank_memcopy_s = 0.0;
     double rank_crc_s = 0.0;
-    for (auto& chunk : chunks) {
+    for (const auto& chunk : chunks) {
       auto [it, fresh] = var_index.try_emplace(chunk.var, var_order.size());
       if (fresh) {
         var_order.push_back(chunk.var);
@@ -404,7 +420,6 @@ void Writer::drain_step(StepJob& job) {
       if (rank_memcopy_s > 0.0) client.charge_cpu(rank_memcopy_s, "memcopy");
       if (rank_crc_s > 0.0) client.charge_cpu(rank_crc_s, "crc32c");
     }
-    chunks.clear();
   }
 
   // Each aggregator leader appends its step buffer as one sequential write
@@ -425,6 +440,7 @@ void Writer::drain_step(StepJob& job) {
         client.charge_cpu(lane_crc[std::size_t(a)], "crc32c");
     }
     if (bytes == 0) continue;
+    touch_heartbeat();
     if (synthetic_step) {
       client.seek(data_fds_[std::size_t(a)], data_offsets_[std::size_t(a)]);
       const std::uint64_t nslices = async ? (bytes + slice - 1) / slice : 1;
@@ -433,6 +449,7 @@ void Writer::drain_step(StepJob& job) {
     } else if (async) {
       for (std::uint64_t pos = 0; pos < bytes; pos += slice) {
         const std::uint64_t n = std::min<std::uint64_t>(slice, bytes - pos);
+        touch_heartbeat();
         client.pwrite(
             data_fds_[std::size_t(a)], data_offsets_[std::size_t(a)] + pos,
             std::span<const std::uint8_t>(agg[std::size_t(a)]).subspan(
@@ -447,6 +464,7 @@ void Writer::drain_step(StepJob& job) {
 
   // Rank 0 appends step metadata and the index entry (its own overlapped
   // metadata lane when async).
+  touch_heartbeat();
   fsim::FsClient root(fs_, 0, async ? kMetaLane : 0);
   const std::vector<std::uint8_t> md = encode_step(record);
   IndexEntry entry{job.step, md_offset_, md.size(), crc32c(md), true};
@@ -463,6 +481,72 @@ void Writer::drain_step(StepJob& job) {
   index_.push_back(entry);
 }
 
+Writer::DrainSnapshot Writer::snapshot_drain_state() const {
+  DrainSnapshot snap;
+  snap.data_offsets = data_offsets_;
+  snap.md_offset = md_offset_;
+  snap.index_size = index_.size();
+  snap.memcopy_us = memcopy_us_total_;
+  snap.compress_us = compress_us_total_;
+  snap.drain_us = drain_us_total_;
+  snap.crc_us = crc_us_total_;
+  snap.raw_bytes = raw_bytes_total_;
+  snap.stored_bytes = stored_bytes_total_;
+  return snap;
+}
+
+void Writer::restore_drain_state(const DrainSnapshot& snap) {
+  data_offsets_ = snap.data_offsets;
+  md_offset_ = snap.md_offset;
+  index_.resize(snap.index_size);
+  memcopy_us_total_ = snap.memcopy_us;
+  compress_us_total_ = snap.compress_us;
+  drain_us_total_ = snap.drain_us;
+  crc_us_total_ = snap.crc_us;
+  raw_bytes_total_ = snap.raw_bytes;
+  stored_bytes_total_ = snap.stored_bytes;
+}
+
+void Writer::drain_job_with_retries(const StepJob& job) {
+  // Bounded retry of a failed or watchdog-cancelled attempt.  Each attempt
+  // starts from a rolled-back snapshot, so a partially landed attempt is
+  // overwritten in place (same pwrite offsets) and the container stays
+  // consistent.  Past the bound the step is abandoned with a typed error;
+  // the poisoned queue then skips later jobs, so close() cannot hang.
+  const int attempts = 1 + std::max(0, config_.max_drain_retries);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const DrainSnapshot snap = snapshot_drain_state();
+    drain_active_.store(true, std::memory_order_release);
+    touch_heartbeat();
+    try {
+      drain_step(job);
+      drain_active_.store(false, std::memory_order_release);
+      return;
+    } catch (...) {
+      drain_active_.store(false, std::memory_order_release);
+      restore_drain_state(snap);
+      if (attempt + 1 < attempts) {
+        drain_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      steps_abandoned_.fetch_add(1, std::memory_order_relaxed);
+      std::string cause = "unknown error";
+      try {
+        throw;
+      } catch (const std::exception& e) {
+        cause = e.what();
+      } catch (...) {
+      }
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      if (!drain_error_)
+        drain_error_ = std::make_exception_ptr(TimeoutError(
+            "bp::Writer: drain of step " + std::to_string(job.step) +
+            " abandoned after " + std::to_string(attempts) +
+            " attempts: " + cause));
+    }
+  }
+}
+
 void Writer::drain_loop() {
   for (;;) {
     StepJob job;
@@ -476,20 +560,58 @@ void Writer::drain_loop() {
       drain_queue_.pop_front();
       skip = drain_error_ != nullptr;  // poisoned: count down, don't write
     }
-    if (!skip) {
-      try {
-        drain_step(job);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(drain_mutex_);
-        if (!drain_error_) drain_error_ = std::current_exception();
-      }
-    }
+    if (!skip) drain_job_with_retries(job);
     {
       std::lock_guard<std::mutex> lock(drain_mutex_);
       --inflight_;
     }
     drain_done_cv_.notify_all();
   }
+}
+
+void Writer::watchdog_loop() {
+  const auto timeout = std::chrono::milliseconds(config_.drain_timeout_ms);
+  const auto poll = std::max(timeout / 8, std::chrono::milliseconds(1));
+  std::uint64_t last_beat = heartbeat_.load(std::memory_order_relaxed);
+  auto last_progress = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  for (;;) {
+    if (watchdog_cv_.wait_for(lock, poll, [&] { return watchdog_stop_; }))
+      return;
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t beat = heartbeat_.load(std::memory_order_relaxed);
+    if (beat != last_beat || !drain_active_.load(std::memory_order_acquire)) {
+      last_beat = beat;
+      last_progress = now;
+      continue;
+    }
+    if (now - last_progress >= timeout) {
+      // The active job has not heartbeated within drain_timeout: a lane is
+      // wedged.  Cancel the stalled simulated I/O; the drain worker's
+      // attempt fails with TimeoutError and is retried or abandoned.
+      fs_.cancel_stalls();
+      watchdog_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      last_progress = now;  // fresh window for the retry
+    }
+  }
+}
+
+void Writer::stop_watchdog_thread() {
+  if (!watchdog_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  watchdog_thread_.join();
+}
+
+Writer::WatchdogStats Writer::watchdog_stats() const {
+  WatchdogStats stats;
+  stats.timeouts = watchdog_timeouts_.load(std::memory_order_relaxed);
+  stats.retries = drain_retries_.load(std::memory_order_relaxed);
+  stats.steps_abandoned = steps_abandoned_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void Writer::wait_drains() {
@@ -522,8 +644,11 @@ void Writer::close() {
     closed_ = true;
   }
   // Join outstanding drains before touching the files; the worker owns the
-  // offset tables and profiling accumulators until it goes quiet.
+  // offset tables and profiling accumulators until it goes quiet.  The
+  // watchdog must outlive the drain join — it is what unwedges a stalled
+  // lane so the join can complete.
   stop_drain_thread();
+  stop_watchdog_thread();
 
   std::lock_guard<std::mutex> lock(mutex_);
   fsim::FsClient root(fs_, 0);
@@ -555,6 +680,12 @@ void Writer::close() {
     profile["transport_0"]["crc_us"] = crc_us_total_;
     profile["transport_0"]["raw_bytes"] = raw_bytes_total_;
     profile["transport_0"]["stored_bytes"] = stored_bytes_total_;
+    if (config_.drain_timeout_ms > 0) {
+      const WatchdogStats wd = watchdog_stats();
+      profile["transport_0"]["drain_timeouts"] = wd.timeouts;
+      profile["transport_0"]["drain_retries"] = wd.retries;
+      profile["transport_0"]["steps_abandoned"] = wd.steps_abandoned;
+    }
     const std::string text = profile.dump(2);
     root.write_file(path_ + "/profiling.json",
                     std::span<const std::uint8_t>(

@@ -37,6 +37,7 @@
 // exactly one thread at a time (the openPMD layer funnels them through
 // rank 0 between barriers).
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -86,6 +87,15 @@ struct EngineConfig {
   /// Backpressure bound on outstanding drain jobs: begin_step() of step
   /// N + max_inflight_steps blocks until step N's drain has landed.
   int max_inflight_steps = 2;
+  /// Drain-lane watchdog (async only): if an in-flight drain job stops
+  /// heartbeating for this long (wall-clock), the wedged simulated I/O is
+  /// cancelled (SharedFs::cancel_stalls) and the job retried from a rolled-
+  /// back state.  0 disables the watchdog.
+  int drain_timeout_ms = 0;
+  /// Bounded retries of a cancelled/failed drain job before the step is
+  /// abandoned with a TimeoutError.  The queue is then poisoned (later jobs
+  /// are skipped) so end_step()/close() can never hang on a wedged lane.
+  int max_drain_retries = 2;
 
   /// Parse the "adios2" section of an openPMD-style JSON/TOML config, e.g.
   /// {engine:{type:"bp4", parameters:{NumAggregators:400, Profile:"On"}},
@@ -157,6 +167,14 @@ public:
 
   std::uint64_t steps_written() const { return steps_written_; }
 
+  /// Drain-watchdog counters (all zero when the watchdog is disabled).
+  struct WatchdogStats {
+    std::uint64_t timeouts = 0;         // stalled-lane cancellations issued
+    std::uint64_t retries = 0;          // drain attempts retried
+    std::uint64_t steps_abandoned = 0;  // jobs given up after max retries
+  };
+  WatchdogStats watchdog_stats() const;
+
 private:
   struct PendingChunk {
     std::string var;
@@ -182,13 +200,32 @@ private:
   static constexpr std::uint32_t kDataLane = 1;
   static constexpr std::uint32_t kMetaLane = 2;
 
+  /// Rollback point for retrying a failed drain attempt: everything
+  /// drain_step() mutates.  A retry re-issues the same pwrites at the same
+  /// offsets, so a partially landed attempt is simply overwritten.
+  struct DrainSnapshot {
+    std::vector<std::uint64_t> data_offsets;
+    std::uint64_t md_offset = 0;
+    std::size_t index_size = 0;
+    double memcopy_us = 0.0, compress_us = 0.0, drain_us = 0.0, crc_us = 0.0;
+    std::uint64_t raw_bytes = 0, stored_bytes = 0;
+  };
+
   void validate_put(int rank, const std::string& name, Datatype dtype,
                     const Dims& shape, const Dims& offset, const Dims& count);
   static void compute_stats(const PendingChunk& chunk, ChunkRecord& meta);
   int leader_of(int aggregator) const;
-  void drain_step(StepJob& job);
+  void drain_step(const StepJob& job);
+  void drain_job_with_retries(const StepJob& job);
+  DrainSnapshot snapshot_drain_state() const;
+  void restore_drain_state(const DrainSnapshot& snap);
   void drain_loop();
   void stop_drain_thread();
+  void watchdog_loop();
+  void stop_watchdog_thread();
+  void touch_heartbeat() {
+    heartbeat_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   fsim::SharedFs& fs_;
   std::string path_;
@@ -238,6 +275,19 @@ private:
   int peak_inflight_ = 0;
   bool drain_stop_ = false;
   std::exception_ptr drain_error_;
+
+  // Drain-lane watchdog.  The worker bumps heartbeat_ at every unit of
+  // progress; the watchdog thread cancels the fs's stalled writes when an
+  // active job's heartbeat freezes for longer than drain_timeout_ms.
+  std::thread watchdog_thread_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::atomic<std::uint64_t> heartbeat_{0};
+  std::atomic<bool> drain_active_{false};
+  std::atomic<std::uint64_t> watchdog_timeouts_{0};
+  std::atomic<std::uint64_t> drain_retries_{0};
+  std::atomic<std::uint64_t> steps_abandoned_{0};
 };
 
 }  // namespace bitio::bp

@@ -184,4 +184,115 @@ void restore_from_series(pmd::Series& series, picmc::Simulation& sim) {
   sim.set_current_step(std::uint64_t(iteration.time()));
 }
 
+namespace {
+
+/// splitmix64 finalizer: the deterministic mixer behind the re-derived
+/// per-rank RNG streams of a reshaped restart.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void restore_repartitioned(pmd::Series& series, picmc::Simulation& sim) {
+  auto& iteration = series.read_iteration(0);
+  const int new_n = sim.nranks();
+  const int rank = sim.rank();
+
+  // How many ranks wrote the checkpoint?  Any species' rank_count mesh
+  // carries the answer; with a matching size the exact path applies.
+  if (sim.species_count() == 0)
+    throw UsageError("restore_repartitioned: simulation has no species");
+  const std::uint64_t old_n =
+      iteration.mesh("rank_count_" + sim.species(0).config.name)
+          .component()
+          .load<std::uint64_t>()
+          .size();
+  if (old_n == std::uint64_t(new_n)) {
+    restore_from_series(series, sim);
+    return;
+  }
+
+  for (std::size_t s = 0; s < sim.species_count(); ++s) {
+    picmc::Species& sp = sim.species(s);
+    const std::string& name = sp.config.name;
+    const auto counts = iteration.mesh("rank_count_" + name)
+                            .component()
+                            .load<std::uint64_t>();
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) total += c;
+
+    // Contiguous equal slices over the concatenated global arrays.
+    const std::uint64_t base = total / std::uint64_t(new_n);
+    const std::uint64_t extra = total % std::uint64_t(new_n);
+    const std::uint64_t rr = std::uint64_t(rank);
+    const std::uint64_t my_count = base + (rr < extra ? 1 : 0);
+    const std::uint64_t my_offset =
+        rr * base + std::min<std::uint64_t>(rr, extra);
+
+    auto& species = iteration.particles(name);
+    const auto x = species["position"]["x"].load<double>();
+    const auto vx = species["velocity"]["x"].load<double>();
+    const auto vy = species["velocity"]["y"].load<double>();
+    const auto vz = species["velocity"]["z"].load<double>();
+    const auto w = species["weighting"][pmd::kScalar].load<double>();
+
+    sp.particles.clear();
+    sp.particles.reserve(my_count);
+    for (std::uint64_t i = 0; i < my_count; ++i)
+      sp.particles.push_back(x[my_offset + i], vx[my_offset + i],
+                             vy[my_offset + i], vz[my_offset + i],
+                             w[my_offset + i]);
+
+    // Absorption counters are whole-run tallies; keep the global totals by
+    // parking the sums on the new rank 0.
+    const auto absorbed =
+        iteration.mesh("absorbed_" + name).component().load<std::uint64_t>();
+    const auto absorbed_weight = iteration.mesh("absorbed_weight_" + name)
+                                     .component()
+                                     .load<double>();
+    sp.absorbed_left = 0;
+    sp.absorbed_right = 0;
+    sp.absorbed_weight = 0.0;
+    if (rank == 0) {
+      for (std::uint64_t r = 0; r < old_n; ++r) {
+        sp.absorbed_left += absorbed[r * 2];
+        sp.absorbed_right += absorbed[r * 2 + 1];
+        sp.absorbed_weight += absorbed_weight[r];
+      }
+    }
+  }
+
+  const std::uint64_t step = std::uint64_t(iteration.time());
+
+  // The old per-rank RNG streams cannot be split across a different rank
+  // count; derive fresh, deterministic streams instead.
+  std::array<std::uint64_t, 4> state{};
+  const std::uint64_t tag =
+      mix64(step) ^ mix64(std::uint64_t(new_n) * 0x51ed2701u) ^
+      mix64(std::uint64_t(rank) + 0xb5ull);
+  for (std::size_t i = 0; i < 4; ++i) state[i] = mix64(tag + i);
+  state[0] |= 1;  // never the all-zero state
+  sim.rng().set_state(state);
+
+  std::uint64_t events = 0;
+  double weight = 0.0;
+  if (rank == 0) {
+    const auto all_events = iteration.mesh("ionization_events")
+                                .component()
+                                .load<std::uint64_t>();
+    const auto all_weight =
+        iteration.mesh("ionized_weight").component().load<double>();
+    for (std::uint64_t r = 0; r < old_n; ++r) {
+      events += all_events[r];
+      weight += all_weight[r];
+    }
+  }
+  sim.set_ionization_totals(events, weight);
+  sim.set_current_step(step);
+}
+
 }  // namespace bitio::core

@@ -52,4 +52,16 @@ void write_checkpoint_iteration(pmd::Series& series,
 /// written with a different communicator size.
 void restore_from_series(pmd::Series& series, picmc::Simulation& sim);
 
+/// Restore `sim` from a checkpoint written by *any* communicator size (the
+/// shrink-recovery path: a dump from N ranks restored onto the N-1
+/// survivors).  When the sizes match this delegates to restore_from_series
+/// and is bit-exact, RNG included.  Otherwise the global particle
+/// population is re-partitioned into contiguous equal slices (rank r takes
+/// total/n plus one extra when r < total%n), the absorption counters and
+/// Monte Carlo totals are summed onto the new rank 0 (they are global
+/// diagnostics, not per-particle state), and each rank's RNG is re-seeded
+/// deterministically from (step, new size, rank) so reshaped restarts stay
+/// reproducible.
+void restore_repartitioned(pmd::Series& series, picmc::Simulation& sim);
+
 }  // namespace bitio::core

@@ -30,6 +30,21 @@ void Bit1IoConfig::validate() const {
   if (checkpoint_retain < 1)
     throw UsageError("io config: checkpoint_retain must be >= 1, got " +
                      std::to_string(checkpoint_retain));
+  if (drain_timeout_ms < 0)
+    throw UsageError("io config: drain_timeout_ms must be >= 0, got " +
+                     std::to_string(drain_timeout_ms));
+  if (max_drain_retries < 0)
+    throw UsageError("io config: max_drain_retries must be >= 0, got " +
+                     std::to_string(max_drain_retries));
+  if (degrade_threshold < 1)
+    throw UsageError("io config: degrade_threshold must be >= 1, got " +
+                     std::to_string(degrade_threshold));
+  if (degrade_cooldown < 1)
+    throw UsageError("io config: degrade_cooldown must be >= 1, got " +
+                     std::to_string(degrade_cooldown));
+  if (recovery != "abort" && recovery != "shrink")
+    throw UsageError("io config: recovery must be \"abort\" or \"shrink\", "
+                     "got '" + recovery + "'");
   fault_plan.validate();
   if (use_striping) {
     if (striping.stripe_count < 1)
@@ -69,6 +84,15 @@ Bit1IoConfig Bit1IoConfig::from_toml(const std::string& text) {
       int(io.get_or("checkpoint_interval", Json(0)).as_int());
   config.checkpoint_retain =
       int(io.get_or("checkpoint_retain", Json(2)).as_int());
+  config.drain_timeout_ms =
+      int(io.get_or("drain_timeout_ms", Json(0)).as_int());
+  config.max_drain_retries =
+      int(io.get_or("max_drain_retries", Json(2)).as_int());
+  config.degrade_threshold =
+      int(io.get_or("degrade_threshold", Json(3)).as_int());
+  config.degrade_cooldown =
+      int(io.get_or("degrade_cooldown", Json(8)).as_int());
+  config.recovery = io.get_or("recovery", Json("abort")).as_string();
   if (io.contains("fault_plan"))
     config.fault_plan = fsim::FaultPlan::from_json(io.at("fault_plan"));
 
@@ -102,6 +126,11 @@ std::string Bit1IoConfig::to_toml() const {
   out += strfmt("ranks_per_node = %d\n", ranks_per_node);
   out += strfmt("checkpoint_interval = %d\n", checkpoint_interval);
   out += strfmt("checkpoint_retain = %d\n", checkpoint_retain);
+  out += strfmt("drain_timeout_ms = %d\n", drain_timeout_ms);
+  out += strfmt("max_drain_retries = %d\n", max_drain_retries);
+  out += strfmt("degrade_threshold = %d\n", degrade_threshold);
+  out += strfmt("degrade_cooldown = %d\n", degrade_cooldown);
+  out += "recovery = \"" + recovery + "\"\n";
   if (use_striping) {
     out += "[io.striping]\n";
     out += strfmt("count = %d\n", striping.stripe_count);
@@ -128,6 +157,12 @@ std::string Bit1IoConfig::adios2_toml() const {
     // critical path; BufferChunkSize bounds the slice each append moves.
     out += "AsyncWrite = \"On\"\n";
     out += strfmt("BufferChunkSize = %d\n", buffer_chunk_mb);
+    if (drain_timeout_ms > 0) {
+      // Drain-lane watchdog: cancel + retry a wedged step job, abandon with
+      // TimeoutError after the retry budget so close() can never hang.
+      out += strfmt("DrainTimeoutMs = %d\n", drain_timeout_ms);
+      out += strfmt("MaxDrainRetries = %d\n", max_drain_retries);
+    }
   }
   if (codec != "none" && !codec.empty()) {
     out += "[adios2.dataset]\n";

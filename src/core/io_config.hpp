@@ -45,6 +45,24 @@ struct Bit1IoConfig {
   int checkpoint_retain = 2;     // keep the newest K committed epochs
   fsim::FaultPlan fault_plan;    // empty = no injection
 
+  // Online-recovery knobs (see README "Online recovery"):
+  //   drain_timeout_ms    bp drain-lane watchdog: a step job whose lane
+  //                       stops heartbeating for this long is cancelled and
+  //                       retried; 0 disables the watchdog
+  //   max_drain_retries   bounded retries before the watchdog abandons a
+  //                       wedged step with TimeoutError
+  //   degrade_threshold   consecutive flush failures before the degradation
+  //                       ladder steps the sink down (async -> sync -> serial)
+  //   degrade_cooldown    consecutive clean flushes before stepping back up
+  //   recovery            rank-failure policy: "abort" (rethrow, the old
+  //                       behaviour) or "shrink" (agree -> shrink -> restore
+  //                       from the newest verifying epoch -> resume)
+  int drain_timeout_ms = 0;
+  int max_drain_retries = 2;
+  int degrade_threshold = 3;
+  int degrade_cooldown = 8;
+  std::string recovery = "abort";
+
   friend bool operator==(const Bit1IoConfig& a, const Bit1IoConfig& b) {
     return a.mode == b.mode && a.engine == b.engine &&
            a.num_aggregators == b.num_aggregators &&
@@ -58,7 +76,12 @@ struct Bit1IoConfig {
            a.ranks_per_node == b.ranks_per_node &&
            a.checkpoint_interval == b.checkpoint_interval &&
            a.checkpoint_retain == b.checkpoint_retain &&
-           a.fault_plan == b.fault_plan;
+           a.fault_plan == b.fault_plan &&
+           a.drain_timeout_ms == b.drain_timeout_ms &&
+           a.max_drain_retries == b.max_drain_retries &&
+           a.degrade_threshold == b.degrade_threshold &&
+           a.degrade_cooldown == b.degrade_cooldown &&
+           a.recovery == b.recovery;
   }
 
   /// Reject inconsistent configurations: unknown engine or codec, negative

@@ -142,8 +142,11 @@ private:
   std::size_t pos_ = 0;
 };
 
-// Log format version 3 adds the per-record faults_injected counter.
-constexpr std::uint64_t kLogMagic = 0x4452534e4c4f4733ull;  // "DRSNLOG3"
+// Log format version 3 adds the per-record faults_injected counter;
+// version 4 adds the job-level recovery counters.  parse() accepts both —
+// a v3 log reads back with the recovery counters at zero.
+constexpr std::uint64_t kLogMagicV3 = 0x4452534e4c4f4733ull;  // "DRSNLOG3"
+constexpr std::uint64_t kLogMagic = 0x4452534e4c4f4734ull;    // "DRSNLOG4"
 
 }  // namespace
 
@@ -154,6 +157,9 @@ std::vector<std::uint8_t> DarshanLog::serialize() const {
   put_u64(out, job.nprocs);
   put_f64(out, job.runtime_s);
   put_str(out, job.mount);
+  put_u64(out, job.recoveries);
+  put_u64(out, job.degradations);
+  put_f64(out, job.t_recovery_s);
   put_u64(out, records.size());
   for (const auto& r : records) {
     put_str(out, r.path);
@@ -178,12 +184,19 @@ std::vector<std::uint8_t> DarshanLog::serialize() const {
 
 DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {
   Cursor cur(data);
-  if (cur.u64() != kLogMagic) throw FormatError("darshan: bad log magic");
+  const std::uint64_t magic = cur.u64();
+  if (magic != kLogMagic && magic != kLogMagicV3)
+    throw FormatError("darshan: bad log magic");
   DarshanLog log;
   log.job.exe = cur.str();
   log.job.nprocs = std::uint32_t(cur.u64());
   log.job.runtime_s = cur.f64();
   log.job.mount = cur.str();
+  if (magic == kLogMagic) {
+    log.job.recoveries = cur.u64();
+    log.job.degradations = cur.u64();
+    log.job.t_recovery_s = cur.f64();
+  }
   const std::uint64_t n = cur.u64();
   log.records.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -224,6 +237,11 @@ std::string DarshanLog::text_report() const {
   if (const auto faults = total_faults_injected(); faults > 0)
     out += strfmt("# faults_injected: %llu\n",
                   static_cast<unsigned long long>(faults));
+  if (job.recoveries > 0 || job.degradations > 0)
+    out += strfmt(
+        "# recoveries: %llu degradations: %llu t_recovery=%.6fs\n",
+        static_cast<unsigned long long>(job.recoveries),
+        static_cast<unsigned long long>(job.degradations), job.t_recovery_s);
   TextTable table;
   table.header({"rank", "file", "opens", "writes", "bytes_w", "reads",
                 "bytes_r", "t_write", "t_meta", "t_drain"});
@@ -274,7 +292,17 @@ DarshanLog capture(const fsim::SharedFs& fs, const fsim::ReplayReport& replay,
     if (op.fault != fsim::FaultKind::none)
       record_for(std::int32_t(op.client), op.file).faults_injected +=
           op.op_count > 0 ? op.op_count : 1;
-    if (op.kind == OpKind::cpu) continue;  // not an I/O counter
+    if (op.kind == OpKind::cpu) {
+      // The recovery machinery charges its events to the trace as tagged
+      // cpu ops; fold them into the job-level counters.
+      if (op.tag == "recovery") {
+        log.job.recoveries += 1;
+        log.job.t_recovery_s += op.cpu_seconds;
+      } else if (op.tag == "degrade") {
+        log.job.degradations += 1;
+      }
+      continue;  // not an I/O counter
+    }
     FileRecord& r = record_for(std::int32_t(op.client), op.file);
     const double dt =
         i < replay.op_durations.size() ? replay.op_durations[i] : 0.0;

@@ -29,6 +29,14 @@ struct JobInfo {
   std::uint32_t nprocs = 1;
   double runtime_s = 0.0;           // simulated job I/O makespan
   std::string mount = "/lustre";    // mounted file system the job wrote to
+
+  // Online-recovery job counters (log format v4).  capture() derives them
+  // from the cpu ops the recovery machinery charges to the trace:
+  // "recovery"-tagged ops (shrink-restarts and ladder step-ups) and
+  // "degrade"-tagged ops (I/O ladder step-downs).
+  std::uint64_t recoveries = 0;
+  std::uint64_t degradations = 0;
+  double t_recovery_s = 0.0;  // seconds charged under the "recovery" tag
 };
 
 /// Counters for one (rank, file) pair — the slice of Darshan's POSIX module

@@ -1,5 +1,7 @@
 #include "fsim/fault_plan.hpp"
 
+#include <set>
+
 #include "util/error.hpp"
 #include "util/table.hpp"
 
@@ -24,6 +26,7 @@ FaultKind fault_kind_from_name(const std::string& name) {
   if (name == "eio") return FaultKind::eio;
   if (name == "enospc") return FaultKind::enospc;
   if (name == "rank_crash") return FaultKind::rank_crash;
+  if (name == "stall") return FaultKind::stall;
   throw UsageError("fault plan: unknown fault kind '" + name + "'");
 }
 
@@ -34,7 +37,9 @@ FaultPlan::FaultPlan(std::uint64_t seed, std::vector<FaultRule> rules)
 }
 
 void FaultPlan::validate() const {
-  for (const FaultRule& rule : rules_) {
+  std::set<int> crash_ranks;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
     if (rule.probability < 0.0 || rule.probability > 1.0)
       throw UsageError(strfmt(
           "fault plan: probability must be in [0,1], got %g", rule.probability));
@@ -46,8 +51,17 @@ void FaultPlan::validate() const {
     if (rule.kind == FaultKind::rank_crash) {
       if (rule.rank < 0)
         throw UsageError("fault plan: rank_crash rule needs a rank >= 0");
+      if (!crash_ranks.insert(rule.rank).second)
+        throw UsageError(strfmt(
+            "fault plan: rule %zu schedules a second rank_crash for rank %d",
+            i, rule.rank));
       continue;
     }
+    if (rule.nth > 0 && rule.probability > 0.0)
+      throw UsageError(strfmt(
+          "fault plan: rule %zu sets both nth and probability; pick one "
+          "targeting mode per rule",
+          i));
     if (rule.nth == 0 && rule.probability == 0.0)
       throw UsageError(
           "fault plan: rule needs nth >= 1 or probability > 0 to ever fire");

@@ -16,6 +16,9 @@
 //               (transient failures the resilience layer retries through)
 //   rank_crash  not applied at the write layer: the harness asks
 //               should_crash(rank, step) at step boundaries
+//   stall       the call wedges (releasing the fs lock) until
+//               SharedFs::cancel_stalls() aborts it with TimeoutError —
+//               the wedged-OST scenario bp's drain watchdog detects
 //
 // Every injection is recorded as a TraceOp with TraceOp::fault set, so
 // Darshan capture and timing replay can attribute faults per (rank, file).
@@ -64,8 +67,9 @@ public:
   bool empty() const { return rules_.empty(); }
 
   /// Throws UsageError on an inconsistent rule (unknown kind, probability
-  /// outside [0,1], neither nth nor probability set, rank_crash without a
-  /// rank).
+  /// outside [0,1], neither — or both — of nth and probability set,
+  /// rank_crash without a rank or with a rank already scheduled to crash).
+  /// Errors name the offending rule index.
   void validate() const;
 
   /// Decide the fault (if any) for a data write of `bytes` to `path` by

@@ -56,6 +56,31 @@ FaultKind SharedFs::next_write_fault(const FileNode& node, ClientId client,
   return fault ? *fault : FaultKind::none;
 }
 
+void SharedFs::stall_write(std::unique_lock<std::mutex>& lock,
+                           const char* call, std::string path) {
+  ++stalled_ops_;
+  const std::uint64_t epoch = stall_epoch_;
+  // Release the fs lock while wedged: every other client keeps running, only
+  // this write hangs — exactly like one OST going unresponsive.
+  stall_cv_.wait(lock, [&] { return stall_epoch_ != epoch; });
+  --stalled_ops_;
+  throw TimeoutError(std::string(call) + ": injected stall on '" + path +
+                     "' cancelled by watchdog");
+}
+
+int SharedFs::cancel_stalls() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int released = stalled_ops_;
+  ++stall_epoch_;
+  stall_cv_.notify_all();
+  return released;
+}
+
+int SharedFs::stalled_op_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stalled_ops_;
+}
+
 std::uint64_t SharedFs::traced_bytes_written() const {
   std::uint64_t sum = 0;
   for (const auto& op : trace_)
@@ -190,7 +215,7 @@ namespace {
 }  // namespace
 
 void FsClient::write(int fd, std::span<const std::uint8_t> data) {
-  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  std::unique_lock<std::mutex> lock(fs_->mutex_);
   auto& desc = checked_fd(fs_->fds_, fd, client_);
   if (!desc.writable) throw IoError("write: descriptor is read-only");
   FileNode& node = fs_->store_.file_by_id(desc.file);
@@ -199,6 +224,11 @@ void FsClient::write(int fd, std::span<const std::uint8_t> data) {
     fs_->append_op({client_, OpKind::write, desc.file, desc.position, 0, 1,
                     0.0, {}, lane_, fault});
     throw_injected("write", fault, node.path);
+  }
+  if (fault == FaultKind::stall) {
+    fs_->append_op({client_, OpKind::write, desc.file, desc.position, 0, 1,
+                    0.0, {}, lane_, fault});
+    fs_->stall_write(lock, "write", node.path);
   }
   std::uint64_t persist = data.size();
   if (fault == FaultKind::torn_write)
@@ -220,7 +250,7 @@ void FsClient::write(int fd, std::span<const std::uint8_t> data) {
 
 void FsClient::pwrite(int fd, std::uint64_t offset,
                       std::span<const std::uint8_t> data) {
-  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  std::unique_lock<std::mutex> lock(fs_->mutex_);
   auto& desc = checked_fd(fs_->fds_, fd, client_);
   if (!desc.writable) throw IoError("pwrite: descriptor is read-only");
   FileNode& node = fs_->store_.file_by_id(desc.file);
@@ -229,6 +259,11 @@ void FsClient::pwrite(int fd, std::uint64_t offset,
     fs_->append_op(
         {client_, OpKind::write, desc.file, offset, 0, 1, 0.0, {}, lane_, fault});
     throw_injected("pwrite", fault, node.path);
+  }
+  if (fault == FaultKind::stall) {
+    fs_->append_op(
+        {client_, OpKind::write, desc.file, offset, 0, 1, 0.0, {}, lane_, fault});
+    fs_->stall_write(lock, "pwrite", node.path);
   }
   std::uint64_t persist = data.size();
   if (fault == FaultKind::torn_write)
@@ -249,7 +284,7 @@ void FsClient::pwrite(int fd, std::uint64_t offset,
 void FsClient::write_simulated(int fd, std::uint64_t bytes,
                                std::uint32_t op_count) {
   if (op_count == 0) throw UsageError("write_simulated: op_count must be > 0");
-  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  std::unique_lock<std::mutex> lock(fs_->mutex_);
   auto& desc = checked_fd(fs_->fds_, fd, client_);
   if (!desc.writable)
     throw IoError("write_simulated: descriptor is read-only");
@@ -259,6 +294,11 @@ void FsClient::write_simulated(int fd, std::uint64_t bytes,
     fs_->append_op({client_, OpKind::write, desc.file, desc.position, 0, 1,
                     0.0, {}, lane_, fault});
     throw_injected("write_simulated", fault, node.path);
+  }
+  if (fault == FaultKind::stall) {
+    fs_->append_op({client_, OpKind::write, desc.file, desc.position, 0, 1,
+                    0.0, {}, lane_, fault});
+    fs_->stall_write(lock, "write_simulated", node.path);
   }
   std::uint64_t persist = bytes;
   if (fault == FaultKind::torn_write)

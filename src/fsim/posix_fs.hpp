@@ -12,6 +12,7 @@
 // TraceOp (op_count counts the calls) so that stdio-style record-at-a-time
 // output from 25600 ranks stays tractable to replay.
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -65,6 +66,14 @@ public:
   /// rank_crash rules: should `rank` die at `step`?  False without a plan.
   bool should_crash(int rank, std::uint64_t step) const;
 
+  /// Abort every write currently wedged in an injected stall fault; each
+  /// one wakes and throws TimeoutError.  This is the watchdog's cancel
+  /// primitive (bp::Writer's drain watchdog calls it when a lane stops
+  /// heartbeating).  Returns how many stalled ops were released.
+  int cancel_stalls();
+  /// Writes currently blocked in an injected stall.
+  int stalled_op_count() const;
+
   /// Descriptor-table entry (public so the implementation's helpers can
   /// name the type; not part of the user-facing API).
   struct Descriptor {
@@ -81,6 +90,11 @@ private:
   /// Consult the fault plan for a data write (mutex must be held).
   FaultKind next_write_fault(const FileNode& node, ClientId client,
                              std::uint64_t bytes);
+  /// Block the calling write in an injected stall (releases `lock` while
+  /// wedged so other clients keep running) until cancel_stalls(), then
+  /// throw TimeoutError.  Never returns.
+  [[noreturn]] void stall_write(std::unique_lock<std::mutex>& lock,
+                                const char* call, std::string path);
 
   mutable std::mutex mutex_;
   ObjectStore store_;
@@ -88,6 +102,11 @@ private:
   std::vector<Descriptor> fds_;
   bool tracing_ = true;
   std::optional<FaultPlan> fault_plan_;
+  // Stall-fault gate: wedged writes wait here; cancel_stalls() bumps the
+  // epoch to release them.
+  std::condition_variable stall_cv_;
+  std::uint64_t stall_epoch_ = 0;
+  int stalled_ops_ = 0;
 };
 
 /// Per-rank POSIX-like handle.  Cheap; copyable.  All methods are

@@ -73,6 +73,7 @@ enum class FaultKind : std::uint8_t {
   eio,          // transient I/O error: the call throws, nothing persisted
   enospc,       // transient out-of-space: the call throws, nothing persisted
   rank_crash,   // the rank dies at a configured step (harness-level)
+  stall,        // the write wedges until SharedFs::cancel_stalls() aborts it
 };
 
 inline const char* fault_name(FaultKind kind) {
@@ -83,6 +84,7 @@ inline const char* fault_name(FaultKind kind) {
     case FaultKind::eio: return "eio";
     case FaultKind::enospc: return "enospc";
     case FaultKind::rank_crash: return "rank_crash";
+    case FaultKind::stall: return "stall";
   }
   return "?";
 }

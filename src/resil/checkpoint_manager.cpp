@@ -77,11 +77,13 @@ void CheckpointManager::stage(int rank, const picmc::Simulation& sim) {
   std::vector<std::string> names;
   for (std::size_t s = 0; s < sim.species_count(); ++s)
     names.push_back(sim.species(s).config.name);
+  auto staged = core::capture_rank_state(sim);
+  std::lock_guard<std::mutex> lock(stage_mutex_);
   if (species_names_.empty())
     species_names_ = names;
   else if (names != species_names_)
     throw UsageError("CheckpointManager: inconsistent species layout");
-  staged_[std::size_t(rank)] = core::capture_rank_state(sim);
+  staged_[std::size_t(rank)] = std::move(staged);
 }
 
 std::uint64_t CheckpointManager::commit() {
@@ -246,6 +248,51 @@ RestartReport CheckpointManager::restore(picmc::Simulation& sim) {
   return report;
 }
 
+std::optional<std::uint64_t> CheckpointManager::newest_verifying_epoch() {
+  auto epochs = committed_epochs();
+  for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+    const std::uint64_t epoch = *it;
+    std::uint64_t bad = 0;
+    try {
+      bp::Reader reader(fs_, 0, series_path(epoch));
+      for (const auto& verdict : reader.verify())
+        if (verdict.status == bp::Reader::ChunkVerdict::Status::short_read ||
+            verdict.status == bp::Reader::ChunkVerdict::Status::crc_mismatch)
+          bad += 1;
+    } catch (const Error&) {
+      bad += 1;
+    }
+    if (bad > 0) {
+      stats_.corrupt_chunks_detected += bad;
+      stats_.restore_fallbacks += 1;
+      continue;
+    }
+    return epoch;
+  }
+  return std::nullopt;
+}
+
+void CheckpointManager::restore_epoch(std::uint64_t epoch,
+                                      picmc::Simulation& sim) const {
+  pmd::Series series(fs_, series_path(epoch), pmd::Access::read_only);
+  core::restore_repartitioned(series, sim);
+}
+
+void CheckpointManager::record_recovery(double seconds) {
+  stats_.recoveries += 1;
+  stats_.t_recovery_s += seconds;
+}
+
+void CheckpointManager::record_degradation() { stats_.degradations += 1; }
+
+void CheckpointManager::set_recovery_totals(std::uint64_t recoveries,
+                                            std::uint64_t degradations,
+                                            double t_recovery_s) {
+  stats_.recoveries = recoveries;
+  stats_.degradations = degradations;
+  stats_.t_recovery_s = t_recovery_s;
+}
+
 ScrubReport CheckpointManager::scrub() {
   ScrubReport report;
   for (const std::uint64_t epoch : committed_epochs()) {
@@ -279,6 +326,9 @@ Json CheckpointManager::stats_json() const {
   o["corrupt_chunks_detected"] = Json(stats_.corrupt_chunks_detected);
   o["restore_fallbacks"] = Json(stats_.restore_fallbacks);
   o["epochs_pruned"] = Json(stats_.epochs_pruned);
+  o["recoveries"] = Json(stats_.recoveries);
+  o["degradations"] = Json(stats_.degradations);
+  o["t_recovery_s"] = Json(stats_.t_recovery_s);
   o["faults_injected_total"] = Json(fs_.injected_fault_count());
   o["retained_epochs"] = Json(std::uint64_t(committed_epochs().size()));
   return Json(std::move(o));

@@ -28,6 +28,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,6 +51,10 @@ struct ResilienceStats {
   std::uint64_t corrupt_chunks_detected = 0;  // CRC/short-read verdicts
   std::uint64_t restore_fallbacks = 0;        // epochs rejected at restart
   std::uint64_t epochs_pruned = 0;            // retention deletions
+  // Online-recovery counters (PR "Online failure recovery"):
+  std::uint64_t recoveries = 0;     // shrink-restarts completed
+  std::uint64_t degradations = 0;   // I/O ladder step-downs observed
+  double t_recovery_s = 0.0;        // wall seconds spent inside recoveries
 };
 
 /// Outcome of restore(): which epoch recovered the run, and what was
@@ -97,6 +103,30 @@ public:
   /// verifies (the simulation is left untouched in that case).
   RestartReport restore(picmc::Simulation& sim);
 
+  /// The newest committed epoch that passes CRC verification (rejected ones
+  /// are counted into the stats), or nullopt when none verifies.  This is
+  /// the decision half of restore(): the shrink-recovery coordinator calls
+  /// it on one rank, agrees on the answer, then has every survivor call
+  /// restore_epoch() on the same epoch.
+  std::optional<std::uint64_t> newest_verifying_epoch();
+
+  /// Restore `sim` (any communicator size — re-partitions when it differs
+  /// from the writer's, see core::restore_repartitioned) from a specific
+  /// committed epoch.  Const and safe to call from every surviving rank
+  /// concurrently.
+  void restore_epoch(std::uint64_t epoch, picmc::Simulation& sim) const;
+
+  /// Record one completed shrink-recovery taking `seconds` of wall time /
+  /// one observed I/O-ladder degradation into the stats.
+  void record_recovery(double seconds);
+  void record_degradation();
+  /// Install run-wide online-recovery totals.  The recovery coordinator
+  /// builds a fresh manager per shrink generation (the communicator size
+  /// changed), so the final generation's manager adopts the totals
+  /// accumulated across all of them before writing resilience.json.
+  void set_recovery_totals(std::uint64_t recoveries,
+                           std::uint64_t degradations, double t_recovery_s);
+
   /// Re-verify every committed epoch (CRC scrub), newest first.
   ScrubReport scrub();
 
@@ -125,6 +155,9 @@ private:
   core::Bit1IoConfig config_;
   int nranks_;
   std::uint64_t next_epoch_ = 1;
+  // stage() is called from every rank's own thread; the staging table and
+  // the lazily-fixed species layout are the shared state it guards.
+  std::mutex stage_mutex_;
   std::vector<std::string> species_names_;
   std::vector<core::RankCheckpoint> staged_;
   ResilienceStats stats_;

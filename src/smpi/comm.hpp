@@ -12,9 +12,21 @@
 // moves between rank-private address spaces only through these cooperative
 // operations.  Rank bodies must not share mutable state other than through
 // the Comm.  Collectives are implemented with a shared slot table plus a
-// std::barrier, giving deterministic results independent of thread
+// generation barrier, giving deterministic results independent of thread
 // scheduling.
+//
+// Failure semantics (ULFM model): a rank that dies mid-run (its body throws
+// RankFailure, driven by FaultPlan::rank_crash) is *marked failed* in the
+// World instead of silently deadlocking its peers.  Surviving ranks observe
+// the failure as RankFailedError from any collective or point-to-point
+// operation — never a hang — and can then run the ULFM recovery sequence:
+// agree() (fault-tolerant consensus), shrink() (dense re-ranked survivor
+// communicator), and resume.  run_spmd_supervised() packages that loop:
+// it re-enters rank bodies on the shrunken communicator with a
+// RecoveryContext describing what happened.
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -24,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -34,17 +47,43 @@ namespace bitio::smpi {
 /// Reduction operations, mirroring MPI_Op for the types we need.
 enum class Op { sum, min, max };
 
+/// Thrown *by a rank body* to simulate that rank dying mid-run (driven by
+/// FaultPlan::rank_crash).  The supervised runner catches it, marks the
+/// rank failed, and lets survivors observe the death as RankFailedError.
+class RankFailure : public Error {
+public:
+  RankFailure(int rank, const std::string& what) : Error(what), rank_(rank) {}
+  int rank() const { return rank_; }
+
+private:
+  int rank_;
+};
+
+/// Raised on *surviving* ranks when a peer is marked failed (or the
+/// communicator revoked) while they are inside a collective or
+/// point-to-point operation — the analogue of ULFM's MPI_ERR_PROC_FAILED /
+/// MPI_ERR_REVOKED.  Recover with Comm::agree() + Comm::shrink(), or let
+/// run_spmd_supervised() do it.
+class RankFailedError : public Error {
+public:
+  explicit RankFailedError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 /// Shared state for one communicator: slot table + generation barrier +
-/// point-to-point mailboxes.  One instance is shared by all rank threads.
+/// point-to-point mailboxes + failure bookkeeping.  One instance is shared
+/// by all rank threads.
 class World {
 public:
   explicit World(int size);
 
   int size() const { return size_; }
 
-  /// Arrive-and-wait for all ranks.  Re-usable.
+  /// Arrive-and-wait for all alive ranks.  Re-usable.  Raises
+  /// RankFailedError once any rank is failed or the world is revoked —
+  /// both for ranks arriving after the failure and for ranks already
+  /// blocked when it happens (their generation is poisoned and they wake).
   void barrier();
 
   /// Publish this rank's contribution, wait for everyone, call `reader`
@@ -56,15 +95,80 @@ public:
           reader);
 
   void send(int from, int to, std::vector<std::byte> payload);
-  std::vector<std::byte> recv(int from, int to);
+  /// Blocking receive.  Wakes with RankFailedError if `from` is (or
+  /// becomes) failed with no queued message, and with TimeoutError when a
+  /// deadline is given and expires first — never an unbounded hang against
+  /// a dead peer.
+  std::vector<std::byte> recv(
+      int from, int to,
+      std::optional<std::chrono::milliseconds> deadline = std::nullopt);
+
+  // --- ULFM-style failure handling ---------------------------------------
+
+  /// Mark `rank` failed: every in-progress and future collective or recv
+  /// involving it raises RankFailedError on the survivors instead of
+  /// deadlocking, and pending agree()/shrink() rounds that were only
+  /// waiting on this rank complete without it.
+  void mark_failed(int rank);
+  bool is_failed(int rank) const {
+    return failed_[std::size_t(rank)].load(std::memory_order_acquire);
+  }
+  /// Poison the communicator: every subsequent collective raises
+  /// RankFailedError on every rank (MPI_Comm_revoke).
+  void revoke();
+  bool is_revoked() const { return revoked_.load(std::memory_order_acquire); }
+  int alive_count() const;
+  std::vector<int> failed_ranks() const;
+
+  /// Fault-tolerant AND-consensus over the alive ranks (MPIX_Comm_agree).
+  /// Never raises for survivors: ranks that die mid-round are dropped from
+  /// the quorum, so the round always completes.
+  bool agree(int rank, bool flag);
+
+  struct ShrinkResult {
+    std::shared_ptr<World> world;  // dense survivor communicator
+    int rank = 0;                  // caller's rank in it
+  };
+  /// Build a dense, re-ranked communicator of the survivors
+  /// (MPIX_Comm_shrink).  Collective over the alive ranks and, like
+  /// agree(), tolerant of further deaths while the round is in progress.
+  /// Survivor ranks are renumbered in ascending old-rank order.
+  ShrinkResult shrink(int rank);
 
 private:
+  void throw_if_unusable_locked() const;  // call with mutex_ held
+  void complete_agree_locked();
+  void complete_shrink_locked();
+
   int size_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   int arrived_ = 0;
   std::uint64_t generation_ = 0;
   std::vector<std::vector<std::byte>> slots_;
+
+  // Failure state.  The flags are atomic so the mailbox path (guarded by
+  // mail_mutex_) can read them without taking mutex_.
+  std::vector<std::atomic<bool>> failed_;
+  std::atomic<bool> revoked_{false};
+  int failed_count_ = 0;  // under mutex_
+  // Barrier generation aborted by a failure; waiters from it wake and
+  // raise.  At most one generation can ever be poisoned: after the first
+  // failure no new waiter passes the barrier pre-check.
+  std::optional<std::uint64_t> poisoned_generation_;
+
+  // agree() round state (separate generation from the barrier).
+  std::uint64_t agree_generation_ = 0;
+  int agree_arrived_ = 0;
+  bool agree_value_ = true;
+  bool agree_result_ = true;
+
+  // shrink() round state.
+  std::uint64_t shrink_generation_ = 0;
+  std::vector<int> shrink_arrived_;
+  std::shared_ptr<World> shrink_world_;
+  std::map<int, int> shrink_ranks_;  // old rank -> new rank, last round
+
   // Mailboxes keyed by (from, to).  deque preserves message order per pair.
   std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> mail_;
   std::condition_variable mail_cv_;
@@ -179,18 +283,75 @@ public:
       std::span<const std::byte> local, int root);
 
   /// Blocking point-to-point.  Message order between a fixed (src,dst) pair
-  /// is preserved.
+  /// is preserved.  Raises RankFailedError instead of hanging when the peer
+  /// is marked failed; the deadline overload raises TimeoutError if the
+  /// message does not arrive in time (used by the recovery path so a
+  /// confused survivor can never wedge the run).
   void send(int dest, std::span<const std::byte> payload);
   std::vector<std::byte> recv(int source);
+  std::vector<std::byte> recv(int source, std::chrono::milliseconds deadline);
+
+  // --- ULFM-style recovery ------------------------------------------------
+
+  /// Mark this rank failed (the supervised runner calls this when the body
+  /// throws RankFailure).  Survivors see RankFailedError, never a hang.
+  void mark_self_failed() { world_->mark_failed(rank_); }
+  bool is_failed(int rank) const { return world_->is_failed(rank); }
+  std::vector<int> failed_ranks() const { return world_->failed_ranks(); }
+  int alive_count() const { return world_->alive_count(); }
+
+  /// Poison the communicator for every rank (MPI_Comm_revoke).
+  void revoke() { world_->revoke(); }
+  bool revoked() const { return world_->is_revoked(); }
+
+  /// Fault-tolerant AND-consensus on `flag` across the alive ranks.
+  bool agree(bool flag) { return world_->agree(rank_, flag); }
+
+  /// Dense re-ranked communicator of the survivors.  The returned Comm is a
+  /// fresh world: new barrier, new mailboxes, no failed ranks.
+  Comm shrink() {
+    auto result = world_->shrink(rank_);
+    return Comm(std::move(result.world), result.rank);
+  }
 
 private:
   std::shared_ptr<detail::World> world_;
   int rank_;
 };
 
+/// What a supervised rank body learns about the failure history when it is
+/// (re-)entered.  `original_rank` is the rank's stable identity in the
+/// world the run started with — fault plans keyed by rank keep matching the
+/// same logical rank across shrinks.
+struct RecoveryContext {
+  int original_rank = 0;
+  int original_size = 0;
+  int generation = 0;      // completed shrink recoveries so far
+  bool recovered = false;  // true when re-entered after a failure
+  std::vector<int> failed_ranks;  // failed ranks of the previous comm
+};
+
+/// Outcome of a supervised run.
+struct SpmdReport {
+  int recoveries = 0;  // shrink generations the run went through
+  int final_size = 0;  // communicator size when the run finished
+  std::vector<int> crashed_ranks;  // original ranks that threw RankFailure
+};
+
 /// Launch `nranks` copies of `body` as threads, each with its own Comm, and
 /// join them.  Exceptions thrown by any rank are captured and the first one
-/// (by rank) is rethrown after all ranks finished.
+/// (by rank) is rethrown after all ranks finished.  A rank that throws is
+/// marked failed so its peers get RankFailedError instead of deadlocking.
 void run_spmd(int nranks, const std::function<void(Comm&)>& body);
+
+/// Fault-tolerant variant: a body that throws RankFailure simply dies (not
+/// an error); the survivors' next collective raises RankFailedError, upon
+/// which the runner executes the ULFM sequence — agree on recovery, shrink
+/// to a dense survivor communicator — and re-enters the body with
+/// ctx.recovered = true.  Bodies are re-entered at most `max_recoveries`
+/// times; past that the RankFailedError propagates as a run error.
+SpmdReport run_spmd_supervised(
+    int nranks, const std::function<void(Comm&, RecoveryContext&)>& body,
+    int max_recoveries = 8);
 
 }  // namespace bitio::smpi

@@ -35,4 +35,11 @@ public:
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// An operation exceeded its deadline: a watchdog-cancelled stalled write,
+/// a drain step abandoned after bounded retries, a recv() past its deadline.
+class TimeoutError : public Error {
+public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace bitio

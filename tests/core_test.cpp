@@ -160,6 +160,14 @@ TEST(IoConfig, TomlRoundTripIsLossless) {
            {fsim::FaultKind::rank_crash, "", 0, 0.0, 1, 3, 70}});
   EXPECT_EQ(Bit1IoConfig::from_toml(config.to_toml()), config);
 
+  // ... and the online-recovery keys (watchdog, ladder, policy).
+  config.drain_timeout_ms = 250;
+  config.max_drain_retries = 4;
+  config.degrade_threshold = 2;
+  config.degrade_cooldown = 16;
+  config.recovery = "shrink";
+  EXPECT_EQ(Bit1IoConfig::from_toml(config.to_toml()), config);
+
   Bit1IoConfig original;
   original.mode = IoMode::original;
   EXPECT_EQ(Bit1IoConfig::from_toml(original.to_toml()), original);
@@ -196,6 +204,57 @@ rules = [ { kind = "torn_write", path = "md.0", nth = 2 } ]
   EXPECT_THROW(bad.validate(), UsageError);
   EXPECT_THROW(
       Bit1IoConfig::from_toml("[io]\ncheckpoint_retain = 0\n"), UsageError);
+}
+
+TEST(IoConfig, RecoveryKeysParseAndValidate) {
+  const auto config = Bit1IoConfig::from_toml(R"(
+[io]
+drain_timeout_ms = 100
+max_drain_retries = 3
+degrade_threshold = 2
+degrade_cooldown = 4
+recovery = "shrink"
+)");
+  EXPECT_EQ(config.drain_timeout_ms, 100);
+  EXPECT_EQ(config.max_drain_retries, 3);
+  EXPECT_EQ(config.degrade_threshold, 2);
+  EXPECT_EQ(config.degrade_cooldown, 4);
+  EXPECT_EQ(config.recovery, "shrink");
+
+  Bit1IoConfig bad;
+  bad.drain_timeout_ms = -1;
+  EXPECT_THROW(bad.validate(), UsageError);
+  bad = Bit1IoConfig{};
+  bad.max_drain_retries = -1;
+  EXPECT_THROW(bad.validate(), UsageError);
+  bad = Bit1IoConfig{};
+  bad.degrade_threshold = 0;
+  EXPECT_THROW(bad.validate(), UsageError);
+  bad = Bit1IoConfig{};
+  bad.degrade_cooldown = 0;
+  EXPECT_THROW(bad.validate(), UsageError);
+  bad = Bit1IoConfig{};
+  bad.recovery = "retry";  // only "abort" and "shrink" are policies
+  EXPECT_THROW(bad.validate(), UsageError);
+
+  // The watchdog keys reach the engine parameters only for async configs.
+  Bit1IoConfig async;
+  async.async_write = true;
+  async.drain_timeout_ms = 100;
+  async.max_drain_retries = 3;
+  const Json parsed = parse_toml(async.adios2_toml());
+  const Json& params = parsed.at("adios2").at("engine").at("parameters");
+  EXPECT_EQ(params.at("DrainTimeoutMs").as_int(), 100);
+  EXPECT_EQ(params.at("MaxDrainRetries").as_int(), 3);
+  const auto engine = bp::EngineConfig::from_json(parsed.at("adios2"));
+  EXPECT_EQ(engine.drain_timeout_ms, 100);
+  EXPECT_EQ(engine.max_drain_retries, 3);
+
+  Bit1IoConfig sync;
+  sync.drain_timeout_ms = 100;
+  EXPECT_FALSE(parse_toml(sync.adios2_toml())
+                   .at("adios2").at("engine").at("parameters")
+                   .contains("DrainTimeoutMs"));
 }
 
 TEST(IoConfig, AsyncKeysReachTheEngineConfig) {

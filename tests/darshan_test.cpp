@@ -2,6 +2,8 @@
 // round trip, per-process cost and file-size roll-ups.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "darshan/darshan.hpp"
 #include "fsim/system_profiles.hpp"
 #include "util/error.hpp"
@@ -90,6 +92,62 @@ TEST(Darshan, LogSerializationRoundTrip) {
   corrupt = bytes;
   corrupt.push_back(9);
   EXPECT_THROW(DarshanLog::parse(corrupt), FormatError);
+}
+
+TEST(Darshan, RecoveryCountersRoundTripInV4Logs) {
+  SharedFs fs(8);
+  populate_two_rank_job(fs);
+  // The recovery machinery charges zero-cost cpu ops tagged "recovery" /
+  // "degrade"; capture() folds them into the job-level counters.
+  FsClient(fs, 0).charge_cpu(1.5, "recovery");
+  FsClient(fs, 0).charge_cpu(0.0, "degrade");
+  FsClient(fs, 0).charge_cpu(0.25, "recovery");
+  auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 2);
+  auto log = capture(fs, replay, {"bit1", 2, 0.0, "/lustre"});
+  EXPECT_EQ(log.job.recoveries, 2u);
+  EXPECT_EQ(log.job.degradations, 1u);
+  EXPECT_DOUBLE_EQ(log.job.t_recovery_s, 1.75);
+
+  const DarshanLog back = DarshanLog::parse(log.serialize());
+  EXPECT_EQ(back.job.recoveries, 2u);
+  EXPECT_EQ(back.job.degradations, 1u);
+  EXPECT_DOUBLE_EQ(back.job.t_recovery_s, 1.75);
+  EXPECT_NE(back.text_report().find("recoveries: 2 degradations: 1"),
+            std::string::npos);
+}
+
+TEST(Darshan, ParsesLegacyV3LogsWithZeroRecoveryCounters) {
+  SharedFs fs(8);
+  populate_two_rank_job(fs);
+  auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 2);
+  auto log = capture(fs, replay, {"bit1", 2, 0.0, "/lustre"});
+  auto bytes = log.serialize();
+
+  // Rewrite the serialized log as format v3: drop the 24 bytes of job
+  // recovery counters (two u64 + one f64, located after the mount string)
+  // and patch the magic's version byte from '4' to '3'.
+  auto u64_at = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes.data() + off, sizeof(v));
+    return v;
+  };
+  std::size_t off = 8;                      // magic
+  off += 8 + u64_at(off);                   // exe
+  off += 8;                                 // nprocs
+  off += 8;                                 // runtime
+  off += 8 + u64_at(off);                   // mount
+  bytes.erase(bytes.begin() + std::ptrdiff_t(off),
+              bytes.begin() + std::ptrdiff_t(off + 24));
+  for (std::size_t i = 0; i < 8; ++i)
+    if (bytes[i] == std::uint8_t('4')) bytes[i] = std::uint8_t('3');
+
+  const DarshanLog back = DarshanLog::parse(bytes);
+  EXPECT_EQ(back.job.exe, log.job.exe);
+  EXPECT_EQ(back.records.size(), log.records.size());
+  EXPECT_EQ(back.total_bytes_written(), log.total_bytes_written());
+  EXPECT_EQ(back.job.recoveries, 0u);
+  EXPECT_EQ(back.job.degradations, 0u);
+  EXPECT_DOUBLE_EQ(back.job.t_recovery_s, 0.0);
 }
 
 TEST(Darshan, PerProcessCostSplitsByCategory) {

@@ -2,7 +2,9 @@
 // POSIX facade + trace coalescing, and the queueing replay model.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
+#include <thread>
 
 #include "fsim/des.hpp"
 #include "fsim/posix_fs.hpp"
@@ -395,6 +397,50 @@ TEST(Profiles, NamedLookup) {
 TEST(Profiles, VegaIsNoisyDardelIsNot) {
   EXPECT_GT(system_profile("vega").noise_amplitude, 0.3);
   EXPECT_LT(system_profile("dardel").noise_amplitude, 0.1);
+}
+
+// ----------------------------------------------------------- stall faults ---
+
+TEST(StallFaults, CancelStallsReleasesWedgedWritesWithTimeoutError) {
+  // An injected stall wedges the write (releasing the fs lock so other
+  // clients keep running) until cancel_stalls() aborts it with a typed
+  // error — the primitive the bp drain watchdog is built on.
+  SharedFs fs(8);
+  fs.set_fault_plan(FaultPlan(1, {{FaultKind::stall, "f", 1, 0.0, 1, -1, 0}}));
+
+  std::atomic<bool> timed_out{false};
+  std::thread victim([&] {
+    FsClient io(fs, 0);
+    const int fd = io.open("f", OpenMode::create);
+    try {
+      io.write(fd, pattern(1024));
+    } catch (const TimeoutError&) {
+      timed_out = true;
+    }
+    io.close(fd);
+  });
+
+  // Wait for the write to wedge, then prove an unrelated client still makes
+  // progress while it hangs.
+  while (fs.stalled_op_count() == 0) std::this_thread::yield();
+  FsClient other(fs, 1);
+  const int fd = other.open("g", OpenMode::create);
+  other.write(fd, pattern(64));
+  other.close(fd);
+  EXPECT_EQ(fs.stalled_op_count(), 1);
+
+  EXPECT_EQ(fs.cancel_stalls(), 1);
+  victim.join();
+  EXPECT_TRUE(timed_out.load());
+  EXPECT_EQ(fs.stalled_op_count(), 0);
+  // Nothing further to release.
+  EXPECT_EQ(fs.cancel_stalls(), 0);
+
+  // The stall fired within its times bound: a fresh write goes through.
+  FsClient io(fs, 0);
+  const int fd2 = io.open("f2", OpenMode::create);
+  EXPECT_NO_THROW(io.write(fd2, pattern(1024)));
+  io.close(fd2);
 }
 
 }  // namespace

@@ -59,6 +59,31 @@ TEST(FaultPlan, ValidatesRules) {
   EXPECT_THROW(
       FaultPlan(1, {{FaultKind::eio, "", 1, 0.0, -2, -1, 0}}).validate(),
       UsageError);
+  // Both nth and probability on one rule is ambiguous; the error names the
+  // offending rule's index.
+  try {
+    FaultPlan(1, {{FaultKind::bit_flip, "f", 1, 0.0, 1, -1, 0},
+                  {FaultKind::eio, "", 2, 0.5, 1, -1, 0}})
+        .validate();
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("rule 1"), std::string::npos);
+  }
+  // Two rank_crash rules scheduling the same rank cannot both fire.
+  try {
+    FaultPlan(1, {{FaultKind::rank_crash, "", 0, 0.0, 1, 2, 5},
+                  {FaultKind::rank_crash, "", 0, 0.0, 1, 2, 9}})
+        .validate();
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("rule 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("rank 2"), std::string::npos);
+  }
+  // Distinct ranks are fine.
+  EXPECT_NO_THROW(
+      FaultPlan(1, {{FaultKind::rank_crash, "", 0, 0.0, 1, 2, 5},
+                    {FaultKind::rank_crash, "", 0, 0.0, 1, 3, 9}})
+          .validate());
 }
 
 TEST(FaultPlan, ProbabilisticDrawsAreSeedDeterministic) {

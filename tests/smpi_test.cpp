@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 
 #include "smpi/comm.hpp"
@@ -147,6 +148,194 @@ TEST(Smpi, RejectsBadWorldAndRanks) {
       EXPECT_THROW(comm.recv(-1), UsageError);
     }
   });
+}
+
+// --- ULFM-style failure semantics -------------------------------------------
+
+TEST(SmpiUlfm, BarrierRaisesTypedErrorOnRankFailure) {
+  // The victim dies; every survivor's barrier raises RankFailedError — no
+  // rank hangs, no rank sees a different error type.
+  std::atomic<int> typed{0};
+  run_spmd(4, [&](Comm& comm) {
+    if (comm.rank() == 3) {
+      comm.mark_self_failed();
+      return;
+    }
+    try {
+      while (true) comm.barrier();
+    } catch (const RankFailedError&) {
+      typed.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(typed.load(), 3);
+}
+
+TEST(SmpiUlfm, EveryCollectivePathObservesMidRunFailure) {
+  // Stress the whole collective surface: survivors loop the operation while
+  // the victim participates for a few rounds and then dies mid-run.  Every
+  // survivor must get RankFailedError from whichever call it is in.
+  enum class Path { barrier, allreduce, exscan, allgather, gatherv };
+  for (const Path path : {Path::barrier, Path::allreduce, Path::exscan,
+                          Path::allgather, Path::gatherv}) {
+    std::atomic<int> typed{0};
+    run_spmd(4, [&](Comm& comm) {
+      auto op = [&] {
+        switch (path) {
+          case Path::barrier: comm.barrier(); break;
+          case Path::allreduce: comm.allreduce(comm.rank(), Op::sum); break;
+          case Path::exscan: comm.exscan(1); break;
+          case Path::allgather: comm.allgather(comm.rank()); break;
+          case Path::gatherv: {
+            std::vector<std::byte> local(3, std::byte(comm.rank()));
+            comm.gatherv_bytes(local, 0);
+            break;
+          }
+        }
+      };
+      if (comm.rank() == 2) {
+        for (int i = 0; i < 5; ++i) op();
+        comm.mark_self_failed();
+        return;
+      }
+      try {
+        while (true) op();
+      } catch (const RankFailedError&) {
+        typed.fetch_add(1);
+      }
+    });
+    EXPECT_EQ(typed.load(), 3) << "path " << int(path);
+  }
+}
+
+TEST(SmpiUlfm, SendRecvObservesPeerFailure) {
+  // Queued messages from a now-dead peer still deliver; the recv *after*
+  // the queue drains raises RankFailedError instead of hanging.
+  std::atomic<int> typed{0};
+  run_spmd(2, [&](Comm& comm) {
+    if (comm.rank() == 1) {
+      for (int i = 0; i < 3; ++i) {
+        std::vector<std::byte> msg{std::byte(i)};
+        comm.send(0, msg);
+      }
+      comm.mark_self_failed();
+      return;
+    }
+    for (int i = 0; i < 3; ++i) {
+      const auto msg = comm.recv(1);
+      ASSERT_EQ(msg.size(), 1u);
+      EXPECT_EQ(int(msg[0]), i);
+    }
+    try {
+      comm.recv(1);
+    } catch (const RankFailedError&) {
+      typed.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(typed.load(), 1);
+}
+
+TEST(SmpiUlfm, RecvDeadlineRaisesTimeoutNotHang) {
+  run_spmd(2, [](Comm& comm) {
+    if (comm.rank() != 0) return;  // peer alive but silent
+    EXPECT_THROW(comm.recv(1, std::chrono::milliseconds(50)), TimeoutError);
+  });
+}
+
+TEST(SmpiUlfm, RevokePoisonsEveryRank) {
+  std::atomic<int> typed{0};
+  run_spmd(3, [&](Comm& comm) {
+    if (comm.rank() == 0) comm.revoke();
+    try {
+      while (true) comm.barrier();
+    } catch (const RankFailedError&) {
+      typed.fetch_add(1);
+    }
+    EXPECT_TRUE(comm.revoked());
+  });
+  EXPECT_EQ(typed.load(), 3);
+}
+
+TEST(SmpiUlfm, AgreeAndShrinkRebuildDenseCommunicator) {
+  run_spmd(4, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      comm.mark_self_failed();
+      return;
+    }
+    try {
+      while (true) comm.barrier();
+    } catch (const RankFailedError&) {
+    }
+    // ULFM recovery sequence on the survivors.
+    EXPECT_TRUE(comm.agree(true));
+    EXPECT_EQ(comm.alive_count(), 3);
+    EXPECT_EQ(comm.failed_ranks(), std::vector<int>{1});
+    Comm next = comm.shrink();
+    EXPECT_EQ(next.size(), 3);
+    // Dense renumbering in ascending old-rank order: 0,2,3 -> 0,1,2.
+    const auto olds = next.allgather(comm.rank());
+    EXPECT_EQ(olds, (std::vector<int>{0, 2, 3}));
+    // The shrunken communicator is fully functional.
+    EXPECT_EQ(next.allreduce(1, Op::sum), 3);
+    next.barrier();
+  });
+}
+
+TEST(SmpiUlfm, AgreeIsAndConsensusOverSurvivors) {
+  run_spmd(3, [](Comm& comm) {
+    // One survivor votes false: everyone must learn false.
+    EXPECT_FALSE(comm.agree(comm.rank() != 2));
+    // All-true round returns true.
+    EXPECT_TRUE(comm.agree(true));
+  });
+}
+
+TEST(SmpiUlfm, SupervisedRunShrinksAndReenters) {
+  std::atomic<int> recovered_entries{0};
+  const auto report = run_spmd_supervised(4, [&](Comm& comm,
+                                                 RecoveryContext& ctx) {
+    if (!ctx.recovered && ctx.original_rank == 2)
+      throw RankFailure(comm.rank(), "injected crash");
+    for (int i = 0; i < 3; ++i) comm.barrier();
+    if (ctx.recovered) {
+      recovered_entries.fetch_add(1);
+      EXPECT_EQ(comm.size(), 3);
+      EXPECT_EQ(ctx.generation, 1);
+      EXPECT_EQ(ctx.original_size, 4);
+      EXPECT_EQ(ctx.failed_ranks, std::vector<int>{2});
+      EXPECT_EQ(comm.allreduce(1, Op::sum), 3);
+    }
+  });
+  EXPECT_EQ(recovered_entries.load(), 3);
+  EXPECT_EQ(report.recoveries, 1);
+  EXPECT_EQ(report.final_size, 3);
+  EXPECT_EQ(report.crashed_ranks, std::vector<int>{2});
+}
+
+TEST(SmpiUlfm, SupervisedRunWithoutFailuresIsPlain) {
+  const auto report = run_spmd_supervised(3, [](Comm& comm,
+                                                RecoveryContext& ctx) {
+    EXPECT_FALSE(ctx.recovered);
+    EXPECT_EQ(ctx.generation, 0);
+    comm.barrier();
+  });
+  EXPECT_EQ(report.recoveries, 0);
+  EXPECT_EQ(report.final_size, 3);
+  EXPECT_TRUE(report.crashed_ranks.empty());
+}
+
+TEST(SmpiUlfm, SupervisedRunExhaustsRecoveryBudget) {
+  // max_recoveries = 0 is the "abort" policy: the survivors' typed error
+  // becomes the run error instead of triggering a shrink.
+  EXPECT_THROW(
+      run_spmd_supervised(
+          3,
+          [](Comm& comm, RecoveryContext& ctx) {
+            if (ctx.original_rank == 1)
+              throw RankFailure(comm.rank(), "crash");
+            comm.barrier();
+          },
+          0),
+      RankFailedError);
 }
 
 }  // namespace
