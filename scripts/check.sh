@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# One-shot static-analysis + test gate: everything a reviewer should run
+# before merging.  Fails fast on the first broken stage.
+#
+#   1. strict build        -Wall -Wextra -Werror over the whole tree
+#   2. thread-safety       clang -Wthread-safety (plain build + notice
+#                          when the toolchain is GCC-only)
+#   3. invariant linter    tools/lint_invariants over src/ (ctest -L lint,
+#                          which also runs the linter's own fixture tests)
+#   4. clang-tidy          bugprone/performance/concurrency profile
+#                          (no-op without clang-tidy installed)
+#   5. full test suite     default preset, all labels
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "strict build (-Werror)"
+cmake --preset strict >/dev/null
+cmake --build --preset strict -j "$(nproc 2>/dev/null || echo 4)"
+
+step "thread-safety analysis (clang only)"
+cmake --preset analyze >/dev/null
+cmake --build --preset analyze -j "$(nproc 2>/dev/null || echo 4)"
+
+step "invariant linter + fixtures (ctest -L lint)"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc 2>/dev/null || echo 4)"
+ctest --preset lint
+
+step "clang-tidy (skips without LLVM)"
+"$repo_root/scripts/run_clang_tidy.sh" "$repo_root/build"
+
+step "full test suite"
+ctest --preset default
+
+printf '\ncheck.sh: all gates passed\n'

@@ -136,7 +136,12 @@ Writer::Writer(fsim::SharedFs& fs, std::string path, EngineConfig config,
 }
 
 Writer::~Writer() {
-  if (!closed_) {
+  bool need_close;
+  {
+    util::MutexLock lock(mutex_);
+    need_close = !closed_;
+  }
+  if (need_close) {
     try {
       close();
     } catch (...) {
@@ -159,16 +164,15 @@ int Writer::aggregator_of(int rank) const {
 }
 
 void Writer::begin_step(std::uint64_t step) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (closed_) throw UsageError("bp::Writer: engine is closed");
   if (step_open_) throw UsageError("bp::Writer: step already open");
   if (config_.async_write) {
     // Backpressure: with a bound of K, step N+K may not open until step
     // N's drain has landed.
-    std::unique_lock<std::mutex> dlock(drain_mutex_);
-    drain_done_cv_.wait(dlock, [&] {
-      return drain_error_ || inflight_ < config_.max_inflight_steps;
-    });
+    util::MutexLock dlock(drain_mutex_);
+    while (!drain_error_ && inflight_ >= config_.max_inflight_steps)
+      drain_done_cv_.wait(dlock);
     if (drain_error_) std::rethrow_exception(drain_error_);
   }
   step_open_ = true;
@@ -201,7 +205,7 @@ void Writer::validate_put(int rank, const std::string& name, Datatype dtype,
 
 void Writer::put(int rank, const std::string& name, const Dims& shape,
                  const ChunkView& view) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   validate_put(rank, name, view.dtype(), shape, view.offset(), view.count());
   if (step_kind_ == 2)
     throw UsageError("bp::Writer: cannot mix real and synthetic puts");
@@ -219,7 +223,7 @@ void Writer::put(int rank, const std::string& name, const Dims& shape,
 void Writer::put_synthetic(int rank, const std::string& name, Datatype dtype,
                            const Dims& shape, const Dims& offset,
                            const Dims& count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   validate_put(rank, name, dtype, shape, offset, count);
   if (step_kind_ == 1)
     throw UsageError("bp::Writer: cannot mix real and synthetic puts");
@@ -235,7 +239,7 @@ void Writer::put_synthetic(int rank, const std::string& name, Datatype dtype,
 }
 
 void Writer::add_attribute(const std::string& name, AttrValue value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!step_open_)
     throw UsageError("bp::Writer: attribute outside a step");
   attributes_.emplace_back(name, std::move(value));
@@ -264,7 +268,7 @@ void Writer::compute_stats(const PendingChunk& chunk, ChunkRecord& meta) {
 void Writer::end_step() {
   StepJob job;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!step_open_) throw UsageError("bp::Writer: no open step");
     step_open_ = false;
     job.step = current_step_;
@@ -280,7 +284,7 @@ void Writer::end_step() {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(drain_mutex_);
+    util::MutexLock lock(drain_mutex_);
     if (drain_error_) std::rethrow_exception(drain_error_);
     drain_queue_.push_back(std::move(job));
     ++inflight_;
@@ -537,7 +541,7 @@ void Writer::drain_job_with_retries(const StepJob& job) {
         cause = e.what();
       } catch (...) {
       }
-      std::lock_guard<std::mutex> lock(drain_mutex_);
+      util::MutexLock lock(drain_mutex_);
       if (!drain_error_)
         drain_error_ = std::make_exception_ptr(TimeoutError(
             "bp::Writer: drain of step " + std::to_string(job.step) +
@@ -552,9 +556,8 @@ void Writer::drain_loop() {
     StepJob job;
     bool skip = false;
     {
-      std::unique_lock<std::mutex> lock(drain_mutex_);
-      drain_cv_.wait(lock,
-                     [&] { return drain_stop_ || !drain_queue_.empty(); });
+      util::MutexLock lock(drain_mutex_);
+      while (!drain_stop_ && drain_queue_.empty()) drain_cv_.wait(lock);
       if (drain_queue_.empty()) return;  // stop requested, queue drained
       job = std::move(drain_queue_.front());
       drain_queue_.pop_front();
@@ -562,7 +565,7 @@ void Writer::drain_loop() {
     }
     if (!skip) drain_job_with_retries(job);
     {
-      std::lock_guard<std::mutex> lock(drain_mutex_);
+      util::MutexLock lock(drain_mutex_);
       --inflight_;
     }
     drain_done_cv_.notify_all();
@@ -574,10 +577,11 @@ void Writer::watchdog_loop() {
   const auto poll = std::max(timeout / 8, std::chrono::milliseconds(1));
   std::uint64_t last_beat = heartbeat_.load(std::memory_order_relaxed);
   auto last_progress = std::chrono::steady_clock::now();
-  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  util::MutexLock lock(watchdog_mutex_);
   for (;;) {
-    if (watchdog_cv_.wait_for(lock, poll, [&] { return watchdog_stop_; }))
-      return;
+    // A spurious wake just re-runs the (cheap) heartbeat check early.
+    watchdog_cv_.wait_for(lock, poll);
+    if (watchdog_stop_) return;
     const auto now = std::chrono::steady_clock::now();
     const std::uint64_t beat = heartbeat_.load(std::memory_order_relaxed);
     if (beat != last_beat || !drain_active_.load(std::memory_order_acquire)) {
@@ -599,7 +603,7 @@ void Writer::watchdog_loop() {
 void Writer::stop_watchdog_thread() {
   if (!watchdog_thread_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    util::MutexLock lock(watchdog_mutex_);
     watchdog_stop_ = true;
   }
   watchdog_cv_.notify_all();
@@ -616,20 +620,20 @@ Writer::WatchdogStats Writer::watchdog_stats() const {
 
 void Writer::wait_drains() {
   if (!config_.async_write) return;
-  std::unique_lock<std::mutex> lock(drain_mutex_);
-  drain_done_cv_.wait(lock, [&] { return inflight_ == 0; });
+  util::MutexLock lock(drain_mutex_);
+  while (inflight_ != 0) drain_done_cv_.wait(lock);
   if (drain_error_) std::rethrow_exception(drain_error_);
 }
 
 int Writer::peak_inflight() const {
-  std::lock_guard<std::mutex> lock(drain_mutex_);
+  util::MutexLock lock(drain_mutex_);
   return peak_inflight_;
 }
 
 void Writer::stop_drain_thread() {
   if (!drain_thread_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(drain_mutex_);
+    util::MutexLock lock(drain_mutex_);
     drain_stop_ = true;
   }
   drain_cv_.notify_all();
@@ -638,7 +642,7 @@ void Writer::stop_drain_thread() {
 
 void Writer::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (closed_) return;
     if (step_open_) throw UsageError("bp::Writer: close with an open step");
     closed_ = true;
@@ -650,7 +654,7 @@ void Writer::close() {
   stop_drain_thread();
   stop_watchdog_thread();
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   fsim::FsClient root(fs_, 0);
   // Patch the md.idx header with the final step count.
   BinWriter header;
@@ -702,6 +706,10 @@ void Writer::close() {
   root.close(idx_fd_);
   // Surface the first drain failure to the caller, after the container has
   // been closed out (the md.idx count still reflects only drained steps).
+  // The drain worker has been joined, but the error slot is drain-lock
+  // state like any other — read it under its lock rather than relying on
+  // the join's happens-before alone.
+  util::MutexLock dlock(drain_mutex_);
   if (drain_error_) std::rethrow_exception(drain_error_);
 }
 

@@ -38,12 +38,10 @@
 // rank 0 between barriers).
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 
@@ -52,6 +50,8 @@
 #include "compress/codec.hpp"
 #include "fsim/posix_fs.hpp"
 #include "util/json.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitio::bp {
 
@@ -120,14 +120,14 @@ public:
 
   /// Opens a step.  With async_write, applies backpressure: blocks until
   /// fewer than max_inflight_steps drain jobs are outstanding.
-  void begin_step(std::uint64_t step);
+  void begin_step(std::uint64_t step) EXCLUDES(mutex_, drain_mutex_);
 
   /// Deferred put of one chunk of an n-dimensional variable.  All ranks
   /// putting the same variable in a step must agree on shape and dtype;
   /// the chunk's placement and byte length were validated at ChunkView
   /// construction.
   void put(int rank, const std::string& name, const Dims& shape,
-           const ChunkView& chunk);
+           const ChunkView& chunk) EXCLUDES(mutex_);
 
   template <typename T>
   void put(int rank, const std::string& name, const Dims& shape,
@@ -141,31 +141,35 @@ public:
   /// simulated-size path).  A step must be all-real or all-synthetic.
   void put_synthetic(int rank, const std::string& name, Datatype dtype,
                      const Dims& shape, const Dims& offset,
-                     const Dims& count);
+                     const Dims& count) EXCLUDES(mutex_);
 
   /// Step-scoped attribute (recorded in the step's metadata).
-  void add_attribute(const std::string& name, AttrValue value);
+  void add_attribute(const std::string& name, AttrValue value)
+      EXCLUDES(mutex_);
 
   /// Aggregate, compress, write data subfiles, append metadata.  With
   /// async_write the pending chunk table is snapshotted into an immutable
   /// step job, handed to the drain worker, and the call returns
   /// immediately; otherwise the drain runs on the caller.
-  void end_step();
+  void end_step() EXCLUDES(mutex_, drain_mutex_);
 
   /// Join every outstanding drain job (no-op without async_write).
   /// Rethrows the first drain error, if any.  Required before reading the
   /// container back without closing it.
-  void wait_drains();
+  void wait_drains() EXCLUDES(drain_mutex_);
 
   /// Highest number of simultaneously outstanding drain jobs observed;
   /// bounded by config.max_inflight_steps (the backpressure guarantee).
-  int peak_inflight() const;
+  int peak_inflight() const EXCLUDES(drain_mutex_);
 
   /// Join outstanding drains, patch the md.idx header, emit
   /// profiling.json / mmd.0, close all files.
-  void close();
+  void close() EXCLUDES(mutex_, drain_mutex_);
 
-  std::uint64_t steps_written() const { return steps_written_; }
+  std::uint64_t steps_written() const EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    return steps_written_;
+  }
 
   /// Drain-watchdog counters (all zero when the watchdog is disabled).
   struct WatchdogStats {
@@ -212,17 +216,18 @@ private:
   };
 
   void validate_put(int rank, const std::string& name, Datatype dtype,
-                    const Dims& shape, const Dims& offset, const Dims& count);
+                    const Dims& shape, const Dims& offset, const Dims& count)
+      REQUIRES(mutex_);
   static void compute_stats(const PendingChunk& chunk, ChunkRecord& meta);
   int leader_of(int aggregator) const;
   void drain_step(const StepJob& job);
-  void drain_job_with_retries(const StepJob& job);
+  void drain_job_with_retries(const StepJob& job) EXCLUDES(drain_mutex_);
   DrainSnapshot snapshot_drain_state() const;
   void restore_drain_state(const DrainSnapshot& snap);
-  void drain_loop();
-  void stop_drain_thread();
-  void watchdog_loop();
-  void stop_watchdog_thread();
+  void drain_loop() EXCLUDES(drain_mutex_);
+  void stop_drain_thread() EXCLUDES(drain_mutex_);
+  void watchdog_loop() EXCLUDES(watchdog_mutex_);
+  void stop_watchdog_thread() EXCLUDES(watchdog_mutex_);
   void touch_heartbeat() {
     heartbeat_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -234,18 +239,30 @@ private:
   int num_aggregators_;
   std::unique_ptr<cz::Codec> codec_;  // null when config_.codec == "none"
 
-  std::mutex mutex_;
-  bool step_open_ = false;
-  bool closed_ = false;
-  int step_kind_ = 0;  // 0 = no puts yet, 1 = real payloads, 2 = synthetic
-  std::uint64_t current_step_ = 0;
-  std::uint64_t steps_written_ = 0;
-  std::vector<std::vector<PendingChunk>> pending_;  // per rank
-  std::vector<std::pair<std::string, AttrValue>> attributes_;
+  // Step-state lock.  Taken before drain_mutex_ (begin_step holds it while
+  // waiting out the backpressure bound); never the other way around.
+  mutable util::Mutex mutex_ ACQUIRED_BEFORE(drain_mutex_);
+  bool step_open_ GUARDED_BY(mutex_) = false;
+  bool closed_ GUARDED_BY(mutex_) = false;
+  // 0 = no puts yet, 1 = real payloads, 2 = synthetic
+  int step_kind_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t current_step_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t steps_written_ GUARDED_BY(mutex_) = 0;
+  // Per-rank pending chunk tables of the open step.
+  std::vector<std::vector<PendingChunk>> pending_ GUARDED_BY(mutex_);
+  std::vector<std::pair<std::string, AttrValue>> attributes_
+      GUARDED_BY(mutex_);
   // Shape/dtype seen per variable within the open step (put validation).
-  std::map<std::string, std::pair<Datatype, Dims>> step_vars_;
+  std::map<std::string, std::pair<Datatype, Dims>> step_vars_
+      GUARDED_BY(mutex_);
 
   // Open descriptors, one per subfile plus metadata files (rank-0 client).
+  // NOT lock-protected: the descriptor/offset tables, the step index, and
+  // the profiling accumulators below are owned by whichever thread is
+  // draining — the caller on the synchronous path, the drain worker between
+  // submit and join on the async path — and handed back at
+  // wait_drains()/close() via the thread join.  The annotations cover the
+  // genuinely mutex-protected state only.
   std::vector<int> data_fds_;
   std::vector<std::uint64_t> data_offsets_;
   int md_fd_ = -1;
@@ -267,22 +284,23 @@ private:
   // profiling accumulators between submit and join; callers only touch
   // them again after wait_drains()/close().
   std::thread drain_thread_;
-  mutable std::mutex drain_mutex_;
-  std::condition_variable drain_cv_;       // worker wake-ups
-  std::condition_variable drain_done_cv_;  // backpressure + joins
-  std::deque<StepJob> drain_queue_;
-  int inflight_ = 0;  // queued + actively draining jobs
-  int peak_inflight_ = 0;
-  bool drain_stop_ = false;
-  std::exception_ptr drain_error_;
+  mutable util::Mutex drain_mutex_;
+  util::CondVar drain_cv_;       // worker wake-ups
+  util::CondVar drain_done_cv_;  // backpressure + joins
+  std::deque<StepJob> drain_queue_ GUARDED_BY(drain_mutex_);
+  // Queued + actively draining jobs.
+  int inflight_ GUARDED_BY(drain_mutex_) = 0;
+  int peak_inflight_ GUARDED_BY(drain_mutex_) = 0;
+  bool drain_stop_ GUARDED_BY(drain_mutex_) = false;
+  std::exception_ptr drain_error_ GUARDED_BY(drain_mutex_);
 
   // Drain-lane watchdog.  The worker bumps heartbeat_ at every unit of
   // progress; the watchdog thread cancels the fs's stalled writes when an
   // active job's heartbeat freezes for longer than drain_timeout_ms.
   std::thread watchdog_thread_;
-  std::mutex watchdog_mutex_;
-  std::condition_variable watchdog_cv_;
-  bool watchdog_stop_ = false;
+  util::Mutex watchdog_mutex_;
+  util::CondVar watchdog_cv_;
+  bool watchdog_stop_ GUARDED_BY(watchdog_mutex_) = false;
   std::atomic<std::uint64_t> heartbeat_{0};
   std::atomic<bool> drain_active_{false};
   std::atomic<std::uint64_t> watchdog_timeouts_{0};

@@ -97,7 +97,7 @@ void Bit1OpenPmdAdaptor::require_species_layout(const Simulation& sim) {
 
 void Bit1OpenPmdAdaptor::stage_diagnostics(int rank, const Simulation& sim,
                                            const DiagnosticSnapshot& snap) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (rank < 0 || rank >= nranks_)
     throw UsageError("Bit1OpenPmdAdaptor: rank out of range");
   require_species_layout(sim);
@@ -120,7 +120,7 @@ void Bit1OpenPmdAdaptor::stage_diagnostics(int rank, const Simulation& sim,
 }
 
 void Bit1OpenPmdAdaptor::flush_diagnostics(std::uint64_t step, double time) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::size_t bins = 0;
   for (const auto& staged : staged_diag_)
     if (staged.present && !staged.vdf.empty()) bins = staged.vdf[0].size();
@@ -174,7 +174,7 @@ void Bit1OpenPmdAdaptor::flush_diagnostics(std::uint64_t step, double time) {
 }
 
 void Bit1OpenPmdAdaptor::stage_checkpoint(int rank, const Simulation& sim) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (rank < 0 || rank >= nranks_)
     throw UsageError("Bit1OpenPmdAdaptor: rank out of range");
   require_species_layout(sim);
@@ -182,7 +182,7 @@ void Bit1OpenPmdAdaptor::stage_checkpoint(int rank, const Simulation& sim) {
 }
 
 void Bit1OpenPmdAdaptor::flush_checkpoint() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   write_checkpoint_iteration(*ckpt_series_, staged_ckpt_, species_names_,
                              nranks_);
   for (auto& staged : staged_ckpt_) staged = RankCheckpoint{};
@@ -198,13 +198,16 @@ void Bit1OpenPmdAdaptor::restore(fsim::SharedFs& fs,
 }
 
 void Bit1OpenPmdAdaptor::synchronize() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (closed_) return;
   if (diag_series_) diag_series_->flush(pmd::FlushMode::sync);
   if (ckpt_series_) ckpt_series_->flush(pmd::FlushMode::sync);
 }
 
 void Bit1OpenPmdAdaptor::close() {
+  // Under the lock: a close racing a synchronize() (which checks closed_)
+  // must not let the flush observe half-closed series.
+  util::MutexLock lock(mutex_);
   if (closed_) return;
   closed_ = true;
   if (diag_series_) diag_series_->close();

@@ -25,7 +25,6 @@
 // node or with 1 AGGR).
 
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "core/checkpoint_payload.hpp"
@@ -34,6 +33,8 @@
 #include "openpmd/series.hpp"
 #include "picmc/diagnostics.hpp"
 #include "picmc/simulation.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitio::core {
 
@@ -56,21 +57,24 @@ public:
   // -- diagnostics (the `datfile` event) -------------------------------------
   /// Stage one rank's diagnostic snapshot.  Thread-safe.
   void stage_diagnostics(int rank, const picmc::Simulation& sim,
-                         const picmc::DiagnosticSnapshot& snapshot) override;
+                         const picmc::DiagnosticSnapshot& snapshot) override
+      EXCLUDES(mutex_);
   /// Collective tail: write the staged snapshot as iteration `step`.  With
   /// async_write the call returns once the step is submitted to the drain.
-  void flush_diagnostics(std::uint64_t step, double time) override;
+  void flush_diagnostics(std::uint64_t step, double time) override
+      EXCLUDES(mutex_);
 
   // -- checkpointing (the `dmpstep` event) ------------------------------------
   /// Stage one rank's full particle state.  Thread-safe.
-  void stage_checkpoint(int rank, const picmc::Simulation& sim) override;
+  void stage_checkpoint(int rank, const picmc::Simulation& sim) override
+      EXCLUDES(mutex_);
   /// Collective tail: rewrite iteration 0 of the checkpoint series.  With
   /// async_write the call returns once the step is submitted to the drain.
-  void flush_checkpoint() override;
+  void flush_checkpoint() override EXCLUDES(mutex_);
 
   /// Join outstanding async drains on both series without closing; after
   /// this every submitted flush has landed (read-after-write safe).
-  void synchronize() override;
+  void synchronize() override EXCLUDES(mutex_);
 
   /// Restore `sim` (rank sim.rank() of sim.nranks()) from the latest
   /// checkpoint.  The adaptor must be closed first; restart opens the
@@ -79,7 +83,7 @@ public:
                       const Bit1IoConfig& config, picmc::Simulation& sim);
 
   /// Close both series (joins any outstanding async drains first).
-  void close() override;
+  void close() override EXCLUDES(mutex_);
 
 private:
   struct RankDiag {
@@ -93,24 +97,26 @@ private:
     std::uint64_t ionization_events = 0;
   };
 
-  void require_species_layout(const picmc::Simulation& sim);
+  void require_species_layout(const picmc::Simulation& sim) REQUIRES(mutex_);
 
   fsim::SharedFs& fs_;
   std::string run_dir_;
   Bit1IoConfig config_;
   int nranks_;
-  std::vector<std::string> species_names_;
-  std::size_t nnodes_ = 0;
 
-  std::unique_ptr<pmd::Series> diag_series_;
-  std::unique_ptr<pmd::Series> ckpt_series_;
-  bool closed_ = false;
-
-  std::mutex mutex_;
-  std::vector<RankDiag> staged_diag_;
+  // One lock covers the whole adaptor: the staging tables (written from
+  // every rank's thread), the lazily-fixed layout, and the series handles
+  // the collective flush tail drives.
+  util::Mutex mutex_;
+  std::vector<std::string> species_names_ GUARDED_BY(mutex_);
+  std::size_t nnodes_ GUARDED_BY(mutex_) = 0;
+  std::unique_ptr<pmd::Series> diag_series_ GUARDED_BY(mutex_);
+  std::unique_ptr<pmd::Series> ckpt_series_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
+  std::vector<RankDiag> staged_diag_ GUARDED_BY(mutex_);
   // Checkpoint staging uses the shared payload type (checkpoint_payload.hpp)
   // so the resilience layer writes the exact same schema.
-  std::vector<RankCheckpoint> staged_ckpt_;
+  std::vector<RankCheckpoint> staged_ckpt_ GUARDED_BY(mutex_);
 };
 
 }  // namespace bitio::core

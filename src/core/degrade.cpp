@@ -34,16 +34,16 @@ DegradingSink::DegradingSink(fsim::SharedFs& fs, std::string run_dir,
   level_ = initial_level_;
   stats_.level = level_;
   current_dir_ = run_dir_;
-  inner_ = build_inner(level_);
+  inner_ = build_inner(initial_level_, run_dir_);
 }
 
 void DegradingSink::set_transition_callback(TransitionCallback cb) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   on_transition_ = std::move(cb);
 }
 
 std::unique_ptr<DiagnosticsSink> DegradingSink::build_inner(
-    IoServiceLevel level) {
+    IoServiceLevel level, const std::string& dir) {
   Bit1IoConfig cfg = config_;
   switch (level) {
     case IoServiceLevel::async:
@@ -58,7 +58,7 @@ std::unique_ptr<DiagnosticsSink> DegradingSink::build_inner(
       cfg.mode = IoMode::original;
       break;
   }
-  return make_diagnostics_sink(fs_, current_dir_, cfg, nranks_);
+  return make_diagnostics_sink(fs_, dir, cfg, nranks_);
 }
 
 void DegradingSink::guarded(const char* what,
@@ -66,7 +66,7 @@ void DegradingSink::guarded(const char* what,
   // The stage/flush protocol serializes flushes behind a barrier, so the
   // lock is uncontended there; holding it across the call also keeps a
   // rebuild from swapping the sink out from under a staging rank.
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   try {
     op(*inner_);
     note_success_locked();
@@ -144,7 +144,7 @@ void DegradingSink::move_to_locked(IoServiceLevel next,
   inner_poisoned_ = false;
   consecutive_failures_ = 0;
   consecutive_successes_ = 0;
-  inner_ = build_inner(next);
+  inner_ = build_inner(next, current_dir_);
   const bool down = int(next) < int(from);
   log(down ? LogLevel::warn : LogLevel::info,
       strfmt("io ladder: %s %s -> %s (%s), now writing to %s",
@@ -189,22 +189,22 @@ void DegradingSink::synchronize() {
 }
 
 void DegradingSink::close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (inner_) inner_->close();
 }
 
 IoServiceLevel DegradingSink::level() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return level_;
 }
 
 std::string DegradingSink::current_dir() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return current_dir_;
 }
 
 LadderStats DegradingSink::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_;
 }
 

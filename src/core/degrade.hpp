@@ -23,12 +23,13 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/diagnostics_sink.hpp"
 #include "core/io_config.hpp"
 #include "util/json.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitio::core {
 
@@ -60,7 +61,7 @@ public:
   DegradingSink(fsim::SharedFs& fs, std::string run_dir, Bit1IoConfig config,
                 int nranks);
 
-  void set_transition_callback(TransitionCallback cb);
+  void set_transition_callback(TransitionCallback cb) EXCLUDES(mutex_);
 
   std::string sink_name() const override { return "degrading"; }
 
@@ -74,23 +75,30 @@ public:
   /// is no later flush left to degrade for.
   void close() override;
 
-  IoServiceLevel level() const;
+  IoServiceLevel level() const EXCLUDES(mutex_);
   /// Directory the active inner sink writes to: the run dir for the initial
   /// sink, `<run>/ladder_<k>_<level>` after the k-th rebuild.
-  std::string current_dir() const;
-  LadderStats stats() const;
+  std::string current_dir() const EXCLUDES(mutex_);
+  LadderStats stats() const EXCLUDES(mutex_);
   /// {"level": "sync", "degradations": 1, ...} for resilience.json.
   Json stats_json() const;
 
 private:
-  std::unique_ptr<DiagnosticsSink> build_inner(IoServiceLevel level);
+  /// Build a fresh inner sink for `level` writing into `dir`.  Takes the
+  /// directory as a parameter (rather than reading current_dir_) so it owns
+  /// no breaker state and can be called lock-free from the constructor.
+  std::unique_ptr<DiagnosticsSink> build_inner(IoServiceLevel level,
+                                               const std::string& dir);
   /// Run `op` against the inner sink; absorb IoError / TimeoutError and
   /// drive the breaker.  `what` names the call for logs.
   void guarded(const char* what,
-               const std::function<void(DiagnosticsSink&)>& op);
-  void note_failure_locked(const char* what, const std::string& cause);
-  void note_success_locked();
-  void move_to_locked(IoServiceLevel next, const std::string& reason);
+               const std::function<void(DiagnosticsSink&)>& op)
+      EXCLUDES(mutex_);
+  void note_failure_locked(const char* what, const std::string& cause)
+      REQUIRES(mutex_);
+  void note_success_locked() REQUIRES(mutex_);
+  void move_to_locked(IoServiceLevel next, const std::string& reason)
+      REQUIRES(mutex_);
 
   fsim::SharedFs& fs_;
   std::string run_dir_;
@@ -98,18 +106,18 @@ private:
   int nranks_;
   IoServiceLevel initial_level_ = IoServiceLevel::async;
 
-  mutable std::mutex mutex_;
-  std::unique_ptr<DiagnosticsSink> inner_;
-  std::string current_dir_;
-  IoServiceLevel level_ = IoServiceLevel::async;
+  mutable util::Mutex mutex_;
+  std::unique_ptr<DiagnosticsSink> inner_ GUARDED_BY(mutex_);
+  std::string current_dir_ GUARDED_BY(mutex_);
+  IoServiceLevel level_ GUARDED_BY(mutex_) = IoServiceLevel::async;
   // Set when a failure was absorbed since the last rebuild: a sink that
   // failed mid-flush may be left in an inconsistent state, so follow-on
   // errors of any type count as failures instead of escaping the breaker.
-  bool inner_poisoned_ = false;
-  int consecutive_failures_ = 0;
-  int consecutive_successes_ = 0;
-  LadderStats stats_;
-  TransitionCallback on_transition_;
+  bool inner_poisoned_ GUARDED_BY(mutex_) = false;
+  int consecutive_failures_ GUARDED_BY(mutex_) = 0;
+  int consecutive_successes_ GUARDED_BY(mutex_) = 0;
+  LadderStats stats_ GUARDED_BY(mutex_);
+  TransitionCallback on_transition_ GUARDED_BY(mutex_);
 };
 
 /// Convenience: wrap make_diagnostics_sink's choice in the ladder.

@@ -32,7 +32,7 @@ void SerialDiagnosticsSink::stage_diagnostics(
   // no collective stage, so "staging" appends immediately.
   writer(rank).write_diagnostics(sim, snapshot);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const auto& sp : snapshot.species) {
     staged_particles_ += sp.particle_count;
     staged_energy_ += sp.kinetic_energy;
@@ -42,7 +42,7 @@ void SerialDiagnosticsSink::stage_diagnostics(
 }
 
 void SerialDiagnosticsSink::flush_diagnostics(std::uint64_t, double) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!history_pending_)
     throw UsageError("SerialDiagnosticsSink: no staged diagnostics to flush");
   // Rank 0's four global history files need its simulation for the wall /
@@ -59,7 +59,7 @@ void SerialDiagnosticsSink::flush_diagnostics(std::uint64_t, double) {
 void SerialDiagnosticsSink::stage_checkpoint(int rank,
                                              const picmc::Simulation& sim) {
   auto blob = picmc::save_checkpoint(sim);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (rank < 0 || rank >= nranks_)
     throw UsageError("SerialDiagnosticsSink: rank out of range");
   staged_ckpt_[std::size_t(rank)] = std::move(blob);
@@ -67,7 +67,7 @@ void SerialDiagnosticsSink::stage_checkpoint(int rank,
 }
 
 void SerialDiagnosticsSink::flush_checkpoint() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!ckpt_pending_)
     throw UsageError("SerialDiagnosticsSink: no staged checkpoint to flush");
   writers_[0]->write_checkpoint(staged_ckpt_);

@@ -22,7 +22,6 @@
 // outstanding work without closing (read-after-write safety).
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +29,8 @@
 #include "picmc/diagnostics.hpp"
 #include "picmc/serial_io.hpp"
 #include "picmc/simulation.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitio::core {
 
@@ -75,26 +76,32 @@ public:
 
   std::string sink_name() const override { return "original"; }
   void stage_diagnostics(int rank, const picmc::Simulation& sim,
-                         const picmc::DiagnosticSnapshot& snapshot) override;
-  void flush_diagnostics(std::uint64_t step, double time) override;
-  void stage_checkpoint(int rank, const picmc::Simulation& sim) override;
-  void flush_checkpoint() override;
+                         const picmc::DiagnosticSnapshot& snapshot) override
+      EXCLUDES(mutex_);
+  void flush_diagnostics(std::uint64_t step, double time) override
+      EXCLUDES(mutex_);
+  void stage_checkpoint(int rank, const picmc::Simulation& sim) override
+      EXCLUDES(mutex_);
+  void flush_checkpoint() override EXCLUDES(mutex_);
   void close() override {}
 
   picmc::Bit1SerialWriter& writer(int rank);
 
 private:
   int nranks_;
+  // Built once in the constructor; each rank only touches its own writer
+  // (the real BIT1 writes per rank), so the table itself needs no lock.
   std::vector<std::unique_ptr<picmc::Bit1SerialWriter>> writers_;
 
-  std::mutex mutex_;
+  util::Mutex mutex_;
   // Globals accumulated from staged snapshots for rank 0's history files.
-  std::uint64_t staged_particles_ = 0;
-  double staged_energy_ = 0.0;
-  bool history_pending_ = false;
-  const picmc::Simulation* rank0_sim_ = nullptr;  // valid until flush
-  std::vector<std::vector<std::uint8_t>> staged_ckpt_;
-  bool ckpt_pending_ = false;
+  std::uint64_t staged_particles_ GUARDED_BY(mutex_) = 0;
+  double staged_energy_ GUARDED_BY(mutex_) = 0.0;
+  bool history_pending_ GUARDED_BY(mutex_) = false;
+  // Valid until flush.
+  const picmc::Simulation* rank0_sim_ GUARDED_BY(mutex_) = nullptr;
+  std::vector<std::vector<std::uint8_t>> staged_ckpt_ GUARDED_BY(mutex_);
+  bool ckpt_pending_ GUARDED_BY(mutex_) = false;
 };
 
 /// Build the sink `config.mode` selects (validates `config` first).

@@ -16,6 +16,42 @@ namespace bitio::core {
 
 enum class IoMode { original, openpmd };
 
+/// One row per TOML key of the [io] table (and its sub-tables): the single
+/// source of truth tying the key name to the Bit1IoConfig field it populates
+/// and to whether validate() constrains that field.  tools/lint_invariants
+/// enforces that every row is parsed by from_toml, rendered by to_toml, and
+/// (when `validated`) checked in validate(); the config_registry test drives
+/// an exhaustive round-trip off the same table.  Add the row *first* when
+/// adding a knob — the linter and test then point at everything left to do.
+struct IoConfigKey {
+  const char* key;      // TOML key as written under [io] / [io.striping]
+  const char* field;    // Bit1IoConfig member the key populates
+  bool validated;       // true when validate() constrains the field
+};
+
+inline constexpr IoConfigKey kBit1IoConfigKeys[] = {
+    {"mode", "mode", false},
+    {"engine", "engine", true},
+    {"aggregators", "num_aggregators", true},
+    {"checkpoint_aggregators", "checkpoint_aggregators", true},
+    {"codec", "codec", true},
+    {"profiling", "profiling", false},
+    {"async_write", "async_write", false},
+    {"buffer_chunk_mb", "buffer_chunk_mb", true},
+    {"ranks_per_node", "ranks_per_node", true},
+    {"checkpoint_interval", "checkpoint_interval", true},
+    {"checkpoint_retain", "checkpoint_retain", true},
+    {"drain_timeout_ms", "drain_timeout_ms", true},
+    {"max_drain_retries", "max_drain_retries", true},
+    {"degrade_threshold", "degrade_threshold", true},
+    {"degrade_cooldown", "degrade_cooldown", true},
+    {"recovery", "recovery", true},
+    {"striping", "use_striping", true},
+    {"count", "striping.stripe_count", true},
+    {"size", "striping.stripe_size", true},
+    {"fault_plan", "fault_plan", true},
+};
+
 struct Bit1IoConfig {
   IoMode mode = IoMode::openpmd;
 

@@ -69,6 +69,29 @@ struct FileRecord {
   std::uint64_t faults_injected = 0;
 };
 
+/// Every FileRecord counter, in serialization order — the one table the
+/// rest of the module must stay consistent with.  tools/lint_invariants
+/// checks that each name here is a declared FileRecord member and is
+/// referenced by both DarshanLog::serialize() and DarshanLog::parse(), and
+/// that every numeric FileRecord member appears here; adding a counter to
+/// the struct without extending the table (or the wire format) fails lint.
+inline constexpr const char* kFileRecordCounters[] = {
+    "opens",
+    "writes",
+    "reads",
+    "stats",
+    "fsyncs",
+    "bytes_written",
+    "bytes_read",
+    "max_byte_written",
+    "max_write_size",
+    "write_time_s",
+    "read_time_s",
+    "meta_time_s",
+    "drain_time_s",
+    "faults_injected",
+};
+
 /// A captured log: job info + records + per-rank roll-ups.
 class DarshanLog {
 public:

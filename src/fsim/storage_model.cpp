@@ -120,7 +120,10 @@ ReplayReport replay_trace(const SystemProfile& profile,
     const double t0 = pending.time;
     double done = t0;
 
-    if (is_meta(op.kind)) {
+    // Dispatch on the op's service class (exhaustive over ServiceClass —
+    // a new OpKind must pick its bucket in fsim/types.hpp first).
+    switch (service_class(op.kind)) {
+    case ServiceClass::meta: {
       const double service =
           (op.kind == OpKind::create || op.kind == OpKind::mkdir)
               ? profile.mds_create_service_s
@@ -128,12 +131,15 @@ ReplayReport replay_trace(const SystemProfile& profile,
       done = mds.submit(t0, service * noise.next() * double(op.op_count));
       charge(&ClientTimes::meta, done - t0);
       if (!drain_lane) times.meta_ops += op.op_count;
-    } else if (op.kind == OpKind::cpu) {
+      break;
+    }
+    case ServiceClass::cpu: {
       done = t0 + op.cpu_seconds;
       charge(&ClientTimes::cpu, op.cpu_seconds);
       report.cpu_by_tag[op.tag] += op.cpu_seconds;
-    } else {
-      // Data transfer.
+      break;
+    }
+    case ServiceClass::data: {
       const StripeLayout& layout = store.file_by_id(op.file).layout;
       const int node = int(seq.client) / profile.ranks_per_node;
       FifoResource& link = links[std::size_t(node)];
@@ -241,6 +247,8 @@ ReplayReport replay_trace(const SystemProfile& profile,
         if (!drain_lane) times.read_calls += op.op_count;
         report.bytes_read += op.bytes;
       }
+      break;
+    }
     }
 
     report.op_durations[trace_index] = done - t0;

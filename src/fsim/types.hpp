@@ -42,8 +42,33 @@ enum class OpKind : std::uint8_t {
   cpu,      // client-local compute charged by upper layers (compress, copy)
 };
 
+/// How the timing replay and Darshan capture bucket an operation: against
+/// the metadata server, as a data transfer to/from the OSTs, or as
+/// client-local compute.  service_class() is the exhaustive mapping —
+/// tools/lint_invariants checks that every OpKind enumerator has a case
+/// here, in op_name(), and in the Darshan capture switch, so a new kind
+/// cannot silently fall into a catch-all bucket.
+enum class ServiceClass : std::uint8_t { meta, data, cpu };
+
+inline ServiceClass service_class(OpKind kind) {
+  switch (kind) {
+    case OpKind::create: return ServiceClass::meta;
+    case OpKind::open: return ServiceClass::meta;
+    case OpKind::close: return ServiceClass::meta;
+    case OpKind::fsync: return ServiceClass::meta;
+    case OpKind::stat: return ServiceClass::meta;
+    case OpKind::unlink: return ServiceClass::meta;
+    case OpKind::mkdir: return ServiceClass::meta;
+    case OpKind::rename: return ServiceClass::meta;
+    case OpKind::write: return ServiceClass::data;
+    case OpKind::read: return ServiceClass::data;
+    case OpKind::cpu: return ServiceClass::cpu;
+  }
+  return ServiceClass::meta;
+}
+
 inline bool is_meta(OpKind kind) {
-  return kind != OpKind::write && kind != OpKind::read && kind != OpKind::cpu;
+  return service_class(kind) == ServiceClass::meta;
 }
 
 inline const char* op_name(OpKind kind) {

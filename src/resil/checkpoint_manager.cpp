@@ -78,7 +78,7 @@ void CheckpointManager::stage(int rank, const picmc::Simulation& sim) {
   for (std::size_t s = 0; s < sim.species_count(); ++s)
     names.push_back(sim.species(s).config.name);
   auto staged = core::capture_rank_state(sim);
-  std::lock_guard<std::mutex> lock(stage_mutex_);
+  util::MutexLock lock(stage_mutex_);
   if (species_names_.empty())
     species_names_ = names;
   else if (names != species_names_)
@@ -87,6 +87,9 @@ void CheckpointManager::stage(int rank, const picmc::Simulation& sim) {
 }
 
 std::uint64_t CheckpointManager::commit() {
+  // Held across the whole commit: try_commit_epoch reads the staging table
+  // and a straggler stage() must not rewrite a slot mid-epoch.
+  util::MutexLock lock(stage_mutex_);
   bool any = false;
   std::uint64_t step = 0;
   for (const auto& staged : staged_) {

@@ -28,7 +28,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +38,8 @@
 #include "fsim/posix_fs.hpp"
 #include "picmc/simulation.hpp"
 #include "util/json.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitio::resil {
 
@@ -90,13 +91,14 @@ public:
 
   /// Stage one rank's restart state for the next commit().  Thread-safe in
   /// the same sense as the adaptor: call from the rank's own thread.
-  void stage(int rank, const picmc::Simulation& sim);
+  void stage(int rank, const picmc::Simulation& sim) EXCLUDES(stage_mutex_);
 
   /// Write the staged states as a new epoch (write -> verify -> rename
   /// MANIFEST), retrying transient faults, then apply retention.  Returns
   /// the committed epoch number; throws IoError when kMaxCommitAttempts
-  /// attempts all failed.
-  std::uint64_t commit();
+  /// attempts all failed.  Holds the staging lock for the duration so a
+  /// straggler stage() cannot mutate the table mid-write.
+  std::uint64_t commit() EXCLUDES(stage_mutex_);
 
   /// Restore `sim` from the newest epoch that passes verification, falling
   /// back epoch-by-epoch.  report.recovered is false when no epoch
@@ -145,8 +147,10 @@ private:
   std::string manifest_path(std::uint64_t epoch) const;
   /// One commit attempt: write series + verify + rename manifest.
   /// Returns false (after tearing the epoch down) when verification finds
-  /// corrupt chunks; throws IoError on transient write failures.
-  bool try_commit_epoch(std::uint64_t epoch, std::uint64_t step);
+  /// corrupt chunks; throws IoError on transient write failures.  Reads the
+  /// staging table, so the caller must hold the staging lock.
+  bool try_commit_epoch(std::uint64_t epoch, std::uint64_t step)
+      REQUIRES(stage_mutex_);
   void remove_epoch_files(std::uint64_t epoch, bool manifest_first);
   void apply_retention();
 
@@ -157,9 +161,12 @@ private:
   std::uint64_t next_epoch_ = 1;
   // stage() is called from every rank's own thread; the staging table and
   // the lazily-fixed species layout are the shared state it guards.
-  std::mutex stage_mutex_;
-  std::vector<std::string> species_names_;
-  std::vector<core::RankCheckpoint> staged_;
+  util::Mutex stage_mutex_;
+  std::vector<std::string> species_names_ GUARDED_BY(stage_mutex_);
+  std::vector<core::RankCheckpoint> staged_ GUARDED_BY(stage_mutex_);
+  // Commit/restore/scrub counters.  Written only from the single-threaded
+  // commit/restore protocol (never from per-rank stage() calls), so it
+  // rides outside the staging lock by design.
   ResilienceStats stats_;
 };
 

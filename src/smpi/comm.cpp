@@ -28,7 +28,7 @@ void World::throw_if_unusable_locked() const {
 }
 
 void World::barrier() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   throw_if_unusable_locked();
   const std::uint64_t my_generation = generation_;
   if (++arrived_ == size_ - failed_count_) {
@@ -36,7 +36,7 @@ void World::barrier() {
     ++generation_;
     cv_.notify_all();
   } else {
-    cv_.wait(lock, [&] { return generation_ != my_generation; });
+    while (generation_ == my_generation) cv_.wait(lock);
     if (poisoned_generation_ && *poisoned_generation_ == my_generation)
       throw RankFailedError("smpi: rank failed during a collective");
   }
@@ -47,13 +47,18 @@ void World::exchange(
     const std::function<void(const std::vector<std::vector<std::byte>>&)>&
         reader) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     slots_[std::size_t(rank)] = std::move(contribution);
   }
   barrier();  // everyone has published
-  // slots_ is stable between the two barriers: the next exchange cannot
-  // start publishing before all ranks pass the second barrier below.
-  reader(slots_);
+  {
+    // The read must hold the lock: a rank thrown out of the publish barrier
+    // by a failure (poisoned generation) can re-enter a *new* exchange and
+    // overwrite its slot while slower survivors of this one are still
+    // reading — the two barriers only serialize ranks that stay healthy.
+    util::MutexLock lock(mutex_);
+    reader(slots_);
+  }
   barrier();  // everyone has read
 }
 
@@ -62,27 +67,33 @@ void World::send(int from, int to, std::vector<std::byte> payload) {
   if (is_failed(to))
     throw RankFailedError(strfmt("smpi: send to failed rank %d", to));
   {
-    std::lock_guard<std::mutex> lock(mail_mutex_);
+    util::MutexLock lock(mail_mutex_);
     mail_[{from, to}].push_back(std::move(payload));
   }
   mail_cv_.notify_all();
 }
 
+bool World::recv_ready_locked(const std::pair<int, int>& key) const {
+  auto it = mail_.find(key);
+  if (it != mail_.end() && !it->second.empty()) return true;
+  return is_failed(key.first) || is_revoked();
+}
+
 std::vector<std::byte> World::recv(
     int from, int to, std::optional<std::chrono::milliseconds> deadline) {
-  std::unique_lock<std::mutex> lock(mail_mutex_);
-  auto key = std::make_pair(from, to);
-  const auto wakeup = [&] {
-    auto it = mail_.find(key);
-    if (it != mail_.end() && !it->second.empty()) return true;
-    return is_failed(from) || is_revoked();
-  };
+  util::MutexLock lock(mail_mutex_);
+  const auto key = std::make_pair(from, to);
   bool timed_out = false;
   if (deadline) {
     const auto until = std::chrono::steady_clock::now() + *deadline;
-    timed_out = !mail_cv_.wait_until(lock, until, wakeup);
+    while (!recv_ready_locked(key)) {
+      if (mail_cv_.wait_until(lock, until) == std::cv_status::timeout) {
+        timed_out = !recv_ready_locked(key);
+        break;
+      }
+    }
   } else {
-    mail_cv_.wait(lock, wakeup);
+    while (!recv_ready_locked(key)) mail_cv_.wait(lock);
   }
   // A message the peer sent before dying is still deliverable.
   auto it = mail_.find(key);
@@ -104,7 +115,7 @@ void World::mark_failed(int rank) {
   if (rank < 0 || rank >= size_)
     throw UsageError("smpi: mark_failed on bad rank");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (failed_[std::size_t(rank)].load(std::memory_order_relaxed)) return;
     failed_[std::size_t(rank)].store(true, std::memory_order_release);
     ++failed_count_;
@@ -124,14 +135,14 @@ void World::mark_failed(int rank) {
   {
     // Taking the mailbox lock (even empty) orders the flag store before any
     // sleeping recv re-checks its predicate.
-    std::lock_guard<std::mutex> lock(mail_mutex_);
+    util::MutexLock lock(mail_mutex_);
   }
   mail_cv_.notify_all();
 }
 
 void World::revoke() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (revoked_.exchange(true, std::memory_order_acq_rel)) return;
     if (arrived_ > 0) {
       poisoned_generation_ = generation_;
@@ -141,18 +152,18 @@ void World::revoke() {
     cv_.notify_all();
   }
   {
-    std::lock_guard<std::mutex> lock(mail_mutex_);
+    util::MutexLock lock(mail_mutex_);
   }
   mail_cv_.notify_all();
 }
 
 int World::alive_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return size_ - failed_count_;
 }
 
 std::vector<int> World::failed_ranks() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<int> out;
   for (int r = 0; r < size_; ++r)
     if (failed_[std::size_t(r)].load(std::memory_order_relaxed))
@@ -171,14 +182,14 @@ void World::complete_agree_locked() {
 }
 
 bool World::agree(int rank, bool flag) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (failed_[std::size_t(rank)].load(std::memory_order_relaxed))
     throw UsageError("smpi: agree from a failed rank");
   const std::uint64_t my_generation = agree_generation_;
   agree_value_ = agree_value_ && flag;
   ++agree_arrived_;
   complete_agree_locked();
-  cv_.wait(lock, [&] { return agree_generation_ != my_generation; });
+  while (agree_generation_ == my_generation) cv_.wait(lock);
   return agree_result_;
 }
 
@@ -198,13 +209,13 @@ void World::complete_shrink_locked() {
 }
 
 World::ShrinkResult World::shrink(int rank) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (failed_[std::size_t(rank)].load(std::memory_order_relaxed))
     throw UsageError("smpi: shrink from a failed rank");
   const std::uint64_t my_generation = shrink_generation_;
   shrink_arrived_.push_back(rank);
   complete_shrink_locked();
-  cv_.wait(lock, [&] { return shrink_generation_ != my_generation; });
+  while (shrink_generation_ == my_generation) cv_.wait(lock);
   // shrink_world_/shrink_ranks_ stay valid until the *next* round
   // completes, which needs every alive rank — including this one — to call
   // shrink() again, so reading them here is race-free.
@@ -277,7 +288,7 @@ SpmdReport run_spmd_supervised(
   auto world = std::make_shared<detail::World>(nranks);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
-  std::mutex report_mutex;
+  util::Mutex report_mutex;
   SpmdReport report;
   report.final_size = nranks;
   threads.reserve(std::size_t(nranks));
@@ -290,14 +301,14 @@ SpmdReport run_spmd_supervised(
       for (;;) {
         try {
           body(comm, ctx);
-          std::lock_guard<std::mutex> lock(report_mutex);
+          util::MutexLock lock(report_mutex);
           report.recoveries = std::max(report.recoveries, ctx.generation);
           report.final_size = comm.size();
           return;
         } catch (const RankFailure&) {
           // This rank died.  Not a run error: survivors recover without it.
           comm.mark_self_failed();
-          std::lock_guard<std::mutex> lock(report_mutex);
+          util::MutexLock lock(report_mutex);
           report.crashed_ranks.push_back(r);
           return;
         } catch (const RankFailedError&) {

@@ -27,7 +27,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -35,12 +34,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitio::smpi {
 
@@ -136,43 +136,53 @@ public:
   ShrinkResult shrink(int rank);
 
 private:
-  void throw_if_unusable_locked() const;  // call with mutex_ held
-  void complete_agree_locked();
-  void complete_shrink_locked();
+  void throw_if_unusable_locked() const REQUIRES(mutex_);
+  void complete_agree_locked() REQUIRES(mutex_);
+  void complete_shrink_locked() REQUIRES(mutex_);
+  /// recv wake-up predicate: a queued message for (from, to), or the peer
+  /// failed / the communicator revoked (the waiter must raise, not sleep).
+  bool recv_ready_locked(const std::pair<int, int>& key) const
+      REQUIRES(mail_mutex_);
 
   int size_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  int arrived_ = 0;
-  std::uint64_t generation_ = 0;
-  std::vector<std::vector<std::byte>> slots_;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  int arrived_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  // Collective slot table.  Written by each rank as it arrives; read by
+  // every rank between the publish and read barriers of exchange(), under
+  // the lock (a rank thrown out of a poisoned barrier may re-enter a new
+  // exchange and publish while slower survivors are still reading).
+  std::vector<std::vector<std::byte>> slots_ GUARDED_BY(mutex_);
 
   // Failure state.  The flags are atomic so the mailbox path (guarded by
   // mail_mutex_) can read them without taking mutex_.
   std::vector<std::atomic<bool>> failed_;
   std::atomic<bool> revoked_{false};
-  int failed_count_ = 0;  // under mutex_
+  int failed_count_ GUARDED_BY(mutex_) = 0;
   // Barrier generation aborted by a failure; waiters from it wake and
   // raise.  At most one generation can ever be poisoned: after the first
   // failure no new waiter passes the barrier pre-check.
-  std::optional<std::uint64_t> poisoned_generation_;
+  std::optional<std::uint64_t> poisoned_generation_ GUARDED_BY(mutex_);
 
   // agree() round state (separate generation from the barrier).
-  std::uint64_t agree_generation_ = 0;
-  int agree_arrived_ = 0;
-  bool agree_value_ = true;
-  bool agree_result_ = true;
+  std::uint64_t agree_generation_ GUARDED_BY(mutex_) = 0;
+  int agree_arrived_ GUARDED_BY(mutex_) = 0;
+  bool agree_value_ GUARDED_BY(mutex_) = true;
+  bool agree_result_ GUARDED_BY(mutex_) = true;
 
   // shrink() round state.
-  std::uint64_t shrink_generation_ = 0;
-  std::vector<int> shrink_arrived_;
-  std::shared_ptr<World> shrink_world_;
-  std::map<int, int> shrink_ranks_;  // old rank -> new rank, last round
+  std::uint64_t shrink_generation_ GUARDED_BY(mutex_) = 0;
+  std::vector<int> shrink_arrived_ GUARDED_BY(mutex_);
+  std::shared_ptr<World> shrink_world_ GUARDED_BY(mutex_);
+  // old rank -> new rank, last completed round
+  std::map<int, int> shrink_ranks_ GUARDED_BY(mutex_);
 
   // Mailboxes keyed by (from, to).  deque preserves message order per pair.
-  std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> mail_;
-  std::condition_variable mail_cv_;
-  std::mutex mail_mutex_;
+  util::Mutex mail_mutex_;
+  std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> mail_
+      GUARDED_BY(mail_mutex_);
+  util::CondVar mail_cv_;
 };
 
 template <typename T>

@@ -1,0 +1,106 @@
+#pragma once
+// Clang thread-safety-analysis capability macros.
+//
+// Under `clang++ -Wthread-safety` (the `analyze` CMake preset) these expand
+// to the attributes the analysis consumes, turning the locking protocol of
+// the concurrency-heavy modules (bp::Writer drain lanes, the DegradingSink
+// breaker, the smpi World, resil::CheckpointManager staging) into
+// compile-time-checked invariants:
+//
+//   GUARDED_BY(mu)   this member may only be read/written with `mu` held
+//   REQUIRES(mu)     callers of this function must already hold `mu`
+//   EXCLUDES(mu)     callers of this function must NOT hold `mu`
+//   ACQUIRE(mu)      this function takes `mu` and returns holding it
+//   RELEASE(mu)      this function drops `mu`
+//
+// On GCC (which has no thread-safety analysis) every macro expands to
+// nothing, so default builds are unaffected.  See util/mutex.hpp for the
+// annotated std::mutex / std::condition_variable wrappers the annotations
+// attach to — a plain std::mutex carries no capability attribute under
+// libstdc++, so locking it is invisible to the analysis.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define BITIO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BITIO_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) BITIO_THREAD_ANNOTATION(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY BITIO_THREAD_ANNOTATION(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) BITIO_THREAD_ANNOTATION(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) BITIO_THREAD_ANNOTATION(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) BITIO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) BITIO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) BITIO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  BITIO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) BITIO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  BITIO_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) BITIO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  BITIO_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_GENERIC
+#define RELEASE_GENERIC(...) \
+  BITIO_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  BITIO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) BITIO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) BITIO_THREAD_ANNOTATION(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) BITIO_THREAD_ANNOTATION(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  BITIO_THREAD_ANNOTATION(no_thread_safety_analysis)
+#endif

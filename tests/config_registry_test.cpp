@@ -1,0 +1,132 @@
+// Exhaustive Bit1IoConfig round-trip, driven off core::kBit1IoConfigKeys —
+// the same registry tools/lint_invariants enforces.  For every registered
+// key the suite mutates exactly the field that key populates and checks
+// from_toml(to_toml(config)) reproduces the config bit-for-bit, so a knob
+// cannot be added to the registry without also surviving the TOML surface.
+// An unrecognized registry key fails the suite: extending the registry
+// forces this file to learn the new knob's mutation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/io_config.hpp"
+#include "fsim/fault_plan.hpp"
+
+using bitio::core::Bit1IoConfig;
+using bitio::core::IoMode;
+using bitio::core::kBit1IoConfigKeys;
+
+namespace {
+
+/// Flip `config`'s field for registry key `key` to a non-default value.
+/// Returns false when the key is unknown — the exhaustiveness tripwire.
+bool mutate_for_key(const std::string& key, Bit1IoConfig& config) {
+  if (key == "mode") {
+    config.mode = IoMode::original;
+  } else if (key == "engine") {
+    config.engine = "bp5";
+  } else if (key == "aggregators") {
+    config.num_aggregators = 7;
+  } else if (key == "checkpoint_aggregators") {
+    config.checkpoint_aggregators = 3;
+  } else if (key == "codec") {
+    config.codec = "blosc";
+  } else if (key == "profiling") {
+    config.profiling = true;
+  } else if (key == "async_write") {
+    config.async_write = true;
+  } else if (key == "buffer_chunk_mb") {
+    config.buffer_chunk_mb = 32;
+  } else if (key == "ranks_per_node") {
+    config.ranks_per_node = 64;
+  } else if (key == "checkpoint_interval") {
+    config.checkpoint_interval = 5;
+  } else if (key == "checkpoint_retain") {
+    config.checkpoint_retain = 4;
+  } else if (key == "drain_timeout_ms") {
+    config.drain_timeout_ms = 150;
+  } else if (key == "max_drain_retries") {
+    config.max_drain_retries = 5;
+  } else if (key == "degrade_threshold") {
+    config.degrade_threshold = 2;
+  } else if (key == "degrade_cooldown") {
+    config.degrade_cooldown = 3;
+  } else if (key == "recovery") {
+    config.recovery = "shrink";
+  } else if (key == "striping") {
+    config.use_striping = true;
+  } else if (key == "count") {
+    config.use_striping = true;
+    config.striping.stripe_count = 8;
+  } else if (key == "size") {
+    config.use_striping = true;
+    config.striping.stripe_size = 16ull << 20;
+  } else if (key == "fault_plan") {
+    bitio::fsim::FaultRule rule;
+    rule.kind = bitio::fsim::FaultKind::eio;
+    rule.nth = 1;
+    config.fault_plan = bitio::fsim::FaultPlan(42, {rule});
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Every registered field flipped at once — the maximal configuration.
+Bit1IoConfig maximal_config() {
+  Bit1IoConfig config;
+  for (const auto& row : kBit1IoConfigKeys) {
+    // mode=original and the openPMD knobs coexist in the TOML surface;
+    // skip nothing.
+    EXPECT_TRUE(mutate_for_key(row.key, config)) << row.key;
+  }
+  // mode=original plus async knobs is legal for the config type itself.
+  return config;
+}
+
+}  // namespace
+
+TEST(ConfigRegistry, RegistryHasNoDuplicateKeysOrFields) {
+  std::set<std::string> keys, fields;
+  for (const auto& row : kBit1IoConfigKeys) {
+    EXPECT_TRUE(keys.insert(row.key).second) << "duplicate key " << row.key;
+    EXPECT_TRUE(fields.insert(row.field).second)
+        << "duplicate field " << row.field;
+  }
+}
+
+TEST(ConfigRegistry, EveryKeyRoundTripsIndividually) {
+  for (const auto& row : kBit1IoConfigKeys) {
+    Bit1IoConfig mutated;
+    ASSERT_TRUE(mutate_for_key(row.key, mutated))
+        << "registry key '" << row.key
+        << "' has no mutation in this suite — teach mutate_for_key about "
+           "the new knob";
+    mutated.validate();
+    const Bit1IoConfig parsed = Bit1IoConfig::from_toml(mutated.to_toml());
+    EXPECT_EQ(parsed, mutated) << "key '" << row.key
+                               << "' does not survive to_toml/from_toml";
+  }
+}
+
+TEST(ConfigRegistry, MaximalConfigRoundTrips) {
+  const Bit1IoConfig config = maximal_config();
+  config.validate();
+  const Bit1IoConfig parsed = Bit1IoConfig::from_toml(config.to_toml());
+  EXPECT_EQ(parsed, config);
+}
+
+TEST(ConfigRegistry, ToTomlRendersEveryRegisteredKey) {
+  const std::string toml = maximal_config().to_toml();
+  for (const auto& row : kBit1IoConfigKeys)
+    EXPECT_NE(toml.find(row.key), std::string::npos)
+        << "key '" << row.key << "' missing from to_toml output";
+}
+
+TEST(ConfigRegistry, DefaultConfigRoundTripsToo) {
+  const Bit1IoConfig config;
+  const Bit1IoConfig parsed = Bit1IoConfig::from_toml(config.to_toml());
+  EXPECT_EQ(parsed, config);
+}

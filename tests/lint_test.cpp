@@ -1,0 +1,271 @@
+// Fixture tests for tools/lint_invariants: each rule runs against a tiny
+// synthetic tree with one seeded violation and must report the exact
+// file:line, then the whole suite runs against the real sources and must
+// come back clean (the same invariant the `lint`-labeled ctest enforces).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using bitio::lint::Diagnostic;
+
+namespace {
+
+/// A throwaway fixture tree rooted in the test's temp dir.
+class FixtureTree {
+public:
+  FixtureTree() : root_(fs::path(testing::TempDir()) / unique_name()) {
+    fs::create_directories(root_);
+  }
+  ~FixtureTree() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  std::string root() const { return root_.string(); }
+
+  void write(const std::string& rel, const std::string& text) {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+
+private:
+  static std::string unique_name() {
+    static int counter = 0;
+    return "lint_fixture_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++);
+  }
+
+  fs::path root_;
+};
+
+/// 1-based line of the first occurrence of `needle` in `text` — the tests
+/// derive expected line numbers from the fixture source itself so edits to
+/// the fixtures cannot silently desynchronize the assertions.
+std::size_t expect_line(const std::string& text, const std::string& needle) {
+  const std::size_t at = text.find(needle);
+  EXPECT_NE(at, std::string::npos) << "fixture lost marker: " << needle;
+  return bitio::lint::line_of(text, at);
+}
+
+bool has_diag(const std::vector<Diagnostic>& diags, const std::string& file,
+              std::size_t line, const std::string& substring) {
+  for (const auto& d : diags) {
+    if (d.file == file && d.line == line &&
+        d.message.find(substring) != std::string::npos)
+      return true;
+  }
+  return false;
+}
+
+std::string dump(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const auto& d : diags) out += bitio::lint::format_diagnostic(d) + "\n";
+  return out;
+}
+
+}  // namespace
+
+TEST(LintHelpers, StripCommentsPreservesLineStructure) {
+  const std::string text = "int a; // trailing\n/* block\n spans */ int b;\n";
+  const std::string stripped = bitio::lint::strip_comments(text);
+  EXPECT_EQ(stripped.size(), text.size());
+  EXPECT_EQ(bitio::lint::line_of(stripped, stripped.find("int b")), 3u);
+  EXPECT_EQ(stripped.find("trailing"), std::string::npos);
+  EXPECT_EQ(stripped.find("spans"), std::string::npos);
+}
+
+TEST(LintHelpers, StripStringLiteralsBlanksContents) {
+  const std::string text = "call(\"std::ofstream inside\");\n";
+  const std::string stripped = bitio::lint::strip_string_literals(text);
+  EXPECT_EQ(stripped.find("ofstream"), std::string::npos);
+  EXPECT_NE(stripped.find("call("), std::string::npos);
+}
+
+TEST(LintHelpers, BodyAfterBraceMatches) {
+  const std::string text = "int f() { if (x) { y(); } return 0; }\nint g();";
+  const std::string body = bitio::lint::body_after(text, "int f()");
+  EXPECT_NE(body.find("return 0;"), std::string::npos);
+  EXPECT_EQ(body.find("int g"), std::string::npos);
+}
+
+TEST(LintRawIo, FlagsNakedFileIoOutsideFsim) {
+  FixtureTree tree;
+  const std::string bad =
+      "#include <fstream>\n"
+      "void leak() {\n"
+      "  std::ofstream out(\"direct.txt\");\n"
+      "}\n";
+  tree.write("src/core/bad.cpp", bad);
+  // The same token inside fsim, a comment, or a string must not fire.
+  tree.write("src/fsim/ok.cpp", "void fsim_owns() { auto f = fopen; }\n");
+  tree.write("src/util/ok.cpp",
+             "// std::ofstream mentioned in prose\n"
+             "const char* doc = \"std::ofstream\";\n"
+             "void log_ok() { fprintf(stderr, \"x\"); }\n");
+
+  const auto diags = bitio::lint::check_raw_io(tree.root());
+  ASSERT_EQ(diags.size(), 1u) << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/core/bad.cpp",
+                       expect_line(bad, "std::ofstream"), "raw file I/O"))
+      << dump(diags);
+}
+
+TEST(LintConfigRegistry, FlagsEveryDriftDirection) {
+  FixtureTree tree;
+  const std::string header =
+      "struct IoConfigKey { const char* k; const char* f; bool v; };\n"
+      "inline constexpr IoConfigKey kBit1IoConfigKeys[] = {\n"
+      "    {\"engine\", \"engine\", true},\n"
+      "    {\"codec\", \"codec\", true},\n"
+      "    {\"ghost\", \"ghost_field\", false},\n"
+      "};\n"
+      "struct Bit1IoConfig {\n"
+      "  std::string engine;\n"
+      "  std::string codec;\n"
+      "};\n";
+  const std::string impl =
+      "#include \"core/io_config.hpp\"\n"
+      "void Bit1IoConfig::validate() const {\n"
+      "  if (engine != \"bp4\") throw UsageError(\"bad engine\");\n"
+      "}\n"
+      "Bit1IoConfig Bit1IoConfig::from_toml(const std::string& text) {\n"
+      "  config.engine = io.get_or(\"engine\", Json(\"bp4\")).as_string();\n"
+      "  config.codec = io.get_or(\"codec\", Json(\"none\")).as_string();\n"
+      "  config.x = io.get_or(\"mystery\", Json(0)).as_int();\n"
+      "}\n"
+      "std::string Bit1IoConfig::to_toml() const {\n"
+      "  out += \"engine = bp4\";\n"
+      "  out += \"codec = none\";\n"
+      "}\n";
+  tree.write("src/core/io_config.hpp", header);
+  tree.write("src/core/io_config.cpp", impl);
+
+  const auto diags = bitio::lint::check_config_registry(tree.root());
+  // 'codec' is flagged validated but validate() never touches it.
+  EXPECT_TRUE(has_diag(diags, "src/core/io_config.cpp",
+                       expect_line(impl, "Bit1IoConfig::validate"),
+                       "'codec'"))
+      << dump(diags);
+  // 'ghost' is registered but neither a member nor parsed nor rendered.
+  EXPECT_TRUE(has_diag(diags, "src/core/io_config.hpp",
+                       expect_line(header, "{\"ghost\""),
+                       "not a Bit1IoConfig member"))
+      << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/core/io_config.cpp",
+                       expect_line(impl, "Bit1IoConfig::from_toml"),
+                       "'ghost' from the registry is never parsed"))
+      << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/core/io_config.cpp",
+                       expect_line(impl, "Bit1IoConfig::to_toml"),
+                       "'ghost' from the registry is never rendered"))
+      << dump(diags);
+  // from_toml reads 'mystery', which the registry does not declare.
+  EXPECT_TRUE(has_diag(diags, "src/core/io_config.cpp",
+                       expect_line(impl, "Bit1IoConfig::from_toml"),
+                       "'mystery'"))
+      << dump(diags);
+  EXPECT_EQ(diags.size(), 5u) << dump(diags);
+}
+
+TEST(LintDarshanCounters, FlagsTableAndWireFormatDrift) {
+  FixtureTree tree;
+  const std::string header =
+      "struct FileRecord {\n"
+      "  std::string path;\n"
+      "  std::uint64_t opens = 0;\n"
+      "  std::uint64_t writes = 0;\n"
+      "  std::uint64_t zots = 0;\n"
+      "};\n"
+      "inline constexpr const char* kFileRecordCounters[] = {\n"
+      "    \"opens\",\n"
+      "    \"writes\",\n"
+      "    \"phantom\",\n"
+      "};\n";
+  const std::string impl =
+      "#include \"darshan/darshan.hpp\"\n"
+      "std::vector<std::uint8_t> DarshanLog::serialize() const {\n"
+      "  put_u64(out, r.opens);\n"
+      "}\n"
+      "DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {\n"
+      "  r.opens = cur.u64();\n"
+      "}\n";
+  tree.write("src/darshan/darshan.hpp", header);
+  tree.write("src/darshan/darshan.cpp", impl);
+
+  const auto diags = bitio::lint::check_darshan_counters(tree.root());
+  // 'phantom' is declared in the table but not a struct member.
+  EXPECT_TRUE(has_diag(diags, "src/darshan/darshan.hpp",
+                       expect_line(header, "\"phantom\""), "'phantom'"))
+      << dump(diags);
+  // 'writes' is a registered member but serialize()/parse() both miss it.
+  EXPECT_TRUE(has_diag(diags, "src/darshan/darshan.cpp",
+                       expect_line(impl, "DarshanLog::serialize"),
+                       "'writes' is never referenced by serialize()"))
+      << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/darshan/darshan.cpp",
+                       expect_line(impl, "DarshanLog::parse"),
+                       "'writes' is never referenced by parse()"))
+      << dump(diags);
+  // 'zots' is a numeric member missing from the table.
+  EXPECT_TRUE(has_diag(diags, "src/darshan/darshan.hpp",
+                       expect_line(header, "struct FileRecord"), "'zots'"))
+      << dump(diags);
+}
+
+TEST(LintTraceOpKinds, FlagsUnhandledEnumerator) {
+  FixtureTree tree;
+  const std::string types =
+      "enum class OpKind : std::uint8_t {\n"
+      "  alpha,\n"
+      "  beta,\n"
+      "  cpu,\n"
+      "};\n"
+      "inline const char* op_name(OpKind kind) {\n"
+      "  switch (kind) {\n"
+      "    case OpKind::alpha: return \"alpha\";\n"
+      "    case OpKind::cpu: return \"cpu\";\n"
+      "  }\n"
+      "  return \"?\";\n"
+      "}\n"
+      "inline ServiceClass service_class(OpKind kind) {\n"
+      "  switch (kind) {\n"
+      "    case OpKind::alpha: return ServiceClass::meta;\n"
+      "    case OpKind::beta: return ServiceClass::data;\n"
+      "    case OpKind::cpu: return ServiceClass::cpu;\n"
+      "  }\n"
+      "}\n";
+  const std::string capture =
+      "DarshanLog capture(const fsim::SharedFs& fs) {\n"
+      "  switch (op.kind) {\n"
+      "    case OpKind::alpha: break;\n"
+      "    case OpKind::beta: break;\n"
+      "    case OpKind::cpu: break;\n"
+      "  }\n"
+      "}\n";
+  tree.write("src/fsim/types.hpp", types);
+  tree.write("src/darshan/darshan.cpp", capture);
+
+  const auto diags = bitio::lint::check_traceop_kinds(tree.root());
+  ASSERT_EQ(diags.size(), 1u) << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/fsim/types.hpp",
+                       expect_line(types, "beta,"),
+                       "OpKind::beta has no case in op_name()"))
+      << dump(diags);
+}
+
+// The invariant the `lint` ctest label enforces, exercised from the unit
+// suite too: the real tree is clean under every rule.
+TEST(LintRealTree, AllRulesPass) {
+  const auto diags = bitio::lint::run_all(BITIO_SOURCE_ROOT);
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}

@@ -1,0 +1,527 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace bitio::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool has_cxx_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Relative path with forward slashes, for stable diagnostics.
+std::string rel_path(const fs::path& path, const fs::path& root) {
+  std::string out = fs::relative(path, root).generic_string();
+  return out.empty() ? path.generic_string() : out;
+}
+
+struct SourceFile {
+  std::string rel;   // path relative to the root
+  std::string text;  // raw contents
+};
+
+/// Load one file under the root; missing files yield an empty text (the
+/// rules report that as a diagnostic so a renamed file cannot silently
+/// disable its checks).
+SourceFile load(const std::string& root, const std::string& rel) {
+  return {rel, read_file(fs::path(root) / rel)};
+}
+
+void require_loaded(const SourceFile& file, const char* rule,
+                    std::vector<Diagnostic>& out) {
+  if (file.text.empty())
+    out.push_back({file.rel, 1, rule,
+                   "expected source file is missing or empty; the " +
+                       std::string(rule) + " invariant cannot be checked"});
+}
+
+/// Quoted strings captured by `pattern`'s first group inside `body`.
+std::vector<std::string> captures(const std::string& body,
+                                  const std::regex& pattern) {
+  std::vector<std::string> out;
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), pattern);
+       it != std::sregex_iterator(); ++it)
+    out.push_back((*it)[1].str());
+  return out;
+}
+
+}  // namespace
+
+std::string format_diagnostic(const Diagnostic& diag) {
+  return diag.file + ":" + std::to_string(diag.line) + ": [" + diag.rule +
+         "] " + diag.message;
+}
+
+std::string strip_comments(const std::string& text) {
+  std::string out = text;
+  enum class State { code, string, chr, line_comment, block_comment };
+  State state = State::code;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::code:
+        if (c == '/' && next == '/') {
+          state = State::line_comment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::block_comment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::string;
+        } else if (c == '\'') {
+          state = State::chr;
+        }
+        break;
+      case State::string:
+        if (c == '\\')
+          ++i;
+        else if (c == '"')
+          state = State::code;
+        break;
+      case State::chr:
+        if (c == '\\')
+          ++i;
+        else if (c == '\'')
+          state = State::code;
+        break;
+      case State::line_comment:
+        if (c == '\n')
+          state = State::code;
+        else
+          out[i] = ' ';
+        break;
+      case State::block_comment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string strip_string_literals(const std::string& text) {
+  std::string out = text;
+  enum class State { code, string, chr };
+  State state = State::code;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    switch (state) {
+      case State::code:
+        if (c == '"')
+          state = State::string;
+        else if (c == '\'')
+          state = State::chr;
+        break;
+      case State::string:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && out[i + 1] != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::chr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && out[i + 1] != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return 1 + std::size_t(std::count(text.begin(),
+                                    text.begin() +
+                                        std::ptrdiff_t(std::min(
+                                            pos, text.size())),
+                                    '\n'));
+}
+
+std::string body_after(const std::string& text, const std::string& anchor,
+                       std::size_t* line, std::size_t from) {
+  const std::size_t at = text.find(anchor, from);
+  if (at == std::string::npos) return {};
+  if (line) *line = line_of(text, at);
+  const std::size_t open = text.find('{', at + anchor.size());
+  if (open == std::string::npos) return {};
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0)
+      return text.substr(open + 1, i - open - 1);
+  }
+  return {};
+}
+
+// --- raw-io ----------------------------------------------------------------
+
+std::vector<Diagnostic> check_raw_io(const std::string& root) {
+  std::vector<Diagnostic> out;
+  const fs::path src = fs::path(root) / "src";
+  if (!fs::exists(src)) {
+    out.push_back({"src", 1, "raw-io", "no src/ directory under lint root"});
+    return out;
+  }
+  // Tokens that reach the real file system behind fsim's back.  fprintf is
+  // allowed only with stderr (console logging); everything else must go
+  // through fsim::FsClient so the trace and Darshan capture see it.
+  static const std::regex banned(
+      R"((\bfopen\s*\()|(\bfwrite\s*\()|(\bfread\s*\()|(\bfscanf\s*\()|(\bfputs\s*\()|(\bstd::ofstream\b)|(\bstd::ifstream\b)|(\bstd::fstream\b)|(\bstd::filesystem\b)|(\bfprintf\s*\(\s*(?!stderr\b)))");
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file() || !has_cxx_extension(entry.path()))
+      continue;
+    const std::string rel = rel_path(entry.path(), fs::path(root));
+    // fsim is the one layer allowed to model/own file access.
+    if (rel.rfind("src/fsim/", 0) == 0) continue;
+    const std::string text =
+        strip_string_literals(strip_comments(read_file(entry.path())));
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), banned);
+         it != std::sregex_iterator(); ++it) {
+      const std::size_t pos = std::size_t(it->position());
+      out.push_back(
+          {rel, line_of(text, pos), "raw-io",
+           "raw file I/O ('" + it->str() +
+               "...') outside src/fsim — route it through fsim::FsClient "
+               "so the trace, replay, and Darshan capture observe it"});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return out;
+}
+
+// --- config-registry -------------------------------------------------------
+
+namespace {
+
+struct ConfigKey {
+  std::string key;
+  std::string field;
+  bool validated = false;
+  std::size_t line = 0;  // of the registry row in io_config.hpp
+};
+
+std::vector<ConfigKey> parse_config_registry(const std::string& header) {
+  std::vector<ConfigKey> rows;
+  std::size_t table_line = 0;
+  const std::string table =
+      body_after(header, "kBit1IoConfigKeys[]", &table_line);
+  static const std::regex row(
+      R"re(\{\s*"([^"]+)"\s*,\s*"([^"]+)"\s*,\s*(true|false)\s*\})re");
+  for (auto it = std::sregex_iterator(table.begin(), table.end(), row);
+       it != std::sregex_iterator(); ++it) {
+    ConfigKey k;
+    k.key = (*it)[1].str();
+    k.field = (*it)[2].str();
+    k.validated = (*it)[3].str() == "true";
+    // Line within the full header: table offset + offset inside the body.
+    const std::size_t at = header.find(table);
+    k.line = at == std::string::npos
+                 ? table_line
+                 : line_of(header, at + std::size_t(it->position()));
+    rows.push_back(std::move(k));
+  }
+  return rows;
+}
+
+/// Last component of a dotted field path ("striping.stripe_count" ->
+/// "stripe_count"): the token validate()/the struct body actually spells.
+std::string field_token(const std::string& field) {
+  const std::size_t dot = field.rfind('.');
+  return dot == std::string::npos ? field : field.substr(dot + 1);
+}
+
+bool contains_token(const std::string& body, const std::string& token) {
+  const auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  for (std::size_t at = body.find(token); at != std::string::npos;
+       at = body.find(token, at + 1)) {
+    const bool left_ok = at == 0 || !is_ident(body[at - 1]);
+    const std::size_t end = at + token.size();
+    const bool right_ok = end >= body.size() || !is_ident(body[end]);
+    if (left_ok && right_ok) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_config_registry(const std::string& root) {
+  std::vector<Diagnostic> out;
+  const SourceFile header = load(root, "src/core/io_config.hpp");
+  const SourceFile impl = load(root, "src/core/io_config.cpp");
+  require_loaded(header, "config-registry", out);
+  require_loaded(impl, "config-registry", out);
+  if (!out.empty()) return out;
+
+  const std::string header_code = strip_comments(header.text);
+  const std::string impl_code = strip_comments(impl.text);
+  const auto rows = parse_config_registry(header_code);
+  if (rows.empty()) {
+    out.push_back({header.rel, 1, "config-registry",
+                   "kBit1IoConfigKeys registry not found or empty"});
+    return out;
+  }
+
+  std::size_t struct_line = 0, from_line = 0, to_line = 0, validate_line = 0;
+  const std::string struct_body =
+      body_after(header_code, "struct Bit1IoConfig", &struct_line);
+  const std::string from_body =
+      body_after(impl_code, "Bit1IoConfig::from_toml", &from_line);
+  const std::string to_body =
+      body_after(impl_code, "Bit1IoConfig::to_toml", &to_line);
+  const std::string validate_body =
+      body_after(impl_code, "Bit1IoConfig::validate", &validate_line);
+  if (struct_body.empty())
+    out.push_back({header.rel, 1, "config-registry",
+                   "struct Bit1IoConfig definition not found"});
+  for (const auto& [anchor, body, line] :
+       {std::tuple{"from_toml", &from_body, from_line},
+        std::tuple{"to_toml", &to_body, to_line},
+        std::tuple{"validate", &validate_body, validate_line}}) {
+    if (body->empty())
+      out.push_back({impl.rel, std::max<std::size_t>(line, 1),
+                     "config-registry",
+                     std::string("Bit1IoConfig::") + anchor +
+                         " definition not found"});
+  }
+  if (!out.empty()) return out;
+
+  for (const auto& row : rows) {
+    const std::string token = field_token(row.field);
+    if (!contains_token(struct_body, token))
+      out.push_back({header.rel, row.line, "config-registry",
+                     "registry field '" + row.field +
+                         "' is not a Bit1IoConfig member"});
+    if (from_body.find('"' + row.key + '"') == std::string::npos)
+      out.push_back({impl.rel, from_line, "config-registry",
+                     "key '" + row.key +
+                         "' from the registry is never parsed in from_toml"});
+    if (to_body.find(row.key) == std::string::npos)
+      out.push_back({impl.rel, to_line, "config-registry",
+                     "key '" + row.key +
+                         "' from the registry is never rendered in to_toml"});
+    if (row.validated && !contains_token(validate_body, token))
+      out.push_back(
+          {impl.rel, validate_line, "config-registry",
+           "field '" + row.field +
+               "' is flagged validated but validate() never checks it"});
+  }
+
+  // Reverse direction: a key from_toml reads must be in the registry.
+  static const std::regex parsed_key(
+      R"(\b(?:io|striping)\s*\.\s*(?:get_or|contains|at)\s*\(\s*"([^"]+)\")");
+  for (const auto& key : captures(from_body, parsed_key)) {
+    const bool known =
+        std::any_of(rows.begin(), rows.end(),
+                    [&](const ConfigKey& row) { return row.key == key; });
+    if (!known)
+      out.push_back({impl.rel, from_line, "config-registry",
+                     "from_toml parses key '" + key +
+                         "' that is missing from kBit1IoConfigKeys"});
+  }
+  return out;
+}
+
+// --- darshan-counters ------------------------------------------------------
+
+std::vector<Diagnostic> check_darshan_counters(const std::string& root) {
+  std::vector<Diagnostic> out;
+  const SourceFile header = load(root, "src/darshan/darshan.hpp");
+  const SourceFile impl = load(root, "src/darshan/darshan.cpp");
+  require_loaded(header, "darshan-counters", out);
+  require_loaded(impl, "darshan-counters", out);
+  if (!out.empty()) return out;
+
+  const std::string header_code = strip_comments(header.text);
+  const std::string impl_code = strip_comments(impl.text);
+
+  std::size_t table_line = 0;
+  const std::string table =
+      body_after(header_code, "kFileRecordCounters[]", &table_line);
+  static const std::regex quoted(R"re("([^"]+)")re");
+  const std::vector<std::string> counters = captures(table, quoted);
+  if (counters.empty()) {
+    out.push_back({header.rel, 1, "darshan-counters",
+                   "kFileRecordCounters table not found or empty"});
+    return out;
+  }
+
+  std::size_t struct_line = 0, ser_line = 0, parse_line = 0;
+  const std::string record_body =
+      body_after(header_code, "struct FileRecord", &struct_line);
+  const std::string ser_body =
+      body_after(impl_code, "DarshanLog::serialize", &ser_line);
+  const std::string parse_body =
+      body_after(impl_code, "DarshanLog::parse", &parse_line);
+  if (record_body.empty()) {
+    out.push_back({header.rel, 1, "darshan-counters",
+                   "struct FileRecord definition not found"});
+    return out;
+  }
+  if (ser_body.empty() || parse_body.empty()) {
+    out.push_back({impl.rel, 1, "darshan-counters",
+                   "DarshanLog::serialize/parse definitions not found"});
+    return out;
+  }
+
+  for (const auto& counter : counters) {
+    const std::size_t at = table.find('"' + counter + '"');
+    const std::size_t row_line =
+        at == std::string::npos
+            ? table_line
+            : line_of(header_code, header_code.find(table) + at);
+    if (!contains_token(record_body, counter))
+      out.push_back({header.rel, row_line, "darshan-counters",
+                     "counter '" + counter +
+                         "' is declared in kFileRecordCounters but is not "
+                         "a FileRecord member"});
+    for (const auto& [what, body, line] :
+         {std::tuple{"serialize()", &ser_body, ser_line},
+          std::tuple{"parse()", &parse_body, parse_line}}) {
+      if (!contains_token(*body, counter))
+        out.push_back({impl.rel, line, "darshan-counters",
+                       "counter '" + counter + "' is never referenced by " +
+                           std::string(what) +
+                           " — it would be dropped from the log format"});
+    }
+  }
+
+  // Reverse: every numeric FileRecord member must be declared a counter.
+  static const std::regex member(
+      R"((?:std::uint64_t|double)\s+([a-zA-Z_]\w*)\s*=)");
+  for (const auto& name : captures(record_body, member)) {
+    const bool known =
+        std::find(counters.begin(), counters.end(), name) != counters.end();
+    if (!known)
+      out.push_back({header.rel, struct_line, "darshan-counters",
+                     "FileRecord member '" + name +
+                         "' is missing from kFileRecordCounters"});
+  }
+  return out;
+}
+
+// --- traceop-kinds ---------------------------------------------------------
+
+std::vector<Diagnostic> check_traceop_kinds(const std::string& root) {
+  std::vector<Diagnostic> out;
+  const SourceFile types = load(root, "src/fsim/types.hpp");
+  const SourceFile darshan = load(root, "src/darshan/darshan.cpp");
+  require_loaded(types, "traceop-kinds", out);
+  require_loaded(darshan, "traceop-kinds", out);
+  if (!out.empty()) return out;
+
+  const std::string types_code = strip_comments(types.text);
+  const std::string darshan_code = strip_comments(darshan.text);
+
+  std::size_t enum_line = 0;
+  const std::string enum_body =
+      body_after(types_code, "enum class OpKind", &enum_line);
+  static const std::regex enumerator(R"(\b([a-z_][a-z0-9_]*)\s*,)");
+  const std::vector<std::string> kinds = captures(enum_body, enumerator);
+  if (kinds.empty()) {
+    out.push_back({types.rel, 1, "traceop-kinds",
+                   "enum class OpKind not found or empty"});
+    return out;
+  }
+
+  const std::string op_name_body = body_after(types_code, "op_name(OpKind");
+  const std::string service_body =
+      body_after(types_code, "service_class(OpKind");
+  // The Darshan capture switch lives inside capture(); take its whole body.
+  const std::string capture_body = body_after(darshan_code, "capture(");
+  const struct {
+    const char* what;
+    const std::string* body;
+    const SourceFile* in;
+  } switches[] = {
+      {"op_name()", &op_name_body, &types},
+      {"service_class()", &service_body, &types},
+      {"the Darshan capture switch", &capture_body, &darshan},
+  };
+  for (const auto& sw : switches) {
+    if (sw.body->empty()) {
+      out.push_back({sw.in->rel, 1, "traceop-kinds",
+                     std::string(sw.what) + " definition not found"});
+      return out;
+    }
+  }
+
+  for (const auto& kind : kinds) {
+    const std::size_t at = enum_body.find(kind);
+    const std::size_t kind_line =
+        at == std::string::npos
+            ? enum_line
+            : line_of(types_code, types_code.find(enum_body) + at);
+    for (const auto& sw : switches) {
+      static const std::string prefix = "case OpKind::";
+      bool handled = false;
+      for (std::size_t p = sw.body->find(prefix); p != std::string::npos;
+           p = sw.body->find(prefix, p + 1)) {
+        std::size_t end = p + prefix.size();
+        std::size_t stop = end;
+        while (stop < sw.body->size() &&
+               (std::isalnum(static_cast<unsigned char>((*sw.body)[stop])) ||
+                (*sw.body)[stop] == '_'))
+          ++stop;
+        if (sw.body->compare(end, stop - end, kind) == 0) {
+          handled = true;
+          break;
+        }
+      }
+      if (!handled)
+        out.push_back({sw.in->rel, kind_line, "traceop-kinds",
+                       "OpKind::" + kind + " has no case in " + sw.what});
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> run_all(const std::string& root) {
+  std::vector<Diagnostic> out;
+  for (const auto& rule :
+       {check_raw_io, check_config_registry, check_darshan_counters,
+        check_traceop_kinds}) {
+    auto found = rule(root);
+    out.insert(out.end(), found.begin(), found.end());
+  }
+  return out;
+}
+
+}  // namespace bitio::lint

@@ -1,0 +1,84 @@
+#pragma once
+// In-tree invariant linter for the bitio sources (tools/lint_invariants).
+//
+// The codebase keeps several cross-file invariants that the compiler cannot
+// check: all file I/O goes through the fsim layer, the Bit1IoConfig TOML
+// surface is driven off one key registry, the Darshan counter set is
+// declared in one table, and every TraceOp kind is explicitly classified
+// and captured.  Each rule here re-derives one of those invariants from the
+// sources textually (comment-aware, brace-matched) and reports violations
+// as file:line diagnostics.  The `lint`-labeled ctest runs the whole suite
+// over the real tree; tests/lint_test.cpp runs each rule against fixture
+// trees with seeded violations.
+//
+// The rules are deliberately textual, not AST-based: the tree has no
+// guaranteed clang on the build host, and the invariants are all "token X
+// must appear inside function Y" shapes that survive formatting changes.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bitio::lint {
+
+/// One violation, pointing at the source line that must change.
+struct Diagnostic {
+  std::string file;     // path relative to the scanned root
+  std::size_t line = 0; // 1-based
+  std::string rule;     // rule id: "raw-io", "config-registry", ...
+  std::string message;
+};
+
+/// `file:line: [rule] message` — the format editors and CI logs understand.
+std::string format_diagnostic(const Diagnostic& diag);
+
+// --- source-text helpers (exposed for the fixture tests) -------------------
+
+/// Replace //-comments and /*...*/ comments with spaces, preserving line
+/// structure so byte offsets still map to the original line numbers.
+std::string strip_comments(const std::string& text);
+
+/// Additionally blank out string and character literals (for rules that
+/// must not match tokens inside strings).  Input should already be
+/// comment-stripped.
+std::string strip_string_literals(const std::string& text);
+
+/// 1-based line number of byte offset `pos` in `text`.
+std::size_t line_of(const std::string& text, std::size_t pos);
+
+/// Extract the brace-delimited body following the first occurrence of
+/// `anchor` at or after `from`.  Returns the body (without the outer
+/// braces) and sets `*line` to the 1-based line of the anchor.  Returns an
+/// empty string when the anchor or a matched brace pair is not found.
+std::string body_after(const std::string& text, const std::string& anchor,
+                       std::size_t* line = nullptr, std::size_t from = 0);
+
+// --- rules -----------------------------------------------------------------
+
+/// raw-io: no naked stdio/iostream file access outside src/fsim.  All file
+/// traffic must go through fsim::FsClient so the trace, the timing replay,
+/// and the Darshan capture see it.  (fprintf to stderr is allowed: console
+/// logging is not file I/O.)
+std::vector<Diagnostic> check_raw_io(const std::string& root);
+
+/// config-registry: every row of core::kBit1IoConfigKeys is parsed by
+/// Bit1IoConfig::from_toml, rendered by to_toml, declared as a struct
+/// field, and (when flagged validated) constrained in validate(); and every
+/// key from_toml reads appears in the registry.
+std::vector<Diagnostic> check_config_registry(const std::string& root);
+
+/// darshan-counters: every name in darshan::kFileRecordCounters is a
+/// FileRecord member referenced by both serialize() and parse(), and every
+/// numeric FileRecord member is listed in the table.
+std::vector<Diagnostic> check_darshan_counters(const std::string& root);
+
+/// traceop-kinds: every OpKind enumerator has a `case OpKind::<kind>` in
+/// op_name(), in service_class() (the replay dispatch), and in the Darshan
+/// capture switch.
+std::vector<Diagnostic> check_traceop_kinds(const std::string& root);
+
+/// All rules over the tree rooted at `root` (the repository checkout: the
+/// rules look under `<root>/src`).  Diagnostics are ordered by rule.
+std::vector<Diagnostic> run_all(const std::string& root);
+
+}  // namespace bitio::lint

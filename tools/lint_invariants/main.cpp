@@ -1,0 +1,80 @@
+// lint_invariants — the in-tree invariant linter (see lint.hpp).
+//
+//   lint_invariants [--rule <id>]... [root]
+//
+// `root` defaults to the current directory and must be a repository
+// checkout (the rules look under <root>/src).  With --rule only the named
+// rules run (ids: raw-io, config-registry, darshan-counters,
+// traceop-kinds).  Exit status: 0 clean, 1 violations found, 2 bad usage.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using bitio::lint::Diagnostic;
+
+struct Rule {
+  const char* id;
+  std::vector<Diagnostic> (*run)(const std::string&);
+};
+
+constexpr Rule kRules[] = {
+    {"raw-io", bitio::lint::check_raw_io},
+    {"config-registry", bitio::lint::check_config_registry},
+    {"darshan-counters", bitio::lint::check_darshan_counters},
+    {"traceop-kinds", bitio::lint::check_traceop_kinds},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> selected;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rule") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "lint_invariants: --rule needs an argument\n");
+        return 2;
+      }
+      selected.emplace_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: lint_invariants [--rule <id>]... [root]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "lint_invariants: unknown option '%s'\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      root = arg;
+    }
+  }
+
+  std::vector<Diagnostic> diagnostics;
+  int rules_run = 0;
+  for (const Rule& rule : kRules) {
+    if (!selected.empty()) {
+      bool wanted = false;
+      for (const auto& id : selected) wanted = wanted || id == rule.id;
+      if (!wanted) continue;
+    }
+    ++rules_run;
+    auto found = rule.run(root);
+    diagnostics.insert(diagnostics.end(), found.begin(), found.end());
+  }
+  if (rules_run == 0) {
+    std::fprintf(stderr, "lint_invariants: no matching rules\n");
+    return 2;
+  }
+
+  for (const auto& diag : diagnostics)
+    std::fprintf(stderr, "%s\n", bitio::lint::format_diagnostic(diag).c_str());
+  std::fprintf(stderr, "lint_invariants: %d rule(s), %zu violation(s)\n",
+               rules_run, diagnostics.size());
+  return diagnostics.empty() ? 0 : 1;
+}
