@@ -9,7 +9,9 @@
 #                          which also runs the linter's own fixture tests)
 #   4. clang-tidy          bugprone/performance/concurrency profile
 #                          (no-op without clang-tidy installed)
-#   5. full test suite     default preset, all labels
+#   5. full test suite     default preset, all labels (includes the `perf`
+#                          smoke test; the full codec sweep is
+#                          scripts/bench_report.sh -> BENCH_codecs.json)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "compress/codec.hpp"
+#include "compress/parallel.hpp"
 #include "util/crc32c.hpp"
 #include "util/error.hpp"
 
@@ -96,8 +97,12 @@ std::vector<std::uint8_t> Reader::read(std::uint64_t step,
     if (chunk.operator_name.empty()) {
       raw = std::move(stored);
     } else {
+      // Dispatch on the frame magic: handles both legacy single-block
+      // frames and the CZP1 block-parallel container a writer with
+      // compress_threads > 1 produces.  The named codec still supplies the
+      // modelled decompression speed.
       auto codec = cz::make_codec(chunk.operator_name, elem);
-      raw = codec->decompress(stored);
+      raw = cz::decompress_frame(stored);
       io.charge_cpu(double(raw.size()) / codec->decompress_speed_bps(),
                     "decompress");
     }

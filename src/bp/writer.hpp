@@ -47,6 +47,7 @@
 
 #include "bp/format.hpp"
 #include "bp/types.hpp"
+#include "compress/buffer_pool.hpp"
 #include "compress/codec.hpp"
 #include "fsim/posix_fs.hpp"
 #include "util/json.hpp"
@@ -69,6 +70,14 @@ struct EngineConfig {
   int ranks_per_node = 128;
   std::string codec = "none";      // operator applied to every chunk
   std::size_t codec_typesize = 4;
+  /// Block-parallel compression (the operator's `threads`/`block_kb`
+  /// parameters): with threads > 1 the codec is wrapped in a
+  /// cz::ParallelCodec that splits each chunk into compress_block_kb-KiB
+  /// blocks compressed concurrently, and the CPU charge uses
+  /// fsim::parallel_cpu_seconds instead of the serial figure.  Frames stay
+  /// byte-identical for any thread count.
+  int compress_threads = 1;
+  std::size_t compress_block_kb = 1024;
   bool profiling = false;          // emit profiling.json
   double mem_bandwidth_bps = 8e9;  // modelled memcopy speed
   /// Stored/raw size ratio applied to put_synthetic() chunks when a codec
@@ -171,6 +180,17 @@ public:
     return steps_written_;
   }
 
+  /// Buffer-pool counters for the marshalling hot path: staged put()
+  /// payloads and per-aggregator aggregation buffers all cycle through the
+  /// writer's private pool, so after a one-step warmup every steady-state
+  /// acquire is a hit (no per-chunk heap allocation — asserted >= 99% in
+  /// tests).
+  cz::BufferPool::Stats pool_stats() const { return buffer_pool_.stats(); }
+
+  /// Zero the pool counters (keeps the warm freelists) so steady-state hit
+  /// rate can be measured after a warmup step.
+  void reset_pool_stats() { buffer_pool_.reset_stats(); }
+
   /// Drain-watchdog counters (all zero when the watchdog is disabled).
   struct WatchdogStats {
     std::uint64_t timeouts = 0;         // stalled-lane cancellations issued
@@ -222,6 +242,12 @@ private:
   int leader_of(int aggregator) const;
   void drain_step(const StepJob& job);
   void drain_job_with_retries(const StepJob& job) EXCLUDES(drain_mutex_);
+  /// Return a drained job's chunk buffers to the pool (after the last
+  /// retry — a retried attempt re-reads the same buffers).
+  void recycle_job(StepJob& job);
+  /// CPU seconds charged for compressing `raw_bytes` (parallel wall time
+  /// when compress_threads > 1, serial otherwise).
+  double compress_cpu_seconds(std::uint64_t raw_bytes) const;
   DrainSnapshot snapshot_drain_state() const;
   void restore_drain_state(const DrainSnapshot& snap);
   void drain_loop() EXCLUDES(drain_mutex_);
@@ -237,6 +263,10 @@ private:
   EngineConfig config_;
   int nranks_;
   int num_aggregators_;
+  // Recycles every hot-path buffer (declared before codec_: a ParallelCodec
+  // wrapper keeps a pointer to it).  Thread-safe; shared by rank threads in
+  // put() and whichever thread drains.
+  cz::BufferPool buffer_pool_;
   std::unique_ptr<cz::Codec> codec_;  // null when config_.codec == "none"
 
   // Step-state lock.  Taken before drain_mutex_ (begin_step holds it while

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "compress/bwt.hpp"
+#include "compress/frame.hpp"
 #include "compress/huffman.hpp"
 #include "compress/lz.hpp"
 #include "compress/shuffle.hpp"
@@ -13,58 +14,6 @@
 namespace bitio::cz {
 
 namespace {
-
-void put_u32(Bytes& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
-}
-
-void put_u64(Bytes& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
-}
-
-class Cursor {
-public:
-  explicit Cursor(ByteSpan data) : data_(data) {}
-
-  std::uint8_t u8() {
-    need(1);
-    return data_[pos_++];
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= std::uint32_t(data_[pos_++]) << (8 * i);
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= std::uint64_t(data_[pos_++]) << (8 * i);
-    return v;
-  }
-  ByteSpan bytes(std::size_t n) {
-    need(n);
-    ByteSpan s = data_.subspan(pos_, n);
-    pos_ += n;
-    return s;
-  }
-  ByteSpan rest() { return data_.subspan(pos_); }
-  std::size_t remaining() const { return data_.size() - pos_; }
-
-private:
-  void need(std::size_t n) const {
-    if (pos_ + n > data_.size())
-      throw FormatError("codec: truncated frame");
-  }
-  ByteSpan data_;
-  std::size_t pos_ = 0;
-};
-
-void check_magic(Cursor& cur, const char* magic) {
-  for (int i = 0; i < 4; ++i)
-    if (cur.u8() != std::uint8_t(magic[i]))
-      throw FormatError("codec: bad frame magic");
-}
 
 // ---------------------------------------------------------------- none ----
 
@@ -75,10 +24,14 @@ public:
   Bytes compress(ByteSpan input) const override {
     Bytes out;
     out.reserve(input.size() + 12);
+    compress_append(input, out);
+    return out;
+  }
+
+  void compress_append(ByteSpan input, Bytes& out) const override {
     out.insert(out.end(), {'R', 'A', 'W', '1'});
     put_u64(out, input.size());
     out.insert(out.end(), input.begin(), input.end());
-    return out;
   }
 
   Bytes decompress(ByteSpan frame) const override {
@@ -107,7 +60,18 @@ public:
 
   Bytes compress(ByteSpan input) const override {
     Bytes out;
-    out.reserve(input.size() / 2 + 32);
+    // Full worst-case bound (raw fallback caps every chunk at raw size plus
+    // headers, and the LZ stage transiently needs its own bound): one
+    // allocation, no mid-frame reallocation/copy.
+    out.reserve(input.size() + input.size() / 255 + 13 * (input.size() / kChunk + 1) + 32);
+    compress_append(input, out);
+    return out;
+  }
+
+  void compress_append(ByteSpan input, Bytes& out) const override {
+    // Thread-local shuffle scratch: one chunk's worth, reused forever.
+    thread_local Bytes shuffled;
+
     out.insert(out.end(), {'B', 'L', 'L', '1'});
     out.push_back(std::uint8_t(typesize_));
     put_u64(out, input.size());
@@ -118,23 +82,33 @@ public:
       const std::size_t off = std::size_t(c) * kChunk;
       const std::size_t len = std::min(kChunk, input.size() - off);
       ByteSpan chunk = input.subspan(off, len);
-      Bytes shuffled = shuffle(chunk, typesize_);
-      Bytes packed = lz_compress_block(shuffled);
+      if (shuffled.size() < len) shuffled.resize(len);
+      shuffle_into(chunk, typesize_, shuffled.data());
+      // Optimistically write the compressed-chunk header and LZ straight
+      // into the frame; if the chunk turns out incompressible, roll back
+      // to the mode byte and store it raw.  Saves the temporary packed
+      // buffer (and its copy) the seed pipeline made per chunk.
       put_u32(out, std::uint32_t(len));
-      if (packed.size() < len) {
-        out.push_back(1);  // chunk mode: shuffle+lz
-        put_u32(out, std::uint32_t(packed.size()));
-        out.insert(out.end(), packed.begin(), packed.end());
+      out.push_back(1);  // chunk mode: shuffle+lz (tentative)
+      const std::size_t enc_pos = out.size();
+      put_u32(out, 0);   // enc_len placeholder
+      const std::size_t body_pos = out.size();
+      lz_compress_block_append(ByteSpan(shuffled.data(), len), out);
+      const std::size_t packed = out.size() - body_pos;
+      if (packed < len) {
+        patch_u32(out, enc_pos, std::uint32_t(packed));
       } else {
+        out.resize(enc_pos - 1);
         out.push_back(0);  // chunk mode: raw
         put_u32(out, std::uint32_t(len));
         out.insert(out.end(), chunk.begin(), chunk.end());
       }
     }
-    return out;
   }
 
   Bytes decompress(ByteSpan frame) const override {
+    thread_local Bytes shuffled;
+
     Cursor cur(frame);
     check_magic(cur, "BLL1");
     const std::size_t typesize = cur.u8();
@@ -151,9 +125,15 @@ public:
         if (enc_len != raw_len) throw FormatError("blosc: bad raw chunk");
         out.insert(out.end(), body.begin(), body.end());
       } else if (mode == 1) {
-        Bytes shuffled = lz_decompress_block(body, raw_len);
-        Bytes plain = unshuffle(shuffled, typesize);
-        out.insert(out.end(), plain.begin(), plain.end());
+        if (shuffled.size() < raw_len) shuffled.resize(raw_len);
+        lz_decompress_block_into(body, shuffled.data(), raw_len);
+        // Unshuffle straight into the output (reserve above keeps the
+        // resize from reallocating mid-frame).
+        const std::size_t at = out.size();
+        if (at + raw_len > orig_size) throw FormatError("blosc: size mismatch");
+        out.resize(at + raw_len);
+        unshuffle_into(ByteSpan(shuffled.data(), raw_len), typesize,
+                       out.data() + at);
       } else {
         throw FormatError("blosc: unknown chunk mode");
       }
@@ -231,10 +211,19 @@ public:
   std::string name() const override { return "bzip2"; }
 
   Bytes compress(ByteSpan input) const override {
-    Bytes body;
+    Bytes out;
+    compress_append(input, out);
+    return out;
+  }
+
+  void compress_append(ByteSpan input, Bytes& out) const override {
+    out.insert(out.end(), {'B', 'Z', 'L', '1'});
+    put_u64(out, input.size());
+    out.push_back(1);  // mode: compressed (tentative, rolled back if larger)
+    const std::size_t body_pos = out.size();
     const std::uint32_t nblocks =
         std::uint32_t((input.size() + kBlock - 1) / kBlock);
-    put_u32(body, nblocks);
+    put_u32(out, nblocks);
     for (std::uint32_t b = 0; b < nblocks; ++b) {
       const std::size_t off = std::size_t(b) * kBlock;
       const std::size_t len = std::min(kBlock, input.size() - off);
@@ -243,23 +232,16 @@ public:
       Bytes mtf = mtf_encode(bwt.last_column);
       std::vector<std::uint16_t> symbols = zrle_encode(mtf);
       Bytes enc = huffman_encode(symbols, kAlphabet);
-      put_u32(body, std::uint32_t(len));
-      put_u32(body, bwt.primary_index);
-      put_u32(body, std::uint32_t(enc.size()));
-      body.insert(body.end(), enc.begin(), enc.end());
+      put_u32(out, std::uint32_t(len));
+      put_u32(out, bwt.primary_index);
+      put_u32(out, std::uint32_t(enc.size()));
+      out.insert(out.end(), enc.begin(), enc.end());
     }
-
-    Bytes out;
-    out.insert(out.end(), {'B', 'Z', 'L', '1'});
-    put_u64(out, input.size());
-    if (body.size() < input.size()) {
-      out.push_back(1);
-      out.insert(out.end(), body.begin(), body.end());
-    } else {
-      out.push_back(0);
+    if (out.size() - body_pos >= input.size()) {
+      out.resize(body_pos - 1);
+      out.push_back(0);  // mode: raw
       out.insert(out.end(), input.begin(), input.end());
     }
-    return out;
   }
 
   Bytes decompress(ByteSpan frame) const override {

@@ -35,6 +35,15 @@ public:
   /// is incompressible the frame stores it raw (plus a small header).
   virtual Bytes compress(ByteSpan input) const = 0;
 
+  /// Append the frame compress() would produce onto `out` (byte-identical),
+  /// without the temporary buffer — the zero-copy path bp::Writer uses to
+  /// compress straight into pooled aggregation buffers.  `input` must not
+  /// alias `out`.
+  virtual void compress_append(ByteSpan input, Bytes& out) const {
+    Bytes frame = compress(input);
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+
   /// Inverse of compress().  Throws FormatError on a corrupt frame.
   virtual Bytes decompress(ByteSpan frame) const = 0;
 

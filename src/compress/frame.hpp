@@ -1,0 +1,73 @@
+#pragma once
+// Little-endian frame (de)serialisation helpers shared by every cz codec
+// (codec.cpp, parallel.cpp) and their tests.  Formerly private to codec.cpp;
+// hoisted so the parallel pipeline frames blocks with the same primitives.
+
+#include <cstdint>
+
+#include "compress/codec.hpp"
+#include "util/error.hpp"
+
+namespace bitio::cz {
+
+inline void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+inline void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+/// Overwrite 4 bytes at `pos` in-place (used to patch reserved table slots
+/// once the value is known, e.g. per-block compressed sizes).
+inline void patch_u32(Bytes& out, std::size_t pos, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[pos + std::size_t(i)] = std::uint8_t(v >> (8 * i));
+}
+
+/// Bounds-checked forward reader over a frame; every primitive throws
+/// FormatError instead of reading past the end.
+class Cursor {
+public:
+  explicit Cursor(ByteSpan data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  ByteSpan bytes(std::size_t n) {
+    need(n);
+    ByteSpan s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  ByteSpan rest() { return data_.subspan(pos_); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size())
+      throw FormatError("codec: truncated frame");
+  }
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+inline void check_magic(Cursor& cur, const char* magic) {
+  for (int i = 0; i < 4; ++i)
+    if (cur.u8() != std::uint8_t(magic[i]))
+      throw FormatError("codec: bad frame magic");
+}
+
+}  // namespace bitio::cz

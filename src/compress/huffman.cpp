@@ -181,59 +181,50 @@ std::vector<std::uint16_t> huffman_decode(ByteSpan data) {
   }
   const auto codes = canonical_codes(lengths);
 
-  // Build per-length first-code / first-symbol tables for canonical decode.
-  std::vector<std::size_t> order(alphabet_size);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return lengths[a] < lengths[b];
-  });
-  std::vector<std::uint32_t> first_code(kMaxCodeLen + 2, 0);
-  std::vector<std::uint32_t> first_index(kMaxCodeLen + 2, 0);
-  std::vector<std::uint16_t> symbol_of(alphabet_size);
-  {
-    std::uint32_t idx = 0;
-    for (std::size_t s : order) {
-      if (lengths[s] == 0) continue;
-      symbol_of[idx] = std::uint16_t(s);
-      ++idx;
-    }
-    std::uint32_t running = 0;
-    std::uint32_t code = 0;
-    for (int len = 1; len <= kMaxCodeLen; ++len) {
-      code <<= 1;
-      first_code[len] = code;
-      first_index[len] = running;
-      std::uint32_t count_len = 0;
-      for (std::size_t s = 0; s < alphabet_size; ++s)
-        if (lengths[s] == len) ++count_len;
-      code += count_len;
-      running += count_len;
-    }
-    first_index[kMaxCodeLen + 1] = running;
+  // Table-driven decode: one flat 2^kMaxCodeLen lookup table, indexed by
+  // the next kMaxCodeLen bits of the stream.  A symbol with code C of
+  // length L owns every index whose top L bits equal C; entries pack
+  // (symbol << 4 | L), and 0 (L = 0) marks an index no code reaches.  This
+  // replaces the seed decoder's bit-at-a-time canonical walk (one range
+  // test per bit) with one load per symbol.  The table is thread-local so
+  // block decodes on the drain path allocate nothing after warmup.
+  constexpr std::size_t kTableSize = std::size_t(1) << kMaxCodeLen;
+  thread_local std::vector<std::uint32_t> table;
+  table.assign(kTableSize, 0);
+  for (std::size_t s = 0; s < alphabet_size; ++s) {
+    const int len = lengths[s];
+    if (len == 0) continue;
+    const std::size_t start = std::size_t(codes[s]) << (kMaxCodeLen - len);
+    const std::size_t span = kTableSize >> len;
+    if ((std::size_t(codes[s]) >> len) != 0 || start + span > kTableSize)
+      throw FormatError("huffman: bad length table");
+    const std::uint32_t packed = (std::uint32_t(s) << 4) | std::uint32_t(len);
+    std::fill_n(table.begin() + long(start), span, packed);
   }
 
-  BitReader reader(data.subspan(pos));
+  // Byte-refilled accumulator: peek kMaxCodeLen bits (zero-padded past the
+  // end), look up, consume the winning code's length.
+  const std::uint8_t* p = data.data() + pos;
+  const std::uint8_t* const pend = data.data() + data.size();
+  std::uint64_t acc = 0;
+  int nbits = 0;
   std::vector<std::uint16_t> out;
   out.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    std::uint32_t code = 0;
-    int len = 0;
-    std::uint32_t next_first = 0;
-    // Walk down lengths until the code falls inside this length's range.
-    while (true) {
-      code = (code << 1) | reader.get(1);
-      ++len;
-      if (len > kMaxCodeLen) throw FormatError("huffman: bad code");
-      const std::uint32_t count_len =
-          first_index[std::size_t(len) + 1] - first_index[std::size_t(len)];
-      next_first = first_code[len];
-      if (count_len > 0 && code >= next_first &&
-          code < next_first + count_len) {
-        out.push_back(
-            symbol_of[first_index[std::size_t(len)] + (code - next_first)]);
-        break;
-      }
+    while (nbits < kMaxCodeLen && p < pend) {
+      acc = (acc << 8) | *p++;
+      nbits += 8;
     }
+    const std::uint32_t window =
+        nbits >= kMaxCodeLen
+            ? std::uint32_t(acc >> (nbits - kMaxCodeLen)) & (kTableSize - 1)
+            : std::uint32_t(acc << (kMaxCodeLen - nbits)) & (kTableSize - 1);
+    const std::uint32_t entry = table[window];
+    const int len = int(entry & 0x0F);
+    if (len == 0) throw FormatError("huffman: bad code");
+    if (len > nbits) throw FormatError("huffman: bit stream truncated");
+    nbits -= len;
+    out.push_back(std::uint16_t(entry >> 4));
   }
   return out;
 }

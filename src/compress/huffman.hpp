@@ -5,7 +5,9 @@
 // The encoded stream stores only the code-length table (canonical codes are
 // reconstructed from lengths), then the MSB-first bit stream.  Code lengths
 // are capped at kMaxCodeLen by iterative frequency flattening, the classic
-// bzip2 approach.
+// bzip2 approach.  Decoding is table-driven: a flat 2^kMaxCodeLen lookup
+// resolves one symbol per load (the seed bit-at-a-time canonical walk is
+// preserved in compress/reference.hpp).
 
 #include <cstdint>
 

@@ -8,10 +8,12 @@
 //   match length is stored minus kMinMatch (4).  The final sequence of a
 //   block carries literals only (no offset), again like LZ4.
 //
-// Greedy parse with a 64Ki-entry hash table over 4-byte windows; offsets are
-// limited to 65535.  This is deliberately the same speed/ratio design point
-// as the real LZ4 so the Blosc-like codec built on top inherits realistic
-// behaviour on shuffled float data.
+// Encoder: hash-chain match finder (multi-candidate, bounded walk) with
+// one-step lazy matching and LZ4-style skip acceleration through literal
+// runs, over thread-local scratch tables so repeated calls allocate
+// nothing.  The seed single-probe greedy encoder is preserved in
+// compress/reference.hpp; both emit the same format and their streams are
+// mutually decodable.
 
 #include "compress/codec.hpp"
 
@@ -21,8 +23,18 @@ namespace bitio::cz {
 /// callers (BloscLike frame) must record the original size.
 Bytes lz_compress_block(ByteSpan input);
 
+/// Append-variant: compress `input` onto the end of `out` (no temporary
+/// buffer).  The caller notes out.size() before/after to learn the packed
+/// length.  `input` must not alias `out`.
+void lz_compress_block_append(ByteSpan input, Bytes& out);
+
 /// Decompress one block produced by lz_compress_block().  `original_size`
 /// must match the encoder's input size.  Throws FormatError on corruption.
 Bytes lz_decompress_block(ByteSpan block, std::size_t original_size);
+
+/// Allocation-free variant: decode into `out`, which must hold exactly
+/// `original_size` bytes and not alias `block`.
+void lz_decompress_block_into(ByteSpan block, std::uint8_t* out,
+                              std::size_t original_size);
 
 }  // namespace bitio::cz

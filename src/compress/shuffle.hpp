@@ -3,6 +3,12 @@
 // first bytes come first, then all second bytes, etc.  Floating-point data
 // from PIC particle arrays compresses far better after shuffling because
 // exponent bytes of neighbouring particles are highly correlated.
+//
+// The kernels are single-pass and cache-blocked: common element widths
+// (2/4/8/16) read the input once and feed `typesize` sequential plane
+// streams, other widths transpose in L1-sized element tiles.  The seed
+// strided one-byte-at-a-time loops live on in compress/reference.hpp for
+// differential tests and bench baselines.
 
 #include "compress/codec.hpp"
 
@@ -15,5 +21,11 @@ Bytes shuffle(ByteSpan input, std::size_t typesize);
 
 /// Inverse of shuffle().
 Bytes unshuffle(ByteSpan input, std::size_t typesize);
+
+/// Allocation-free variants: write the (un)shuffled bytes into `out`, which
+/// must hold input.size() bytes and not alias `input`.  These are the hot
+/// kernels the codec pipeline calls with pooled scratch buffers.
+void shuffle_into(ByteSpan input, std::size_t typesize, std::uint8_t* out);
+void unshuffle_into(ByteSpan input, std::size_t typesize, std::uint8_t* out);
 
 }  // namespace bitio::cz

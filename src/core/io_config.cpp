@@ -12,6 +12,12 @@ void Bit1IoConfig::validate() const {
     throw UsageError("io config: unknown engine '" + engine + "'");
   if (codec != "none" && codec != "blosc" && codec != "bzip2")
     throw UsageError("io config: unknown codec '" + codec + "'");
+  if (compress_threads < 1)
+    throw UsageError("io config: compress_threads must be >= 1, got " +
+                     std::to_string(compress_threads));
+  if (compress_block_kb < 1)
+    throw UsageError("io config: compress_block_kb must be >= 1, got " +
+                     std::to_string(compress_block_kb));
   if (num_aggregators < 0)
     throw UsageError("io config: aggregators must be >= 0, got " +
                      std::to_string(num_aggregators));
@@ -74,6 +80,10 @@ Bit1IoConfig Bit1IoConfig::from_toml(const std::string& text) {
   config.checkpoint_aggregators =
       int(io.get_or("checkpoint_aggregators", Json(1)).as_int());
   config.codec = io.get_or("codec", Json("none")).as_string();
+  config.compress_threads =
+      int(io.get_or("compress_threads", Json(1)).as_int());
+  config.compress_block_kb =
+      int(io.get_or("compress_block_kb", Json(1024)).as_int());
   config.profiling = io.get_or("profiling", Json(false)).as_bool();
   config.async_write = io.get_or("async_write", Json(false)).as_bool();
   config.buffer_chunk_mb =
@@ -119,6 +129,8 @@ std::string Bit1IoConfig::to_toml() const {
   out += strfmt("aggregators = %d\n", num_aggregators);
   out += strfmt("checkpoint_aggregators = %d\n", checkpoint_aggregators);
   out += "codec = \"" + codec + "\"\n";
+  out += strfmt("compress_threads = %d\n", compress_threads);
+  out += strfmt("compress_block_kb = %d\n", compress_block_kb);
   out += std::string("profiling = ") + (profiling ? "true" : "false") + "\n";
   out += std::string("async_write = ") + (async_write ? "true" : "false") +
          "\n";
@@ -166,7 +178,15 @@ std::string Bit1IoConfig::adios2_toml() const {
   }
   if (codec != "none" && !codec.empty()) {
     out += "[adios2.dataset]\n";
-    out += "operators = [ { type = \"" + codec + "\" } ]\n";
+    if (compress_threads > 1) {
+      // Block-parallel operator: thread count and block size ride on the
+      // operator entry (bp::EngineConfig::from_json picks them up).
+      out += strfmt(
+          "operators = [ { type = \"%s\", threads = %d, block_kb = %d } ]\n",
+          codec.c_str(), compress_threads, compress_block_kb);
+    } else {
+      out += "operators = [ { type = \"" + codec + "\" } ]\n";
+    }
   }
   return out;
 }

@@ -35,6 +35,8 @@ inline constexpr IoConfigKey kBit1IoConfigKeys[] = {
     {"aggregators", "num_aggregators", true},
     {"checkpoint_aggregators", "checkpoint_aggregators", true},
     {"codec", "codec", true},
+    {"compress_threads", "compress_threads", true},
+    {"compress_block_kb", "compress_block_kb", true},
     {"profiling", "profiling", false},
     {"async_write", "async_write", false},
     {"buffer_chunk_mb", "buffer_chunk_mb", true},
@@ -60,6 +62,13 @@ struct Bit1IoConfig {
   int num_aggregators = 0;            // diagnostics series; 0 = per node
   int checkpoint_aggregators = 1;     // checkpoint series (shared-file)
   std::string codec = "none";         // "none" | "blosc" | "bzip2"
+  // Block-parallel compression pipeline: with compress_threads > 1 each
+  // chunk is split into compress_block_kb-KiB blocks compressed
+  // concurrently (cz::ParallelCodec); frames stay byte-identical for any
+  // thread count, and the storage model charges parallel wall time
+  // (fsim::parallel_cpu_seconds) instead of the serial figure.
+  int compress_threads = 1;
+  int compress_block_kb = 1024;
   bool profiling = false;             // emit profiling.json
 
   // Asynchronous aggregation drain (BP5 AsyncWrite): end_step snapshots the
@@ -103,7 +112,10 @@ struct Bit1IoConfig {
     return a.mode == b.mode && a.engine == b.engine &&
            a.num_aggregators == b.num_aggregators &&
            a.checkpoint_aggregators == b.checkpoint_aggregators &&
-           a.codec == b.codec && a.profiling == b.profiling &&
+           a.codec == b.codec &&
+           a.compress_threads == b.compress_threads &&
+           a.compress_block_kb == b.compress_block_kb &&
+           a.profiling == b.profiling &&
            a.async_write == b.async_write &&
            a.buffer_chunk_mb == b.buffer_chunk_mb &&
            a.use_striping == b.use_striping &&

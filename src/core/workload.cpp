@@ -198,6 +198,8 @@ EpochResult run_openpmd_epoch(const fsim::SystemProfile& profile,
     engine.num_aggregators = aggregators;
     engine.ranks_per_node = spec.ranks_per_node;
     engine.codec = config.codec;
+    engine.compress_threads = config.compress_threads;
+    engine.compress_block_kb = std::size_t(config.compress_block_kb);
     engine.profiling = profiling;
     engine.synthetic_codec_ratio = codec_ratio;
     engine.mem_bandwidth_bps = profile.client_mem_bandwidth_bps;

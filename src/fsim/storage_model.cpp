@@ -266,4 +266,14 @@ ReplayReport replay_trace(const SystemProfile& profile,
   return report;
 }
 
+double parallel_cpu_seconds(double serial_seconds, int threads,
+                            std::uint64_t nblocks,
+                            double per_block_overhead_s) {
+  if (serial_seconds <= 0.0 || nblocks == 0) return 0.0;
+  const std::uint64_t lanes = threads < 1 ? 1 : std::uint64_t(threads);
+  const std::uint64_t waves = (nblocks + lanes - 1) / lanes;
+  return serial_seconds * double(waves) / double(nblocks) +
+         double(waves) * per_block_overhead_s;
+}
+
 }  // namespace bitio::fsim

@@ -145,4 +145,22 @@ ReplayReport replay_trace(const SystemProfile& profile,
                           const ObjectStore& store,
                           const std::vector<TraceOp>& trace, int nclients);
 
+/// Per-block dispatch/stitch cost of the block-parallel compression
+/// pipeline (thread wake-up, block table patch, frame stitch) charged by
+/// parallel_cpu_seconds per wave of blocks.
+inline constexpr double kParallelBlockOverhead_s = 5e-6;
+
+/// Wall-clock seconds a block-parallel CPU stage occupies the issuing
+/// client: `serial_seconds` of work split into `nblocks` equal blocks run
+/// on `threads` lanes.  Blocks execute in ceil(nblocks/threads) waves, so
+///   wall = serial * waves / nblocks + waves * overhead
+/// which degrades gracefully: threads=1 or nblocks=1 reproduces the serial
+/// charge (plus per-block overhead), and perfect speedup is only reached
+/// when threads divides nblocks.  Used by bp::Writer to charge compression
+/// CPU time when compress_threads > 1.
+double parallel_cpu_seconds(double serial_seconds, int threads,
+                            std::uint64_t nblocks,
+                            double per_block_overhead_s =
+                                kParallelBlockOverhead_s);
+
 }  // namespace bitio::fsim

@@ -1,0 +1,104 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace bitio::util {
+
+ThreadPool::ThreadPool(int workers) {
+  threads_.reserve(std::size_t(std::max(0, workers)));
+  for (int i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_lane(const std::shared_ptr<Job>& job) {
+  const std::size_t n = job->n;
+  for (;;) {
+    const std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      (*job->fn)(i);
+    } catch (...) {
+      MutexLock lock(mutex_);
+      if (!job->error) job->error = std::current_exception();
+    }
+    // The lane completing the last index wakes the caller.  The lock is
+    // taken before notifying so the caller cannot check the predicate and
+    // sleep between our increment and our notify.
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      MutexLock lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) work_cv_.wait(lock);
+      if (queue_.empty()) return;  // stop requested and nothing left
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_lane(job);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, int width,
+                              const std::function<void(std::size_t)>& fn) {
+  const int lanes = std::min(width - 1, workers());
+  if (n <= 1 || lanes < 1) {
+    // Serial short-circuit: no job allocation, exceptions propagate as-is.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->fn = &fn;
+  {
+    MutexLock lock(mutex_);
+    // One queue entry per helper lane; a worker popping an entry becomes
+    // one lane of this job.  Surplus entries (more lanes than indices)
+    // drain instantly against the exhausted counter.
+    for (int i = 0; i < lanes; ++i) queue_.push_back(job);
+  }
+  if (lanes == 1)
+    work_cv_.notify_one();
+  else
+    work_cv_.notify_all();
+
+  // The caller is always a lane: progress is guaranteed even when every
+  // worker is busy with other jobs (nested/concurrent parallel_for).
+  run_lane(job);
+
+  {
+    MutexLock lock(mutex_);
+    while (job->done.load(std::memory_order_acquire) < n)
+      done_cv_.wait(lock);
+    if (job->error) std::rethrow_exception(job->error);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  // Leaked on purpose: codec pipelines may run during static destruction
+  // (e.g. from a writer closed by an atexit-ordered destructor), so the
+  // shared pool must outlive every user.
+  static ThreadPool* pool = [] {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return new ThreadPool(hc > 1 ? int(hc) - 1 : 0);
+  }();
+  return *pool;
+}
+
+}  // namespace bitio::util

@@ -1,0 +1,92 @@
+#pragma once
+// Fixed-size worker pool for block-parallel CPU work (the cz::ParallelCodec
+// compression pipeline).  Design point is Blosc's internal pool: a small
+// set of long-lived workers, fork/join per call, no futures or per-task
+// allocation on the steady-state path.
+//
+// The only primitive is parallel_for(n, width, fn): run fn(i) for every
+// i in [0, n) using up to `width` lanes — (width - 1) pool workers plus the
+// calling thread, which always participates (so a pool of zero workers
+// degrades to a plain serial loop, and a 1-wide call never touches the
+// pool).  Indices are claimed with an atomic counter, so the *schedule* is
+// nondeterministic but callers that write disjoint per-index results get
+// deterministic output regardless of width — the property the codec
+// pipeline's "byte-identical for any thread count" guarantee rests on.
+//
+// Exceptions thrown by fn are captured; the first one is rethrown on the
+// caller after the join (the remaining indices still run — blocks are
+// independent, and a partial bail-out would complicate the drain lanes for
+// no benefit).
+//
+// Thread safety: the pool is fully thread-safe; concurrent parallel_for
+// calls from different threads interleave their jobs in the shared queue
+// (bp::Writer shares one pool across all drain lanes).  Annotated for the
+// Clang thread-safety analysis (the `analyze` preset).
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace bitio::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `workers` long-lived threads (0 is valid: every parallel_for
+  /// then runs inline on the caller).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return int(threads_.size()); }
+
+  /// Run fn(i) for every i in [0, n), on up to `width` concurrent lanes
+  /// (min(width - 1, workers()) pool threads plus the caller).  Blocks
+  /// until all n indices have completed.  Rethrows the first exception any
+  /// index threw.  width <= 1, n <= 1, or an empty pool all short-circuit
+  /// to a serial inline loop.
+  void parallel_for(std::size_t n, int width,
+                    const std::function<void(std::size_t)>& fn)
+      EXCLUDES(mutex_);
+
+  /// Process-wide pool shared by every codec pipeline and drain lane,
+  /// sized to the hardware (hardware_concurrency - 1 workers, so a full-
+  /// width parallel_for including the caller saturates the machine).
+  /// Created on first use; never destroyed before exit.
+  static ThreadPool& shared();
+
+ private:
+  /// One fork/join job: workers claim indices from `next` until exhausted
+  /// and the last lane to finish signals the caller.
+  struct Job {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<int> lanes_left{0};  // pool lanes yet to drop the job
+    std::exception_ptr error;        // first failure, guarded by the pool mutex
+  };
+
+  void worker_loop() EXCLUDES(mutex_);
+  /// Claim-and-run indices of `job` until none remain; records the first
+  /// exception under the pool mutex.
+  void run_lane(const std::shared_ptr<Job>& job) EXCLUDES(mutex_);
+
+  mutable Mutex mutex_;
+  CondVar work_cv_;                     // workers: a job was posted / stop
+  CondVar done_cv_;                     // callers: all indices of a job done
+  std::deque<std::shared_ptr<Job>> queue_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace bitio::util

@@ -272,6 +272,67 @@ TEST(BpWriter, NoCompressionChargesMemcopy) {
   EXPECT_GT(memcopy, 0.0);
 }
 
+TEST(BpWriter, ParallelCompressionRoundTripThroughContainer) {
+  // compress_threads > 1 wraps the codec in the block-parallel pipeline, so
+  // the container stores CZP1 frames; the reader must decode them.
+  fsim::SharedFs fs(8);
+  auto config = small_config(1, "blosc");
+  config.compress_threads = 4;
+  config.compress_block_kb = 16;  // several blocks per 64 KiB chunk
+  const std::size_t n = 1 << 14;
+  std::vector<float> smooth(n);
+  for (std::size_t i = 0; i < n; ++i) smooth[i] = float(i) * 0.001f;
+  {
+    Writer writer(fs, "par.bp4", config, 2);
+    writer.begin_step(0);
+    writer.put<float>(0, "x", {2 * n}, {0}, {n}, smooth);
+    writer.put<float>(1, "x", {2 * n}, {n}, {n}, smooth);
+    writer.end_step();
+    writer.close();
+  }
+  EXPECT_LT(fs.store().file("par.bp4/data.0").size, 2 * n * sizeof(float));
+  Reader reader(fs, 0, "par.bp4");
+  const auto var = reader.find_variable(0, "x");
+  ASSERT_NE(var, nullptr);
+  EXPECT_EQ(var->chunks[0].operator_name, "blosc");
+  const auto back = reader.read_as<float>(0, "x");
+  ASSERT_EQ(back.size(), 2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(back[i], smooth[i]) << i;
+    ASSERT_EQ(back[n + i], smooth[i]) << i;
+  }
+}
+
+TEST(BpWriter, SteadyStateStepsHitTheBufferPool) {
+  // After a warmup step populates the size-class freelists, repeated
+  // identical steps must recycle every buffer: put() staging, aggregation
+  // targets, and the parallel codec's per-block scratch all come from the
+  // pool (hit rate >= 99%, i.e. zero steady-state heap allocation).
+  fsim::SharedFs fs(8);
+  auto config = small_config(1, "blosc");
+  config.compress_threads = 4;
+  config.compress_block_kb = 16;
+  const std::size_t n = 1 << 14;
+  std::vector<float> smooth(n);
+  for (std::size_t i = 0; i < n; ++i) smooth[i] = float(i) * 0.001f;
+  Writer writer(fs, "pool.bp4", config, 2);
+  auto put_step = [&](std::uint64_t step) {
+    writer.begin_step(step);
+    writer.put<float>(0, "x", {2 * n}, {0}, {n}, smooth);
+    writer.put<float>(1, "x", {2 * n}, {n}, {n}, smooth);
+    writer.end_step();
+  };
+  put_step(0);
+  put_step(1);  // two warmup steps: freelists reach steady state
+  writer.reset_pool_stats();
+  for (std::uint64_t step = 2; step < 12; ++step) put_step(step);
+  const auto stats = writer.pool_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GE(stats.hit_rate(), 0.99) << "hits=" << stats.hits
+                                    << " misses=" << stats.misses;
+  writer.close();
+}
+
 TEST(BpWriter, ProfilingJsonEmitted) {
   fsim::SharedFs fs(4);
   auto config = small_config(1, "blosc");

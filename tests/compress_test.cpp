@@ -8,6 +8,8 @@
 #include "compress/codec.hpp"
 #include "compress/huffman.hpp"
 #include "compress/lz.hpp"
+#include "compress/parallel.hpp"
+#include "compress/reference.hpp"
 #include "compress/shuffle.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -308,6 +310,148 @@ TEST(Codec, SpeedModelOrdering) {
   auto blosc = make_blosc_codec();
   auto bz = make_bzip2_codec();
   EXPECT_GT(blosc->compress_speed_bps(), 10 * bz->compress_speed_bps());
+}
+
+// ------------------------------------------------- seed differentials ----
+// The optimised kernels must stay stream-compatible with the frozen seed
+// kernels: same formats, mutually decodable, identical results.
+
+TEST(SeedDifferential, ShuffleMatchesSeed) {
+  for (std::size_t typesize : {1u, 2u, 4u, 8u, 16u, 3u}) {
+    // Include sizes with a partial trailing element.
+    for (std::size_t n : {0u, 1u, 63u, 4096u, 4098u, 100003u}) {
+      Bytes data = make_data("random", n, 21);
+      EXPECT_EQ(shuffle(data, typesize), seed_shuffle(data, typesize))
+          << typesize << "/" << n;
+      Bytes shuf = shuffle(data, typesize);
+      EXPECT_EQ(unshuffle(shuf, typesize), seed_unshuffle(shuf, typesize))
+          << typesize << "/" << n;
+    }
+  }
+}
+
+TEST(SeedDifferential, LzStreamsInterchangeable) {
+  for (const char* kind : {"random", "zeros", "text", "floats"}) {
+    Bytes data = make_data(kind, 70000, 23);
+    // Seed-compressed decodes with the optimised decoder and vice versa.
+    EXPECT_EQ(lz_decompress_block(seed_lz_compress_block(data), data.size()),
+              data)
+        << kind;
+    EXPECT_EQ(seed_lz_decompress_block(lz_compress_block(data), data.size()),
+              data)
+        << kind;
+  }
+}
+
+TEST(SeedDifferential, HuffmanDecodersAgree) {
+  Rng rng(29);
+  std::vector<std::uint16_t> symbols(50000);
+  for (auto& s : symbols)
+    s = std::uint16_t(rng.below(7) == 0 ? rng.below(257) : rng.below(4));
+  const Bytes enc = huffman_encode(symbols, 257);
+  EXPECT_EQ(huffman_decode(enc), symbols);
+  EXPECT_EQ(seed_huffman_decode(enc), symbols);
+}
+
+TEST(SeedDifferential, SeedBloscFramesDecode) {
+  Bytes data = make_data("floats", 600000, 31);
+  const Bytes seed_frame = seed_blosc_compress(data, 4);
+  // Seed frames are standard BLL1: both the codec and the magic-dispatching
+  // frame decoder accept them.
+  EXPECT_EQ(make_blosc_codec(4)->decompress(seed_frame), data);
+  EXPECT_EQ(decompress_frame(seed_frame), data);
+}
+
+// ----------------------------------------------------- parallel codec ----
+
+/// (inner codec name, thread count) for the parallel property suite.
+class ParallelCodecProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {
+protected:
+  static constexpr std::size_t kBlock = 4096;  // smallest legal block
+
+  std::unique_ptr<Codec> codec() const {
+    return make_parallel_codec(make_codec(std::get<0>(GetParam()), 4),
+                               std::get<1>(GetParam()), kBlock);
+  }
+};
+
+TEST_P(ParallelCodecProperty, RoundTripsEdgeSizes) {
+  auto c = codec();
+  // Empty, one byte, exact block multiples, straddling sizes, and a size
+  // with a partial trailing 4-byte shuffle element (4097, 12289).
+  for (std::size_t n : {0u, 1u, 4095u, 4096u, 4097u, 8192u, 12289u, 40000u}) {
+    for (const char* kind : {"zeros", "random", "floats"}) {
+      Bytes data = make_data(kind, n, 37);
+      Bytes frame = c->compress(data);
+      EXPECT_EQ(c->decompress(frame), data) << kind << "/" << n;
+      EXPECT_EQ(decompress_frame(frame, 4), data) << kind << "/" << n;
+    }
+  }
+}
+
+TEST_P(ParallelCodecProperty, FramesIdenticalAcrossThreadCounts) {
+  // The determinism guarantee: bytes depend on (input, inner, block_size)
+  // only, never the thread count.
+  const std::string inner = std::get<0>(GetParam());
+  auto serial = make_parallel_codec(make_codec(inner, 4), 1, kBlock);
+  auto c = codec();
+  for (std::size_t n : {0u, 4096u, 12289u, 50000u}) {
+    Bytes data = make_data("floats", n, 41);
+    EXPECT_EQ(c->compress(data), serial->compress(data)) << n;
+  }
+}
+
+TEST_P(ParallelCodecProperty, DecodesLegacySingleBlockFrames) {
+  // Satellite fix: readers of old containers need no migration — the
+  // parallel codec (and decompress_frame) accept the seed formats.
+  const std::string inner = std::get<0>(GetParam());
+  auto legacy = make_codec(inner, 4);
+  auto c = codec();
+  Bytes data = make_data("floats", 30000, 43);
+  EXPECT_EQ(c->decompress(legacy->compress(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothCodecs, ParallelCodecProperty,
+    ::testing::Combine(::testing::Values("blosc", "bzip2"),
+                       ::testing::Values(1, 4)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ParallelCodec, FrameVersionIsChecked) {
+  auto c = make_parallel_codec(make_blosc_codec(4), 2, 4096);
+  Bytes data = make_data("floats", 20000, 47);
+  Bytes frame = c->compress(data);
+  ASSERT_GT(frame.size(), 5u);
+  frame[4] = 9;  // unsupported version
+  EXPECT_THROW(c->decompress(frame), FormatError);
+  EXPECT_THROW(decompress_frame(frame), FormatError);
+}
+
+TEST(ParallelCodec, RejectsCorruptFrames) {
+  auto c = make_parallel_codec(make_blosc_codec(4), 2, 4096);
+  Bytes data = make_data("floats", 20000, 53);  // 5 blocks of 4096
+  const Bytes frame = c->compress(data);
+
+  // Truncated block table: cut inside the u32 table after the header.
+  Bytes truncated(frame.begin(), frame.begin() + 23);
+  EXPECT_THROW(c->decompress(truncated), FormatError);
+
+  // Bad block count: nblocks inconsistent with orig_size/block_size.
+  Bytes bad_count = frame;
+  bad_count[17] = std::uint8_t(bad_count[17] + 1);  // nblocks lo byte
+  EXPECT_THROW(c->decompress(bad_count), FormatError);
+
+  // Trailing garbage after the last block body.
+  Bytes trailing = frame;
+  trailing.push_back(0xAB);
+  EXPECT_THROW(c->decompress(trailing), FormatError);
+
+  // Bad magic dispatch.
+  EXPECT_THROW(decompress_frame(ascii("XXXXnope")), FormatError);
 }
 
 }  // namespace

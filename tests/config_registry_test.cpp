@@ -33,6 +33,10 @@ bool mutate_for_key(const std::string& key, Bit1IoConfig& config) {
     config.checkpoint_aggregators = 3;
   } else if (key == "codec") {
     config.codec = "blosc";
+  } else if (key == "compress_threads") {
+    config.compress_threads = 4;
+  } else if (key == "compress_block_kb") {
+    config.compress_block_kb = 256;
   } else if (key == "profiling") {
     config.profiling = true;
   } else if (key == "async_write") {
