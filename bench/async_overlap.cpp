@@ -5,7 +5,7 @@
 // step's compute.  With enough compute between dumps the async makespan
 // approaches max(compute, I/O) instead of compute + I/O.
 #include "bench_common.hpp"
-#include "bp/writer.hpp"
+#include "bp/engine.hpp"
 
 using namespace bitio;
 using namespace bitio::benchkit;
@@ -25,7 +25,6 @@ OverlapRun run_window(const fsim::SystemProfile& profile, int nodes,
   fs.set_tracing(true);
 
   bp::EngineConfig config;
-  config.engine = bp::EngineType::bp5;
   config.num_aggregators = 2 * nodes;  // the paper's sweet spot, 2 per node
   config.ranks_per_node = 128;
   config.mem_bandwidth_bps = profile.client_mem_bandwidth_bps;
@@ -37,29 +36,30 @@ OverlapRun run_window(const fsim::SystemProfile& profile, int nodes,
 
   std::uint64_t bytes = 0;
   {
-    bp::Writer writer(fs, "run/dat_file.bp5", config, ranks);
+    auto writer = bp::make_engine("bp5", fs, "run/dat_file.bp5", config,
+                                  ranks);
     const std::uint64_t elems = 96 * KiB;  // doubles per rank per variable
     const char* species[] = {"e", "D+", "D"};
     for (int dump = 0; dump < dumps; ++dump) {
-      writer.begin_step(std::uint64_t(dump));
+      writer->begin_step(std::uint64_t(dump));
       for (const char* name : species) {
         const std::string var = std::string("vdf_") + name;
         for (int r = 0; r < ranks; ++r) {
           const std::uint64_t rr = std::uint64_t(r);
-          writer.put_synthetic(r, var, bp::Datatype::float64,
-                               {std::uint64_t(ranks) * elems}, {rr * elems},
-                               {elems});
+          writer->put_synthetic(r, var, bp::Datatype::float64,
+                                {std::uint64_t(ranks) * elems}, {rr * elems},
+                                {elems});
           bytes += elems * 8;
         }
       }
-      writer.end_step();
+      writer->end_step();
       // The next PIC step's particle push / collisions, charged on every
       // rank's critical path.  The async drain overlaps with exactly this.
       for (int r = 0; r < ranks; ++r)
         fsim::FsClient(fs, fsim::ClientId(r))
             .charge_cpu(compute_s_per_dump, "compute");
     }
-    writer.close();
+    writer->close();
   }
 
   OverlapRun run;

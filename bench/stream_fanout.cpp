@@ -1,0 +1,233 @@
+// Fan-out study for the miniSST stream engine + in-situ query service: one
+// producer publishes diagnostics steps into the bounded channel while a
+// deliberately slow direct consumer exercises the slow-reader policy, then
+// thousands of simulated concurrent clients (logical clients multiplexed
+// over a worker-thread pool) hammer QueryService::query and are served
+// decoded blocks from the sharded LRU cache.  `stream_fanout --json` emits
+// the clients x policy sweep as JSON (scripts/bench_report.sh captures it
+// as BENCH_stream.json).
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "bp/engine.hpp"
+#include "bp/query.hpp"
+#include "bp/stream.hpp"
+#include "darshan/darshan.hpp"
+#include "util/json.hpp"
+
+using namespace bitio;
+using namespace bitio::benchkit;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr std::uint64_t kSteps = 16;
+constexpr std::uint64_t kElems = 8192;  // floats per rank per step
+constexpr int kQueriesPerClient = 4;
+
+struct FanoutRun {
+  std::string policy;
+  int clients = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t null_blocks = 0;  // aged-out / disconnected lookups
+  double seconds = 0.0;
+  double qps = 0.0;
+  double hit_rate = 0.0;
+  std::uint64_t bytes_decoded = 0;
+  std::uint64_t steps_lost = 0;
+  int peak_depth = 0;
+  std::uint64_t slow_dropped = 0;
+  bool slow_disconnected = false;
+  bool payload_ok = true;
+  bool policy_ok = true;
+};
+
+/// One producer, one slow direct consumer (the policy victim), one query
+/// service, `clients` logical clients over a bounded worker pool.
+FanoutRun run_fanout(const std::string& policy, int clients) {
+  FanoutRun run;
+  run.policy = policy;
+  run.clients = clients;
+
+  fsim::SharedFs fs(8);
+  bp::EngineConfig config;
+  config.ranks_per_node = kRanks;
+  config.codec = "blosc";
+  config.stream_max_steps = 4;
+  config.stream_policy = policy;
+  auto engine = bp::make_engine("stream", fs, "fanout.stream", config,
+                                kRanks);
+  auto* stream = dynamic_cast<bp::StreamEngine*>(engine.get());
+
+  bp::QueryService::Options options;
+  options.cache_bytes = 128u << 20;
+  options.shards = 16;
+  options.retain_steps = int(kSteps);  // keep the whole run queryable
+  bp::QueryService service(*stream, 0, options);
+
+  // The slow-reader the policy acts on: under `block` it throttles the
+  // producer (bounded window), under `drop_oldest` it loses steps, under
+  // `disconnect` it gets cut off.
+  auto slow = engine->attach(1);
+  std::thread slow_thread([&] {
+    while (slow->next_step())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+
+  for (std::uint64_t step = 0; step < kSteps; ++step) {
+    engine->begin_step(step);
+    for (int r = 0; r < kRanks; ++r) {
+      std::vector<float> local(kElems);
+      for (std::uint64_t i = 0; i < kElems; ++i)
+        local[i] = float(step) + float(i % 97) * 0.5f;
+      engine->put<float>(r, "vdf_e", {kRanks * kElems},
+                         {std::uint64_t(r) * kElems}, {kElems}, local);
+    }
+    engine->end_step();
+    // Pace the producer on the in-situ service (the primary consumer, which
+    // keeps up); the slow external consumer is the one the policy acts on.
+    service.wait_steps(step + 1);
+  }
+  engine->close();
+  slow_thread.join();
+
+  // Fan-out phase: logical clients multiplexed over a worker pool, each
+  // issuing a handful of step/variable lookups.
+  const int workers =
+      std::min(16, std::max(2, int(std::thread::hardware_concurrency())));
+  std::atomic<std::uint64_t> issued{0}, nulls{0};
+  std::atomic<bool> payload_ok{true};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (int client = w; client < clients; client += workers) {
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          const std::uint64_t step =
+              std::uint64_t(client + q) % kSteps;
+          const auto block = service.query(step, "vdf_e");
+          issued.fetch_add(1, std::memory_order_relaxed);
+          if (!block) {
+            nulls.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          float first = 0.f;
+          std::memcpy(&first, block->data(), sizeof(float));
+          if (block->size() != kRanks * kElems * sizeof(float) ||
+              first != float(step))
+            payload_ok.store(false, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  run.queries = issued.load();
+  run.null_blocks = nulls.load();
+  run.seconds = std::chrono::duration<double>(t1 - t0).count();
+  run.qps = run.seconds > 0 ? double(run.queries) / run.seconds : 0.0;
+  const auto stats = service.stats();
+  run.hit_rate = stats.hit_rate();
+  run.bytes_decoded = stats.bytes_decoded;
+  run.steps_lost = stream->channel().steps_lost();
+  run.peak_depth = stream->channel().peak_depth();
+  run.slow_dropped = slow->steps_dropped();
+  run.slow_disconnected = slow->disconnected();
+  run.payload_ok = payload_ok.load() && run.null_blocks == 0;
+
+  // What each policy must have demonstrably done to the slow consumer.
+  if (policy == "block")
+    run.policy_ok = run.steps_lost == 0 && run.peak_depth <= 4;
+  else if (policy == "drop_oldest")
+    run.policy_ok = run.slow_dropped > 0 && !run.slow_disconnected;
+  else
+    run.policy_ok = run.slow_disconnected;
+  return run;
+}
+
+int run_sweep(bool as_json) {
+  const char* policies[] = {"block", "drop_oldest", "disconnect"};
+  const int client_counts[] = {250, 1000, 4000};
+
+  std::vector<FanoutRun> runs;
+  for (const char* policy : policies)
+    for (int clients : client_counts)
+      runs.push_back(run_fanout(policy, clients));
+
+  bool all_ok = true;
+  bool thousand_ok = false;
+  for (const auto& run : runs) {
+    const bool ok = run.payload_ok && run.policy_ok;
+    all_ok = all_ok && ok;
+    if (run.clients >= 1000 && ok) thousand_ok = true;
+  }
+
+  if (as_json) {
+    Json doc{JsonObject{}};
+    doc["bench"] = "stream_fanout";
+    doc["engine"] = "stream";
+    doc["engine_tag"] = darshan::engine_tag("stream");
+    doc["steps"] = kSteps;
+    doc["ranks"] = kRanks;
+    doc["bytes_per_step"] = kRanks * kElems * sizeof(float);
+    doc["queries_per_client"] = kQueriesPerClient;
+    JsonArray sweep;
+    for (const auto& run : runs) {
+      Json row{JsonObject{}};
+      row["policy"] = run.policy;
+      row["clients"] = run.clients;
+      row["queries"] = run.queries;
+      row["null_blocks"] = run.null_blocks;
+      row["seconds"] = run.seconds;
+      row["queries_per_s"] = run.qps;
+      row["cache_hit_rate"] = run.hit_rate;
+      row["bytes_decoded"] = run.bytes_decoded;
+      row["steps_lost"] = run.steps_lost;
+      row["peak_window_depth"] = run.peak_depth;
+      row["slow_consumer_dropped"] = run.slow_dropped;
+      row["slow_consumer_disconnected"] = run.slow_disconnected;
+      row["payload_ok"] = run.payload_ok;
+      row["policy_ok"] = run.policy_ok;
+      sweep.push_back(std::move(row));
+    }
+    doc["sweep"] = std::move(sweep);
+    doc["sustained_1000_clients_ok"] = thousand_ok;
+    doc["all_checks_ok"] = all_ok;
+    std::printf("%s\n", doc.dump(2).c_str());
+  } else {
+    print_header(
+        "miniSST fan-out — concurrent query clients x slow-reader policy",
+        "bounded channel + sharded decoded-block LRU serve thousands of "
+        "in-situ clients");
+    TextTable table;
+    table.header({"policy", "clients", "queries", "kq/s", "hit_rate",
+                  "lost", "dropped", "cut", "ok"});
+    for (const auto& run : runs) {
+      table.row({run.policy, strfmt("%d", run.clients),
+                 strfmt("%llu", (unsigned long long)run.queries),
+                 strfmt("%.1f", run.qps / 1e3),
+                 strfmt("%.3f", run.hit_rate),
+                 strfmt("%llu", (unsigned long long)run.steps_lost),
+                 strfmt("%llu", (unsigned long long)run.slow_dropped),
+                 run.slow_disconnected ? "yes" : "no",
+                 run.payload_ok && run.policy_ok ? "ok" : "FAIL"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(thousand_ok
+                    ? ">= 1000 concurrent clients sustained\n"
+                    : "WARNING: no clean >= 1000-client run\n");
+  }
+  return all_ok && thousand_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--json") return run_sweep(true);
+  return run_sweep(false);
+}

@@ -1,9 +1,18 @@
 #!/usr/bin/env sh
-# Regenerate BENCH_codecs.json at the repo root: the micro_codecs threads x
-# block-size sweep of the block-parallel compression pipeline (compress /
-# decompress MB/s, ratio, determinism + round-trip checks, and the headline
-# speedup vs the frozen seed kernel).  Numbers are machine-dependent; the
-# committed file records the box the report was last generated on.
+# Regenerate the machine-dependent benchmark reports at the repo root:
+#
+#   BENCH_codecs.json   micro_codecs threads x block-size sweep of the
+#                       block-parallel compression pipeline (compress /
+#                       decompress MB/s, ratio, determinism + round-trip
+#                       checks, and the headline speedup vs the frozen seed
+#                       kernel)
+#   BENCH_stream.json   stream_fanout clients x slow-reader-policy sweep of
+#                       the miniSST engine + in-situ query service
+#                       (queries/s, cache hit rate, steps lost/dropped,
+#                       >= 1000 concurrent clients sustained)
+#
+# Numbers are machine-dependent; the committed files record the box the
+# report was last generated on.
 #
 #   scripts/bench_report.sh [build-dir]
 set -eu
@@ -12,7 +21,11 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 
 cmake -S "$repo_root" -B "$build_dir" >/dev/null
-cmake --build "$build_dir" --target micro_codecs -j "$(nproc 2>/dev/null || echo 4)"
+cmake --build "$build_dir" --target micro_codecs stream_fanout \
+  -j "$(nproc 2>/dev/null || echo 4)"
 
 "$build_dir/bench/micro_codecs" --json > "$repo_root/BENCH_codecs.json"
 printf 'wrote %s\n' "$repo_root/BENCH_codecs.json"
+
+"$build_dir/bench/stream_fanout" --json > "$repo_root/BENCH_stream.json"
+printf 'wrote %s\n' "$repo_root/BENCH_stream.json"

@@ -9,7 +9,12 @@
 #                          which also runs the linter's own fixture tests)
 #   4. clang-tidy          bugprone/performance/concurrency profile
 #                          (no-op without clang-tidy installed)
-#   5. full test suite     default preset, all labels (includes the `perf`
+#   5. stream suite        engine-registry + miniSST lifecycle/policy tests
+#                          (ctest -L stream; the same tests also carry the
+#                          `concurrency` label for the TSan preset, and the
+#                          fan-out sweep is scripts/bench_report.sh ->
+#                          BENCH_stream.json)
+#   6. full test suite     default preset, all labels (includes the `perf`
 #                          smoke test; the full codec sweep is
 #                          scripts/bench_report.sh -> BENCH_codecs.json)
 set -eu
@@ -34,6 +39,9 @@ ctest --preset lint
 
 step "clang-tidy (skips without LLVM)"
 "$repo_root/scripts/run_clang_tidy.sh" "$repo_root/build"
+
+step "stream engine suite (ctest -L stream)"
+ctest --preset stream
 
 step "full test suite"
 ctest --preset default

@@ -1,0 +1,138 @@
+#pragma once
+// In-situ diagnostics query service over the stream engine — the
+// many-readers / one-producer half of the miniSST story.
+//
+// One QueryService attaches a single ingest consumer to a live
+// StreamEngine and indexes every published step (retaining the raw
+// compressed payloads via shared_ptr, so the channel window can keep
+// moving).  Thousands of concurrent clients then call query(step, var) and
+// are served decoded global arrays from a sharded LRU cache:
+//
+//   client -> shard (hash of step/var) -> LRU hit: shared decoded block
+//                                      -> miss: decode once, insert, evict
+//
+// Decoded blocks live in std::shared_ptr<const Bytes> whose storage is
+// recycled through cz::BufferPool::shared() when the last client and the
+// cache both let go — the fan-out path does no per-query allocation once
+// the cache is warm.  Shards bound lock contention: a query locks only its
+// shard, never the whole cache (the "sharded reader pool" of ROADMAP item
+// 1; bench/stream_fanout measures the fan-out throughput).
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bp/stream.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace bitio::bp {
+
+class QueryService {
+ public:
+  struct Options {
+    /// Total decoded-block cache budget, split evenly across shards.
+    std::size_t cache_bytes = 64u << 20;
+    /// Independent LRU shards (lock granularity under concurrent clients).
+    int shards = 8;
+    /// Published steps kept queryable; older steps leave the index (their
+    /// cached blocks age out of the LRU on their own).
+    int retain_steps = 16;
+  };
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t hits = 0;           // served from the decoded-block cache
+    std::uint64_t misses = 0;         // decoded on demand
+    std::uint64_t evictions = 0;      // blocks pushed out by the budget
+    std::uint64_t bytes_decoded = 0;  // decode work actually performed
+    std::uint64_t steps_indexed = 0;  // steps ingested from the stream
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : double(hits) / double(total);
+    }
+  };
+
+  /// Decoded global array of one variable at one step; shared between the
+  /// cache and any number of concurrent clients.
+  using Block = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  /// Attaches the ingest consumer to `engine` (charged to `client`) and
+  /// starts indexing published steps on a background thread.  The engine
+  /// must outlive the service or be closed before it is destroyed.
+  QueryService(StreamEngine& engine, fsim::ClientId client, Options options);
+  QueryService(StreamEngine& engine, fsim::ClientId client)
+      : QueryService(engine, client, Options()) {}
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Indexed step ids, ascending (bounded by Options::retain_steps).
+  std::vector<std::uint64_t> steps() const EXCLUDES(index_mutex_);
+  /// Latest indexed step; nullopt before the first publish lands.
+  std::optional<std::uint64_t> latest_step() const EXCLUDES(index_mutex_);
+  /// Variable names of an indexed step; empty if the step is unknown.
+  std::vector<std::string> variables(std::uint64_t step) const
+      EXCLUDES(index_mutex_);
+
+  /// Block until at least `n` steps have been ingested or the stream
+  /// ended; returns steps_indexed so far.
+  std::uint64_t wait_steps(std::uint64_t n) EXCLUDES(index_mutex_);
+
+  /// Decoded global array of `var` at `step`, or nullptr when the step is
+  /// not (or no longer) indexed / the variable is absent.  Safe to call
+  /// from any number of threads concurrently.
+  Block query(std::uint64_t step, const std::string& var);
+
+  Stats stats() const;
+
+  /// Detach the ingest consumer and join the thread (idempotent; also run
+  /// by the destructor).  Queries keep working on the retained index.
+  void stop();
+
+ private:
+  struct CacheEntry {
+    std::string key;
+    Block block;
+  };
+  struct Shard {
+    mutable util::Mutex mutex;
+    // Front = most recent.  A map from key to list position makes hit
+    // promotion O(log n); the budget bounds total bytes, not entries.
+    std::list<CacheEntry> lru GUARDED_BY(mutex);
+    std::map<std::string, std::list<CacheEntry>::iterator> index
+        GUARDED_BY(mutex);
+    std::size_t bytes GUARDED_BY(mutex) = 0;
+  };
+
+  void ingest_loop();
+  Shard& shard_of(const std::string& key);
+  std::shared_ptr<const StreamStep> find_step(std::uint64_t step) const
+      EXCLUDES(index_mutex_);
+
+  Options options_;
+  std::size_t shard_budget_;
+  std::unique_ptr<StreamConsumer> consumer_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable util::Mutex index_mutex_;
+  util::CondVar index_cv_;
+  std::map<std::uint64_t, std::shared_ptr<const StreamStep>> index_
+      GUARDED_BY(index_mutex_);
+  std::uint64_t steps_indexed_ GUARDED_BY(index_mutex_) = 0;
+  bool ingest_done_ GUARDED_BY(index_mutex_) = false;
+
+  mutable util::Mutex stats_mutex_;
+  Stats stats_ GUARDED_BY(stats_mutex_);
+
+  std::thread ingest_thread_;
+  bool stopped_ = false;  // main-thread flag (stop/dtor are not concurrent)
+};
+
+}  // namespace bitio::bp

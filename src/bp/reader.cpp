@@ -9,7 +9,8 @@
 
 namespace bitio::bp {
 
-Reader::Reader(fsim::SharedFs& fs, fsim::ClientId client, std::string path)
+Reader::Reader(ForEngineFactory, fsim::SharedFs& fs, fsim::ClientId client,
+               std::string path)
     : fs_(fs), client_(client), path_(std::move(path)) {
   fsim::FsClient io(fs_, client_);
   const auto idx_bytes = io.read_all(path_ + "/md.idx");

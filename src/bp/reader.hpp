@@ -25,7 +25,23 @@ namespace bitio::bp {
 class Reader {
 public:
   /// Opens the container at `path` as `client` (reads are charged to it).
-  Reader(fsim::SharedFs& fs, fsim::ClientId client, std::string path);
+  [[deprecated(
+      "open containers via Reader::open(fs, client, path) or "
+      "bp::attach_reader (src/bp/engine.hpp); parsing is unchanged")]]
+  Reader(fsim::SharedFs& fs, fsim::ClientId client, std::string path)
+      : Reader(ForEngineFactory{}, fs, client, std::move(path)) {}
+
+  /// Non-deprecated construction path used by the engine factory and
+  /// Reader::open (see ForEngineFactory in bp/types.hpp).
+  Reader(ForEngineFactory, fsim::SharedFs& fs, fsim::ClientId client,
+         std::string path);
+
+  /// Preferred named constructor (Reader holds a SharedFs reference, so it
+  /// is not assignable; C++17 guaranteed elision makes this returnable).
+  static Reader open(fsim::SharedFs& fs, fsim::ClientId client,
+                     std::string path) {
+    return Reader(ForEngineFactory{}, fs, client, std::move(path));
+  }
 
   /// Distinct step ids, ascending.
   std::vector<std::uint64_t> steps() const;

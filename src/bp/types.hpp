@@ -114,6 +114,14 @@ private:
   Dims count_;
 };
 
+/// Internal-construction tag: bp::make_engine and Reader::open build
+/// Writers/Readers through non-deprecated overloads carrying this tag, so
+/// the [[deprecated]] nudge lands on direct construction only (the factory
+/// is the supported entry point — see src/bp/engine.hpp).
+struct ForEngineFactory {
+  explicit ForEngineFactory() = default;
+};
+
 /// One stored block of a variable: where it sits in the global array and
 /// where its (possibly compressed) bytes live inside a subfile.
 struct ChunkRecord {

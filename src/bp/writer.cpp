@@ -46,6 +46,25 @@ void minmax(const std::vector<std::uint8_t>& data, double& lo, double& hi) {
 
 }  // namespace
 
+StreamPolicy stream_policy_of(const std::string& name) {
+  if (name == "block") return StreamPolicy::block;
+  if (name == "drop_oldest" || name == "drop-oldest")
+    return StreamPolicy::drop_oldest;
+  if (name == "disconnect") return StreamPolicy::disconnect;
+  throw UsageError(
+      "bp: unknown stream_policy '" + name +
+      "' (expected \"block\", \"drop_oldest\", or \"disconnect\")");
+}
+
+const char* stream_policy_name(StreamPolicy policy) {
+  switch (policy) {
+    case StreamPolicy::block: return "block";
+    case StreamPolicy::drop_oldest: return "drop_oldest";
+    case StreamPolicy::disconnect: return "disconnect";
+  }
+  return "?";
+}
+
 EngineConfig EngineConfig::from_json(const Json& adios2) {
   EngineConfig config;
   if (adios2.contains("engine")) {
@@ -54,6 +73,7 @@ EngineConfig EngineConfig::from_json(const Json& adios2) {
         engine.get_or("type", Json("bp4")).as_string();
     if (type == "bp4") config.engine = EngineType::bp4;
     else if (type == "bp5") config.engine = EngineType::bp5;
+    else if (type == "stream") config.engine = EngineType::stream;
     else throw UsageError("adios2 config: unknown engine '" + type + "'");
     if (engine.contains("parameters")) {
       const Json& params = engine.at("parameters");
@@ -81,6 +101,11 @@ EngineConfig EngineConfig::from_json(const Json& adios2) {
       if (params.contains("MaxDrainRetries"))
         config.max_drain_retries =
             int(params.at("MaxDrainRetries").as_int());
+      // Stream-engine window knobs (ignored by the file engines).
+      if (params.contains("StreamMaxSteps"))
+        config.stream_max_steps = int(params.at("StreamMaxSteps").as_int());
+      if (params.contains("StreamPolicy"))
+        config.stream_policy = params.at("StreamPolicy").as_string();
     }
   }
   if (adios2.contains("dataset")) {
@@ -106,10 +131,14 @@ EngineConfig EngineConfig::from_json(const Json& adios2) {
   return config;
 }
 
-Writer::Writer(fsim::SharedFs& fs, std::string path, EngineConfig config,
-               int nranks)
+Writer::Writer(ForEngineFactory, fsim::SharedFs& fs, std::string path,
+               EngineConfig config, int nranks)
     : fs_(fs), path_(std::move(path)), config_(config), nranks_(nranks) {
   if (nranks_ <= 0) throw UsageError("bp::Writer: nranks must be positive");
+  if (config_.engine == EngineType::stream)
+    throw UsageError(
+        "bp::Writer: the stream engine has no file container — construct it "
+        "via bp::make_engine(\"stream\", ...)");
   if (config_.ranks_per_node <= 0)
     throw UsageError("bp::Writer: ranks_per_node must be positive");
   if (config_.max_inflight_steps < 1)
@@ -710,6 +739,24 @@ void Writer::stop_drain_thread() {
   }
   drain_cv_.notify_all();
   drain_thread_.join();
+}
+
+void Writer::publish_index() {
+  // The caller must have joined outstanding drains (wait_drains), so this
+  // thread owns the drain-side index state (see the member comment).
+  {
+    util::MutexLock lock(mutex_);
+    if (closed_) return;
+    if (step_open_)
+      throw UsageError("bp::Writer: publish_index with an open step");
+  }
+  // The same header bytes close() writes — the final container is
+  // unchanged, the count just becomes visible to mid-run readers early.
+  BinWriter header;
+  header.u32(kIdxMagicV5);
+  header.u32(std::uint32_t(index_.size()));
+  fsim::FsClient root(fs_, 0);
+  root.pwrite(idx_fd_, 0, header.buffer());
 }
 
 void Writer::close() {

@@ -56,11 +56,24 @@
 
 namespace bitio::bp {
 
-enum class EngineType { bp4, bp5 };
+enum class EngineType { bp4, bp5, stream };
 
 inline const char* engine_name(EngineType t) {
-  return t == EngineType::bp4 ? "bp4" : "bp5";
+  switch (t) {
+    case EngineType::bp4: return "bp4";
+    case EngineType::bp5: return "bp5";
+    case EngineType::stream: return "stream";
+  }
+  return "?";
 }
+
+/// Slow-reader backpressure policy of the stream engine's bounded channel
+/// (see src/bp/stream.hpp).  Parsed from the `stream_policy` config string:
+/// "block" | "drop_oldest" | "disconnect" ("drop-oldest" is accepted too).
+enum class StreamPolicy { block, drop_oldest, disconnect };
+
+StreamPolicy stream_policy_of(const std::string& name);
+const char* stream_policy_name(StreamPolicy policy);
 
 struct EngineConfig {
   EngineType engine = EngineType::bp4;
@@ -105,6 +118,11 @@ struct EngineConfig {
   /// abandoned with a TimeoutError.  The queue is then poisoned (later jobs
   /// are skipped) so end_step()/close() can never hang on a wedged lane.
   int max_drain_retries = 2;
+  /// Stream engine only: bound on buffered published steps in the in-memory
+  /// channel (the miniSST window) and the slow-reader policy applied when a
+  /// publish finds the channel full.  Ignored by the file engines.
+  int stream_max_steps = 4;
+  std::string stream_policy = "block";
 
   /// Parse the "adios2" section of an openPMD-style JSON/TOML config, e.g.
   /// {engine:{type:"bp4", parameters:{NumAggregators:400, Profile:"On"}},
@@ -112,12 +130,32 @@ struct EngineConfig {
   static EngineConfig from_json(const Json& adios2);
 };
 
+/// Drain-watchdog counters (all zero when the watchdog is disabled).
+/// Namespace-scoped so the abstract Engine can report them for any engine;
+/// Writer::WatchdogStats remains a valid spelling.
+struct WatchdogStats {
+  std::uint64_t timeouts = 0;         // stalled-lane cancellations issued
+  std::uint64_t retries = 0;          // drain attempts retried
+  std::uint64_t steps_abandoned = 0;  // jobs given up after max retries
+};
+
 class Writer {
 public:
   /// Creates the container directory and all its files.  `nranks` is the
-  /// size of the writing communicator.
+  /// size of the writing communicator.  Direct construction is deprecated:
+  /// engines are selected by name through the string-keyed factory so call
+  /// sites stay engine-agnostic (README "Engines" has the migration note).
+  [[deprecated(
+      "construct engines via bp::make_engine(name, fs, path, config, nranks) "
+      "(src/bp/engine.hpp); the factory keeps BP4/BP5 output byte-identical")]]
   Writer(fsim::SharedFs& fs, std::string path, EngineConfig config,
-         int nranks);
+         int nranks)
+      : Writer(ForEngineFactory{}, fs, std::move(path), std::move(config),
+               nranks) {}
+
+  /// Non-deprecated internal entry point used by the engine factory.
+  Writer(ForEngineFactory, fsim::SharedFs& fs, std::string path,
+         EngineConfig config, int nranks);
   ~Writer();
 
   Writer(const Writer&) = delete;
@@ -171,6 +209,13 @@ public:
   /// bounded by config.max_inflight_steps (the backpressure guarantee).
   int peak_inflight() const EXCLUDES(drain_mutex_);
 
+  /// Patch the md.idx header with the current step count so a reader can
+  /// open the container mid-run (close() writes the same bytes again, so
+  /// the final container is unchanged).  Call wait_drains() first; no-op
+  /// after close().  The factory's file engines use this for
+  /// Engine::attach().
+  void publish_index() EXCLUDES(mutex_);
+
   /// Join outstanding drains, patch the md.idx header, emit
   /// profiling.json / mmd.0, close all files.
   void close() EXCLUDES(mutex_, drain_mutex_);
@@ -192,11 +237,7 @@ public:
   void reset_pool_stats() { buffer_pool_.reset_stats(); }
 
   /// Drain-watchdog counters (all zero when the watchdog is disabled).
-  struct WatchdogStats {
-    std::uint64_t timeouts = 0;         // stalled-lane cancellations issued
-    std::uint64_t retries = 0;          // drain attempts retried
-    std::uint64_t steps_abandoned = 0;  // jobs given up after max retries
-  };
+  using WatchdogStats = bitio::bp::WatchdogStats;
   WatchdogStats watchdog_stats() const;
 
 private:

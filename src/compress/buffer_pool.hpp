@@ -32,9 +32,14 @@ namespace bitio::cz {
 
 class BufferPool {
  public:
+  /// Default per-class freelist depth.  Named so the config layer can
+  /// validate against it (compress_threads beyond the depth would thrash
+  /// the pool: every thread's scratch release past the bound deallocates).
+  static constexpr std::size_t kDefaultMaxPerClass = 16;
+
   /// `max_per_class` bounds how many idle buffers each size class retains;
   /// releases past the bound deallocate (no unbounded hoarding).
-  explicit BufferPool(std::size_t max_per_class = 16);
+  explicit BufferPool(std::size_t max_per_class = kDefaultMaxPerClass);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;

@@ -1,5 +1,6 @@
 #include "core/io_config.hpp"
 
+#include "compress/buffer_pool.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 #include "util/toml.hpp"
@@ -8,13 +9,56 @@
 namespace bitio::core {
 
 void Bit1IoConfig::validate() const {
-  if (engine != "bp4" && engine != "bp5")
-    throw UsageError("io config: unknown engine '" + engine + "'");
+  bool engine_known = false;
+  std::string engine_names;
+  for (const char* name : kBit1IoEngines) {
+    if (engine == name) engine_known = true;
+    if (!engine_names.empty()) engine_names += ", ";
+    engine_names += std::string("\"") + name + "\"";
+  }
+  if (!engine_known)
+    throw UsageError("io config: unknown engine '" + engine +
+                     "' (expected one of " + engine_names + ")");
   if (codec != "none" && codec != "blosc" && codec != "bzip2")
     throw UsageError("io config: unknown codec '" + codec + "'");
   if (compress_threads < 1)
     throw UsageError("io config: compress_threads must be >= 1, got " +
                      std::to_string(compress_threads));
+  if (std::size_t(compress_threads) > cz::BufferPool::kDefaultMaxPerClass)
+    throw UsageError(
+        "io config: compress_threads = " + std::to_string(compress_threads) +
+        " exceeds the buffer-pool per-class depth (" +
+        std::to_string(cz::BufferPool::kDefaultMaxPerClass) +
+        "); threads beyond the pool depth thrash the freelists instead of "
+        "recycling — lower compress_threads");
+  if (stream_max_steps < 1)
+    throw UsageError("io config: stream_max_steps must be >= 1, got " +
+                     std::to_string(stream_max_steps));
+  if (stream_policy != "block" && stream_policy != "drop_oldest" &&
+      stream_policy != "disconnect")
+    throw UsageError(
+        "io config: stream_policy must be \"block\", \"drop_oldest\", or "
+        "\"disconnect\", got '" + stream_policy + "'");
+  if (engine == "stream") {
+    // The stream engine has no file container: knobs that only make sense
+    // for on-disk output are a configuration error, not a silent no-op.
+    if (checkpoint_interval > 0)
+      throw UsageError(
+          "io config: engine \"stream\" cannot take checkpoints "
+          "(checkpoint_interval = " + std::to_string(checkpoint_interval) +
+          ") — checkpoint epochs need a file container; use engine \"bp4\" "
+          "or \"bp5\", or set checkpoint_interval = 0");
+    if (use_striping)
+      throw UsageError(
+          "io config: engine \"stream\" writes no files, so [io.striping] "
+          "has nothing to stripe — remove the striping table or pick a "
+          "file engine");
+    if (async_write)
+      throw UsageError(
+          "io config: engine \"stream\" publishes at end_step; there is no "
+          "subfile drain for async_write to move off the critical path — "
+          "drop async_write or pick engine \"bp5\"");
+  }
   if (compress_block_kb < 1)
     throw UsageError("io config: compress_block_kb must be >= 1, got " +
                      std::to_string(compress_block_kb));
@@ -103,6 +147,10 @@ Bit1IoConfig Bit1IoConfig::from_toml(const std::string& text) {
   config.degrade_cooldown =
       int(io.get_or("degrade_cooldown", Json(8)).as_int());
   config.recovery = io.get_or("recovery", Json("abort")).as_string();
+  config.stream_max_steps =
+      int(io.get_or("stream_max_steps", Json(4)).as_int());
+  config.stream_policy =
+      io.get_or("stream_policy", Json("block")).as_string();
   if (io.contains("fault_plan"))
     config.fault_plan = fsim::FaultPlan::from_json(io.at("fault_plan"));
 
@@ -143,6 +191,8 @@ std::string Bit1IoConfig::to_toml() const {
   out += strfmt("degrade_threshold = %d\n", degrade_threshold);
   out += strfmt("degrade_cooldown = %d\n", degrade_cooldown);
   out += "recovery = \"" + recovery + "\"\n";
+  out += strfmt("stream_max_steps = %d\n", stream_max_steps);
+  out += "stream_policy = \"" + stream_policy + "\"\n";
   if (use_striping) {
     out += "[io.striping]\n";
     out += strfmt("count = %d\n", striping.stripe_count);
@@ -164,6 +214,12 @@ std::string Bit1IoConfig::adios2_toml() const {
   if (num_aggregators > 0)
     out += strfmt("NumAggregators = %d\n", num_aggregators);
   out += std::string("Profile = \"") + (profiling ? "On" : "Off") + "\"\n";
+  if (engine == "stream") {
+    // Streaming window bound and slow-reader policy (SST QueueLimit /
+    // QueueFullPolicy analogue); bp::EngineConfig::from_json picks them up.
+    out += strfmt("StreamMaxSteps = %d\n", stream_max_steps);
+    out += "StreamPolicy = \"" + stream_policy + "\"\n";
+  }
   if (async_write) {
     // BP5's asynchronous drain: AsyncWrite moves the subfile appends off the
     // critical path; BufferChunkSize bounds the slice each append moves.
@@ -194,7 +250,10 @@ std::string Bit1IoConfig::adios2_toml() const {
 std::string Bit1IoConfig::label() const {
   if (mode == IoMode::original) return "BIT1 Original I/O";
   std::string out = "BIT1 openPMD + ";
-  out += engine == "bp4" ? "BP4" : "BP5";
+  if (engine == "bp4") out += "BP4";
+  else if (engine == "bp5") out += "BP5";
+  else if (engine == "stream") out += "STREAM";
+  else out += engine;
   if (codec == "blosc") out += " + Blosc";
   if (codec == "bzip2") out += " + bzip2";
   if (num_aggregators == 1) out += " + 1 AGGR";

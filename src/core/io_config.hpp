@@ -29,6 +29,14 @@ struct IoConfigKey {
   bool validated;       // true when validate() constrains the field
 };
 
+/// Engine names accepted by Bit1IoConfig::engine — the single source of
+/// truth for the string-keyed factory (bp::make_engine).  The
+/// engine-registry lint rule (tools/lint_invariants) checks every name
+/// here is constructed in bp's builtin_engines(), rendered by
+/// to_toml/label, and tagged by darshan::engine_tag; keep the list and
+/// those sites in lockstep.
+inline constexpr const char* kBit1IoEngines[] = {"bp4", "bp5", "stream"};
+
 inline constexpr IoConfigKey kBit1IoConfigKeys[] = {
     {"mode", "mode", false},
     {"engine", "engine", true},
@@ -52,13 +60,15 @@ inline constexpr IoConfigKey kBit1IoConfigKeys[] = {
     {"count", "striping.stripe_count", true},
     {"size", "striping.stripe_size", true},
     {"fault_plan", "fault_plan", true},
+    {"stream_max_steps", "stream_max_steps", true},
+    {"stream_policy", "stream_policy", true},
 };
 
 struct Bit1IoConfig {
   IoMode mode = IoMode::openpmd;
 
   // openPMD / ADIOS2 engine settings.
-  std::string engine = "bp4";         // "bp4" | "bp5"
+  std::string engine = "bp4";         // one of kBit1IoEngines
   int num_aggregators = 0;            // diagnostics series; 0 = per node
   int checkpoint_aggregators = 1;     // checkpoint series (shared-file)
   std::string codec = "none";         // "none" | "blosc" | "bzip2"
@@ -108,6 +118,13 @@ struct Bit1IoConfig {
   int degrade_cooldown = 8;
   std::string recovery = "abort";
 
+  // Stream engine (engine = "stream") only: bound on buffered published
+  // steps in the in-memory channel, and the slow-reader policy applied when
+  // a publish finds the window full ("block" | "drop_oldest" |
+  // "disconnect").  Ignored by the file engines.
+  int stream_max_steps = 4;
+  std::string stream_policy = "block";
+
   friend bool operator==(const Bit1IoConfig& a, const Bit1IoConfig& b) {
     return a.mode == b.mode && a.engine == b.engine &&
            a.num_aggregators == b.num_aggregators &&
@@ -129,7 +146,9 @@ struct Bit1IoConfig {
            a.max_drain_retries == b.max_drain_retries &&
            a.degrade_threshold == b.degrade_threshold &&
            a.degrade_cooldown == b.degrade_cooldown &&
-           a.recovery == b.recovery;
+           a.recovery == b.recovery &&
+           a.stream_max_steps == b.stream_max_steps &&
+           a.stream_policy == b.stream_policy;
   }
 
   /// Reject inconsistent configurations: unknown engine or codec, negative

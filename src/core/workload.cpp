@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "bp/writer.hpp"
+#include "bp/engine.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -193,8 +193,6 @@ EpochResult run_openpmd_epoch(const fsim::SystemProfile& profile,
                                                        : 1.0;
   auto engine_config = [&](int aggregators, bool profiling) {
     bp::EngineConfig engine;
-    engine.engine = config.engine == "bp5" ? bp::EngineType::bp5
-                                           : bp::EngineType::bp4;
     engine.num_aggregators = aggregators;
     engine.ranks_per_node = spec.ranks_per_node;
     engine.codec = config.codec;
@@ -208,12 +206,16 @@ EpochResult run_openpmd_epoch(const fsim::SystemProfile& profile,
     return engine;
   };
 
-  bp::Writer diag(fs, dir + "/dat_file." + config.engine,
-                  engine_config(config.num_aggregators, config.profiling),
-                  ranks);
-  bp::Writer ckpt(fs, dir + "/dmp_file." + config.engine,
-                  engine_config(config.checkpoint_aggregators, false),
-                  ranks);
+  // Engine selection goes through the string-keyed registry: the config's
+  // engine name picks BP4/BP5/stream without this call site changing.
+  auto diag_ptr = bp::make_engine(
+      config.engine, fs, dir + "/dat_file." + config.engine,
+      engine_config(config.num_aggregators, config.profiling), ranks);
+  auto ckpt_ptr = bp::make_engine(
+      config.engine, fs, dir + "/dmp_file." + config.engine,
+      engine_config(config.checkpoint_aggregators, false), ranks);
+  bp::Engine& diag = *diag_ptr;
+  bp::Engine& ckpt = *ckpt_ptr;
 
   using bp::Datatype;
   const char* species[] = {"e", "D+", "D"};

@@ -1,6 +1,7 @@
 #include "darshan/darshan.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstring>
 #include <map>
 #include <set>
@@ -349,6 +350,15 @@ DarshanLog capture(const fsim::SharedFs& fs, const fsim::ReplayReport& replay,
     }
   }
   return log;
+}
+
+std::string engine_tag(const std::string& engine) {
+  if (engine == "bp4") return "BP4";
+  if (engine == "bp5") return "BP5";
+  if (engine == "stream") return "SST";
+  std::string tag = engine;
+  for (char& c : tag) c = char(std::toupper(static_cast<unsigned char>(c)));
+  return tag;
 }
 
 }  // namespace bitio::darshan

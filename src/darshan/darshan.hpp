@@ -143,4 +143,12 @@ public:
 DarshanLog capture(const fsim::SharedFs& fs,
                    const fsim::ReplayReport& replay, JobInfo job);
 
+/// Short tag identifying the I/O engine in Darshan-side reports and bench
+/// JSON ("BP4" | "BP5" | "SST").  The engine-registry lint rule
+/// (tools/lint_invariants) keeps this switch in lockstep with
+/// core::kBit1IoEngines — adding an engine without tagging it here fails
+/// lint.  Unknown names come back uppercased rather than throwing so
+/// third-party engines registered via bp::register_engine still report.
+std::string engine_tag(const std::string& engine);
+
 }  // namespace bitio::darshan

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 
+#include "bp/engine.hpp"
 #include "bp/reader.hpp"
 #include "bp/writer.hpp"
 #include "util/error.hpp"
@@ -17,13 +18,14 @@ namespace {
 class BpWriteBackend final : public SeriesBackend {
 public:
   BpWriteBackend(fsim::SharedFs& fs, const std::string& path, int nranks,
-                 const Json& adios2_config, bp::EngineType engine)
-      : name_(bp::engine_name(engine)) {
+                 const Json& adios2_config, const std::string& engine)
+      : name_(engine) {
     bp::EngineConfig config = adios2_config.is_null()
                                   ? bp::EngineConfig{}
                                   : bp::EngineConfig::from_json(adios2_config);
-    config.engine = engine;
-    writer_ = std::make_unique<bp::Writer>(fs, path, config, nranks);
+    // Engine selection goes through the string-keyed registry; the name
+    // (from the file extension or Bit1IoConfig::engine) is authoritative.
+    writer_ = bp::make_engine(engine, fs, path, std::move(config), nranks);
   }
 
   std::string name() const override { return name_; }
@@ -46,10 +48,12 @@ public:
   void flush(FlushMode mode) override {
     // async: submitted steps keep draining in the background.  sync: join,
     // making the container consistent for read-after-write.
-    if (mode == FlushMode::sync) writer_->wait_drains();
+    if (mode == FlushMode::sync) writer_->flush();
   }
 
   void close() override { writer_->close(); }
+
+  bp::Engine* engine() override { return writer_.get(); }
 
   std::vector<std::uint64_t> iterations() const override {
     throw UsageError("openPMD: series is write-only");
@@ -68,14 +72,14 @@ public:
 
 private:
   std::string name_;
-  std::unique_ptr<bp::Writer> writer_;
+  std::unique_ptr<bp::Engine> writer_;
 };
 
 class BpReadBackend final : public SeriesBackend {
 public:
   BpReadBackend(fsim::SharedFs& fs, const std::string& path,
                 std::string engine)
-      : name_(std::move(engine)), reader_(fs, 0, path) {}
+      : name_(std::move(engine)), reader_(bp::Reader::open(fs, 0, path)) {}
 
   std::string name() const override { return name_; }
 
@@ -361,10 +365,13 @@ std::unique_ptr<SeriesBackend> make_write_backend(fsim::SharedFs& fs,
   const std::string ext = extension_of(path);
   if (ext == "bp" || ext == "bp4")
     return std::make_unique<BpWriteBackend>(fs, path, nranks, adios2_config,
-                                            bp::EngineType::bp4);
+                                            "bp4");
   if (ext == "bp5")
     return std::make_unique<BpWriteBackend>(fs, path, nranks, adios2_config,
-                                            bp::EngineType::bp5);
+                                            "bp5");
+  if (ext == "stream")
+    return std::make_unique<BpWriteBackend>(fs, path, nranks, adios2_config,
+                                            "stream");
   if (ext == "json")
     return std::make_unique<JsonBackend>(fs, path, /*write=*/true);
   throw UsageError("openPMD: no backend for extension '." + ext + "'");

@@ -146,7 +146,7 @@ bool CheckpointManager::try_commit_epoch(std::uint64_t epoch,
   // observe).  A corrupt epoch is torn down and rewritten by the caller.
   std::uint64_t bad = 0;
   try {
-    bp::Reader reader(fs_, 0, series_path(epoch));
+    bp::Reader reader = bp::Reader::open(fs_, 0, series_path(epoch));
     for (const auto& verdict : reader.verify())
       if (verdict.status == bp::Reader::ChunkVerdict::Status::short_read ||
           verdict.status == bp::Reader::ChunkVerdict::Status::crc_mismatch)
@@ -219,7 +219,7 @@ RestartReport CheckpointManager::restore(picmc::Simulation& sim) {
     report.epochs_tried += 1;
     std::uint64_t bad = 0;
     try {
-      bp::Reader reader(fs_, 0, series_path(epoch));
+      bp::Reader reader = bp::Reader::open(fs_, 0, series_path(epoch));
       for (const auto& verdict : reader.verify())
         if (verdict.status == bp::Reader::ChunkVerdict::Status::short_read ||
             verdict.status == bp::Reader::ChunkVerdict::Status::crc_mismatch)
@@ -257,7 +257,7 @@ std::optional<std::uint64_t> CheckpointManager::newest_verifying_epoch() {
     const std::uint64_t epoch = *it;
     std::uint64_t bad = 0;
     try {
-      bp::Reader reader(fs_, 0, series_path(epoch));
+      bp::Reader reader = bp::Reader::open(fs_, 0, series_path(epoch));
       for (const auto& verdict : reader.verify())
         if (verdict.status == bp::Reader::ChunkVerdict::Status::short_read ||
             verdict.status == bp::Reader::ChunkVerdict::Status::crc_mismatch)
@@ -302,7 +302,7 @@ ScrubReport CheckpointManager::scrub() {
     report.epochs_scanned += 1;
     std::uint64_t bad = 0;
     try {
-      bp::Reader reader(fs_, 0, series_path(epoch));
+      bp::Reader reader = bp::Reader::open(fs_, 0, series_path(epoch));
       for (const auto& verdict : reader.verify())
         if (verdict.status == bp::Reader::ChunkVerdict::Status::short_read ||
             verdict.status == bp::Reader::ChunkVerdict::Status::crc_mismatch)

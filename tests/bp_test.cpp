@@ -1,6 +1,10 @@
 // Tests for the miniBP container engine: format round trips, writer/reader
 // end-to-end, aggregation mapping, operators, steps, and failure detection.
 #include <gtest/gtest.h>
+// These tests intentionally exercise the raw Writer/Reader constructors —
+// they are the byte-identical compatibility surface the engine factory
+// wraps (see src/bp/engine.hpp).  Silence the [[deprecated]] nudge here.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <numeric>
 

@@ -13,6 +13,7 @@
 
 #include "core/io_config.hpp"
 #include "fsim/fault_plan.hpp"
+#include "util/error.hpp"
 
 using bitio::core::Bit1IoConfig;
 using bitio::core::IoMode;
@@ -67,6 +68,10 @@ bool mutate_for_key(const std::string& key, Bit1IoConfig& config) {
   } else if (key == "size") {
     config.use_striping = true;
     config.striping.stripe_size = 16ull << 20;
+  } else if (key == "stream_max_steps") {
+    config.stream_max_steps = 9;
+  } else if (key == "stream_policy") {
+    config.stream_policy = "drop_oldest";
   } else if (key == "fault_plan") {
     bitio::fsim::FaultRule rule;
     rule.kind = bitio::fsim::FaultKind::eio;
@@ -133,4 +138,79 @@ TEST(ConfigRegistry, DefaultConfigRoundTripsToo) {
   const Bit1IoConfig config;
   const Bit1IoConfig parsed = Bit1IoConfig::from_toml(config.to_toml());
   EXPECT_EQ(parsed, config);
+}
+
+namespace {
+
+/// validate() must throw, and the message must carry `hint` so the error
+/// is actionable, not just "invalid config".
+void expect_rejected(const Bit1IoConfig& config, const std::string& hint) {
+  try {
+    config.validate();
+    FAIL() << "config validated but should be rejected (" << hint << ")";
+  } catch (const bitio::UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find(hint), std::string::npos)
+        << "message '" << e.what() << "' lacks hint '" << hint << "'";
+  }
+}
+
+}  // namespace
+
+TEST(ConfigValidation, UnknownEngineListsTheRegisteredNames) {
+  Bit1IoConfig config;
+  config.engine = "hdf5";
+  // The message enumerates kBit1IoEngines so the fix is in the error.
+  expect_rejected(config, "\"stream\"");
+}
+
+TEST(ConfigValidation, StreamRejectsFileOnlyKnobs) {
+  Bit1IoConfig stream;
+  stream.engine = "stream";
+  stream.validate();  // the engine itself is fine
+
+  Bit1IoConfig ckpt = stream;
+  ckpt.checkpoint_interval = 10;
+  expect_rejected(ckpt, "cannot take checkpoints");
+
+  Bit1IoConfig striped = stream;
+  striped.use_striping = true;
+  expect_rejected(striped, "nothing to stripe");
+
+  Bit1IoConfig async = stream;
+  async.async_write = true;
+  expect_rejected(async, "async_write");
+}
+
+TEST(ConfigValidation, StreamKnobsAreRangeChecked) {
+  Bit1IoConfig config;
+  config.stream_max_steps = 0;
+  expect_rejected(config, "stream_max_steps");
+
+  Bit1IoConfig policy;
+  policy.stream_policy = "banana";
+  expect_rejected(policy, "stream_policy");
+}
+
+TEST(ConfigValidation, CompressThreadsBoundedByBufferPoolDepth) {
+  Bit1IoConfig config;
+  config.compress_threads = 17;  // cz::BufferPool::kDefaultMaxPerClass is 16
+  expect_rejected(config, "buffer-pool per-class depth");
+  config.compress_threads = 16;
+  config.validate();
+}
+
+TEST(ConfigValidation, ValidStreamConfigRoundTrips) {
+  Bit1IoConfig config;
+  config.engine = "stream";
+  config.stream_max_steps = 8;
+  config.stream_policy = "disconnect";
+  config.codec = "blosc";
+  config.validate();
+  const Bit1IoConfig parsed = Bit1IoConfig::from_toml(config.to_toml());
+  EXPECT_EQ(parsed, config);
+  // The adios2 rendering carries the window knobs to the bp layer.
+  const std::string adios2 = config.adios2_toml();
+  EXPECT_NE(adios2.find("StreamMaxSteps = 8"), std::string::npos) << adios2;
+  EXPECT_NE(adios2.find("StreamPolicy = \"disconnect\""), std::string::npos)
+      << adios2;
 }

@@ -263,6 +263,63 @@ TEST(LintTraceOpKinds, FlagsUnhandledEnumerator) {
       << dump(diags);
 }
 
+TEST(LintEngineRegistry, FlagsEveryDriftDirection) {
+  FixtureTree tree;
+  // "stream" is declared but never registered / labelled / tagged;
+  // "ghostfs" is registered but missing from the declaration list.
+  const std::string header =
+      "inline constexpr const char* kBit1IoEngines[] = {\n"
+      "    \"bp4\",\n"
+      "    \"stream\",\n"
+      "};\n"
+      "struct Bit1IoConfig { std::string engine; };\n";
+  const std::string config =
+      "#include \"core/io_config.hpp\"\n"
+      "std::string Bit1IoConfig::label() const {\n"
+      "  if (engine == \"bp4\") return \"BP4\";\n"
+      "  return engine;\n"
+      "}\n";
+  const std::string engine =
+      "#include \"bp/engine.hpp\"\n"
+      "void builtin_engines() {\n"
+      "  register_engine(\"bp4\", make_file_engine);\n"
+      "  register_engine(\"ghostfs\", make_ghost_engine);\n"
+      "}\n";
+  const std::string darshan =
+      "#include \"darshan/darshan.hpp\"\n"
+      "std::string engine_tag(const std::string& engine) {\n"
+      "  if (engine == \"bp4\") return \"BP4\";\n"
+      "  return engine;\n"
+      "}\n";
+  tree.write("src/core/io_config.hpp", header);
+  tree.write("src/core/io_config.cpp", config);
+  tree.write("src/bp/engine.cpp", engine);
+  tree.write("src/darshan/darshan.cpp", darshan);
+
+  const auto diags = bitio::lint::check_engine_registry(tree.root());
+  // "stream" missing from all three handling sites.
+  EXPECT_TRUE(has_diag(diags, "src/bp/engine.cpp",
+                       expect_line(engine, "builtin_engines"),
+                       "\"stream\" from kBit1IoEngines has no "
+                       "register_engine call"))
+      << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/core/io_config.cpp",
+                       expect_line(config, "Bit1IoConfig::label"),
+                       "\"stream\" from kBit1IoEngines is never spelled"))
+      << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/darshan/darshan.cpp",
+                       expect_line(darshan, "engine_tag"),
+                       "\"stream\" from kBit1IoEngines has no tag"))
+      << dump(diags);
+  // "ghostfs" registered by the factory but undeclared in the config layer.
+  EXPECT_TRUE(has_diag(diags, "src/bp/engine.cpp",
+                       expect_line(engine, "builtin_engines"),
+                       "\"ghostfs\" which is missing from "
+                       "core::kBit1IoEngines"))
+      << dump(diags);
+  EXPECT_EQ(diags.size(), 4u) << dump(diags);
+}
+
 // The invariant the `lint` ctest label enforces, exercised from the unit
 // suite too: the real tree is clean under every rule.
 TEST(LintRealTree, AllRulesPass) {

@@ -5,6 +5,10 @@
 // close() can never hang), and the graceful I/O degradation ladder
 // (core::DegradingSink) under ENOSPC pressure.
 #include <gtest/gtest.h>
+// These tests intentionally exercise the raw Writer/Reader constructors —
+// they are the byte-identical compatibility surface the engine factory
+// wraps (see src/bp/engine.hpp).  Silence the [[deprecated]] nudge here.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <chrono>
 #include <future>

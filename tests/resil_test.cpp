@@ -5,6 +5,10 @@
 // the newest epoch, recover from the previous one, re-run to a bit-identical
 // final state).
 #include <gtest/gtest.h>
+// These tests intentionally exercise the raw Writer/Reader constructors —
+// they are the byte-identical compatibility surface the engine factory
+// wraps (see src/bp/engine.hpp).  Silence the [[deprecated]] nudge here.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <algorithm>
 #include <bit>

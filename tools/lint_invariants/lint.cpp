@@ -513,11 +513,106 @@ std::vector<Diagnostic> check_traceop_kinds(const std::string& root) {
   return out;
 }
 
+// --- engine-registry -------------------------------------------------------
+
+std::vector<Diagnostic> check_engine_registry(const std::string& root) {
+  std::vector<Diagnostic> out;
+  const SourceFile header = load(root, "src/core/io_config.hpp");
+  const SourceFile config = load(root, "src/core/io_config.cpp");
+  const SourceFile engine = load(root, "src/bp/engine.cpp");
+  const SourceFile darshan = load(root, "src/darshan/darshan.cpp");
+  require_loaded(header, "engine-registry", out);
+  require_loaded(config, "engine-registry", out);
+  require_loaded(engine, "engine-registry", out);
+  require_loaded(darshan, "engine-registry", out);
+  if (!out.empty()) return out;
+
+  const std::string header_code = strip_comments(header.text);
+  const std::string config_code = strip_comments(config.text);
+  const std::string engine_code = strip_comments(engine.text);
+  const std::string darshan_code = strip_comments(darshan.text);
+
+  std::size_t list_line = 0;
+  const std::string list =
+      body_after(header_code, "kBit1IoEngines[]", &list_line);
+  static const std::regex quoted(R"re("([^"]+)")re");
+  const std::vector<std::string> names = captures(list, quoted);
+  if (names.empty()) {
+    out.push_back({header.rel, 1, "engine-registry",
+                   "kBit1IoEngines list not found or empty"});
+    return out;
+  }
+
+  std::size_t factory_line = 0, label_line = 0, tag_line = 0;
+  const std::string factory_body =
+      body_after(engine_code, "builtin_engines", &factory_line);
+  const std::string label_body =
+      body_after(config_code, "Bit1IoConfig::label", &label_line);
+  const std::string tag_body =
+      body_after(darshan_code, "engine_tag", &tag_line);
+  const struct {
+    const char* what;
+    const std::string* body;
+    const SourceFile* in;
+    std::size_t line;
+  } sites[] = {
+      {"builtin_engines()", &factory_body, &engine, factory_line},
+      {"Bit1IoConfig::label()", &label_body, &config, label_line},
+      {"darshan::engine_tag()", &tag_body, &darshan, tag_line},
+  };
+  for (const auto& site : sites) {
+    if (site.body->empty()) {
+      out.push_back({site.in->rel, 1, "engine-registry",
+                     std::string(site.what) + " definition not found"});
+      return out;
+    }
+  }
+
+  static const std::regex registered(R"re(register_engine\(\s*"([^"]+)")re");
+  const std::vector<std::string> factory_names =
+      captures(factory_body, registered);
+  for (const auto& name : names) {
+    const std::string literal = '"' + name + '"';
+    if (std::find(factory_names.begin(), factory_names.end(), name) ==
+        factory_names.end())
+      out.push_back({engine.rel, sites[0].line, "engine-registry",
+                     "engine \"" + name +
+                         "\" from kBit1IoEngines has no register_engine "
+                         "call in builtin_engines() — make_engine(\"" +
+                         name + "\", ...) would throw"});
+    if (label_body.find(literal) == std::string::npos)
+      out.push_back({config.rel, sites[1].line, "engine-registry",
+                     "engine \"" + name +
+                         "\" from kBit1IoEngines is never spelled by "
+                         "Bit1IoConfig::label() — sweep tables would show "
+                         "the wrong engine"});
+    if (tag_body.find(literal) == std::string::npos)
+      out.push_back({darshan.rel, sites[2].line, "engine-registry",
+                     "engine \"" + name +
+                         "\" from kBit1IoEngines has no tag in "
+                         "darshan::engine_tag() — bench JSON would fall "
+                         "back to the uppercased raw name"});
+  }
+
+  // Reverse direction: a name builtin_engines() registers must be declared
+  // in kBit1IoEngines, or the config layer would reject a working engine.
+  for (const auto& name : factory_names) {
+    const bool known =
+        std::find(names.begin(), names.end(), name) != names.end();
+    if (!known)
+      out.push_back({engine.rel, sites[0].line, "engine-registry",
+                     "builtin_engines() registers \"" + name +
+                         "\" which is missing from core::kBit1IoEngines — "
+                         "Bit1IoConfig::validate() would reject it"});
+  }
+  return out;
+}
+
 std::vector<Diagnostic> run_all(const std::string& root) {
   std::vector<Diagnostic> out;
   for (const auto& rule :
        {check_raw_io, check_config_registry, check_darshan_counters,
-        check_traceop_kinds}) {
+        check_traceop_kinds, check_engine_registry}) {
     auto found = rule(root);
     out.insert(out.end(), found.begin(), found.end());
   }

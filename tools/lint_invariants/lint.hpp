@@ -77,6 +77,14 @@ std::vector<Diagnostic> check_darshan_counters(const std::string& root);
 /// capture switch.
 std::vector<Diagnostic> check_traceop_kinds(const std::string& root);
 
+/// engine-registry: every engine name in core::kBit1IoEngines is registered
+/// by bp's builtin_engines() factory block (src/bp/engine.cpp), spelled out
+/// by Bit1IoConfig::label(), and tagged by darshan::engine_tag(); and every
+/// name builtin_engines() registers is in kBit1IoEngines.  Adding an engine
+/// string to one site but not the others fails lint with a file:line
+/// diagnostic at the site that is missing it.
+std::vector<Diagnostic> check_engine_registry(const std::string& root);
+
 /// All rules over the tree rooted at `root` (the repository checkout: the
 /// rules look under `<root>/src`).  Diagnostics are ordered by rule.
 std::vector<Diagnostic> run_all(const std::string& root);

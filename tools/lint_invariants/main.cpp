@@ -5,7 +5,8 @@
 // `root` defaults to the current directory and must be a repository
 // checkout (the rules look under <root>/src).  With --rule only the named
 // rules run (ids: raw-io, config-registry, darshan-counters,
-// traceop-kinds).  Exit status: 0 clean, 1 violations found, 2 bad usage.
+// traceop-kinds, engine-registry).  Exit status: 0 clean, 1 violations
+// found, 2 bad usage.
 
 #include <cstdio>
 #include <string>
@@ -27,6 +28,7 @@ constexpr Rule kRules[] = {
     {"config-registry", bitio::lint::check_config_registry},
     {"darshan-counters", bitio::lint::check_darshan_counters},
     {"traceop-kinds", bitio::lint::check_traceop_kinds},
+    {"engine-registry", bitio::lint::check_engine_registry},
 };
 
 }  // namespace
