@@ -10,6 +10,13 @@
 #                       the miniSST engine + in-situ query service
 #                       (queries/s, cache hit rate, steps lost/dropped,
 #                       >= 1000 concurrent clients sustained)
+#   BENCH_topo.json     topo_sweep flat vs two-level aggregation curves at
+#                       1K/10K/50K simulated ranks on the Dardel hierarchy
+#                       plus the live 50K-rank scheduler run (GiB/s,
+#                       gathered bytes, bounded-pool thread peak).  The
+#                       sweep's sanity gate is in-band: two-level must not
+#                       lose to flat at >= 10K ranks on >= 16 ranks/node,
+#                       and a violation fails this script.
 #
 # Numbers are machine-dependent; the committed files record the box the
 # report was last generated on.
@@ -21,7 +28,7 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 
 cmake -S "$repo_root" -B "$build_dir" >/dev/null
-cmake --build "$build_dir" --target micro_codecs stream_fanout \
+cmake --build "$build_dir" --target micro_codecs stream_fanout topo_sweep \
   -j "$(nproc 2>/dev/null || echo 4)"
 
 "$build_dir/bench/micro_codecs" --json > "$repo_root/BENCH_codecs.json"
@@ -29,3 +36,6 @@ printf 'wrote %s\n' "$repo_root/BENCH_codecs.json"
 
 "$build_dir/bench/stream_fanout" --json > "$repo_root/BENCH_stream.json"
 printf 'wrote %s\n' "$repo_root/BENCH_stream.json"
+
+"$build_dir/bench/topo_sweep" --json > "$repo_root/BENCH_topo.json"
+printf 'wrote %s\n' "$repo_root/BENCH_topo.json"

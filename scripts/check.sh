@@ -14,7 +14,12 @@
 #                          `concurrency` label for the TSan preset, and the
 #                          fan-out sweep is scripts/bench_report.sh ->
 #                          BENCH_stream.json)
-#   6. full test suite     default preset, all labels (includes the `perf`
+#   6. topo suite          topology/aggregation + event-driven scheduler
+#                          tests (ctest -L topo), then the same label under
+#                          ThreadSanitizer (ctest --preset tsan-topo); the
+#                          rank sweep is scripts/bench_report.sh ->
+#                          BENCH_topo.json
+#   7. full test suite     default preset, all labels (includes the `perf`
 #                          smoke test; the full codec sweep is
 #                          scripts/bench_report.sh -> BENCH_codecs.json)
 set -eu
@@ -42,6 +47,14 @@ step "clang-tidy (skips without LLVM)"
 
 step "stream engine suite (ctest -L stream)"
 ctest --preset stream
+
+step "topology + scheduler suite (ctest -L topo)"
+ctest --preset topo
+
+step "topology suite under ThreadSanitizer (ctest --preset tsan-topo)"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$(nproc 2>/dev/null || echo 4)"
+ctest --preset tsan-topo
 
 step "full test suite"
 ctest --preset default

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <numeric>
 
 #include "compress/parallel.hpp"
 #include "fsim/storage_model.hpp"
@@ -106,6 +107,17 @@ EngineConfig EngineConfig::from_json(const Json& adios2) {
         config.stream_max_steps = int(params.at("StreamMaxSteps").as_int());
       if (params.contains("StreamPolicy"))
         config.stream_policy = params.at("StreamPolicy").as_string();
+      // Topology-modeled gather path (core::Bit1IoConfig::adios2_toml emits
+      // these only when something differs from flat-on-flat, so legacy
+      // configs parse unchanged).
+      if (params.contains("Aggregation"))
+        config.aggregation = params.at("Aggregation").as_string();
+      if (params.contains("Topology"))
+        config.topology = params.at("Topology").as_string();
+      if (params.contains("NumaPerNode"))
+        config.numa_per_node = int(params.at("NumaPerNode").as_int());
+      if (params.contains("NicsPerNode"))
+        config.nics_per_node = int(params.at("NicsPerNode").as_int());
     }
   }
   if (adios2.contains("dataset")) {
@@ -131,9 +143,32 @@ EngineConfig EngineConfig::from_json(const Json& adios2) {
   return config;
 }
 
+topo::Mapper Writer::build_mapper(const EngineConfig& config, int nranks) {
+  if (nranks <= 0 || config.ranks_per_node <= 0)
+    return topo::Mapper(topo::Cluster::flat(), 1);
+  topo::Cluster cluster = topo::Cluster::preset(config.topology);
+  // The engine's ranks_per_node knob stays the single source of the node
+  // size; a hierarchical preset contributes the NUMA/NIC shape (which the
+  // explicit overrides may in turn replace).
+  if (cluster.multi_node()) {
+    cluster.ranks_per_node = config.ranks_per_node;
+    // A preset describes a fully-populated node; when ranks_per_node
+    // undersubscribes it, scale the NUMA-domain count to the occupied
+    // slots so the shape stays coherent (an explicit numa_per_node below
+    // is still validated strictly).
+    cluster.numa_per_node =
+        std::gcd(cluster.numa_per_node, cluster.ranks_per_node);
+  }
+  if (config.numa_per_node > 0) cluster.numa_per_node = config.numa_per_node;
+  if (config.nics_per_node > 0) cluster.nics_per_node = config.nics_per_node;
+  cluster.validate();
+  return topo::Mapper(cluster, nranks);
+}
+
 Writer::Writer(ForEngineFactory, fsim::SharedFs& fs, std::string path,
                EngineConfig config, int nranks)
-    : fs_(fs), path_(std::move(path)), config_(config), nranks_(nranks) {
+    : fs_(fs), path_(std::move(path)), config_(config), nranks_(nranks),
+      mapper_(build_mapper(config_, nranks_)) {
   if (nranks_ <= 0) throw UsageError("bp::Writer: nranks must be positive");
   if (config_.engine == EngineType::stream)
     throw UsageError(
@@ -151,6 +186,12 @@ Writer::Writer(ForEngineFactory, fsim::SharedFs& fs, std::string path,
     throw UsageError("bp::Writer: compress_threads must be >= 1");
   if (config_.compress_block_kb < 1)
     throw UsageError("bp::Writer: compress_block_kb must be >= 1");
+  // Keep the accepted strings in lockstep with core::kBit1IoAggregationModes
+  // (the topology-registry lint rule checks both sites).
+  if (config_.aggregation != "flat" && config_.aggregation != "two_level")
+    throw UsageError("bp::Writer: unknown aggregation '" +
+                     config_.aggregation +
+                     "' (expected \"flat\" or \"two_level\")");
 
   const int nnodes =
       (nranks_ + config_.ranks_per_node - 1) / config_.ranks_per_node;
@@ -394,6 +435,17 @@ void Writer::drain_step(const StepJob& job) {
   std::vector<double> lane_crc(static_cast<std::size_t>(num_aggregators_),
                                0.0);
 
+  // Topology-modeled gather: how each rank's marshalled bytes reach its
+  // aggregator leader.  Only a multi-node topology records gather ops —
+  // on the flat topology the loop below emits exactly the pre-topology
+  // trace, byte for byte.  "flat" aggregation ships every rank's bytes
+  // straight to the aggregator over the inter-node links; "two_level"
+  // gathers onto the node leader over intra-node shared memory first and
+  // ships one combined transfer per (node, aggregator) pair afterwards.
+  const bool model_gather = mapper_.multi_node();
+  const bool two_level = model_gather && config_.aggregation == "two_level";
+  std::map<std::pair<int, int>, std::uint64_t> node_agg_bytes;
+
   for (int rank = 0; rank < nranks_; ++rank) {
     const auto& chunks = job.chunks[std::size_t(rank)];
     if (chunks.empty()) continue;
@@ -403,6 +455,7 @@ void Writer::drain_step(const StepJob& job) {
     double rank_compress_s = 0.0;  // coalesced per-rank CPU charge
     double rank_memcopy_s = 0.0;
     double rank_crc_s = 0.0;
+    std::uint64_t rank_stored = 0;  // this rank's marshalled bytes this step
     for (const auto& chunk : chunks) {
       auto [it, fresh] = var_index.try_emplace(chunk.var, var_order.size());
       if (fresh) {
@@ -491,6 +544,32 @@ void Writer::drain_step(const StepJob& job) {
       raw_bytes_total_ += raw_bytes;
       stored_bytes_total_ += stored_size;
       agg_bytes[std::size_t(a)] += stored_size;
+      rank_stored += stored_size;
+    }
+    if (model_gather && rank_stored > 0) {
+      // First gather hop.  The op is recorded on the *receiving* rank's
+      // client sequence (its overlapped drain lane when async): a gatherer
+      // cannot forward or write bytes it has not received, so the fan-in
+      // must gate the receiver's subsequent trace ops — recorded on the
+      // sender it would replay off the critical path and cost nothing.
+      if (two_level) {
+        const int node_leader = mapper_.leader_of(rank);
+        if (rank != node_leader) {
+          fsim::FsClient receiver(fs_, fsim::ClientId(node_leader),
+                                  async ? kDataLane : 0);
+          receiver.transfer(data_fds_[std::size_t(a)], fsim::ClientId(rank),
+                            rank_stored, /*intra_node=*/true);
+        }
+        node_agg_bytes[{mapper_.node_of(rank), a}] += rank_stored;
+      } else {
+        const int leader = leader_of(a);
+        if (rank != leader) {
+          fsim::FsClient receiver(fs_, fsim::ClientId(leader),
+                                  async ? kDataLane : 0);
+          receiver.transfer(data_fds_[std::size_t(a)], fsim::ClientId(rank),
+                            rank_stored, mapper_.same_node(rank, leader));
+        }
+      }
     }
     if (async) {
       lane_compress[std::size_t(a)] += rank_compress_s;
@@ -502,6 +581,23 @@ void Writer::drain_step(const StepJob& job) {
       if (rank_memcopy_s > 0.0) client.charge_cpu(rank_memcopy_s, "memcopy");
       if (rank_crc_s > 0.0) client.charge_cpu(rank_crc_s, "crc32c");
     }
+  }
+
+  // Second gather hop (two-level only): each node leader ships its node's
+  // combined payload per aggregator over the inter-node links.  A node
+  // leader that is itself the aggregator leader already holds the bytes.
+  // Recorded on the aggregator leader (the receiver) ahead of its write
+  // ops, for the same critical-path reason as the first hop.
+  for (const auto& [key, bytes] : node_agg_bytes) {
+    const auto [node, agg] = key;
+    if (bytes == 0) continue;
+    const int node_leader = mapper_.node_leader(node);
+    const int leader = leader_of(agg);
+    if (node_leader == leader) continue;
+    fsim::FsClient receiver(fs_, fsim::ClientId(leader),
+                            async ? kDataLane : 0);
+    receiver.transfer(data_fds_[std::size_t(agg)], fsim::ClientId(node_leader),
+                      bytes, mapper_.same_node(node_leader, leader));
   }
 
   // Each aggregator leader appends its step buffer as one sequential write
@@ -794,6 +890,13 @@ void Writer::close() {
     profile["ranks"] = nranks_;
     profile["steps"] = steps_written_;
     profile["async_write"] = config_.async_write;
+    if (config_.aggregation != "flat" || config_.topology != "flat") {
+      // Gated so flat-on-flat profiling.json stays byte-identical to the
+      // pre-topology writer's output.
+      profile["aggregation"] = config_.aggregation;
+      profile["topology"] = config_.topology;
+      profile["nodes"] = mapper_.nodes();
+    }
     profile["transport_0"]["memcopy_us"] = memcopy_us_total_;
     profile["transport_0"]["compress_us"] = compress_us_total_;
     // Overlapped drain-lane time, kept apart from the critical-path

@@ -50,6 +50,7 @@
 #include "compress/buffer_pool.hpp"
 #include "compress/codec.hpp"
 #include "fsim/posix_fs.hpp"
+#include "topo/topology.hpp"
 #include "util/json.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -123,6 +124,21 @@ struct EngineConfig {
   /// publish finds the channel full.  Ignored by the file engines.
   int stream_max_steps = 4;
   std::string stream_policy = "block";
+  /// Topology-modeled gather path (src/topo).  `topology` names a
+  /// topo::Cluster preset; `aggregation` selects how marshalled bytes reach
+  /// the aggregator leaders on it ("flat" = every rank ships straight to
+  /// its aggregator over the NICs; "two_level" = rank -> node-leader over
+  /// intra-node shared memory, node-leader -> aggregator over the NICs).
+  /// With the "flat" topology every rank sits on one modelled node, no
+  /// gather op is ever recorded, and the trace — hence the container bytes
+  /// and every replay number — is identical to the pre-topology writer.
+  /// numa_per_node / nics_per_node override the preset hierarchy when > 0.
+  /// The topology-registry lint rule keeps the mode names in lockstep with
+  /// core::kBit1IoAggregationModes.
+  std::string aggregation = "flat";
+  std::string topology = "flat";
+  int numa_per_node = 0;
+  int nics_per_node = 0;
 
   /// Parse the "adios2" section of an openPMD-style JSON/TOML config, e.g.
   /// {engine:{type:"bp4", parameters:{NumAggregators:400, Profile:"On"}},
@@ -139,6 +155,15 @@ struct WatchdogStats {
   std::uint64_t steps_abandoned = 0;  // jobs given up after max retries
 };
 
+/// Registry gate of the deprecated construction shims: verifies that
+/// `config.engine`'s name is registered in the string-keyed factory
+/// (bp::make_engine's registry, src/bp/engine.hpp) and hands the config
+/// back.  The [[deprecated]] Writer/Reader constructors forward through it,
+/// so exercising the legacy entry points also proves factory coverage —
+/// the deprecation tests double as registry tests.  Throws UsageError with
+/// the registered names if the engine was never registered.
+EngineConfig require_registered_engine(EngineConfig config);
+
 class Writer {
 public:
   /// Creates the container directory and all its files.  `nranks` is the
@@ -150,8 +175,8 @@ public:
       "(src/bp/engine.hpp); the factory keeps BP4/BP5 output byte-identical")]]
   Writer(fsim::SharedFs& fs, std::string path, EngineConfig config,
          int nranks)
-      : Writer(ForEngineFactory{}, fs, std::move(path), std::move(config),
-               nranks) {}
+      : Writer(ForEngineFactory{}, fs, std::move(path),
+               require_registered_engine(std::move(config)), nranks) {}
 
   /// Non-deprecated internal entry point used by the engine factory.
   Writer(ForEngineFactory, fsim::SharedFs& fs, std::string path,
@@ -279,6 +304,11 @@ private:
   void validate_put(int rank, const std::string& name, Datatype dtype,
                     const Dims& shape, const Dims& offset, const Dims& count)
       REQUIRES(mutex_);
+  /// Resolve the configured topology preset (with the engine's
+  /// ranks_per_node and any numa/nic overrides applied) into the writer's
+  /// rank placement.  Returns a trivial single-node mapper for inputs the
+  /// constructor body is about to reject anyway.
+  static topo::Mapper build_mapper(const EngineConfig& config, int nranks);
   static void compute_stats(const PendingChunk& chunk, ChunkRecord& meta);
   int leader_of(int aggregator) const;
   void drain_step(const StepJob& job);
@@ -303,6 +333,11 @@ private:
   std::string path_;
   EngineConfig config_;
   int nranks_;
+  // Rank placement on the modelled cluster (the config.topology preset).
+  // On the flat topology every rank shares one node and drain_step records
+  // no gather ops at all — the trace stays byte-identical to the
+  // pre-topology writer.
+  const topo::Mapper mapper_;
   int num_aggregators_;
   // Recycles every hot-path buffer (declared before codec_: a ParallelCodec
   // wrapper keeps a pointer to it).  Thread-safe; shared by rank threads in

@@ -95,6 +95,38 @@ void Bit1IoConfig::validate() const {
   if (recovery != "abort" && recovery != "shrink")
     throw UsageError("io config: recovery must be \"abort\" or \"shrink\", "
                      "got '" + recovery + "'");
+  bool aggregation_known = false;
+  std::string aggregation_names;
+  for (const char* name : kBit1IoAggregationModes) {
+    if (aggregation == name) aggregation_known = true;
+    if (!aggregation_names.empty()) aggregation_names += ", ";
+    aggregation_names += std::string("\"") + name + "\"";
+  }
+  if (!aggregation_known)
+    throw UsageError("io config: unknown aggregation '" + aggregation +
+                     "' (expected one of " + aggregation_names + ")");
+  bool topology_known = false;
+  std::string topology_names;
+  for (const char* name : kBit1IoTopologies) {
+    if (topology == name) topology_known = true;
+    if (!topology_names.empty()) topology_names += ", ";
+    topology_names += std::string("\"") + name + "\"";
+  }
+  if (!topology_known)
+    throw UsageError("io config: unknown topology '" + topology +
+                     "' (expected one of " + topology_names + ")");
+  if (numa_per_node < 0)
+    throw UsageError("io config: numa_per_node must be >= 0, got " +
+                     std::to_string(numa_per_node));
+  if (nics_per_node < 0)
+    throw UsageError("io config: nics_per_node must be >= 0, got " +
+                     std::to_string(nics_per_node));
+  if (engine == "stream" && aggregation == "two_level" && topology == "flat")
+    throw UsageError(
+        "io config: aggregation \"two_level\" with engine \"stream\" needs "
+        "a multi-node topology, and topology \"flat\" places every rank on "
+        "one node — pick a hierarchical topology (e.g. \"dardel\") or one "
+        "of the aggregation modes " + aggregation_names);
   fault_plan.validate();
   if (use_striping) {
     if (striping.stripe_count < 1)
@@ -151,6 +183,10 @@ Bit1IoConfig Bit1IoConfig::from_toml(const std::string& text) {
       int(io.get_or("stream_max_steps", Json(4)).as_int());
   config.stream_policy =
       io.get_or("stream_policy", Json("block")).as_string();
+  config.aggregation = io.get_or("aggregation", Json("flat")).as_string();
+  config.topology = io.get_or("topology", Json("flat")).as_string();
+  config.numa_per_node = int(io.get_or("numa_per_node", Json(0)).as_int());
+  config.nics_per_node = int(io.get_or("nics_per_node", Json(0)).as_int());
   if (io.contains("fault_plan"))
     config.fault_plan = fsim::FaultPlan::from_json(io.at("fault_plan"));
 
@@ -193,6 +229,10 @@ std::string Bit1IoConfig::to_toml() const {
   out += "recovery = \"" + recovery + "\"\n";
   out += strfmt("stream_max_steps = %d\n", stream_max_steps);
   out += "stream_policy = \"" + stream_policy + "\"\n";
+  out += "aggregation = \"" + aggregation + "\"\n";
+  out += "topology = \"" + topology + "\"\n";
+  out += strfmt("numa_per_node = %d\n", numa_per_node);
+  out += strfmt("nics_per_node = %d\n", nics_per_node);
   if (use_striping) {
     out += "[io.striping]\n";
     out += strfmt("count = %d\n", striping.stripe_count);
@@ -214,6 +254,15 @@ std::string Bit1IoConfig::adios2_toml() const {
   if (num_aggregators > 0)
     out += strfmt("NumAggregators = %d\n", num_aggregators);
   out += std::string("Profile = \"") + (profiling ? "On" : "Off") + "\"\n";
+  if (aggregation != "flat" || topology != "flat") {
+    // Topology-aware gather path; bp::EngineConfig::from_json picks these
+    // up (flat-on-flat stays implicit so pre-topology configs render
+    // byte-identically).
+    out += "Aggregation = \"" + aggregation + "\"\n";
+    out += "Topology = \"" + topology + "\"\n";
+    if (numa_per_node > 0) out += strfmt("NumaPerNode = %d\n", numa_per_node);
+    if (nics_per_node > 0) out += strfmt("NicsPerNode = %d\n", nics_per_node);
+  }
   if (engine == "stream") {
     // Streaming window bound and slow-reader policy (SST QueueLimit /
     // QueueFullPolicy analogue); bp::EngineConfig::from_json picks them up.

@@ -37,6 +37,20 @@ struct IoConfigKey {
 /// those sites in lockstep.
 inline constexpr const char* kBit1IoEngines[] = {"bp4", "bp5", "stream"};
 
+/// Aggregation modes accepted by Bit1IoConfig::aggregation — the single
+/// source of truth for the two-level gather path.  The topology-registry
+/// lint rule (tools/lint_invariants) checks every name here is validated
+/// in io_config.cpp, parsed by bp::EngineConfig::from_json, and tagged by
+/// darshan::aggregation_tag; keep the list and those sites in lockstep.
+inline constexpr const char* kBit1IoAggregationModes[] = {"flat",
+                                                         "two_level"};
+
+/// Topology preset names accepted by Bit1IoConfig::topology — the single
+/// source of truth for topo::Cluster::preset.  The topology-registry lint
+/// rule checks every name here is constructed in topo/topology.cpp and
+/// validated in io_config.cpp.
+inline constexpr const char* kBit1IoTopologies[] = {"flat", "dardel"};
+
 inline constexpr IoConfigKey kBit1IoConfigKeys[] = {
     {"mode", "mode", false},
     {"engine", "engine", true},
@@ -62,6 +76,10 @@ inline constexpr IoConfigKey kBit1IoConfigKeys[] = {
     {"fault_plan", "fault_plan", true},
     {"stream_max_steps", "stream_max_steps", true},
     {"stream_policy", "stream_policy", true},
+    {"aggregation", "aggregation", true},
+    {"topology", "topology", true},
+    {"numa_per_node", "numa_per_node", true},
+    {"nics_per_node", "nics_per_node", true},
 };
 
 struct Bit1IoConfig {
@@ -118,6 +136,22 @@ struct Bit1IoConfig {
   int degrade_cooldown = 8;
   std::string recovery = "abort";
 
+  // Topology-aware aggregation (src/topo): `topology` names a
+  // topo::Cluster preset ("flat" keeps the historical flat-pool model;
+  // "dardel" is node-hierarchical), `aggregation` selects the gather
+  // strategy the BP engine models on it ("flat" = every rank ships
+  // straight to its aggregator; "two_level" = rank -> node-leader over
+  // shared memory, node-leader -> aggregator over the NICs).  With
+  // topology = "flat" no gather is ever modeled, so the trace — and hence
+  // the container bytes and every calibrated replay number — is identical
+  // to the pre-topology behavior regardless of `aggregation`.
+  // numa_per_node / nics_per_node override the preset's hierarchy when
+  // > 0; 0 keeps the preset values.
+  std::string aggregation = "flat";   // one of kBit1IoAggregationModes
+  std::string topology = "flat";      // one of kBit1IoTopologies
+  int numa_per_node = 0;
+  int nics_per_node = 0;
+
   // Stream engine (engine = "stream") only: bound on buffered published
   // steps in the in-memory channel, and the slow-reader policy applied when
   // a publish finds the window full ("block" | "drop_oldest" |
@@ -148,7 +182,10 @@ struct Bit1IoConfig {
            a.degrade_cooldown == b.degrade_cooldown &&
            a.recovery == b.recovery &&
            a.stream_max_steps == b.stream_max_steps &&
-           a.stream_policy == b.stream_policy;
+           a.stream_policy == b.stream_policy &&
+           a.aggregation == b.aggregation && a.topology == b.topology &&
+           a.numa_per_node == b.numa_per_node &&
+           a.nics_per_node == b.nics_per_node;
   }
 
   /// Reject inconsistent configurations: unknown engine or codec, negative

@@ -27,6 +27,7 @@ EpochResult summarize(const fsim::SharedFs& fs, const std::string& dir,
       replay.makespan > 0
           ? double(replay.bytes_written) / replay.makespan / double(GiB)
           : 0.0;
+  result.bytes_gathered = replay.bytes_transferred;
   result.mean_meta_s = replay.mean_meta_time();
   result.mean_write_s = replay.mean_write_time();
   result.mean_read_s = replay.mean_read_time();
@@ -203,6 +204,12 @@ EpochResult run_openpmd_epoch(const fsim::SystemProfile& profile,
     engine.mem_bandwidth_bps = profile.client_mem_bandwidth_bps;
     engine.async_write = config.async_write;
     engine.buffer_chunk_mb = std::size_t(config.buffer_chunk_mb);
+    // Topology-modeled gather path (src/topo): the engine records the
+    // rank -> aggregator gathers on the configured cluster hierarchy.
+    engine.aggregation = config.aggregation;
+    engine.topology = config.topology;
+    engine.numa_per_node = config.numa_per_node;
+    engine.nics_per_node = config.nics_per_node;
     return engine;
   };
 
@@ -274,8 +281,21 @@ EpochResult run_openpmd_epoch(const fsim::SystemProfile& profile,
   diag.close();
   ckpt.close();
 
+  // Replay against the same hierarchy the engine modelled its gathers on:
+  // on a hierarchical topology the node size follows the sweep's
+  // ranks_per_node and the config's NUMA/NIC overrides land in the profile.
+  // Gated on the topology so flat-mode replay numbers stay identical to the
+  // pre-topology behavior.
+  fsim::SystemProfile replay_profile = profile;
+  if (config.topology != "flat") {
+    replay_profile.ranks_per_node = spec.ranks_per_node;
+    if (config.numa_per_node > 0)
+      replay_profile.numa_per_node = config.numa_per_node;
+    if (config.nics_per_node > 0)
+      replay_profile.nics_per_node = config.nics_per_node;
+  }
   const auto replay =
-      timing ? replay_trace(profile, fs.store(), fs.trace(), ranks)
+      timing ? replay_trace(replay_profile, fs.store(), fs.trace(), ranks)
              : fsim::ReplayReport{};
   return summarize(fs, dir, replay);
 }

@@ -69,6 +69,8 @@ struct EpochResult {
   double makespan_s = 0.0;
   std::uint64_t bytes_written = 0;
   double write_gibps = 0.0;  // bytes_written / makespan
+  // Rank-to-rank gather traffic (OpKind::xfer; zero on a flat topology).
+  std::uint64_t bytes_gathered = 0;
   // Per-process mean costs (Fig 5).
   double mean_meta_s = 0.0;
   double mean_write_s = 0.0;

@@ -144,10 +144,12 @@ private:
 };
 
 // Log format version 3 adds the per-record faults_injected counter;
-// version 4 adds the job-level recovery counters.  parse() accepts both —
-// a v3 log reads back with the recovery counters at zero.
+// version 4 adds the job-level recovery counters; version 5 adds the
+// per-record two-level-aggregation gather counters.  parse() accepts all
+// three — older logs read back with the newer counters at zero.
 constexpr std::uint64_t kLogMagicV3 = 0x4452534e4c4f4733ull;  // "DRSNLOG3"
-constexpr std::uint64_t kLogMagic = 0x4452534e4c4f4734ull;    // "DRSNLOG4"
+constexpr std::uint64_t kLogMagicV4 = 0x4452534e4c4f4734ull;  // "DRSNLOG4"
+constexpr std::uint64_t kLogMagic = 0x4452534e4c4f4735ull;    // "DRSNLOG5"
 
 }  // namespace
 
@@ -179,6 +181,11 @@ std::vector<std::uint8_t> DarshanLog::serialize() const {
     put_f64(out, r.meta_time_s);
     put_f64(out, r.drain_time_s);
     put_u64(out, r.faults_injected);
+    put_u64(out, r.shm_gathers);
+    put_u64(out, r.net_gathers);
+    put_u64(out, r.shm_gather_bytes);
+    put_u64(out, r.net_gather_bytes);
+    put_f64(out, r.gather_time_s);
   }
   return out;
 }
@@ -186,14 +193,14 @@ std::vector<std::uint8_t> DarshanLog::serialize() const {
 DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {
   Cursor cur(data);
   const std::uint64_t magic = cur.u64();
-  if (magic != kLogMagic && magic != kLogMagicV3)
+  if (magic != kLogMagic && magic != kLogMagicV4 && magic != kLogMagicV3)
     throw FormatError("darshan: bad log magic");
   DarshanLog log;
   log.job.exe = cur.str();
   log.job.nprocs = std::uint32_t(cur.u64());
   log.job.runtime_s = cur.f64();
   log.job.mount = cur.str();
-  if (magic == kLogMagic) {
+  if (magic != kLogMagicV3) {
     log.job.recoveries = cur.u64();
     log.job.degradations = cur.u64();
     log.job.t_recovery_s = cur.f64();
@@ -218,6 +225,13 @@ DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {
     r.meta_time_s = cur.f64();
     r.drain_time_s = cur.f64();
     r.faults_injected = cur.u64();
+    if (magic == kLogMagic) {
+      r.shm_gathers = cur.u64();
+      r.net_gathers = cur.u64();
+      r.shm_gather_bytes = cur.u64();
+      r.net_gather_bytes = cur.u64();
+      r.gather_time_s = cur.f64();
+    }
     log.records.push_back(std::move(r));
   }
   if (!cur.done()) throw FormatError("darshan: trailing bytes in log");
@@ -345,6 +359,21 @@ DarshanLog capture(const fsim::SharedFs& fs, const fsim::ReplayReport& replay,
         r.bytes_read += op.bytes;
         read_time += dt;
         break;
+      case OpKind::xfer:
+        // Two-level aggregation gather feeding this file; the tag names
+        // the level (fsim::kShmGatherTag / kNetGatherTag).
+        if (op.tag == fsim::kShmGatherTag) {
+          r.shm_gathers += op.op_count;
+          r.shm_gather_bytes += op.bytes;
+        } else {
+          r.net_gathers += op.op_count;
+          r.net_gather_bytes += op.bytes;
+        }
+        if (drain_lane)
+          r.drain_time_s += dt;
+        else
+          r.gather_time_s += dt;
+        break;
       case OpKind::cpu:
         break;
     }
@@ -357,6 +386,14 @@ std::string engine_tag(const std::string& engine) {
   if (engine == "bp5") return "BP5";
   if (engine == "stream") return "SST";
   std::string tag = engine;
+  for (char& c : tag) c = char(std::toupper(static_cast<unsigned char>(c)));
+  return tag;
+}
+
+std::string aggregation_tag(const std::string& aggregation) {
+  if (aggregation == "flat") return "FLAT";
+  if (aggregation == "two_level") return "TWO_LEVEL";
+  std::string tag = aggregation;
   for (char& c : tag) c = char(std::toupper(static_cast<unsigned char>(c)));
   return tag;
 }

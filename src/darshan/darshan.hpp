@@ -67,6 +67,16 @@ struct FileRecord {
   // Operations on this (rank, file) that carried an injected fault
   // (TraceOp::fault != none): torn writes, bit flips, transient failures.
   std::uint64_t faults_injected = 0;
+  // Per-level gather counters of the two-level aggregation path (log
+  // format v5): OpKind::xfer transfers feeding this file, split by gather
+  // level — in-node shared-memory hops (fsim::kShmGatherTag) vs inter-node
+  // NIC hops (kNetGatherTag).  Zero for flat aggregation and for every
+  // log captured before v5.
+  std::uint64_t shm_gathers = 0;
+  std::uint64_t net_gathers = 0;
+  std::uint64_t shm_gather_bytes = 0;
+  std::uint64_t net_gather_bytes = 0;
+  double gather_time_s = 0.0;
 };
 
 /// Every FileRecord counter, in serialization order — the one table the
@@ -90,6 +100,11 @@ inline constexpr const char* kFileRecordCounters[] = {
     "meta_time_s",
     "drain_time_s",
     "faults_injected",
+    "shm_gathers",
+    "net_gathers",
+    "shm_gather_bytes",
+    "net_gather_bytes",
+    "gather_time_s",
 };
 
 /// A captured log: job info + records + per-rank roll-ups.
@@ -150,5 +165,12 @@ DarshanLog capture(const fsim::SharedFs& fs,
 /// lint.  Unknown names come back uppercased rather than throwing so
 /// third-party engines registered via bp::register_engine still report.
 std::string engine_tag(const std::string& engine);
+
+/// Short tag identifying the aggregation mode in Darshan-side reports and
+/// bench JSON ("FLAT" | "TWO_LEVEL").  The topology-registry lint rule
+/// (tools/lint_invariants) keeps this switch in lockstep with
+/// core::kBit1IoAggregationModes — adding a mode without tagging it here
+/// fails lint.  Unknown names come back uppercased.
+std::string aggregation_tag(const std::string& aggregation);
 
 }  // namespace bitio::darshan

@@ -389,6 +389,26 @@ void FsClient::write_file(const std::string& path,
   close(fd);
 }
 
+void FsClient::transfer(int fd, ClientId peer, std::uint64_t bytes,
+                        bool intra_node, std::uint32_t op_count) {
+  if (op_count == 0) throw UsageError("transfer: op_count must be > 0");
+  std::lock_guard<std::mutex> lock(fs_->mutex_);
+  // Unlike read/write, a gather transfer targets a descriptor another
+  // client opened by design: the sender ships its payload toward the
+  // aggregator that owns the destination file.  Only the file identity is
+  // needed, so skip the ownership half of checked_fd.
+  if (fd < 0 || std::size_t(fd) >= fs_->fds_.size() ||
+      !fs_->fds_[std::size_t(fd)].open)
+    throw IoError("bad file descriptor " + std::to_string(fd));
+  const auto& desc = fs_->fds_[std::size_t(fd)];
+  TraceOp op{client_,  OpKind::xfer, desc.file, 0, bytes,
+             op_count, 0.0,          intra_node ? kShmGatherTag
+                                                : kNetGatherTag,
+             lane_};
+  op.peer = peer;
+  fs_->append_op(std::move(op));
+}
+
 void FsClient::charge_cpu(double seconds, const std::string& tag) {
   std::lock_guard<std::mutex> lock(fs_->mutex_);
   fs_->append_op({client_, OpKind::cpu, kNoFile, 0, 0, 1, seconds, tag, lane_});

@@ -167,6 +167,18 @@ public:
   /// Convenience: create + write + close.
   void write_file(const std::string& path, std::span<const std::uint8_t> data);
 
+  /// Record a rank-to-rank gather transfer of `bytes` from `peer` into
+  /// this client (the receiver records the op, so the fan-in gates its
+  /// subsequent trace ops in the replay), attributed to the open
+  /// descriptor `fd` (the container file the gather feeds, so Darshan can
+  /// bucket per-level gather counters by file).  `intra_node` selects the
+  /// modeled channel: the node's shared-memory channel (tag
+  /// fsim::kShmGatherTag) or the inter-node NIC links (kNetGatherTag).
+  /// Only the timing model moves bytes — no store data changes hands; the
+  /// payload still reaches the OSTs through the aggregator's write.
+  void transfer(int fd, ClientId peer, std::uint64_t bytes, bool intra_node,
+                std::uint32_t op_count = 1);
+
   /// Charge modeled client CPU time (compression, memcopy) to this client's
   /// timeline; shows up in replay reports and profiling.json.
   void charge_cpu(double seconds, const std::string& tag);

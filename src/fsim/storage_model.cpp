@@ -80,7 +80,18 @@ ReplayReport replay_trace(const SystemProfile& profile,
   FifoResource mds(profile.mds_slots);
   std::vector<FifoResource> osts(std::size_t(profile.ost_count),
                                  FifoResource(1));
-  std::vector<FifoResource> links(std::size_t(nnodes), FifoResource(1));
+  // One FIFO per (node, NIC); nics_per_node = 1 keeps the historical
+  // one-link-per-node layout (and byte-identical replay timings).
+  const int nics = std::max(1, profile.nics_per_node);
+  std::vector<FifoResource> links(std::size_t(nnodes) * std::size_t(nics),
+                                  FifoResource(1));
+  const auto link_of = [&](ClientId client) -> FifoResource& {
+    const int node = int(client) / profile.ranks_per_node;
+    return links[std::size_t(node) * std::size_t(nics) +
+                 std::size_t(int(client) % nics)];
+  };
+  // Intra-node shared-memory channel, one per node (xfer gathers).
+  std::vector<FifoResource> shm(std::size_t(nnodes), FifoResource(1));
   NoiseStream noise(profile.noise_amplitude, profile.noise_seed);
 
   ReplayReport report;
@@ -139,10 +150,49 @@ ReplayReport replay_trace(const SystemProfile& profile,
       report.cpu_by_tag[op.tag] += op.cpu_seconds;
       break;
     }
+    case ServiceClass::net: {
+      // Rank-to-rank gather transfer (topology-modeled aggregation).  The
+      // *receiving* rank records the op — seq.client is the gatherer,
+      // op.peer the sender — so the fan-in gates the receiver's later
+      // ops (its forward hop or container write).  The tag carries the
+      // gather level: kShmGatherTag streams through the node's shared-
+      // memory channel (with a NUMA penalty when sender and receiver sit
+      // in different domains); anything else is an inter-node hop that
+      // occupies the sender's NIC and then the receiver's NIC store-and-
+      // forward, so concurrent gathers into one aggregator contend on its
+      // link.
+      if (op.peer >= ClientId(nclients))
+        throw UsageError("replay_trace: xfer peer out of range");
+      const int recv_node = int(seq.client) / profile.ranks_per_node;
+      if (op.tag == kShmGatherTag) {
+        double service = profile.shm_latency_s * double(op.op_count) +
+                         double(op.bytes) / profile.shm_bandwidth_bps;
+        const int per_numa =
+            std::max(1, profile.ranks_per_node /
+                            std::max(1, profile.numa_per_node));
+        const int recv_numa =
+            (int(seq.client) % profile.ranks_per_node) / per_numa;
+        const int send_numa =
+            (int(op.peer) % profile.ranks_per_node) / per_numa;
+        if (recv_numa != send_numa) service *= profile.shm_numa_factor;
+        done = shm[std::size_t(recv_node)].submit(t0, service * noise.next());
+      } else {
+        const double occupancy =
+            double(op.bytes) / profile.link_bandwidth_bps;
+        FifoResource& snd = link_of(op.peer);
+        FifoResource& rcv = link_of(seq.client);
+        const double sent = snd.submit(
+            t0, (profile.link_latency_s * double(op.op_count) + occupancy) *
+                    noise.next());
+        done = (&rcv == &snd) ? sent : rcv.submit(sent, occupancy);
+      }
+      charge(&ClientTimes::write, done - t0);
+      report.bytes_transferred += op.bytes;
+      break;
+    }
     case ServiceClass::data: {
       const StripeLayout& layout = store.file_by_id(op.file).layout;
-      const int node = int(seq.client) / profile.ranks_per_node;
-      FifoResource& link = links[std::size_t(node)];
+      FifoResource& link = link_of(seq.client);
       const std::uint64_t record =
           op.op_count > 0 ? op.bytes / op.op_count : op.bytes;
       const bool is_write = op.kind == OpKind::write;

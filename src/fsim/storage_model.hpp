@@ -67,9 +67,23 @@ struct SystemProfile {
   double mds_create_service_s = 60e-6;
   double mds_meta_service_s = 30e-6;
 
-  // Per-node interconnect link.
+  // Per-node interconnect links.  Traffic from a node's clients spreads
+  // over nics_per_node independent link FIFOs (client % nics_per_node
+  // picks the NIC), so nics_per_node = 1 reproduces the historical
+  // one-link-per-node model exactly.
   double link_bandwidth_bps = 12.5e9;
   double link_latency_s = 5e-6;
+  int nics_per_node = 1;
+
+  // Intra-node shared-memory channel, used by OpKind::xfer gathers tagged
+  // kShmGatherTag (rank -> node-leader hop of two-level aggregation).  One
+  // FIFO per node: concurrent in-node gathers contend for the memory bus.
+  double shm_bandwidth_bps = 20e9;
+  double shm_latency_s = 0.5e-6;
+  // Service multiplier when an in-node transfer crosses NUMA domains
+  // (numa_per_node domains of ranks_per_node / numa_per_node ranks each).
+  double shm_numa_factor = 1.0;
+  int numa_per_node = 1;
 
   // Client-side costs.
   std::uint64_t sync_write_threshold = 64 * 1024;  // record size boundary
@@ -118,6 +132,10 @@ struct ReplayReport {
   double makespan = 0.0;
   std::uint64_t bytes_written = 0;
   std::uint64_t bytes_read = 0;
+  /// Bytes moved rank-to-rank by OpKind::xfer gathers (two-level
+  /// aggregation).  Not part of bytes_written: the same payload still
+  /// lands on the OSTs through the aggregator's write.
+  std::uint64_t bytes_transferred = 0;
   /// Aggregate CPU seconds by tag ("compress", "memcopy", ...).
   std::map<std::string, double> cpu_by_tag;
   /// Simulated duration of each trace op, indexed like the input trace

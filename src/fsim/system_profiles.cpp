@@ -26,6 +26,11 @@ SystemProfile dardel() {
 
   p.link_bandwidth_bps = 12.5e9;    // Slingshot 100 Gb/s per NIC direction
   p.link_latency_s = 4e-6;
+  p.nics_per_node = 1;              // one Cassini NIC per CPU node
+  p.shm_bandwidth_bps = 40e9;       // in-node gather over DDR4 (8 channels)
+  p.shm_latency_s = 0.4e-6;
+  p.shm_numa_factor = 1.6;          // cross-chiplet hop on Zen2
+  p.numa_per_node = 8;              // 8 NUMA domains x 16 ranks
 
   p.sync_write_threshold = 64 * KiB;
   p.small_write_meta_s = 0.55e-3;   // per-line lock/ack round trip
@@ -59,6 +64,11 @@ SystemProfile discoverer() {
 
   p.link_bandwidth_bps = 10e9;
   p.link_latency_s = 5e-6;
+  p.nics_per_node = 1;
+  p.shm_bandwidth_bps = 30e9;
+  p.shm_latency_s = 0.5e-6;
+  p.shm_numa_factor = 1.4;
+  p.numa_per_node = 2;              // dual-socket Ice Lake
 
   p.sync_write_threshold = 64 * KiB;
   p.small_write_meta_s = 0.30e-3;
@@ -92,6 +102,11 @@ SystemProfile vega() {
 
   p.link_bandwidth_bps = 12.5e9;    // ConnectX-6 HDR100
   p.link_latency_s = 4e-6;
+  p.nics_per_node = 1;
+  p.shm_bandwidth_bps = 35e9;
+  p.shm_latency_s = 0.4e-6;
+  p.shm_numa_factor = 1.6;          // Zen3 chiplets
+  p.numa_per_node = 8;
 
   p.sync_write_threshold = 64 * KiB;
   p.small_write_meta_s = 0.60e-3;

@@ -39,8 +39,18 @@ enum class OpKind : std::uint8_t {
   rename,   // metadata: atomic namespace swap (manifest commit)
   write,    // data transfer to OSTs
   read,     // data transfer from OSTs
+  xfer,     // rank-to-rank gather transfer (shm in-node, NIC across nodes)
   cpu,      // client-local compute charged by upper layers (compress, copy)
 };
+
+/// Tags carried by OpKind::xfer records, naming the gather level of the
+/// two-level aggregation path.  The recording site (bp::Writer via
+/// FsClient::transfer) picks the tag from the topo::Mapper placement; the
+/// timing replay selects the modeled channel from it and Darshan capture
+/// buckets the per-level gather counters by it.  tools/lint_invariants
+/// (topology-registry rule) checks all three stay in lockstep.
+inline constexpr const char* kShmGatherTag = "shm_gather";
+inline constexpr const char* kNetGatherTag = "net_gather";
 
 /// How the timing replay and Darshan capture bucket an operation: against
 /// the metadata server, as a data transfer to/from the OSTs, or as
@@ -48,7 +58,7 @@ enum class OpKind : std::uint8_t {
 /// tools/lint_invariants checks that every OpKind enumerator has a case
 /// here, in op_name(), and in the Darshan capture switch, so a new kind
 /// cannot silently fall into a catch-all bucket.
-enum class ServiceClass : std::uint8_t { meta, data, cpu };
+enum class ServiceClass : std::uint8_t { meta, data, net, cpu };
 
 inline ServiceClass service_class(OpKind kind) {
   switch (kind) {
@@ -62,6 +72,7 @@ inline ServiceClass service_class(OpKind kind) {
     case OpKind::rename: return ServiceClass::meta;
     case OpKind::write: return ServiceClass::data;
     case OpKind::read: return ServiceClass::data;
+    case OpKind::xfer: return ServiceClass::net;
     case OpKind::cpu: return ServiceClass::cpu;
   }
   return ServiceClass::meta;
@@ -83,6 +94,7 @@ inline const char* op_name(OpKind kind) {
     case OpKind::rename: return "rename";
     case OpKind::write: return "write";
     case OpKind::read: return "read";
+    case OpKind::xfer: return "xfer";
     case OpKind::cpu: return "cpu";
   }
   return "?";
@@ -126,7 +138,9 @@ struct TraceOp {
   std::uint64_t bytes = 0;       // total bytes (write/read)
   std::uint32_t op_count = 1;    // number of coalesced calls
   double cpu_seconds = 0.0;      // only for OpKind::cpu
-  std::string tag;               // cpu subcategory: "compress", "memcopy", ...
+  std::string tag;               // cpu subcategory ("compress", "memcopy",
+                                 // ...) or xfer gather level (kShmGatherTag
+                                 // / kNetGatherTag)
   // Logical execution lane within the client.  Lane 0 is the rank's
   // critical path; lanes > 0 are overlapped drain lanes (BP5 AsyncWrite):
   // their ops replay concurrently with lane 0 and are attributed to
@@ -136,6 +150,12 @@ struct TraceOp {
   // is the *persisted* prefix; for eio/enospc the write threw and `bytes`
   // is 0.  Faulted ops are never coalesced.
   FaultKind fault = FaultKind::none;
+  // Remote endpoint of an OpKind::xfer gather transfer — the *sending*
+  // rank (the receiver records the op so the fan-in gates its later trace
+  // ops); unused by every other kind.  The replay derives the remote node
+  // / NIC from it.  (Deliberately last: the rest of the struct keeps its
+  // historical aggregate-initialization order.)
+  ClientId peer = 0;
 };
 
 }  // namespace bitio::fsim

@@ -1,0 +1,387 @@
+#include "smpi/sched.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/table.hpp"  // strfmt
+#include "util/thread_pool.hpp"
+
+namespace bitio::smpi::sched {
+
+Scheduler::Scheduler(
+    int nranks, const std::function<std::unique_ptr<RankProgram>(int)>& factory)
+    : nranks_(nranks) {
+  if (nranks <= 0) throw UsageError("sched: nranks must be positive");
+  if (!factory) throw UsageError("sched: null program factory");
+  util::MutexLock lock(mutex_);
+  tasks_.resize(std::size_t(nranks));
+  rank_task_.resize(std::size_t(nranks));
+  slots_.assign(std::size_t(nranks), {});
+  errors_.resize(std::size_t(nranks));
+  size_ = nranks;
+  active_ = nranks;
+  report_.final_size = nranks;
+  for (int r = 0; r < nranks; ++r) {
+    Task& task = tasks_[std::size_t(r)];
+    task.program = factory(r);
+    if (!task.program)
+      throw UsageError(strfmt("sched: factory returned null for rank %d", r));
+    task.ctx.rank_ = r;
+    task.ctx.size_ = nranks;
+    rank_task_[std::size_t(r)] = r;
+    ready_.push_back(r);
+  }
+}
+
+Scheduler::~Scheduler() = default;
+
+SchedReport Scheduler::run(int workers) {
+  {
+    util::MutexLock lock(mutex_);
+    if (ran_) throw UsageError("sched: run() may be called only once");
+    ran_ = true;
+  }
+  int width = workers > 0 ? workers : int(std::thread::hardware_concurrency());
+  if (width < 1) width = 1;
+  // The bounded pool is the whole point: `width` workers drive every rank,
+  // so OS thread count stays O(width) however many ranks are simulated.
+  util::ThreadPool::shared().parallel_for(std::size_t(width), width,
+                                          [this](std::size_t) { worker(); });
+  util::MutexLock lock(mutex_);
+  if (fatal_)
+    throw UsageError(strfmt(
+        "sched: deadlock — %d active rank(s) parked with no runnable task "
+        "and no pending timer",
+        active_));
+  for (auto& e : errors_)
+    if (e) std::rethrow_exception(e);
+  report_.final_size = size_;
+  std::sort(report_.crashed_ranks.begin(), report_.crashed_ranks.end());
+  return report_;
+}
+
+void Scheduler::worker() {
+  util::MutexLock lock(mutex_);
+  for (;;) {
+    expire_timers();
+    if (fatal_) {
+      cv_.notify_all();
+      return;
+    }
+    if (!ready_.empty()) {
+      const int t = ready_.front();
+      ready_.pop_front();
+      step_task(t, lock);
+      continue;
+    }
+    if (active_ == 0) {
+      cv_.notify_all();
+      return;
+    }
+    if (stepping_ == 0 && timers_.empty()) {
+      // Every active rank is parked, no step is in flight anywhere, and no
+      // deadline can wake one: the program deadlocked.  Bail out with a
+      // typed error instead of hanging the pool.
+      fatal_ = true;
+      cv_.notify_all();
+      return;
+    }
+    if (!timers_.empty())
+      cv_.wait_until(lock, timers_.top().when);
+    else
+      cv_.wait(lock);
+  }
+}
+
+void Scheduler::step_task(int t, util::MutexLock& lock) {
+  Task& task = tasks_[std::size_t(t)];
+  task.status = Status::stepping;
+  ++stepping_;
+  RankProgram* program = task.program.get();
+  RankCtx* ctx = &task.ctx;
+  // The mutex handoff is what makes the unlocked step safe: every ctx write
+  // the scheduler made happened under mutex_ before the task entered
+  // ready_, and this worker held mutex_ when it popped the task.
+  lock.unlock();
+  Action action;
+  std::exception_ptr error;
+  bool crashed = false;
+  try {
+    action = program->step(*ctx);
+  } catch (const RankFailure&) {
+    crashed = true;
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock.lock();
+  --stepping_;
+  if (crashed || error)
+    fail_task(t, error, crashed);
+  else
+    apply_action(t, std::move(action));
+}
+
+void Scheduler::park(int t, Action::Kind wait) {
+  Task& task = tasks_[std::size_t(t)];
+  task.status = Status::parked;
+  task.wait = wait;
+  ++task.wait_epoch;
+}
+
+void Scheduler::make_runnable(int t) {
+  Task& task = tasks_[std::size_t(t)];
+  task.status = Status::runnable;
+  ++task.wait_epoch;  // invalidate any timer armed for the old wait
+  ready_.push_back(t);
+  cv_.notify_one();
+}
+
+void Scheduler::wake_with_error(int t, std::exception_ptr error) {
+  tasks_[std::size_t(t)].ctx.error_ = std::move(error);
+  make_runnable(t);
+}
+
+void Scheduler::apply_action(int t, Action action) {
+  Task& task = tasks_[std::size_t(t)];
+  const int rank = task.ctx.rank_;
+  switch (action.kind) {
+    case Action::Kind::finish: {
+      task.status = Status::finished;
+      --active_;
+      try_complete_rounds();
+      cv_.notify_all();
+      break;
+    }
+    case Action::Kind::send: {
+      if (action.peer < 0 || action.peer >= size_) {
+        wake_with_error(t, std::make_exception_ptr(
+                               UsageError("sched: send to bad rank")));
+        break;
+      }
+      const int peer_task = rank_task_[std::size_t(action.peer)];
+      if (tasks_[std::size_t(peer_task)].status == Status::failed) {
+        wake_with_error(
+            t, std::make_exception_ptr(RankFailedError(
+                   strfmt("sched: send to failed rank %d", action.peer))));
+        break;
+      }
+      Task& peer = tasks_[std::size_t(peer_task)];
+      if (peer.status == Status::parked && peer.wait == Action::Kind::recv &&
+          peer.recv_from == rank) {
+        // Direct hand-off: the receiver is already parked on this sender.
+        peer.ctx.recv_payload_ = std::move(action.payload);
+        make_runnable(peer_task);
+      } else {
+        mail_[{rank, action.peer}].push_back(std::move(action.payload));
+      }
+      make_runnable(t);  // send does not wait
+      break;
+    }
+    case Action::Kind::recv: {
+      if (action.peer < 0 || action.peer >= size_) {
+        wake_with_error(t, std::make_exception_ptr(
+                               UsageError("sched: recv from bad rank")));
+        break;
+      }
+      auto it = mail_.find({action.peer, rank});
+      if (it != mail_.end() && !it->second.empty()) {
+        // A message the peer sent earlier (even before dying) is still
+        // deliverable.
+        task.ctx.recv_payload_ = std::move(it->second.front());
+        it->second.pop_front();
+        make_runnable(t);
+        break;
+      }
+      const int peer_task = rank_task_[std::size_t(action.peer)];
+      if (tasks_[std::size_t(peer_task)].status == Status::failed) {
+        wake_with_error(
+            t, std::make_exception_ptr(RankFailedError(
+                   strfmt("sched: recv from failed rank %d", action.peer))));
+        break;
+      }
+      park(t, Action::Kind::recv);
+      task.recv_from = action.peer;
+      if (action.deadline) {
+        timers_.push(Timer{std::chrono::steady_clock::now() + *action.deadline,
+                           t, task.wait_epoch});
+        // Sleeping workers may be waiting on a later (or no) deadline.
+        cv_.notify_all();
+      }
+      break;
+    }
+    case Action::Kind::barrier: {
+      if (failed_since_shrink_) {
+        wake_with_error(t, std::make_exception_ptr(RankFailedError(
+                               "sched: rank failed during a collective")));
+        break;
+      }
+      ++barrier_arrived_;
+      park(t, Action::Kind::barrier);
+      try_complete_barrier();
+      break;
+    }
+    case Action::Kind::exchange: {
+      if (failed_since_shrink_) {
+        wake_with_error(t, std::make_exception_ptr(RankFailedError(
+                               "sched: rank failed during a collective")));
+        break;
+      }
+      slots_[std::size_t(rank)] = std::move(action.payload);
+      ++exchange_arrived_;
+      park(t, Action::Kind::exchange);
+      try_complete_exchange();
+      break;
+    }
+    case Action::Kind::agree: {
+      agree_value_ = agree_value_ && action.flag;
+      ++agree_arrived_;
+      park(t, Action::Kind::agree);
+      try_complete_agree();
+      break;
+    }
+    case Action::Kind::shrink: {
+      ++shrink_arrived_;
+      park(t, Action::Kind::shrink);
+      try_complete_shrink();
+      break;
+    }
+  }
+}
+
+void Scheduler::try_complete_barrier() {
+  if (barrier_arrived_ == 0 || barrier_arrived_ < active_) return;
+  barrier_arrived_ = 0;
+  for (int t = 0; t < int(tasks_.size()); ++t) {
+    Task& task = tasks_[std::size_t(t)];
+    if (task.status == Status::parked && task.wait == Action::Kind::barrier)
+      make_runnable(t);
+  }
+}
+
+void Scheduler::try_complete_exchange() {
+  if (exchange_arrived_ == 0 || exchange_arrived_ < active_) return;
+  exchange_arrived_ = 0;
+  // One immutable snapshot shared by every participant — no per-rank copy.
+  auto snapshot = std::make_shared<const std::vector<std::vector<std::byte>>>(
+      std::move(slots_));
+  slots_.assign(std::size_t(size_), {});
+  for (int t = 0; t < int(tasks_.size()); ++t) {
+    Task& task = tasks_[std::size_t(t)];
+    if (task.status == Status::parked && task.wait == Action::Kind::exchange) {
+      task.ctx.snapshot_ = snapshot;
+      make_runnable(t);
+    }
+  }
+}
+
+void Scheduler::try_complete_agree() {
+  if (agree_arrived_ == 0 || agree_arrived_ < active_) return;
+  const bool result = agree_value_;
+  agree_value_ = true;
+  agree_arrived_ = 0;
+  for (int t = 0; t < int(tasks_.size()); ++t) {
+    Task& task = tasks_[std::size_t(t)];
+    if (task.status == Status::parked && task.wait == Action::Kind::agree) {
+      task.ctx.agreed_ = result;
+      make_runnable(t);
+    }
+  }
+}
+
+void Scheduler::try_complete_shrink() {
+  if (shrink_arrived_ == 0 || shrink_arrived_ < active_) return;
+  shrink_arrived_ = 0;
+  // Survivors in ascending current-rank order become ranks 0..n-1 of the
+  // fresh communicator (World::shrink semantics: new mailboxes, no failed
+  // ranks).
+  std::vector<std::pair<int, int>> survivors;  // (old rank, task)
+  for (int t = 0; t < int(tasks_.size()); ++t) {
+    Task& task = tasks_[std::size_t(t)];
+    if (task.status == Status::parked && task.wait == Action::Kind::shrink)
+      survivors.emplace_back(task.ctx.rank_, t);
+  }
+  std::sort(survivors.begin(), survivors.end());
+  size_ = int(survivors.size());
+  rank_task_.assign(std::size_t(size_), 0);
+  for (int i = 0; i < size_; ++i) {
+    const int t = survivors[std::size_t(i)].second;
+    rank_task_[std::size_t(i)] = t;
+    tasks_[std::size_t(t)].ctx.rank_ = i;
+    tasks_[std::size_t(t)].ctx.size_ = size_;
+  }
+  mail_.clear();
+  slots_.assign(std::size_t(size_), {});
+  failed_since_shrink_ = false;
+  ++report_.recoveries;
+  for (const auto& [old_rank, t] : survivors) {
+    (void)old_rank;
+    make_runnable(t);
+  }
+}
+
+void Scheduler::try_complete_rounds() {
+  try_complete_barrier();
+  try_complete_exchange();
+  try_complete_agree();
+  try_complete_shrink();
+}
+
+void Scheduler::fail_task(int t, std::exception_ptr error, bool crashed) {
+  Task& task = tasks_[std::size_t(t)];
+  task.status = Status::failed;
+  --active_;
+  if (crashed)
+    report_.crashed_ranks.push_back(t);  // task index == original rank
+  else
+    errors_[std::size_t(t)] = std::move(error);
+  failed_since_shrink_ = true;
+  // ULFM: poison the in-progress barrier/exchange — waiters wake with
+  // RankFailedError instead of completing over a hole.
+  if (barrier_arrived_ > 0 || exchange_arrived_ > 0) {
+    barrier_arrived_ = 0;
+    exchange_arrived_ = 0;
+    slots_.assign(std::size_t(size_), {});
+    for (int w = 0; w < int(tasks_.size()); ++w) {
+      Task& waiter = tasks_[std::size_t(w)];
+      if (waiter.status == Status::parked &&
+          (waiter.wait == Action::Kind::barrier ||
+           waiter.wait == Action::Kind::exchange))
+        wake_with_error(w, std::make_exception_ptr(RankFailedError(
+                               "sched: rank failed during a collective")));
+    }
+  }
+  // recv waiters on the dead rank: a parked recv implies its mailbox slot
+  // was empty, so nothing can ever arrive — wake with the typed error.
+  const int failed_rank = task.ctx.rank_;
+  for (int w = 0; w < int(tasks_.size()); ++w) {
+    Task& waiter = tasks_[std::size_t(w)];
+    if (waiter.status == Status::parked &&
+        waiter.wait == Action::Kind::recv && waiter.recv_from == failed_rank)
+      wake_with_error(w, std::make_exception_ptr(RankFailedError(strfmt(
+                             "sched: recv from failed rank %d", failed_rank))));
+  }
+  // agree/shrink rounds that were only waiting on this rank complete
+  // without it.
+  try_complete_agree();
+  try_complete_shrink();
+  cv_.notify_all();
+}
+
+void Scheduler::expire_timers() {
+  const auto now = std::chrono::steady_clock::now();
+  while (!timers_.empty() && timers_.top().when <= now) {
+    const Timer timer = timers_.top();
+    timers_.pop();
+    Task& task = tasks_[std::size_t(timer.task)];
+    // Stale entries (the task was woken for another reason and re-parked)
+    // are filtered by the wait epoch.
+    if (task.status == Status::parked && task.wait == Action::Kind::recv &&
+        task.wait_epoch == timer.wait_epoch)
+      wake_with_error(timer.task,
+                      std::make_exception_ptr(TimeoutError(strfmt(
+                          "sched: recv from rank %d exceeded its deadline",
+                          task.recv_from))));
+  }
+}
+
+}  // namespace bitio::smpi::sched

@@ -1,0 +1,265 @@
+#pragma once
+// Event-driven cooperative scheduler for simulated MPI ranks ("live mode"
+// at sweep scale).
+//
+// run_spmd() executes rank bodies as OS threads — one thread per rank.
+// That is faithful and convenient up to a few hundred ranks, but a
+// 10-50K-rank topology sweep cannot spawn 50,000 threads (3+ GB of stacks
+// and a scheduler meltdown).  This module runs the same SPMD shape on a
+// *bounded* worker pool (util::ThreadPool): each rank is an explicit
+// resumable task that, instead of blocking, *returns* the operation it
+// wants to wait on (barrier / exchange / recv / agree / shrink ...) and is
+// parked by the scheduler until that wait-state completes.  Workers only
+// ever run runnable tasks, so OS thread count stays at the pool width no
+// matter how many ranks are simulated.
+//
+// A rank is a RankProgram: a small state machine whose step(ctx) is called
+// every time the rank is runnable and returns the next Action.  Results of
+// the completed wait are delivered through the RankCtx before the next
+// step:
+//
+//   struct Hello final : sched::RankProgram {
+//     int state = 0;
+//     sched::Action step(sched::RankCtx& ctx) override {
+//       ctx.check();  // rethrows a failure delivered while parked
+//       switch (state++) {
+//         case 0: return sched::Action::exchange(my_bytes());
+//         case 1: use(ctx.exchanged()); return sched::Action::barrier();
+//         default: return sched::Action::finish();
+//       }
+//     }
+//   };
+//
+// Semantics mirror smpi::World (the thread-per-rank implementation, which
+// remains the blocking API for rank bodies written as plain functions):
+//   * collectives are over the *active* ranks (not finished, not failed)
+//     and deterministic: the exchange snapshot is immutable and shared;
+//   * ULFM failure model: a step() that throws RankFailure kills only that
+//     rank; peers parked in a barrier/exchange or in a recv against it are
+//     woken with RankFailedError (delivered via ctx.check(), never a hang),
+//     while agree()/shrink() rounds complete without the dead rank;
+//   * recv deadlines: a parked recv whose deadline passes is woken with
+//     TimeoutError;
+//   * shrink re-ranks the survivors densely (ctx.rank()/size() change) and
+//     clears the mailboxes, like World::shrink building a fresh world.
+//
+// Thread safety: all scheduler state is guarded by one mutex.  A task's
+// ctx fields are written by the scheduler under the mutex *before* the
+// task is made runnable and read by the program inside step() without it —
+// safe because a task is stepped by exactly one worker at a time and the
+// ready-queue handoff gives the happens-before edge (TSan-clean; see
+// tests under the `concurrency` label).
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "smpi/comm.hpp"  // RankFailure / RankFailedError
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace bitio::smpi::sched {
+
+/// The wait request a RankProgram::step returns: what the rank would have
+/// blocked on in the thread-per-rank model.
+struct Action {
+  enum class Kind {
+    barrier,   // park until every active rank arrived
+    exchange,  // publish payload, park until the full snapshot is ready
+    send,      // enqueue payload for `peer`; not a wait (rank re-steps)
+    recv,      // park until a message from `peer` (or deadline) arrives
+    agree,     // fault-tolerant AND-consensus over the active ranks
+    shrink,    // dense re-rank of the survivors; clears mailboxes
+    finish,    // rank is done; it is never stepped again
+  };
+
+  Kind kind = Kind::finish;
+  int peer = -1;                   // send / recv
+  std::vector<std::byte> payload;  // send / exchange
+  std::optional<std::chrono::milliseconds> deadline;  // recv only
+  bool flag = true;                // agree
+
+  static Action barrier() { return {Kind::barrier, -1, {}, {}, true}; }
+  static Action exchange(std::vector<std::byte> payload) {
+    return {Kind::exchange, -1, std::move(payload), {}, true};
+  }
+  static Action send(int peer, std::vector<std::byte> payload) {
+    return {Kind::send, peer, std::move(payload), {}, true};
+  }
+  static Action recv(int peer,
+                     std::optional<std::chrono::milliseconds> deadline =
+                         std::nullopt) {
+    return {Kind::recv, peer, {}, deadline, true};
+  }
+  static Action agree(bool flag) { return {Kind::agree, -1, {}, {}, flag}; }
+  static Action shrink() { return {Kind::shrink, -1, {}, {}, true}; }
+  static Action finish() { return {Kind::finish, -1, {}, {}, true}; }
+};
+
+class Scheduler;
+
+/// The rank's view of the scheduler, valid only inside step().  Accessors
+/// deliver the result of the wait the previous step() parked on.
+class RankCtx {
+ public:
+  /// Current rank / communicator size (both change across shrink()).
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Rethrow the failure delivered while parked (RankFailedError,
+  /// TimeoutError, or a UsageError from a malformed action).  Call first
+  /// in step(); a program that wants to *recover* (ULFM) catches what
+  /// check() throws and returns Action::agree/shrink.
+  void check() {
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+  /// Snapshot of the last completed exchange: one slot per rank of the
+  /// communicator at the time of the round (empty slots for non-active
+  /// ranks).  Shared and immutable — cheap to hold across steps.
+  const std::vector<std::vector<std::byte>>& exchanged() const {
+    if (!snapshot_)
+      throw UsageError("sched: exchanged() with no completed exchange");
+    return *snapshot_;
+  }
+
+  /// Payload of the last completed recv (moved out).
+  std::vector<std::byte> take_recv() { return std::move(recv_payload_); }
+
+  /// Result of the last completed agree round.
+  bool agreed() const { return agreed_; }
+
+ private:
+  friend class Scheduler;
+  int rank_ = 0;
+  int size_ = 0;
+  std::exception_ptr error_;
+  std::shared_ptr<const std::vector<std::vector<std::byte>>> snapshot_;
+  std::vector<std::byte> recv_payload_;
+  bool agreed_ = true;
+};
+
+/// A resumable rank task.  step() is called whenever the rank is runnable;
+/// it must not block — long waits are expressed by returning the Action.
+class RankProgram {
+ public:
+  virtual ~RankProgram() = default;
+  virtual Action step(RankCtx& ctx) = 0;
+};
+
+/// Outcome of a scheduled run (mirrors smpi::SpmdReport).
+struct SchedReport {
+  int final_size = 0;              // communicator size at the end
+  int recoveries = 0;              // completed shrink rounds
+  std::vector<int> crashed_ranks;  // original ranks that threw RankFailure
+};
+
+/// Runs `nranks` RankPrograms to completion on a bounded worker pool.
+class Scheduler {
+ public:
+  /// `factory(rank)` builds the program for each original rank.
+  Scheduler(int nranks,
+            const std::function<std::unique_ptr<RankProgram>(int)>& factory);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Drive every rank to finish (or failure).  `workers` bounds the OS
+  /// thread count (0 = the shared pool's natural width); ranks beyond the
+  /// width simply wait their turn as parked/queued tasks.  Rethrows the
+  /// first captured task error (RankFailure is a rank death, not an
+  /// error).  Throws UsageError on a wait-state deadlock instead of
+  /// hanging.
+  SchedReport run(int workers = 0) EXCLUDES(mutex_);
+
+ private:
+  enum class Status : std::uint8_t { runnable, stepping, parked, finished,
+                                     failed };
+
+  struct Task {
+    std::unique_ptr<RankProgram> program;
+    RankCtx ctx;
+    Status status = Status::runnable;
+    Action::Kind wait = Action::Kind::finish;  // meaningful when parked
+    std::uint64_t wait_epoch = 0;  // guards stale timer wakeups
+    int recv_from = -1;            // current-rank id of the awaited sender
+  };
+
+  struct Timer {
+    std::chrono::steady_clock::time_point when;
+    int task = 0;
+    std::uint64_t wait_epoch = 0;
+    bool operator>(const Timer& other) const { return when > other.when; }
+  };
+
+  void worker() EXCLUDES(mutex_);
+  /// Step `t` outside the lock and apply the returned action.
+  void step_task(int t, util::MutexLock& lock) REQUIRES(mutex_);
+  void apply_action(int t, Action action) REQUIRES(mutex_);
+  void park(int t, Action::Kind wait) REQUIRES(mutex_);
+  void make_runnable(int t) REQUIRES(mutex_);
+  /// Deliver `error` to a parked task and make it runnable.
+  void wake_with_error(int t, std::exception_ptr error) REQUIRES(mutex_);
+  void fail_task(int t, std::exception_ptr error, bool crashed)
+      REQUIRES(mutex_);
+  /// Round-completion checks (collectives complete when every *active*
+  /// rank arrived; failures and finishes shrink that target).
+  void try_complete_barrier() REQUIRES(mutex_);
+  void try_complete_exchange() REQUIRES(mutex_);
+  void try_complete_agree() REQUIRES(mutex_);
+  void try_complete_shrink() REQUIRES(mutex_);
+  void try_complete_rounds() REQUIRES(mutex_);
+  void expire_timers() REQUIRES(mutex_);
+
+  const int nranks_;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;  // workers wait here for runnable tasks / timers
+
+  std::vector<Task> tasks_ GUARDED_BY(mutex_);
+  std::deque<int> ready_ GUARDED_BY(mutex_);
+  int active_ GUARDED_BY(mutex_) = 0;    // not finished, not failed
+  int stepping_ GUARDED_BY(mutex_) = 0;  // tasks currently inside step()
+  bool ran_ GUARDED_BY(mutex_) = false;
+  bool fatal_ GUARDED_BY(mutex_) = false;  // deadlock: workers bail out
+
+  // Current communicator: size and the task behind each current rank.
+  // Shrink renumbers survivors densely and clears the mailboxes.
+  int size_ GUARDED_BY(mutex_) = 0;
+  std::vector<int> rank_task_ GUARDED_BY(mutex_);  // current rank -> task
+  // A rank failed since the last shrink: barrier/exchange raise
+  // RankFailedError (ULFM) until the survivors shrink.
+  bool failed_since_shrink_ GUARDED_BY(mutex_) = false;
+
+  // Collective round state (one round of each kind at a time, like World).
+  int barrier_arrived_ GUARDED_BY(mutex_) = 0;
+  int exchange_arrived_ GUARDED_BY(mutex_) = 0;
+  std::vector<std::vector<std::byte>> slots_ GUARDED_BY(mutex_);
+  int agree_arrived_ GUARDED_BY(mutex_) = 0;
+  bool agree_value_ GUARDED_BY(mutex_) = true;
+  int shrink_arrived_ GUARDED_BY(mutex_) = 0;
+
+  // Mailboxes keyed by (from, to) in *current* ranks, order-preserving.
+  std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> mail_
+      GUARDED_BY(mutex_);
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_
+      GUARDED_BY(mutex_);
+
+  // Report / error capture.
+  std::vector<std::exception_ptr> errors_ GUARDED_BY(mutex_);
+  SchedReport report_ GUARDED_BY(mutex_);
+};
+
+}  // namespace bitio::smpi::sched

@@ -72,6 +72,15 @@ bool mutate_for_key(const std::string& key, Bit1IoConfig& config) {
     config.stream_max_steps = 9;
   } else if (key == "stream_policy") {
     config.stream_policy = "drop_oldest";
+  } else if (key == "aggregation") {
+    config.aggregation = "two_level";
+    config.topology = "dardel";  // two_level needs a hierarchical topology
+  } else if (key == "topology") {
+    config.topology = "dardel";
+  } else if (key == "numa_per_node") {
+    config.numa_per_node = 4;
+  } else if (key == "nics_per_node") {
+    config.nics_per_node = 2;
   } else if (key == "fault_plan") {
     bitio::fsim::FaultRule rule;
     rule.kind = bitio::fsim::FaultKind::eio;
@@ -196,6 +205,31 @@ TEST(ConfigValidation, CompressThreadsBoundedByBufferPoolDepth) {
   config.compress_threads = 17;  // cz::BufferPool::kDefaultMaxPerClass is 16
   expect_rejected(config, "buffer-pool per-class depth");
   config.compress_threads = 16;
+  config.validate();
+}
+
+TEST(ConfigValidation, UnknownAggregationListsTheModes) {
+  Bit1IoConfig config;
+  config.aggregation = "tree";
+  // The message enumerates kBit1IoAggregationModes so the fix is in the
+  // error, mirroring the unknown-engine diagnostics.
+  expect_rejected(config, "\"two_level\"");
+}
+
+TEST(ConfigValidation, UnknownTopologyListsThePresets) {
+  Bit1IoConfig config;
+  config.topology = "summit";
+  expect_rejected(config, "\"dardel\"");
+}
+
+TEST(ConfigValidation, StreamTwoLevelNeedsMultiNodeTopology) {
+  Bit1IoConfig config;
+  config.engine = "stream";
+  config.aggregation = "two_level";
+  // topology = "flat" puts every rank on one node: nothing to gather
+  // across.  The error lists the valid aggregation modes.
+  expect_rejected(config, "\"flat\", \"two_level\"");
+  config.topology = "dardel";
   config.validate();
 }
 

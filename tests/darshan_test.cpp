@@ -116,16 +116,18 @@ TEST(Darshan, RecoveryCountersRoundTripInV4Logs) {
             std::string::npos);
 }
 
-TEST(Darshan, ParsesLegacyV3LogsWithZeroRecoveryCounters) {
-  SharedFs fs(8);
-  populate_two_rank_job(fs);
-  auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 2);
-  auto log = capture(fs, replay, {"bit1", 2, 0.0, "/lustre"});
-  auto bytes = log.serialize();
+namespace {
 
-  // Rewrite the serialized log as format v3: drop the 24 bytes of job
-  // recovery counters (two u64 + one f64, located after the mount string)
-  // and patch the magic's version byte from '4' to '3'.
+// Byte length of one serialized FileRecord minus its path string: rank +
+// the 13 v3-era counters, then (v5) the 5 gather counters.
+constexpr std::size_t kRecordFixedV3Bytes = 8 + 13 * 8;
+constexpr std::size_t kRecordGatherBytes = 5 * 8;
+
+/// Rewrite a current (v5) serialized log as an older format: strip the 5
+/// per-record gather counters, optionally the 24 bytes of job recovery
+/// counters, and patch the magic's version byte.
+std::vector<std::uint8_t> downgrade_log(std::vector<std::uint8_t> bytes,
+                                        char version) {
   auto u64_at = [&](std::size_t off) {
     std::uint64_t v = 0;
     std::memcpy(&v, bytes.data() + off, sizeof(v));
@@ -136,10 +138,32 @@ TEST(Darshan, ParsesLegacyV3LogsWithZeroRecoveryCounters) {
   off += 8;                                 // nprocs
   off += 8;                                 // runtime
   off += 8 + u64_at(off);                   // mount
-  bytes.erase(bytes.begin() + std::ptrdiff_t(off),
-              bytes.begin() + std::ptrdiff_t(off + 24));
+  if (version == '3')
+    bytes.erase(bytes.begin() + std::ptrdiff_t(off),
+                bytes.begin() + std::ptrdiff_t(off + 24));
+  else
+    off += 24;                              // job recovery counters
+  const std::uint64_t nrecords = u64_at(off);
+  off += 8;
+  for (std::uint64_t r = 0; r < nrecords; ++r) {
+    off += 8 + u64_at(off);                 // path
+    off += kRecordFixedV3Bytes;
+    bytes.erase(bytes.begin() + std::ptrdiff_t(off),
+                bytes.begin() + std::ptrdiff_t(off + kRecordGatherBytes));
+  }
   for (std::size_t i = 0; i < 8; ++i)
-    if (bytes[i] == std::uint8_t('4')) bytes[i] = std::uint8_t('3');
+    if (bytes[i] == std::uint8_t('5')) bytes[i] = std::uint8_t(version);
+  return bytes;
+}
+
+}  // namespace
+
+TEST(Darshan, ParsesLegacyV3LogsWithZeroRecoveryCounters) {
+  SharedFs fs(8);
+  populate_two_rank_job(fs);
+  auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 2);
+  auto log = capture(fs, replay, {"bit1", 2, 0.0, "/lustre"});
+  const auto bytes = downgrade_log(log.serialize(), '3');
 
   const DarshanLog back = DarshanLog::parse(bytes);
   EXPECT_EQ(back.job.exe, log.job.exe);
@@ -148,6 +172,27 @@ TEST(Darshan, ParsesLegacyV3LogsWithZeroRecoveryCounters) {
   EXPECT_EQ(back.job.recoveries, 0u);
   EXPECT_EQ(back.job.degradations, 0u);
   EXPECT_DOUBLE_EQ(back.job.t_recovery_s, 0.0);
+}
+
+TEST(Darshan, ParsesLegacyV4LogsWithZeroGatherCounters) {
+  SharedFs fs(8);
+  populate_two_rank_job(fs);
+  FsClient(fs, 0).charge_cpu(1.5, "recovery");
+  auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 2);
+  auto log = capture(fs, replay, {"bit1", 2, 0.0, "/lustre"});
+  const auto bytes = downgrade_log(log.serialize(), '4');
+
+  const DarshanLog back = DarshanLog::parse(bytes);
+  EXPECT_EQ(back.records.size(), log.records.size());
+  EXPECT_EQ(back.total_bytes_written(), log.total_bytes_written());
+  EXPECT_EQ(back.job.recoveries, 1u);  // v4 keeps the recovery counters
+  for (const auto& r : back.records) {
+    EXPECT_EQ(r.shm_gathers, 0u);
+    EXPECT_EQ(r.net_gathers, 0u);
+    EXPECT_EQ(r.shm_gather_bytes, 0u);
+    EXPECT_EQ(r.net_gather_bytes, 0u);
+    EXPECT_DOUBLE_EQ(r.gather_time_s, 0.0);
+  }
 }
 
 TEST(Darshan, PerProcessCostSplitsByCategory) {

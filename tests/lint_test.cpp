@@ -320,6 +320,71 @@ TEST(LintEngineRegistry, FlagsEveryDriftDirection) {
   EXPECT_EQ(diags.size(), 4u) << dump(diags);
 }
 
+TEST(LintTopologyRegistry, FlagsEveryDriftDirection) {
+  FixtureTree tree;
+  // "two_level" is declared but neither dispatched by the writer nor
+  // tagged; "dardel" has no preset branch; "summit" has a branch but is
+  // undeclared; core/leak.cpp references bp::Writer outside src/bp.
+  const std::string header =
+      "inline constexpr const char* kBit1IoAggregationModes[] = {\n"
+      "    \"flat\", \"two_level\"};\n"
+      "inline constexpr const char* kBit1IoTopologies[] = {\n"
+      "    \"flat\", \"dardel\"};\n";
+  const std::string writer =
+      "#include \"bp/writer.hpp\"\n"
+      "void Writer::gather() {\n"
+      "  if (config_.aggregation == \"flat\") return;\n"
+      "}\n";
+  const std::string darshan =
+      "#include \"darshan/darshan.hpp\"\n"
+      "std::string aggregation_tag(const std::string& aggregation) {\n"
+      "  if (aggregation == \"flat\") return \"FLAT\";\n"
+      "  return aggregation;\n"
+      "}\n";
+  const std::string topo =
+      "#include \"topo/topology.hpp\"\n"
+      "Cluster Cluster::preset(const std::string& name) {\n"
+      "  if (name == \"flat\") return flat();\n"
+      "  if (name == \"summit\") return summit_like();\n"
+      "  throw UsageError(\"unknown\");\n"
+      "}\n";
+  const std::string leak =
+      "#include \"bp/writer.hpp\"\n"
+      "void build() {\n"
+      "  bp::Writer writer(fs, \"x.bp4\", config, 4);\n"
+      "}\n";
+  tree.write("src/core/io_config.hpp", header);
+  tree.write("src/bp/writer.cpp", writer);
+  tree.write("src/darshan/darshan.cpp", darshan);
+  tree.write("src/topo/topology.cpp", topo);
+  tree.write("src/core/leak.cpp", leak);
+
+  const auto diags = bitio::lint::check_topology_registry(tree.root());
+  EXPECT_TRUE(has_diag(diags, "src/bp/writer.cpp", 1,
+                       "\"two_level\" from kBit1IoAggregationModes is never "
+                       "dispatched"))
+      << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/darshan/darshan.cpp",
+                       expect_line(darshan, "aggregation_tag"),
+                       "\"two_level\" from kBit1IoAggregationModes has no "
+                       "tag"))
+      << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/topo/topology.cpp",
+                       expect_line(topo, "Cluster::preset"),
+                       "\"dardel\" from kBit1IoTopologies has no branch"))
+      << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/topo/topology.cpp",
+                       expect_line(topo, "Cluster::preset"),
+                       "\"summit\" which is missing from "
+                       "core::kBit1IoTopologies"))
+      << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/core/leak.cpp",
+                       expect_line(leak, "bp::Writer"),
+                       "direct bp::Writer reference outside src/bp"))
+      << dump(diags);
+  EXPECT_EQ(diags.size(), 5u) << dump(diags);
+}
+
 // The invariant the `lint` ctest label enforces, exercised from the unit
 // suite too: the real tree is clean under every rule.
 TEST(LintRealTree, AllRulesPass) {

@@ -5,15 +5,12 @@
 // close() can never hang), and the graceful I/O degradation ladder
 // (core::DegradingSink) under ENOSPC pressure.
 #include <gtest/gtest.h>
-// These tests intentionally exercise the raw Writer/Reader constructors —
-// they are the byte-identical compatibility surface the engine factory
-// wraps (see src/bp/engine.hpp).  Silence the [[deprecated]] nudge here.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <chrono>
 #include <future>
 #include <numeric>
 
+#include "bp/engine.hpp"
 #include "bp/reader.hpp"
 #include "bp/writer.hpp"
 #include "core/checkpoint_payload.hpp"
@@ -105,7 +102,7 @@ TEST(OnlineRecovery, EightRankCrashShrinksRestoresAndCompletes) {
   const auto epochs = epochs_on_disk(fs, "run");
   ASSERT_FALSE(epochs.empty());
   for (const std::uint64_t e : epochs) {
-    bp::Reader reader(fs, 0,
+    bp::Reader reader = bp::Reader::open(fs, 0,
                       "run/resil/epoch_" + std::to_string(e) + "/dmp_file.bp4");
     const auto verdicts = reader.verify();
     EXPECT_FALSE(verdicts.empty());
@@ -113,7 +110,7 @@ TEST(OnlineRecovery, EightRankCrashShrinksRestoresAndCompletes) {
   }
 
   // So does the post-recovery generation's diagnostics series.
-  bp::Reader diag(fs, 0, "run/gen_1/dat_file.bp4");
+  bp::Reader diag = bp::Reader::open(fs, 0, "run/gen_1/dat_file.bp4");
   EXPECT_TRUE(bp::Reader::all_ok(diag.verify()));
 
   // resilience.json carries the recovery counters.
@@ -146,7 +143,7 @@ TEST(OnlineRecovery, CrashingRunIsDeterministicUnderFixedSeed) {
   ASSERT_FALSE(epochs_a.empty());
   const std::string path =
       "run/resil/epoch_" + std::to_string(epochs_a.back()) + "/dmp_file.bp4";
-  bp::Reader ra(fs_a, 0, path), rb(fs_b, 0, path);
+  bp::Reader ra = bp::Reader::open(fs_a, 0, path), rb = bp::Reader::open(fs_b, 0, path);
   const auto vars = ra.variables(0);
   ASSERT_EQ(vars, rb.variables(0));
   ASSERT_FALSE(vars.empty());
@@ -257,21 +254,21 @@ TEST(DrainWatchdog, WedgedLaneIsCancelledAndRetried) {
   fs.set_fault_plan(
       FaultPlan(3, {{FaultKind::stall, "data.", 1, 0.0, 1, -1, 0}}));
 
-  bp::Writer writer(fs, "w.bp4", watchdog_engine(50, 2), 2);
+  auto writer = bp::make_engine(fs, "w.bp4", watchdog_engine(50, 2), 2);
   const auto data = iota_floats(16);
-  writer.begin_step(0);
-  writer.put<float>(0, "x", {32}, {0}, {16}, data);
-  writer.put<float>(1, "x", {32}, {16}, {16}, data);
-  writer.end_step();
-  writer.close();  // must neither hang nor throw
+  writer->begin_step(0);
+  writer->put<float>(0, "x", {32}, {0}, {16}, data);
+  writer->put<float>(1, "x", {32}, {16}, {16}, data);
+  writer->end_step();
+  writer->close();  // must neither hang nor throw
 
-  const auto stats = writer.watchdog_stats();
+  const auto stats = writer->watchdog_stats();
   EXPECT_GE(stats.timeouts, 1u);
   EXPECT_GE(stats.retries, 1u);
   EXPECT_EQ(stats.steps_abandoned, 0u);
   EXPECT_EQ(fs.stalled_op_count(), 0);
 
-  bp::Reader reader(fs, 0, "w.bp4");
+  bp::Reader reader = bp::Reader::open(fs, 0, "w.bp4");
   EXPECT_EQ(reader.read_as<float>(0, "x").size(), 32u);
   EXPECT_TRUE(bp::Reader::all_ok(reader.verify()));
 }
@@ -284,8 +281,7 @@ TEST(DrainWatchdog, PermanentlyWedgedStepIsAbandonedAndCloseCannotHang) {
   fs.set_fault_plan(
       FaultPlan(3, {{FaultKind::stall, "data.", 0, 1.0, 0, -1, 0}}));
 
-  auto writer = std::make_unique<bp::Writer>(fs, "w.bp4",
-                                             watchdog_engine(50, 1), 1);
+  auto writer = bp::make_engine(fs, "w.bp4", watchdog_engine(50, 1), 1);
   const auto data = iota_floats(16);
   writer->begin_step(0);
   writer->put<float>(0, "x", {16}, {0}, {16}, data);

@@ -5,15 +5,12 @@
 // the newest epoch, recover from the previous one, re-run to a bit-identical
 // final state).
 #include <gtest/gtest.h>
-// These tests intentionally exercise the raw Writer/Reader constructors —
-// they are the byte-identical compatibility surface the engine factory
-// wraps (see src/bp/engine.hpp).  Silence the [[deprecated]] nudge here.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <algorithm>
 #include <bit>
 #include <numeric>
 
+#include "bp/engine.hpp"
 #include "bp/reader.hpp"
 #include "bp/writer.hpp"
 #include "darshan/darshan.hpp"
@@ -209,18 +206,18 @@ bool detection_round(FaultKind kind, const std::string& target,
   {
     bp::EngineConfig config;
     config.num_aggregators = 1;
-    bp::Writer writer(fs, "out/c.bp4", config, 1);
-    writer.begin_step(0);
+    auto writer = bp::make_engine(fs, "out/c.bp4", config, 1);
+    writer->begin_step(0);
     std::vector<float> v(32);
     std::iota(v.begin(), v.end(), 0.f);
-    writer.put<float>(0, "x", {32}, {0}, {32},
-                      std::span<const float>(v.data(), v.size()));
-    writer.end_step();
-    writer.close();
+    writer->put<float>(0, "x", {32}, {0}, {32},
+                       std::span<const float>(v.data(), v.size()));
+    writer->end_step();
+    writer->close();
   }
   if (fs.injected_fault_count() == 0) return false;  // fault never armed
   try {
-    bp::Reader reader(fs, 0, "out/c.bp4");
+    bp::Reader reader = bp::Reader::open(fs, 0, "out/c.bp4");
     if (!bp::Reader::all_ok(reader.verify())) return true;
     for (const std::uint64_t step : reader.steps())
       for (const auto& name : reader.variables(step)) reader.read(step, name);

@@ -1,0 +1,323 @@
+// Tests for the event-driven rank scheduler (src/smpi/sched.hpp): basic
+// collectives and point-to-point, ULFM failure/recovery under the parked
+// wait-state model, recv-deadline timeouts, deadlock detection, and the
+// bounded-worker-pool guarantee at 10K simulated ranks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "smpi/comm.hpp"
+#include "smpi/sched.hpp"
+#include "util/error.hpp"
+
+namespace bitio::smpi::sched {
+namespace {
+
+std::vector<std::byte> bytes_of(int value) {
+  std::vector<std::byte> out(sizeof value);
+  std::memcpy(out.data(), &value, sizeof value);
+  return out;
+}
+
+int int_of(const std::vector<std::byte>& bytes) {
+  int value = 0;
+  if (bytes.size() == sizeof value)
+    std::memcpy(&value, bytes.data(), sizeof value);
+  return value;
+}
+
+/// Adapter: a program written as a sequence of (state -> Action) lambdas.
+class Steps final : public RankProgram {
+ public:
+  using Step = std::function<Action(RankCtx&)>;
+  explicit Steps(std::vector<Step> steps) : steps_(std::move(steps)) {}
+
+  Action step(RankCtx& ctx) override {
+    if (state_ >= steps_.size()) return Action::finish();
+    return steps_[state_++](ctx);
+  }
+
+ private:
+  std::vector<Step> steps_;
+  std::size_t state_ = 0;
+};
+
+// ------------------------------------------------------------ happy path ---
+
+TEST(Sched, BarrierAndExchangeAcrossAllRanks) {
+  const int nranks = 17;
+  std::atomic<int> after_barrier{0};
+  std::atomic<int> sum_checks{0};
+
+  Scheduler scheduler(nranks, [&](int) {
+    return std::make_unique<Steps>(std::vector<Steps::Step>{
+        [](RankCtx& ctx) {
+          ctx.check();
+          return Action::barrier();
+        },
+        [&](RankCtx& ctx) {
+          ctx.check();
+          after_barrier.fetch_add(1, std::memory_order_relaxed);
+          return Action::exchange(bytes_of(ctx.rank() + 1));
+        },
+        [&](RankCtx& ctx) {
+          ctx.check();
+          int sum = 0;
+          for (const auto& slot : ctx.exchanged()) sum += int_of(slot);
+          EXPECT_EQ(sum, nranks * (nranks + 1) / 2);
+          sum_checks.fetch_add(1, std::memory_order_relaxed);
+          return Action::finish();
+        }});
+  });
+  const SchedReport report = scheduler.run(4);
+  EXPECT_EQ(after_barrier.load(), nranks);
+  EXPECT_EQ(sum_checks.load(), nranks);
+  EXPECT_EQ(report.final_size, nranks);
+  EXPECT_EQ(report.recoveries, 0);
+  EXPECT_TRUE(report.crashed_ranks.empty());
+}
+
+TEST(Sched, SendRecvRing) {
+  // Each rank sends its id to (rank+1) % n and receives from its left
+  // neighbor; delivery order and content must match the mailbox model.
+  const int nranks = 8;
+  std::vector<std::atomic<int>> received(nranks);
+  Scheduler scheduler(nranks, [&](int) {
+    return std::make_unique<Steps>(std::vector<Steps::Step>{
+        [](RankCtx& ctx) {
+          ctx.check();
+          return Action::send((ctx.rank() + 1) % ctx.size(),
+                              bytes_of(ctx.rank()));
+        },
+        [](RankCtx& ctx) {
+          ctx.check();
+          return Action::recv((ctx.rank() + ctx.size() - 1) % ctx.size());
+        },
+        [&](RankCtx& ctx) {
+          ctx.check();
+          received[std::size_t(ctx.rank())] = int_of(ctx.take_recv());
+          return Action::finish();
+        }});
+  });
+  scheduler.run(3);
+  for (int r = 0; r < nranks; ++r)
+    EXPECT_EQ(received[std::size_t(r)].load(), (r + nranks - 1) % nranks);
+}
+
+TEST(Sched, RunTwiceIsAnError) {
+  Scheduler scheduler(2, [](int) {
+    return std::make_unique<Steps>(std::vector<Steps::Step>{});
+  });
+  scheduler.run(2);
+  EXPECT_THROW(scheduler.run(2), UsageError);
+}
+
+// ----------------------------------------------------------------- faults ---
+
+/// ULFM survivor: on RankFailedError from a collective, agree + shrink and
+/// re-run the collective in the shrunken world.
+class UlfmSurvivor final : public RankProgram {
+ public:
+  explicit UlfmSurvivor(int crash_rank, std::atomic<int>& recovered)
+      : crash_rank_(crash_rank), recovered_(recovered) {}
+
+  Action step(RankCtx& ctx) override {
+    try {
+      ctx.check();
+    } catch (const RankFailedError&) {
+      recovering_ = true;
+      return Action::agree(true);
+    }
+    switch (state_++) {
+      case 0:
+        if (ctx.rank() == crash_rank_) throw RankFailure(ctx.rank(), "injected");
+        return Action::barrier();
+      case 1:
+        if (recovering_) {
+          state_ = 2;  // agree completed; now shrink
+          return Action::shrink();
+        }
+        ADD_FAILURE() << "barrier completed despite the dead rank";
+        return Action::finish();
+      case 2: {
+        // Post-shrink world: dense ranks, size reduced by one.
+        EXPECT_EQ(ctx.size(), expected_size_after_shrink_);
+        EXPECT_LT(ctx.rank(), ctx.size());
+        recovered_.fetch_add(1, std::memory_order_relaxed);
+        return Action::barrier();
+      }
+      default:
+        return Action::finish();
+    }
+  }
+
+  static constexpr int expected_size_after_shrink_ = 5;
+
+ private:
+  int crash_rank_;
+  std::atomic<int>& recovered_;
+  int state_ = 0;
+  bool recovering_ = false;
+};
+
+TEST(Sched, UlfmShrinkAfterRankFailure) {
+  const int nranks = 6, crash = 2;
+  std::atomic<int> recovered{0};
+  Scheduler scheduler(
+      nranks, [&](int) { return std::make_unique<UlfmSurvivor>(crash, recovered); });
+  const SchedReport report = scheduler.run(3);
+  EXPECT_EQ(recovered.load(), nranks - 1);
+  EXPECT_EQ(report.final_size, nranks - 1);
+  EXPECT_EQ(report.recoveries, 1);
+  EXPECT_EQ(report.crashed_ranks, std::vector<int>{crash});
+}
+
+TEST(Sched, RecvFromDeadRankDeliversRankFailedError) {
+  // Rank 1 parks in recv(0); rank 0 dies.  The parked recv must be woken
+  // with RankFailedError instead of hanging.
+  std::atomic<bool> saw_error{false};
+  Scheduler scheduler(2, [&](int rank) {
+    if (rank == 0)
+      return std::make_unique<Steps>(std::vector<Steps::Step>{
+          [](RankCtx&) -> Action { throw RankFailure(0, "boom"); }});
+    return std::make_unique<Steps>(std::vector<Steps::Step>{
+        [](RankCtx& ctx) {
+          ctx.check();
+          return Action::recv(0);
+        },
+        [&](RankCtx& ctx) {
+          try {
+            ctx.check();
+          } catch (const RankFailedError&) {
+            saw_error = true;
+          }
+          return Action::finish();
+        }});
+  });
+  const SchedReport report = scheduler.run(2);
+  EXPECT_TRUE(saw_error.load());
+  EXPECT_EQ(report.crashed_ranks, std::vector<int>{0});
+}
+
+TEST(Sched, RecvDeadlineTimesOutWhileParked) {
+  // Rank 1 never sends; rank 0's recv carries a deadline and must be woken
+  // with TimeoutError by the timer machinery, not hang or deadlock-fault.
+  std::atomic<bool> timed_out{false};
+  Scheduler scheduler(2, [&](int rank) {
+    if (rank == 1)
+      return std::make_unique<Steps>(std::vector<Steps::Step>{
+          [](RankCtx& ctx) {
+            ctx.check();
+            // Park long enough to outlive rank 0's deadline.
+            return Action::recv(0, std::chrono::milliseconds(10'000));
+          },
+          [&](RankCtx& ctx) {
+            try {
+              ctx.check();
+            } catch (const TimeoutError&) {
+            }
+            return Action::finish();
+          }});
+    return std::make_unique<Steps>(std::vector<Steps::Step>{
+        [](RankCtx& ctx) {
+          ctx.check();
+          return Action::recv(1, std::chrono::milliseconds(20));
+        },
+        [&](RankCtx& ctx) {
+          try {
+            ctx.check();
+          } catch (const TimeoutError& e) {
+            timed_out = true;
+            EXPECT_NE(std::string(e.what()).find("deadline"),
+                      std::string::npos);
+          }
+          // Unblock rank 1 so the run completes.
+          return Action::send(1, bytes_of(0));
+        }});
+  });
+  scheduler.run(2);
+  EXPECT_TRUE(timed_out.load());
+}
+
+TEST(Sched, WaitStateDeadlockIsDetectedNotHung) {
+  // Both ranks park in a recv nobody will ever satisfy (and no deadline is
+  // set): the scheduler must diagnose the deadlock instead of hanging.
+  Scheduler scheduler(2, [](int) {
+    return std::make_unique<Steps>(std::vector<Steps::Step>{
+        [](RankCtx& ctx) {
+          ctx.check();
+          return Action::recv((ctx.rank() + 1) % 2);
+        },
+        [](RankCtx&) { return Action::finish(); }});
+  });
+  try {
+    scheduler.run(2);
+    FAIL() << "deadlock not detected";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ------------------------------------------------------------- pool bound ---
+
+int os_thread_count() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line))
+    if (line.rfind("Threads:", 0) == 0)
+      return std::stoi(line.substr(std::strlen("Threads:")));
+  return -1;
+}
+
+TEST(Sched, TenThousandRanksStayOnABoundedPool) {
+  // The tentpole guarantee: 10K simulated ranks run on `width` workers —
+  // OS thread count never approaches the rank count.  run_spmd would need
+  // 10,000 threads for this program.
+  const int nranks = 10'000, width = 8;
+  const int before = os_thread_count();
+  ASSERT_GT(before, 0) << "cannot read /proc/self/status";
+
+  std::atomic<int> peak_threads{0};
+  std::atomic<int> finished{0};
+  Scheduler scheduler(nranks, [&](int) {
+    return std::make_unique<Steps>(std::vector<Steps::Step>{
+        [&](RankCtx& ctx) {
+          ctx.check();
+          int now = os_thread_count();
+          int prev = peak_threads.load();
+          while (now > prev && !peak_threads.compare_exchange_weak(prev, now)) {
+          }
+          return Action::exchange(bytes_of(ctx.rank()));
+        },
+        [&](RankCtx& ctx) {
+          ctx.check();
+          EXPECT_EQ(ctx.exchanged().size(), std::size_t(nranks));
+          return Action::barrier();
+        },
+        [&](RankCtx& ctx) {
+          ctx.check();
+          finished.fetch_add(1, std::memory_order_relaxed);
+          return Action::finish();
+        }});
+  });
+  const SchedReport report = scheduler.run(width);
+  EXPECT_EQ(finished.load(), nranks);
+  EXPECT_EQ(report.final_size, nranks);
+  // The pool adds at most `width` threads on top of whatever the process
+  // already ran (gtest, the shared pool's existing workers); allow slack
+  // for the shared ThreadPool's lazily-created workers but stay orders of
+  // magnitude below nranks.
+  EXPECT_LE(peak_threads.load(), before + width + 4)
+      << "scheduler spawned ~per-rank threads";
+}
+
+}  // namespace
+}  // namespace bitio::smpi::sched

@@ -608,11 +608,126 @@ std::vector<Diagnostic> check_engine_registry(const std::string& root) {
   return out;
 }
 
+// --- topology-registry -----------------------------------------------------
+
+std::vector<Diagnostic> check_topology_registry(const std::string& root) {
+  std::vector<Diagnostic> out;
+  const SourceFile header = load(root, "src/core/io_config.hpp");
+  const SourceFile writer = load(root, "src/bp/writer.cpp");
+  const SourceFile darshan = load(root, "src/darshan/darshan.cpp");
+  const SourceFile topo = load(root, "src/topo/topology.cpp");
+  require_loaded(header, "topology-registry", out);
+  require_loaded(writer, "topology-registry", out);
+  require_loaded(darshan, "topology-registry", out);
+  require_loaded(topo, "topology-registry", out);
+  if (!out.empty()) return out;
+
+  const std::string header_code = strip_comments(header.text);
+  const std::string writer_code = strip_comments(writer.text);
+  const std::string darshan_code = strip_comments(darshan.text);
+  const std::string topo_code = strip_comments(topo.text);
+
+  static const std::regex quoted(R"re("([^"\\]+)")re");
+  std::size_t modes_line = 0, topos_line = 0;
+  const std::vector<std::string> modes = captures(
+      body_after(header_code, "kBit1IoAggregationModes[]", &modes_line),
+      quoted);
+  const std::vector<std::string> topologies = captures(
+      body_after(header_code, "kBit1IoTopologies[]", &topos_line), quoted);
+  if (modes.empty())
+    out.push_back({header.rel, 1, "topology-registry",
+                   "kBit1IoAggregationModes list not found or empty"});
+  if (topologies.empty())
+    out.push_back({header.rel, 1, "topology-registry",
+                   "kBit1IoTopologies list not found or empty"});
+  if (!out.empty()) return out;
+
+  std::size_t tag_line = 0, preset_line = 0;
+  const std::string tag_body =
+      body_after(darshan_code, "aggregation_tag", &tag_line);
+  if (tag_body.empty()) {
+    out.push_back({darshan.rel, 1, "topology-registry",
+                   "darshan::aggregation_tag() definition not found"});
+    return out;
+  }
+  const std::string preset_body =
+      body_after(topo_code, "Cluster::preset", &preset_line);
+  if (preset_body.empty()) {
+    out.push_back({topo.rel, 1, "topology-registry",
+                   "topo::Cluster::preset() definition not found"});
+    return out;
+  }
+
+  // Every declared aggregation mode must be dispatched by the writer's
+  // gather path and tagged for Darshan-side reports.
+  for (const auto& mode : modes) {
+    const std::string literal = '"' + mode + '"';
+    if (writer_code.find(literal) == std::string::npos)
+      out.push_back({writer.rel, 1, "topology-registry",
+                     "aggregation mode \"" + mode +
+                         "\" from kBit1IoAggregationModes is never "
+                         "dispatched in src/bp/writer.cpp — the gather "
+                         "path would reject or ignore it"});
+    if (tag_body.find(literal) == std::string::npos)
+      out.push_back({darshan.rel, tag_line, "topology-registry",
+                     "aggregation mode \"" + mode +
+                         "\" from kBit1IoAggregationModes has no tag in "
+                         "darshan::aggregation_tag() — bench JSON would "
+                         "fall back to the uppercased raw name"});
+  }
+
+  // Every declared topology must have a literal preset branch, and every
+  // preset branch must be declared (or the config layer would reject a
+  // working preset).
+  static const std::regex branch(R"re(name\s*==\s*"([^"]+)")re");
+  const std::vector<std::string> branches = captures(preset_body, branch);
+  for (const auto& name : topologies)
+    if (std::find(branches.begin(), branches.end(), name) == branches.end())
+      out.push_back({topo.rel, preset_line, "topology-registry",
+                     "topology \"" + name +
+                         "\" from kBit1IoTopologies has no branch in "
+                         "topo::Cluster::preset() — selecting it would "
+                         "throw at engine construction"});
+  for (const auto& name : branches)
+    if (std::find(topologies.begin(), topologies.end(), name) ==
+        topologies.end())
+      out.push_back({topo.rel, preset_line, "topology-registry",
+                     "topo::Cluster::preset() handles \"" + name +
+                         "\" which is missing from core::kBit1IoTopologies "
+                         "— Bit1IoConfig::validate() would reject it"});
+
+  // Factory-seam audit: outside src/bp nothing references bp::Writer —
+  // engines are constructed through bp::make_engine so the registry and
+  // the deprecation shim stay the only doors.
+  const fs::path src = fs::path(root) / "src";
+  static const std::regex direct(R"re(\bbp::Writer\b)re");
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file() || !has_cxx_extension(entry.path()))
+      continue;
+    const std::string rel = rel_path(entry.path(), fs::path(root));
+    if (rel.rfind("src/bp/", 0) == 0) continue;
+    const std::string text =
+        strip_string_literals(strip_comments(read_file(entry.path())));
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), direct);
+         it != std::sregex_iterator(); ++it)
+      out.push_back({rel, line_of(text, std::size_t(it->position())),
+                     "topology-registry",
+                     "direct bp::Writer reference outside src/bp — construct "
+                     "engines through bp::make_engine so the factory "
+                     "registry covers every call site"});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return out;
+}
+
 std::vector<Diagnostic> run_all(const std::string& root) {
   std::vector<Diagnostic> out;
   for (const auto& rule :
        {check_raw_io, check_config_registry, check_darshan_counters,
-        check_traceop_kinds, check_engine_registry}) {
+        check_traceop_kinds, check_engine_registry,
+        check_topology_registry}) {
     auto found = rule(root);
     out.insert(out.end(), found.begin(), found.end());
   }

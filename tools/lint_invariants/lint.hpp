@@ -85,6 +85,15 @@ std::vector<Diagnostic> check_traceop_kinds(const std::string& root);
 /// diagnostic at the site that is missing it.
 std::vector<Diagnostic> check_engine_registry(const std::string& root);
 
+/// topology-registry: every aggregation mode in core::kBit1IoAggregationModes
+/// is dispatched by the bp writer gather path (src/bp/writer.cpp) and tagged
+/// by darshan::aggregation_tag(); every topology name in kBit1IoTopologies
+/// has a literal preset branch in topo::Cluster::preset() — and, reverse,
+/// every name preset() compares is declared in the registry.  Also the
+/// factory-seam audit: no `bp::Writer` reference outside src/bp — call
+/// sites must construct engines through bp::make_engine.
+std::vector<Diagnostic> check_topology_registry(const std::string& root);
+
 /// All rules over the tree rooted at `root` (the repository checkout: the
 /// rules look under `<root>/src`).  Diagnostics are ordered by rule.
 std::vector<Diagnostic> run_all(const std::string& root);

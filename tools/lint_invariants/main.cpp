@@ -5,7 +5,7 @@
 // `root` defaults to the current directory and must be a repository
 // checkout (the rules look under <root>/src).  With --rule only the named
 // rules run (ids: raw-io, config-registry, darshan-counters,
-// traceop-kinds, engine-registry).  Exit status: 0 clean, 1 violations
+// traceop-kinds, engine-registry, topology-registry).  Exit status: 0 clean, 1 violations
 // found, 2 bad usage.
 
 #include <cstdio>
@@ -29,6 +29,7 @@ constexpr Rule kRules[] = {
     {"darshan-counters", bitio::lint::check_darshan_counters},
     {"traceop-kinds", bitio::lint::check_traceop_kinds},
     {"engine-registry", bitio::lint::check_engine_registry},
+    {"topology-registry", bitio::lint::check_topology_registry},
 };
 
 }  // namespace
