@@ -1,0 +1,226 @@
+// Incremental-checkpoint sweep: full-vs-delta bytes across
+// checkpoint_full_interval, under clean and corrupted-epoch conditions.
+//
+// Each cell runs the ionization use case on 2 simulated ranks with a
+// 4-step checkpoint cadence (10 epochs over 40 steps) through
+// resil::CheckpointManager, sweeping checkpoint_full_interval (1 = every
+// epoch self-contained, k > 1 = k-1 delta epochs between fulls).  Reported
+// per cell: epochs committed, delta epochs, bytes physically stored in the
+// epoch payload files, bytes the dedup referenced instead of rewriting,
+// and the chain-restore outcome.  The "faulted" cells additionally rot the
+// newest epoch's payload before restarting, exercising the chain-by-chain
+// fallback.
+//
+// In-band sanity gates (a violation fails the binary, so a regression
+// cannot ship a green BENCH_ckpt.json):
+//   - every restore lands bit-exactly: the restored run, advanced to the
+//     final step, matches an unfaulted continuous reference run
+//     (RNG state, ionization tallies, every particle position);
+//   - delta sweeps store no more payload bytes than the all-full sweep;
+//   - every delta sweep actually dedups (dedup_bytes_saved > 0);
+//   - every faulted cell falls back to an older epoch and still recovers.
+#include <cstring>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "fsim/posix_fs.hpp"
+#include "picmc/simulation.hpp"
+#include "resil/checkpoint_manager.hpp"
+
+using namespace bitio;
+using namespace bitio::benchkit;
+
+namespace {
+
+constexpr std::uint64_t kLastStep = 40;
+constexpr std::uint64_t kCadence = 4;  // steps between commits
+constexpr int kRanks = 2;
+
+picmc::SimConfig sim_case() {
+  auto config = picmc::SimConfig::ionization_case(64, 16);
+  config.last_step = kLastStep;
+  return config;
+}
+
+struct CellResult {
+  int full_interval = 0;
+  bool faulted = false;
+  std::uint64_t epochs = 0;
+  std::uint64_t delta_epochs = 0;
+  std::uint64_t bytes_stored = 0;      // payload bytes in epoch data files
+  std::uint64_t dedup_saved = 0;       // bytes referenced instead of written
+  std::uint64_t blocks_restored = 0;   // blocks the chain restore fetched
+  std::uint64_t restored_epoch = 0;
+  std::uint64_t restored_step = 0;
+  bool recovered = false;
+  bool bit_exact = false;
+};
+
+/// Reference trajectory: rank r of kRanks run continuously to kLastStep,
+/// no checkpointing anywhere near it.
+std::vector<std::unique_ptr<picmc::Simulation>> reference_run() {
+  std::vector<std::unique_ptr<picmc::Simulation>> sims;
+  for (int r = 0; r < kRanks; ++r) {
+    sims.push_back(
+        std::make_unique<picmc::Simulation>(sim_case(), r, kRanks));
+    sims.back()->initialize();
+    while (sims.back()->current_step() < kLastStep) sims.back()->step();
+  }
+  return sims;
+}
+
+bool matches_reference(picmc::Simulation& sim,
+                       picmc::Simulation& reference) {
+  if (sim.current_step() != reference.current_step()) return false;
+  if (sim.rng().state() != reference.rng().state()) return false;
+  if (sim.ionization_events() != reference.ionization_events()) return false;
+  if (sim.ionized_weight() != reference.ionized_weight()) return false;
+  if (sim.species_count() != reference.species_count()) return false;
+  for (std::size_t s = 0; s < reference.species_count(); ++s) {
+    const auto& a = sim.species(s).particles;
+    const auto& b = reference.species(s).particles;
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      if (a.x()[i] != b.x()[i] || a.vx()[i] != b.vx()[i] ||
+          a.w()[i] != b.w()[i])
+        return false;
+  }
+  return true;
+}
+
+CellResult run_cell(int full_interval, bool faulted,
+                    std::vector<std::unique_ptr<picmc::Simulation>>& refs) {
+  fsim::SharedFs fs(8);
+  core::Bit1IoConfig io;
+  io.checkpoint_interval = int(kCadence);
+  io.checkpoint_retain = 100;  // keep every epoch: the sweep measures bytes
+  io.checkpoint_full_interval = full_interval;
+
+  std::vector<std::unique_ptr<picmc::Simulation>> sims;
+  for (int r = 0; r < kRanks; ++r) {
+    sims.push_back(
+        std::make_unique<picmc::Simulation>(sim_case(), r, kRanks));
+    sims.back()->initialize();
+  }
+  resil::CheckpointManager manager(fs, "run", io, kRanks);
+  for (std::uint64_t step = kCadence; step <= kLastStep; step += kCadence) {
+    for (auto& sim : sims) {
+      while (sim->current_step() < step) sim->step();
+      manager.stage(sim->rank(), *sim);
+    }
+    manager.commit();
+  }
+
+  CellResult cell;
+  cell.full_interval = full_interval;
+  cell.faulted = faulted;
+  cell.epochs = manager.stats().epochs_written;
+  cell.delta_epochs = manager.stats().delta_epochs;
+  cell.dedup_saved = manager.stats().dedup_bytes_saved;
+  for (const std::uint64_t epoch : manager.committed_epochs())
+    for (const auto* node : fs.store().list_recursive(manager.epoch_dir(epoch)))
+      if (node->path.find("/data.") != std::string::npos)
+        cell.bytes_stored += node->size;
+
+  const std::uint64_t newest = manager.committed_epochs().back();
+  if (faulted) {
+    // Rot the newest epoch's payload: restart must reject it and fall
+    // back down the chain.
+    for (const auto* node :
+         fs.store().list_recursive(manager.epoch_dir(newest))) {
+      if (node->path.find("/data.") == std::string::npos || node->size == 0)
+        continue;
+      fs.store().file(node->path).data[0] ^= 0x10;
+      break;
+    }
+  }
+
+  cell.bit_exact = true;
+  for (int r = 0; r < kRanks; ++r) {
+    picmc::Simulation restored(sim_case(), r, kRanks);
+    restored.initialize();
+    const resil::RestartReport report = manager.restore(restored);
+    if (!report.recovered) return cell;  // recovered stays false
+    cell.restored_epoch = report.epoch;
+    cell.restored_step = report.step;
+    while (restored.current_step() < kLastStep) restored.step();
+    cell.bit_exact = cell.bit_exact && matches_reference(restored, *refs[r]);
+  }
+  cell.recovered = true;
+  if (faulted) cell.bit_exact = cell.bit_exact && cell.restored_epoch < newest;
+  cell.blocks_restored = manager.stats().blocks_restored;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json_only = true;
+
+  if (!json_only)
+    print_header(
+        "Incremental checkpoints — full interval x fault pressure",
+        "delta epochs write only changed blocks; chain restore stays "
+        "bit-exact and falls back past a corrupted epoch");
+
+  auto refs = reference_run();
+
+  TextTable table;
+  table.header({"full_interval", "faulted", "epochs", "deltas", "stored",
+                "dedup_saved", "restored@", "blocks", "bit_exact"});
+  JsonArray cells;
+  std::uint64_t all_full_bytes = 0;
+  bool gates_ok = true;
+  for (const bool faulted : {false, true}) {
+    for (const int full_interval : {1, 2, 4, 8}) {
+      const CellResult cell = run_cell(full_interval, faulted, refs);
+      if (full_interval == 1 && !faulted) all_full_bytes = cell.bytes_stored;
+      const bool cell_ok =
+          cell.recovered && cell.bit_exact &&
+          cell.bytes_stored <= all_full_bytes &&
+          (full_interval == 1 || cell.dedup_saved > 0);
+      gates_ok = gates_ok && cell_ok;
+      table.row({strfmt("%d", cell.full_interval), cell.faulted ? "yes" : "no",
+                 strfmt("%llu", (unsigned long long)cell.epochs),
+                 strfmt("%llu", (unsigned long long)cell.delta_epochs),
+                 strfmt("%llu", (unsigned long long)cell.bytes_stored),
+                 strfmt("%llu", (unsigned long long)cell.dedup_saved),
+                 strfmt("%llu", (unsigned long long)cell.restored_step),
+                 strfmt("%llu", (unsigned long long)cell.blocks_restored),
+                 cell.bit_exact ? "yes" : "NO"});
+      JsonObject row;
+      row["checkpoint_full_interval"] = Json(cell.full_interval);
+      row["faulted"] = Json(cell.faulted);
+      row["epochs_written"] = Json(cell.epochs);
+      row["delta_epochs"] = Json(cell.delta_epochs);
+      row["bytes_stored"] = Json(cell.bytes_stored);
+      row["dedup_bytes_saved"] = Json(cell.dedup_saved);
+      row["restored_epoch"] = Json(cell.restored_epoch);
+      row["restored_step"] = Json(cell.restored_step);
+      row["blocks_restored"] = Json(cell.blocks_restored);
+      row["recovered"] = Json(cell.recovered);
+      row["restore_bit_exact"] = Json(cell.bit_exact);
+      cells.emplace_back(std::move(row));
+    }
+  }
+  if (!json_only) std::printf("%s\n", table.render().c_str());
+
+  JsonObject summary;
+  summary["bench"] = Json("ckpt_sweep");
+  summary["nranks"] = Json(kRanks);
+  summary["last_step"] = Json(kLastStep);
+  summary["checkpoint_cadence"] = Json(kCadence);
+  summary["all_full_bytes_stored"] = Json(all_full_bytes);
+  summary["all_gates_passed"] = Json(gates_ok);
+  summary["cells"] = Json(std::move(cells));
+  std::printf("%s\n", Json(std::move(summary)).dump(2).c_str());
+
+  if (!json_only)
+    std::printf(gates_ok
+                    ? "every sweep stored <= all-full bytes and restored "
+                      "bit-exactly\n"
+                    : "WARNING: a checkpoint sweep violated a sanity gate\n");
+  return gates_ok ? 0 : 1;
+}

@@ -17,6 +17,14 @@
 #                       sweep's sanity gate is in-band: two-level must not
 #                       lose to flat at >= 10K ranks on >= 16 ranks/node,
 #                       and a violation fails this script.
+#   BENCH_ckpt.json     ckpt_sweep full-vs-delta checkpoint sweep across
+#                       checkpoint_full_interval, clean and with a rotted
+#                       newest epoch (bytes stored, dedup savings, chain
+#                       restore outcome).  Sanity gates are in-band: every
+#                       restore must land bit-exactly, delta sweeps must
+#                       not store more than the all-full sweep, and every
+#                       faulted cell must fall back and still recover — a
+#                       violation fails this script.
 #
 # Numbers are machine-dependent; the committed files record the box the
 # report was last generated on.
@@ -29,7 +37,7 @@ build_dir=${1:-"$repo_root/build"}
 
 cmake -S "$repo_root" -B "$build_dir" >/dev/null
 cmake --build "$build_dir" --target micro_codecs stream_fanout topo_sweep \
-  -j "$(nproc 2>/dev/null || echo 4)"
+  ckpt_sweep -j "$(nproc 2>/dev/null || echo 4)"
 
 "$build_dir/bench/micro_codecs" --json > "$repo_root/BENCH_codecs.json"
 printf 'wrote %s\n' "$repo_root/BENCH_codecs.json"
@@ -39,3 +47,6 @@ printf 'wrote %s\n' "$repo_root/BENCH_stream.json"
 
 "$build_dir/bench/topo_sweep" --json > "$repo_root/BENCH_topo.json"
 printf 'wrote %s\n' "$repo_root/BENCH_topo.json"
+
+"$build_dir/bench/ckpt_sweep" --json > "$repo_root/BENCH_ckpt.json"
+printf 'wrote %s\n' "$repo_root/BENCH_ckpt.json"

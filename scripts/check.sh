@@ -19,7 +19,13 @@
 #                          ThreadSanitizer (ctest --preset tsan-topo); the
 #                          rank sweep is scripts/bench_report.sh ->
 #                          BENCH_topo.json
-#   7. full test suite     default preset, all labels (includes the `perf`
+#   7. ckpt suite          incremental-checkpoint tests (delta cadence,
+#                          dedup, chain restore, retention pinning, prune
+#                          crash-window scrub; ctest -L ckpt), then the
+#                          same label under ASan+UBSan (ctest --preset
+#                          san-ckpt); the full/delta sweep is
+#                          scripts/bench_report.sh -> BENCH_ckpt.json
+#   8. full test suite     default preset, all labels (includes the `perf`
 #                          smoke test; the full codec sweep is
 #                          scripts/bench_report.sh -> BENCH_codecs.json)
 set -eu
@@ -55,6 +61,14 @@ step "topology suite under ThreadSanitizer (ctest --preset tsan-topo)"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset tsan-topo
+
+step "incremental-checkpoint suite (ctest -L ckpt)"
+ctest --preset ckpt
+
+step "checkpoint suite under ASan+UBSan (ctest --preset san-ckpt)"
+cmake --preset san >/dev/null
+cmake --build --preset san -j "$(nproc 2>/dev/null || echo 4)"
+ctest --preset san-ckpt
 
 step "full test suite"
 ctest --preset default

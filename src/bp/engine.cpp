@@ -214,21 +214,6 @@ std::vector<std::string> registered_engines() {
   return names;  // std::map iteration is already sorted
 }
 
-EngineConfig require_registered_engine(EngineConfig config) {
-  const std::string name = bp::engine_name(config.engine);
-  if (!engine_registered(name)) {
-    std::string known;
-    for (const std::string& known_name : registered_engines()) {
-      if (!known.empty()) known += ", ";
-      known += "\"" + known_name + "\"";
-    }
-    throw UsageError("bp: engine \"" + name +
-                     "\" is not registered with the factory (registered: " +
-                     known + ")");
-  }
-  return config;
-}
-
 std::unique_ptr<Engine> make_engine(const std::string& name,
                                     fsim::SharedFs& fs, std::string path,
                                     EngineConfig config, int nranks) {

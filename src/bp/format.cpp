@@ -35,7 +35,7 @@ std::pair<std::string, AttrValue> decode_attr(BinReader& reader) {
 
 std::vector<std::uint8_t> encode_step(const StepRecord& record) {
   BinWriter writer;
-  writer.u32(kMdMagicV5);
+  writer.u32(kMdMagicV6);
   writer.u64(record.step);
   writer.u32(std::uint32_t(record.variables.size()));
   for (const auto& var : record.variables) {
@@ -56,6 +56,8 @@ std::vector<std::uint8_t> encode_step(const StepRecord& record) {
       writer.f64(chunk.stat_max);
       writer.u8(chunk.has_crc ? 1 : 0);
       writer.u32(chunk.crc32c);
+      writer.u8(chunk.has_content_hash ? 1 : 0);
+      writer.u64(chunk.content_hash);
     }
   }
   writer.u32(std::uint32_t(record.attributes.size()));
@@ -70,9 +72,10 @@ std::vector<std::uint8_t> encode_step(const StepRecord& record) {
 StepRecord decode_step(std::span<const std::uint8_t> data) {
   if (data.size() < 4) throw FormatError("bp: truncated step metadata");
   const std::uint32_t magic = BinReader(data).u32();
-  if (magic != kMdMagic && magic != kMdMagicV5)
+  if (magic != kMdMagic && magic != kMdMagicV5 && magic != kMdMagicV6)
     throw FormatError("bp: bad step metadata magic (unknown format version)");
-  const bool v5 = magic == kMdMagicV5;
+  const bool v6 = magic == kMdMagicV6;
+  const bool v5 = magic == kMdMagicV5 || v6;
 
   std::span<const std::uint8_t> body = data;
   if (v5) {
@@ -114,6 +117,10 @@ StepRecord decode_step(std::span<const std::uint8_t> data) {
       if (v5) {
         chunk.has_crc = reader.u8() != 0;
         chunk.crc32c = reader.u32();
+      }
+      if (v6) {
+        chunk.has_content_hash = reader.u8() != 0;
+        chunk.content_hash = reader.u64();
       }
       var.chunks.push_back(std::move(chunk));
     }
@@ -165,6 +172,35 @@ std::vector<IndexEntry> decode_index(std::span<const std::uint8_t> data) {
     index.push_back(e);
   }
   return index;
+}
+
+std::vector<std::uint8_t> encode_footer(const std::vector<StepRecord>& steps) {
+  BinWriter writer;
+  writer.u32(kFtrMagic);
+  writer.u32(std::uint32_t(steps.size()));
+  for (const auto& record : steps) {
+    const std::vector<std::uint8_t> md = encode_step(record);
+    writer.u64(md.size());
+    writer.bytes(md);
+  }
+  return writer.take();
+}
+
+std::vector<StepRecord> decode_footer(std::span<const std::uint8_t> data) {
+  BinReader reader(data);
+  if (reader.u32() != kFtrMagic)
+    throw FormatError("bp: bad footer magic");
+  const std::uint32_t n = reader.u32();
+  std::vector<StepRecord> steps;
+  steps.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t length = reader.u64();
+    if (length > reader.remaining())
+      throw FormatError("bp: truncated footer step record");
+    steps.push_back(decode_step(reader.bytes(std::size_t(length))));
+  }
+  if (!reader.done()) throw FormatError("bp: trailing bytes in footer");
+  return steps;
 }
 
 }  // namespace bitio::bp

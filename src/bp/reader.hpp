@@ -11,6 +11,14 @@
 // checkpoint pattern: iteration 0 is periodically overwritten) — the reader
 // exposes the *latest* record for each id, like BP4 readers see the final
 // state.
+//
+// Open path: a closed v6 container ends md.0 with a footer index (every
+// step record + a fixed trailer), so open() costs O(1) seeks — stat, read
+// the trailer, read the footer — regardless of how many steps the file
+// holds.  Containers without a footer (pre-v6, or still being written and
+// attached mid-run via publish_index) and containers whose footer is torn
+// or corrupt fall back transparently to the md.idx + md.0 scan path;
+// used_footer_index() reports which path satisfied the open.
 
 #include <cstring>
 #include <map>
@@ -24,15 +32,10 @@ namespace bitio::bp {
 
 class Reader {
 public:
-  /// Opens the container at `path` as `client` (reads are charged to it).
-  [[deprecated(
-      "open containers via Reader::open(fs, client, path) or "
-      "bp::attach_reader (src/bp/engine.hpp); parsing is unchanged")]]
-  Reader(fsim::SharedFs& fs, fsim::ClientId client, std::string path)
-      : Reader(ForEngineFactory{}, fs, client, std::move(path)) {}
-
-  /// Non-deprecated construction path used by the engine factory and
-  /// Reader::open (see ForEngineFactory in bp/types.hpp).
+  /// Construction path used by the engine factory and Reader::open (see
+  /// ForEngineFactory in bp/types.hpp).  The once-deprecated raw
+  /// `Reader(fs, client, path)` constructor is gone: open containers via
+  /// Reader::open or bp::attach_reader (src/bp/engine.hpp).
   Reader(ForEngineFactory, fsim::SharedFs& fs, fsim::ClientId client,
          std::string path);
 
@@ -57,10 +60,38 @@ public:
   const VarRecord* find_variable(std::uint64_t step,
                                  const std::string& name) const;
 
+  /// Find the chunk a specific writer rank stored for a variable in a step;
+  /// nullptr if absent.  The (step, var, writer_rank) triple is the block
+  /// address the incremental-checkpoint layer deduplicates on.
+  const ChunkRecord* find_chunk(std::uint64_t step, const std::string& name,
+                                std::uint32_t writer_rank) const;
+
+  /// True when open() was satisfied by the v6 footer index (O(1) seeks)
+  /// rather than the md.idx + md.0 scan path.
+  bool used_footer_index() const { return footer_used_; }
+
   /// Read and reassemble the full global array of a variable.  Chunks whose
   /// metadata carries a CRC (format v5) are verified; a mismatch raises
   /// FormatError.  Use verify() for a non-throwing per-chunk report.
   std::vector<std::uint8_t> read(std::uint64_t step, const std::string& name);
+
+  /// Read one writer rank's chunk of a variable: exactly one data-subfile
+  /// pread of the stored bytes, CRC-verified and decompressed.  Throws
+  /// UsageError when the chunk is absent, FormatError on corruption.  This
+  /// is the random-access primitive of chain restore: only the referenced
+  /// block's bytes are read, never the rest of the container.
+  std::vector<std::uint8_t> read_chunk(std::uint64_t step,
+                                       const std::string& name,
+                                       std::uint32_t writer_rank);
+
+  /// Read `elem_count` elements starting at `elem_offset` of a 1-D
+  /// variable's global array, touching only the chunks that overlap the
+  /// slice (each fetched once, CRC-verified, decompressed).  Throws
+  /// UsageError for non-1-D variables or an out-of-extent slice.
+  std::vector<std::uint8_t> read_slice(std::uint64_t step,
+                                       const std::string& name,
+                                       std::uint64_t elem_offset,
+                                       std::uint64_t elem_count);
 
   /// Per-chunk integrity verdict from a verify() scrub.
   struct ChunkVerdict {
@@ -104,10 +135,24 @@ public:
                                      const std::string& name) const;
 
 private:
+  /// O(1) open: read the trailer at the end of md.0, CRC-verify the footer
+  /// it points at, and decode every step record from it.  Returns false —
+  /// leaving steps_ empty — when there is no valid footer (pre-v6
+  /// container, mid-run attach, torn/corrupt tail); the constructor then
+  /// falls back to the scan path.
+  bool try_open_footer(fsim::FsClient& io);
+  /// Fetch one chunk's raw bytes: pread the stored extent, verify its CRC,
+  /// undo the operator.  Throws FormatError on short read/CRC mismatch.
+  std::vector<std::uint8_t> fetch_chunk(fsim::FsClient& io,
+                                        const std::string& name,
+                                        const ChunkRecord& chunk,
+                                        std::size_t elem);
+
   fsim::SharedFs& fs_;
   fsim::ClientId client_;
   std::string path_;
   std::map<std::uint64_t, StepRecord> steps_;  // latest record per id
+  bool footer_used_ = false;
 };
 
 }  // namespace bitio::bp

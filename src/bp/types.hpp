@@ -114,10 +114,10 @@ private:
   Dims count_;
 };
 
-/// Internal-construction tag: bp::make_engine and Reader::open build
-/// Writers/Readers through non-deprecated overloads carrying this tag, so
-/// the [[deprecated]] nudge lands on direct construction only (the factory
-/// is the supported entry point — see src/bp/engine.hpp).
+/// Internal-construction tag: bp::make_engine and the Writer::open /
+/// Reader::open named constructors build Writers/Readers through overloads
+/// carrying this tag, keeping the untagged constructor surface empty (the
+/// factory is the supported entry point — see src/bp/engine.hpp).
 struct ForEngineFactory {
   explicit ForEngineFactory() = default;
 };
@@ -144,6 +144,12 @@ struct ChunkRecord {
   // format, which remain readable without verification.
   std::uint32_t crc32c = 0;
   bool has_crc = false;
+  // Content identity (format v6): FNV-1a 64 of the *raw* (pre-operator)
+  // bytes.  The incremental-checkpoint layer compares these across epochs
+  // to detect unchanged blocks without reading any data back.  False for
+  // synthetic chunks and for pre-v6 containers.
+  std::uint64_t content_hash = 0;
+  bool has_content_hash = false;
 };
 
 /// Per-step record of one variable.

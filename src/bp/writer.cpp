@@ -10,6 +10,7 @@
 #include "util/binio.hpp"
 #include "util/crc32c.hpp"
 #include "util/error.hpp"
+#include "util/hash64.hpp"
 
 namespace bitio::bp {
 
@@ -539,6 +540,12 @@ void Writer::drain_step(const StepJob& job) {
       meta.operator_name = operator_name;
       meta.crc32c = chunk_crc;
       meta.has_crc = chunk_has_crc;
+      if (!chunk.synthetic) {
+        // Content identity over the raw bytes (format v6): the dedup key
+        // the incremental-checkpoint layer compares across epochs.
+        meta.content_hash = util::hash64(chunk.data);
+        meta.has_content_hash = true;
+      }
       var.chunks.push_back(std::move(meta));
 
       raw_bytes_total_ += raw_bytes;
@@ -660,6 +667,9 @@ void Writer::drain_step(const StepJob& job) {
   root.pwrite(idx_fd_, 8 + index_.size() * kIdxEntryBytesV5,
               idx_bytes.buffer());
   index_.push_back(entry);
+  // Retained for the footer index close() appends; the encoded bytes above
+  // are final, so the record can be moved out.
+  footer_steps_.push_back(std::move(record));
 }
 
 double Writer::compress_cpu_seconds(std::uint64_t raw_bytes) const {
@@ -684,6 +694,7 @@ Writer::DrainSnapshot Writer::snapshot_drain_state() const {
   snap.data_offsets = data_offsets_;
   snap.md_offset = md_offset_;
   snap.index_size = index_.size();
+  snap.footer_steps = footer_steps_.size();
   snap.memcopy_us = memcopy_us_total_;
   snap.compress_us = compress_us_total_;
   snap.drain_us = drain_us_total_;
@@ -697,6 +708,7 @@ void Writer::restore_drain_state(const DrainSnapshot& snap) {
   data_offsets_ = snap.data_offsets;
   md_offset_ = snap.md_offset;
   index_.resize(snap.index_size);
+  footer_steps_.resize(snap.footer_steps);
   memcopy_us_total_ = snap.memcopy_us;
   compress_us_total_ = snap.compress_us;
   drain_us_total_ = snap.drain_us;
@@ -876,6 +888,21 @@ void Writer::close() {
   header.u32(kIdxMagicV5);
   header.u32(std::uint32_t(index_.size()));
   root.pwrite(idx_fd_, 0, header.buffer());
+
+  // Footer index (format v6): the complete step records appended after the
+  // last metadata block, then a fixed trailer pointing back at them.  A
+  // reader opens from the trailer in O(1) seeks; md.idx entries all point
+  // below md_offset_, so the v5 scan path is unaffected by the tail.
+  {
+    const std::vector<std::uint8_t> footer = encode_footer(footer_steps_);
+    BinWriter trailer;
+    trailer.u64(md_offset_);
+    trailer.u64(footer.size());
+    trailer.u32(crc32c(footer));
+    trailer.u32(kFtrMagic);
+    root.pwrite(md_fd_, md_offset_, footer);
+    root.pwrite(md_fd_, md_offset_ + footer.size(), trailer.buffer());
+  }
 
   if (config_.engine == EngineType::bp5) {
     // BP5's second metadata file: a duplicate of the index for fast open.

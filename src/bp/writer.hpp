@@ -155,33 +155,27 @@ struct WatchdogStats {
   std::uint64_t steps_abandoned = 0;  // jobs given up after max retries
 };
 
-/// Registry gate of the deprecated construction shims: verifies that
-/// `config.engine`'s name is registered in the string-keyed factory
-/// (bp::make_engine's registry, src/bp/engine.hpp) and hands the config
-/// back.  The [[deprecated]] Writer/Reader constructors forward through it,
-/// so exercising the legacy entry points also proves factory coverage —
-/// the deprecation tests double as registry tests.  Throws UsageError with
-/// the registered names if the engine was never registered.
-EngineConfig require_registered_engine(EngineConfig config);
-
 class Writer {
 public:
-  /// Creates the container directory and all its files.  `nranks` is the
-  /// size of the writing communicator.  Direct construction is deprecated:
-  /// engines are selected by name through the string-keyed factory so call
-  /// sites stay engine-agnostic (README "Engines" has the migration note).
-  [[deprecated(
-      "construct engines via bp::make_engine(name, fs, path, config, nranks) "
-      "(src/bp/engine.hpp); the factory keeps BP4/BP5 output byte-identical")]]
-  Writer(fsim::SharedFs& fs, std::string path, EngineConfig config,
-         int nranks)
-      : Writer(ForEngineFactory{}, fs, std::move(path),
-               require_registered_engine(std::move(config)), nranks) {}
-
-  /// Non-deprecated internal entry point used by the engine factory.
+  /// Construction path used by the engine factory and Writer::open.  The
+  /// once-deprecated raw `Writer(fs, path, config, nranks)` constructor is
+  /// gone: application call sites select engines by name through
+  /// bp::make_engine (src/bp/engine.hpp) so they stay engine-agnostic
+  /// (README "Engines" has the migration note).
   Writer(ForEngineFactory, fsim::SharedFs& fs, std::string path,
          EngineConfig config, int nranks);
   ~Writer();
+
+  /// Preferred named constructor for code that needs the concrete file
+  /// writer (format tests, benches); creates the container directory and
+  /// all its files.  `nranks` is the size of the writing communicator.
+  /// Writer is not movable, but C++17 guaranteed elision makes this
+  /// returnable, mirroring Reader::open.
+  static Writer open(fsim::SharedFs& fs, std::string path,
+                     EngineConfig config, int nranks) {
+    return Writer(ForEngineFactory{}, fs, std::move(path), std::move(config),
+                  nranks);
+  }
 
   Writer(const Writer&) = delete;
   Writer& operator=(const Writer&) = delete;
@@ -297,6 +291,7 @@ private:
     std::vector<std::uint64_t> data_offsets;
     std::uint64_t md_offset = 0;
     std::size_t index_size = 0;
+    std::size_t footer_steps = 0;
     double memcopy_us = 0.0, compress_us = 0.0, drain_us = 0.0, crc_us = 0.0;
     std::uint64_t raw_bytes = 0, stored_bytes = 0;
   };
@@ -375,6 +370,9 @@ private:
   std::uint64_t md_offset_ = 0;
   int idx_fd_ = -1;
   std::vector<IndexEntry> index_;
+  // Every drained step record, retained for the md.0 footer index close()
+  // appends (format v6 random-access open).  Drain-side state like index_.
+  std::vector<StepRecord> footer_steps_;
 
   // profiling.json accumulators (microseconds, like ADIOS2's profiler).
   // With async_write, marshalling/compression time lands in drain_us_total_

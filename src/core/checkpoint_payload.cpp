@@ -3,11 +3,35 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/hash64.hpp"
 
 namespace bitio::core {
 
 using picmc::Simulation;
 using pmd::Datatype;
+
+namespace {
+
+/// bp variable paths of the checkpoint schema — the block addresses the
+/// dedup layer and the chain source share with the containers themselves.
+std::string particle_var(const std::string& species, const std::string& record,
+                         const std::string& comp) {
+  return "particles/" + species + "/" + record + "/" + comp;
+}
+
+std::string mesh_var(const std::string& name) {
+  return "meshes/" + name + "/" + pmd::kScalar;
+}
+
+std::uint64_t hash_f64(std::span<const double> data) {
+  return util::hash64_of<double>(data);
+}
+
+std::uint64_t hash_u64(std::span<const std::uint64_t> data) {
+  return util::hash64_of<std::uint64_t>(data);
+}
+
+}  // namespace
 
 RankCheckpoint capture_rank_state(const Simulation& sim) {
   RankCheckpoint staged;
@@ -30,10 +54,86 @@ RankCheckpoint capture_rank_state(const Simulation& sim) {
   return staged;
 }
 
+std::vector<CheckpointBlock> checkpoint_blocks(
+    const std::vector<RankCheckpoint>& staged_all,
+    const std::vector<std::string>& species_names, int nranks) {
+  // Mirrors write_checkpoint_iteration exactly: same variables, same
+  // ranks, same exscan offsets, same order.  The differential tests pin
+  // the two together — a schema change that touches one but not the other
+  // breaks the delta round-trip immediately.
+  std::vector<CheckpointBlock> blocks;
+  auto add = [&blocks](std::string var, int rank, std::uint64_t offset,
+                       std::uint64_t count, std::uint64_t hash) {
+    blocks.push_back(CheckpointBlock{std::move(var), rank, offset, count,
+                                     count * 8, hash});
+  };
+
+  for (std::size_t s = 0; s < species_names.size(); ++s) {
+    const std::string& name = species_names[s];
+    std::vector<std::uint64_t> counts(std::size_t(nranks), 0);
+    for (int r = 0; r < nranks; ++r)
+      if (staged_all[std::size_t(r)].present)
+        counts[std::size_t(r)] = staged_all[std::size_t(r)].x[s].size();
+    std::uint64_t total = 0;
+    std::vector<std::uint64_t> offsets(std::size_t(nranks), 0);
+    for (int r = 0; r < nranks; ++r) {
+      offsets[std::size_t(r)] = total;
+      total += counts[std::size_t(r)];
+    }
+
+    for (int r = 0; r < nranks; ++r) {
+      const RankCheckpoint& staged = staged_all[std::size_t(r)];
+      if (!staged.present) continue;
+      const std::uint64_t rr = std::uint64_t(r);
+      const std::uint64_t n = counts[rr];
+      add(particle_var(name, "position", "x"), r, offsets[rr], n,
+          hash_f64(staged.x[s]));
+      add(particle_var(name, "velocity", "x"), r, offsets[rr], n,
+          hash_f64(staged.vx[s]));
+      add(particle_var(name, "velocity", "y"), r, offsets[rr], n,
+          hash_f64(staged.vy[s]));
+      add(particle_var(name, "velocity", "z"), r, offsets[rr], n,
+          hash_f64(staged.vz[s]));
+      add(particle_var(name, "weighting", pmd::kScalar), r, offsets[rr], n,
+          hash_f64(staged.w[s]));
+      add(mesh_var("rank_count_" + name), r, rr, 1,
+          hash_u64(std::span<const std::uint64_t>(&counts[rr], 1)));
+      const std::uint64_t ab[2] = {staged.absorbed_left[s],
+                                   staged.absorbed_right[s]};
+      add(mesh_var("absorbed_" + name), r, rr * 2, 2,
+          hash_u64(std::span<const std::uint64_t>(ab, 2)));
+      add(mesh_var("absorbed_weight_" + name), r, rr, 1,
+          hash_f64(std::span<const double>(&staged.absorbed_weight[s], 1)));
+    }
+  }
+
+  for (int r = 0; r < nranks; ++r) {
+    const RankCheckpoint& staged = staged_all[std::size_t(r)];
+    if (!staged.present) continue;
+    const std::uint64_t rr = std::uint64_t(r);
+    add(mesh_var("rng_state"), r, rr * 4, 4,
+        hash_u64(std::span<const std::uint64_t>(staged.rng.data(), 4)));
+    add(mesh_var("ionization_events"), r, rr, 1,
+        hash_u64(std::span<const std::uint64_t>(&staged.ionization_events,
+                                                1)));
+    add(mesh_var("ionized_weight"), r, rr, 1,
+        hash_f64(std::span<const double>(&staged.ionized_weight, 1)));
+  }
+  return blocks;
+}
+
+void write_checkpoint_iteration(pmd::Series& series,
+                                const std::vector<RankCheckpoint>& staged,
+                                const std::vector<std::string>& species_names,
+                                int nranks) {
+  write_checkpoint_iteration(series, staged, species_names, nranks,
+                             [](const std::string&, int) { return true; });
+}
+
 void write_checkpoint_iteration(pmd::Series& series,
                                 const std::vector<RankCheckpoint>& staged_all,
                                 const std::vector<std::string>& species_names,
-                                int nranks) {
+                                int nranks, const BlockKeep& keep) {
   if (staged_all.size() != std::size_t(nranks))
     throw UsageError("write_checkpoint_iteration: staged size != nranks");
   bool any = false;
@@ -81,25 +181,34 @@ void write_checkpoint_iteration(pmd::Series& series,
         iteration.mesh("absorbed_weight_" + species_names[s]).component();
     absorbed_weight.reset_dataset(Datatype::float64, {ranks});
 
+    const std::string& name = species_names[s];
     for (int r = 0; r < nranks; ++r) {
       const RankCheckpoint& staged = staged_all[std::size_t(r)];
       if (!staged.present) continue;
       const std::uint64_t rr = std::uint64_t(r);
       const std::uint64_t n = counts[rr];
-      px.store_chunk<double>(r, staged.x[s], {offsets[rr]}, {n});
-      vx.store_chunk<double>(r, staged.vx[s], {offsets[rr]}, {n});
-      vy.store_chunk<double>(r, staged.vy[s], {offsets[rr]}, {n});
-      vz.store_chunk<double>(r, staged.vz[s], {offsets[rr]}, {n});
-      weighting.store_chunk<double>(r, staged.w[s], {offsets[rr]}, {n});
-      rank_count.store_chunk<std::uint64_t>(
-          r, std::span<const std::uint64_t>(&counts[rr], 1), {rr}, {1});
+      if (keep(particle_var(name, "position", "x"), r))
+        px.store_chunk<double>(r, staged.x[s], {offsets[rr]}, {n});
+      if (keep(particle_var(name, "velocity", "x"), r))
+        vx.store_chunk<double>(r, staged.vx[s], {offsets[rr]}, {n});
+      if (keep(particle_var(name, "velocity", "y"), r))
+        vy.store_chunk<double>(r, staged.vy[s], {offsets[rr]}, {n});
+      if (keep(particle_var(name, "velocity", "z"), r))
+        vz.store_chunk<double>(r, staged.vz[s], {offsets[rr]}, {n});
+      if (keep(particle_var(name, "weighting", pmd::kScalar), r))
+        weighting.store_chunk<double>(r, staged.w[s], {offsets[rr]}, {n});
+      if (keep(mesh_var("rank_count_" + name), r))
+        rank_count.store_chunk<std::uint64_t>(
+            r, std::span<const std::uint64_t>(&counts[rr], 1), {rr}, {1});
       const std::uint64_t ab[2] = {staged.absorbed_left[s],
                                    staged.absorbed_right[s]};
-      absorbed.store_chunk<std::uint64_t>(
-          r, std::span<const std::uint64_t>(ab, 2), {rr * 2}, {2});
-      absorbed_weight.store_chunk<double>(
-          r, std::span<const double>(&staged.absorbed_weight[s], 1), {rr},
-          {1});
+      if (keep(mesh_var("absorbed_" + name), r))
+        absorbed.store_chunk<std::uint64_t>(
+            r, std::span<const std::uint64_t>(ab, 2), {rr * 2}, {2});
+      if (keep(mesh_var("absorbed_weight_" + name), r))
+        absorbed_weight.store_chunk<double>(
+            r, std::span<const double>(&staged.absorbed_weight[s], 1), {rr},
+            {1});
     }
   }
 
@@ -114,14 +223,17 @@ void write_checkpoint_iteration(pmd::Series& series,
     const RankCheckpoint& staged = staged_all[std::size_t(r)];
     if (!staged.present) continue;
     const std::uint64_t rr = std::uint64_t(r);
-    rng.store_chunk<std::uint64_t>(
-        r, std::span<const std::uint64_t>(staged.rng.data(), 4), {rr * 4},
-        {4});
-    mc_events.store_chunk<std::uint64_t>(
-        r, std::span<const std::uint64_t>(&staged.ionization_events, 1),
-        {rr}, {1});
-    mc_weight.store_chunk<double>(
-        r, std::span<const double>(&staged.ionized_weight, 1), {rr}, {1});
+    if (keep(mesh_var("rng_state"), r))
+      rng.store_chunk<std::uint64_t>(
+          r, std::span<const std::uint64_t>(staged.rng.data(), 4), {rr * 4},
+          {4});
+    if (keep(mesh_var("ionization_events"), r))
+      mc_events.store_chunk<std::uint64_t>(
+          r, std::span<const std::uint64_t>(&staged.ionization_events, 1),
+          {rr}, {1});
+    if (keep(mesh_var("ionized_weight"), r))
+      mc_weight.store_chunk<double>(
+          r, std::span<const double>(&staged.ionized_weight, 1), {rr}, {1});
     step_attr = std::max(step_attr, staged.step);
   }
 
@@ -286,6 +398,149 @@ void restore_repartitioned(pmd::Series& series, picmc::Simulation& sim) {
                                 .load<std::uint64_t>();
     const auto all_weight =
         iteration.mesh("ionized_weight").component().load<double>();
+    for (std::uint64_t r = 0; r < old_n; ++r) {
+      events += all_events[r];
+      weight += all_weight[r];
+    }
+  }
+  sim.set_ionization_totals(events, weight);
+  sim.set_current_step(step);
+}
+
+void restore_from_source(CheckpointSource& source, picmc::Simulation& sim) {
+  const int rank = sim.rank();
+  const int nranks = sim.nranks();
+  if (source.writer_ranks() != std::uint64_t(nranks))
+    throw UsageError("restore: checkpoint was written with " +
+                     std::to_string(source.writer_ranks()) + " ranks");
+  const std::uint64_t rr = std::uint64_t(rank);
+
+  for (std::size_t s = 0; s < sim.species_count(); ++s) {
+    picmc::Species& sp = sim.species(s);
+    const std::string& name = sp.config.name;
+    const auto counts = source.read_u64(mesh_var("rank_count_" + name), 0,
+                                        std::uint64_t(nranks));
+    std::uint64_t offset = 0;
+    for (int r = 0; r < rank; ++r) offset += counts[std::size_t(r)];
+    const std::uint64_t n = counts[rr];
+
+    // Ranged reads: this rank touches its own slice of each array, nothing
+    // else — against a chain source only the blocks under the slice are
+    // fetched from their storing epochs.
+    const auto x = source.read_f64(particle_var(name, "position", "x"),
+                                   offset, n);
+    const auto vx = source.read_f64(particle_var(name, "velocity", "x"),
+                                    offset, n);
+    const auto vy = source.read_f64(particle_var(name, "velocity", "y"),
+                                    offset, n);
+    const auto vz = source.read_f64(particle_var(name, "velocity", "z"),
+                                    offset, n);
+    const auto w = source.read_f64(
+        particle_var(name, "weighting", pmd::kScalar), offset, n);
+
+    sp.particles.clear();
+    sp.particles.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+      sp.particles.push_back(x[i], vx[i], vy[i], vz[i], w[i]);
+
+    const auto absorbed =
+        source.read_u64(mesh_var("absorbed_" + name), rr * 2, 2);
+    const auto absorbed_weight =
+        source.read_f64(mesh_var("absorbed_weight_" + name), rr, 1);
+    sp.absorbed_left = absorbed[0];
+    sp.absorbed_right = absorbed[1];
+    sp.absorbed_weight = absorbed_weight[0];
+  }
+
+  const auto rng = source.read_u64(mesh_var("rng_state"), rr * 4, 4);
+  sim.rng().set_state({rng[0], rng[1], rng[2], rng[3]});
+  const auto events = source.read_u64(mesh_var("ionization_events"), rr, 1);
+  const auto weight = source.read_f64(mesh_var("ionized_weight"), rr, 1);
+  sim.set_ionization_totals(events[0], weight[0]);
+  sim.set_current_step(source.step());
+}
+
+void restore_repartitioned(CheckpointSource& source, picmc::Simulation& sim) {
+  const int new_n = sim.nranks();
+  const int rank = sim.rank();
+  if (sim.species_count() == 0)
+    throw UsageError("restore_repartitioned: simulation has no species");
+  const std::uint64_t old_n = source.writer_ranks();
+  if (old_n == std::uint64_t(new_n)) {
+    restore_from_source(source, sim);
+    return;
+  }
+
+  for (std::size_t s = 0; s < sim.species_count(); ++s) {
+    picmc::Species& sp = sim.species(s);
+    const std::string& name = sp.config.name;
+    const auto counts =
+        source.read_u64(mesh_var("rank_count_" + name), 0, old_n);
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) total += c;
+
+    // Contiguous equal slices over the concatenated global arrays — the
+    // same partition the series overload computes.
+    const std::uint64_t base = total / std::uint64_t(new_n);
+    const std::uint64_t extra = total % std::uint64_t(new_n);
+    const std::uint64_t rr = std::uint64_t(rank);
+    const std::uint64_t my_count = base + (rr < extra ? 1 : 0);
+    const std::uint64_t my_offset =
+        rr * base + std::min<std::uint64_t>(rr, extra);
+
+    const auto x = source.read_f64(particle_var(name, "position", "x"),
+                                   my_offset, my_count);
+    const auto vx = source.read_f64(particle_var(name, "velocity", "x"),
+                                    my_offset, my_count);
+    const auto vy = source.read_f64(particle_var(name, "velocity", "y"),
+                                    my_offset, my_count);
+    const auto vz = source.read_f64(particle_var(name, "velocity", "z"),
+                                    my_offset, my_count);
+    const auto w = source.read_f64(
+        particle_var(name, "weighting", pmd::kScalar), my_offset, my_count);
+
+    sp.particles.clear();
+    sp.particles.reserve(my_count);
+    for (std::uint64_t i = 0; i < my_count; ++i)
+      sp.particles.push_back(x[i], vx[i], vy[i], vz[i], w[i]);
+
+    // Absorption counters are whole-run tallies; keep the global totals by
+    // parking the sums on the new rank 0.
+    sp.absorbed_left = 0;
+    sp.absorbed_right = 0;
+    sp.absorbed_weight = 0.0;
+    if (rank == 0) {
+      const auto absorbed =
+          source.read_u64(mesh_var("absorbed_" + name), 0, old_n * 2);
+      const auto absorbed_weight =
+          source.read_f64(mesh_var("absorbed_weight_" + name), 0, old_n);
+      for (std::uint64_t r = 0; r < old_n; ++r) {
+        sp.absorbed_left += absorbed[r * 2];
+        sp.absorbed_right += absorbed[r * 2 + 1];
+        sp.absorbed_weight += absorbed_weight[r];
+      }
+    }
+  }
+
+  const std::uint64_t step = source.step();
+
+  // Same deterministic RNG re-derivation as the series overload: reshaped
+  // restarts through either path resume with identical streams.
+  std::array<std::uint64_t, 4> state{};
+  const std::uint64_t tag =
+      mix64(step) ^ mix64(std::uint64_t(new_n) * 0x51ed2701u) ^
+      mix64(std::uint64_t(rank) + 0xb5ull);
+  for (std::size_t i = 0; i < 4; ++i) state[i] = mix64(tag + i);
+  state[0] |= 1;  // never the all-zero state
+  sim.rng().set_state(state);
+
+  std::uint64_t events = 0;
+  double weight = 0.0;
+  if (rank == 0) {
+    const auto all_events =
+        source.read_u64(mesh_var("ionization_events"), 0, old_n);
+    const auto all_weight =
+        source.read_f64(mesh_var("ionized_weight"), 0, old_n);
     for (std::uint64_t r = 0; r < old_n; ++r) {
       events += all_events[r];
       weight += all_weight[r];

@@ -14,9 +14,11 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint_source.hpp"
 #include "openpmd/series.hpp"
 #include "picmc/simulation.hpp"
 
@@ -39,6 +41,32 @@ struct RankCheckpoint {
 /// arrays plus RNG/MC scalars).
 RankCheckpoint capture_rank_state(const picmc::Simulation& sim);
 
+/// One dedup unit of the checkpoint payload: the chunk a specific writer
+/// rank stores for one bp variable of the schema above.  `hash` is FNV-1a
+/// 64 over the raw payload bytes (util::hash64), the content identity the
+/// incremental-checkpoint layer compares across epochs.
+struct CheckpointBlock {
+  std::string var;           // bp variable path, e.g. "particles/e/position/x"
+  int rank = 0;              // writer rank (the chunk's address in the var)
+  std::uint64_t offset = 0;  // element offset in the global array
+  std::uint64_t count = 0;   // element count
+  std::uint64_t bytes = 0;   // raw payload bytes (count * 8: all vars are 64-bit)
+  std::uint64_t hash = 0;    // FNV-1a 64 of the raw payload bytes
+};
+
+/// Enumerate every block write_checkpoint_iteration would store for this
+/// staging table — same variables, same ranks, same exscan offsets, in the
+/// same order.  The delta-epoch layer diffs this list against the last
+/// committed epoch to decide which blocks actually need writing.
+std::vector<CheckpointBlock> checkpoint_blocks(
+    const std::vector<RankCheckpoint>& staged,
+    const std::vector<std::string>& species_names, int nranks);
+
+/// Predicate selecting which (variable, rank) blocks a checkpoint write
+/// stores; blocks it rejects are expected to be referenced from an earlier
+/// epoch by the caller's manifest.
+using BlockKeep = std::function<bool(const std::string& var, int rank)>;
+
 /// Write the staged per-rank states (indexed by rank, size `nranks`) as
 /// iteration 0 of `series` — the exscan over per-rank particle counts, the
 /// storeChunk calls, and the RNG/MC meshes.  Closes the iteration.
@@ -46,6 +74,14 @@ void write_checkpoint_iteration(pmd::Series& series,
                                 const std::vector<RankCheckpoint>& staged,
                                 const std::vector<std::string>& species_names,
                                 int nranks);
+
+/// Filtered variant for delta epochs: datasets keep their full global
+/// extents, but store_chunk runs only for blocks `keep` accepts.  With an
+/// always-true predicate this is byte-identical to the plain overload.
+void write_checkpoint_iteration(pmd::Series& series,
+                                const std::vector<RankCheckpoint>& staged,
+                                const std::vector<std::string>& species_names,
+                                int nranks, const BlockKeep& keep);
 
 /// Restore `sim` (rank sim.rank() of sim.nranks()) from iteration 0 of an
 /// open read-only `series`.  Throws UsageError if the checkpoint was
@@ -63,5 +99,18 @@ void restore_from_series(pmd::Series& series, picmc::Simulation& sim);
 /// deterministically from (step, new size, rank) so reshaped restarts stay
 /// reproducible.
 void restore_repartitioned(pmd::Series& series, picmc::Simulation& sim);
+
+/// restore_from_series generalized over a CheckpointSource: bit-exact
+/// restore of rank sim.rank() (RNG and MC totals included), reading only
+/// the ranges that rank needs — against a chain source this touches only
+/// the referenced blocks, never the whole arrays.  Throws UsageError when
+/// the checkpoint was written with a different communicator size.
+void restore_from_source(CheckpointSource& source, picmc::Simulation& sim);
+
+/// restore_repartitioned generalized over a CheckpointSource: same slicing,
+/// counter-summing and deterministic RNG re-derivation as the series
+/// overload (the two are differentially tested against each other), with
+/// ranged reads so each survivor touches only its own slice of the chain.
+void restore_repartitioned(CheckpointSource& source, picmc::Simulation& sim);
 
 }  // namespace bitio::core

@@ -1,0 +1,74 @@
+#include "core/checkpoint_source.hpp"
+
+#include "util/error.hpp"
+
+namespace bitio::core {
+
+namespace {
+
+std::vector<std::string> split_path(const std::string& var) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= var.size()) {
+    const std::size_t slash = var.find('/', begin);
+    if (slash == std::string::npos) {
+      parts.push_back(var.substr(begin));
+      break;
+    }
+    parts.push_back(var.substr(begin, slash - begin));
+    begin = slash + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+SeriesCheckpointSource::SeriesCheckpointSource(fsim::SharedFs& fs,
+                                               const std::string& path)
+    : series_(fs, path, pmd::Access::read_only),
+      iteration_(series_.read_iteration(0)) {}
+
+std::uint64_t SeriesCheckpointSource::step() {
+  return std::uint64_t(iteration_.time());
+}
+
+std::uint64_t SeriesCheckpointSource::writer_ranks() {
+  // Every checkpoint carries one ionization_events element per writer rank.
+  return component("meshes/ionization_events/SCALAR").extent()[0];
+}
+
+pmd::RecordComponent& SeriesCheckpointSource::component(
+    const std::string& var) {
+  const auto parts = split_path(var);
+  if (parts.size() == 3 && parts[0] == "meshes")
+    return iteration_.mesh(parts[1])[parts[2]];
+  if (parts.size() == 4 && parts[0] == "particles")
+    return iteration_.particles(parts[1])[parts[2]][parts[3]];
+  throw UsageError("CheckpointSource: unrecognized variable path '" + var +
+                   "'");
+}
+
+std::vector<std::uint64_t> SeriesCheckpointSource::read_u64(
+    const std::string& var, std::uint64_t elem_offset, std::uint64_t count) {
+  const auto all = component(var).load<std::uint64_t>();
+  if (elem_offset + count > all.size())
+    throw UsageError("CheckpointSource: slice of '" + var +
+                     "' exceeds its extent");
+  return std::vector<std::uint64_t>(all.begin() + std::ptrdiff_t(elem_offset),
+                                    all.begin() +
+                                        std::ptrdiff_t(elem_offset + count));
+}
+
+std::vector<double> SeriesCheckpointSource::read_f64(const std::string& var,
+                                                     std::uint64_t elem_offset,
+                                                     std::uint64_t count) {
+  const auto all = component(var).load<double>();
+  if (elem_offset + count > all.size())
+    throw UsageError("CheckpointSource: slice of '" + var +
+                     "' exceeds its extent");
+  return std::vector<double>(all.begin() + std::ptrdiff_t(elem_offset),
+                             all.begin() +
+                                 std::ptrdiff_t(elem_offset + count));
+}
+
+}  // namespace bitio::core

@@ -1,0 +1,74 @@
+#pragma once
+// Where restart bytes come from: an abstraction over "one openPMD series"
+// vs "a chain of delta epochs".
+//
+// The restore algorithms in checkpoint_payload.cpp only ever need three
+// things from a checkpoint: the simulation step it froze, how many ranks
+// wrote it, and ranged reads of the flat global arrays behind the bp
+// variable paths of the checkpoint schema ("particles/e/position/x",
+// "meshes/rng_state/SCALAR", ...).  CheckpointSource narrows the restore
+// path to exactly that surface, so the same bit-exact / repartitioned
+// restore code runs against a plain series (SeriesCheckpointSource, the
+// differential reference) and against a delta chain that resolves each
+// range through the footer indexes of several containers
+// (resil::ChainCheckpointSource) — the latter reading only the blocks a
+// range actually touches.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "openpmd/series.hpp"
+
+namespace bitio::core {
+
+class CheckpointSource {
+public:
+  virtual ~CheckpointSource() = default;
+
+  /// Simulation step the checkpoint froze (the iteration's time()).
+  virtual std::uint64_t step() = 0;
+
+  /// Communicator size that wrote the checkpoint.
+  virtual std::uint64_t writer_ranks() = 0;
+
+  /// Read `count` elements at `elem_offset` of the 1-D global array behind
+  /// bp variable path `var`.  Throws UsageError when the variable is absent
+  /// or the range exceeds its extent; FormatError on corruption.
+  virtual std::vector<std::uint64_t> read_u64(const std::string& var,
+                                              std::uint64_t elem_offset,
+                                              std::uint64_t count) = 0;
+  virtual std::vector<double> read_f64(const std::string& var,
+                                       std::uint64_t elem_offset,
+                                       std::uint64_t count) = 0;
+};
+
+/// CheckpointSource over a single self-contained openPMD series — the
+/// adaptor's dmp_file and every *full* epoch.  Loads each record component
+/// through the pmd read path (full array) and slices; correctness
+/// reference for the chain source's block-by-block reads.
+class SeriesCheckpointSource final : public CheckpointSource {
+public:
+  /// Opens `path` read-only.
+  SeriesCheckpointSource(fsim::SharedFs& fs, const std::string& path);
+
+  std::uint64_t step() override;
+  std::uint64_t writer_ranks() override;
+  std::vector<std::uint64_t> read_u64(const std::string& var,
+                                      std::uint64_t elem_offset,
+                                      std::uint64_t count) override;
+  std::vector<double> read_f64(const std::string& var,
+                               std::uint64_t elem_offset,
+                               std::uint64_t count) override;
+
+private:
+  /// Resolve a bp variable path ("particles/e/position/x",
+  /// "meshes/rank_count_e/SCALAR") to the iteration's record component.
+  pmd::RecordComponent& component(const std::string& var);
+
+  pmd::Series series_;
+  pmd::Iteration& iteration_;
+};
+
+}  // namespace bitio::core

@@ -80,6 +80,9 @@ void Bit1IoConfig::validate() const {
   if (checkpoint_retain < 1)
     throw UsageError("io config: checkpoint_retain must be >= 1, got " +
                      std::to_string(checkpoint_retain));
+  if (checkpoint_full_interval < 1)
+    throw UsageError("io config: checkpoint_full_interval must be >= 1, got " +
+                     std::to_string(checkpoint_full_interval));
   if (drain_timeout_ms < 0)
     throw UsageError("io config: drain_timeout_ms must be >= 0, got " +
                      std::to_string(drain_timeout_ms));
@@ -170,6 +173,8 @@ Bit1IoConfig Bit1IoConfig::from_toml(const std::string& text) {
       int(io.get_or("checkpoint_interval", Json(0)).as_int());
   config.checkpoint_retain =
       int(io.get_or("checkpoint_retain", Json(2)).as_int());
+  config.checkpoint_full_interval =
+      int(io.get_or("checkpoint_full_interval", Json(1)).as_int());
   config.drain_timeout_ms =
       int(io.get_or("drain_timeout_ms", Json(0)).as_int());
   config.max_drain_retries =
@@ -222,6 +227,7 @@ std::string Bit1IoConfig::to_toml() const {
   out += strfmt("ranks_per_node = %d\n", ranks_per_node);
   out += strfmt("checkpoint_interval = %d\n", checkpoint_interval);
   out += strfmt("checkpoint_retain = %d\n", checkpoint_retain);
+  out += strfmt("checkpoint_full_interval = %d\n", checkpoint_full_interval);
   out += strfmt("drain_timeout_ms = %d\n", drain_timeout_ms);
   out += strfmt("max_drain_retries = %d\n", max_drain_retries);
   out += strfmt("degrade_threshold = %d\n", degrade_threshold);

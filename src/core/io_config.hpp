@@ -65,6 +65,7 @@ inline constexpr IoConfigKey kBit1IoConfigKeys[] = {
     {"ranks_per_node", "ranks_per_node", true},
     {"checkpoint_interval", "checkpoint_interval", true},
     {"checkpoint_retain", "checkpoint_retain", true},
+    {"checkpoint_full_interval", "checkpoint_full_interval", true},
     {"drain_timeout_ms", "drain_timeout_ms", true},
     {"max_drain_retries", "max_drain_retries", true},
     {"degrade_threshold", "degrade_threshold", true},
@@ -116,6 +117,12 @@ struct Bit1IoConfig {
   // deterministic fault injection into the simulated file system.
   int checkpoint_interval = 0;   // steps between epochs; 0 = disabled
   int checkpoint_retain = 2;     // keep the newest K committed epochs
+  // Incremental checkpointing: every Nth epoch is a self-contained *full*
+  // epoch; the epochs between are *delta* epochs that store only the blocks
+  // whose content changed since the last committed epoch and reference the
+  // rest by (base epoch, block).  1 (the default) keeps every epoch full —
+  // byte-identical to the pre-delta behaviour.
+  int checkpoint_full_interval = 1;
   fsim::FaultPlan fault_plan;    // empty = no injection
 
   // Online-recovery knobs (see README "Online recovery"):
@@ -175,6 +182,7 @@ struct Bit1IoConfig {
            a.ranks_per_node == b.ranks_per_node &&
            a.checkpoint_interval == b.checkpoint_interval &&
            a.checkpoint_retain == b.checkpoint_retain &&
+           a.checkpoint_full_interval == b.checkpoint_full_interval &&
            a.fault_plan == b.fault_plan &&
            a.drain_timeout_ms == b.drain_timeout_ms &&
            a.max_drain_retries == b.max_drain_retries &&

@@ -145,11 +145,13 @@ private:
 
 // Log format version 3 adds the per-record faults_injected counter;
 // version 4 adds the job-level recovery counters; version 5 adds the
-// per-record two-level-aggregation gather counters.  parse() accepts all
-// three — older logs read back with the newer counters at zero.
+// per-record two-level-aggregation gather counters; version 6 adds the
+// job-level incremental-checkpoint counters.  parse() accepts all of them
+// — older logs read back with the newer counters at zero.
 constexpr std::uint64_t kLogMagicV3 = 0x4452534e4c4f4733ull;  // "DRSNLOG3"
 constexpr std::uint64_t kLogMagicV4 = 0x4452534e4c4f4734ull;  // "DRSNLOG4"
-constexpr std::uint64_t kLogMagic = 0x4452534e4c4f4735ull;    // "DRSNLOG5"
+constexpr std::uint64_t kLogMagicV5 = 0x4452534e4c4f4735ull;  // "DRSNLOG5"
+constexpr std::uint64_t kLogMagic = 0x4452534e4c4f4736ull;    // "DRSNLOG6"
 
 }  // namespace
 
@@ -163,6 +165,10 @@ std::vector<std::uint8_t> DarshanLog::serialize() const {
   put_u64(out, job.recoveries);
   put_u64(out, job.degradations);
   put_f64(out, job.t_recovery_s);
+  put_u64(out, job.delta_epochs);
+  put_u64(out, job.dedup_bytes_saved);
+  put_u64(out, job.blocks_restored);
+  put_f64(out, job.t_restore_s);
   put_u64(out, records.size());
   for (const auto& r : records) {
     put_str(out, r.path);
@@ -193,7 +199,8 @@ std::vector<std::uint8_t> DarshanLog::serialize() const {
 DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {
   Cursor cur(data);
   const std::uint64_t magic = cur.u64();
-  if (magic != kLogMagic && magic != kLogMagicV4 && magic != kLogMagicV3)
+  if (magic != kLogMagic && magic != kLogMagicV5 && magic != kLogMagicV4 &&
+      magic != kLogMagicV3)
     throw FormatError("darshan: bad log magic");
   DarshanLog log;
   log.job.exe = cur.str();
@@ -204,6 +211,12 @@ DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {
     log.job.recoveries = cur.u64();
     log.job.degradations = cur.u64();
     log.job.t_recovery_s = cur.f64();
+  }
+  if (magic == kLogMagic) {
+    log.job.delta_epochs = cur.u64();
+    log.job.dedup_bytes_saved = cur.u64();
+    log.job.blocks_restored = cur.u64();
+    log.job.t_restore_s = cur.f64();
   }
   const std::uint64_t n = cur.u64();
   log.records.reserve(n);
@@ -225,7 +238,7 @@ DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {
     r.meta_time_s = cur.f64();
     r.drain_time_s = cur.f64();
     r.faults_injected = cur.u64();
-    if (magic == kLogMagic) {
+    if (magic == kLogMagic || magic == kLogMagicV5) {
       r.shm_gathers = cur.u64();
       r.net_gathers = cur.u64();
       r.shm_gather_bytes = cur.u64();
@@ -257,6 +270,13 @@ std::string DarshanLog::text_report() const {
         "# recoveries: %llu degradations: %llu t_recovery=%.6fs\n",
         static_cast<unsigned long long>(job.recoveries),
         static_cast<unsigned long long>(job.degradations), job.t_recovery_s);
+  if (job.delta_epochs > 0 || job.blocks_restored > 0)
+    out += strfmt(
+        "# delta_epochs: %llu dedup_saved: %s blocks_restored: %llu "
+        "t_restore=%.6fs\n",
+        static_cast<unsigned long long>(job.delta_epochs),
+        format_bytes(job.dedup_bytes_saved).c_str(),
+        static_cast<unsigned long long>(job.blocks_restored), job.t_restore_s);
   TextTable table;
   table.header({"rank", "file", "opens", "writes", "bytes_w", "reads",
                 "bytes_r", "t_write", "t_meta", "t_drain"});
@@ -315,6 +335,13 @@ DarshanLog capture(const fsim::SharedFs& fs, const fsim::ReplayReport& replay,
         log.job.t_recovery_s += op.cpu_seconds;
       } else if (op.tag == "degrade") {
         log.job.degradations += 1;
+      } else if (op.tag == "delta_commit") {
+        log.job.delta_epochs += op.op_count;
+      } else if (op.tag == "dedup") {
+        log.job.dedup_bytes_saved += op.bytes;
+      } else if (op.tag == "restore_chain") {
+        log.job.blocks_restored += op.op_count;
+        log.job.t_restore_s += op.cpu_seconds;
       }
       continue;  // not an I/O counter
     }

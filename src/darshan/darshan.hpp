@@ -37,6 +37,16 @@ struct JobInfo {
   std::uint64_t recoveries = 0;
   std::uint64_t degradations = 0;
   double t_recovery_s = 0.0;  // seconds charged under the "recovery" tag
+
+  // Incremental-checkpoint job counters (log format v6), derived the same
+  // way from the checkpoint manager's tagged cpu ops: "delta_commit" marks
+  // a delta epoch, "dedup" carries the payload bytes a commit skipped by
+  // referencing a base epoch, and "restore_chain" carries the wall time
+  // and block-fetch count of a chain restore.
+  std::uint64_t delta_epochs = 0;
+  std::uint64_t dedup_bytes_saved = 0;
+  std::uint64_t blocks_restored = 0;
+  double t_restore_s = 0.0;  // seconds charged under the "restore_chain" tag
 };
 
 /// Counters for one (rank, file) pair — the slice of Darshan's POSIX module

@@ -409,9 +409,11 @@ void FsClient::transfer(int fd, ClientId peer, std::uint64_t bytes,
   fs_->append_op(std::move(op));
 }
 
-void FsClient::charge_cpu(double seconds, const std::string& tag) {
+void FsClient::charge_cpu(double seconds, const std::string& tag,
+                          std::uint64_t bytes, std::uint32_t op_count) {
   std::lock_guard<std::mutex> lock(fs_->mutex_);
-  fs_->append_op({client_, OpKind::cpu, kNoFile, 0, 0, 1, seconds, tag, lane_});
+  fs_->append_op({client_, OpKind::cpu, kNoFile, 0, bytes, op_count, seconds,
+                  tag, lane_});
 }
 
 void FsClient::note_fault(FaultKind kind) {

@@ -180,8 +180,12 @@ public:
                 std::uint32_t op_count = 1);
 
   /// Charge modeled client CPU time (compression, memcopy) to this client's
-  /// timeline; shows up in replay reports and profiling.json.
-  void charge_cpu(double seconds, const std::string& tag);
+  /// timeline; shows up in replay reports and profiling.json.  `bytes` and
+  /// `op_count` annotate the op for counters keyed on the tag (e.g. the
+  /// Darshan log's dedup_bytes_saved / blocks_restored) — cpu ops never
+  /// contribute to the traced read/write byte totals regardless.
+  void charge_cpu(double seconds, const std::string& tag,
+                  std::uint64_t bytes = 0, std::uint32_t op_count = 1);
 
   /// Record a harness-level fault (e.g. rank_crash) as a zero-cost tagged
   /// TraceOp so Darshan capture attributes it like write-layer injections.

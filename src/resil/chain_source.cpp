@@ -1,0 +1,190 @@
+#include "resil/chain_source.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/hash64.hpp"
+
+namespace bitio::resil {
+
+namespace {
+
+/// Content hashes are 64-bit; JSON numbers are doubles.  Hex strings keep
+/// every bit through the manifest round trip.
+std::string hash_hex(std::uint64_t hash) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::uint64_t hash_from_hex(const std::string& text) {
+  try {
+    return std::stoull(text, nullptr, 16);
+  } catch (const std::exception&) {
+    throw FormatError("MANIFEST: bad block hash '" + text + "'");
+  }
+}
+
+}  // namespace
+
+Json EpochManifest::to_json() const {
+  JsonObject o;
+  o["epoch"] = Json(epoch);
+  o["step"] = Json(step);
+  o["engine"] = Json(engine);
+  o["nranks"] = Json(nranks);
+  o["kind"] = Json(kind);
+  if (!base_epochs.empty()) {
+    JsonArray bases;
+    for (const std::uint64_t base : base_epochs) bases.push_back(Json(base));
+    o["base_epochs"] = Json(std::move(bases));
+  }
+  if (!refs.empty()) {
+    JsonArray array;
+    for (const BlockRef& ref : refs) {
+      JsonObject r;
+      r["var"] = Json(ref.var);
+      r["rank"] = Json(ref.rank);
+      r["offset"] = Json(ref.offset);
+      r["count"] = Json(ref.count);
+      r["bytes"] = Json(ref.bytes);
+      r["hash"] = Json(hash_hex(ref.hash));
+      r["epoch"] = Json(ref.epoch);
+      array.push_back(Json(std::move(r)));
+    }
+    o["refs"] = Json(std::move(array));
+  }
+  return Json(std::move(o));
+}
+
+EpochManifest EpochManifest::from_json(const Json& doc) {
+  EpochManifest m;
+  m.epoch = doc.at("epoch").as_uint();
+  m.step = doc.at("step").as_uint();
+  m.engine = doc.at("engine").as_string();
+  m.nranks = int(doc.at("nranks").as_int());
+  // Pre-delta manifests carry none of the chain fields: kind "full".
+  m.kind = doc.get_or("kind", Json("full")).as_string();
+  if (m.kind != "full" && m.kind != "delta")
+    throw FormatError("MANIFEST: unknown epoch kind '" + m.kind + "'");
+  if (doc.contains("base_epochs"))
+    for (const Json& base : doc.at("base_epochs").as_array())
+      m.base_epochs.push_back(base.as_uint());
+  if (doc.contains("refs")) {
+    for (const Json& entry : doc.at("refs").as_array()) {
+      BlockRef ref;
+      ref.var = entry.at("var").as_string();
+      ref.rank = int(entry.at("rank").as_int());
+      ref.offset = entry.at("offset").as_uint();
+      ref.count = entry.at("count").as_uint();
+      ref.bytes = entry.at("bytes").as_uint();
+      ref.hash = hash_from_hex(entry.at("hash").as_string());
+      ref.epoch = entry.at("epoch").as_uint();
+      m.refs.push_back(std::move(ref));
+    }
+  }
+  return m;
+}
+
+ChainCheckpointSource::ChainCheckpointSource(
+    fsim::SharedFs& fs, EpochManifest manifest,
+    std::function<std::string(std::uint64_t)> series_path)
+    : fs_(fs),
+      manifest_(std::move(manifest)),
+      series_path_(std::move(series_path)) {
+  // Own chunks of the target epoch: everything its container stores.
+  bp::Reader& own = reader_for(manifest_.epoch);
+  if (own.has_step(0)) {
+    for (const auto& var : own.step(0).variables) {
+      auto& homes = blocks_[var.name];
+      for (const auto& chunk : var.chunks) {
+        if (chunk.count.empty() || chunk.count[0] == 0) continue;
+        homes.push_back(BlockHome{chunk.offset[0], chunk.count[0],
+                                  manifest_.epoch, int(chunk.writer_rank), 0,
+                                  false});
+      }
+    }
+  }
+  // Referenced blocks: bytes live in an earlier epoch, placed at this
+  // epoch's offsets; the manifest hash pins the exact content expected.
+  for (const BlockRef& ref : manifest_.refs) {
+    if (ref.count == 0) continue;
+    blocks_[ref.var].push_back(BlockHome{ref.offset, ref.count, ref.epoch,
+                                         ref.rank, ref.hash, true});
+  }
+  for (auto& [var, homes] : blocks_)
+    std::sort(homes.begin(), homes.end(),
+              [](const BlockHome& a, const BlockHome& b) {
+                return a.offset < b.offset;
+              });
+}
+
+bp::Reader& ChainCheckpointSource::reader_for(std::uint64_t epoch) {
+  auto it = readers_.find(epoch);
+  if (it == readers_.end())
+    it = readers_
+             .emplace(epoch, std::make_unique<bp::Reader>(
+                                 bp::Reader::open(fs_, 0, series_path_(epoch))))
+             .first;
+  return *it->second;
+}
+
+std::vector<std::uint8_t> ChainCheckpointSource::read_range(
+    const std::string& var, std::uint64_t elem_offset, std::uint64_t count) {
+  std::vector<std::uint8_t> out(count * 8, 0);
+  if (count == 0) return out;
+  auto it = blocks_.find(var);
+  if (it == blocks_.end())
+    throw UsageError("chain restore: no variable '" + var + "' in epoch " +
+                     std::to_string(manifest_.epoch));
+  std::uint64_t covered = 0;
+  for (const BlockHome& home : it->second) {
+    const std::uint64_t lo = std::max(home.offset, elem_offset);
+    const std::uint64_t hi =
+        std::min(home.offset + home.count, elem_offset + count);
+    if (lo >= hi) continue;  // block outside the range: never read
+    const std::vector<std::uint8_t> raw =
+        reader_for(home.epoch)
+            .read_chunk(0, var, std::uint32_t(home.rank));
+    if (raw.size() != home.count * 8)
+      throw FormatError("chain restore: block size mismatch on '" + var +
+                        "' in epoch " + std::to_string(home.epoch));
+    // A referenced block must still hold the bytes the manifest committed
+    // to — a rewritten or swapped base chunk is corruption, not reuse.
+    if (home.check_hash && util::hash64(raw) != home.hash)
+      throw FormatError("chain restore: content hash mismatch on '" + var +
+                        "' block of rank " + std::to_string(home.rank) +
+                        " in epoch " + std::to_string(home.epoch));
+    std::memcpy(out.data() + (lo - elem_offset) * 8,
+                raw.data() + (lo - home.offset) * 8, (hi - lo) * 8);
+    covered += hi - lo;
+    blocks_read_ += 1;
+  }
+  if (covered != count)
+    throw FormatError("chain restore: range [" + std::to_string(elem_offset) +
+                      ", " + std::to_string(elem_offset + count) +
+                      ") of '" + var + "' not fully covered by the chain");
+  return out;
+}
+
+std::vector<std::uint64_t> ChainCheckpointSource::read_u64(
+    const std::string& var, std::uint64_t elem_offset, std::uint64_t count) {
+  const auto raw = read_range(var, elem_offset, count);
+  std::vector<std::uint64_t> out(count);
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+std::vector<double> ChainCheckpointSource::read_f64(const std::string& var,
+                                                    std::uint64_t elem_offset,
+                                                    std::uint64_t count) {
+  const auto raw = read_range(var, elem_offset, count);
+  std::vector<double> out(count);
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+}  // namespace bitio::resil

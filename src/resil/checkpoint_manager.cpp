@@ -1,9 +1,12 @@
 #include "resil/checkpoint_manager.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <set>
 
 #include "bp/reader.hpp"
 #include "util/error.hpp"
+#include "util/hash64.hpp"
 
 namespace bitio::resil {
 
@@ -98,6 +101,18 @@ std::uint64_t CheckpointManager::commit() {
   }
   if (!any) throw UsageError("CheckpointManager: no staged checkpoint");
 
+  // Full or delta?  A delta needs a committed base to diff against and is
+  // bounded by checkpoint_full_interval: a fresh incarnation and every Nth
+  // epoch write self-contained full dumps.
+  const auto blocks = core::checkpoint_blocks(staged_, species_names_,
+                                              nranks_);
+  const bool want_delta =
+      config_.checkpoint_full_interval > 1 && !base_map_.empty() &&
+      commits_since_full_ + 1 < std::uint64_t(config_.checkpoint_full_interval);
+  const std::vector<BlockRef> refs =
+      want_delta ? plan_refs(blocks) : std::vector<BlockRef>{};
+  const std::string kind = want_delta ? "delta" : "full";
+
   const std::uint64_t epoch = next_epoch_++;
   bool committed = false;
   for (int attempt = 0; attempt < kMaxCommitAttempts && !committed;
@@ -110,7 +125,7 @@ std::uint64_t CheckpointManager::commit() {
           kBackoffBaseSeconds * double(1ull << (attempt - 1)), "backoff");
     }
     try {
-      committed = try_commit_epoch(epoch, step);
+      committed = try_commit_epoch(epoch, step, kind, refs);
     } catch (const IoError&) {
       // Transient injected failure (EIO/ENOSPC) mid-write: tear the partial
       // epoch down and go around again.
@@ -124,20 +139,95 @@ std::uint64_t CheckpointManager::commit() {
                   std::to_string(kMaxCommitAttempts) + " attempts");
 
   stats_.epochs_written += 1;
+  if (want_delta) {
+    stats_.delta_epochs += 1;
+    std::uint64_t saved = 0;
+    for (const BlockRef& ref : refs) saved += ref.bytes;
+    stats_.dedup_bytes_saved += saved;
+    // Surface the dedup decision in the trace so the Darshan log can count
+    // delta epochs and the bytes they avoided writing.
+    fsim::FsClient trace(fs_, 0);
+    trace.charge_cpu(0.0, "delta_commit");
+    trace.charge_cpu(0.0, "dedup", saved);
+  }
+  commits_since_full_ = want_delta ? commits_since_full_ + 1 : 0;
+
+  // The committed epoch becomes the new base for every block it wrote;
+  // referenced blocks keep pointing at the epoch that stores their bytes.
+  std::set<std::pair<std::string, int>> skipped;
+  for (const BlockRef& ref : refs) skipped.insert({ref.var, ref.rank});
+  std::map<std::pair<std::string, int>, BlockRef> next_map;
+  for (const auto& block : blocks) {
+    const std::pair<std::string, int> key{block.var, block.rank};
+    if (skipped.count(key)) {
+      next_map[key] = base_map_.at(key);
+    } else {
+      next_map[key] = BlockRef{block.var, block.rank, block.offset,
+                               block.count, block.bytes, block.hash, epoch};
+    }
+  }
+  base_map_ = std::move(next_map);
+
   for (auto& staged : staged_) staged = RankCheckpoint{};
   apply_retention();
   return epoch;
 }
 
+std::vector<BlockRef> CheckpointManager::plan_refs(
+    const std::vector<core::CheckpointBlock>& blocks) {
+  // A block dedups when its content hash and count match the last
+  // committed copy AND that copy is still committed and really carries the
+  // expected chunk — a ref the chain could not resolve must be written
+  // instead, never committed.
+  std::vector<BlockRef> refs;
+  std::set<std::uint64_t> live;
+  for (const std::uint64_t epoch : committed_epochs()) live.insert(epoch);
+  std::map<std::uint64_t, std::unique_ptr<bp::Reader>> readers;
+  for (const auto& block : blocks) {
+    const auto it = base_map_.find({block.var, block.rank});
+    if (it == base_map_.end()) continue;
+    const BlockRef& base = it->second;
+    if (base.hash != block.hash || base.count != block.count) continue;
+    if (!live.count(base.epoch)) continue;
+    auto reader_it = readers.find(base.epoch);
+    if (reader_it == readers.end()) {
+      try {
+        reader_it = readers
+                        .emplace(base.epoch,
+                                 std::make_unique<bp::Reader>(bp::Reader::open(
+                                     fs_, 0, series_path(base.epoch))))
+                        .first;
+      } catch (const Error&) {
+        continue;  // base container unreadable: write the block
+      }
+    }
+    const bp::ChunkRecord* chunk = reader_it->second->find_chunk(
+        0, block.var, std::uint32_t(block.rank));
+    if (!chunk || !chunk->has_content_hash ||
+        chunk->content_hash != block.hash)
+      continue;
+    refs.push_back(BlockRef{block.var, block.rank, block.offset, block.count,
+                            block.bytes, block.hash, base.epoch});
+  }
+  return refs;
+}
+
 bool CheckpointManager::try_commit_epoch(std::uint64_t epoch,
-                                         std::uint64_t step) {
+                                         std::uint64_t step,
+                                         const std::string& kind,
+                                         const std::vector<BlockRef>& refs) {
   fsim::FsClient root(fs_, 0);
   root.mkdir(epoch_dir(epoch));
+  std::set<std::pair<std::string, int>> skip;
+  for (const BlockRef& ref : refs) skip.insert({ref.var, ref.rank});
   {
     pmd::Series series(fs_, series_path(epoch), pmd::Access::create, nranks_,
                        ckpt_toml(config_));
-    core::write_checkpoint_iteration(series, staged_, species_names_,
-                                     nranks_);
+    core::write_checkpoint_iteration(
+        series, staged_, species_names_, nranks_,
+        [&skip](const std::string& var, int rank) {
+          return skip.count({var, rank}) == 0;
+        });
     series.close();
   }
 
@@ -161,12 +251,19 @@ bool CheckpointManager::try_commit_epoch(std::uint64_t epoch,
   }
 
   // Atomic commit point: MANIFEST appears fully written or not at all.
-  JsonObject manifest;
-  manifest["epoch"] = Json(epoch);
-  manifest["step"] = Json(step);
-  manifest["engine"] = Json(config_.engine);
-  manifest["nranks"] = Json(nranks_);
-  const std::string text = Json(std::move(manifest)).dump(2) + "\n";
+  // For a delta epoch it also IS the chain: the references into base
+  // epochs commit together with the epoch, in the same rename.
+  EpochManifest manifest;
+  manifest.epoch = epoch;
+  manifest.step = step;
+  manifest.engine = config_.engine;
+  manifest.nranks = nranks_;
+  manifest.kind = kind;
+  manifest.refs = refs;
+  std::set<std::uint64_t> bases;
+  for (const BlockRef& ref : refs) bases.insert(ref.epoch);
+  manifest.base_epochs.assign(bases.begin(), bases.end());
+  const std::string text = manifest.to_json().dump(2) + "\n";
   const std::string tmp = manifest_path(epoch) + ".tmp";
   root.write_file(tmp, std::span<const std::uint8_t>(
                            reinterpret_cast<const std::uint8_t*>(text.data()),
@@ -192,12 +289,30 @@ void CheckpointManager::remove_epoch_files(std::uint64_t epoch,
 }
 
 void CheckpointManager::apply_retention() {
-  auto epochs = committed_epochs();
+  const auto epochs = committed_epochs();
   const std::size_t retain = std::size_t(config_.checkpoint_retain);
-  while (epochs.size() > retain) {
-    remove_epoch_files(epochs.front(), true);
+  if (epochs.size() <= retain) return;
+  // Keep the newest `retain` epochs — and every base epoch a kept delta
+  // still references: pruning a base would break a retained chain.  Refs
+  // point one hop at the storing epoch, but the closure runs to a fixpoint
+  // anyway; the full interval bounds how many extra epochs survive.
+  std::set<std::uint64_t> keep(epochs.end() - std::ptrdiff_t(retain),
+                               epochs.end());
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const std::uint64_t epoch : std::vector<std::uint64_t>(keep.begin(),
+                                                                keep.end())) {
+      const auto manifest = read_manifest(epoch);
+      if (!manifest) continue;
+      for (const std::uint64_t base : manifest->base_epochs)
+        grew |= keep.insert(base).second;
+    }
+  }
+  for (const std::uint64_t epoch : epochs) {
+    if (keep.count(epoch)) continue;
+    remove_epoch_files(epoch, true);
     stats_.epochs_pruned += 1;
-    epochs.erase(epochs.begin());
   }
 }
 
@@ -211,22 +326,106 @@ std::vector<std::uint64_t> CheckpointManager::committed_epochs() const {
   return epochs;
 }
 
+std::optional<EpochManifest> CheckpointManager::read_manifest(
+    std::uint64_t epoch) const {
+  if (!fs_.store().file_exists(manifest_path(epoch))) return std::nullopt;
+  try {
+    fsim::FsClient root(fs_, 0);
+    const auto bytes = root.read_all(manifest_path(epoch));
+    const std::string text(reinterpret_cast<const char*>(bytes.data()),
+                           bytes.size());
+    return EpochManifest::from_json(Json::parse(text));
+  } catch (const Error&) {
+    return std::nullopt;  // torn or malformed: the epoch does not verify
+  }
+}
+
+std::uint64_t CheckpointManager::chain_bad_chunks(std::uint64_t epoch) {
+  const auto manifest = read_manifest(epoch);
+  if (!manifest) return 1;
+  std::map<std::uint64_t, std::unique_ptr<bp::Reader>> readers;
+  auto reader_for = [&](std::uint64_t e) -> bp::Reader* {
+    auto it = readers.find(e);
+    if (it == readers.end()) {
+      try {
+        it = readers
+                 .emplace(e, std::make_unique<bp::Reader>(
+                                 bp::Reader::open(fs_, 0, series_path(e))))
+                 .first;
+      } catch (const Error&) {
+        return nullptr;
+      }
+    }
+    return it->second.get();
+  };
+
+  std::uint64_t bad = 0;
+  // Own chunks: the CRC scrub every epoch always had.
+  bp::Reader* own = reader_for(epoch);
+  if (!own) return 1;
+  for (const auto& verdict : own->verify())
+    if (verdict.status == bp::Reader::ChunkVerdict::Status::short_read ||
+        verdict.status == bp::Reader::ChunkVerdict::Status::crc_mismatch)
+      bad += 1;
+  // Chain links: every reference must resolve to a committed base whose
+  // stored chunk still reads back (CRC) with the promised content hash.
+  for (const BlockRef& ref : manifest->refs) {
+    if (!fs_.store().file_exists(manifest_path(ref.epoch))) {
+      bad += 1;  // base epoch pruned or never committed: broken link
+      continue;
+    }
+    bp::Reader* base = reader_for(ref.epoch);
+    const bp::ChunkRecord* chunk =
+        base ? base->find_chunk(0, ref.var, std::uint32_t(ref.rank))
+             : nullptr;
+    if (!chunk || !chunk->has_content_hash ||
+        chunk->content_hash != ref.hash) {
+      bad += 1;
+      continue;
+    }
+    try {
+      const auto raw = base->read_chunk(0, ref.var, std::uint32_t(ref.rank));
+      if (util::hash64(raw) != ref.hash) bad += 1;
+    } catch (const Error&) {
+      bad += 1;
+    }
+  }
+  return bad;
+}
+
+void CheckpointManager::restore_via_chain(std::uint64_t epoch,
+                                          picmc::Simulation& sim,
+                                          bool repartition) {
+  const auto manifest = read_manifest(epoch);
+  if (!manifest)
+    throw UsageError("CheckpointManager: epoch " + std::to_string(epoch) +
+                     " is not committed");
+  const auto t0 = std::chrono::steady_clock::now();
+  ChainCheckpointSource source(
+      fs_, *manifest,
+      [this](std::uint64_t e) { return series_path(e); });
+  if (repartition)
+    core::restore_repartitioned(source, sim);
+  else
+    core::restore_from_source(source, sim);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  stats_.blocks_restored += source.blocks_read();
+  stats_.t_restore_s += elapsed;
+  // Wall time and block count of the chain walk, surfaced in the trace for
+  // the Darshan log's restore counters.
+  fsim::FsClient(fs_, 0).charge_cpu(elapsed, "restore_chain", 0,
+                                    std::uint32_t(source.blocks_read()));
+}
+
 RestartReport CheckpointManager::restore(picmc::Simulation& sim) {
   RestartReport report;
   auto epochs = committed_epochs();
   for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
     const std::uint64_t epoch = *it;
     report.epochs_tried += 1;
-    std::uint64_t bad = 0;
-    try {
-      bp::Reader reader = bp::Reader::open(fs_, 0, series_path(epoch));
-      for (const auto& verdict : reader.verify())
-        if (verdict.status == bp::Reader::ChunkVerdict::Status::short_read ||
-            verdict.status == bp::Reader::ChunkVerdict::Status::crc_mismatch)
-          bad += 1;
-    } catch (const Error&) {
-      bad += 1;
-    }
+    const std::uint64_t bad = chain_bad_chunks(epoch);
     if (bad > 0) {
       stats_.corrupt_chunks_detected += bad;
       stats_.restore_fallbacks += 1;
@@ -234,8 +433,7 @@ RestartReport CheckpointManager::restore(picmc::Simulation& sim) {
       continue;
     }
     try {
-      pmd::Series series(fs_, series_path(epoch), pmd::Access::read_only);
-      core::restore_from_series(series, sim);
+      restore_via_chain(epoch, sim, /*repartition=*/false);
     } catch (const Error&) {
       // Every chunk verified, so this is a schema-level problem (e.g. a
       // checkpoint from a different communicator size); fall back anyway.
@@ -255,16 +453,7 @@ std::optional<std::uint64_t> CheckpointManager::newest_verifying_epoch() {
   auto epochs = committed_epochs();
   for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
     const std::uint64_t epoch = *it;
-    std::uint64_t bad = 0;
-    try {
-      bp::Reader reader = bp::Reader::open(fs_, 0, series_path(epoch));
-      for (const auto& verdict : reader.verify())
-        if (verdict.status == bp::Reader::ChunkVerdict::Status::short_read ||
-            verdict.status == bp::Reader::ChunkVerdict::Status::crc_mismatch)
-          bad += 1;
-    } catch (const Error&) {
-      bad += 1;
-    }
+    const std::uint64_t bad = chain_bad_chunks(epoch);
     if (bad > 0) {
       stats_.corrupt_chunks_detected += bad;
       stats_.restore_fallbacks += 1;
@@ -276,9 +465,8 @@ std::optional<std::uint64_t> CheckpointManager::newest_verifying_epoch() {
 }
 
 void CheckpointManager::restore_epoch(std::uint64_t epoch,
-                                      picmc::Simulation& sim) const {
-  pmd::Series series(fs_, series_path(epoch), pmd::Access::read_only);
-  core::restore_repartitioned(series, sim);
+                                      picmc::Simulation& sim) {
+  restore_via_chain(epoch, sim, /*repartition=*/true);
 }
 
 void CheckpointManager::record_recovery(double seconds) {
@@ -298,24 +486,43 @@ void CheckpointManager::set_recovery_totals(std::uint64_t recoveries,
 
 ScrubReport CheckpointManager::scrub() {
   ScrubReport report;
+  std::set<std::uint64_t> committed;
   for (const std::uint64_t epoch : committed_epochs()) {
+    committed.insert(epoch);
     report.epochs_scanned += 1;
-    std::uint64_t bad = 0;
-    try {
-      bp::Reader reader = bp::Reader::open(fs_, 0, series_path(epoch));
-      for (const auto& verdict : reader.verify())
-        if (verdict.status == bp::Reader::ChunkVerdict::Status::short_read ||
-            verdict.status == bp::Reader::ChunkVerdict::Status::crc_mismatch)
-          bad += 1;
-    } catch (const Error&) {
-      bad += 1;
-    }
+    const std::uint64_t bad = chain_bad_chunks(epoch);
     if (bad > 0) {
       report.corrupt_epochs.push_back(epoch);
       report.corrupt_chunks += bad;
       stats_.corrupt_chunks_detected += bad;
     } else {
       report.epochs_ok += 1;
+    }
+  }
+
+  // Orphan cleanup: an epoch_<k> directory holding files but no MANIFEST
+  // is dead weight — the residue of a crash between the prune's MANIFEST
+  // unlink and its file unlinks, or of a commit that never renamed.  Both
+  // are invisible to restore (no MANIFEST, no epoch); reclaim the bytes.
+  if (fs_.store().dir_exists(resil_dir())) {
+    std::set<std::uint64_t> orphans;
+    const std::string prefix = resil_dir() + "/epoch_";
+    for (const auto* node : fs_.store().list_recursive(resil_dir())) {
+      if (node->path.compare(0, prefix.size(), prefix) != 0) continue;
+      std::uint64_t epoch = 0;
+      std::size_t i = prefix.size();
+      for (; i < node->path.size() && node->path[i] >= '0' &&
+             node->path[i] <= '9';
+           ++i)
+        epoch = epoch * 10 + std::uint64_t(node->path[i] - '0');
+      if (i == prefix.size() || i == node->path.size() ||
+          node->path[i] != '/')
+        continue;
+      if (!committed.count(epoch)) orphans.insert(epoch);
+    }
+    for (const std::uint64_t epoch : orphans) {
+      remove_epoch_files(epoch, true);
+      report.orphans_cleaned += 1;
     }
   }
   return report;
@@ -332,6 +539,10 @@ Json CheckpointManager::stats_json() const {
   o["recoveries"] = Json(stats_.recoveries);
   o["degradations"] = Json(stats_.degradations);
   o["t_recovery_s"] = Json(stats_.t_recovery_s);
+  o["delta_epochs"] = Json(stats_.delta_epochs);
+  o["dedup_bytes_saved"] = Json(stats_.dedup_bytes_saved);
+  o["blocks_restored"] = Json(stats_.blocks_restored);
+  o["t_restore_s"] = Json(stats_.t_restore_s);
   o["faults_injected_total"] = Json(fs_.injected_fault_count());
   o["retained_epochs"] = Json(std::uint64_t(committed_epochs().size()));
   return Json(std::move(o));

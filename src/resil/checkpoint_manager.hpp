@@ -11,6 +11,20 @@
 //                                             as the adaptor's checkpoints
 //   <run>/resil/epoch_<k>/MANIFEST            JSON {epoch, step, nranks, ...}
 //
+// Incremental epochs: with checkpoint_full_interval > 1 only every Nth
+// epoch is a self-contained *full* dump.  The epochs between are *delta*
+// epochs — commit diffs the staged blocks (content hash per (variable,
+// rank) chunk, core::checkpoint_blocks) against the last committed epoch,
+// writes only the changed blocks, and records the unchanged ones in the
+// MANIFEST as references into the epochs that physically store their bytes
+// (one hop, never a chain of indirections).  The MANIFEST also lists the
+// base epochs the delta depends on; retention never prunes a base epoch a
+// retained delta still references, and the full interval bounds how long a
+// chain can grow.  Restore resolves a survivor's ranges through the chain
+// (resil::ChainCheckpointSource), reading and CRC-verifying only the
+// referenced blocks; a broken link anywhere in a chain fails that epoch's
+// verification and restart falls back chain by chain.
+//
 // Commit protocol (per epoch): write the series, re-open it with bp::Reader
 // and CRC-verify every chunk (format v5 end-to-end integrity), then write
 // MANIFEST.tmp and rename() it to MANIFEST — the atomic commit point.  An
@@ -27,13 +41,16 @@
 // back to the one before it.
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <string>
 #include <vector>
 
 #include "core/checkpoint_payload.hpp"
 #include "core/diagnostics_sink.hpp"
+#include "resil/chain_source.hpp"
 #include "core/io_config.hpp"
 #include "fsim/posix_fs.hpp"
 #include "picmc/simulation.hpp"
@@ -56,6 +73,11 @@ struct ResilienceStats {
   std::uint64_t recoveries = 0;     // shrink-restarts completed
   std::uint64_t degradations = 0;   // I/O ladder step-downs observed
   double t_recovery_s = 0.0;        // wall seconds spent inside recoveries
+  // Incremental-checkpoint counters (PR "Incremental checkpoint epochs"):
+  std::uint64_t delta_epochs = 0;       // committed epochs of kind "delta"
+  std::uint64_t dedup_bytes_saved = 0;  // bytes referenced instead of written
+  std::uint64_t blocks_restored = 0;    // blocks fetched by chain restores
+  double t_restore_s = 0.0;             // wall seconds inside chain restores
 };
 
 /// Outcome of restore(): which epoch recovered the run, and what was
@@ -73,7 +95,11 @@ struct ScrubReport {
   int epochs_scanned = 0;
   int epochs_ok = 0;
   std::vector<std::uint64_t> corrupt_epochs;
-  std::uint64_t corrupt_chunks = 0;
+  std::uint64_t corrupt_chunks = 0;  // bad own chunks + broken chain links
+  // Uncommitted epoch_<k> directories whose files scrub() removed — the
+  // residue of a crash inside the prune window (MANIFEST already gone,
+  // data files still there) or of a commit that never reached its rename.
+  int orphans_cleaned = 0;
 };
 
 class CheckpointManager {
@@ -114,9 +140,11 @@ public:
 
   /// Restore `sim` (any communicator size — re-partitions when it differs
   /// from the writer's, see core::restore_repartitioned) from a specific
-  /// committed epoch.  Const and safe to call from every surviving rank
-  /// concurrently.
-  void restore_epoch(std::uint64_t epoch, picmc::Simulation& sim) const;
+  /// committed epoch, resolving delta chains block by block.  Safe to call
+  /// from every surviving rank concurrently (stats updates are the only
+  /// writes, and they ride the commit-protocol thread like every other
+  /// counter).
+  void restore_epoch(std::uint64_t epoch, picmc::Simulation& sim);
 
   /// Record one completed shrink-recovery taking `seconds` of wall time /
   /// one observed I/O-ladder degradation into the stats.
@@ -129,8 +157,15 @@ public:
   void set_recovery_totals(std::uint64_t recoveries,
                            std::uint64_t degradations, double t_recovery_s);
 
-  /// Re-verify every committed epoch (CRC scrub), newest first.
+  /// Re-verify every committed epoch (own chunks CRC-scrubbed, chain
+  /// references resolved and content-checked) and clean up uncommitted
+  /// epoch directories left behind by a crash.  A startup/idle operation:
+  /// never run it concurrently with a commit, whose epoch is uncommitted
+  /// (and would read as an orphan) until the MANIFEST rename.
   ScrubReport scrub();
+
+  /// Parse a committed epoch's MANIFEST; nullopt when absent or malformed.
+  std::optional<EpochManifest> read_manifest(std::uint64_t epoch) const;
 
   /// Committed epoch numbers (MANIFEST present), ascending.
   std::vector<std::uint64_t> committed_epochs() const;
@@ -145,12 +180,28 @@ public:
 private:
   std::string series_path(std::uint64_t epoch) const;
   std::string manifest_path(std::uint64_t epoch) const;
-  /// One commit attempt: write series + verify + rename manifest.
-  /// Returns false (after tearing the epoch down) when verification finds
-  /// corrupt chunks; throws IoError on transient write failures.  Reads the
-  /// staging table, so the caller must hold the staging lock.
-  bool try_commit_epoch(std::uint64_t epoch, std::uint64_t step)
+  /// One commit attempt: write series (delta epochs skip the blocks in
+  /// `refs`) + verify + rename manifest.  Returns false (after tearing the
+  /// epoch down) when verification finds corrupt chunks; throws IoError on
+  /// transient write failures.  Reads the staging table, so the caller must
+  /// hold the staging lock.
+  bool try_commit_epoch(std::uint64_t epoch, std::uint64_t step,
+                        const std::string& kind,
+                        const std::vector<BlockRef>& refs)
       REQUIRES(stage_mutex_);
+  /// Dedup plan for the next epoch: the staged blocks whose content hash
+  /// (and count) match the last committed copy — after confirming the
+  /// stored base chunk still exists and carries that hash.
+  std::vector<BlockRef> plan_refs(
+      const std::vector<core::CheckpointBlock>& blocks);
+  /// Full chain verification of one epoch: own chunks CRC-verified plus
+  /// every manifest reference resolved, read back and content-checked.
+  /// Any failure counts; 1 is returned for an epoch that does not open.
+  std::uint64_t chain_bad_chunks(std::uint64_t epoch);
+  /// Restore through the chain, timing the walk and counting the blocks
+  /// it fetched into the stats and the trace ("restore_chain").
+  void restore_via_chain(std::uint64_t epoch, picmc::Simulation& sim,
+                         bool repartition);
   void remove_epoch_files(std::uint64_t epoch, bool manifest_first);
   void apply_retention();
 
@@ -159,6 +210,14 @@ private:
   core::Bit1IoConfig config_;
   int nranks_;
   std::uint64_t next_epoch_ = 1;
+  // Last committed copy of every checkpoint block, keyed (variable, rank):
+  // which epoch physically stores it and the content identity it had.  A
+  // fresh manager starts empty, so the first commit of an incarnation is
+  // always a full epoch (no cross-incarnation chain rebuilding).  Only the
+  // commit protocol touches it, under the staging lock.
+  std::map<std::pair<std::string, int>, BlockRef> base_map_
+      GUARDED_BY(stage_mutex_);
+  std::uint64_t commits_since_full_ = 0;
   // stage() is called from every rank's own thread; the staging table and
   // the lazily-fixed species layout are the shared state it guards.
   util::Mutex stage_mutex_;

@@ -1,10 +1,6 @@
 // Tests for the miniBP container engine: format round trips, writer/reader
 // end-to-end, aggregation mapping, operators, steps, and failure detection.
 #include <gtest/gtest.h>
-// These tests intentionally exercise the raw Writer/Reader constructors —
-// they are the byte-identical compatibility surface the engine factory
-// wraps (see src/bp/engine.hpp).  Silence the [[deprecated]] nudge here.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <numeric>
 
@@ -120,7 +116,7 @@ EngineConfig small_config(int aggregators = 0, const std::string& codec = "none"
 TEST(BpWriter, WriteReadRoundTrip1D) {
   fsim::SharedFs fs(8);
   {
-    Writer writer(fs, "out/series.bp4", small_config(), /*nranks=*/4);
+    Writer writer = Writer::open(fs, "out/series.bp4", small_config(), /*nranks=*/4);
     writer.begin_step(0);
     const Dims shape{40};
     for (int r = 0; r < 4; ++r) {
@@ -132,7 +128,7 @@ TEST(BpWriter, WriteReadRoundTrip1D) {
     writer.end_step();
     writer.close();
   }
-  Reader reader(fs, 0, "out/series.bp4");
+  Reader reader = Reader::open(fs, 0, "out/series.bp4");
   EXPECT_EQ(reader.steps(), std::vector<std::uint64_t>{0});
   const auto data = reader.read_as<float>(0, "density");
   EXPECT_EQ(data, iota_floats(40));
@@ -144,7 +140,7 @@ TEST(BpWriter, WriteReadRoundTrip1D) {
 TEST(BpWriter, MultiStepAndLatestWinsOnRewrite) {
   fsim::SharedFs fs(4);
   {
-    Writer writer(fs, "ck.bp4", small_config(), 2);
+    Writer writer = Writer::open(fs, "ck.bp4", small_config(), 2);
     for (std::uint64_t rewrite = 0; rewrite < 3; ++rewrite) {
       writer.begin_step(0);  // checkpoint slot, rewritten
       auto payload = iota_floats(8, float(rewrite) * 100.f);
@@ -158,7 +154,7 @@ TEST(BpWriter, MultiStepAndLatestWinsOnRewrite) {
     writer.end_step();
     writer.close();
   }
-  Reader reader(fs, 0, "ck.bp4");
+  Reader reader = Reader::open(fs, 0, "ck.bp4");
   EXPECT_EQ(reader.steps(), (std::vector<std::uint64_t>{0, 7}));
   // The step-0 record must be the LAST rewrite.
   const auto state = reader.read_as<float>(0, "state");
@@ -168,7 +164,7 @@ TEST(BpWriter, MultiStepAndLatestWinsOnRewrite) {
 
 TEST(BpWriter, AggregatorMappingIsContiguousAndBalanced) {
   fsim::SharedFs fs(4);
-  Writer writer(fs, "x.bp4", small_config(3), 10);
+  Writer writer = Writer::open(fs, "x.bp4", small_config(3), 10);
   EXPECT_EQ(writer.aggregator_count(), 3);
   int previous = 0;
   std::vector<int> counts(3, 0);
@@ -188,7 +184,7 @@ TEST(BpWriter, SubfileCountMatchesAggregators) {
   // Table II: a BP4 container holds M data files + md.0 + md.idx.
   fsim::SharedFs fs(4);
   {
-    Writer writer(fs, "t.bp4", small_config(5), 20);
+    Writer writer = Writer::open(fs, "t.bp4", small_config(5), 20);
     writer.begin_step(0);
     for (int r = 0; r < 20; ++r) {
       auto v = iota_floats(4);
@@ -207,7 +203,7 @@ TEST(BpWriter, SubfileCountMatchesAggregators) {
 
 TEST(BpWriter, DefaultAggregationIsPerNode) {
   fsim::SharedFs fs(4);
-  Writer writer(fs, "n.bp4", small_config(0), 12);  // 4 ranks/node => 3 nodes
+  Writer writer = Writer::open(fs, "n.bp4", small_config(0), 12);  // 4 ranks/node => 3 nodes
   EXPECT_EQ(writer.aggregator_count(), 3);
   writer.begin_step(0);
   writer.end_step();
@@ -220,7 +216,7 @@ TEST(BpWriter, OperatorCompressesAndRoundTrips) {
   std::vector<float> smooth(n);
   for (std::size_t i = 0; i < n; ++i) smooth[i] = float(i) * 0.001f;
   {
-    Writer writer(fs, "c.bp4", small_config(1, "blosc"), 2);
+    Writer writer = Writer::open(fs, "c.bp4", small_config(1, "blosc"), 2);
     writer.begin_step(3);
     writer.put<float>(0, "x", {n}, {0}, {n / 2},
                       std::span<const float>(smooth.data(), n / 2));
@@ -231,7 +227,7 @@ TEST(BpWriter, OperatorCompressesAndRoundTrips) {
   }
   // Stored bytes must be smaller than raw (compressible data).
   EXPECT_LT(fs.store().file("c.bp4/data.0").size, n * sizeof(float));
-  Reader reader(fs, 0, "c.bp4");
+  Reader reader = Reader::open(fs, 0, "c.bp4");
   const auto var = reader.find_variable(3, "x");
   ASSERT_NE(var, nullptr);
   EXPECT_EQ(var->chunks[0].operator_name, "blosc");
@@ -242,7 +238,7 @@ TEST(BpWriter, OperatorCompressesAndRoundTrips) {
 TEST(BpWriter, CompressionChargesCompressNotMemcopy) {
   fsim::SharedFs fs(4);
   {
-    Writer writer(fs, "p.bp4", small_config(1, "blosc"), 1);
+    Writer writer = Writer::open(fs, "p.bp4", small_config(1, "blosc"), 1);
     writer.begin_step(0);
     auto v = iota_floats(1024);
     writer.put<float>(0, "x", {1024}, {0}, {1024}, v);
@@ -262,7 +258,7 @@ TEST(BpWriter, CompressionChargesCompressNotMemcopy) {
 TEST(BpWriter, NoCompressionChargesMemcopy) {
   fsim::SharedFs fs(4);
   {
-    Writer writer(fs, "p2.bp4", small_config(1, "none"), 1);
+    Writer writer = Writer::open(fs, "p2.bp4", small_config(1, "none"), 1);
     writer.begin_step(0);
     auto v = iota_floats(1024);
     writer.put<float>(0, "x", {1024}, {0}, {1024}, v);
@@ -287,7 +283,7 @@ TEST(BpWriter, ParallelCompressionRoundTripThroughContainer) {
   std::vector<float> smooth(n);
   for (std::size_t i = 0; i < n; ++i) smooth[i] = float(i) * 0.001f;
   {
-    Writer writer(fs, "par.bp4", config, 2);
+    Writer writer = Writer::open(fs, "par.bp4", config, 2);
     writer.begin_step(0);
     writer.put<float>(0, "x", {2 * n}, {0}, {n}, smooth);
     writer.put<float>(1, "x", {2 * n}, {n}, {n}, smooth);
@@ -295,7 +291,7 @@ TEST(BpWriter, ParallelCompressionRoundTripThroughContainer) {
     writer.close();
   }
   EXPECT_LT(fs.store().file("par.bp4/data.0").size, 2 * n * sizeof(float));
-  Reader reader(fs, 0, "par.bp4");
+  Reader reader = Reader::open(fs, 0, "par.bp4");
   const auto var = reader.find_variable(0, "x");
   ASSERT_NE(var, nullptr);
   EXPECT_EQ(var->chunks[0].operator_name, "blosc");
@@ -319,7 +315,7 @@ TEST(BpWriter, SteadyStateStepsHitTheBufferPool) {
   const std::size_t n = 1 << 14;
   std::vector<float> smooth(n);
   for (std::size_t i = 0; i < n; ++i) smooth[i] = float(i) * 0.001f;
-  Writer writer(fs, "pool.bp4", config, 2);
+  Writer writer = Writer::open(fs, "pool.bp4", config, 2);
   auto put_step = [&](std::uint64_t step) {
     writer.begin_step(step);
     writer.put<float>(0, "x", {2 * n}, {0}, {n}, smooth);
@@ -342,7 +338,7 @@ TEST(BpWriter, ProfilingJsonEmitted) {
   auto config = small_config(1, "blosc");
   config.profiling = true;
   {
-    Writer writer(fs, "prof.bp4", config, 1);
+    Writer writer = Writer::open(fs, "prof.bp4", config, 1);
     writer.begin_step(0);
     auto v = iota_floats(256);
     writer.put<float>(0, "x", {256}, {0}, {256}, v);
@@ -364,7 +360,7 @@ TEST(BpWriter, Bp5WritesSecondMetadataFile) {
   auto config = small_config(1);
   config.engine = EngineType::bp5;
   {
-    Writer writer(fs, "b5.bp5", config, 1);
+    Writer writer = Writer::open(fs, "b5.bp5", config, 1);
     writer.begin_step(0);
     writer.end_step();
     writer.close();
@@ -377,7 +373,7 @@ TEST(BpWriter, TwoDimensionalChunks) {
   fsim::SharedFs fs(4);
   const Dims shape{4, 6};
   {
-    Writer writer(fs, "2d.bp4", small_config(1), 2);
+    Writer writer = Writer::open(fs, "2d.bp4", small_config(1), 2);
     writer.begin_step(0);
     // Rank 0 owns rows 0-1, rank 1 rows 2-3.
     std::vector<float> top(12), bottom(12);
@@ -388,7 +384,7 @@ TEST(BpWriter, TwoDimensionalChunks) {
     writer.end_step();
     writer.close();
   }
-  Reader reader(fs, 0, "2d.bp4");
+  Reader reader = Reader::open(fs, 0, "2d.bp4");
   EXPECT_EQ(reader.read_as<float>(0, "grid"), iota_floats(24));
 }
 
@@ -396,7 +392,7 @@ TEST(BpWriter, ColumnChunks2D) {
   fsim::SharedFs fs(4);
   const Dims shape{3, 4};
   {
-    Writer writer(fs, "col.bp4", small_config(1), 2);
+    Writer writer = Writer::open(fs, "col.bp4", small_config(1), 2);
     writer.begin_step(0);
     // Rank 0 owns columns 0-1, rank 1 columns 2-3 (non-contiguous rows).
     std::vector<float> left{0, 1, 4, 5, 8, 9};
@@ -406,13 +402,13 @@ TEST(BpWriter, ColumnChunks2D) {
     writer.end_step();
     writer.close();
   }
-  Reader reader(fs, 0, "col.bp4");
+  Reader reader = Reader::open(fs, 0, "col.bp4");
   EXPECT_EQ(reader.read_as<float>(0, "g"), iota_floats(12));
 }
 
 TEST(BpWriter, UsageErrors) {
   fsim::SharedFs fs(4);
-  Writer writer(fs, "e.bp4", small_config(1), 2);
+  Writer writer = Writer::open(fs, "e.bp4", small_config(1), 2);
   auto v = iota_floats(4);
   EXPECT_THROW(writer.put<float>(0, "x", {4}, {0}, {4}, v), UsageError);
   writer.begin_step(0);
@@ -432,32 +428,158 @@ TEST(BpWriter, UsageErrors) {
 TEST(BpReader, DetectsCorruptContainer) {
   fsim::SharedFs fs(4);
   {
-    Writer writer(fs, "bad.bp4", small_config(1), 1);
+    Writer writer = Writer::open(fs, "bad.bp4", small_config(1), 1);
     writer.begin_step(0);
     auto v = iota_floats(16);
     writer.put<float>(0, "x", {16}, {0}, {16}, v);
     writer.end_step();
     writer.close();
   }
-  // Corrupt md.0 in place.
+  // Corrupt md.0 in place.  Also zap the footer trailer magic: with an
+  // intact footer the open is satisfied by the (self-CRC'd) footer copy of
+  // the metadata and never touches the corrupt block; breaking the trailer
+  // forces the scan path, which must reject the container.
   auto& node = fs.store().file("bad.bp4/md.0");
   node.data[4] ^= 0xFF;
-  EXPECT_THROW(Reader(fs, 0, "bad.bp4"), FormatError);
+  node.data[node.data.size() - 1] ^= 0xFF;
+  EXPECT_THROW(Reader::open(fs, 0, "bad.bp4"), FormatError);
 }
 
 TEST(BpReader, MissingVariableAndStep) {
   fsim::SharedFs fs(4);
   {
-    Writer writer(fs, "m.bp4", small_config(1), 1);
+    Writer writer = Writer::open(fs, "m.bp4", small_config(1), 1);
     writer.begin_step(0);
     writer.end_step();
     writer.close();
   }
-  Reader reader(fs, 0, "m.bp4");
+  Reader reader = Reader::open(fs, 0, "m.bp4");
   EXPECT_THROW(reader.read(0, "ghost"), UsageError);
   EXPECT_THROW(reader.step(9), UsageError);
   EXPECT_FALSE(reader.has_step(9));
   EXPECT_EQ(reader.find_variable(0, "ghost"), nullptr);
+}
+
+// ----------------------------------------------------------------- footer ---
+
+namespace {
+
+/// Writes a tiny closed two-step container at `path` and returns the
+/// expected step-1 payload.
+std::vector<float> write_footer_fixture(fsim::SharedFs& fs,
+                                        const std::string& path) {
+  Writer writer = Writer::open(fs, path, EngineConfig{}, 2);
+  for (std::uint64_t step = 0; step < 2; ++step) {
+    writer.begin_step(step);
+    for (int r = 0; r < 2; ++r) {
+      auto local = iota_floats(8, float(step * 100) + float(r) * 8.f);
+      writer.put<float>(r, "density", {16}, {std::uint64_t(r) * 8}, {8},
+                        local);
+    }
+    writer.end_step();
+  }
+  writer.close();
+  return iota_floats(16, 100.f);
+}
+
+/// The footer trailer's first field: byte offset of the footer in md.0.
+std::uint64_t footer_offset_of(const fsim::FileNode& md) {
+  BinReader trailer(
+      std::span(md.data).subspan(md.data.size() - 24, 8));
+  return trailer.u64();
+}
+
+}  // namespace
+
+TEST(BpFooter, ClosedContainerOpensThroughTheFooterIndex) {
+  fsim::SharedFs fs(4);
+  const auto expect = write_footer_fixture(fs, "f.bp4");
+  Reader reader = Reader::open(fs, 0, "f.bp4");
+  EXPECT_TRUE(reader.used_footer_index());
+  EXPECT_EQ(reader.steps(), (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(reader.read_as<float>(1, "density"), expect);
+  EXPECT_TRUE(reader.all_ok(reader.verify()));
+}
+
+TEST(BpFooter, PreFooterContainerFallsBackToScan) {
+  fsim::SharedFs fs(4);
+  const auto expect = write_footer_fixture(fs, "v5.bp4");
+  // A pre-v6 container is exactly a v6 one minus the appended footer:
+  // truncate md.0 back to the footer offset and the md.idx scan path must
+  // serve the open, bit-for-bit.
+  auto& md = fs.store().file("v5.bp4/md.0");
+  md.data.resize(footer_offset_of(md));
+  md.size = md.data.size();
+  Reader reader = Reader::open(fs, 0, "v5.bp4");
+  EXPECT_FALSE(reader.used_footer_index());
+  EXPECT_EQ(reader.read_as<float>(1, "density"), expect);
+}
+
+TEST(BpFooter, CorruptFooterBodyFallsBackToScan) {
+  fsim::SharedFs fs(4);
+  const auto expect = write_footer_fixture(fs, "cf.bp4");
+  auto& md = fs.store().file("cf.bp4/md.0");
+  // Flip a byte inside the footer body: the trailer CRC no longer matches,
+  // so open must reject the footer and scan — never crash, never serve the
+  // poisoned copy.
+  md.data[footer_offset_of(md) + 6] ^= 0xFF;
+  Reader reader = Reader::open(fs, 0, "cf.bp4");
+  EXPECT_FALSE(reader.used_footer_index());
+  EXPECT_EQ(reader.read_as<float>(1, "density"), expect);
+  EXPECT_TRUE(reader.all_ok(reader.verify()));
+}
+
+TEST(BpFooter, TruncatedTrailerFallsBackToScan) {
+  fsim::SharedFs fs(4);
+  const auto expect = write_footer_fixture(fs, "tt.bp4");
+  // Tear the tail mid-trailer (a torn final write): the trailer magic is
+  // gone, the step records before the footer are intact.
+  auto& md = fs.store().file("tt.bp4/md.0");
+  md.data.resize(md.data.size() - 5);
+  md.size = md.data.size();
+  Reader reader = Reader::open(fs, 0, "tt.bp4");
+  EXPECT_FALSE(reader.used_footer_index());
+  EXPECT_EQ(reader.read_as<float>(1, "density"), expect);
+}
+
+TEST(BpFooter, MidRunPublishOpensWithoutFooter) {
+  fsim::SharedFs fs(4);
+  Writer writer = Writer::open(fs, "mid.bp4", EngineConfig{}, 1);
+  writer.begin_step(0);
+  auto v = iota_floats(8);
+  writer.put<float>(0, "x", {8}, {0}, {8}, v);
+  writer.end_step();
+  writer.publish_index();  // mid-run attach: no footer yet
+  Reader reader = Reader::open(fs, 0, "mid.bp4");
+  EXPECT_FALSE(reader.used_footer_index());
+  EXPECT_EQ(reader.read_as<float>(0, "x"), iota_floats(8));
+  writer.close();
+  Reader closed = Reader::open(fs, 0, "mid.bp4");
+  EXPECT_TRUE(closed.used_footer_index());
+}
+
+TEST(BpFooter, RandomAccessChunkAndSliceReads) {
+  fsim::SharedFs fs(4);
+  write_footer_fixture(fs, "ra.bp4");
+  Reader reader = Reader::open(fs, 0, "ra.bp4");
+  // find_chunk addresses one writer rank's block.
+  const ChunkRecord* chunk = reader.find_chunk(1, "density", 1);
+  ASSERT_NE(chunk, nullptr);
+  EXPECT_EQ(chunk->offset, Dims{8});
+  EXPECT_EQ(reader.find_chunk(1, "density", 7), nullptr);
+  // read_chunk fetches exactly that block, CRC-verified.
+  const auto raw = reader.read_chunk(1, "density", 1);
+  ASSERT_EQ(raw.size(), 8 * sizeof(float));
+  std::vector<float> block(8);
+  std::memcpy(block.data(), raw.data(), raw.size());
+  EXPECT_EQ(block, iota_floats(8, 108.f));
+  // read_slice touches only overlapping chunks and honors bounds.
+  const auto slice = reader.read_slice(1, "density", 6, 4);
+  std::vector<float> four(4);
+  std::memcpy(four.data(), slice.data(), slice.size());
+  EXPECT_EQ(four, iota_floats(4, 106.f));
+  EXPECT_THROW(reader.read_slice(1, "density", 10, 8), UsageError);
+  EXPECT_THROW(reader.read_chunk(1, "ghost", 0), UsageError);
 }
 
 // -------------------------------------------------------------- hardening ---
@@ -557,14 +679,14 @@ TEST(BpHardening, LegacyV4ContainersStillDecode) {
 TEST(BpIntegrity, ChunkCrcCatchesEveryBitFlipInData) {
   fsim::SharedFs fs(4);
   {
-    Writer writer(fs, "c.bp4", small_config(1), 1);
+    Writer writer = Writer::open(fs, "c.bp4", small_config(1), 1);
     writer.begin_step(0);
     auto v = iota_floats(16);
     writer.put<float>(0, "x", {16}, {0}, {16}, v);
     writer.end_step();
     writer.close();
   }
-  Reader reader(fs, 0, "c.bp4");
+  Reader reader = Reader::open(fs, 0, "c.bp4");
   EXPECT_TRUE(Reader::all_ok(reader.verify()));
 
   // Flip every bit of the data subfile in turn: the per-chunk CRC32C must
@@ -584,7 +706,7 @@ TEST(BpIntegrity, ChunkCrcCatchesEveryBitFlipInData) {
 TEST(BpIntegrity, TornDataSubfileReportedAsShortRead) {
   fsim::SharedFs fs(4);
   {
-    Writer writer(fs, "t.bp4", small_config(1), 1);
+    Writer writer = Writer::open(fs, "t.bp4", small_config(1), 1);
     writer.begin_step(0);
     auto v = iota_floats(16);
     writer.put<float>(0, "x", {16}, {0}, {16}, v);
@@ -594,7 +716,7 @@ TEST(BpIntegrity, TornDataSubfileReportedAsShortRead) {
   auto& node = fs.store().file("t.bp4/data.0");
   fs.store().truncate(node, node.size - 1);  // the classic lost tail
 
-  Reader reader(fs, 0, "t.bp4");
+  Reader reader = Reader::open(fs, 0, "t.bp4");
   const auto verdicts = reader.verify();
   ASSERT_EQ(verdicts.size(), 1u);
   EXPECT_EQ(verdicts[0].status, Reader::ChunkVerdict::Status::short_read);
@@ -605,7 +727,7 @@ TEST(BpIntegrity, TornDataSubfileReportedAsShortRead) {
 TEST(BpIntegrity, IndexCrossChecksStepMetadata) {
   fsim::SharedFs fs(4);
   {
-    Writer writer(fs, "x.bp4", small_config(1), 1);
+    Writer writer = Writer::open(fs, "x.bp4", small_config(1), 1);
     writer.begin_step(0);
     auto v = iota_floats(8);
     writer.put<float>(0, "x", {8}, {0}, {8}, v);
@@ -613,10 +735,13 @@ TEST(BpIntegrity, IndexCrossChecksStepMetadata) {
     writer.close();
   }
   // Flip one byte inside the md.0 step block: the md.idx entry's CRC of
-  // that block must reject the container at open.
+  // that block must reject the container at open.  The footer trailer is
+  // zapped first so the open takes the md.idx + md.0 scan path (the footer
+  // holds its own self-CRC'd copy of the step metadata).
   auto& node = fs.store().file("x.bp4/md.0");
-  node.data[node.data.size() / 2] ^= 0x01;
-  EXPECT_THROW(Reader(fs, 0, "x.bp4"), FormatError);
+  node.data[node.data.size() - 1] ^= 0xFF;
+  node.data[16] ^= 0x01;  // inside the first (only) step block
+  EXPECT_THROW(Reader::open(fs, 0, "x.bp4"), FormatError);
 }
 
 TEST(BpChunkView, ValidatesGeometryAtConstruction) {
@@ -641,7 +766,7 @@ TEST(BpChunkView, ValidatesGeometryAtConstruction) {
 void write_workload(fsim::SharedFs& fs, const std::string& path,
                     EngineConfig config, int* peak = nullptr) {
   const int ranks = 4;
-  Writer writer(fs, path, config, ranks);
+  Writer writer = Writer::open(fs, path, config, ranks);
   for (std::uint64_t step = 0; step < 6; ++step) {
     writer.begin_step(step);
     for (int r = 0; r < ranks; ++r) {
@@ -664,7 +789,7 @@ TEST(BpAsync, DrainedChunksCarryVerifiableCrcs) {
   auto config = small_config(2);
   config.async_write = true;
   write_workload(fs, "acrc.bp4", config);
-  Reader reader(fs, 0, "acrc.bp4");
+  Reader reader = Reader::open(fs, 0, "acrc.bp4");
   const auto verdicts = reader.verify();
   EXPECT_FALSE(verdicts.empty());
   for (const auto& v : verdicts)
@@ -696,7 +821,7 @@ TEST(BpAsync, ReaderSeesEveryStepAfterClose) {
   auto config = small_config(2);
   config.async_write = true;
   write_workload(fs, "a.bp4", config);
-  Reader reader(fs, 0, "a.bp4");
+  Reader reader = Reader::open(fs, 0, "a.bp4");
   ASSERT_EQ(reader.steps().size(), 6u);
   for (std::uint64_t step = 0; step < 6; ++step) {
     const auto data = reader.read_as<float>(step, "density");
@@ -713,7 +838,7 @@ TEST(BpAsync, WaitDrainsMakesContainerReadable) {
   fsim::SharedFs fs(8);
   auto config = small_config(1);
   config.async_write = true;
-  Writer writer(fs, "w.bp4", config, 2);
+  Writer writer = Writer::open(fs, "w.bp4", config, 2);
   writer.begin_step(0);
   auto a = iota_floats(16);
   writer.put<float>(0, "x", {32}, {0}, {16}, a);
@@ -726,7 +851,7 @@ TEST(BpAsync, WaitDrainsMakesContainerReadable) {
   EXPECT_GT(fs.store().file("w.bp4/data.0").size, 0u);
   EXPECT_GT(fs.store().file("w.bp4/md.0").size, 0u);
   writer.close();
-  Reader reader(fs, 0, "w.bp4");
+  Reader reader = Reader::open(fs, 0, "w.bp4");
   EXPECT_EQ(reader.read_as<float>(0, "x").size(), 32u);
 }
 
@@ -745,7 +870,7 @@ TEST(BpAsync, BackpressureBoundsInflightSteps) {
   auto config = small_config(1);
   config.async_write = true;
   config.max_inflight_steps = 0;
-  EXPECT_THROW(Writer(fs, "bad.bp4", config, 1), UsageError);
+  EXPECT_THROW(Writer::open(fs, "bad.bp4", config, 1), UsageError);
 }
 
 TEST(BpAsync, SpmdConcurrentPutsAcrossOverlappedSteps) {
@@ -761,7 +886,7 @@ TEST(BpAsync, SpmdConcurrentPutsAcrossOverlappedSteps) {
     config.ranks_per_node = ranks;
     config.async_write = async;
     config.max_inflight_steps = 2;
-    Writer writer(fs, path, config, ranks);
+    Writer writer = Writer::open(fs, path, config, ranks);
     smpi::run_spmd(ranks, [&](smpi::Comm& comm) {
       const int r = comm.rank();
       for (std::uint64_t step = 0; step < steps; ++step) {
@@ -785,8 +910,8 @@ TEST(BpAsync, SpmdConcurrentPutsAcrossOverlappedSteps) {
   EXPECT_GE(peak, 1);
   EXPECT_LE(peak, 2);
 
-  Reader sync_reader(fs, 0, "spmd_sync.bp4");
-  Reader async_reader(fs, 0, "spmd_async.bp4");
+  Reader sync_reader = Reader::open(fs, 0, "spmd_sync.bp4");
+  Reader async_reader = Reader::open(fs, 0, "spmd_async.bp4");
   ASSERT_EQ(async_reader.steps().size(), steps);
   for (std::uint64_t step = 0; step < steps; ++step) {
     const auto expect = sync_reader.read_as<float>(step, "phase");
@@ -808,7 +933,7 @@ TEST(BpAsync, ProfilingAttributesDrainTimeOffCriticalPath) {
   config.profiling = true;
   config.async_write = true;
   {
-    Writer writer(fs, "prof_async.bp4", config, 1);
+    Writer writer = Writer::open(fs, "prof_async.bp4", config, 1);
     writer.begin_step(0);
     auto v = iota_floats(256);
     writer.put<float>(0, "x", {256}, {0}, {256}, v);

@@ -50,6 +50,8 @@ bool mutate_for_key(const std::string& key, Bit1IoConfig& config) {
     config.checkpoint_interval = 5;
   } else if (key == "checkpoint_retain") {
     config.checkpoint_retain = 4;
+  } else if (key == "checkpoint_full_interval") {
+    config.checkpoint_full_interval = 3;
   } else if (key == "drain_timeout_ms") {
     config.drain_timeout_ms = 150;
   } else if (key == "max_drain_retries") {

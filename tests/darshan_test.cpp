@@ -119,13 +119,15 @@ TEST(Darshan, RecoveryCountersRoundTripInV4Logs) {
 namespace {
 
 // Byte length of one serialized FileRecord minus its path string: rank +
-// the 13 v3-era counters, then (v5) the 5 gather counters.
+// the 13 v3-era counters, then (v5+) the 5 gather counters.
 constexpr std::size_t kRecordFixedV3Bytes = 8 + 13 * 8;
 constexpr std::size_t kRecordGatherBytes = 5 * 8;
+constexpr std::size_t kJobRecoveryBytes = 3 * 8;  // v4+ recovery counters
+constexpr std::size_t kJobCkptBytes = 4 * 8;      // v6 checkpoint counters
 
-/// Rewrite a current (v5) serialized log as an older format: strip the 5
-/// per-record gather counters, optionally the 24 bytes of job recovery
-/// counters, and patch the magic's version byte.
+/// Rewrite a current (v6) serialized log as an older format: strip the 4
+/// job checkpoint counters, optionally the job recovery counters and the
+/// per-record gather counters, and patch the magic's version byte.
 std::vector<std::uint8_t> downgrade_log(std::vector<std::uint8_t> bytes,
                                         char version) {
   auto u64_at = [&](std::size_t off) {
@@ -133,26 +135,33 @@ std::vector<std::uint8_t> downgrade_log(std::vector<std::uint8_t> bytes,
     std::memcpy(&v, bytes.data() + off, sizeof(v));
     return v;
   };
+  auto erase_at = [&](std::size_t off, std::size_t n) {
+    bytes.erase(bytes.begin() + std::ptrdiff_t(off),
+                bytes.begin() + std::ptrdiff_t(off + n));
+  };
   std::size_t off = 8;                      // magic
   off += 8 + u64_at(off);                   // exe
   off += 8;                                 // nprocs
   off += 8;                                 // runtime
   off += 8 + u64_at(off);                   // mount
-  if (version == '3')
-    bytes.erase(bytes.begin() + std::ptrdiff_t(off),
-                bytes.begin() + std::ptrdiff_t(off + 24));
-  else
-    off += 24;                              // job recovery counters
+  if (version == '3') {
+    erase_at(off, kJobRecoveryBytes + kJobCkptBytes);
+  } else {
+    off += kJobRecoveryBytes;               // v4+ keep the recovery counters
+    erase_at(off, kJobCkptBytes);
+  }
   const std::uint64_t nrecords = u64_at(off);
   off += 8;
   for (std::uint64_t r = 0; r < nrecords; ++r) {
     off += 8 + u64_at(off);                 // path
     off += kRecordFixedV3Bytes;
-    bytes.erase(bytes.begin() + std::ptrdiff_t(off),
-                bytes.begin() + std::ptrdiff_t(off + kRecordGatherBytes));
+    if (version == '5')
+      off += kRecordGatherBytes;            // v5 keeps the gather counters
+    else
+      erase_at(off, kRecordGatherBytes);
   }
   for (std::size_t i = 0; i < 8; ++i)
-    if (bytes[i] == std::uint8_t('5')) bytes[i] = std::uint8_t(version);
+    if (bytes[i] == std::uint8_t('6')) bytes[i] = std::uint8_t(version);
   return bytes;
 }
 
@@ -193,6 +202,50 @@ TEST(Darshan, ParsesLegacyV4LogsWithZeroGatherCounters) {
     EXPECT_EQ(r.net_gather_bytes, 0u);
     EXPECT_DOUBLE_EQ(r.gather_time_s, 0.0);
   }
+}
+
+TEST(Darshan, ParsesLegacyV5LogsWithZeroCheckpointCounters) {
+  SharedFs fs(8);
+  populate_two_rank_job(fs);
+  FsClient(fs, 0).charge_cpu(1.5, "recovery");
+  auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 2);
+  auto log = capture(fs, replay, {"bit1", 2, 0.0, "/lustre"});
+  const auto bytes = downgrade_log(log.serialize(), '5');
+
+  const DarshanLog back = DarshanLog::parse(bytes);
+  EXPECT_EQ(back.records.size(), log.records.size());
+  EXPECT_EQ(back.total_bytes_written(), log.total_bytes_written());
+  EXPECT_EQ(back.job.recoveries, 1u);  // v5 keeps the recovery counters
+  EXPECT_EQ(back.job.delta_epochs, 0u);
+  EXPECT_EQ(back.job.dedup_bytes_saved, 0u);
+  EXPECT_EQ(back.job.blocks_restored, 0u);
+  EXPECT_DOUBLE_EQ(back.job.t_restore_s, 0.0);
+}
+
+TEST(Darshan, FoldsCheckpointCpuTagsIntoJobCounters) {
+  SharedFs fs(8);
+  populate_two_rank_job(fs);
+  // The checkpoint manager annotates its tagged cpu ops: "delta_commit"
+  // counts delta epochs, "dedup" carries the bytes a commit skipped,
+  // "restore_chain" carries the restore wall time and block-fetch count.
+  FsClient(fs, 0).charge_cpu(0.0, "delta_commit");
+  FsClient(fs, 0).charge_cpu(0.0, "dedup", 4096);
+  FsClient(fs, 0).charge_cpu(0.0, "delta_commit");
+  FsClient(fs, 0).charge_cpu(0.0, "dedup", 1024);
+  FsClient(fs, 0).charge_cpu(0.125, "restore_chain", 0, 7);
+  auto replay = replay_trace(tiny_profile(), fs.store(), fs.trace(), 2);
+  auto log = capture(fs, replay, {"bit1", 2, 0.0, "/lustre"});
+  EXPECT_EQ(log.job.delta_epochs, 2u);
+  EXPECT_EQ(log.job.dedup_bytes_saved, 5120u);
+  EXPECT_EQ(log.job.blocks_restored, 7u);
+  EXPECT_DOUBLE_EQ(log.job.t_restore_s, 0.125);
+
+  const DarshanLog back = DarshanLog::parse(log.serialize());
+  EXPECT_EQ(back.job.delta_epochs, 2u);
+  EXPECT_EQ(back.job.dedup_bytes_saved, 5120u);
+  EXPECT_EQ(back.job.blocks_restored, 7u);
+  EXPECT_DOUBLE_EQ(back.job.t_restore_s, 0.125);
+  EXPECT_NE(back.text_report().find("delta_epochs: 2"), std::string::npos);
 }
 
 TEST(Darshan, PerProcessCostSplitsByCategory) {

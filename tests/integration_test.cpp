@@ -156,13 +156,15 @@ TEST(Integration, DarshanSeesBothPathsOfALiveRun) {
   EXPECT_GE(log.total_bytes_written(), store_bytes);
   EXPECT_LE(log.total_bytes_written(), store_bytes + 64);
 
-  // The original path's small-record writes dominate the call counts.
+  // The original path's small-record writes dominate the call counts (the
+  // v6 footer costs two extra metadata writes per container close, so the
+  // openpmd side is slightly chattier than under v5).
   std::uint64_t original_calls = 0, openpmd_calls = 0;
   for (const auto& record : log.records) {
     if (record.path.rfind("orig", 0) == 0) original_calls += record.writes;
     if (record.path.rfind("pmd", 0) == 0) openpmd_calls += record.writes;
   }
-  EXPECT_GT(original_calls, 3 * openpmd_calls);
+  EXPECT_GT(original_calls, 2 * openpmd_calls);
 }
 
 TEST(Integration, SerialDmpAndOpenPmdCheckpointAgree) {

@@ -198,6 +198,10 @@ TEST(LintDarshanCounters, FlagsTableAndWireFormatDrift) {
       "}\n"
       "DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {\n"
       "  r.opens = cur.u64();\n"
+      "}\n"
+      "DarshanLog capture(const fsim::SharedFs& fs) {\n"
+      "  r.opens += op.op_count;\n"
+      "  r.writes += op.op_count;\n"
       "}\n";
   tree.write("src/darshan/darshan.hpp", header);
   tree.write("src/darshan/darshan.cpp", impl);
@@ -219,6 +223,44 @@ TEST(LintDarshanCounters, FlagsTableAndWireFormatDrift) {
   // 'zots' is a numeric member missing from the table.
   EXPECT_TRUE(has_diag(diags, "src/darshan/darshan.hpp",
                        expect_line(header, "struct FileRecord"), "'zots'"))
+      << dump(diags);
+}
+
+TEST(LintDarshanCounters, FlagsCounterNeverAccumulatedByCapture) {
+  FixtureTree tree;
+  const std::string header =
+      "struct FileRecord {\n"
+      "  std::uint64_t opens = 0;\n"
+      "  std::uint64_t writes = 0;\n"
+      "};\n"
+      "inline constexpr const char* kFileRecordCounters[] = {\n"
+      "    \"opens\",\n"
+      "    \"writes\",\n"
+      "};\n";
+  // serialize()/parse() cover both counters, so the wire format is fine;
+  // capture() only ever touches 'opens' — 'writes' would read back zero
+  // from every live log.
+  const std::string impl =
+      "#include \"darshan/darshan.hpp\"\n"
+      "std::vector<std::uint8_t> DarshanLog::serialize() const {\n"
+      "  put_u64(out, r.opens);\n"
+      "  put_u64(out, r.writes);\n"
+      "}\n"
+      "DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {\n"
+      "  r.opens = cur.u64();\n"
+      "  r.writes = cur.u64();\n"
+      "}\n"
+      "DarshanLog capture(const fsim::SharedFs& fs) {\n"
+      "  r.opens += op.op_count;\n"
+      "}\n";
+  tree.write("src/darshan/darshan.hpp", header);
+  tree.write("src/darshan/darshan.cpp", impl);
+
+  const auto diags = bitio::lint::check_darshan_counters(tree.root());
+  ASSERT_EQ(diags.size(), 1u) << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/darshan/darshan.cpp",
+                       expect_line(impl, "DarshanLog capture"),
+                       "'writes' is never accumulated by capture()"))
       << dump(diags);
 }
 

@@ -1,13 +1,9 @@
 // Tests for the pluggable engine registry (bp::make_engine) and the miniSST
 // stream engine: factory registration, byte-identical compatibility of the
-// deprecated Writer/Reader constructors, reader lifecycle edges (attach
-// before the first step, detach mid-stream), the three slow-reader policies,
-// the in-situ QueryService, and multi-consumer hammers for the TSan suite.
+// named Writer/Reader constructors, reader lifecycle edges (attach before
+// the first step, detach mid-stream), the three slow-reader policies, the
+// in-situ QueryService, and multi-consumer hammers for the TSan suite.
 #include <gtest/gtest.h>
-// The compatibility test exercises the raw Writer/Reader constructors on
-// purpose — they must keep compiling and produce byte-identical containers
-// to the factory path.  Silence the [[deprecated]] nudge for this file.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <algorithm>
 #include <atomic>
@@ -100,13 +96,12 @@ TEST(EngineRegistry, CustomEngineResolvesThroughFactory) {
   EXPECT_EQ(reader.read_as<float>(0, "density"), iota_floats(16));
 }
 
-// ------------------------------------------- deprecated-ctor compatibility ---
+// ------------------------------------------- named-ctor compatibility -------
 
-// Satellite guarantee of the refactor: the raw Writer/Reader constructors
-// still compile (this file builds with deprecation warnings silenced, the
-// rest of the tree gets the nudge) and produce a container byte-identical
-// to the factory path for both file engines.
-TEST(EngineCompat, RawCtorsByteIdenticalToFactory) {
+// The concrete Writer::open / Reader::open entry points (the replacement
+// for the removed deprecated raw constructors) produce a container
+// byte-identical to the factory path for both file engines.
+TEST(EngineCompat, NamedCtorsByteIdenticalToFactory) {
   for (const char* name : {"bp4", "bp5"}) {
     fsim::SharedFs fs(8);
     EngineConfig config;
@@ -117,7 +112,7 @@ TEST(EngineCompat, RawCtorsByteIdenticalToFactory) {
 
     const std::string raw_path = std::string("raw.") + name;
     {
-      Writer writer(fs, raw_path, config, 2);  // deprecated ctor, on purpose
+      Writer writer = Writer::open(fs, raw_path, config, 2);
       writer.begin_step(0);
       const Dims shape{16};
       for (int r = 0; r < 2; ++r) {
@@ -147,11 +142,11 @@ TEST(EngineCompat, RawCtorsByteIdenticalToFactory) {
       EXPECT_EQ(a, b) << "file " << rel << " differs for " << name;
     }
 
-    // The deprecated Reader ctor parses what Reader::open parses.
-    Reader old_style(fs, 0, raw_path);  // deprecated ctor, on purpose
-    Reader new_style = Reader::open(fs, 0, fac_path);
-    EXPECT_EQ(old_style.read_as<float>(0, "density"),
-              new_style.read_as<float>(0, "density"));
+    // Reader::open parses both containers to the same decoded data.
+    Reader direct = Reader::open(fs, 0, raw_path);
+    Reader via_factory = Reader::open(fs, 0, fac_path);
+    EXPECT_EQ(direct.read_as<float>(0, "density"),
+              via_factory.read_as<float>(0, "density"));
   }
 }
 

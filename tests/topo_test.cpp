@@ -339,21 +339,28 @@ TEST(TopoDarshan, AggregationTags) {
 
 // --------------------------------------------------------------- factory ---
 
-TEST(TopoFactory, DeprecatedCtorGoesThroughTheEngineRegistry) {
-  // Satellite: the [[deprecated]] Writer ctor forwards through
-  // require_registered_engine, so keeping the shim alive also proves the
-  // factory registry covers every engine the shim can name.
+TEST(TopoFactory, RegistryCoversEveryBuiltinEngineName) {
+  // With the deprecated raw-ctor shims gone, the factory registry is the
+  // only construction seam — so prove directly that every built-in engine
+  // name resolves: registered, listed, and constructible by make_engine.
   const auto names = bp::registered_engines();
   for (bp::EngineType type :
        {bp::EngineType::bp4, bp::EngineType::bp5, bp::EngineType::stream}) {
-    bp::EngineConfig config;
-    config.engine = type;
-    EXPECT_NO_THROW(bp::require_registered_engine(config))
-        << bp::engine_name(type);
-    EXPECT_NE(std::find(names.begin(), names.end(),
-                        std::string(bp::engine_name(type))),
-              names.end());
+    const std::string name{bp::engine_name(type)};
+    EXPECT_TRUE(bp::engine_registered(name)) << name;
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end());
+    fsim::SharedFs fs(4);
+    auto engine = bp::make_engine(name, fs, "reg." + name, {}, 1);
+    ASSERT_NE(engine, nullptr) << name;
+    EXPECT_EQ(engine->engine_name(), name);
+    engine->close();
   }
+  EXPECT_THROW(
+      {
+        fsim::SharedFs fs(4);
+        bp::make_engine("hdf5", fs, "reg.hdf5", {}, 1);
+      },
+      UsageError);
 }
 
 }  // namespace

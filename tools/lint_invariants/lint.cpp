@@ -383,13 +383,14 @@ std::vector<Diagnostic> check_darshan_counters(const std::string& root) {
     return out;
   }
 
-  std::size_t struct_line = 0, ser_line = 0, parse_line = 0;
+  std::size_t struct_line = 0, ser_line = 0, parse_line = 0, cap_line = 0;
   const std::string record_body =
       body_after(header_code, "struct FileRecord", &struct_line);
   const std::string ser_body =
       body_after(impl_code, "DarshanLog::serialize", &ser_line);
   const std::string parse_body =
       body_after(impl_code, "DarshanLog::parse", &parse_line);
+  const std::string cap_body = body_after(impl_code, "capture(", &cap_line);
   if (record_body.empty()) {
     out.push_back({header.rel, 1, "darshan-counters",
                    "struct FileRecord definition not found"});
@@ -398,6 +399,11 @@ std::vector<Diagnostic> check_darshan_counters(const std::string& root) {
   if (ser_body.empty() || parse_body.empty()) {
     out.push_back({impl.rel, 1, "darshan-counters",
                    "DarshanLog::serialize/parse definitions not found"});
+    return out;
+  }
+  if (cap_body.empty()) {
+    out.push_back({impl.rel, 1, "darshan-counters",
+                   "darshan::capture definition not found"});
     return out;
   }
 
@@ -421,6 +427,14 @@ std::vector<Diagnostic> check_darshan_counters(const std::string& root) {
                            std::string(what) +
                            " — it would be dropped from the log format"});
     }
+    // capture() is where trace ops become counters: a counter the capture
+    // body never touches stays zero in every live log even though it
+    // serializes and parses fine.
+    if (!contains_token(cap_body, counter))
+      out.push_back({impl.rel, cap_line, "darshan-counters",
+                     "counter '" + counter +
+                         "' is never accumulated by capture() — live logs "
+                         "would always report it as zero"});
   }
 
   // Reverse: every numeric FileRecord member must be declared a counter.
