@@ -5,9 +5,11 @@
 #   1. strict build        -Wall -Wextra -Werror over the whole tree
 #   2. thread-safety       clang -Wthread-safety (plain build + notice
 #                          when the toolchain is GCC-only)
-#   3. invariant linter    tools/lint_invariants over src/ (ctest -L lint,
-#                          which also runs the linter's own fixture tests)
-#   4. clang-tidy          bugprone/performance/concurrency profile
+#   3. bitio-analyzer      the semantic-index static analysis suite over
+#                          src/, bench/, and examples/ (ctest -L lint, which
+#                          also runs the analyzer's own fixture tests)
+#   4. clang-tidy          bugprone/performance/concurrency profile, with
+#                          --warnings-as-errors so findings fail the gate
 #                          (no-op without clang-tidy installed)
 #   5. stream suite        engine-registry + miniSST lifecycle/policy tests
 #                          (ctest -L stream; the same tests also carry the
@@ -43,7 +45,7 @@ step "thread-safety analysis (clang only)"
 cmake --preset analyze >/dev/null
 cmake --build --preset analyze -j "$(nproc 2>/dev/null || echo 4)"
 
-step "invariant linter + fixtures (ctest -L lint)"
+step "bitio-analyzer + fixtures (ctest -L lint)"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset lint

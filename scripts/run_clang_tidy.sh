@@ -25,9 +25,12 @@ fi
 # Project sources only — third-party and generated code are out of scope.
 files=$(find "$repo_root/src" "$repo_root/tools" -name '*.cpp' | sort)
 
+# --warnings-as-errors promotes every enabled check to an error: clang-tidy
+# otherwise exits 0 on findings, which would let violations through the gate.
 status=0
 for f in $files; do
-    clang-tidy -p "$build_dir" --quiet "$f" || status=1
+    clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' "$f" \
+        || status=1
 done
 
 if [ "$status" -ne 0 ]; then

@@ -6,7 +6,6 @@
 
 #include "bp/engine.hpp"
 #include "bp/reader.hpp"
-#include "bp/writer.hpp"
 #include "util/error.hpp"
 
 namespace bitio::pmd {

@@ -32,6 +32,7 @@ std::uint64_t hash_from_hex(const std::string& text) {
 
 Json EpochManifest::to_json() const {
   JsonObject o;
+  o["manifest_version"] = Json(std::uint64_t(kManifestVersion));
   o["epoch"] = Json(epoch);
   o["step"] = Json(step);
   o["engine"] = Json(engine);
@@ -62,6 +63,13 @@ Json EpochManifest::to_json() const {
 
 EpochManifest EpochManifest::from_json(const Json& doc) {
   EpochManifest m;
+  // Version-1 manifests predate the field; newer-than-us is a hard error
+  // (fields this reader does not understand may be load-bearing).
+  const std::uint64_t version =
+      doc.get_or("manifest_version", Json(std::uint64_t(1))).as_uint();
+  if (version > std::uint64_t(kManifestVersion))
+    throw FormatError("MANIFEST: manifest_version " + std::to_string(version) +
+                      " is newer than this reader understands");
   m.epoch = doc.at("epoch").as_uint();
   m.step = doc.at("step").as_uint();
   m.engine = doc.at("engine").as_string();

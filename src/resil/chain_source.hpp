@@ -40,6 +40,14 @@ struct BlockRef {
   std::uint64_t epoch = 0;   // the epoch physically storing the bytes
 };
 
+/// MANIFEST schema version, written as "manifest_version".  Bump it
+/// whenever to_json gains, drops, or reshapes a field — the wire-format
+/// analyzer rule fingerprints to_json and fails when the serialized
+/// fields drift while this constant stands still.  Version history:
+/// 1 = flat full-epoch manifest (no chain fields, implied by absence),
+/// 2 = delta chains (kind/base_epochs/refs) + explicit version field.
+inline constexpr int kManifestVersion = 2;
+
 /// Parsed MANIFEST of a committed epoch.  Pre-delta manifests (no "kind")
 /// parse as kind "full" with no refs.
 struct EpochManifest {

@@ -1,0 +1,262 @@
+#include "analysis_util.hpp"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace bitio::lint {
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+bool is_ident_tok(const std::string& t) {
+  return !t.empty() && (std::isalpha(static_cast<unsigned char>(t[0])) ||
+                        t[0] == '_');
+}
+
+bool is_cv(const std::string& t) {
+  return t == "const" || t == "volatile" || t == "typename" ||
+         t == "struct" || t == "class";
+}
+
+std::string type_core_tokens(const std::vector<std::string>& toks,
+                             std::size_t begin, std::size_t end) {
+  std::size_t i = begin;
+  while (i < end && (is_cv(toks[i]) || toks[i] == "&" || toks[i] == "*"))
+    ++i;
+  // First `ident (:: ident)*` chain.
+  std::string chain;
+  while (i < end && is_ident_tok(toks[i])) {
+    chain += toks[i];
+    ++i;
+    if (i < end && toks[i] == "::") {
+      chain += "::";
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (chain.empty()) return {};
+  const bool smart = chain == "std::unique_ptr" || chain == "std::shared_ptr" ||
+                     chain == "unique_ptr" || chain == "shared_ptr";
+  if (smart && i < end && toks[i] == "<") {
+    int depth = 0;
+    std::size_t open = i, close = i;
+    for (; close < end; ++close) {
+      if (toks[close] == "<") ++depth;
+      else if (toks[close] == ">" && --depth == 0) break;
+    }
+    if (close < end) return type_core_tokens(toks, open + 1, close);
+  }
+  return chain;
+}
+
+}  // namespace
+
+std::string type_core(const std::string& type) {
+  const auto toks = split_ws(type);
+  return type_core_tokens(toks, 0, toks.size());
+}
+
+bool is_mutex_type(const std::string& type) {
+  const std::string core = type_core(type);
+  return core == "util::Mutex" || core == "Mutex" || core == "std::mutex";
+}
+
+bool line_has_marker(const FileInfo& file, std::size_t line,
+                     const std::string& marker) {
+  std::size_t begin = 0;
+  for (std::size_t l = 1; l < line; ++l) {
+    begin = file.raw.find('\n', begin);
+    if (begin == std::string::npos) return false;
+    ++begin;
+  }
+  std::size_t end = file.raw.find('\n', begin);
+  if (end == std::string::npos) end = file.raw.size();
+  return file.raw.substr(begin, end - begin).find(marker) !=
+         std::string::npos;
+}
+
+namespace {
+
+void add_class_members(const SemanticIndex& index, const ClassSym& cls,
+                       std::map<std::string, std::string>& env, int depth) {
+  if (depth > 4) return;  // base-class cycles cannot recurse forever
+  for (const auto& m : cls.members) {
+    const std::string core = type_core(m.type);
+    if (!core.empty() && !env.count(m.name)) env[m.name] = core;
+  }
+  for (const auto& base : cls.bases) {
+    const std::string base_core = type_core(base);
+    if (const ClassSym* b = index.find_class(base_core))
+      add_class_members(index, *b, env, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::map<std::string, std::string> collect_var_types(
+    const FileInfo& file, const FunctionSym& fn, const ClassSym* cls,
+    const SemanticIndex& index) {
+  std::map<std::string, std::string> env;
+
+  // Parameters: name is the identifier right before a top-level ',' /
+  // '=' / end; its type is everything since the previous boundary.
+  const auto ptoks = split_ws(fn.params);
+  std::size_t start = 0;
+  int depth = 0;
+  for (std::size_t i = 0; i <= ptoks.size(); ++i) {
+    const bool at_end = i == ptoks.size();
+    const std::string t = at_end ? "," : ptoks[i];
+    if (t == "<" || t == "(" || t == "[") ++depth;
+    if (t == ">" || t == ")" || t == "]") --depth;
+    if ((t == "," && depth == 0) || at_end) {
+      // name = last identifier before any default value
+      std::size_t stop = i;
+      for (std::size_t k = start; k < i; ++k)
+        if (ptoks[k] == "=") {
+          stop = k;
+          break;
+        }
+      if (stop > start && is_ident_tok(ptoks[stop - 1])) {
+        const std::string name = ptoks[stop - 1];
+        const std::string core =
+            type_core_tokens(ptoks, start, stop - 1);
+        if (!core.empty() && core != name) env[name] = core;
+      }
+      start = i + 1;
+    }
+  }
+
+  // Local declarations: a name identifier preceded by a type chain
+  // (idents, ::, <...>, const, &, *) and followed by an initializer,
+  // separator, or range-for ':'.  Covers `Foo x = ...`, `Foo& x : xs`,
+  // `Foo* x;`, and lambda parameters.  Expression fragments that happen
+  // to match resolve to a non-class "type" and fail find_class later, so
+  // the call rules stay under-approximate.
+  if (fn.has_body()) {
+    const auto& toks = file.tokens;
+    static const std::set<std::string> banned_cores = {
+        "return",   "delete", "throw",    "new",      "else",
+        "case",     "goto",   "auto",     "using",    "break",
+        "continue", "co_return", "operator", "sizeof", "if",
+        "while",    "for",    "switch",   "do"};
+    for (std::size_t p = fn.body_begin + 2; p + 1 < fn.body_end; ++p) {
+      if (toks[p].kind != Token::Kind::ident) continue;
+      const std::string& next = toks[p + 1].text;
+      if (next != "(" && next != "=" && next != ";" && next != "{" &&
+          next != "," && next != ")" && next != ":")
+        continue;
+      const Token& before = toks[p - 1];
+      if (before.kind != Token::Kind::ident && before.text != ">" &&
+          before.text != "&" && before.text != "*")
+        continue;
+      // Walk the type chain backwards from the token before the name.
+      std::size_t b = p;
+      int angle = 0;
+      while (b > fn.body_begin + 1) {
+        const Token& q = toks[b - 1];
+        if (q.text == ">") {
+          ++angle;
+        } else if (q.text == "<") {
+          if (angle == 0) break;
+          --angle;
+        } else if (angle == 0 && q.text != "::" && q.text != "&" &&
+                   q.text != "*" && q.text != "const" &&
+                   q.kind != Token::Kind::ident) {
+          break;
+        }
+        --b;
+      }
+      if (b == p) continue;
+      std::vector<std::string> ttoks;
+      for (std::size_t k = b; k < p; ++k) ttoks.push_back(toks[k].text);
+      const std::string core = type_core_tokens(ttoks, 0, ttoks.size());
+      const std::string& name = toks[p].text;
+      if (!core.empty() && !banned_cores.count(core) && !env.count(name))
+        env[name] = core;
+    }
+  }
+
+  if (cls) {
+    env["this"] = cls->name;
+    add_class_members(index, *cls, env, 0);
+  }
+  return env;
+}
+
+std::size_t chain_start(const std::vector<Token>& toks,
+                        std::size_t method_tok) {
+  std::size_t s = method_tok;
+  while (s >= 2 && (toks[s - 1].text == "." || toks[s - 1].text == "->") &&
+         toks[s - 2].kind == Token::Kind::ident)
+    s -= 2;
+  return s;
+}
+
+const MemberVar* find_member(const SemanticIndex& index, const ClassSym& cls,
+                             const std::string& name,
+                             const ClassSym** owner) {
+  for (const auto& m : cls.members)
+    if (m.name == name) {
+      if (owner) *owner = &cls;
+      return &m;
+    }
+  for (const auto& base : cls.bases) {
+    const std::string core = type_core(base);
+    if (const ClassSym* b = index.find_class(core)) {
+      if (b == &cls) continue;
+      if (const MemberVar* m = find_member(index, *b, name, owner)) return m;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<FnDef> all_function_definitions(const SemanticIndex& index) {
+  std::vector<FnDef> out;
+  for (const auto& f : index.files()) {
+    for (const auto& c : f.classes)
+      for (const auto& m : c.methods)
+        if (m.has_body()) out.push_back({&f, &m, &c});
+    for (const auto& fn : f.functions) {
+      if (!fn.has_body()) continue;
+      const ClassSym* cls =
+          fn.qualifier.empty() ? nullptr : index.find_class(fn.qualifier);
+      out.push_back({&f, &fn, cls});
+    }
+  }
+  return out;
+}
+
+std::string effective_annotations(const SemanticIndex& index,
+                                  const FnDef& def) {
+  std::string out = def.fn->annotations;
+  if (def.cls && def.fn->class_name.empty()) {
+    if (const FunctionSym* decl =
+            index.method_declaration(*def.cls, def.fn->name)) {
+      if (!decl->annotations.empty()) {
+        if (!out.empty()) out += ' ';
+        out += decl->annotations;
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace bitio::lint

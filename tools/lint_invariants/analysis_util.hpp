@@ -1,0 +1,71 @@
+#pragma once
+// Shared resolution helpers for the bitio-analyzer cross-file rules
+// (lock-order, unchecked-status, pool-pairing).  They answer the small
+// set of semantic questions the rules need on top of the SemanticIndex:
+// what class does this declaration type name, what type is this local /
+// parameter / member, where does a receiver chain start, and does a raw
+// source line carry an escape-hatch marker.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+
+namespace bitio::lint {
+
+/// Core class name of a declaration type: strips cv-qualifiers and
+/// ref/pointer decoration and unwraps std::unique_ptr/shared_ptr, so
+/// "const std::unique_ptr<bp::Engine>&" resolves to "bp::Engine" and
+/// "util :: Mutex" to "util::Mutex".  Template arguments of other
+/// wrappers are not entered ("std::vector<Shard>" stays "std::vector").
+std::string type_core(const std::string& type);
+
+/// True when the declaration type names a lockable mutex (util::Mutex or
+/// std::mutex).
+bool is_mutex_type(const std::string& type);
+
+/// True when the original source line (1-based) contains `marker` —
+/// markers live in comments, which tokens and `code` have stripped.
+bool line_has_marker(const FileInfo& file, std::size_t line,
+                     const std::string& marker);
+
+/// Best-effort variable typing environment for one function body:
+/// parameter names, local declarations (ident-ident adjacency over the
+/// body tokens), enclosing-class members (bases included), and `this`.
+/// Values are type_core() strings.
+std::map<std::string, std::string> collect_var_types(
+    const FileInfo& file, const FunctionSym& fn, const ClassSym* cls,
+    const SemanticIndex& index);
+
+/// Token index where the receiver chain of the method call at
+/// `method_tok` starts: for `a . b -> m (...)` with method_tok at `m`,
+/// returns the index of `a`.  Returns method_tok itself for a plain
+/// unqualified call.
+std::size_t chain_start(const std::vector<Token>& toks,
+                        std::size_t method_tok);
+
+/// Member lookup walking base classes; sets `*owner` to the class that
+/// declares the member (may differ from `cls`).
+const MemberVar* find_member(const SemanticIndex& index, const ClassSym& cls,
+                             const std::string& name, const ClassSym** owner);
+
+/// Every function definition in the index, with its file and (for
+/// methods, inline or out-of-line) its resolved class.
+struct FnDef {
+  const FileInfo* file = nullptr;
+  const FunctionSym* fn = nullptr;
+  const ClassSym* cls = nullptr;  // nullptr for free functions
+};
+std::vector<FnDef> all_function_definitions(const SemanticIndex& index);
+
+/// Thread-safety annotations of a definition including the ones on its
+/// in-class declaration (out-of-line definitions carry none themselves).
+std::string effective_annotations(const SemanticIndex& index,
+                                  const FnDef& def);
+
+/// FNV-1a 64-bit hash, rendered by the wire-format rule as 16 hex chars.
+std::uint64_t fnv1a64(const std::string& text);
+
+}  // namespace bitio::lint

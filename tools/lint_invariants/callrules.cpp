@@ -1,0 +1,277 @@
+// unchecked-status + pool-pairing — call-site rules over the index.
+//
+// unchecked-status: the fsim and bp read APIs report faults through their
+// return values (injected errors, short reads, fd handles, verification
+// results).  A call whose result is dropped as a bare expression
+// statement silently swallows those signals, which is exactly the failure
+// mode the resilience tests exist to catch.  `(void)` casts and
+// `// lint: ignore-status` opt out explicitly.
+//
+// pool-pairing: cz::BufferPool hands out reusable buffers; a buffer bound
+// to a plain local must be moved, released, or returned on every path out
+// of the function, or steady-state steps start allocating again (the
+// whole point of the pool).  `// lint: ignore-pool` opts out.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis_util.hpp"
+#include "index.hpp"
+#include "lint.hpp"
+
+namespace bitio::lint {
+
+namespace {
+
+/// Token index just past the ')' matching the '(' at `open`.
+std::size_t after_call(const std::vector<Token>& toks, std::size_t open,
+                       std::size_t end) {
+  int depth = 0;
+  for (std::size_t k = open; k < end; ++k) {
+    if (toks[k].text == "(") ++depth;
+    else if (toks[k].text == ")" && --depth == 0) return k + 1;
+  }
+  return end;
+}
+
+bool in_scope(const std::string& rel) {
+  return rel.rfind("src/", 0) == 0 || rel.rfind("bench/", 0) == 0 ||
+         rel.rfind("examples/", 0) == 0;
+}
+
+// --- unchecked-status ------------------------------------------------------
+
+/// The guarded classes and, per class, its value-returning methods.
+std::map<std::string, std::set<std::string>> status_methods(
+    const SemanticIndex& index) {
+  std::map<std::string, std::set<std::string>> out;
+  for (const char* name : {"FsClient", "SharedFs", "Reader"}) {
+    const ClassSym* cls = index.find_class(name);
+    if (!cls) continue;
+    auto& methods = out[cls->name];
+    const std::size_t sep = cls->name.rfind("::");
+    const std::string last =
+        sep == std::string::npos ? cls->name : cls->name.substr(sep + 2);
+    for (const auto& m : cls->methods) {
+      if (m.return_type.empty() || m.return_type == "void") continue;
+      if (m.name == last || m.name[0] == '~')
+        continue;  // constructors / destructor
+      methods.insert(m.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_unchecked_status(const SemanticIndex& index) {
+  std::vector<Diagnostic> out;
+  const auto guarded = status_methods(index);
+  for (const FnDef& def : all_function_definitions(index)) {
+    const FileInfo& file = *def.file;
+    if (!in_scope(file.rel)) continue;
+    // The guarded classes' own sources call siblings internally.
+    if (file.rel.rfind("src/fsim/", 0) == 0 ||
+        file.rel == "src/bp/reader.cpp" || file.rel == "src/bp/reader.hpp")
+      continue;
+    const FunctionSym& fn = *def.fn;
+    const auto& toks = file.tokens;
+    std::map<std::string, std::string> env;
+    bool env_built = false;
+    for (std::size_t i = fn.body_begin + 1; i + 1 < fn.body_end; ++i) {
+      if (toks[i].kind != Token::Kind::ident || toks[i + 1].text != "(")
+        continue;
+      const std::string& prev = toks[i - 1].text;
+      if (prev != "." && prev != "->") continue;
+      // Which guarded classes have a method of this name?
+      std::vector<const std::string*> classes;
+      for (const auto& [cls_name, methods] : guarded)
+        if (methods.count(toks[i].text)) classes.push_back(&cls_name);
+      if (classes.empty()) continue;
+      // Resolve the receiver to one of the guarded classes.
+      const std::size_t s = chain_start(toks, i);
+      if (s == i || s < 1) continue;
+      if (toks[s - 1].text == "." || toks[s - 1].text == "->") continue;
+      if (!env_built) {
+        env = collect_var_types(file, fn, def.cls, index);
+        env_built = true;
+      }
+      // Walk the chain left to right: `a . b -> m (` — the receiver of
+      // `m` is the type of the last link.
+      std::string type;
+      {
+        const auto it = env.find(toks[s].text);
+        if (it == env.end()) continue;
+        type = it->second;
+        for (std::size_t k = s + 2; k < i; k += 2) {
+          const ClassSym* cls = index.find_class(type);
+          if (!cls) {
+            type.clear();
+            break;
+          }
+          const MemberVar* m = find_member(index, *cls, toks[k].text, nullptr);
+          if (!m) {
+            type.clear();
+            break;
+          }
+          type = type_core(m->type);
+        }
+      }
+      if (type.empty()) continue;
+      const ClassSym* recv = index.find_class(type);
+      if (!recv) continue;
+      const bool is_guarded =
+          std::any_of(classes.begin(), classes.end(),
+                      [&](const std::string* c) { return *c == recv->name; });
+      if (!is_guarded) continue;
+      // Consumed?  The call must be the whole statement to be a drop.
+      const std::size_t next = after_call(toks, i + 1, fn.body_end);
+      if (next >= fn.body_end || toks[next].text != ";") continue;
+      const std::string& before = toks[s - 1].text;
+      bool discarded = before == ";" || before == "{" || before == "}" ||
+                       before == ":" || before == "else" || before == "do";
+      if (before == ")")
+        // `(void)` cast consumes; a closing `if (...)` / loop paren does
+        // not — the call is still the whole statement.
+        discarded = !(s >= 3 && toks[s - 2].text == "void" &&
+                      toks[s - 3].text == "(");
+      if (!discarded) continue;
+      if (line_has_marker(file, toks[i].line, "lint: ignore-status"))
+        continue;
+      out.push_back(
+          {file.rel, toks[i].line, "unchecked-status",
+           recv->name + "::" + toks[i].text +
+               "() returns a status/result that this statement drops — "
+               "consume it, cast to (void), or annotate the line with "
+               "'// lint: ignore-status'"});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return out;
+}
+
+std::vector<Diagnostic> check_unchecked_status(const std::string& root) {
+  return check_unchecked_status(SemanticIndex::build(root));
+}
+
+// --- pool-pairing ----------------------------------------------------------
+
+std::vector<Diagnostic> check_pool_pairing(const SemanticIndex& index) {
+  std::vector<Diagnostic> out;
+  for (const FnDef& def : all_function_definitions(index)) {
+    const FileInfo& file = *def.file;
+    if (!in_scope(file.rel)) continue;
+    if (file.rel.rfind("src/compress/buffer_pool", 0) == 0)
+      continue;  // the pool's own implementation
+    const FunctionSym& fn = *def.fn;
+    const auto& toks = file.tokens;
+    std::map<std::string, std::string> env;
+    bool env_built = false;
+    for (std::size_t i = fn.body_begin + 1; i + 1 < fn.body_end; ++i) {
+      if (toks[i].kind != Token::Kind::ident ||
+          (toks[i].text != "acquire" && toks[i].text != "acquire_reserve") ||
+          toks[i + 1].text != "(")
+        continue;
+      const std::string& prev = toks[i - 1].text;
+      if (prev != "." && prev != "->") continue;
+      const std::size_t s = chain_start(toks, i);
+      if (s == i) continue;
+      if (!env_built) {
+        env = collect_var_types(file, fn, def.cls, index);
+        env_built = true;
+      }
+      const auto it = env.find(toks[s].text);
+      if (it == env.end()) continue;
+      const ClassSym* recv = index.find_class(it->second);
+      if (!recv || recv->name.rfind("BufferPool") ==
+                       std::string::npos)  // suffix check: cz::BufferPool
+        continue;
+      if (line_has_marker(file, toks[i].line, "lint: ignore-pool")) continue;
+
+      const std::size_t call_end = after_call(toks, i + 1, fn.body_end);
+      const std::string& before = toks[s - 1].text;
+      if (before == ";" || before == "{" || before == "}") {
+        out.push_back({file.rel, toks[i].line, "pool-pairing",
+                       "buffer acquired from " + recv->name +
+                           " is dropped on the spot — bind it and release "
+                           "or move it, or annotate '// lint: ignore-pool'"});
+        continue;
+      }
+      if (before != "=") continue;  // argument / return / member init: owned
+      // Assignment target.
+      if (s < 2) continue;
+      const std::size_t tgt = s - 2;
+      if (toks[tgt].kind != Token::Kind::ident) continue;
+      const std::string& target_prev = toks[tgt - 1].text;
+      if (target_prev == "." || target_prev == "->" || target_prev == "]")
+        continue;  // member / element target: owned by the structure
+      const bool declared_here = toks[tgt - 1].kind == Token::Kind::ident ||
+                                 target_prev == ">" || target_prev == "&" ||
+                                 target_prev == "*";
+      if (!declared_here) continue;  // assignment into a pre-existing lvalue
+      if (target_prev == "&") continue;  // reference binding: aliased storage
+      const std::string& var = toks[tgt].text;
+
+      // A plain local now owns the buffer: find the hand-off.
+      std::size_t consumed_at = kNoTok;
+      for (std::size_t k = call_end; k + 1 < fn.body_end; ++k) {
+        const std::string& t = toks[k].text;
+        const bool hand_off =
+            // std::move(var) — into a member, a container, or release()
+            (t == "move" && toks[k + 1].text == "(" &&
+             k + 2 < fn.body_end && toks[k + 2].text == var) ||
+            // pool.release(..., var, ...)
+            (t == "release" && toks[k + 1].text == "(") ||
+            // return var;
+            (t == "return" && toks[k + 1].text == var) ||
+            // var.swap(other)
+            (t == var && k + 2 < fn.body_end && toks[k + 1].text == "." &&
+             toks[k + 2].text == "swap");
+        if (!hand_off) continue;
+        if (t == "release") {
+          // Only counts when var appears among the arguments.
+          const std::size_t rend = after_call(toks, k + 1, fn.body_end);
+          bool has_var = false;
+          for (std::size_t a = k + 2; a < rend; ++a)
+            if (toks[a].text == var) has_var = true;
+          if (!has_var) continue;
+        }
+        consumed_at = k;
+        break;
+      }
+      if (consumed_at == kNoTok) {
+        out.push_back(
+            {file.rel, toks[i].line, "pool-pairing",
+             "buffer '" + var + "' acquired from " + recv->name +
+                 " is never released, moved, or returned — it leaves the "
+                 "pool's steady-state set"});
+        continue;
+      }
+      // `return` strictly between acquisition and hand-off leaks.
+      for (std::size_t k = call_end; k < consumed_at; ++k)
+        if (toks[k].text == "return") {
+          out.push_back(
+              {file.rel, toks[k].line, "pool-pairing",
+               "early return leaks pooled buffer '" + var +
+                   "' (acquired at line " + std::to_string(toks[i].line) +
+                   ", handed off only at line " +
+                   std::to_string(toks[consumed_at].line) + ")"});
+          break;
+        }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return out;
+}
+
+std::vector<Diagnostic> check_pool_pairing(const std::string& root) {
+  return check_pool_pairing(SemanticIndex::build(root));
+}
+
+}  // namespace bitio::lint

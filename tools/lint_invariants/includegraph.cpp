@@ -1,0 +1,117 @@
+// include-graph — layering checks over the project include graph.
+//
+// Two invariants: (1) no #include cycles among the files under src/ — a
+// cycle means the headers only build by include-guard accident and the
+// layering story is broken; (2) the bp writer internals (writer.hpp,
+// stream.hpp, format.hpp) are private to src/bp — every other subsystem
+// goes through the engine seam (bp/engine.hpp factory, bp/types.hpp,
+// bp/reader.hpp, bp/query.hpp), which is what keeps engines pluggable.
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis_util.hpp"
+#include "index.hpp"
+#include "lint.hpp"
+
+namespace bitio::lint {
+
+namespace {
+
+const char* const kRule = "include-graph";
+
+/// bp headers other subsystems may include.
+bool is_bp_seam(const std::string& target) {
+  return target == "bp/engine.hpp" || target == "bp/types.hpp" ||
+         target == "bp/reader.hpp" || target == "bp/query.hpp";
+}
+
+bool is_bp_internal(const std::string& target) {
+  return target.rfind("bp/", 0) == 0 && !is_bp_seam(target);
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_include_graph(const SemanticIndex& index) {
+  std::vector<Diagnostic> out;
+
+  // Project-file edges: includes are written relative to src/.
+  struct EdgeTo {
+    std::string to;
+    std::size_t line;
+  };
+  std::map<std::string, std::vector<EdgeTo>> graph;
+  std::set<std::string> nodes;
+  for (const auto& f : index.files()) {
+    if (f.rel.rfind("src/", 0) != 0) continue;
+    nodes.insert(f.rel);
+    for (const auto& inc : f.includes) {
+      if (inc.angled) continue;
+      const std::string resolved = "src/" + inc.target;
+      if (index.file(resolved))
+        graph[f.rel].push_back({resolved, inc.line});
+    }
+  }
+
+  // Cycle detection (DFS, three colors); one diagnostic per cycle, at the
+  // include that closes it.
+  std::map<std::string, int> color;
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  std::function<void(const std::string&)> visit = [&](const std::string& n) {
+    color[n] = 1;
+    stack.push_back(n);
+    for (const auto& e : graph[n]) {
+      if (color[e.to] == 1) {
+        auto at = std::find(stack.begin(), stack.end(), e.to);
+        std::vector<std::string> cycle(at, stack.end());
+        std::vector<std::string> sorted = cycle;
+        std::sort(sorted.begin(), sorted.end());
+        std::string key;
+        for (const auto& c : sorted) key += c + "|";
+        if (reported.insert(key).second) {
+          std::string path;
+          for (const auto& c : cycle) path += c + " -> ";
+          path += e.to;
+          out.push_back({n, e.line, kRule, "include cycle: " + path});
+        }
+      } else if (color[e.to] == 0) {
+        visit(e.to);
+      }
+    }
+    stack.pop_back();
+    color[n] = 2;
+  };
+  for (const auto& n : nodes)
+    if (color[n] == 0) visit(n);
+
+  // Writer-internal seam: outside src/bp, only the seam headers.
+  for (const auto& f : index.files()) {
+    if (f.rel.rfind("src/", 0) != 0 || f.rel.rfind("src/bp/", 0) == 0)
+      continue;
+    for (const auto& inc : f.includes) {
+      if (inc.angled || !is_bp_internal(inc.target)) continue;
+      out.push_back(
+          {f.rel, inc.line, kRule,
+           "#include \"" + inc.target +
+               "\" reaches into the bp writer internals from outside "
+               "src/bp — use the engine seam (bp/engine.hpp, bp/types.hpp, "
+               "bp/reader.hpp, bp/query.hpp) instead"});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return out;
+}
+
+std::vector<Diagnostic> check_include_graph(const std::string& root) {
+  return check_include_graph(SemanticIndex::build(root));
+}
+
+}  // namespace bitio::lint

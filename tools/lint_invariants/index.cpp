@@ -1,0 +1,797 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint.hpp"  // strip_comments / strip_string_literals
+
+namespace bitio::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool has_cxx_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+// --- tokenizer -------------------------------------------------------------
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> out;
+  std::size_t i = 0, line = 1;
+  bool at_line_start = true;
+  const std::size_t n = text.size();
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? text[i + k] : '\0';
+  };
+  auto push = [&](Token::Kind kind, std::size_t begin, std::size_t end,
+                  std::size_t tok_line) {
+    out.push_back({kind, text.substr(begin, end - begin), begin, tok_line});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: swallow the logical line (with backslash
+    // continuations).  #include targets are recovered by scan_includes.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (text[i] == '\\' && peek(1) == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim" — may span lines and hold
+    // anything, including quotes and comment markers.
+    if (c == 'R' && peek(1) == '"' &&
+        (out.empty() || !is_ident_char(text[i - 1]))) {
+      const std::size_t begin = i, tok_line = line;
+      std::size_t d = i + 2;
+      while (d < n && text[d] != '(') ++d;
+      const std::string delim = text.substr(i + 2, d - (i + 2));
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = text.find(closer, d);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = begin; k < std::min(n, end + closer.size()); ++k)
+        if (text[k] == '\n') ++line;
+      i = std::min(n, end + closer.size());
+      push(Token::Kind::str, begin, i, tok_line);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const std::size_t begin = i, tok_line = line;
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\') ++i;
+        if (i < n && text[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 1);
+      push(quote == '"' ? Token::Kind::str : Token::Kind::chr, begin, i,
+           tok_line);
+      continue;
+    }
+    if (is_ident_start(c)) {
+      const std::size_t begin = i;
+      while (i < n && is_ident_char(text[i])) ++i;
+      push(Token::Kind::ident, begin, i, line);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t begin = i;
+      while (i < n && (is_ident_char(text[i]) || text[i] == '.' ||
+                       text[i] == '\''))
+        ++i;
+      push(Token::Kind::number, begin, i, line);
+      continue;
+    }
+    // Punctuation: fuse the two operators the symbol parser needs whole.
+    if (c == ':' && peek(1) == ':') {
+      push(Token::Kind::punct, i, i + 2, line);
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      push(Token::Kind::punct, i, i + 2, line);
+      i += 2;
+      continue;
+    }
+    push(Token::Kind::punct, i, i + 1, line);
+    ++i;
+  }
+  return out;
+}
+
+std::vector<IncludeDirective> scan_includes(const std::string& text) {
+  std::vector<IncludeDirective> out;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    // Find start of line, skip horizontal whitespace.
+    std::size_t j = i;
+    while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+    if (j < n && text[j] == '#') {
+      ++j;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      if (text.compare(j, 7, "include") == 0) {
+        j += 7;
+        while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+        if (j < n && (text[j] == '"' || text[j] == '<')) {
+          const bool angled = text[j] == '<';
+          const char closer = angled ? '>' : '"';
+          const std::size_t begin = j + 1;
+          std::size_t end = begin;
+          while (end < n && text[end] != closer && text[end] != '\n') ++end;
+          if (end < n && text[end] == closer)
+            out.push_back({text.substr(begin, end - begin), angled, line});
+        }
+      }
+    }
+    // Advance to the next line.
+    while (i < n && text[i] != '\n') ++i;
+    if (i < n) {
+      ++i;
+      ++line;
+    }
+  }
+  return out;
+}
+
+std::size_t FileInfo::match_brace(std::size_t open) const {
+  if (open >= tokens.size() || tokens[open].text != "{") return kNoTok;
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == "{") ++depth;
+    if (tokens[i].text == "}" && --depth == 0) return i;
+  }
+  return kNoTok;
+}
+
+// --- symbol parser ---------------------------------------------------------
+
+namespace {
+
+const char* const kAnnotations[] = {
+    "CAPABILITY",      "SCOPED_CAPABILITY", "GUARDED_BY",
+    "PT_GUARDED_BY",   "ACQUIRED_BEFORE",   "ACQUIRED_AFTER",
+    "REQUIRES",        "REQUIRES_SHARED",   "ACQUIRE",
+    "ACQUIRE_SHARED",  "RELEASE",           "RELEASE_SHARED",
+    "RELEASE_GENERIC", "TRY_ACQUIRE",       "TRY_ACQUIRE_SHARED",
+    "EXCLUDES",        "ASSERT_CAPABILITY", "ASSERT_SHARED_CAPABILITY",
+    "RETURN_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS",
+};
+
+bool is_annotation(const std::string& name) {
+  for (const char* a : kAnnotations)
+    if (name == a) return true;
+  return false;
+}
+
+bool is_decl_keyword(const std::string& t) {
+  return t == "static" || t == "mutable" || t == "inline" ||
+         t == "constexpr" || t == "consteval" || t == "constinit" ||
+         t == "explicit" || t == "virtual" || t == "extern" ||
+         t == "typename" || t == "friend";
+}
+
+/// Heuristic single-pass parser over a file's token stream.
+class Parser {
+public:
+  explicit Parser(FileInfo& info) : info_(info), toks_(info.tokens) {}
+
+  void run() { parse_scope(0, toks_.size(), {}, nullptr); }
+
+private:
+  FileInfo& info_;
+  const std::vector<Token>& toks_;
+
+  const std::string& txt(std::size_t i) const { return toks_[i].text; }
+  bool is(std::size_t i, const char* s) const {
+    return i < toks_.size() && toks_[i].text == s;
+  }
+
+  /// Skip a balanced (...) / {...} / [...] / <...> group starting at `i`
+  /// (which must be the opener); returns index one past the closer.
+  std::size_t skip_balanced(std::size_t i, char open, char close,
+                            std::size_t end) const {
+    int depth = 0;
+    const std::string o(1, open), c(1, close);
+    for (; i < end; ++i) {
+      if (txt(i) == o) ++depth;
+      else if (txt(i) == c && --depth == 0) return i + 1;
+    }
+    return end;
+  }
+
+  /// Skip to the ';' terminating the statement at `i`, balancing every
+  /// kind of bracket; returns index one past it.
+  std::size_t skip_statement(std::size_t i, std::size_t end) const {
+    int paren = 0, brace = 0, square = 0;
+    for (; i < end; ++i) {
+      const std::string& t = txt(i);
+      if (t == "(") ++paren;
+      else if (t == ")") --paren;
+      else if (t == "{") ++brace;
+      else if (t == "}") --brace;
+      else if (t == "[") ++square;
+      else if (t == "]") --square;
+      else if (t == ";" && paren <= 0 && brace <= 0 && square <= 0)
+        return i + 1;
+    }
+    return end;
+  }
+
+  static std::string join(const std::vector<std::string>& parts,
+                          const char* sep) {
+    std::string out;
+    for (const auto& p : parts) {
+      if (!out.empty()) out += sep;
+      out += p;
+    }
+    return out;
+  }
+
+  /// Qualify `name` with the namespace/class nesting, dropping the
+  /// project-root `bitio` component so ids read "bp::Writer".
+  // Space-separate type tokens, but glue `::` so qualified names read as
+  // written ("util::Mutex", not "util :: Mutex").
+  static void append_type(std::string& out, const std::string& t) {
+    if (!out.empty() && t != "::" &&
+        !(out.size() >= 2 && out.compare(out.size() - 2, 2, "::") == 0))
+      out += ' ';
+    out += t;
+  }
+
+  static std::string qualify(const std::vector<std::string>& scopes,
+                             const std::string& name) {
+    std::vector<std::string> parts;
+    for (const auto& s : scopes)
+      if (!s.empty() && s != "bitio") parts.push_back(s);
+    parts.push_back(name);
+    return join(parts, "::");
+  }
+
+  // Parse declarations between [begin, end) token indices.  `scopes` is
+  // the namespace + outer-class nesting; `cls` is the innermost class
+  // being populated (nullptr at namespace scope).
+  void parse_scope(std::size_t begin, std::size_t end,
+                   std::vector<std::string> scopes, ClassSym* cls) {
+    std::size_t i = begin;
+    while (i < end) {
+      const std::string& t = txt(i);
+      if (t == "}" || t == ";") {
+        ++i;
+        continue;
+      }
+      if (t == "namespace") {
+        std::size_t j = i + 1;
+        std::vector<std::string> name_parts;
+        while (j < end && toks_[j].kind == Token::Kind::ident) {
+          name_parts.push_back(txt(j));
+          ++j;
+          if (is(j, "::")) ++j;
+          else break;
+        }
+        if (is(j, "{")) {
+          const std::size_t close = info_.match_brace(j);
+          if (close == kNoTok) return;
+          auto inner = scopes;
+          for (const auto& p : name_parts) inner.push_back(p);
+          parse_scope(j + 1, close, inner, nullptr);
+          i = close + 1;
+        } else {
+          i = skip_statement(i, end);  // namespace alias / using
+        }
+        continue;
+      }
+      if (t == "template") {
+        // Skip the parameter list; the declaration that follows is parsed
+        // as usual (templated classes/functions are indexed like plain
+        // ones).
+        std::size_t j = i + 1;
+        if (is(j, "<")) {
+          int depth = 0;
+          for (; j < end; ++j) {
+            if (txt(j) == "<") ++depth;
+            else if (txt(j) == ">" && --depth == 0) {
+              ++j;
+              break;
+            }
+          }
+        }
+        i = j;
+        continue;
+      }
+      if (t == "using" || t == "typedef" || t == "friend" ||
+          t == "static_assert" || t == "extern") {
+        i = skip_statement(i, end);
+        continue;
+      }
+      if (t == "public" || t == "private" || t == "protected") {
+        i += is(i + 1, ":") ? 2 : 1;
+        continue;
+      }
+      if (t == "enum") {
+        // enum / enum class: skip the whole declaration.
+        std::size_t j = i + 1;
+        while (j < end && !is(j, "{") && !is(j, ";")) ++j;
+        if (is(j, "{")) j = skip_balanced(j, '{', '}', end);
+        i = skip_statement(j, end);
+        continue;
+      }
+      if ((t == "class" || t == "struct") &&
+          !(i > begin && txt(i - 1) == "enum")) {
+        i = parse_class(i, end, scopes);
+        continue;
+      }
+      i = parse_declaration(i, end, scopes, cls);
+    }
+  }
+
+  std::size_t parse_class(std::size_t i, std::size_t end,
+                          const std::vector<std::string>& scopes) {
+    std::size_t j = i + 1;
+    std::string name;
+    // Skip attribute macros (CAPABILITY("mutex")), alignas, [[...]].
+    while (j < end) {
+      if (toks_[j].kind == Token::Kind::ident) {
+        if (is_annotation(txt(j)) || txt(j) == "alignas") {
+          if (is(j + 1, "(")) {
+            j = skip_balanced(j + 1, '(', ')', end);
+            continue;
+          }
+        }
+        if (txt(j) == "final") {
+          ++j;
+          continue;
+        }
+        name = txt(j);
+        ++j;
+        if (is(j, "final")) ++j;
+        break;
+      }
+      if (is(j, "[") && is(j + 1, "[")) {
+        j = skip_balanced(j, '[', ']', end);
+        continue;
+      }
+      break;
+    }
+    if (name.empty()) return skip_statement(i, end);
+    if (is(j, ";")) return j + 1;  // forward declaration
+    ClassSym sym;
+    sym.name = qualify(scopes, name);
+    sym.line = toks_[i].line;
+    if (is(j, ":")) {
+      ++j;
+      std::vector<std::string> base;
+      int angle = 0;
+      while (j < end && !(is(j, "{") && angle == 0)) {
+        const std::string& b = txt(j);
+        if (b == "<") ++angle;
+        else if (b == ">") angle = std::max(0, angle - 1);
+        if (b == ",") {
+          if (!base.empty()) sym.bases.push_back(join(base, ""));
+          base.clear();
+        } else if (b != "public" && b != "private" && b != "protected" &&
+                   b != "virtual") {
+          base.push_back(b);
+        }
+        ++j;
+      }
+      if (!base.empty()) sym.bases.push_back(join(base, ""));
+    }
+    if (!is(j, "{")) return skip_statement(i, end);
+    const std::size_t close = info_.match_brace(j);
+    if (close == kNoTok) return end;
+    auto inner = scopes;
+    inner.push_back(name);
+    // Parse into the local first: a nested class pushes onto
+    // info_.classes mid-parse, and a reallocation there must not
+    // invalidate the pointer the body parse writes through.
+    parse_scope(j + 1, close, inner, &sym);
+    info_.classes.push_back(std::move(sym));
+    return skip_statement(close, end);  // past the trailing ';'
+  }
+
+  /// Parse one member/function declaration starting at `i`.  Returns the
+  /// index one past it.
+  std::size_t parse_declaration(std::size_t i, std::size_t end,
+                                const std::vector<std::string>& scopes,
+                                ClassSym* cls) {
+    std::vector<std::string> head;   // type tokens seen so far
+    std::string annotations;
+    std::string name, qualifier;
+    std::size_t name_line = toks_[i].line;
+    int angle = 0;
+    std::size_t j = i;
+    for (; j < end; ++j) {
+      const std::string& t = txt(j);
+      // Operator declarations mix punctuation into the declarator; the
+      // index does not record them — skip past the body or ';'.
+      if (t == "operator") return skip_past(j, end);
+      if (t == "[" && is(j + 1, "[")) {  // [[nodiscard]] etc.
+        j = skip_balanced(j, '[', ']', end) - 1;
+        continue;
+      }
+      if (t == "<") {
+        ++angle;
+        head.push_back(t);
+        continue;
+      }
+      if (t == ">") {
+        angle = std::max(0, angle - 1);
+        head.push_back(t);
+        continue;
+      }
+      if (angle > 0) {
+        head.push_back(t);
+        continue;
+      }
+      if (t == "(") {
+        const std::string prev = j > i ? txt(j - 1) : "";
+        if (is_annotation(prev)) {
+          const std::size_t after = skip_balanced(j, '(', ')', end);
+          for (std::size_t k = j - 1; k < after; ++k)
+            annotations += (annotations.empty() ? "" : " ") + txt(k);
+          if (!head.empty()) head.pop_back();  // the macro name
+          j = after - 1;
+          continue;
+        }
+        // Function declarator: `prev` is the name; a preceding `A ::`
+        // chain is the qualifier, a preceding `~` marks a destructor.
+        if (prev.empty() || toks_[j - 1].kind != Token::Kind::ident)
+          return skip_past(j, end);
+        name = prev;
+        name_line = toks_[j - 1].line;
+        std::size_t q = j - 1;
+        if (q > i && txt(q - 1) == "~") {
+          name = "~" + name;
+          --q;
+        }
+        std::vector<std::string> quals;
+        while (q >= i + 2 && txt(q - 1) == "::" &&
+               toks_[q - 2].kind == Token::Kind::ident) {
+          quals.insert(quals.begin(), txt(q - 2));
+          q -= 2;
+        }
+        qualifier = join(quals, "::");
+        // Head minus name/qualifier tokens is the return type.
+        std::string ret;
+        for (std::size_t k = i; k < q; ++k) {
+          if (toks_[k].kind == Token::Kind::ident &&
+              is_decl_keyword(txt(k)))
+            continue;
+          append_type(ret, txt(k));
+        }
+        return finish_function(i, j, end, scopes, cls, name, qualifier, ret,
+                               name_line, annotations);
+      }
+      if (t == "=" || t == "{" || t == ";" || t == ":") {
+        // Member variable (or a global we do not record).
+        if (t == ":" && !is(j + 1, ":")) {
+          // Bitfield or stray label; treat like a member terminator.
+        }
+        if (cls) {
+          std::string mname;
+          std::size_t k = j;
+          while (k > i) {
+            --k;
+            if (txt(k) == "]") {
+              while (k > i && txt(k) != "[") --k;
+              continue;
+            }
+            if (txt(k) == ")") {  // trailing annotation macro args
+              int depth = 1;
+              while (k > i && depth > 0) {
+                --k;
+                if (txt(k) == ")") ++depth;
+                else if (txt(k) == "(") --depth;
+              }
+              continue;
+            }
+            if (toks_[k].kind == Token::Kind::ident) {
+              if (is_annotation(txt(k))) continue;
+              mname = txt(k);
+              break;
+            }
+          }
+          if (!mname.empty() && k > i) {
+            MemberVar var;
+            var.name = mname;
+            var.annotations = annotations;
+            var.line = toks_[k].line;
+            std::string type;
+            for (std::size_t h = i; h < k; ++h) {
+              if (toks_[h].kind == Token::Kind::ident &&
+                  is_decl_keyword(txt(h)))
+                continue;
+              append_type(type, txt(h));
+            }
+            var.type = type;
+            if (!type.empty()) cls->members.push_back(std::move(var));
+          }
+        }
+        if (t == ";") return j + 1;
+        return skip_statement(j, end);
+      }
+      head.push_back(t);
+    }
+    return end;
+  }
+
+  /// Skip past a declaration we do not record: to its body's end if it
+  /// has one, else past the ';'.
+  std::size_t skip_past(std::size_t from, std::size_t end) {
+    std::size_t j = from;
+    int paren = 0;
+    for (; j < end; ++j) {
+      if (txt(j) == "(") ++paren;
+      else if (txt(j) == ")") --paren;
+      else if (txt(j) == ";" && paren == 0) return j + 1;
+      else if (txt(j) == "{" && paren == 0) {
+        const std::size_t close = info_.match_brace(j);
+        return close == kNoTok ? end : close + 1;
+      }
+    }
+    return end;
+  }
+
+  std::size_t finish_function(std::size_t stmt_begin, std::size_t lparen,
+                              std::size_t end,
+                              const std::vector<std::string>& scopes,
+                              ClassSym* cls, const std::string& name,
+                              const std::string& qualifier,
+                              const std::string& ret, std::size_t name_line,
+                              std::string annotations) {
+    const std::size_t rparen = skip_balanced(lparen, '(', ')', end) - 1;
+    FunctionSym fn;
+    fn.name = name;
+    fn.qualifier = qualifier;
+    fn.return_type = ret;
+    fn.line = name_line;
+    for (std::size_t k = lparen + 1; k < rparen; ++k)
+      fn.params += (fn.params.empty() ? "" : " ") + txt(k);
+    // Post-parameter tokens: qualifiers, annotations, trailing return,
+    // `= default/delete/0`, constructor init list, then body or ';'.
+    std::size_t j = rparen + 1;
+    bool decl_only = false;
+    while (j < end) {
+      const std::string& t = txt(j);
+      if (t == ";") {
+        decl_only = true;
+        ++j;
+        break;
+      }
+      if (t == "{") break;
+      if (t == "=") {  // = default / = delete / = 0
+        j = skip_statement(j, end);
+        decl_only = true;
+        break;
+      }
+      if (t == ":") {  // constructor init list
+        ++j;
+        while (j < end) {
+          // member/base name: idents, '::', template args
+          while (j < end && (toks_[j].kind == Token::Kind::ident ||
+                             is(j, "::")))
+            ++j;
+          if (is(j, "<")) {
+            int depth = 0;
+            for (; j < end; ++j) {
+              if (is(j, "<")) ++depth;
+              else if (is(j, ">") && --depth == 0) {
+                ++j;
+                break;
+              }
+            }
+          }
+          if (is(j, "(")) j = skip_balanced(j, '(', ')', end);
+          else if (is(j, "{")) j = skip_balanced(j, '{', '}', end);
+          if (is(j, ",")) {
+            ++j;
+            continue;
+          }
+          break;  // next '{' is the body
+        }
+        continue;
+      }
+      if (toks_[j].kind == Token::Kind::ident && is_annotation(t) &&
+          is(j + 1, "(")) {
+        const std::size_t after = skip_balanced(j + 1, '(', ')', end);
+        for (std::size_t k = j; k < after; ++k)
+          annotations += (annotations.empty() ? "" : " ") + txt(k);
+        j = after;
+        continue;
+      }
+      if (toks_[j].kind == Token::Kind::ident && is_annotation(t)) {
+        annotations += (annotations.empty() ? "" : " ") + t;
+        ++j;
+        continue;
+      }
+      if (t == "[" && is(j + 1, "[")) {
+        j = skip_balanced(j, '[', ']', end);
+        continue;
+      }
+      if (t == "->") {  // trailing return type
+        ++j;
+        continue;
+      }
+      ++j;  // const / noexcept / override / final / & / && / type tokens
+    }
+    fn.annotations = std::move(annotations);
+    std::size_t next = j;
+    if (!decl_only && j < end && is(j, "{")) {
+      fn.body_begin = j;
+      fn.body_end = info_.match_brace(j);
+      if (fn.body_end == kNoTok) fn.body_end = end - 1;
+      next = fn.body_end + 1;
+    }
+    (void)stmt_begin;
+    if (cls) {
+      fn.class_name = cls->name;
+      cls->methods.push_back(std::move(fn));
+    } else {
+      (void)scopes;
+      info_.functions.push_back(std::move(fn));
+    }
+    return next;
+  }
+};
+
+}  // namespace
+
+void parse_symbols(FileInfo& info) { Parser(info).run(); }
+
+// --- index -----------------------------------------------------------------
+
+SemanticIndex SemanticIndex::build(const std::string& root,
+                                   const std::vector<std::string>& subdirs) {
+  SemanticIndex index;
+  index.root_ = root;
+  for (const auto& sub : subdirs) {
+    const fs::path dir = fs::path(root) / sub;
+    if (!fs::exists(dir)) continue;
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(dir))
+      if (entry.is_regular_file() && has_cxx_extension(entry.path()))
+        paths.push_back(entry.path());
+    std::sort(paths.begin(), paths.end());
+    for (const auto& path : paths) {
+      FileInfo info;
+      info.rel = fs::relative(path, fs::path(root)).generic_string();
+      info.raw = read_file(path);
+      info.code = strip_comments(info.raw);
+      info.nostr = strip_string_literals(info.code);
+      info.tokens = tokenize(info.raw);
+      info.includes = scan_includes(info.code);
+      parse_symbols(info);
+      index.files_.push_back(std::move(info));
+    }
+  }
+  return index;
+}
+
+const FileInfo* SemanticIndex::file(const std::string& rel) const {
+  for (const auto& f : files_)
+    if (f.rel == rel) return &f;
+  return nullptr;
+}
+
+const ClassSym* SemanticIndex::find_class(const std::string& name) const {
+  const ClassSym* found = nullptr;
+  for (const auto& f : files_) {
+    for (const auto& c : f.classes) {
+      const bool match =
+          c.name == name ||
+          (c.name.size() > name.size() + 2 &&
+           c.name.compare(c.name.size() - name.size(), name.size(), name) ==
+               0 &&
+           c.name.compare(c.name.size() - name.size() - 2, 2, "::") == 0);
+      if (!match) continue;
+      if (found && found->name != c.name) return nullptr;  // ambiguous
+      if (!found) found = &c;
+    }
+  }
+  return found;
+}
+
+std::vector<const ClassSym*> SemanticIndex::classes() const {
+  std::vector<const ClassSym*> out;
+  for (const auto& f : files_)
+    for (const auto& c : f.classes) out.push_back(&c);
+  return out;
+}
+
+namespace {
+
+/// Does the qualified class name `cls` end with the (possibly multi
+/// component) `qual` on a `::` boundary?
+bool qualifier_matches(const std::string& cls, const std::string& qual) {
+  if (qual.empty()) return false;
+  if (cls == qual) return true;
+  return cls.size() > qual.size() + 2 &&
+         cls.compare(cls.size() - qual.size(), qual.size(), qual) == 0 &&
+         cls.compare(cls.size() - qual.size() - 2, 2, "::") == 0;
+}
+
+}  // namespace
+
+std::vector<SemanticIndex::FnRef> SemanticIndex::method_definitions(
+    const ClassSym& cls, const std::string& method) const {
+  std::vector<FnRef> out;
+  for (const auto& f : files_) {
+    for (const auto& c : f.classes) {
+      if (&c != &cls) continue;
+      for (const auto& m : c.methods)
+        if (m.name == method && m.has_body()) out.push_back({&f, &m});
+    }
+    for (const auto& fn : f.functions) {
+      if (fn.name != method || !fn.has_body()) continue;
+      if (qualifier_matches(cls.name, fn.qualifier)) out.push_back({&f, &fn});
+    }
+  }
+  return out;
+}
+
+const FunctionSym* SemanticIndex::method_declaration(
+    const ClassSym& cls, const std::string& method) const {
+  for (const auto& m : cls.methods)
+    if (m.name == method) return &m;
+  return nullptr;
+}
+
+}  // namespace bitio::lint

@@ -1,0 +1,157 @@
+#pragma once
+// Semantic index over the bitio sources — the shared substrate of the
+// bitio-analyzer rules (tools/lint_invariants).
+//
+// PR 4's linter proved that in-tree textual analysis catches real drift,
+// but each rule re-read and re-stripped the files it cared about and none
+// could answer questions that need *structure*: "which mutexes does this
+// class own", "what does this function's body call", "who includes whom".
+// The index computes that structure once per run:
+//
+//   * a comment-stripped, line-preserving copy of every file (legacy rules
+//     keep their regex logic on top of it), plus a string-blanked variant;
+//   * a token stream per file (raw strings, char/string literals and
+//     multi-char operators tokenized correctly — the places where naive
+//     regexes lie);
+//   * a per-file symbol table: classes with their base classes, data
+//     members (name + textual type) and method declarations including
+//     thread-safety annotations (REQUIRES/ACQUIRE/EXCLUDES/...), and
+//     namespace-scope function definitions with token ranges for their
+//     bodies;
+//   * the include graph (every #include directive, conditional or not).
+//
+// The parser is deliberately heuristic — it is not a C++ front end — but
+// it is exact for the idioms this codebase uses (and the analyzer's own
+// fixture tests pin the tricky cases: raw strings, nested templates in
+// signatures, constructor init lists, attribute macros on classes).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bitio::lint {
+
+inline constexpr std::size_t kNoTok = static_cast<std::size_t>(-1);
+
+struct Token {
+  enum class Kind : std::uint8_t { ident, number, str, chr, punct };
+  Kind kind = Kind::punct;
+  std::string text;        // identifiers verbatim; literals include quotes
+  std::size_t offset = 0;  // byte offset into FileInfo::raw
+  std::size_t line = 0;    // 1-based
+};
+
+/// A data member of a class (or struct): `util::Mutex mutex_;`,
+/// `std::unique_ptr<bp::Engine> writer_;`, ...
+struct MemberVar {
+  std::string name;
+  std::string type;         // normalized: tokens joined by single spaces
+  std::string annotations;  // GUARDED_BY(...) / ACQUIRED_BEFORE(...) text
+  std::size_t line = 0;
+};
+
+/// A function: method declaration inside a class body (possibly with an
+/// inline definition) or a namespace-scope definition (free function or
+/// out-of-line `Class::method`).
+struct FunctionSym {
+  std::string name;         // unqualified ("end_step", "~Writer")
+  std::string qualifier;    // "Writer" for `Writer::end_step` definitions
+  std::string class_name;   // owning class (qualified) for in-class decls
+  std::string return_type;  // textual, best effort
+  std::string params;       // parameter list text (without outer parens)
+  std::string annotations;  // REQUIRES(...) EXCLUDES(...) ... trailing text
+  std::size_t line = 0;
+  std::size_t body_begin = kNoTok;  // token index of '{'
+  std::size_t body_end = kNoTok;    // token index of matching '}'
+  bool has_body() const { return body_begin != kNoTok; }
+};
+
+struct ClassSym {
+  std::string name;  // namespace/outer-class qualified, e.g. "bp::Writer"
+  std::vector<std::string> bases;  // as written ("core::DiagnosticsSink")
+  std::vector<MemberVar> members;
+  std::vector<FunctionSym> methods;
+  std::size_t line = 0;
+};
+
+struct IncludeDirective {
+  std::string target;  // as written: "bp/engine.hpp" or "vector"
+  bool angled = false;
+  std::size_t line = 0;
+};
+
+struct FileInfo {
+  std::string rel;    // forward-slash path relative to the index root
+  std::string raw;    // original bytes
+  std::string code;   // comments blanked, line structure preserved
+  std::string nostr;  // code with string/char literal contents blanked too
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<ClassSym> classes;     // in declaration order, nested included
+  std::vector<FunctionSym> functions;  // namespace-scope definitions
+
+  /// Token index of the '}' matching the '{' at `open` (kNoTok if
+  /// unbalanced).  Strings/chars are single tokens, so literal braces
+  /// cannot desynchronize the match.
+  std::size_t match_brace(std::size_t open) const;
+};
+
+class SemanticIndex {
+public:
+  /// Index every C++ source under `<root>/<subdir>` for each listed
+  /// subdir that exists.  `root` itself is remembered so rules can find
+  /// committed companion files (e.g. the wire-format fingerprint golden).
+  static SemanticIndex build(
+      const std::string& root,
+      const std::vector<std::string>& subdirs = {"src", "bench", "examples"});
+
+  const std::string& root() const { return root_; }
+  const std::vector<FileInfo>& files() const { return files_; }
+
+  /// Lookup by exact relative path; nullptr when absent.
+  const FileInfo* file(const std::string& rel) const;
+
+  /// Resolve a class by qualified-name suffix: "Writer" and "bp::Writer"
+  /// both find "bp::Writer" (nullptr when absent or ambiguous).
+  const ClassSym* find_class(const std::string& name) const;
+
+  /// All indexed classes (spanning files), in index order.
+  std::vector<const ClassSym*> classes() const;
+
+  /// Definitions (bodies) of `Class::method`: the inline in-class body
+  /// and/or out-of-line definitions whose qualifier matches the class
+  /// name's last component.  Each result pairs the function with its file.
+  struct FnRef {
+    const FileInfo* file = nullptr;
+    const FunctionSym* fn = nullptr;
+  };
+  std::vector<FnRef> method_definitions(const ClassSym& cls,
+                                        const std::string& method) const;
+
+  /// The in-class *declaration* of a method (where annotations live);
+  /// nullptr when the class does not declare it.
+  const FunctionSym* method_declaration(const ClassSym& cls,
+                                        const std::string& method) const;
+
+private:
+  std::string root_;
+  std::vector<FileInfo> files_;
+};
+
+// --- building blocks, exposed for the analyzer's own unit tests ------------
+
+/// Tokenize one file's text: comments skipped, preprocessor lines skipped
+/// (but see scan_includes), string/char/raw-string literals kept as single
+/// tokens, `::` and `->` fused.
+std::vector<Token> tokenize(const std::string& text);
+
+/// Every #include directive in the text, conditional blocks included (the
+/// index does not evaluate the preprocessor — an include behind #if is
+/// still an edge a human must reason about).
+std::vector<IncludeDirective> scan_includes(const std::string& text);
+
+/// Populate classes/functions of `info` from its token stream.
+void parse_symbols(FileInfo& info);
+
+}  // namespace bitio::lint

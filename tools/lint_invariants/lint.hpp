@@ -1,25 +1,35 @@
 #pragma once
-// In-tree invariant linter for the bitio sources (tools/lint_invariants).
+// bitio-analyzer — in-tree static analysis for the bitio sources
+// (tools/lint_invariants).
 //
-// The codebase keeps several cross-file invariants that the compiler cannot
-// check: all file I/O goes through the fsim layer, the Bit1IoConfig TOML
-// surface is driven off one key registry, the Darshan counter set is
-// declared in one table, and every TraceOp kind is explicitly classified
-// and captured.  Each rule here re-derives one of those invariants from the
-// sources textually (comment-aware, brace-matched) and reports violations
-// as file:line diagnostics.  The `lint`-labeled ctest runs the whole suite
-// over the real tree; tests/lint_test.cpp runs each rule against fixture
-// trees with seeded violations.
+// The codebase keeps cross-file invariants that the compiler cannot check:
+// all file I/O goes through the fsim layer, the Bit1IoConfig TOML surface
+// is driven off one key registry, the Darshan counter set is declared in
+// one table, every TraceOp kind is explicitly classified and captured,
+// mutexes are acquired in one global order, serialized wire formats only
+// change together with their version constants, status-returning fsim/bp
+// APIs are never silently dropped, and pooled buffers are always recycled.
 //
-// The rules are deliberately textual, not AST-based: the tree has no
-// guaranteed clang on the build host, and the invariants are all "token X
-// must appear inside function Y" shapes that survive formatting changes.
+// Every rule runs over one shared SemanticIndex (see index.hpp): the
+// legacy PR-4 rules keep their regex logic on the index's pre-stripped
+// text, while the cross-file rules (lock-order, wire-format,
+// unchecked-status, pool-pairing, include-graph) use its token streams
+// and symbol tables.  Violations are file:line diagnostics; the
+// `lint`-labeled ctest runs the whole suite over the real tree, and
+// tests/lint_test.cpp + tests/analyzer_test.cpp run each rule against
+// fixture trees with seeded violations.
+//
+// The analyses are deliberately heuristic, not AST-based: the tree has no
+// guaranteed clang on the build host, and every invariant here survives
+// formatting changes at the token level.
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
 namespace bitio::lint {
+
+class SemanticIndex;  // index.hpp
 
 /// One violation, pointing at the source line that must change.
 struct Diagnostic {
@@ -54,28 +64,39 @@ std::string body_after(const std::string& text, const std::string& anchor,
                        std::size_t* line = nullptr, std::size_t from = 0);
 
 // --- rules -----------------------------------------------------------------
+//
+// Every rule has two overloads: the SemanticIndex one does the work; the
+// string one builds a throwaway index over `root` first (fixture tests and
+// single-rule CLI runs use it).  run_all builds the index once.
 
-/// raw-io: no naked stdio/iostream file access outside src/fsim.  All file
-/// traffic must go through fsim::FsClient so the trace, the timing replay,
-/// and the Darshan capture see it.  (fprintf to stderr is allowed: console
-/// logging is not file I/O.)
+/// raw-io: no naked stdio/iostream file access outside src/fsim, scanned
+/// across src/, bench/, and examples/ (tools/ and tests/ are exempt).  All
+/// file traffic must go through fsim::FsClient so the trace, the timing
+/// replay, and the Darshan capture see it.  (fprintf to stderr is allowed:
+/// console logging is not file I/O.)  Escape hatch for host-side probes
+/// that are genuinely outside the simulated storage path:
+/// `// lint: allow-raw-io` on the flagged line.
 std::vector<Diagnostic> check_raw_io(const std::string& root);
+std::vector<Diagnostic> check_raw_io(const SemanticIndex& index);
 
 /// config-registry: every row of core::kBit1IoConfigKeys is parsed by
 /// Bit1IoConfig::from_toml, rendered by to_toml, declared as a struct
 /// field, and (when flagged validated) constrained in validate(); and every
 /// key from_toml reads appears in the registry.
 std::vector<Diagnostic> check_config_registry(const std::string& root);
+std::vector<Diagnostic> check_config_registry(const SemanticIndex& index);
 
 /// darshan-counters: every name in darshan::kFileRecordCounters is a
 /// FileRecord member referenced by both serialize() and parse(), and every
 /// numeric FileRecord member is listed in the table.
 std::vector<Diagnostic> check_darshan_counters(const std::string& root);
+std::vector<Diagnostic> check_darshan_counters(const SemanticIndex& index);
 
 /// traceop-kinds: every OpKind enumerator has a `case OpKind::<kind>` in
 /// op_name(), in service_class() (the replay dispatch), and in the Darshan
 /// capture switch.
 std::vector<Diagnostic> check_traceop_kinds(const std::string& root);
+std::vector<Diagnostic> check_traceop_kinds(const SemanticIndex& index);
 
 /// engine-registry: every engine name in core::kBit1IoEngines is registered
 /// by bp's builtin_engines() factory block (src/bp/engine.cpp), spelled out
@@ -84,6 +105,7 @@ std::vector<Diagnostic> check_traceop_kinds(const std::string& root);
 /// string to one site but not the others fails lint with a file:line
 /// diagnostic at the site that is missing it.
 std::vector<Diagnostic> check_engine_registry(const std::string& root);
+std::vector<Diagnostic> check_engine_registry(const SemanticIndex& index);
 
 /// topology-registry: every aggregation mode in core::kBit1IoAggregationModes
 /// is dispatched by the bp writer gather path (src/bp/writer.cpp) and tagged
@@ -93,9 +115,92 @@ std::vector<Diagnostic> check_engine_registry(const std::string& root);
 /// factory-seam audit: no `bp::Writer` reference outside src/bp — call
 /// sites must construct engines through bp::make_engine.
 std::vector<Diagnostic> check_topology_registry(const std::string& root);
+std::vector<Diagnostic> check_topology_registry(const SemanticIndex& index);
 
-/// All rules over the tree rooted at `root` (the repository checkout: the
-/// rules look under `<root>/src`).  Diagnostics are ordered by rule.
+// --- cross-file analyses (the bitio-analyzer additions) --------------------
+
+/// lock-order: build the mutex acquisition-order graph from MutexLock /
+/// lock_guard / unique_lock construction sites, REQUIRES/ACQUIRE
+/// annotations, and ACQUIRED_BEFORE declarations, propagated across
+/// resolved call sites; fail on any cycle (a cross-function lock-order
+/// inversion is a potential deadlock that clang's per-function
+/// -Wthread-safety cannot see).
+std::vector<Diagnostic> check_lock_order(const std::string& root);
+std::vector<Diagnostic> check_lock_order(const SemanticIndex& index);
+
+/// The acquisition-order graph in Graphviz DOT form (declared edges
+/// dashed), for embedding in DESIGN.md.
+std::string lock_order_dot(const SemanticIndex& index);
+
+/// One serialized wire surface the fingerprint rule guards: the function
+/// that writes the format, and the version constant that must move with
+/// it.
+struct FormatSurface {
+  std::string id;             // golden-file key, e.g. "minibp-step"
+  std::string file;           // rel path holding the serializer
+  std::string anchor;         // serializer name, e.g. "encode_step" or
+                              // "EpochManifest::to_json"
+  std::string version_file;   // rel path declaring the version constant
+  std::string version_const;  // e.g. "kMdMagicV6"
+};
+
+/// The five production surfaces: miniBP step metadata + footer, CZP1
+/// frame header, Darshan DRSNLOG record table, checkpoint MANIFEST.
+const std::vector<FormatSurface>& default_format_surfaces();
+
+/// Path of the committed golden, relative to the index root.
+extern const char kFingerprintGoldenRel[];
+
+/// wire-format: fingerprint every surface's serializer (normalized
+/// output-writing statements, FNV-1a 64) and compare against the golden.
+/// A fingerprint drift with an unchanged version constant fails — fields
+/// cannot change without bumping the version; a drift with a bumped
+/// version fails until the golden is regenerated (--update-fingerprints),
+/// so the golden diff is part of the reviewed change.
+std::vector<Diagnostic> check_wire_format(const std::string& root);
+std::vector<Diagnostic> check_wire_format(const SemanticIndex& index);
+std::vector<Diagnostic> check_wire_format(
+    const SemanticIndex& index, const std::vector<FormatSurface>& surfaces,
+    const std::string& golden_rel);
+
+/// Regenerate the golden (returns the new content via writing the file).
+/// Refuses — returning the blocking diagnostics — when a surface's
+/// fingerprint changed while its version constant did not: bump the
+/// version first.
+std::vector<Diagnostic> update_fingerprints(const SemanticIndex& index);
+std::vector<Diagnostic> update_fingerprints(
+    const SemanticIndex& index, const std::vector<FormatSurface>& surfaces,
+    const std::string& golden_rel);
+
+/// unchecked-status: a call of a value-returning fsim::FsClient /
+/// fsim::SharedFs / bp::Reader method must consume the result — dropping
+/// it as an expression statement hides injected faults and short reads.
+/// Escape hatch: `// lint: ignore-status` on the call line; `(void)`
+/// casts count as consumption.
+std::vector<Diagnostic> check_unchecked_status(const std::string& root);
+std::vector<Diagnostic> check_unchecked_status(const SemanticIndex& index);
+
+/// pool-pairing: a buffer acquired from a cz::BufferPool must be moved,
+/// released, or returned on every path out of the acquiring function —
+/// an early `return` between acquire and hand-off leaks the buffer out
+/// of the pool's steady-state set.  Escape hatch: `// lint: ignore-pool`.
+std::vector<Diagnostic> check_pool_pairing(const std::string& root);
+std::vector<Diagnostic> check_pool_pairing(const SemanticIndex& index);
+
+/// include-graph: no #include cycles under src/, and no file outside
+/// src/bp may include the bp writer internals (bp/writer.hpp,
+/// bp/stream.hpp, bp/format.hpp) — the engine seam (bp/engine.hpp,
+/// bp/types.hpp, bp/reader.hpp, bp/query.hpp) is the supported surface.
+std::vector<Diagnostic> check_include_graph(const std::string& root);
+std::vector<Diagnostic> check_include_graph(const SemanticIndex& index);
+
+/// All rules.  The string overload builds the index once (the analyzer
+/// CLI and the real-tree test use it).  Diagnostics are ordered by rule.
 std::vector<Diagnostic> run_all(const std::string& root);
+std::vector<Diagnostic> run_all(const SemanticIndex& index);
+
+/// Diagnostics as a JSON report (`analyze-report` mode): an object with a
+/// "diagnostics" array of {file, line, rule, message} and a "count".
+std::string diagnostics_json(const std::vector<Diagnostic>& diags);
 
 }  // namespace bitio::lint

@@ -1,0 +1,500 @@
+// lock-order — cross-function mutex acquisition-order analysis.
+//
+// Nodes are class-qualified mutex members ("bp::Writer::mutex_").  Edges
+// mean "held while acquiring": they come from nested guard constructions
+// (MutexLock / std::lock_guard / std::unique_lock / std::scoped_lock),
+// from calls made while holding a lock into functions that (transitively)
+// acquire other locks, and from explicit ACQUIRED_BEFORE declarations.
+// REQUIRES annotations seed the held-set at function entry, ACQUIRE
+// annotations count as acquisitions by the annotated function.  Any cycle
+// in the resulting graph is a potential deadlock that clang's
+// per-function thread-safety analysis cannot see.
+//
+// The analysis is deliberately under-approximate where it cannot resolve
+// a receiver (locals of unknown type, expression receivers): unresolved
+// acquisitions add no nodes and no edges, so the rule stays quiet rather
+// than noisy.  Nodes are per-class, not per-instance — self-edges
+// (lock-coupling over two instances of one class) are ignored.
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analysis_util.hpp"
+#include "index.hpp"
+#include "lint.hpp"
+
+namespace bitio::lint {
+
+namespace {
+
+const char* const kRule = "lock-order";
+
+/// Files whose guard/lock tokens are the primitives themselves, not uses.
+bool is_primitive_file(const std::string& rel) {
+  return rel == "src/util/mutex.hpp" || rel == "src/util/thread_annotations.hpp";
+}
+
+bool is_guard_class(const std::string& name) {
+  return name == "MutexLock" || name == "lock_guard" ||
+         name == "unique_lock" || name == "scoped_lock";
+}
+
+bool is_stmt_keyword(const std::string& t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" ||
+         t == "return" || t == "sizeof" || t == "catch" || t == "throw" ||
+         t == "new" || t == "delete" || t == "assert" || t == "defined" ||
+         t == "alignof" || t == "decltype" || t == "static_cast" ||
+         t == "co_await" || t == "case";
+}
+
+struct Edge {
+  std::string from, to;
+  std::string file;
+  std::size_t line = 0;
+  std::string via;  // callee label for call-propagated edges
+  bool declared = false;
+};
+
+struct CallSite {
+  std::vector<std::string> callee_keys;  // candidate "Class::method" keys
+  std::vector<std::string> held;
+  std::string file;
+  std::size_t line = 0;
+  std::string label;  // what the source spells, for the message
+};
+
+class LockOrderAnalysis {
+public:
+  explicit LockOrderAnalysis(const SemanticIndex& index) : index_(index) {
+    build_derived_map();
+    for (const FnDef& def : all_function_definitions(index_)) {
+      if (is_primitive_file(def.file->rel)) continue;
+      scan_function(def);
+    }
+    declared_edges();
+    propagate();
+    call_edges();
+  }
+
+  std::vector<Diagnostic> diagnostics() const;
+  std::string dot() const;
+
+private:
+  const SemanticIndex& index_;
+  // class name -> classes that list it (by core name) among their bases
+  std::map<std::string, std::vector<const ClassSym*>> derived_;
+  // "Class::method" -> mutex nodes it acquires directly
+  std::map<std::string, std::set<std::string>> direct_;
+  // "Class::method" -> transitive closure (filled by propagate())
+  std::map<std::string, std::set<std::string>> trans_;
+  // caller key -> its call sites
+  std::map<std::string, std::vector<CallSite>> calls_;
+  std::vector<Edge> edges_;
+
+  static std::string fn_key(const ClassSym* cls, const std::string& name) {
+    return (cls ? cls->name : std::string()) + "::" + name;
+  }
+
+  void build_derived_map() {
+    for (const ClassSym* c : index_.classes())
+      for (const auto& base : c->bases) {
+        const std::string core = type_core(base);
+        if (const ClassSym* b = index_.find_class(core))
+          derived_[b->name].push_back(c);
+      }
+  }
+
+  /// `cls` plus everything transitively derived from it.
+  std::vector<const ClassSym*> with_derived(const ClassSym* cls) const {
+    std::vector<const ClassSym*> out{cls};
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const auto it = derived_.find(out[i]->name);
+      if (it == derived_.end()) continue;
+      for (const ClassSym* d : it->second)
+        if (std::find(out.begin(), out.end(), d) == out.end())
+          out.push_back(d);
+    }
+    return out;
+  }
+
+  /// Resolve a mutex expression (token range [a, b) of `file`) to a node
+  /// id, or "" when it cannot be pinned to a class member.
+  std::string resolve_mutex(const FileInfo& file, std::size_t a,
+                            std::size_t b, const ClassSym* cls,
+                            const std::map<std::string, std::string>& env) {
+    // Collect the `ident (. ident)*` chain; anything else is unresolved.
+    std::vector<std::string> parts;
+    for (std::size_t k = a; k < b; ++k) {
+      const Token& t = file.tokens[k];
+      if (t.kind == Token::Kind::ident) parts.push_back(t.text);
+      else if (t.text != "." && t.text != "->" && t.text != "::")
+        return {};
+    }
+    if (parts.empty()) return {};
+    if (parts.size() > 1 && parts.front() == "this")
+      parts.erase(parts.begin());
+    if (parts.size() == 1) {
+      if (!cls) return {};
+      const ClassSym* owner = nullptr;
+      const MemberVar* m = find_member(index_, *cls, parts[0], &owner);
+      if (m && is_mutex_type(m->type)) return owner->name + "::" + m->name;
+      return {};
+    }
+    if (parts.size() == 2) {
+      const auto it = env.find(parts[0]);
+      if (it == env.end()) return {};
+      const ClassSym* base = index_.find_class(it->second);
+      if (!base) return {};
+      const ClassSym* owner = nullptr;
+      const MemberVar* m = find_member(index_, *base, parts[1], &owner);
+      if (m && is_mutex_type(m->type)) return owner->name + "::" + m->name;
+    }
+    return {};
+  }
+
+  /// Member nodes named by a thread-safety annotation's arguments.
+  std::set<std::string> annotation_nodes(const std::string& annotations,
+                                         const std::string& keyword,
+                                         const ClassSym* cls) {
+    std::set<std::string> out;
+    if (!cls) return out;
+    std::istringstream in(annotations);
+    std::string tok;
+    std::vector<std::string> toks;
+    while (in >> tok) toks.push_back(tok);
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i] != keyword || toks[i + 1] != "(") continue;
+      int depth = 0;
+      for (std::size_t k = i + 1; k < toks.size(); ++k) {
+        if (toks[k] == "(") ++depth;
+        else if (toks[k] == ")" && --depth == 0) break;
+        else if (depth >= 1 && toks[k] != "," && toks[k][0] != '!') {
+          const ClassSym* owner = nullptr;
+          const MemberVar* m = find_member(index_, *cls, toks[k], &owner);
+          if (m && is_mutex_type(m->type)) out.insert(owner->name + "::" + m->name);
+        }
+      }
+    }
+    return out;
+  }
+
+  void scan_function(const FnDef& def) {
+    const FileInfo& file = *def.file;
+    const auto& toks = file.tokens;
+    const FunctionSym& fn = *def.fn;
+    const std::string key = fn_key(def.cls, fn.name);
+    const auto env = collect_var_types(file, fn, def.cls, index_);
+    const std::string annos = effective_annotations(index_, def);
+
+    const std::set<std::string> entry_held =
+        annotation_nodes(annos, "REQUIRES", def.cls);
+    for (const auto& n : annotation_nodes(annos, "ACQUIRE", def.cls))
+      direct_[key].insert(n);
+    direct_[key];  // ensure the key exists even with no acquisitions
+
+    struct Active {
+      std::string node;
+      std::size_t scope_end;
+    };
+    std::vector<Active> active;
+    std::vector<std::size_t> braces;  // open-brace token indices
+
+    auto held_now = [&]() {
+      std::vector<std::string> held(entry_held.begin(), entry_held.end());
+      for (const auto& a : active)
+        if (std::find(held.begin(), held.end(), a.node) == held.end())
+          held.push_back(a.node);
+      return held;
+    };
+    auto note_acquire = [&](const std::string& node, std::size_t line,
+                            std::size_t scope_end) {
+      for (const auto& h : held_now())
+        if (h != node)
+          edges_.push_back({h, node, file.rel, line, "", false});
+      active.push_back({node, scope_end});
+      direct_[key].insert(node);
+    };
+    auto match_paren = [&](std::size_t open) {
+      int depth = 0;
+      for (std::size_t k = open; k < fn.body_end; ++k) {
+        if (toks[k].text == "(") ++depth;
+        else if (toks[k].text == ")" && --depth == 0) return k;
+      }
+      return fn.body_end;
+    };
+
+    for (std::size_t i = fn.body_begin; i <= fn.body_end && i < toks.size();
+         ++i) {
+      active.erase(std::remove_if(active.begin(), active.end(),
+                                  [&](const Active& a) {
+                                    return i > a.scope_end;
+                                  }),
+                   active.end());
+      const std::string& t = toks[i].text;
+      if (t == "{") {
+        braces.push_back(i);
+        continue;
+      }
+      if (t == "}") {
+        if (!braces.empty()) braces.pop_back();
+        continue;
+      }
+      if (toks[i].kind != Token::Kind::ident) continue;
+
+      // Guard construction: MutexLock / lock_guard<...> name(args).
+      if (is_guard_class(t)) {
+        std::size_t j = i + 1;
+        if (j < fn.body_end && toks[j].text == "<") {
+          int depth = 0;
+          for (; j < fn.body_end; ++j) {
+            if (toks[j].text == "<") ++depth;
+            else if (toks[j].text == ">" && --depth == 0) {
+              ++j;
+              break;
+            }
+          }
+        }
+        if (j + 1 >= fn.body_end || toks[j].kind != Token::Kind::ident ||
+            toks[j + 1].text != "(")
+          continue;
+        const std::size_t open = j + 1, close = match_paren(open);
+        const std::size_t scope_end =
+            braces.empty() ? fn.body_end : file.match_brace(braces.back());
+        // scoped_lock can take several mutexes: split at top commas.
+        std::size_t arg_begin = open + 1;
+        int depth = 0;
+        for (std::size_t k = open + 1; k <= close; ++k) {
+          const std::string& a = toks[k].text;
+          if (a == "(" || a == "[" || a == "<") ++depth;
+          else if (a == ")" && k != close) --depth;
+          else if (a == "]" || a == ">") --depth;
+          if ((a == "," && depth == 0) || k == close) {
+            const std::string node =
+                resolve_mutex(file, arg_begin, k, def.cls, env);
+            if (!node.empty())
+              note_acquire(node, toks[i].line,
+                           scope_end == kNoTok ? fn.body_end : scope_end);
+            arg_begin = k + 1;
+          }
+        }
+        i = close;
+        continue;
+      }
+
+      if (i + 1 >= fn.body_end || toks[i + 1].text != "(") continue;
+      const std::string& prev = toks[i - 1].text;
+
+      // Direct `expr.lock()` on a resolvable mutex member.
+      if (t == "lock" && (prev == "." || prev == "->")) {
+        const std::size_t s = chain_start(toks, i);
+        const std::string node =
+            resolve_mutex(file, s, i - 1, def.cls, env);
+        if (!node.empty()) {
+          // Scope: until a matching `.unlock()` on the same receiver
+          // text, else the end of the function.
+          std::size_t scope_end = fn.body_end;
+          for (std::size_t k = i + 2; k + 1 < fn.body_end; ++k)
+            if (toks[k].text == "unlock" && toks[k + 1].text == "(" &&
+                (toks[k - 1].text == "." || toks[k - 1].text == "->") &&
+                chain_start(toks, k) + (i - s) == k &&
+                toks[chain_start(toks, k)].text == toks[s].text) {
+              scope_end = k;
+              break;
+            }
+          note_acquire(node, toks[i].line, scope_end);
+        }
+        continue;
+      }
+
+      // Call site: record candidates for the transitive pass.
+      if (is_stmt_keyword(t) || is_guard_class(t)) continue;
+      std::vector<std::string> callee_keys;
+      std::string label = t;
+      if (prev == "." || prev == "->") {
+        const std::size_t s = chain_start(toks, i);
+        if (s >= 2 && (toks[s - 1].text == "." || toks[s - 1].text == "->"))
+          continue;  // chain off an expression: unresolved
+        if (s == i) continue;
+        const auto it = env.find(toks[s].text);
+        if (it == env.end()) continue;
+        const ClassSym* base = index_.find_class(it->second);
+        if (!base) continue;
+        for (const ClassSym* c : with_derived(base))
+          callee_keys.push_back(fn_key(c, t));
+        label = it->second + "::" + t;
+      } else if (prev == "::") {
+        if (i < 2 || toks[i - 2].kind != Token::Kind::ident) continue;
+        const ClassSym* base = index_.find_class(toks[i - 2].text);
+        if (!base) continue;
+        callee_keys.push_back(fn_key(base, t));
+        label = base->name + "::" + t;
+      } else {
+        // Unqualified: a method of the enclosing class, or a free
+        // function somewhere in the index.
+        if (def.cls && index_.method_declaration(*def.cls, t)) {
+          callee_keys.push_back(fn_key(def.cls, t));
+          label = def.cls->name + "::" + t;
+        } else {
+          callee_keys.push_back(std::string("::") + t);
+        }
+      }
+      const auto held = held_now();
+      if (!callee_keys.empty())
+        calls_[key].push_back(
+            {std::move(callee_keys), held, file.rel, toks[i].line, label});
+    }
+  }
+
+  void declared_edges() {
+    for (const auto& f : index_.files())
+      for (const auto& c : f.classes)
+        for (const auto& m : c.members) {
+          if (m.annotations.empty() || !is_mutex_type(m.type)) continue;
+          for (const auto& to :
+               annotation_nodes(m.annotations, "ACQUIRED_BEFORE", &c))
+            edges_.push_back({c.name + "::" + m.name, to, f.rel, m.line,
+                              "ACQUIRED_BEFORE", true});
+          for (const auto& from :
+               annotation_nodes(m.annotations, "ACQUIRED_AFTER", &c))
+            edges_.push_back({from, c.name + "::" + m.name, f.rel, m.line,
+                              "ACQUIRED_AFTER", true});
+        }
+  }
+
+  void propagate() {
+    trans_ = direct_;
+    bool changed = true;
+    int guard = 0;
+    while (changed && ++guard < 64) {
+      changed = false;
+      for (const auto& [caller, sites] : calls_) {
+        auto& mine = trans_[caller];
+        for (const CallSite& site : sites)
+          for (const auto& callee : site.callee_keys) {
+            const auto it = trans_.find(callee);
+            if (it == trans_.end()) continue;
+            for (const auto& n : it->second)
+              changed |= mine.insert(n).second;
+          }
+      }
+    }
+  }
+
+  void call_edges() {
+    for (const auto& [caller, sites] : calls_) {
+      (void)caller;
+      for (const CallSite& site : sites) {
+        if (site.held.empty()) continue;
+        std::set<std::string> acquired;
+        for (const auto& callee : site.callee_keys) {
+          const auto it = trans_.find(callee);
+          if (it == trans_.end()) continue;
+          acquired.insert(it->second.begin(), it->second.end());
+        }
+        for (const auto& h : site.held)
+          for (const auto& n : acquired)
+            if (n != h)
+              edges_.push_back({h, n, site.file, site.line, site.label,
+                                false});
+      }
+    }
+  }
+
+  /// Deduplicated adjacency with the first witness per edge.
+  std::map<std::string, std::map<std::string, const Edge*>> adjacency()
+      const {
+    std::map<std::string, std::map<std::string, const Edge*>> adj;
+    for (const Edge& e : edges_) {
+      auto& row = adj[e.from];
+      if (!row.count(e.to)) row[e.to] = &e;
+    }
+    return adj;
+  }
+};
+
+std::vector<Diagnostic> LockOrderAnalysis::diagnostics() const {
+  std::vector<Diagnostic> out;
+  const auto adj = adjacency();
+  // DFS cycle detection; report each cycle once (keyed by its node set).
+  std::map<std::string, int> color;  // 0 white, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& node) {
+        color[node] = 1;
+        stack.push_back(node);
+        const auto it = adj.find(node);
+        if (it != adj.end()) {
+          for (const auto& [to, edge] : it->second) {
+            if (color[to] == 1) {
+              // Back edge: the cycle is stack[pos(to)..] + to.
+              auto at = std::find(stack.begin(), stack.end(), to);
+              std::vector<std::string> cycle(at, stack.end());
+              std::vector<std::string> sorted = cycle;
+              std::sort(sorted.begin(), sorted.end());
+              std::string cycle_key;
+              for (const auto& n : sorted) cycle_key += n + "|";
+              if (reported.insert(cycle_key).second) {
+                std::string path;
+                for (const auto& n : cycle) path += n + " -> ";
+                path += to;
+                std::string msg = "lock-order cycle (potential deadlock): " +
+                                  path;
+                if (!edge->via.empty())
+                  msg += " — closing edge via " + edge->via;
+                out.push_back({edge->file, edge->line, kRule, msg});
+              }
+            } else if (color[to] == 0) {
+              visit(to);
+            }
+          }
+        }
+        stack.pop_back();
+        color[node] = 2;
+      };
+  for (const auto& [node, row] : adj) {
+    (void)row;
+    if (color[node] == 0) visit(node);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return out;
+}
+
+std::string LockOrderAnalysis::dot() const {
+  const auto adj = adjacency();
+  std::ostringstream out;
+  out << "digraph lock_order {\n";
+  out << "  rankdir=LR;\n";
+  out << "  node [shape=box, fontname=\"monospace\", fontsize=10];\n";
+  for (const auto& [from, row] : adj)
+    for (const auto& [to, edge] : row) {
+      out << "  \"" << from << "\" -> \"" << to << "\" [label=\""
+          << edge->file << ":" << edge->line << "\"";
+      if (edge->declared) out << ", style=dashed";
+      out << "];\n";
+    }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_lock_order(const SemanticIndex& index) {
+  return LockOrderAnalysis(index).diagnostics();
+}
+
+std::vector<Diagnostic> check_lock_order(const std::string& root) {
+  return check_lock_order(SemanticIndex::build(root));
+}
+
+std::string lock_order_dot(const SemanticIndex& index) {
+  return LockOrderAnalysis(index).dot();
+}
+
+}  // namespace bitio::lint
