@@ -25,6 +25,15 @@
 #                       not store more than the all-full sweep, and every
 #                       faulted cell must fall back and still recover — a
 #                       violation fails this script.
+#   BENCH_iopath.json   iopath_sweep per-op vs batched vs batched+coalesced
+#                       step-write replay at 64/128/256 ranks on the Dardel
+#                       profile (step time, GiB/s, trace record counts,
+#                       coalesced bytes).  Sanity gates are in-band:
+#                       batching must never lose to the per-op path, the
+#                       coalesced path must reach >= 2x per-op throughput
+#                       at every scale, and a real-payload batched
+#                       container must stay byte-identical to the per-op
+#                       writer's — a violation fails this script.
 #
 # Numbers are machine-dependent; the committed files record the box the
 # report was last generated on.
@@ -37,7 +46,7 @@ build_dir=${1:-"$repo_root/build"}
 
 cmake -S "$repo_root" -B "$build_dir" >/dev/null
 cmake --build "$build_dir" --target micro_codecs stream_fanout topo_sweep \
-  ckpt_sweep -j "$(nproc 2>/dev/null || echo 4)"
+  ckpt_sweep iopath_sweep -j "$(nproc 2>/dev/null || echo 4)"
 
 "$build_dir/bench/micro_codecs" --json > "$repo_root/BENCH_codecs.json"
 printf 'wrote %s\n' "$repo_root/BENCH_codecs.json"
@@ -50,3 +59,6 @@ printf 'wrote %s\n' "$repo_root/BENCH_topo.json"
 
 "$build_dir/bench/ckpt_sweep" --json > "$repo_root/BENCH_ckpt.json"
 printf 'wrote %s\n' "$repo_root/BENCH_ckpt.json"
+
+"$build_dir/bench/iopath_sweep" --json > "$repo_root/BENCH_iopath.json"
+printf 'wrote %s\n' "$repo_root/BENCH_iopath.json"

@@ -27,7 +27,15 @@
 #                          same label under ASan+UBSan (ctest --preset
 #                          san-ckpt); the full/delta sweep is
 #                          scripts/bench_report.sh -> BENCH_ckpt.json
-#   8. full test suite     default preset, all labels (includes the `perf`
+#   8. iopath suite        batched queue-pair differential tests (byte
+#                          identity vs the per-op writer, CZP1 + two-level
+#                          composition, Darshan batch counters; ctest -L
+#                          iopath), then the iopath_sweep benchmark whose
+#                          in-band sanity gate requires batching to beat
+#                          the per-op path at 64+ ranks and the coalesced
+#                          path to reach >= 2x (the committed report is
+#                          scripts/bench_report.sh -> BENCH_iopath.json)
+#   9. full test suite     default preset, all labels (includes the `perf`
 #                          smoke test; the full codec sweep is
 #                          scripts/bench_report.sh -> BENCH_codecs.json)
 set -eu
@@ -71,6 +79,14 @@ step "checkpoint suite under ASan+UBSan (ctest --preset san-ckpt)"
 cmake --preset san >/dev/null
 cmake --build --preset san -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset san-ckpt
+
+step "batched I/O path suite (ctest -L iopath)"
+ctest --preset iopath
+
+step "batched I/O path sweep gate (iopath_sweep)"
+cmake --build --preset default -j "$(nproc 2>/dev/null || echo 4)" \
+  --target iopath_sweep
+"$repo_root/build/bench/iopath_sweep" >/dev/null
 
 step "full test suite"
 ctest --preset default

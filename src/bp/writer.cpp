@@ -27,13 +27,41 @@ constexpr double kCrcBandwidthBps = 12e9;
 /// real — but drops accordingly in profiling.json / Darshan accounting.
 constexpr double kWarmCopyFactor = 2.0;
 
+/// Zero-copy marshal (put_borrowed, no operator): the one remaining copy
+/// reads the caller's SoA arrays exactly once — no staged intermediate, a
+/// single pass through the SIMD block marshal with streaming stores into
+/// the warm aggregation buffer — so the staging write+read round trip of
+/// the put() path is gone and the charge runs at about twice the warm
+/// staged-copy bandwidth.  Fig 8's "warm-copy factor" for these chunks.
+constexpr double kZeroCopyFactor = 4.0;
+
 /// Reserve for a fresh per-aggregator aggregation buffer; after the first
 /// step the buffer comes back from the pool with its grown capacity.
 constexpr std::size_t kAggInitialReserve = 64 * 1024;
 
+/// Submit everything pushed into `sq` and surface any failed completion as
+/// the IoError a per-op pwrite would have thrown, so the drain retry and
+/// watchdog machinery behave identically on both paths.  Torn writes are
+/// reported short in their cqe but not failed — matching posix pwrite's
+/// silent-torn semantics, which keeps batched and per-op containers in
+/// byte agreement under the same fault plan.
+void submit_and_reap(fsim::SubmissionQueue& sq) {
+  if (sq.pending() == 0) return;
+  sq.submit();
+  for (const fsim::Cqe& cqe : sq.reap_all())
+    if (!cqe.ok) throw IoError(cqe.error);
+}
+
+/// Push onto the ring, draining it first when full (extra doorbells beyond
+/// one per lane only appear when a step outgrows io_batch_depth).
+void ring_push(fsim::SubmissionQueue& sq, fsim::Sqe sqe) {
+  if (sq.pending() == sq.depth()) submit_and_reap(sq);
+  sq.push(std::move(sqe));
+}
+
 /// Min/max over a real chunk's elements for the metadata statistics.
 template <typename T>
-void minmax(const std::vector<std::uint8_t>& data, double& lo, double& hi) {
+void minmax(std::span<const std::uint8_t> data, double& lo, double& hi) {
   const std::size_t n = data.size() / sizeof(T);
   if (n == 0) return;
   const T* p = reinterpret_cast<const T*>(data.data());
@@ -98,6 +126,16 @@ EngineConfig EngineConfig::from_json(const Json& adios2) {
       if (params.contains("BufferChunkSize"))
         config.buffer_chunk_mb =
             std::size_t(params.at("BufferChunkSize").as_uint());
+      // Batched queue-pair submission knobs (core::Bit1IoConfig emits them
+      // only when set, so legacy configs parse unchanged).
+      if (params.contains("IoBatchDepth"))
+        config.io_batch_depth = int(params.at("IoBatchDepth").as_int());
+      if (params.contains("CoalesceWrites")) {
+        const Json& coalesce = params.at("CoalesceWrites");
+        config.coalesce_writes = coalesce.is_string()
+                                     ? coalesce.as_string() == "On"
+                                     : coalesce.as_bool();
+      }
       if (params.contains("DrainTimeoutMs"))
         config.drain_timeout_ms = int(params.at("DrainTimeoutMs").as_int());
       if (params.contains("MaxDrainRetries"))
@@ -183,6 +221,8 @@ Writer::Writer(ForEngineFactory, fsim::SharedFs& fs, std::string path,
     throw UsageError("bp::Writer: drain_timeout_ms must be >= 0");
   if (config_.max_drain_retries < 0)
     throw UsageError("bp::Writer: max_drain_retries must be >= 0");
+  if (config_.io_batch_depth < 0)
+    throw UsageError("bp::Writer: io_batch_depth must be >= 0");
   if (config_.compress_threads < 1)
     throw UsageError("bp::Writer: compress_threads must be >= 1");
   if (config_.compress_block_kb < 1)
@@ -326,6 +366,26 @@ void Writer::put(int rank, const std::string& name, const Dims& shape,
   chunk.data = buffer_pool_.acquire(view.bytes().size());
   if (!view.bytes().empty())
     std::memcpy(chunk.data.data(), view.bytes().data(), view.bytes().size());
+  ++stage_copies_total_;
+  pending_[std::size_t(rank)].push_back(std::move(chunk));
+}
+
+void Writer::put_borrowed(int rank, const std::string& name,
+                          const Dims& shape, const ChunkView& view) {
+  util::MutexLock lock(mutex_);
+  validate_put(rank, name, view.dtype(), shape, view.offset(), view.count());
+  if (step_kind_ == 2)
+    throw UsageError("bp::Writer: cannot mix real and synthetic puts");
+  step_kind_ = 1;
+  PendingChunk chunk;
+  chunk.var = name;
+  chunk.dtype = view.dtype();
+  chunk.shape = shape;
+  chunk.offset = view.offset();
+  chunk.count = view.count();
+  // No staging: the drain marshals straight from the caller's bytes (which
+  // the deferred-Put contract keeps valid until the step lands).
+  chunk.borrowed = view.bytes();
   pending_[std::size_t(rank)].push_back(std::move(chunk));
 }
 
@@ -355,21 +415,22 @@ void Writer::add_attribute(const std::string& name, AttrValue value) {
 }
 
 void Writer::compute_stats(const PendingChunk& chunk, ChunkRecord& meta) {
+  const std::span<const std::uint8_t> payload = chunk.payload();
   switch (chunk.dtype) {
     case Datatype::uint8:
-      minmax<std::uint8_t>(chunk.data, meta.stat_min, meta.stat_max);
+      minmax<std::uint8_t>(payload, meta.stat_min, meta.stat_max);
       break;
     case Datatype::int32:
-      minmax<std::int32_t>(chunk.data, meta.stat_min, meta.stat_max);
+      minmax<std::int32_t>(payload, meta.stat_min, meta.stat_max);
       break;
     case Datatype::uint64:
-      minmax<std::uint64_t>(chunk.data, meta.stat_min, meta.stat_max);
+      minmax<std::uint64_t>(payload, meta.stat_min, meta.stat_max);
       break;
     case Datatype::float32:
-      minmax<float>(chunk.data, meta.stat_min, meta.stat_max);
+      minmax<float>(payload, meta.stat_min, meta.stat_max);
       break;
     case Datatype::float64:
-      minmax<double>(chunk.data, meta.stat_min, meta.stat_max);
+      minmax<double>(payload, meta.stat_min, meta.stat_max);
       break;
   }
 }
@@ -426,6 +487,13 @@ void Writer::drain_step(const StepJob& job) {
       buffer = buffer_pool_.acquire_reserve(kAggInitialReserve);
   std::vector<std::uint64_t> agg_bytes(
       static_cast<std::size_t>(num_aggregators_), 0);
+  // Queue-pair path: one sqe per marshalled chunk extent (the natural unit
+  // the ring receives), so the extent sizes are tracked during marshalling.
+  // Coalescing later merges adjacent extents back into vectored device
+  // records.
+  const bool batched = config_.io_batch_depth > 0;
+  std::vector<std::vector<std::uint64_t>> agg_extents(
+      static_cast<std::size_t>(num_aggregators_));
   // Async: marshalling/compression runs on each aggregator's drain lane,
   // not the ranks' critical path.  Accumulated per aggregator, charged to
   // the leader's lane below.
@@ -469,7 +537,8 @@ void Writer::drain_step(const StepJob& job) {
       const std::uint64_t raw_bytes =
           chunk.synthetic
               ? element_count(chunk.count) * dtype_size(chunk.dtype)
-              : chunk.data.size();
+              : chunk.payload().size();
+      if (chunk.is_borrowed()) ++zero_copy_chunks_total_;
       std::uint64_t stored_size = 0;
       std::string operator_name;
       std::uint32_t chunk_crc = 0;
@@ -492,19 +561,22 @@ void Writer::drain_step(const StepJob& job) {
         } else {
           std::vector<std::uint8_t>& dst = agg[std::size_t(a)];
           const std::size_t start = dst.size();
-          codec_->compress_append(chunk.data, dst);
+          codec_->compress_append(chunk.payload(), dst);
           stored_size = dst.size() - start;
           chunk_crc = crc32c(std::span<const std::uint8_t>(
               dst.data() + start, std::size_t(stored_size)));
           chunk_has_crc = true;
         }
       } else {
-        // No operator: a marshalling memcopy into the aggregation buffer.
-        // Both the staged put() payload and the aggregation buffer are
-        // warm recycled pool memory, hence the kWarmCopyFactor discount
-        // over the seed model's cold-buffer charge.
+        // No operator: the marshalling copy into the aggregation buffer.
+        // For staged puts both ends are warm recycled pool memory, hence
+        // the kWarmCopyFactor discount over the seed model's cold-buffer
+        // charge; a borrowed chunk skipped staging entirely, so its single
+        // source-to-aggregation pass runs at kZeroCopyFactor.
+        const double factor =
+            chunk.is_borrowed() ? kZeroCopyFactor : kWarmCopyFactor;
         const double seconds =
-            double(raw_bytes) / (config_.mem_bandwidth_bps * kWarmCopyFactor);
+            double(raw_bytes) / (config_.mem_bandwidth_bps * factor);
         rank_memcopy_s += seconds;
         if (async)
           drain_us_total_ += seconds * 1e6;
@@ -512,10 +584,11 @@ void Writer::drain_step(const StepJob& job) {
           memcopy_us_total_ += seconds * 1e6;
         stored_size = raw_bytes;
         if (!chunk.synthetic) {
-          chunk_crc = crc32c(chunk.data);
+          const auto payload = chunk.payload();
+          chunk_crc = crc32c(payload);
           chunk_has_crc = true;
           agg[std::size_t(a)].insert(agg[std::size_t(a)].end(),
-                                     chunk.data.begin(), chunk.data.end());
+                                     payload.begin(), payload.end());
         }
       }
       if (chunk_has_crc) {
@@ -543,7 +616,7 @@ void Writer::drain_step(const StepJob& job) {
       if (!chunk.synthetic) {
         // Content identity over the raw bytes (format v6): the dedup key
         // the incremental-checkpoint layer compares across epochs.
-        meta.content_hash = util::hash64(chunk.data);
+        meta.content_hash = util::hash64(chunk.payload());
         meta.has_content_hash = true;
       }
       var.chunks.push_back(std::move(meta));
@@ -551,6 +624,8 @@ void Writer::drain_step(const StepJob& job) {
       raw_bytes_total_ += raw_bytes;
       stored_bytes_total_ += stored_size;
       agg_bytes[std::size_t(a)] += stored_size;
+      if (batched && stored_size > 0)
+        agg_extents[std::size_t(a)].push_back(stored_size);
       rank_stored += stored_size;
     }
     if (model_gather && rank_stored > 0) {
@@ -626,7 +701,34 @@ void Writer::drain_step(const StepJob& job) {
     }
     if (bytes == 0) continue;
     touch_heartbeat();
-    if (synthetic_step) {
+    if (batched) {
+      // Queue-pair path: the same bytes at the same offsets, issued as one
+      // sqe per marshalled chunk extent through one ring per aggregator
+      // lane.  Without coalescing every extent is its own device record
+      // (and pays its own per-record RPC cost, like N separate pwritevs
+      // would); with coalescing adjacent extents merge into vectored
+      // records, reclaiming that overhead without changing what lands on
+      // disk.
+      fsim::SubmissionQueue sq(client, std::size_t(config_.io_batch_depth),
+                               config_.coalesce_writes);
+      std::uint64_t pos = 0;
+      for (const std::uint64_t n : agg_extents[std::size_t(a)]) {
+        touch_heartbeat();
+        fsim::Sqe sqe;
+        sqe.fd = data_fds_[std::size_t(a)];
+        sqe.offset = data_offsets_[std::size_t(a)] + pos;
+        sqe.user_data = pos;
+        if (synthetic_step)
+          sqe.simulated_bytes = n;
+        else
+          sqe.iov.push_back(
+              std::span<const std::uint8_t>(agg[std::size_t(a)])
+                  .subspan(std::size_t(pos), std::size_t(n)));
+        ring_push(sq, std::move(sqe));
+        pos += n;
+      }
+      submit_and_reap(sq);
+    } else if (synthetic_step) {
       client.seek(data_fds_[std::size_t(a)], data_offsets_[std::size_t(a)]);
       const std::uint64_t nslices = async ? (bytes + slice - 1) / slice : 1;
       client.write_simulated(data_fds_[std::size_t(a)], bytes,
@@ -656,16 +758,36 @@ void Writer::drain_step(const StepJob& job) {
   fsim::FsClient root(fs_, 0, async ? kMetaLane : 0);
   const std::vector<std::uint8_t> md = encode_step(record);
   IndexEntry entry{job.step, md_offset_, md.size(), crc32c(md), true};
-  root.pwrite(md_fd_, md_offset_, md);
-  md_offset_ += md.size();
   BinWriter idx_bytes;
   idx_bytes.u64(entry.step);
   idx_bytes.u64(entry.md_offset);
   idx_bytes.u64(entry.md_length);
   idx_bytes.u32(entry.md_crc);
   idx_bytes.u32(0);  // reserved (v5 entry layout)
-  root.pwrite(idx_fd_, 8 + index_.size() * kIdxEntryBytesV5,
-              idx_bytes.buffer());
+  const std::uint64_t idx_offset = 8 + index_.size() * kIdxEntryBytesV5;
+  if (batched) {
+    // Rank 0's two tiny per-step appends (md.0 record + md.idx entry) ride
+    // one doorbell.  On the posix path each pays the synchronous
+    // small-record round trip every step — exactly the metadata cost the
+    // queue pair amortizes away at scale.
+    fsim::SubmissionQueue mq(root, 2, config_.coalesce_writes);
+    fsim::Sqe md_sqe;
+    md_sqe.fd = md_fd_;
+    md_sqe.offset = md_offset_;
+    md_sqe.iov.push_back(std::span<const std::uint8_t>(md));
+    mq.push(std::move(md_sqe));
+    fsim::Sqe idx_sqe;
+    idx_sqe.fd = idx_fd_;
+    idx_sqe.offset = idx_offset;
+    idx_sqe.iov.push_back(std::span<const std::uint8_t>(idx_bytes.buffer()));
+    idx_sqe.user_data = 1;
+    mq.push(std::move(idx_sqe));
+    submit_and_reap(mq);
+  } else {
+    root.pwrite(md_fd_, md_offset_, md);
+    root.pwrite(idx_fd_, idx_offset, idx_bytes.buffer());
+  }
+  md_offset_ += md.size();
   index_.push_back(entry);
   // Retained for the footer index close() appends; the encoded bytes above
   // are final, so the record can be moved out.
@@ -701,6 +823,7 @@ Writer::DrainSnapshot Writer::snapshot_drain_state() const {
   snap.crc_us = crc_us_total_;
   snap.raw_bytes = raw_bytes_total_;
   snap.stored_bytes = stored_bytes_total_;
+  snap.zero_copy_chunks = zero_copy_chunks_total_;
   return snap;
 }
 
@@ -715,6 +838,7 @@ void Writer::restore_drain_state(const DrainSnapshot& snap) {
   crc_us_total_ = snap.crc_us;
   raw_bytes_total_ = snap.raw_bytes;
   stored_bytes_total_ = snap.stored_bytes;
+  zero_copy_chunks_total_ = snap.zero_copy_chunks;
 }
 
 void Writer::drain_job_with_retries(const StepJob& job) {
@@ -935,6 +1059,17 @@ void Writer::close() {
     profile["transport_0"]["crc_us"] = crc_us_total_;
     profile["transport_0"]["raw_bytes"] = raw_bytes_total_;
     profile["transport_0"]["stored_bytes"] = stored_bytes_total_;
+    if (config_.io_batch_depth > 0) {
+      // Gated so per-op containers keep the legacy profiling.json.
+      profile["transport_0"]["io_batch_depth"] = config_.io_batch_depth;
+      profile["transport_0"]["coalesce_writes"] = config_.coalesce_writes;
+    }
+    if (zero_copy_chunks_total_ > 0) {
+      // Fig 8 extension: copies per path.  Gated so staged-only containers
+      // keep the legacy profile byte-for-byte.
+      profile["transport_0"]["zero_copy_chunks"] = zero_copy_chunks_total_;
+      profile["transport_0"]["stage_copies"] = stage_copies_total_;
+    }
     if (config_.drain_timeout_ms > 0) {
       const WatchdogStats wd = watchdog_stats();
       profile["transport_0"]["drain_timeouts"] = wd.timeouts;

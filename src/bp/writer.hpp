@@ -107,6 +107,19 @@ struct EngineConfig {
   /// Drain append granularity in MiB (BP5's BufferChunkSize): async subfile
   /// appends are issued in slices of at most this size.
   std::size_t buffer_chunk_mb = 16;
+  /// io_uring-style queue-pair submission on the drain path: with a depth
+  /// > 0 each aggregator's subfile appends and rank 0's md.0/md.idx appends
+  /// go through an fsim::SubmissionQueue of that ring size — one doorbell
+  /// per submit, OpKind::batch_write trace records — instead of per-op
+  /// pwrites.  The per-step metadata records in particular stop paying the
+  /// synchronous small-record round trip.  Container bytes are identical
+  /// either way; only the trace shape (op kinds, op_count, tags) changes.
+  /// 0 selects the per-op posix path.
+  int io_batch_depth = 0;
+  /// With batching, merge adjacent contiguous same-file sqes into single
+  /// vectored records (fewer, larger device ops; Darshan reports the merged
+  /// bytes as coalesced_bytes).  Inert when io_batch_depth == 0.
+  bool coalesce_writes = false;
   /// Backpressure bound on outstanding drain jobs: begin_step() of step
   /// N + max_inflight_steps blocks until step N's drain has landed.
   int max_inflight_steps = 2;
@@ -201,6 +214,19 @@ public:
     put(rank, name, shape, ChunkView::of<T>(data, offset, count));
   }
 
+  /// Zero-copy put: the chunk's bytes are borrowed, not staged.  The span
+  /// must stay valid and unmodified until the step's drain completes —
+  /// end_step() on the synchronous path, wait_drains()/close() with
+  /// async_write — mirroring ADIOS2's deferred Put contract.  Skips put()'s
+  /// staging memcpy entirely: marshalling reads the caller's SoA particle
+  /// arrays exactly once (a single pass through the SIMD marshal into the
+  /// pooled aggregation buffer, or compress_append under an operator), so
+  /// bytes flow source arrays -> aggregation buffer -> device with no
+  /// intermediate copy.  Output is byte-identical to put() of the same
+  /// bytes; only the Fig 8 memcopy accounting changes.
+  void put_borrowed(int rank, const std::string& name, const Dims& shape,
+                    const ChunkView& chunk) EXCLUDES(mutex_);
+
   /// Size-only put for modelled large-scale runs: the chunk participates in
   /// aggregation, metadata, and timing exactly like a real one, but no
   /// payload bytes are materialized (subfile writes go through the
@@ -264,8 +290,18 @@ private:
     std::string var;
     Datatype dtype;
     Dims shape, offset, count;
-    std::vector<std::uint8_t> data;  // empty for synthetic chunks
+    std::vector<std::uint8_t> data;  // empty for synthetic/borrowed chunks
+    // Caller-owned bytes of a put_borrowed() chunk (valid until the step's
+    // drain completes, per the deferred-Put contract).
+    std::span<const std::uint8_t> borrowed;
     bool synthetic = false;
+
+    bool is_borrowed() const { return borrowed.data() != nullptr; }
+    /// The chunk's payload wherever it lives (staged or borrowed).
+    std::span<const std::uint8_t> payload() const {
+      return is_borrowed() ? borrowed
+                           : std::span<const std::uint8_t>(data);
+    }
   };
 
   /// Immutable snapshot of one step, handed to the drain worker.
@@ -294,6 +330,7 @@ private:
     std::size_t footer_steps = 0;
     double memcopy_us = 0.0, compress_us = 0.0, drain_us = 0.0, crc_us = 0.0;
     std::uint64_t raw_bytes = 0, stored_bytes = 0;
+    std::uint64_t zero_copy_chunks = 0;
   };
 
   void validate_put(int rank, const std::string& name, Datatype dtype,
@@ -383,6 +420,13 @@ private:
   double crc_us_total_ = 0.0;  // per-chunk CRC32C time (both paths)
   std::uint64_t raw_bytes_total_ = 0;
   std::uint64_t stored_bytes_total_ = 0;
+  // Zero-copy marshal accounting (the Fig 8 extension): how many chunks
+  // paid the put() staging copy vs rode the borrowed-span path.  Emitted in
+  // profiling.json only when a borrowed put occurred, so staged-only
+  // containers keep the legacy profile byte-for-byte.  stage_copies is
+  // put-side (guarded by mutex_); zero_copy_chunks is drain-side state.
+  std::uint64_t stage_copies_total_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t zero_copy_chunks_total_ = 0;
 
   // Async drain state.  The worker owns the file-offset tables and
   // profiling accumulators between submit and join; callers only touch

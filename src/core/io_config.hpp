@@ -62,6 +62,8 @@ inline constexpr IoConfigKey kBit1IoConfigKeys[] = {
     {"profiling", "profiling", false},
     {"async_write", "async_write", false},
     {"buffer_chunk_mb", "buffer_chunk_mb", true},
+    {"io_batch_depth", "io_batch_depth", true},
+    {"coalesce_writes", "coalesce_writes", false},
     {"ranks_per_node", "ranks_per_node", true},
     {"checkpoint_interval", "checkpoint_interval", true},
     {"checkpoint_retain", "checkpoint_retain", true},
@@ -106,6 +108,16 @@ struct Bit1IoConfig {
   // BufferChunkSize: the MiB granularity the drain appends in.
   bool async_write = false;
   int buffer_chunk_mb = 16;
+
+  // Batched queue-pair submission (fsim::SubmissionQueue): with
+  // io_batch_depth > 0 the BP drain path issues its subfile and metadata
+  // appends as sqe batches behind one doorbell per lane instead of per-op
+  // pwrites, and coalesce_writes additionally merges adjacent contiguous
+  // sqes into vectored records.  Container bytes are identical either way —
+  // only the trace shape (and hence the timing replay) changes.
+  // coalesce_writes is inert when io_batch_depth == 0.
+  int io_batch_depth = 0;
+  bool coalesce_writes = false;
 
   // Lustre striping applied to the output directory (lfs setstripe).
   bool use_striping = false;
@@ -176,6 +188,8 @@ struct Bit1IoConfig {
            a.profiling == b.profiling &&
            a.async_write == b.async_write &&
            a.buffer_chunk_mb == b.buffer_chunk_mb &&
+           a.io_batch_depth == b.io_batch_depth &&
+           a.coalesce_writes == b.coalesce_writes &&
            a.use_striping == b.use_striping &&
            a.striping.stripe_count == b.striping.stripe_count &&
            a.striping.stripe_size == b.striping.stripe_size &&

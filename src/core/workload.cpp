@@ -204,6 +204,10 @@ EpochResult run_openpmd_epoch(const fsim::SystemProfile& profile,
     engine.mem_bandwidth_bps = profile.client_mem_bandwidth_bps;
     engine.async_write = config.async_write;
     engine.buffer_chunk_mb = std::size_t(config.buffer_chunk_mb);
+    // Batched queue-pair submission: drain-lane appends become sqe batches
+    // behind one doorbell per lane (same container bytes, cheaper replay).
+    engine.io_batch_depth = config.io_batch_depth;
+    engine.coalesce_writes = config.coalesce_writes;
     // Topology-modeled gather path (src/topo): the engine records the
     // rank -> aggregator gathers on the configured cluster hierarchy.
     engine.aggregation = config.aggregation;

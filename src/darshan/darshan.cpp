@@ -146,12 +146,16 @@ private:
 // Log format version 3 adds the per-record faults_injected counter;
 // version 4 adds the job-level recovery counters; version 5 adds the
 // per-record two-level-aggregation gather counters; version 6 adds the
-// job-level incremental-checkpoint counters.  parse() accepts all of them
-// — older logs read back with the newer counters at zero.
+// job-level incremental-checkpoint counters; version 7 adds the batched
+// queue-pair counters (per-record batches_submitted / batched_sqes /
+// coalesced_bytes plus the job-level ops-per-batch histogram).  parse()
+// accepts all of them — older logs read back with the newer counters at
+// zero.
 constexpr std::uint64_t kLogMagicV3 = 0x4452534e4c4f4733ull;  // "DRSNLOG3"
 constexpr std::uint64_t kLogMagicV4 = 0x4452534e4c4f4734ull;  // "DRSNLOG4"
 constexpr std::uint64_t kLogMagicV5 = 0x4452534e4c4f4735ull;  // "DRSNLOG5"
-constexpr std::uint64_t kLogMagic = 0x4452534e4c4f4736ull;    // "DRSNLOG6"
+constexpr std::uint64_t kLogMagicV6 = 0x4452534e4c4f4736ull;  // "DRSNLOG6"
+constexpr std::uint64_t kLogMagic = 0x4452534e4c4f4737ull;    // "DRSNLOG7"
 
 }  // namespace
 
@@ -169,6 +173,7 @@ std::vector<std::uint8_t> DarshanLog::serialize() const {
   put_u64(out, job.dedup_bytes_saved);
   put_u64(out, job.blocks_restored);
   put_f64(out, job.t_restore_s);
+  for (const std::uint64_t bucket : job.ops_per_batch) put_u64(out, bucket);
   put_u64(out, records.size());
   for (const auto& r : records) {
     put_str(out, r.path);
@@ -192,6 +197,9 @@ std::vector<std::uint8_t> DarshanLog::serialize() const {
     put_u64(out, r.shm_gather_bytes);
     put_u64(out, r.net_gather_bytes);
     put_f64(out, r.gather_time_s);
+    put_u64(out, r.batches_submitted);
+    put_u64(out, r.batched_sqes);
+    put_u64(out, r.coalesced_bytes);
   }
   return out;
 }
@@ -199,8 +207,8 @@ std::vector<std::uint8_t> DarshanLog::serialize() const {
 DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {
   Cursor cur(data);
   const std::uint64_t magic = cur.u64();
-  if (magic != kLogMagic && magic != kLogMagicV5 && magic != kLogMagicV4 &&
-      magic != kLogMagicV3)
+  if (magic != kLogMagic && magic != kLogMagicV6 && magic != kLogMagicV5 &&
+      magic != kLogMagicV4 && magic != kLogMagicV3)
     throw FormatError("darshan: bad log magic");
   DarshanLog log;
   log.job.exe = cur.str();
@@ -212,12 +220,14 @@ DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {
     log.job.degradations = cur.u64();
     log.job.t_recovery_s = cur.f64();
   }
-  if (magic == kLogMagic) {
+  if (magic == kLogMagic || magic == kLogMagicV6) {
     log.job.delta_epochs = cur.u64();
     log.job.dedup_bytes_saved = cur.u64();
     log.job.blocks_restored = cur.u64();
     log.job.t_restore_s = cur.f64();
   }
+  if (magic == kLogMagic)
+    for (std::uint64_t& bucket : log.job.ops_per_batch) bucket = cur.u64();
   const std::uint64_t n = cur.u64();
   log.records.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -238,12 +248,17 @@ DarshanLog DarshanLog::parse(std::span<const std::uint8_t> data) {
     r.meta_time_s = cur.f64();
     r.drain_time_s = cur.f64();
     r.faults_injected = cur.u64();
-    if (magic == kLogMagic || magic == kLogMagicV5) {
+    if (magic != kLogMagicV3 && magic != kLogMagicV4) {
       r.shm_gathers = cur.u64();
       r.net_gathers = cur.u64();
       r.shm_gather_bytes = cur.u64();
       r.net_gather_bytes = cur.u64();
       r.gather_time_s = cur.f64();
+    }
+    if (magic == kLogMagic) {
+      r.batches_submitted = cur.u64();
+      r.batched_sqes = cur.u64();
+      r.coalesced_bytes = cur.u64();
     }
     log.records.push_back(std::move(r));
   }
@@ -277,6 +292,18 @@ std::string DarshanLog::text_report() const {
         static_cast<unsigned long long>(job.delta_epochs),
         format_bytes(job.dedup_bytes_saved).c_str(),
         static_cast<unsigned long long>(job.blocks_restored), job.t_restore_s);
+  std::uint64_t batches = 0, sqes = 0, coalesced = 0;
+  for (const auto& r : records) {
+    batches += r.batches_submitted;
+    sqes += r.batched_sqes;
+    coalesced += r.coalesced_bytes;
+  }
+  if (batches > 0)
+    out += strfmt(
+        "# batches_submitted: %llu batched_sqes: %llu coalesced: %s\n",
+        static_cast<unsigned long long>(batches),
+        static_cast<unsigned long long>(sqes),
+        format_bytes(coalesced).c_str());
   TextTable table;
   table.header({"rank", "file", "opens", "writes", "bytes_w", "reads",
                 "bytes_r", "t_write", "t_meta", "t_drain"});
@@ -303,6 +330,21 @@ DarshanLog capture(const fsim::SharedFs& fs, const fsim::ReplayReport& replay,
   DarshanLog log;
   job.runtime_s = replay.makespan;
   log.job = std::move(job);
+
+  // Sqes of the queue-pair batch currently open per (client, lane): a
+  // doorbell-tagged batch_write record flushes the previous batch into the
+  // job's ops-per-batch histogram and starts the next one.  Keyed per
+  // client+lane because a stalled sqe releases the fs lock, so records of
+  // different clients' batches may interleave in the trace.
+  std::map<std::pair<fsim::ClientId, std::uint32_t>, std::uint64_t>
+      open_batches;
+  const auto bucket_of = [](std::uint64_t sqes) -> std::size_t {
+    if (sqes <= 1) return 0;
+    if (sqes <= 4) return 1;
+    if (sqes <= 16) return 2;
+    if (sqes <= 64) return 3;
+    return 4;
+  };
 
   // (rank, file id) -> record index.
   std::map<std::pair<std::int32_t, fsim::FileId>, std::size_t> index;
@@ -401,9 +443,37 @@ DarshanLog capture(const fsim::SharedFs& fs, const fsim::ReplayReport& replay,
         else
           r.gather_time_s += dt;
         break;
+      case OpKind::batch_write: {
+        // Queue-pair submission: op_count counts the sqes this record
+        // carries (>= 2 means adjacent sqes were coalesced into one
+        // vectored write); the doorbell tag marks the first record of each
+        // submit() call.
+        r.writes += op.op_count;
+        r.batched_sqes += op.op_count;
+        r.bytes_written += op.bytes;
+        r.max_byte_written =
+            std::max(r.max_byte_written, op.offset + op.bytes);
+        r.max_write_size = std::max(r.max_write_size, op.bytes);
+        if (op.op_count >= 2) r.coalesced_bytes += op.bytes;
+        const auto key = std::make_pair(op.client, op.lane);
+        if (op.tag == fsim::kBatchDoorbellTag) {
+          r.batches_submitted += 1;
+          if (const auto it = open_batches.find(key);
+              it != open_batches.end() && it->second > 0)
+            log.job.ops_per_batch[bucket_of(it->second)] += 1;
+          open_batches[key] = 0;
+        }
+        open_batches[key] += op.op_count;
+        write_time += dt;
+        break;
+      }
       case OpKind::cpu:
         break;
     }
+  }
+  for (const auto& [key, sqes] : open_batches) {
+    (void)key;
+    if (sqes > 0) log.job.ops_per_batch[bucket_of(sqes)] += 1;
   }
   return log;
 }

@@ -12,6 +12,7 @@
 // compact binary log with round-trip parsing, and `text_report()` renders a
 // darshan-parser-style listing.
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -47,6 +48,13 @@ struct JobInfo {
   std::uint64_t dedup_bytes_saved = 0;
   std::uint64_t blocks_restored = 0;
   double t_restore_s = 0.0;  // seconds charged under the "restore_chain" tag
+
+  // Batched queue-pair job counters (log format v7): histogram of sqes per
+  // submit() doorbell across the whole job, derived from the doorbell-
+  // tagged OpKind::batch_write records.  Bucket edges: 1, 2-4, 5-16,
+  // 17-64, >= 65 sqes.
+  static constexpr std::size_t kBatchHistBuckets = 5;
+  std::uint64_t ops_per_batch[kBatchHistBuckets] = {0, 0, 0, 0, 0};
 };
 
 /// Counters for one (rank, file) pair — the slice of Darshan's POSIX module
@@ -87,6 +95,15 @@ struct FileRecord {
   std::uint64_t shm_gather_bytes = 0;
   std::uint64_t net_gather_bytes = 0;
   double gather_time_s = 0.0;
+  // Batched queue-pair counters (log format v7): OpKind::batch_write
+  // submissions into this file.  batches_submitted counts doorbells (one
+  // per SubmissionQueue::submit), batched_sqes counts the sqes they
+  // carried, and coalesced_bytes the bytes that travelled in vectored
+  // records merging >= 2 adjacent sqes.  Zero on the posix write path and
+  // for every log captured before v7.
+  std::uint64_t batches_submitted = 0;
+  std::uint64_t batched_sqes = 0;
+  std::uint64_t coalesced_bytes = 0;
 };
 
 /// Every FileRecord counter, in serialization order — the one table the
@@ -115,6 +132,9 @@ inline constexpr const char* kFileRecordCounters[] = {
     "shm_gather_bytes",
     "net_gather_bytes",
     "gather_time_s",
+    "batches_submitted",
+    "batched_sqes",
+    "coalesced_bytes",
 };
 
 /// A captured log: job info + records + per-rank roll-ups.

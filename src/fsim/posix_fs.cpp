@@ -84,7 +84,8 @@ int SharedFs::stalled_op_count() const {
 std::uint64_t SharedFs::traced_bytes_written() const {
   std::uint64_t sum = 0;
   for (const auto& op : trace_)
-    if (op.kind == OpKind::write) sum += op.bytes;
+    if (op.kind == OpKind::write || op.kind == OpKind::batch_write)
+      sum += op.bytes;
   return sum;
 }
 
@@ -420,6 +421,184 @@ void FsClient::note_fault(FaultKind kind) {
   std::lock_guard<std::mutex> lock(fs_->mutex_);
   fs_->append_op({client_, OpKind::cpu, kNoFile, 0, 0, 1, 0.0, "fault", lane_,
                   kind});
+}
+
+// ---------------------------------------------------------------- queue pair
+
+std::optional<Cqe> CompletionQueue::reap() {
+  if (head_ >= cqes_.size()) return std::nullopt;
+  Cqe out = std::move(cqes_[head_]);
+  if (++head_ == cqes_.size()) {
+    cqes_.clear();
+    head_ = 0;
+  }
+  return out;
+}
+
+std::vector<Cqe> CompletionQueue::reap_all() {
+  std::vector<Cqe> out;
+  out.reserve(cqes_.size() - head_);
+  for (; head_ < cqes_.size(); ++head_) out.push_back(std::move(cqes_[head_]));
+  cqes_.clear();
+  head_ = 0;
+  return out;
+}
+
+SubmissionQueue::SubmissionQueue(FsClient client, std::size_t depth,
+                                 bool coalesce)
+    : io_(client), depth_(depth), coalesce_(coalesce) {
+  if (depth_ == 0)
+    throw UsageError("SubmissionQueue: depth must be > 0");
+  sqes_.reserve(depth_);
+}
+
+void SubmissionQueue::push(Sqe sqe) {
+  if (!try_push(sqe))
+    throw UsageError("SubmissionQueue::push: ring is full (depth " +
+                     std::to_string(depth_) + "); submit() first");
+}
+
+bool SubmissionQueue::try_push(Sqe& sqe) {
+  if (sqes_.size() >= depth_) return false;
+  sqes_.push_back(std::move(sqe));
+  return true;
+}
+
+std::size_t SubmissionQueue::submit() {
+  if (sqes_.empty()) return 0;
+  SharedFs& fs = io_.shared();
+  const ClientId client = io_.client();
+  const std::uint32_t lane = io_.lane();
+  std::unique_lock<std::mutex> lock(fs.mutex_);
+
+  // Validate every descriptor before touching any sqe: a bad fd is a
+  // programming error and must not leave a half-processed batch behind.
+  for (const Sqe& sqe : sqes_) {
+    const auto& desc = checked_fd(fs.fds_, sqe.fd, client);
+    if (!desc.writable) throw IoError("submit: descriptor is read-only");
+    if (sqe.simulated_bytes > 0 && !sqe.iov.empty())
+      throw UsageError(
+          "submit: an sqe is either payload (iov) or size-only "
+          "(simulated_bytes), not both");
+  }
+
+  stats_.batches_submitted += 1;
+  stats_.sqes_submitted += sqes_.size();
+  const std::size_t generated = sqes_.size();
+
+  // The first trace record of the batch carries the doorbell tag: the
+  // timing replay charges batch_setup_s only there, so setup is amortized
+  // over the whole submission.
+  bool doorbell = true;
+  // Coalescing accumulator: a run of adjacent fault-free sqes on one file
+  // becomes a single vectored trace record (op_count = sqes merged).
+  struct Run {
+    FileId file = kNoFile;
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    std::uint32_t sqes = 0;
+  };
+  Run run;
+  const auto trace_op = [&](TraceOp op) {
+    if (doorbell) {
+      op.tag = kBatchDoorbellTag;
+      doorbell = false;
+    }
+    fs.append_op(std::move(op));
+  };
+  const auto flush_run = [&] {
+    if (run.sqes == 0) return;
+    trace_op({client, OpKind::batch_write, run.file, run.offset, run.bytes,
+              run.sqes, 0.0, {}, lane});
+    run = Run{};
+  };
+
+  for (Sqe& sqe : sqes_) {
+    Cqe cqe;
+    cqe.user_data = sqe.user_data;
+    cqe.bytes_requested = sqe.bytes();
+    // Re-resolve descriptor and node each iteration: a stall on an earlier
+    // sqe released the fs lock, so cached references may have moved.
+    auto& desc = checked_fd(fs.fds_, sqe.fd, client);
+    FileNode& node = fs.store_.file_by_id(desc.file);
+    const FaultKind fault =
+        fs.next_write_fault(node, client, cqe.bytes_requested);
+    cqe.fault = fault;
+    if (fault == FaultKind::eio || fault == FaultKind::enospc) {
+      flush_run();
+      trace_op({client, OpKind::batch_write, desc.file, sqe.offset, 0, 1, 0.0,
+                {}, lane, fault});
+      cqe.ok = false;
+      cqe.error = "submit: injected " + std::string(fault_name(fault)) +
+                  " on '" + node.path + "'";
+      cq_.cqes_.push_back(std::move(cqe));
+      continue;
+    }
+    if (fault == FaultKind::stall) {
+      flush_run();
+      trace_op({client, OpKind::batch_write, desc.file, sqe.offset, 0, 1, 0.0,
+                {}, lane, fault});
+      try {
+        fs.stall_write(lock, "submit", node.path);
+      } catch (const TimeoutError& err) {
+        // The watchdog cancelled the wedged sqe; everything reaped so far
+        // stays valid and the rest of the batch proceeds.
+        cqe.ok = false;
+        cqe.error = err.what();
+        cq_.cqes_.push_back(std::move(cqe));
+        continue;
+      }
+    }
+    std::uint64_t persist = cqe.bytes_requested;
+    if (fault == FaultKind::torn_write)
+      persist = fs.fault_plan_->torn_prefix(
+          fs.fault_plan_->injected_count(), cqe.bytes_requested);
+    std::uint64_t written = 0;
+    for (const auto& segment : sqe.iov) {
+      if (written >= persist) break;
+      const std::uint64_t n =
+          std::min<std::uint64_t>(segment.size(), persist - written);
+      fs.store_.pwrite(node, sqe.offset + written, segment.data(), n);
+      written += n;
+    }
+    if (sqe.simulated_bytes > 0) {
+      // Size-only sqe: grow the node like write_simulated does.
+      node.size = std::max(node.size, sqe.offset + persist);
+      if (fs.store_.stores_data() && node.data.size() < node.size)
+        node.data.resize(node.size, 0);
+    }
+    if (fault == FaultKind::bit_flip && fs.store_.stores_data() &&
+        persist > 0) {
+      const std::uint64_t bit = fs.fault_plan_->flip_bit_index(
+          fs.fault_plan_->injected_count(), persist);
+      node.data[sqe.offset + bit / 8] ^= std::uint8_t(1u << (bit % 8));
+    }
+    cqe.bytes_persisted = persist;
+    if (fault != FaultKind::none) {
+      // Faulted records are never coalesced, so each injection stays
+      // attributable in the trace.
+      flush_run();
+      trace_op({client, OpKind::batch_write, desc.file, sqe.offset, persist,
+                1, 0.0, {}, lane, fault});
+    } else if (coalesce_ && run.sqes > 0 && run.file == desc.file &&
+               run.offset + run.bytes == sqe.offset) {
+      // Counts every byte of a vectored record merging >= 2 sqes (the same
+      // definition darshan::capture uses), so the opening sqe's bytes join
+      // the tally the moment a run becomes vectored.
+      if (run.sqes == 1) stats_.coalesced_bytes += run.bytes;
+      run.bytes += persist;
+      run.sqes += 1;
+      stats_.coalesced_bytes += persist;
+    } else {
+      flush_run();
+      run = {desc.file, sqe.offset, persist, 1};
+      if (!coalesce_) flush_run();
+    }
+    cq_.cqes_.push_back(std::move(cqe));
+  }
+  flush_run();
+  sqes_.clear();
+  return generated;
 }
 
 }  // namespace bitio::fsim

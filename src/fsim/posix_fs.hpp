@@ -86,6 +86,7 @@ public:
 
 private:
   friend class FsClient;
+  friend class SubmissionQueue;
   void append_op(TraceOp op);
   /// Consult the fault plan for a data write (mutex must be held).
   FaultKind next_write_fault(const FileNode& node, ClientId client,
@@ -195,6 +196,129 @@ private:
   SharedFs* fs_;
   ClientId client_;
   std::uint32_t lane_ = 0;
+};
+
+// ---------------------------------------------------------------- queue pair
+
+/// One submission-queue entry: a vectored pwritev-shaped write.  The iov
+/// segments land contiguously at `offset` of the file behind `fd`.  Spans
+/// are *borrowed* — the referenced bytes must stay valid until the sqe's
+/// completion is generated by submit() (same deferred-Put contract as
+/// bp::ChunkView), which is what lets the writer submit straight out of its
+/// pooled aggregation buffer with zero staging copies.
+struct Sqe {
+  int fd = -1;
+  std::uint64_t offset = 0;
+  std::vector<std::span<const std::uint8_t>> iov;
+  /// Size-only sqe for modelled large-scale runs (the write_simulated
+  /// analogue): with an empty iov and simulated_bytes > 0 the op grows the
+  /// file and lands in the trace like a payload write, but no bytes are
+  /// materialized.  Mixing iov segments and simulated_bytes in one sqe is
+  /// rejected at submit().
+  std::uint64_t simulated_bytes = 0;
+  std::uint64_t user_data = 0;  // opaque cookie echoed in the Cqe
+
+  std::uint64_t bytes() const {
+    std::uint64_t sum = simulated_bytes;
+    for (const auto& segment : iov) sum += segment.size();
+    return sum;
+  }
+};
+
+/// One completion-queue entry.  `ok` is false only for transient failures
+/// (eio/enospc) and cancelled stalls; a torn write reports ok with a short
+/// `bytes_persisted` (io_uring-style: the result carries the byte count, so
+/// short writes are caller-visible even though the posix write() path hides
+/// them).  `fault` records any injection for attribution either way.
+struct Cqe {
+  std::uint64_t user_data = 0;
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t bytes_persisted = 0;
+  FaultKind fault = FaultKind::none;
+  bool ok = true;
+  std::string error;  // human-readable reason when !ok
+
+  bool short_write() const { return ok && bytes_persisted < bytes_requested; }
+};
+
+/// Reap side of the queue pair.  Completions arrive in submission order;
+/// reaping is independent of further submissions (the writer reaps a lane's
+/// completions after the lane's last doorbell of the step).
+class CompletionQueue {
+public:
+  std::size_t ready() const { return cqes_.size(); }
+  /// Pop the oldest completion, or nullopt when none are pending.
+  std::optional<Cqe> reap();
+  /// Drain every pending completion, oldest first.
+  std::vector<Cqe> reap_all();
+
+private:
+  friend class SubmissionQueue;
+  std::vector<Cqe> cqes_;
+  std::size_t head_ = 0;
+};
+
+/// Counters for one queue pair's lifetime, mirrored into the Darshan batch
+/// counters by trace capture.
+struct BatchStats {
+  std::uint64_t batches_submitted = 0;  // submit() calls with >= 1 sqe
+  std::uint64_t sqes_submitted = 0;
+  // Bytes carried by vectored records merging >= 2 adjacent sqes (the same
+  // definition darshan::capture applies to the trace).
+  std::uint64_t coalesced_bytes = 0;
+};
+
+/// io_uring-style queue pair over the simulated filesystem: the client
+/// enqueues up to `depth` vectored sqes, rings the doorbell with submit(),
+/// and reaps Cqes from the paired CompletionQueue.  One submit() records
+/// one doorbell-tagged OpKind::batch_write TraceOp plus one per sqe (or per
+/// coalesced run of adjacent sqes when `coalesce` is on), so the timing
+/// replay charges batch setup once per doorbell and a tiny per-sqe cost —
+/// never the per-record synchronous round trip of the posix write path.
+///
+/// Faults inject per-sqe: eio/enospc fail only the affected sqe's Cqe,
+/// a stall wedges submit() until SharedFs::cancel_stalls() (the watchdog
+/// primitive) converts it into a failed Cqe, and earlier completions of the
+/// same batch stay valid throughout.  Every submit() must be paired with a
+/// reachable reap()/reap_all() — tools/lint_invariants (submit-reap rule)
+/// enforces this.
+class SubmissionQueue {
+public:
+  /// `depth` is the ring size (must be > 0); push() throws when the ring is
+  /// full, try_push() returns false.  `coalesce` merges adjacent same-file
+  /// sqes into single vectored trace records.
+  SubmissionQueue(FsClient client, std::size_t depth, bool coalesce = false);
+
+  std::size_t depth() const { return depth_; }
+  std::size_t pending() const { return sqes_.size(); }
+  bool coalesce() const { return coalesce_; }
+
+  /// Enqueue without submitting; throws UsageError when the ring is full.
+  void push(Sqe sqe);
+  /// Enqueue if the ring has room; false (sqe untouched) when full.
+  bool try_push(Sqe& sqe);
+
+  /// Ring the doorbell: process every pending sqe in order, append the
+  /// batch trace records, and generate one Cqe per sqe.  Returns how many
+  /// completions were generated.  Never throws on injected faults — they
+  /// surface as failed/short Cqes (bad descriptors still throw, before any
+  /// sqe is processed).
+  std::size_t submit();
+
+  CompletionQueue& completions() { return cq_; }
+  /// Convenience forwarders to the paired CompletionQueue.
+  std::optional<Cqe> reap() { return cq_.reap(); }
+  std::vector<Cqe> reap_all() { return cq_.reap_all(); }
+
+  const BatchStats& stats() const { return stats_; }
+
+private:
+  FsClient io_;
+  std::size_t depth_;
+  bool coalesce_;
+  std::vector<Sqe> sqes_;
+  CompletionQueue cq_;
+  BatchStats stats_;
 };
 
 }  // namespace bitio::fsim

@@ -195,9 +195,10 @@ ReplayReport replay_trace(const SystemProfile& profile,
       FifoResource& link = link_of(seq.client);
       const std::uint64_t record =
           op.op_count > 0 ? op.bytes / op.op_count : op.bytes;
-      const bool is_write = op.kind == OpKind::write;
+      const bool is_batch = op.kind == OpKind::batch_write;
+      const bool is_write = op.kind == OpKind::write || is_batch;
 
-      if (is_write && record < profile.sync_write_threshold) {
+      if (op.kind == OpKind::write && record < profile.sync_write_threshold) {
         // Small records (stdio lines, tiny buffered appends): per-record
         // lock/ack round trips charge the caller (meta + data split), while
         // the payload drains through write-back caching — the OST service
@@ -255,9 +256,16 @@ ReplayReport replay_trace(const SystemProfile& profile,
         // the node link and the stripe-mapped OSTs.  OST request latency
         // pipelines across queued slices (it delays completion, not server
         // occupancy); one client's pipeline is capped at its streaming
-        // bandwidth.
-        const double t_start =
-            t0 + double(op.op_count) * profile.syscall_overhead_s;
+        // bandwidth.  A batch_write reaches here regardless of record size
+        // (the ring bypasses the small-record synchronous round trip) and
+        // pays one doorbell plus a tiny per-sqe charge instead of
+        // per-call syscalls.
+        const double setup =
+            is_batch ? (op.tag == kBatchDoorbellTag ? profile.batch_setup_s
+                                                    : 0.0) +
+                           double(op.op_count) * profile.sqe_overhead_s
+                     : double(op.op_count) * profile.syscall_overhead_s;
+        const double t_start = t0 + setup;
         // RPC size: stripe size clamped to [64 KiB, slice_bytes].
         const std::uint64_t slice = std::clamp<std::uint64_t>(
             layout.settings.stripe_size, 64 * 1024, profile.slice_bytes);

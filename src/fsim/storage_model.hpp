@@ -95,6 +95,13 @@ struct SystemProfile {
   double small_write_meta_s = 1.8e-3;
   double small_write_data_s = 0.1e-3;
   double syscall_overhead_s = 2e-6;   // per call, streaming path
+  // Queue-pair (io_uring-style) batched submission, OpKind::batch_write:
+  // one ring doorbell per submit() pays batch_setup_s once, and each sqe
+  // in the batch costs only sqe_overhead_s — no per-call syscall and never
+  // the small-record synchronous round trip (the ring replaces the
+  // per-record lock/ack pattern that dominates stdio-sized appends).
+  double batch_setup_s = 3e-6;
+  double sqe_overhead_s = 150e-9;
   double client_mem_bandwidth_bps = 8e9;  // for memcopy modelling
   // Re-reads of an already-read file hit the client/OST page cache: only
   // this service time is charged instead of the full OST path.

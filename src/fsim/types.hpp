@@ -41,6 +41,7 @@ enum class OpKind : std::uint8_t {
   read,     // data transfer from OSTs
   xfer,     // rank-to-rank gather transfer (shm in-node, NIC across nodes)
   cpu,      // client-local compute charged by upper layers (compress, copy)
+  batch_write,  // queue-pair submission: op_count sqes in one ring doorbell
 };
 
 /// Tags carried by OpKind::xfer records, naming the gather level of the
@@ -51,6 +52,14 @@ enum class OpKind : std::uint8_t {
 /// (topology-registry rule) checks all three stay in lockstep.
 inline constexpr const char* kShmGatherTag = "shm_gather";
 inline constexpr const char* kNetGatherTag = "net_gather";
+
+/// Tag carried by the first OpKind::batch_write record of each
+/// SubmissionQueue::submit() call (the ring doorbell).  The timing replay
+/// charges SystemProfile::batch_setup_s only on doorbell-tagged records, so
+/// the setup cost is amortized over the whole batch while every record pays
+/// the tiny per-sqe charge; Darshan capture counts doorbells as
+/// batches_submitted and uses them to delimit the ops-per-batch histogram.
+inline constexpr const char* kBatchDoorbellTag = "doorbell";
 
 /// How the timing replay and Darshan capture bucket an operation: against
 /// the metadata server, as a data transfer to/from the OSTs, or as
@@ -74,6 +83,7 @@ inline ServiceClass service_class(OpKind kind) {
     case OpKind::read: return ServiceClass::data;
     case OpKind::xfer: return ServiceClass::net;
     case OpKind::cpu: return ServiceClass::cpu;
+    case OpKind::batch_write: return ServiceClass::data;
   }
   return ServiceClass::meta;
 }
@@ -96,6 +106,7 @@ inline const char* op_name(OpKind kind) {
     case OpKind::read: return "read";
     case OpKind::xfer: return "xfer";
     case OpKind::cpu: return "cpu";
+    case OpKind::batch_write: return "batch_write";
   }
   return "?";
 }

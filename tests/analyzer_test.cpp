@@ -1,7 +1,8 @@
 // bitio-analyzer internals: units for the semantic index building blocks
 // (tokenizer, symbol table, include scanner) plus seeded-violation fixture
 // trees for the cross-file rules (lock-order, wire-format,
-// unchecked-status, pool-pairing, include-graph), each asserting the exact
+// unchecked-status, pool-pairing, submit-reap, include-graph), each
+// asserting the exact
 // file:line of the seeded violation.  Finally the cross-file rules run
 // against the real sources and must come back clean.
 
@@ -135,7 +136,9 @@ TEST(AnalyzerTokenizer, PreprocessorLinesSkipped) {
   EXPECT_TRUE(has_token(toks, "kept"));
   // Line numbers survive the skip: `kept` sits on line 3.
   for (const auto& t : toks) {
-    if (t.text == "kept") EXPECT_EQ(t.line, 3u);
+    if (t.text == "kept") {
+      EXPECT_EQ(t.line, 3u);
+    }
   }
 }
 
@@ -520,6 +523,61 @@ TEST(AnalyzerPoolPairing, FlagsLeakAndEarlyReturn) {
       << dump(diags);
 }
 
+// --- submit-reap ------------------------------------------------------------
+
+TEST(AnalyzerSubmitReap, FlagsUnreapedSubmitAndEarlyReturn) {
+  FixtureTree tree;
+  tree.write("src/fsim/ring.hpp",
+             "namespace bitio::fsim {\n"
+             "class SubmissionQueue {\n"
+             "public:\n"
+             "  void push(Sqe sqe);\n"
+             "  std::size_t submit();\n"
+             "  std::vector<Cqe> reap_all();\n"
+             "  CompletionQueue& completions();\n"
+             "};\n"
+             "}\n");
+  const std::string use =
+      "#include \"fsim/ring.hpp\"\n"
+      "namespace bitio::core {\n"
+      "void drain_helper(fsim::SubmissionQueue& sq);\n"
+      "std::size_t forgets(fsim::SubmissionQueue& sq) {\n"
+      "  const std::size_t n = sq.submit();\n"
+      "  return n;\n"
+      "}\n"
+      "int bails(fsim::SubmissionQueue& sq, bool bail) {\n"
+      "  sq.submit();\n"
+      "  if (bail) return -1;\n"
+      "  use_cqes(sq.reap_all());\n"
+      "  return 0;\n"
+      "}\n"
+      "void fine(fsim::SubmissionQueue& sq) {\n"
+      "  sq.submit();\n"
+      "  use_cqes(sq.reap_all());\n"
+      "}\n"
+      "void delegates(fsim::SubmissionQueue& sq) {\n"
+      "  sq.submit();\n"
+      "  drain_helper(sq);\n"
+      "}\n"
+      "void opts_out(fsim::SubmissionQueue& sq) {\n"
+      "  sq.submit();  // lint: ignore-reap\n"
+      "}\n"
+      "}\n";
+  tree.write("src/core/ringsites.cpp", use);
+
+  const auto diags = bitio::lint::check_submit_reap(tree.root());
+  ASSERT_EQ(diags.size(), 2u) << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/core/ringsites.cpp",
+                       expect_line(use, "const std::size_t n = sq.submit();"),
+                       "never reaped"))
+      << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "src/core/ringsites.cpp",
+                       expect_line(use, "if (bail) return -1;"),
+                       "early return drops"))
+      << dump(diags);
+  EXPECT_EQ(diags[0].rule, "submit-reap");
+}
+
 // --- real tree --------------------------------------------------------------
 
 TEST(AnalyzerRealTree, CrossFileRulesPass) {
@@ -532,6 +590,8 @@ TEST(AnalyzerRealTree, CrossFileRulesPass) {
       << dump(bitio::lint::check_unchecked_status(index));
   EXPECT_TRUE(bitio::lint::check_pool_pairing(index).empty())
       << dump(bitio::lint::check_pool_pairing(index));
+  EXPECT_TRUE(bitio::lint::check_submit_reap(index).empty())
+      << dump(bitio::lint::check_submit_reap(index));
   EXPECT_TRUE(bitio::lint::check_include_graph(index).empty())
       << dump(bitio::lint::check_include_graph(index));
 }

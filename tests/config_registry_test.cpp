@@ -44,6 +44,10 @@ bool mutate_for_key(const std::string& key, Bit1IoConfig& config) {
     config.async_write = true;
   } else if (key == "buffer_chunk_mb") {
     config.buffer_chunk_mb = 32;
+  } else if (key == "io_batch_depth") {
+    config.io_batch_depth = 64;
+  } else if (key == "coalesce_writes") {
+    config.coalesce_writes = true;
   } else if (key == "ranks_per_node") {
     config.ranks_per_node = 64;
   } else if (key == "checkpoint_interval") {

@@ -119,14 +119,18 @@ TEST(Darshan, RecoveryCountersRoundTripInV4Logs) {
 namespace {
 
 // Byte length of one serialized FileRecord minus its path string: rank +
-// the 13 v3-era counters, then (v5+) the 5 gather counters.
+// the 13 v3-era counters, then (v5+) the 5 gather counters and (v7) the
+// 3 batched queue-pair counters.
 constexpr std::size_t kRecordFixedV3Bytes = 8 + 13 * 8;
 constexpr std::size_t kRecordGatherBytes = 5 * 8;
+constexpr std::size_t kRecordBatchBytes = 3 * 8;  // v7 queue-pair counters
 constexpr std::size_t kJobRecoveryBytes = 3 * 8;  // v4+ recovery counters
 constexpr std::size_t kJobCkptBytes = 4 * 8;      // v6 checkpoint counters
+constexpr std::size_t kJobBatchHistBytes = 5 * 8;  // v7 ops-per-batch buckets
 
-/// Rewrite a current (v6) serialized log as an older format: strip the 4
-/// job checkpoint counters, optionally the job recovery counters and the
+/// Rewrite a current (v7) serialized log as an older format: strip the
+/// job ops-per-batch histogram and per-record batch counters, the 4 job
+/// checkpoint counters, optionally the job recovery counters and the
 /// per-record gather counters, and patch the magic's version byte.
 std::vector<std::uint8_t> downgrade_log(std::vector<std::uint8_t> bytes,
                                         char version) {
@@ -145,23 +149,29 @@ std::vector<std::uint8_t> downgrade_log(std::vector<std::uint8_t> bytes,
   off += 8;                                 // runtime
   off += 8 + u64_at(off);                   // mount
   if (version == '3') {
-    erase_at(off, kJobRecoveryBytes + kJobCkptBytes);
+    erase_at(off, kJobRecoveryBytes + kJobCkptBytes + kJobBatchHistBytes);
   } else {
     off += kJobRecoveryBytes;               // v4+ keep the recovery counters
-    erase_at(off, kJobCkptBytes);
+    if (version == '6') {
+      off += kJobCkptBytes;                 // v6 keeps the ckpt counters
+      erase_at(off, kJobBatchHistBytes);
+    } else {
+      erase_at(off, kJobCkptBytes + kJobBatchHistBytes);
+    }
   }
   const std::uint64_t nrecords = u64_at(off);
   off += 8;
   for (std::uint64_t r = 0; r < nrecords; ++r) {
     off += 8 + u64_at(off);                 // path
     off += kRecordFixedV3Bytes;
-    if (version == '5')
-      off += kRecordGatherBytes;            // v5 keeps the gather counters
+    if (version == '5' || version == '6')
+      off += kRecordGatherBytes;            // v5+ keep the gather counters
     else
       erase_at(off, kRecordGatherBytes);
+    erase_at(off, kRecordBatchBytes);       // v7 added the batch counters
   }
   for (std::size_t i = 0; i < 8; ++i)
-    if (bytes[i] == std::uint8_t('6')) bytes[i] = std::uint8_t(version);
+    if (bytes[i] == std::uint8_t('7')) bytes[i] = std::uint8_t(version);
   return bytes;
 }
 

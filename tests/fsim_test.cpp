@@ -2,6 +2,7 @@
 // POSIX facade + trace coalescing, and the queueing replay model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <thread>
@@ -441,6 +442,331 @@ TEST(StallFaults, CancelStallsReleasesWedgedWritesWithTimeoutError) {
   const int fd2 = io.open("f2", OpenMode::create);
   EXPECT_NO_THROW(io.write(fd2, pattern(1024)));
   io.close(fd2);
+}
+
+// ------------------------------------------------------------- queue pair ---
+
+namespace {
+
+/// Batch trace records appended by queue-pair submissions.
+std::vector<TraceOp> batch_ops(const SharedFs& fs) {
+  std::vector<TraceOp> out;
+  for (const TraceOp& op : fs.trace())
+    if (op.kind == OpKind::batch_write) out.push_back(op);
+  return out;
+}
+
+}  // namespace
+
+TEST(QueuePair, VectoredBatchPersistsAndTracesOneDoorbell) {
+  SharedFs fs(8);
+  FsClient io(fs, 0);
+  const int fd = io.open("q", OpenMode::create);
+
+  SubmissionQueue sq(io, 4);
+  const auto first = pattern(96, 1);
+  const auto second = pattern(64, 7);
+  Sqe a;
+  a.fd = fd;
+  a.offset = 0;
+  // Vectored: two segments of one sqe land contiguously.
+  a.iov.push_back(std::span<const std::uint8_t>(first).first(32));
+  a.iov.push_back(std::span<const std::uint8_t>(first).subspan(32));
+  a.user_data = 11;
+  Sqe b;
+  b.fd = fd;
+  b.offset = 96;
+  b.iov.push_back(std::span<const std::uint8_t>(second));
+  b.user_data = 22;
+  sq.push(std::move(a));
+  sq.push(std::move(b));
+  EXPECT_EQ(sq.pending(), 2u);
+  EXPECT_EQ(sq.submit(), 2u);
+  EXPECT_EQ(sq.pending(), 0u);
+
+  const auto cqes = sq.reap_all();
+  ASSERT_EQ(cqes.size(), 2u);
+  EXPECT_TRUE(cqes[0].ok);
+  EXPECT_EQ(cqes[0].user_data, 11u);
+  EXPECT_EQ(cqes[0].bytes_persisted, 96u);
+  EXPECT_TRUE(cqes[1].ok);
+  EXPECT_EQ(cqes[1].user_data, 22u);
+  EXPECT_FALSE(cqes[1].short_write());
+
+  // The bytes landed exactly as one pwritev would have put them.
+  std::vector<std::uint8_t> back(160);
+  EXPECT_EQ(io.pread(fd, 0, back), 160u);
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), back.begin()));
+  EXPECT_TRUE(std::equal(second.begin(), second.end(), back.begin() + 96));
+  io.close(fd);
+
+  EXPECT_EQ(sq.stats().batches_submitted, 1u);
+  EXPECT_EQ(sq.stats().sqes_submitted, 2u);
+  EXPECT_EQ(sq.stats().coalesced_bytes, 0u);
+  // One doorbell-tagged record per submit; one record per sqe without
+  // coalescing.
+  const auto ops = batch_ops(fs);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].tag, kBatchDoorbellTag);
+  EXPECT_EQ(ops[0].op_count, 1u);
+  EXPECT_TRUE(ops[1].tag.empty());
+}
+
+TEST(QueuePair, CoalescesAdjacentSqesIntoVectoredRecords) {
+  SharedFs fs(8);
+  FsClient io(fs, 0);
+  const int fd = io.open("q", OpenMode::create);
+
+  SubmissionQueue sq(io, 8, /*coalesce=*/true);
+  const auto data = pattern(256, 3);
+  for (int i = 0; i < 3; ++i) {
+    // Three adjacent 64-byte sqes: one vectored device record.
+    Sqe sqe;
+    sqe.fd = fd;
+    sqe.offset = std::uint64_t(i) * 64;
+    sqe.iov.push_back(
+        std::span<const std::uint8_t>(data).subspan(std::size_t(i) * 64, 64));
+    sq.push(std::move(sqe));
+  }
+  Sqe gap;  // a hole before it: starts its own record
+  gap.fd = fd;
+  gap.offset = 512;
+  gap.iov.push_back(std::span<const std::uint8_t>(data).first(64));
+  sq.push(std::move(gap));
+  EXPECT_EQ(sq.submit(), 4u);
+  for (const Cqe& cqe : sq.reap_all()) EXPECT_TRUE(cqe.ok);
+
+  const auto ops = batch_ops(fs);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].op_count, 3u);  // the coalesced run
+  EXPECT_EQ(ops[0].bytes, 192u);
+  EXPECT_EQ(ops[0].tag, kBatchDoorbellTag);
+  EXPECT_EQ(ops[1].op_count, 1u);
+  EXPECT_EQ(ops[1].offset, 512u);
+  EXPECT_EQ(sq.stats().coalesced_bytes, 192u);
+
+  // Coalescing changed only the trace shape, never the stored bytes.
+  std::vector<std::uint8_t> back(192);
+  EXPECT_EQ(io.pread(fd, 0, back), 192u);
+  EXPECT_TRUE(std::equal(back.begin(), back.end(), data.begin()));
+  io.close(fd);
+}
+
+TEST(QueuePair, EioMidBatchFailsOnlyTheAffectedSqe) {
+  SharedFs fs(8);
+  fs.set_fault_plan(FaultPlan(1, {{FaultKind::eio, "q", 2, 0.0, 1, -1, 0}}));
+  FsClient io(fs, 0);
+  const int fd = io.open("q", OpenMode::create);
+
+  SubmissionQueue sq(io, 4, /*coalesce=*/true);
+  const auto data = pattern(192, 5);
+  for (int i = 0; i < 3; ++i) {
+    Sqe sqe;
+    sqe.fd = fd;
+    sqe.offset = std::uint64_t(i) * 64;
+    sqe.iov.push_back(
+        std::span<const std::uint8_t>(data).subspan(std::size_t(i) * 64, 64));
+    sqe.user_data = std::uint64_t(i);
+    sq.push(std::move(sqe));
+  }
+  // No throw: the fault surfaces as a failed Cqe, not an exception.
+  EXPECT_EQ(sq.submit(), 3u);
+  const auto cqes = sq.reap_all();
+  ASSERT_EQ(cqes.size(), 3u);
+  EXPECT_TRUE(cqes[0].ok);
+  EXPECT_FALSE(cqes[1].ok);
+  EXPECT_EQ(cqes[1].fault, FaultKind::eio);
+  EXPECT_EQ(cqes[1].bytes_persisted, 0u);
+  EXPECT_NE(cqes[1].error.find("eio"), std::string::npos);
+  EXPECT_TRUE(cqes[2].ok);  // the batch continued past the failure
+
+  // Sqes 0 and 2 persisted; the failed extent holds nothing (file length
+  // covers it because sqe 2 wrote past it, so it reads back as zeros).
+  std::vector<std::uint8_t> back(192);
+  EXPECT_EQ(io.pread(fd, 0, back), 192u);
+  EXPECT_TRUE(std::equal(back.begin(), back.begin() + 64, data.begin()));
+  EXPECT_TRUE(std::all_of(back.begin() + 64, back.begin() + 128,
+                          [](std::uint8_t b) { return b == 0; }));
+  EXPECT_TRUE(
+      std::equal(back.begin() + 128, back.end(), data.begin() + 128));
+  io.close(fd);
+
+  // The faulted record never coalesces, so each injection stays
+  // attributable: three separate records, no vectored run.
+  const auto ops = batch_ops(fs);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[1].fault, FaultKind::eio);
+  EXPECT_EQ(sq.stats().coalesced_bytes, 0u);
+}
+
+TEST(QueuePair, TornWriteMidBatchReportsShortCompletion) {
+  SharedFs fs(8);
+  fs.set_fault_plan(
+      FaultPlan(9, {{FaultKind::torn_write, "q", 2, 0.0, 1, -1, 0}}));
+  FsClient io(fs, 0);
+  const int fd = io.open("q", OpenMode::create);
+
+  SubmissionQueue sq(io, 4);
+  const auto data = pattern(192, 9);
+  for (int i = 0; i < 3; ++i) {
+    Sqe sqe;
+    sqe.fd = fd;
+    sqe.offset = std::uint64_t(i) * 64;
+    sqe.iov.push_back(
+        std::span<const std::uint8_t>(data).subspan(std::size_t(i) * 64, 64));
+    sq.push(std::move(sqe));
+  }
+  EXPECT_EQ(sq.submit(), 3u);
+  const auto cqes = sq.reap_all();
+  ASSERT_EQ(cqes.size(), 3u);
+  // io_uring res semantics: the torn sqe completes "successfully" with a
+  // short byte count — the caller detects the lost tail from the count.
+  EXPECT_TRUE(cqes[1].ok);
+  EXPECT_TRUE(cqes[1].short_write());
+  EXPECT_LT(cqes[1].bytes_persisted, cqes[1].bytes_requested);
+  EXPECT_EQ(cqes[1].fault, FaultKind::torn_write);
+  EXPECT_FALSE(cqes[0].short_write());
+  EXPECT_FALSE(cqes[2].short_write());
+
+  // The persisted prefix matches the source; the lost tail reads back as
+  // zeros (sqe 3 extended the file past it).
+  const std::size_t persisted = std::size_t(cqes[1].bytes_persisted);
+  std::vector<std::uint8_t> back(192);
+  EXPECT_EQ(io.pread(fd, 0, back), 192u);
+  EXPECT_TRUE(std::equal(back.begin() + 64, back.begin() + 64 + persisted,
+                         data.begin() + 64));
+  EXPECT_TRUE(std::all_of(back.begin() + 64 + persisted, back.begin() + 128,
+                          [](std::uint8_t b) { return b == 0; }));
+  io.close(fd);
+}
+
+TEST(QueuePair, StallMidBatchIsCancellableAndBatchContinues) {
+  // A stall wedges submit() exactly like a wedged posix write; the prior
+  // sqes' completions stay valid, cancel_stalls() converts the wedged sqe
+  // into a failed Cqe, and the rest of the batch proceeds — so a drain
+  // watchdog built on cancel_stalls() never wedges on the batched path.
+  SharedFs fs(8);
+  fs.set_fault_plan(FaultPlan(3, {{FaultKind::stall, "q", 2, 0.0, 1, -1, 0}}));
+
+  std::vector<Cqe> cqes;
+  std::thread victim([&] {
+    FsClient io(fs, 0);
+    const int fd = io.open("q", OpenMode::create);
+    SubmissionQueue sq(io, 4);
+    const auto data = pattern(192, 2);
+    for (int i = 0; i < 3; ++i) {
+      Sqe sqe;
+      sqe.fd = fd;
+      sqe.offset = std::uint64_t(i) * 64;
+      sqe.iov.push_back(std::span<const std::uint8_t>(data).subspan(
+          std::size_t(i) * 64, 64));
+      sq.push(std::move(sqe));
+    }
+    EXPECT_EQ(sq.submit(), 3u);  // blocks on sqe 2 until cancel_stalls()
+    cqes = sq.reap_all();
+    io.close(fd);
+  });
+
+  // Wait for the batch to wedge mid-flight, prove an unrelated client
+  // still makes progress, then cancel.
+  while (fs.stalled_op_count() == 0) std::this_thread::yield();
+  FsClient other(fs, 1);
+  const int fd = other.open("g", OpenMode::create);
+  other.write(fd, pattern(64));
+  other.close(fd);
+  EXPECT_EQ(fs.cancel_stalls(), 1);
+  victim.join();
+
+  ASSERT_EQ(cqes.size(), 3u);
+  EXPECT_TRUE(cqes[0].ok);
+  EXPECT_FALSE(cqes[1].ok);
+  EXPECT_EQ(cqes[1].fault, FaultKind::stall);
+  EXPECT_TRUE(cqes[2].ok);  // the batch continued after the cancel
+  EXPECT_EQ(fs.stalled_op_count(), 0);
+
+  // The queue pair stays usable after the cancelled stall.
+  FsClient io(fs, 0);
+  const int fd2 = io.open("q2", OpenMode::create);
+  SubmissionQueue sq(io, 2);
+  Sqe sqe;
+  sqe.fd = fd2;
+  const auto tail = pattern(64, 4);
+  sqe.iov.push_back(std::span<const std::uint8_t>(tail));
+  sq.push(std::move(sqe));
+  EXPECT_EQ(sq.submit(), 1u);
+  EXPECT_TRUE(sq.reap()->ok);
+  io.close(fd2);
+}
+
+TEST(QueuePair, SimulatedSqesGrowTheFileLikeWriteSimulated) {
+  SharedFs fs(8);
+  FsClient io(fs, 0);
+  const int fd = io.open("q", OpenMode::create);
+  SubmissionQueue sq(io, 4, /*coalesce=*/true);
+  for (int i = 0; i < 3; ++i) {
+    Sqe sqe;
+    sqe.fd = fd;
+    sqe.offset = std::uint64_t(i) * 1024;
+    sqe.simulated_bytes = 1024;
+    sq.push(std::move(sqe));
+  }
+  EXPECT_EQ(sq.submit(), 3u);
+  for (const Cqe& cqe : sq.reap_all()) {
+    EXPECT_TRUE(cqe.ok);
+    EXPECT_EQ(cqe.bytes_persisted, 1024u);
+  }
+  io.close(fd);
+  EXPECT_EQ(io.stat_size("q"), 3072u);
+  // Size-only sqes coalesce exactly like payload sqes.
+  const auto ops = batch_ops(fs);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].op_count, 3u);
+  EXPECT_EQ(ops[0].bytes, 3072u);
+}
+
+TEST(QueuePair, RejectsBadUsageBeforeTouchingAnySqe) {
+  SharedFs fs(8);
+  FsClient io(fs, 0);
+  EXPECT_THROW(SubmissionQueue(io, 0), UsageError);  // zero-depth ring
+
+  const int fd = io.open("q", OpenMode::create);
+  SubmissionQueue sq(io, 1);
+  const auto data = pattern(64, 6);
+  Sqe first;
+  first.fd = fd;
+  first.iov.push_back(std::span<const std::uint8_t>(data));
+  sq.push(std::move(first));
+  Sqe overflow;
+  overflow.fd = fd;
+  overflow.iov.push_back(std::span<const std::uint8_t>(data));
+  EXPECT_FALSE(sq.try_push(overflow));        // full ring: try_push declines
+  EXPECT_THROW(sq.push(std::move(overflow)), UsageError);  // push throws
+
+  // A batch mixing a bad descriptor with a valid sqe fails upfront: no
+  // completions generated, nothing persisted.
+  SubmissionQueue bad(io, 4);
+  Sqe valid;
+  valid.fd = fd;
+  valid.offset = 0;
+  valid.iov.push_back(std::span<const std::uint8_t>(data));
+  bad.push(std::move(valid));
+  Sqe dangling;
+  dangling.fd = 99;
+  dangling.iov.push_back(std::span<const std::uint8_t>(data));
+  bad.push(std::move(dangling));
+  EXPECT_THROW(bad.submit(), IoError);
+  EXPECT_EQ(bad.completions().ready(), 0u);
+  EXPECT_EQ(io.stat_size("q"), 0u);
+
+  // An sqe cannot be both payload and size-only.
+  SubmissionQueue mixed(io, 2);
+  Sqe both;
+  both.fd = fd;
+  both.iov.push_back(std::span<const std::uint8_t>(data));
+  both.simulated_bytes = 64;
+  mixed.push(std::move(both));
+  EXPECT_THROW(mixed.submit(), UsageError);
+  io.close(fd);
 }
 
 }  // namespace

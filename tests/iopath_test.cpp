@@ -1,0 +1,251 @@
+// Differential tests for the batched queue-pair I/O path: with
+// io_batch_depth / coalesce_writes on, the bp::Writer must store containers
+// byte-identical to the per-op posix writer — batching and coalescing may
+// only change the *trace* shape (op kinds, op_count, doorbell tags), never
+// what lands on disk.  The same differential the topology engine holds for
+// its "flat" mode.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bp/reader.hpp"
+#include "bp/writer.hpp"
+#include "darshan/darshan.hpp"
+#include "fsim/posix_fs.hpp"
+#include "fsim/storage_model.hpp"
+#include "fsim/system_profiles.hpp"
+#include "util/error.hpp"
+
+namespace bitio {
+namespace {
+
+bp::EngineConfig batched_config(bp::EngineConfig base, int depth,
+                                bool coalesce) {
+  base.io_batch_depth = depth;
+  base.coalesce_writes = coalesce;
+  return base;
+}
+
+/// Write a 3-step float series from 8 ranks, staged or borrowed puts.
+void write_series(fsim::SharedFs& fs, const bp::EngineConfig& config,
+                  bool borrowed = false) {
+  const int ranks = 8;
+  const std::uint64_t elems = 64;
+  // Borrowed payloads must outlive the drain; keep them all alive.
+  std::vector<std::vector<float>> payloads;
+  payloads.reserve(8 * 3);
+  bp::Writer writer = bp::Writer::open(fs, "out/series.bp4", config, ranks);
+  for (std::uint64_t step = 0; step < 3; ++step) {
+    writer.begin_step(step);
+    for (int r = 0; r < ranks; ++r) {
+      auto& local = payloads.emplace_back(std::size_t(elems));
+      std::iota(local.begin(), local.end(), float(r * 64) + float(step));
+      const bp::Dims shape{std::uint64_t(ranks) * elems};
+      const bp::Dims offset{std::uint64_t(r) * elems};
+      const bp::Dims count{elems};
+      if (borrowed)
+        writer.put_borrowed(r, "density", shape,
+                            bp::ChunkView::of<float>(
+                                std::span<const float>(local), offset, count));
+      else
+        writer.put<float>(r, "density", shape, offset, count, local);
+    }
+    writer.end_step();
+  }
+  writer.close();
+}
+
+/// Map path -> stored bytes for every file under `dir`.
+std::map<std::string, std::vector<std::uint8_t>> container_bytes(
+    const fsim::SharedFs& fs, const std::string& dir) {
+  std::map<std::string, std::vector<std::uint8_t>> bytes;
+  for (const fsim::FileNode* node : fs.store().list_recursive(dir))
+    bytes[node->path] = node->data;
+  return bytes;
+}
+
+int count_kind(const fsim::SharedFs& fs, fsim::OpKind kind) {
+  int n = 0;
+  for (const auto& op : fs.trace())
+    if (op.kind == kind) ++n;
+  return n;
+}
+
+}  // namespace
+
+TEST(IoPathDifferential, BatchedContainersAreByteIdenticalToPerOp) {
+  bp::EngineConfig base;
+  base.num_aggregators = 2;
+
+  fsim::SharedFs per_op(8), batched(8), coalesced(8);
+  write_series(per_op, base);
+  write_series(batched, batched_config(base, 64, false));
+  write_series(coalesced, batched_config(base, 64, true));
+
+  const auto expected = container_bytes(per_op, "out/series.bp4");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(container_bytes(batched, "out/series.bp4"), expected);
+  EXPECT_EQ(container_bytes(coalesced, "out/series.bp4"), expected);
+
+  // Only the trace shape changed: the per-op run never records a
+  // batch_write, the batched runs never record a plain data write to the
+  // container (their data/metadata appends all ride the ring).
+  EXPECT_EQ(count_kind(per_op, fsim::OpKind::batch_write), 0);
+  EXPECT_GT(count_kind(batched, fsim::OpKind::batch_write), 0);
+  // Coalescing merges adjacent sqes: fewer batch records, same doorbells.
+  EXPECT_LT(count_kind(coalesced, fsim::OpKind::batch_write),
+            count_kind(batched, fsim::OpKind::batch_write));
+
+  // The batched+coalesced container still reads back.
+  bp::Reader reader = bp::Reader::open(coalesced, 0, "out/series.bp4");
+  const auto data = reader.read_as<float>(1, "density");
+  ASSERT_EQ(data.size(), 512u);
+  EXPECT_FLOAT_EQ(data[64], 65.0f);  // rank 1, step 1: 64 + 1
+}
+
+TEST(IoPathDifferential, AsyncBatchedContainersMatchPerOp) {
+  bp::EngineConfig base;
+  base.num_aggregators = 2;
+  base.async_write = true;
+  base.buffer_chunk_mb = 1;
+
+  fsim::SharedFs per_op(8), coalesced(8);
+  write_series(per_op, base);
+  write_series(coalesced, batched_config(base, 16, true));
+
+  const auto expected = container_bytes(per_op, "out/series.bp4");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(container_bytes(coalesced, "out/series.bp4"), expected);
+}
+
+TEST(IoPathDifferential, Czp1ParallelCompressionContainersMatch) {
+  // Operator path: blosc through the CZP1 parallel-codec frames
+  // (compress_threads > 1).  The ring submits the compressed extents; the
+  // frames must stay byte-identical to the per-op writer's.
+  bp::EngineConfig base;
+  base.num_aggregators = 2;
+  base.codec = "blosc";
+  base.compress_threads = 4;
+  base.compress_block_kb = 1;  // several blocks per chunk
+
+  fsim::SharedFs per_op(8), coalesced(8);
+  write_series(per_op, base);
+  write_series(coalesced, batched_config(base, 32, true));
+
+  const auto expected = container_bytes(per_op, "out/series.bp4");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(container_bytes(coalesced, "out/series.bp4"), expected);
+
+  // Compressed chunks still decode from the batched container.
+  bp::Reader reader = bp::Reader::open(coalesced, 0, "out/series.bp4");
+  const auto data = reader.read_as<float>(2, "density");
+  ASSERT_EQ(data.size(), 512u);
+  EXPECT_FLOAT_EQ(data[0], 2.0f);
+}
+
+TEST(IoPathDifferential, TwoLevelAggregationOnDardelMatches) {
+  // The gather path (rank -> node leader -> aggregator) composes with the
+  // queue pair: gathers only add timing ops, the ring only changes write
+  // records, the container bytes survive both.
+  bp::EngineConfig base;
+  base.num_aggregators = 2;
+  base.ranks_per_node = 4;  // 8 ranks -> 2 modelled nodes
+  base.aggregation = "two_level";
+  base.topology = "dardel";
+
+  fsim::SharedFs per_op(8), coalesced(8);
+  write_series(per_op, base);
+  write_series(coalesced, batched_config(base, 64, true));
+
+  const auto expected = container_bytes(per_op, "out/series.bp4");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(container_bytes(coalesced, "out/series.bp4"), expected);
+  // Both runs still model the two-level gather.
+  EXPECT_GT(count_kind(coalesced, fsim::OpKind::xfer), 0);
+}
+
+TEST(IoPathDifferential, BorrowedPutsStoreTheSameBytesAsStagedPuts) {
+  // Zero-copy marshalling must be invisible in the container: put_borrowed
+  // skips the staging copy but stores exactly what put() stores.
+  bp::EngineConfig base;
+  base.num_aggregators = 2;
+
+  fsim::SharedFs staged(8), borrowed(8);
+  write_series(staged, batched_config(base, 64, true), /*borrowed=*/false);
+  write_series(borrowed, batched_config(base, 64, true), /*borrowed=*/true);
+
+  const auto expected = container_bytes(staged, "out/series.bp4");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(container_bytes(borrowed, "out/series.bp4"), expected);
+}
+
+TEST(IoPathDifferential, SyntheticBatchedStepsMatchPerOpSizes) {
+  // Size-only steps ride the ring as simulated sqes; the files must grow
+  // to the same sizes the per-op write_simulated path produces.
+  const int ranks = 8;
+  const auto run = [&](fsim::SharedFs& fs, int depth) {
+    bp::EngineConfig config;
+    config.num_aggregators = 2;
+    config.io_batch_depth = depth;
+    config.coalesce_writes = depth > 0;
+    bp::Writer writer = bp::Writer::open(fs, "out/synth.bp4", config, ranks);
+    for (std::uint64_t step = 0; step < 3; ++step) {
+      writer.begin_step(step);
+      for (int r = 0; r < ranks; ++r)
+        writer.put_synthetic(r, "vdf", bp::Datatype::float32, {8 * 1024},
+                             {std::uint64_t(r) * 1024}, {1024});
+      writer.end_step();
+    }
+    writer.close();
+  };
+  fsim::SharedFs per_op(8), batched(8);
+  run(per_op, 0);
+  run(batched, 64);
+
+  const auto expected = container_bytes(per_op, "out/synth.bp4");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(container_bytes(batched, "out/synth.bp4"), expected);
+}
+
+TEST(IoPathDifferential, DarshanCapturesBatchCountersAndHistogram) {
+  bp::EngineConfig base;
+  base.num_aggregators = 2;
+  fsim::SharedFs fs(8);
+  write_series(fs, batched_config(base, 64, true));
+
+  const auto replay =
+      fsim::replay_trace(fsim::dardel(), fs.store(), fs.trace(), 8);
+  const auto log = darshan::capture(fs, replay, {"bit1", 8, 0.0, "/lustre"});
+
+  std::uint64_t batches = 0, sqes = 0, coalesced = 0;
+  for (const auto& r : log.records) {
+    batches += r.batches_submitted;
+    sqes += r.batched_sqes;
+    coalesced += r.coalesced_bytes;
+  }
+  // Per step: one data doorbell per aggregator (4 chunk-extent sqes each)
+  // + rank 0's metadata doorbell (md.0 + md.idx sqes).
+  EXPECT_EQ(batches, 9u);
+  EXPECT_EQ(sqes, 30u);
+  EXPECT_GT(coalesced, 0u);
+  // The vectored data submissions land in the 2-4 bucket, the metadata
+  // pairs too; nothing above.
+  std::uint64_t histogram_total = 0;
+  for (const std::uint64_t bucket : log.job.ops_per_batch)
+    histogram_total += bucket;
+  EXPECT_EQ(histogram_total, batches);
+  EXPECT_EQ(log.job.ops_per_batch[1], 9u);  // every batch carried 2-4 sqes
+
+  // The counters survive the wire format.
+  const auto back = darshan::DarshanLog::parse(log.serialize());
+  std::uint64_t back_batches = 0;
+  for (const auto& r : back.records) back_batches += r.batches_submitted;
+  EXPECT_EQ(back_batches, batches);
+  for (std::size_t i = 0; i < darshan::JobInfo::kBatchHistBuckets; ++i)
+    EXPECT_EQ(back.job.ops_per_batch[i], log.job.ops_per_batch[i]) << i;
+}
+
+}  // namespace bitio

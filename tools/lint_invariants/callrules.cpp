@@ -11,6 +11,14 @@
 // to a plain local must be moved, released, or returned on every path out
 // of the function, or steady-state steps start allocating again (the
 // whole point of the pool).  `// lint: ignore-pool` opts out.
+//
+// submit-reap: fsim::SubmissionQueue::submit() replays the batch and
+// parks the completions on the queue's completion ring; a submit whose
+// cqes are never reaped (reap / reap_all / completions) silently drops
+// per-sqe fault results — the mid-batch eio/stall/torn signals the
+// queue-pair API exists to deliver.  Handing the queue to a helper by
+// reference (the writer's submit_and_reap shape) counts as the reap
+// moving there.  `// lint: ignore-reap` opts out.
 
 #include <algorithm>
 #include <map>
@@ -272,6 +280,97 @@ std::vector<Diagnostic> check_pool_pairing(const SemanticIndex& index) {
 
 std::vector<Diagnostic> check_pool_pairing(const std::string& root) {
   return check_pool_pairing(SemanticIndex::build(root));
+}
+
+// --- submit-reap -----------------------------------------------------------
+
+std::vector<Diagnostic> check_submit_reap(const SemanticIndex& index) {
+  std::vector<Diagnostic> out;
+  for (const FnDef& def : all_function_definitions(index)) {
+    const FileInfo& file = *def.file;
+    if (!in_scope(file.rel)) continue;
+    if (file.rel.rfind("src/fsim/posix_fs", 0) == 0)
+      continue;  // the queue pair's own implementation
+    const FunctionSym& fn = *def.fn;
+    const auto& toks = file.tokens;
+    std::map<std::string, std::string> env;
+    bool env_built = false;
+    for (std::size_t i = fn.body_begin + 1; i + 1 < fn.body_end; ++i) {
+      if (toks[i].kind != Token::Kind::ident || toks[i].text != "submit" ||
+          toks[i + 1].text != "(")
+        continue;
+      const std::string& prev = toks[i - 1].text;
+      if (prev != "." && prev != "->") continue;
+      const std::size_t s = chain_start(toks, i);
+      if (s == i) continue;
+      if (!env_built) {
+        env = collect_var_types(file, fn, def.cls, index);
+        env_built = true;
+      }
+      const auto it = env.find(toks[s].text);
+      if (it == env.end()) continue;
+      const ClassSym* recv = index.find_class(it->second);
+      if (!recv ||
+          recv->name.rfind("SubmissionQueue") == std::string::npos)
+        continue;  // suffix check: fsim::SubmissionQueue
+      if (line_has_marker(file, toks[i].line, "lint: ignore-reap")) continue;
+
+      const std::string& var = toks[s].text;
+      const std::size_t call_end = after_call(toks, i + 1, fn.body_end);
+
+      // Find the reap: a reap()/reap_all()/completions() use on the same
+      // queue, or the queue escaping by reference into a helper call that
+      // reaps on the caller's behalf.
+      std::size_t reaped_at = kNoTok;
+      for (std::size_t k = call_end; k + 1 < fn.body_end; ++k) {
+        if (toks[k].text != var) continue;
+        const std::string& next = toks[k + 1].text;
+        if ((next == "." || next == "->") && k + 2 < fn.body_end) {
+          const std::string& m = toks[k + 2].text;
+          if (m == "reap" || m == "reap_all" || m == "completions") {
+            reaped_at = k;
+            break;
+          }
+          continue;
+        }
+        // helper(..., sq, ...) — the queue is a bare call argument.
+        const std::string& before = toks[k - 1].text;
+        if ((before == "(" || before == ",") && (next == ")" || next == ",")) {
+          reaped_at = k;
+          break;
+        }
+      }
+      if (reaped_at == kNoTok) {
+        out.push_back(
+            {file.rel, toks[i].line, "submit-reap",
+             "batch submitted on '" + var + "' (" + recv->name +
+                 "::submit) is never reaped — consume reap()/reap_all()/"
+                 "completions() on the same queue, hand it to a reaping "
+                 "helper, or annotate '// lint: ignore-reap'"});
+        continue;
+      }
+      // `return` strictly between submit and reap drops the completions
+      // (and any per-sqe fault results) on that path.
+      for (std::size_t k = call_end; k < reaped_at; ++k)
+        if (toks[k].text == "return") {
+          out.push_back(
+              {file.rel, toks[k].line, "submit-reap",
+               "early return drops the completions of '" + var +
+                   "' (submitted at line " + std::to_string(toks[i].line) +
+                   ", reaped only at line " +
+                   std::to_string(toks[reaped_at].line) + ")"});
+          break;
+        }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return out;
+}
+
+std::vector<Diagnostic> check_submit_reap(const std::string& root) {
+  return check_submit_reap(SemanticIndex::build(root));
 }
 
 }  // namespace bitio::lint

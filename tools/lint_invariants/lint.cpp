@@ -757,6 +757,7 @@ std::vector<Diagnostic> run_all(const SemanticIndex& index) {
         static_cast<IndexRule>(check_wire_format),
         static_cast<IndexRule>(check_unchecked_status),
         static_cast<IndexRule>(check_pool_pairing),
+        static_cast<IndexRule>(check_submit_reap),
         static_cast<IndexRule>(check_include_graph)}) {
     auto found = rule(index);
     out.insert(out.end(), found.begin(), found.end());

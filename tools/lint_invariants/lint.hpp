@@ -8,7 +8,8 @@
 // one table, every TraceOp kind is explicitly classified and captured,
 // mutexes are acquired in one global order, serialized wire formats only
 // change together with their version constants, status-returning fsim/bp
-// APIs are never silently dropped, and pooled buffers are always recycled.
+// APIs are never silently dropped, pooled buffers are always recycled,
+// and batched queue-pair submissions are always reaped.
 //
 // Every rule runs over one shared SemanticIndex (see index.hpp): the
 // legacy PR-4 rules keep their regex logic on the index's pre-stripped
@@ -186,6 +187,15 @@ std::vector<Diagnostic> check_unchecked_status(const SemanticIndex& index);
 /// of the pool's steady-state set.  Escape hatch: `// lint: ignore-pool`.
 std::vector<Diagnostic> check_pool_pairing(const std::string& root);
 std::vector<Diagnostic> check_pool_pairing(const SemanticIndex& index);
+
+/// submit-reap: every fsim::SubmissionQueue::submit() must have a
+/// reachable reap — a reap()/reap_all()/completions() use on the same
+/// queue (or the queue handed by reference to a helper that reaps) —
+/// otherwise the batch's per-sqe fault results are silently dropped.  An
+/// early `return` between submit and reap is flagged like pool-pairing's
+/// early-return leak.  Escape hatch: `// lint: ignore-reap`.
+std::vector<Diagnostic> check_submit_reap(const std::string& root);
+std::vector<Diagnostic> check_submit_reap(const SemanticIndex& index);
 
 /// include-graph: no #include cycles under src/, and no file outside
 /// src/bp may include the bp writer internals (bp/writer.hpp,

@@ -46,6 +46,7 @@ constexpr Rule kRules[] = {
     {"wire-format", bitio::lint::check_wire_format},
     {"unchecked-status", bitio::lint::check_unchecked_status},
     {"pool-pairing", bitio::lint::check_pool_pairing},
+    {"submit-reap", bitio::lint::check_submit_reap},
     {"include-graph", bitio::lint::check_include_graph},
 };
 
